@@ -1,0 +1,42 @@
+// Ablation: the three HARS thread schedulers — chunk-based, interleaving
+// (§3.1.3) and the hierarchy-aware extension (§3.1.4 option 2) — at both
+// performance targets. The pipeline benchmark (ferret) is where the
+// mapping matters: chunk can place whole stages on one cluster.
+#include <iostream>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+int main() {
+  using namespace hars;
+  std::puts("Ablation: HARS-E thread scheduler (chunk / interleaved / hierarchical)\n");
+
+  for (double fraction : {0.50, 0.75}) {
+    ReportTable table(fraction == 0.50 ? "Default target (50%)"
+                                       : "High target (75%)");
+    table.set_columns({"bench", "chunk pp", "inter pp", "hier pp",
+                       "chunk norm", "inter norm", "hier norm"});
+    for (ParsecBenchmark bench : all_parsec_benchmarks()) {
+      std::vector<double> pp;
+      std::vector<double> norm;
+      for (int sched : {0, 1, 2}) {
+        SingleRunOptions options;
+        options.duration = 90 * kUsPerSec;
+        options.target_fraction = fraction;
+        options.override_scheduler = sched;
+        const SingleRunResult r =
+            run_single(bench, SingleVersion::kHarsE, options);
+        pp.push_back(r.metrics.perf_per_watt);
+        norm.push_back(r.metrics.norm_perf);
+      }
+      table.add_row(parsec_code(bench),
+                    {pp[0], pp[1], pp[2], norm[0], norm[1], norm[2]});
+    }
+    table.print(std::cout);
+  }
+  std::puts("Shape check: on FE (6-stage pipeline) the chunk mapping");
+  std::puts("delivers the lowest normalized performance; interleaving and");
+  std::puts("the hierarchy-aware scheduler recover it, most visibly when");
+  std::puts("the target forces mixed big+little allocations.");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates Table 3.1: thread assignment to the big and little clusters
+// across the four regimes, for the Exynos-like machine and r = 1.5.
+#include <cstdio>
+#include <iostream>
+
+#include "core/thread_assignment.hpp"
+#include "exp/report.hpp"
+
+int main() {
+  using namespace hars;
+  std::puts("Table 3.1 reproduction: thread assignment (r >= 1)");
+  std::puts("Rows show (T_B, T_L, C_B,U, C_L,U) per regime for C_B=C_L=4.\n");
+
+  ReportTable table("Thread assignment, C_B = C_L = 4, r = 1.5");
+  table.set_columns({"T", "regime", "T_B", "T_L", "C_B,U", "C_L,U"});
+  const int cb = 4;
+  const int cl = 4;
+  const double r = 1.5;
+  for (int t = 1; t <= 16; ++t) {
+    const ThreadAssignment a = assign_threads(t, cb, cl, r);
+    const double rcb = r * cb;
+    const char* regime = t <= cb                          ? "0<T<=CB"
+                         : static_cast<double>(t) <= rcb  ? "CB<T<=rCB"
+                         : static_cast<double>(t) <= rcb + cl ? "rCB<T<=rCB+CL"
+                                                              : "rCB+CL<T";
+    table.add_text_row({std::to_string(t), regime, std::to_string(a.tb),
+                        std::to_string(a.tl), std::to_string(a.cb_used),
+                        std::to_string(a.cl_used)});
+  }
+  table.print(std::cout);
+
+  ReportTable sweep("Assignment sweep over r (T = 8, C_B = C_L = 4)");
+  sweep.set_columns({"r", "T_B", "T_L", "C_B,U", "C_L,U"});
+  for (double r_val : {0.5, 0.8, 1.0, 1.2, 1.5, 1.85, 2.0, 3.0}) {
+    const ThreadAssignment a = assign_threads(8, cb, cl, r_val);
+    sweep.add_text_row({format_value(r_val), std::to_string(a.tb),
+                        std::to_string(a.tl), std::to_string(a.cb_used),
+                        std::to_string(a.cl_used)});
+  }
+  sweep.print(std::cout);
+  return 0;
+}

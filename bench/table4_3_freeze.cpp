@@ -1,0 +1,28 @@
+// Regenerates Table 4.3: the state & freeze decision table of the
+// interference-aware adaptation policy.
+#include <iostream>
+
+#include "exp/report.hpp"
+#include "mphars/freeze_policy.hpp"
+
+int main() {
+  using namespace hars;
+  ReportTable table("Table 4.3 reproduction: state & freeze decisions");
+  table.set_columns(
+      {"AppInPeriod", "TheOthers", "FrozenState", "StateDecision", "FreezeDecision"});
+  for (PerfStatus app : {PerfStatus::kUnderperf, PerfStatus::kAchieve,
+                         PerfStatus::kOverperf}) {
+    for (PerfStatus others : {PerfStatus::kUnderperf, PerfStatus::kAchieve,
+                              PerfStatus::kOverperf}) {
+      for (bool frozen : {true, false}) {
+        const InterferenceDecision d = decide_interference(app, others, frozen);
+        table.add_text_row({perf_status_name(app), perf_status_name(others),
+                            frozen ? "FREEZE" : "UNFREEZE",
+                            state_decision_name(d.state),
+                            freeze_decision_name(d.freeze)});
+      }
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Bring-your-own-platform: HARS is not tied to the Exynos 5422 preset.
+// This example defines a modern laptop-like 2-big + 6-little part, runs
+// the same self-adaptive application on it, and lets HARS find an
+// efficient state (cf. the reproduction note: modern P/E-core parts are
+// the natural target for this runtime today).
+//
+//   $ ./custom_platform
+#include <cstdio>
+#include <memory>
+
+#include "apps/data_parallel_app.hpp"
+#include "core/hars.hpp"
+#include "hmp/sim_engine.hpp"
+#include "sched/gts.hpp"
+
+int main() {
+  using namespace hars;
+
+  // A P/E-core-style machine: 2 fast wide cores + 6 efficiency cores.
+  MachineSpec spec;
+  spec.name = "laptop-2P6E";
+  ClusterSpec e_cores;
+  e_cores.type = CoreType::kLittle;
+  e_cores.core_count = 6;
+  e_cores.ipc = 2.0;
+  for (double f = 0.8; f < 2.01; f += 0.2) e_cores.freqs_ghz.push_back(f);
+  ClusterSpec p_cores;
+  p_cores.type = CoreType::kBig;
+  p_cores.core_count = 2;
+  p_cores.ipc = 4.0;
+  for (double f = 1.0; f < 3.61; f += 0.2) p_cores.freqs_ghz.push_back(f);
+  spec.clusters = {e_cores, p_cores};
+
+  SimEngine engine(Machine(spec), std::make_unique<GtsScheduler>());
+  std::printf("machine: %s, %d cores (%d P + %d E), P up to %.1f GHz\n\n",
+              engine.machine().spec().name.c_str(), engine.machine().num_cores(),
+              engine.machine().cluster_core_count(engine.machine().big_cluster()),
+              engine.machine().cluster_core_count(engine.machine().little_cluster()),
+              engine.machine().freq_ghz_at_level(
+                  engine.machine().big_cluster(),
+                  engine.machine().max_freq_level(engine.machine().big_cluster())));
+
+  DataParallelConfig cfg;
+  cfg.threads = 8;
+  cfg.speed = SpeedModel{4.0, 2.0};  // r = 2 on this part.
+  cfg.workload = {WorkloadShape::kPhased, 8.0, 0.05, 0.15, 50};
+  DataParallelApp app("render", cfg);
+  const AppId id = engine.add_app(&app);
+
+  RuntimeManagerConfig config = config_for_variant(HarsVariant::kHarsEI);
+  config.r0 = 2.0;  // Match the platform's width ratio.
+  auto manager = attach_hars(engine, id, PerfTarget::around(2.5),
+                             HarsVariant::kHarsEI, &config);
+
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    engine.run_for(10 * kUsPerSec);
+    std::printf("t=%3llds  rate %.2f hb/s  state %s  power %.2f W\n",
+                static_cast<long long>(engine.now() / kUsPerSec),
+                app.heartbeats().rate(),
+                manager->current_state().to_string().c_str(),
+                engine.sensor().instantaneous_power_w());
+  }
+  std::printf("\navg power %.2f W over %llds; %lld adaptations\n",
+              engine.sensor().average_power_w(engine.now()),
+              static_cast<long long>(engine.now() / kUsPerSec),
+              static_cast<long long>(manager->adaptations()));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Base class for simulated self-adaptive multithreaded applications.
+//
+// An App owns its heartbeat monitor and a speed model (how fast one of its
+// threads retires work on each core type). The SimEngine drives it through
+// begin_tick / execute / end_tick; heartbeats are emitted from end_tick
+// when a unit of work completes.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "hmp/machine.hpp"
+#include "heartbeats/heartbeat.hpp"
+#include "util/common.hpp"
+
+namespace hars {
+
+/// Per-application execution speed model. `ipc_big` / `ipc_little` are
+/// effective work-units per second per GHz on each core type; their ratio
+/// (at equal frequency) is the benchmark's true big:little performance
+/// ratio r — e.g. blackscholes measures r ~= 1.0 in the paper even though
+/// the architectural width ratio is 1.5.
+///
+/// `mem_sensitivity` models the memory wall: a fraction of execution time
+/// that does not scale with core frequency (0 = fully compute-bound, the
+/// paper's implicit assumption; 1 = fully memory-bound). Effective speed
+/// is ipc * f^(1 - mem_sensitivity) with f in GHz, so CPU-frequency
+/// scaling buys less on memory-bound code — a known failure mode of the
+/// performance estimator's linearity assumption.
+struct SpeedModel {
+  double ipc_big = 3.0;
+  double ipc_little = 2.0;
+  double mem_sensitivity = 0.0;
+
+  double speed(CoreType type, double freq_ghz) const {
+    const double ipc = type == CoreType::kBig ? ipc_big : ipc_little;
+    if (mem_sensitivity <= 0.0) return ipc * freq_ghz;
+    return ipc * std::pow(freq_ghz, 1.0 - mem_sensitivity);
+  }
+};
+
+class App {
+ public:
+  App(std::string name, int thread_count, SpeedModel speed,
+      std::size_t heartbeat_window = 10);
+  virtual ~App() = default;
+
+  App(const App&) = delete;
+  App& operator=(const App&) = delete;
+
+  const std::string& name() const { return name_; }
+  int thread_count() const { return thread_count_; }
+  const SpeedModel& speed_model() const { return speed_; }
+
+  HeartbeatMonitor& heartbeats() { return heartbeats_; }
+  const HeartbeatMonitor& heartbeats() const { return heartbeats_; }
+
+  /// Does thread `local_tid` want CPU this tick?
+  virtual bool runnable(int local_tid) const = 0;
+
+  /// Gives thread `local_tid` up to `share_us` of CPU on a core of `type`
+  /// at `freq_ghz`. Returns the CPU time actually consumed (a thread that
+  /// completes its pending work mid-share yields the rest).
+  virtual TimeUs execute(int local_tid, TimeUs share_us, CoreType type,
+                         double freq_ghz) = 0;
+
+  /// Called before scheduling each tick (source-stage item generation...).
+  virtual void begin_tick(TimeUs /*now*/) {}
+
+  /// Called after all threads executed; barrier/heartbeat logic lives here.
+  virtual void end_tick(TimeUs now) = 0;
+
+  /// True once the application has retired all its input (simulations
+  /// normally end on time instead).
+  virtual bool finished() const { return false; }
+
+  /// Thread-hierarchy information (thesis §3.1.4, option 2): sizes of the
+  /// application's thread groups in thread-ID order. Data-parallel apps
+  /// are one flat group; pipeline apps report one group per stage so a
+  /// hierarchy-aware scheduler can give every stage its fair share of big
+  /// cores. Sizes must sum to thread_count().
+  virtual std::vector<int> thread_group_sizes() const {
+    return {thread_count()};
+  }
+
+ protected:
+  double thread_speed(CoreType type, double freq_ghz) const {
+    return speed_.speed(type, freq_ghz);
+  }
+
+ private:
+  std::string name_;
+  int thread_count_;
+  SpeedModel speed_;
+  HeartbeatMonitor heartbeats_;
+};
+
+}  // namespace hars

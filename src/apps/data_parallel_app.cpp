@@ -1,0 +1,84 @@
+#include "apps/data_parallel_app.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hars {
+
+DataParallelApp::DataParallelApp(std::string name, const DataParallelConfig& config)
+    : App(std::move(name), config.threads, config.speed, config.heartbeat_window),
+      config_(config),
+      workload_(config.workload, Rng(config.seed)),
+      rng_(Rng(config.seed).fork(0xDA7A)),
+      remaining_(static_cast<std::size_t>(config.threads), 0.0),
+      warmup_remaining_(config.warmup_work) {
+  if (warmup_remaining_ <= 0.0) start_iteration();
+}
+
+void DataParallelApp::start_iteration() {
+  if (config_.max_iterations >= 0 && iteration_ >= config_.max_iterations) {
+    iteration_open_ = false;
+    return;
+  }
+  const WorkUnits total = workload_.next(iteration_);
+  const WorkUnits equal_share = total / config_.threads;
+  for (auto& r : remaining_) {
+    double jitter = 1.0;
+    if (config_.imbalance > 0.0) {
+      jitter = std::max(0.1, 1.0 + rng_.normal(0.0, config_.imbalance));
+    }
+    r = equal_share * jitter;
+  }
+  iteration_open_ = true;
+}
+
+bool DataParallelApp::runnable(int local_tid) const {
+  if (warmup_remaining_ > 0.0) return local_tid == 0;  // Serial input phase.
+  if (!iteration_open_) return false;
+  return remaining_[static_cast<std::size_t>(local_tid)] > 0.0;
+}
+
+TimeUs DataParallelApp::execute(int local_tid, TimeUs share_us, CoreType type,
+                                double freq_ghz) {
+  const double speed = thread_speed(type, freq_ghz);  // work-units / sec
+  if (speed <= 0.0 || share_us <= 0) return 0;
+
+  if (warmup_remaining_ > 0.0) {
+    assert(local_tid == 0);
+    const WorkUnits can_do = speed * us_to_sec(share_us);
+    const WorkUnits done = std::min(can_do, warmup_remaining_);
+    warmup_remaining_ -= done;
+    return static_cast<TimeUs>(done / speed * kUsPerSec);
+  }
+
+  WorkUnits& rem = remaining_[static_cast<std::size_t>(local_tid)];
+  if (rem <= 0.0) return 0;
+  const WorkUnits can_do = speed * us_to_sec(share_us);
+  const WorkUnits done = std::min(can_do, rem);
+  rem -= done;
+  return static_cast<TimeUs>(done / speed * kUsPerSec);
+}
+
+void DataParallelApp::end_tick(TimeUs now) {
+  if (warmup_remaining_ > 0.0) return;
+  if (warmup_remaining_ <= 0.0 && !iteration_open_ && iteration_ == 0 &&
+      config_.warmup_work > 0.0) {
+    // Warm-up finished this tick; open the first iteration.
+    start_iteration();
+    return;
+  }
+  if (!iteration_open_) return;
+  for (const auto& r : remaining_) {
+    if (r > 0.0) return;  // Barrier not yet reached.
+  }
+  heartbeats().emit(now);
+  ++iteration_;
+  start_iteration();
+}
+
+bool DataParallelApp::finished() const {
+  return config_.max_iterations >= 0 && iteration_ >= config_.max_iterations &&
+         !iteration_open_;
+}
+
+}  // namespace hars

@@ -1,0 +1,59 @@
+// Data-parallel application model: every iteration, the total work is split
+// across the worker threads (with optional imbalance jitter); threads meet
+// at a barrier and one heartbeat is emitted per iteration. Models the
+// loop-parallel PARSEC benchmarks (blackscholes, swaptions, bodytrack,
+// facesim, fluidanimate).
+//
+// An optional *serial warm-up phase* executes on thread 0 before any
+// heartbeat is emitted — blackscholes' input-parsing phase, which drives
+// the paper's case-6 (BO+BL) discussion in §5.2.2.
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/workload.hpp"
+#include "util/rng.hpp"
+
+namespace hars {
+
+struct DataParallelConfig {
+  int threads = 8;
+  SpeedModel speed;
+  WorkloadConfig workload;
+  double imbalance = 0.0;      ///< Relative stddev of per-thread share jitter.
+  WorkUnits warmup_work = 0.0; ///< Serial work before the first iteration.
+  std::int64_t max_iterations = -1;  ///< <0: unbounded (run until sim end).
+  std::uint64_t seed = 1;
+  std::size_t heartbeat_window = 10;
+};
+
+class DataParallelApp final : public App {
+ public:
+  DataParallelApp(std::string name, const DataParallelConfig& config);
+
+  bool runnable(int local_tid) const override;
+  TimeUs execute(int local_tid, TimeUs share_us, CoreType type,
+                 double freq_ghz) override;
+  void end_tick(TimeUs now) override;
+  bool finished() const override;
+
+  std::int64_t iterations_completed() const { return iteration_; }
+  bool in_warmup() const { return warmup_remaining_ > 0.0; }
+
+  /// Mean total work of one iteration (used by calibration).
+  WorkUnits base_iteration_work() const { return config_.workload.base_work; }
+
+ private:
+  void start_iteration();
+
+  DataParallelConfig config_;
+  WorkloadGenerator workload_;
+  Rng rng_;
+  std::vector<WorkUnits> remaining_;  ///< Per-thread work left this iteration.
+  WorkUnits warmup_remaining_ = 0.0;
+  std::int64_t iteration_ = 0;
+  bool iteration_open_ = false;
+};
+
+}  // namespace hars

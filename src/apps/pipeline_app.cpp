@@ -1,0 +1,112 @@
+#include "apps/pipeline_app.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hars {
+
+int PipelineApp::total_threads(const PipelineConfig& config) {
+  int n = 0;
+  for (const auto& s : config.stages) n += s.threads;
+  return n;
+}
+
+PipelineApp::PipelineApp(std::string name, const PipelineConfig& config)
+    : App(std::move(name), total_threads(config), config.speed,
+          config.heartbeat_window),
+      config_(config),
+      rng_(config.seed) {
+  if (config_.stages.empty()) {
+    throw std::invalid_argument("PipelineApp requires at least one stage");
+  }
+  for (int s = 0; s < num_stages(); ++s) {
+    for (int t = 0; t < config_.stages[static_cast<std::size_t>(s)].threads; ++t) {
+      workers_.push_back(Worker{s, false, 0.0});
+    }
+  }
+  queues_.resize(static_cast<std::size_t>(num_stages()));
+}
+
+int PipelineApp::stage_of_thread(int local_tid) const {
+  return workers_[static_cast<std::size_t>(local_tid)].stage;
+}
+
+std::vector<int> PipelineApp::thread_group_sizes() const {
+  std::vector<int> sizes;
+  sizes.reserve(config_.stages.size());
+  for (const auto& s : config_.stages) sizes.push_back(s.threads);
+  return sizes;
+}
+
+bool PipelineApp::try_acquire(Worker& worker) {
+  auto& queue = queues_[static_cast<std::size_t>(worker.stage)];
+  if (queue.empty()) return false;
+  queue.pop_front();
+  worker.has_item = true;
+  double jitter = 1.0;
+  if (config_.work_noise > 0.0) {
+    jitter = std::max(0.1, 1.0 + rng_.normal(0.0, config_.work_noise));
+  }
+  worker.remaining =
+      config_.stages[static_cast<std::size_t>(worker.stage)].work_per_item * jitter;
+  return true;
+}
+
+void PipelineApp::begin_tick(TimeUs /*now*/) {
+  // Admission control: keep the pipeline primed up to max_in_flight.
+  while (in_flight_ < config_.max_in_flight &&
+         (config_.max_items < 0 || items_admitted_ < config_.max_items)) {
+    queues_.front().push_back(1);
+    ++items_admitted_;
+    ++in_flight_;
+  }
+}
+
+bool PipelineApp::runnable(int local_tid) const {
+  const Worker& w = workers_[static_cast<std::size_t>(local_tid)];
+  if (w.has_item) return true;
+  return !queues_[static_cast<std::size_t>(w.stage)].empty();
+}
+
+TimeUs PipelineApp::execute(int local_tid, TimeUs share_us, CoreType type,
+                            double freq_ghz) {
+  Worker& w = workers_[static_cast<std::size_t>(local_tid)];
+  const double speed = thread_speed(type, freq_ghz);
+  if (speed <= 0.0 || share_us <= 0) return 0;
+
+  TimeUs used = 0;
+  while (used < share_us) {
+    if (!w.has_item && !try_acquire(w)) break;
+    const TimeUs left_us = share_us - used;
+    const WorkUnits can_do = speed * us_to_sec(left_us);
+    const WorkUnits done = std::min(can_do, w.remaining);
+    w.remaining -= done;
+    used += static_cast<TimeUs>(done / speed * kUsPerSec);
+    if (w.remaining <= 1e-12) {
+      w.has_item = false;
+      const int next_stage = w.stage + 1;
+      if (next_stage < num_stages()) {
+        queues_[static_cast<std::size_t>(next_stage)].push_back(1);
+      } else {
+        retired_this_tick_.push_back(0);
+        ++items_retired_;
+        --in_flight_;
+      }
+    }
+  }
+  return used;
+}
+
+void PipelineApp::end_tick(TimeUs now) {
+  for (std::size_t i = 0; i < retired_this_tick_.size(); ++i) {
+    heartbeats().emit(now);
+  }
+  retired_this_tick_.clear();
+}
+
+bool PipelineApp::finished() const {
+  return config_.max_items >= 0 && items_retired_ >= config_.max_items;
+}
+
+}  // namespace hars

@@ -1,0 +1,33 @@
+#include "apps/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hars {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, Rng rng)
+    : config_(config), rng_(rng) {}
+
+WorkUnits WorkloadGenerator::next(std::int64_t index) {
+  double factor = 1.0;
+  switch (config_.shape) {
+    case WorkloadShape::kStable:
+      break;
+    case WorkloadShape::kNoisy:
+      factor += rng_.normal(0.0, config_.noise);
+      break;
+    case WorkloadShape::kPhased: {
+      const double two_pi = 6.283185307179586;
+      const double phase =
+          two_pi * static_cast<double>(index) / std::max(1, config_.phase_period);
+      factor += config_.phase_amplitude * std::sin(phase);
+      factor += rng_.normal(0.0, config_.noise);
+      break;
+    }
+  }
+  // Keep iterations meaningfully sized even under heavy noise.
+  factor = std::max(0.2, factor);
+  return config_.base_work * factor;
+}
+
+}  // namespace hars

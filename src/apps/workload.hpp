@@ -1,0 +1,41 @@
+// Workload generators: per-iteration total work for the synthetic
+// benchmark applications. Profiles encode the behaviours the paper's
+// evaluation narrative relies on (stable vs. noisy vs. phased workloads).
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace hars {
+
+enum class WorkloadShape {
+  kStable,  ///< Constant work per iteration (swaptions, blackscholes).
+  kNoisy,   ///< Lognormal-ish jitter around the base (bodytrack).
+  kPhased,  ///< Slow sinusoidal phases plus jitter (fluidanimate, facesim).
+};
+
+struct WorkloadConfig {
+  WorkloadShape shape = WorkloadShape::kStable;
+  WorkUnits base_work = 1.0;   ///< Mean total work per iteration.
+  double noise = 0.0;          ///< Relative stddev of the jitter.
+  double phase_amplitude = 0.0;///< Relative amplitude of the phase swing.
+  int phase_period = 100;      ///< Iterations per full phase cycle.
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, Rng rng);
+
+  /// Total work of iteration `index` (deterministic in seed + index order).
+  WorkUnits next(std::int64_t index);
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  Rng rng_;
+};
+
+}  // namespace hars

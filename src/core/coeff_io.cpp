@@ -1,0 +1,77 @@
+#include "core/coeff_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hars {
+
+namespace {
+
+void write_cluster(std::ofstream& out, const char* name,
+                   const ClusterPowerCoeffs& coeffs) {
+  for (std::size_t level = 0; level < coeffs.alpha.size(); ++level) {
+    out << name << ',' << level << ',' << coeffs.alpha[level] << ','
+        << coeffs.beta[level] << ','
+        << (level < coeffs.r_squared.size() ? coeffs.r_squared[level] : 0.0)
+        << '\n';
+  }
+}
+
+}  // namespace
+
+bool save_power_coeffs(const std::string& path, const PowerCoeffTable& table) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << "cluster,level,alpha,beta,r_squared\n";
+  write_cluster(out, "big", table.big);
+  write_cluster(out, "little", table.little);
+  return out.good();
+}
+
+std::optional<PowerCoeffTable> load_power_coeffs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;  // Header.
+
+  PowerCoeffTable table;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cluster;
+    std::string field;
+    if (!std::getline(row, cluster, ',')) return std::nullopt;
+    std::size_t level = 0;
+    double alpha = 0.0;
+    double beta = 0.0;
+    double r2 = 0.0;
+    try {
+      if (!std::getline(row, field, ',')) return std::nullopt;
+      level = static_cast<std::size_t>(std::stoul(field));
+      if (!std::getline(row, field, ',')) return std::nullopt;
+      alpha = std::stod(field);
+      if (!std::getline(row, field, ',')) return std::nullopt;
+      beta = std::stod(field);
+      if (!std::getline(row, field, ',')) return std::nullopt;
+      r2 = std::stod(field);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    ClusterPowerCoeffs* coeffs = nullptr;
+    if (cluster == "big") {
+      coeffs = &table.big;
+    } else if (cluster == "little") {
+      coeffs = &table.little;
+    } else {
+      return std::nullopt;
+    }
+    if (level != coeffs->alpha.size()) return std::nullopt;  // Must be dense.
+    coeffs->alpha.push_back(alpha);
+    coeffs->beta.push_back(beta);
+    coeffs->r_squared.push_back(r2);
+  }
+  if (table.big.alpha.empty() || table.little.alpha.empty()) return std::nullopt;
+  return table;
+}
+
+}  // namespace hars

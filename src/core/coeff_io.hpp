@@ -1,0 +1,24 @@
+// Persistence for the profiled power-model coefficients.
+//
+// On a real board the profiling campaign (§3.1.2's microbenchmark sweep)
+// takes minutes of wall time; a deployed runtime profiles once per device
+// and reloads the coefficient tables afterwards. Format is plain CSV:
+//   cluster,level,alpha,beta,r_squared
+// with cluster in {big, little} and levels in ascending order.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/power_profiler.hpp"
+
+namespace hars {
+
+/// Writes the table; returns false on I/O failure.
+bool save_power_coeffs(const std::string& path, const PowerCoeffTable& table);
+
+/// Reads a table previously written by save_power_coeffs. Returns nullopt
+/// on I/O failure, malformed rows, or missing levels.
+std::optional<PowerCoeffTable> load_power_coeffs(const std::string& path);
+
+}  // namespace hars

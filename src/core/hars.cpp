@@ -1,0 +1,47 @@
+#include "core/hars.hpp"
+
+namespace hars {
+
+const char* hars_variant_name(HarsVariant variant) {
+  switch (variant) {
+    case HarsVariant::kHarsI: return "HARS-I";
+    case HarsVariant::kHarsE: return "HARS-E";
+    case HarsVariant::kHarsEI: return "HARS-EI";
+  }
+  return "?";
+}
+
+RuntimeManagerConfig config_for_variant(HarsVariant variant) {
+  RuntimeManagerConfig config;
+  switch (variant) {
+    case HarsVariant::kHarsI:
+      config.policy = SearchPolicy::kIncremental;
+      config.scheduler = ThreadSchedulerKind::kChunk;
+      break;
+    case HarsVariant::kHarsE:
+      config.policy = SearchPolicy::kExhaustive;
+      config.scheduler = ThreadSchedulerKind::kChunk;
+      break;
+    case HarsVariant::kHarsEI:
+      config.policy = SearchPolicy::kExhaustive;
+      config.scheduler = ThreadSchedulerKind::kInterleaved;
+      break;
+  }
+  return config;
+}
+
+std::unique_ptr<RuntimeManager> attach_hars(SimEngine& engine, AppId app,
+                                            PerfTarget target,
+                                            HarsVariant variant,
+                                            RuntimeManagerConfig* override_config) {
+  const PowerCoeffTable coeffs =
+      profile_power(engine.machine(), engine.power_model());
+  const RuntimeManagerConfig config =
+      override_config != nullptr ? *override_config : config_for_variant(variant);
+  auto manager = std::make_unique<RuntimeManager>(engine, app, target,
+                                                  coeffs, config);
+  engine.set_manager(manager.get());
+  return manager;
+}
+
+}  // namespace hars

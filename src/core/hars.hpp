@@ -1,0 +1,33 @@
+// Facade: the evaluated HARS variants (thesis §5.1.1) and a convenience
+// constructor that wires an application, the profiled power models and a
+// runtime manager onto a simulation engine.
+//
+//   HARS-I  - incremental search (m/n/d = 1 toward the needed direction),
+//             chunk-based scheduler;
+//   HARS-E  - exhaustive search (m = n = 4, d = 7), chunk-based scheduler;
+//   HARS-EI - exhaustive search with the interleaving scheduler.
+#pragma once
+
+#include <memory>
+
+#include "core/power_profiler.hpp"
+#include "core/runtime_manager.hpp"
+
+namespace hars {
+
+enum class HarsVariant { kHarsI, kHarsE, kHarsEI };
+
+const char* hars_variant_name(HarsVariant variant);
+
+/// The manager configuration the paper uses for each variant.
+RuntimeManagerConfig config_for_variant(HarsVariant variant);
+
+/// Profiles the engine's platform and attaches a RuntimeManager for `app`.
+/// The returned manager is installed as the engine's manager hook.
+std::unique_ptr<RuntimeManager> attach_hars(SimEngine& engine, AppId app,
+                                            PerfTarget target,
+                                            HarsVariant variant,
+                                            RuntimeManagerConfig* override_config
+                                            = nullptr);
+
+}  // namespace hars

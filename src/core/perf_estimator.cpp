@@ -1,0 +1,57 @@
+#include "core/perf_estimator.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace hars {
+
+PerfEstimator::PerfEstimator(const Machine& machine, double r0, double f0_ghz)
+    : machine_(&machine), r0_(r0), f0_ghz_(f0_ghz) {}
+
+double PerfEstimator::big_speed(const SystemState& s) const {
+  const double f = machine_->freq_ghz_at_level(machine_->big_cluster(), s.big_freq);
+  return r0_ * f / f0_ghz_;  // S_B,f0 = r0, S_L,f0 = 1.
+}
+
+double PerfEstimator::little_speed(const SystemState& s) const {
+  const double f =
+      machine_->freq_ghz_at_level(machine_->little_cluster(), s.little_freq);
+  return 1.0 * f / f0_ghz_;
+}
+
+double PerfEstimator::ratio(const SystemState& s) const {
+  return big_speed(s) / little_speed(s);
+}
+
+ThreadAssignment PerfEstimator::assignment(const SystemState& s, int t) const {
+  if (s.big_cores + s.little_cores < 1 || t <= 0) return {};
+  return assign_threads(t, s.big_cores, s.little_cores, ratio(s));
+}
+
+double PerfEstimator::unit_time(const SystemState& s, int t) const {
+  if (t <= 0) return 0.0;
+  if (s.big_cores + s.little_cores < 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const ThreadAssignment a = assignment(s, t);
+  return unit_completion_time(a, t, /*total_work=*/t, s.big_cores,
+                              s.little_cores, big_speed(s), little_speed(s));
+}
+
+double PerfEstimator::estimate_rate(const SystemState& candidate,
+                                    const SystemState& current,
+                                    double current_rate, int t) const {
+  const double t_cur = unit_time(current, t);
+  const double t_cand = unit_time(candidate, t);
+  if (!std::isfinite(t_cand) || t_cand <= 0.0) return 0.0;
+  if (!std::isfinite(t_cur) || t_cur <= 0.0) return 0.0;
+  return current_rate * t_cur / t_cand;
+}
+
+ClusterUtilization PerfEstimator::utilization(const SystemState& s, int t) const {
+  const ThreadAssignment a = assignment(s, t);
+  return estimate_utilization(a, t, s.big_cores, s.little_cores, big_speed(s),
+                              little_speed(s));
+}
+
+}  // namespace hars

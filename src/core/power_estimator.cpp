@@ -1,0 +1,37 @@
+#include "core/power_estimator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hars {
+
+PowerEstimator::PowerEstimator(PowerCoeffTable coeffs)
+    : coeffs_(std::move(coeffs)) {}
+
+namespace {
+double eval(const ClusterPowerCoeffs& c, int level, double cores_times_util) {
+  const int clamped =
+      std::clamp(level, 0, static_cast<int>(c.alpha.size()) - 1);
+  const auto i = static_cast<std::size_t>(clamped);
+  return c.alpha[i] * cores_times_util + c.beta[i];
+}
+}  // namespace
+
+double PowerEstimator::big_power(const SystemState& s, int cb_used,
+                                 double util) const {
+  return eval(coeffs_.big, s.big_freq, cb_used * util);
+}
+
+double PowerEstimator::little_power(const SystemState& s, int cl_used,
+                                    double util) const {
+  return eval(coeffs_.little, s.little_freq, cl_used * util);
+}
+
+double PowerEstimator::estimate(const SystemState& s, int t,
+                                const PerfEstimator& perf) const {
+  const ThreadAssignment a = perf.assignment(s, t);
+  const ClusterUtilization u = perf.utilization(s, t);
+  return big_power(s, a.cb_used, u.big) + little_power(s, a.cl_used, u.little);
+}
+
+}  // namespace hars

@@ -1,0 +1,35 @@
+// Power estimator (thesis §3.1.2, Eq. 3.1 / 3.2):
+//
+//   P_B = alpha_B,fB * C_B,U * U_B,U + beta_B,fB
+//   P_L = alpha_L,fL * C_L,U * U_L,U + beta_L,fL
+//
+// with the coefficients taken from the profiled linear-regression tables
+// and (C_*,U, U_*,U) from the performance estimator's thread assignment.
+#pragma once
+
+#include "core/perf_estimator.hpp"
+#include "core/power_profiler.hpp"
+#include "core/system_state.hpp"
+
+namespace hars {
+
+class PowerEstimator {
+ public:
+  explicit PowerEstimator(PowerCoeffTable coeffs);
+
+  /// Estimated big-cluster power at the state with the given used-core
+  /// count and utilization.
+  double big_power(const SystemState& s, int cb_used, double util) const;
+  double little_power(const SystemState& s, int cl_used, double util) const;
+
+  /// Total estimated power for `t` application threads at state `s`,
+  /// using `perf` for the assignment and utilization model.
+  double estimate(const SystemState& s, int t, const PerfEstimator& perf) const;
+
+  const PowerCoeffTable& coeffs() const { return coeffs_; }
+
+ private:
+  PowerCoeffTable coeffs_;
+};
+
+}  // namespace hars

@@ -1,0 +1,61 @@
+#include "core/power_profiler.hpp"
+
+#include "util/rng.hpp"
+
+namespace hars {
+
+namespace {
+
+ClusterPowerCoeffs profile_cluster(const Machine& machine,
+                                   const PowerModel& model, ClusterId cluster,
+                                   const ProfilerConfig& config, Rng& rng) {
+  ClusterPowerCoeffs coeffs;
+  const int levels = machine.num_freq_levels(cluster);
+  const int cores = machine.cluster_core_count(cluster);
+  // The microbenchmark owns the machine while profiling; we emulate its
+  // frequency control on a scratch copy so the caller's machine state is
+  // untouched.
+  Machine scratch = machine;
+  std::vector<PowerParams> params;
+  params.reserve(static_cast<std::size_t>(machine.num_clusters()));
+  for (int c = 0; c < machine.num_clusters(); ++c) params.push_back(model.params(c));
+  for (int level = 0; level < levels; ++level) {
+    scratch.set_freq_level(cluster, level);
+    PowerModel scratch_model(scratch, params);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int c = 1; c <= cores; ++c) {
+      for (int u = 1; u <= config.utilization_steps; ++u) {
+        const double util =
+            static_cast<double>(u) / static_cast<double>(config.utilization_steps);
+        const double busy_sum = c * util;
+        for (int rep = 0; rep < config.repeats; ++rep) {
+          const double truth = scratch_model.cluster_power(cluster, busy_sum);
+          const double measured =
+              truth * (1.0 + rng.normal(0.0, config.sensor_noise));
+          xs.push_back(busy_sum);
+          ys.push_back(measured);
+        }
+      }
+    }
+    const RegressionFit fit = fit_linear_1d(xs, ys);
+    coeffs.alpha.push_back(fit.coeffs.empty() ? 0.0 : fit.coeffs.front());
+    coeffs.beta.push_back(fit.intercept);
+    coeffs.r_squared.push_back(fit.r_squared);
+  }
+  return coeffs;
+}
+
+}  // namespace
+
+PowerCoeffTable profile_power(const Machine& machine, const PowerModel& model,
+                              const ProfilerConfig& config) {
+  Rng rng(config.seed);
+  PowerCoeffTable table;
+  table.big = profile_cluster(machine, model, machine.big_cluster(), config, rng);
+  table.little =
+      profile_cluster(machine, model, machine.little_cluster(), config, rng);
+  return table;
+}
+
+}  // namespace hars

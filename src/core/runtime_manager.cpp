@@ -1,0 +1,115 @@
+#include "core/runtime_manager.hpp"
+
+#include <cmath>
+
+namespace hars {
+
+RuntimeManager::RuntimeManager(SimEngine& engine, AppId app, PerfTarget target,
+                               PowerCoeffTable coeffs,
+                               RuntimeManagerConfig config)
+    : engine_(engine),
+      app_(app),
+      perf_est_(engine.machine(), config.r0),
+      power_est_(std::move(coeffs)),
+      config_(config),
+      space_(StateSpace::from_machine(engine.machine())),
+      predictor_(make_predictor(config.predictor)) {
+  if (config_.learn_ratio) {
+    RatioLearnerConfig learner_config;
+    learner_config.prior_r0 = config_.r0;
+    ratio_learner_.emplace(engine.machine(), engine_.app(app_).thread_count(),
+                           learner_config);
+  }
+  engine_.app(app_).heartbeats().set_target(target);
+  state_ = config_.start_at_max ? space_.max_state() : SystemState{
+      space_.max_big_cores, space_.max_little_cores, 0, 0};
+  apply_state(state_);
+}
+
+CpuMask RuntimeManager::big_set(const SystemState& s) const {
+  const Machine& m = engine_.machine();
+  const CoreId first = m.big_mask().first();
+  return CpuMask::range(first, s.big_cores);
+}
+
+CpuMask RuntimeManager::little_set(const SystemState& s) const {
+  const Machine& m = engine_.machine();
+  const CoreId first = m.little_mask().first();
+  return CpuMask::range(first, s.little_cores);
+}
+
+void RuntimeManager::apply_state(const SystemState& state) {
+  state_ = state;
+  Machine& m = engine_.machine();
+  m.set_freq_level(m.big_cluster(), state.big_freq);
+  m.set_freq_level(m.little_cluster(), state.little_freq);
+  const int t = engine_.app(app_).thread_count();
+  const ThreadAssignment a = perf_est_.assignment(state, t);
+  apply_thread_schedule(engine_, app_, config_.scheduler, a, big_set(state),
+                        little_set(state));
+}
+
+TimeUs RuntimeManager::on_tick(TimeUs now) {
+  if (now < next_poll_) return 0;
+  next_poll_ = now + config_.poll_period_us;
+  TimeUs cost = config_.poll_cost_us;
+
+  const HeartbeatMonitor& hb = engine_.app(app_).heartbeats();
+  const std::int64_t idx = hb.last_index();
+  if (idx < 0 || idx == last_seen_hb_) return cost;
+  last_seen_hb_ = idx;
+
+  const double measured_rate = hb.rate();
+  const double rate = predictor_->observe(measured_rate);
+  if (ratio_learner_ && measured_rate > 0.0 &&
+      (last_change_hb_ < 0 || idx - last_change_hb_ >= config_.settle_beats)) {
+    // Only settled rates are attributable to the current state.
+    ratio_learner_->observe(state_, measured_rate);
+    perf_est_.set_r0(ratio_learner_->estimate());
+  }
+  const Machine& m = engine_.machine();
+  trace_.push_back(TracePoint{
+      idx, measured_rate, state_.big_cores, state_.little_cores,
+      m.freq_ghz_at_level(m.big_cluster(), state_.big_freq),
+      m.freq_ghz_at_level(m.little_cluster(), state_.little_freq)});
+
+  if (idx % config_.adapt_period != 0) return cost;  // isAdaptPeriod
+  if (rate <= 0.0) return cost;  // Not enough beats for a windowed rate yet.
+  if (last_change_hb_ >= 0 && idx - last_change_hb_ < config_.settle_beats) {
+    return cost;  // Window still mixes pre-change rates.
+  }
+
+  const PerfTarget& target = hb.target();
+  if (std::abs(rate - target.avg()) <= 0.5 * (target.max - target.min)) {
+    return cost;  // Inside the window: nothing to do.
+  }
+
+  const bool overperforming = rate > target.avg();
+  const int threads = engine_.app(app_).thread_count();
+  SearchResult result;
+  if (config_.policy == SearchPolicy::kTabu) {
+    result = tabu_get_next_sys_state(rate, state_, target, config_.tabu,
+                                     space_, perf_est_, power_est_, threads);
+  } else {
+    const SearchParams params =
+        params_for_policy(config_.policy, overperforming,
+                          config_.exhaustive_window, config_.exhaustive_d);
+    result = get_next_sys_state(rate, state_, target, params, space_,
+                                perf_est_, power_est_, threads);
+  }
+  cost += config_.adapt_fixed_cost_us +
+          config_.cost_per_candidate_us * result.candidates;
+  if (result.moved) {
+    const double t_old = perf_est_.unit_time(state_, threads);
+    const double t_new = perf_est_.unit_time(result.state, threads);
+    apply_state(result.state);
+    ++adaptations_;
+    last_change_hb_ = idx;
+    if (t_new > 0.0 && std::isfinite(t_old) && std::isfinite(t_new)) {
+      predictor_->on_state_change(t_old / t_new);
+    }
+  }
+  return cost;
+}
+
+}  // namespace hars

@@ -1,0 +1,114 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hars {
+
+double normalized_perf(double rate, const PerfTarget& target) {
+  const double g = target.avg();
+  if (g <= 0.0) return 0.0;
+  return std::min(g, rate) / g;
+}
+
+const char* search_policy_name(SearchPolicy policy) {
+  switch (policy) {
+    case SearchPolicy::kIncremental: return "incremental";
+    case SearchPolicy::kExhaustive: return "exhaustive";
+    case SearchPolicy::kTabu: return "tabu";
+  }
+  return "?";
+}
+
+SearchParams params_for_policy(SearchPolicy policy, bool overperforming,
+                               int exhaustive_window, int exhaustive_d) {
+  if (policy != SearchPolicy::kIncremental) {
+    return SearchParams{exhaustive_window, exhaustive_window, exhaustive_d};
+  }
+  // HARS-I: step one component down when overperforming, up otherwise.
+  return overperforming ? SearchParams{1, 0, 1} : SearchParams{0, 1, 1};
+}
+
+SearchResult get_next_sys_state(double hb_rate, const SystemState& current,
+                                const PerfTarget& target,
+                                const SearchParams& params,
+                                const StateSpace& space,
+                                const PerfEstimator& perf_est,
+                                const PowerEstimator& power_est, int threads,
+                                const CandidateFilter& filter) {
+  struct Best {
+    SystemState state;
+    double perf = -1.0;
+    double power = 0.0;
+    double pp = -1.0;
+    bool set = false;
+  };
+  Best ns;
+
+  auto evaluate = [&](const SystemState& s, double& perf_out, double& power_out,
+                      double& pp_out) {
+    perf_out = perf_est.estimate_rate(s, current, hb_rate, threads);
+    power_out = power_est.estimate(s, threads, perf_est);
+    const double norm = normalized_perf(perf_out, target);
+    pp_out = power_out > 0.0 ? norm / power_out : 0.0;
+  };
+
+  auto consider = [&](const SystemState& s, double perf, double power, double pp) {
+    // Selection rules of Algorithm 2, lines 13-22.
+    if (perf >= target.min) {
+      if (ns.set && ns.perf >= target.min) {
+        if (pp > ns.pp) ns = Best{s, perf, power, pp, true};
+      } else {
+        ns = Best{s, perf, power, pp, true};
+      }
+    } else {
+      if (!ns.set || ns.perf < target.min) {
+        if (!ns.set || perf > ns.perf) ns = Best{s, perf, power, pp, true};
+      }
+    }
+  };
+
+  SearchResult result;
+  for (int i = current.big_cores - params.m; i <= current.big_cores + params.n;
+       ++i) {
+    for (int j = current.little_cores - params.m;
+         j <= current.little_cores + params.n; ++j) {
+      for (int k = current.big_freq - params.m; k <= current.big_freq + params.n;
+           ++k) {
+        for (int l = current.little_freq - params.m;
+             l <= current.little_freq + params.n; ++l) {
+          const SystemState cand{i, j, k, l};
+          if (!space.valid(cand)) continue;
+          if (manhattan_distance(cand, current) > params.d) continue;
+          if (cand == current) continue;  // getBetterState handles it below.
+          if (filter && !filter(cand)) continue;
+          double perf = 0.0;
+          double power = 0.0;
+          double pp = 0.0;
+          evaluate(cand, perf, power, pp);
+          ++result.candidates;
+          consider(cand, perf, power, pp);
+        }
+      }
+    }
+  }
+
+  // getBetterState: the current state competes under the same criteria.
+  {
+    double perf = 0.0;
+    double power = 0.0;
+    double pp = 0.0;
+    evaluate(current, perf, power, pp);
+    ++result.candidates;
+    consider(current, perf, power, pp);
+  }
+
+  result.state = ns.set ? ns.state : current;
+  result.est_perf = ns.perf;
+  result.est_power = ns.power;
+  result.est_pp = ns.pp;
+  result.moved = !(result.state == current);
+  return result;
+}
+
+}  // namespace hars

@@ -1,0 +1,46 @@
+#include "core/system_state.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hars {
+
+std::string SystemState::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(CB=%d CL=%d fB=%d fL=%d)", big_cores,
+                little_cores, big_freq, little_freq);
+  return buf;
+}
+
+int manhattan_distance(const SystemState& a, const SystemState& b) {
+  return std::abs(a.big_cores - b.big_cores) +
+         std::abs(a.little_cores - b.little_cores) +
+         std::abs(a.big_freq - b.big_freq) +
+         std::abs(a.little_freq - b.little_freq);
+}
+
+StateSpace StateSpace::from_machine(const Machine& machine) {
+  StateSpace space;
+  space.max_big_cores = machine.cluster_core_count(machine.big_cluster());
+  space.max_little_cores = machine.cluster_core_count(machine.little_cluster());
+  space.num_big_freqs = machine.num_freq_levels(machine.big_cluster());
+  space.num_little_freqs = machine.num_freq_levels(machine.little_cluster());
+  return space;
+}
+
+bool StateSpace::valid(const SystemState& s) const {
+  if (s.big_cores < min_big_cores || s.big_cores > max_big_cores) return false;
+  if (s.little_cores < min_little_cores || s.little_cores > max_little_cores)
+    return false;
+  if (s.big_freq < min_big_freq || s.big_freq >= num_big_freqs) return false;
+  if (s.little_freq < min_little_freq || s.little_freq >= num_little_freqs)
+    return false;
+  return s.big_cores + s.little_cores >= 1;
+}
+
+SystemState StateSpace::max_state() const {
+  return SystemState{max_big_cores, max_little_cores, num_big_freqs - 1,
+                     num_little_freqs - 1};
+}
+
+}  // namespace hars

@@ -1,0 +1,51 @@
+// The system state HARS controls (thesis §3.1): the number of big and
+// little cores allocated to the application and the DVFS level of each
+// cluster. The search function (Algorithm 2) walks this 4-dimensional
+// space under a Manhattan-distance budget.
+#pragma once
+
+#include <string>
+
+#include "hmp/machine.hpp"
+
+namespace hars {
+
+struct SystemState {
+  int big_cores = 0;      ///< C_B: big cores allocated to the app.
+  int little_cores = 0;   ///< C_L: little cores allocated to the app.
+  int big_freq = 0;       ///< f_B as a DVFS *level* index (ascending).
+  int little_freq = 0;    ///< f_L as a DVFS level index.
+
+  friend bool operator==(const SystemState&, const SystemState&) = default;
+
+  std::string to_string() const;
+};
+
+/// Manhattan distance in the 4-D state space (Algorithm 2's getDistance).
+int manhattan_distance(const SystemState& a, const SystemState& b);
+
+/// Inclusive bounds of the explorable space. For single-application HARS
+/// these are the machine limits; MP-HARS narrows the core bounds to
+/// "own cores + free cores" (§4.1.2).
+struct StateSpace {
+  int max_big_cores = 4;
+  int max_little_cores = 4;
+  int min_big_cores = 0;
+  int min_little_cores = 0;
+  int num_big_freqs = 9;
+  int num_little_freqs = 6;
+  int min_big_freq = 0;
+  int min_little_freq = 0;
+
+  /// Machine-wide space for a two-cluster big.LITTLE machine.
+  static StateSpace from_machine(const Machine& machine);
+
+  /// A state is valid when inside all bounds and at least one core is
+  /// allocated (an app cannot run on zero cores).
+  bool valid(const SystemState& s) const;
+
+  /// The maximum state: all cores, top frequencies.
+  SystemState max_state() const;
+};
+
+}  // namespace hars

@@ -1,0 +1,108 @@
+#include "core/tabu_search.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace hars {
+
+namespace {
+
+struct Scored {
+  SystemState state;
+  double perf = 0.0;
+  double power = 0.0;
+  double pp = -1.0;
+  bool satisfies = false;
+};
+
+/// Algorithm-2-compatible "is a better than b" ordering: target
+/// satisfaction first, then normalized-perf/power, then raw perf.
+bool better(const Scored& a, const Scored& b) {
+  if (a.satisfies != b.satisfies) return a.satisfies;
+  if (a.satisfies) return a.pp > b.pp;
+  return a.perf > b.perf;
+}
+
+}  // namespace
+
+SearchResult tabu_get_next_sys_state(double hb_rate, const SystemState& current,
+                                     const PerfTarget& target,
+                                     const TabuParams& params,
+                                     const StateSpace& space,
+                                     const PerfEstimator& perf_est,
+                                     const PowerEstimator& power_est,
+                                     int threads, const CandidateFilter& filter) {
+  SearchResult result;
+
+  auto score = [&](const SystemState& s) {
+    Scored scored;
+    scored.state = s;
+    scored.perf = perf_est.estimate_rate(s, current, hb_rate, threads);
+    scored.power = power_est.estimate(s, threads, perf_est);
+    scored.pp = scored.power > 0.0
+                    ? normalized_perf(scored.perf, target) / scored.power
+                    : 0.0;
+    scored.satisfies = scored.perf >= target.min;
+    ++result.candidates;
+    return scored;
+  };
+
+  std::deque<SystemState> tabu;
+  auto is_tabu = [&](const SystemState& s) {
+    return std::find(tabu.begin(), tabu.end(), s) != tabu.end();
+  };
+  auto push_tabu = [&](const SystemState& s) {
+    tabu.push_back(s);
+    while (static_cast<int>(tabu.size()) > params.tenure) tabu.pop_front();
+  };
+
+  Scored here = score(current);
+  Scored best = here;
+  push_tabu(current);
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    // Enumerate the +/-step neighbourhood of the trajectory head.
+    Scored best_move;
+    bool found = false;
+    for (int di = -params.step; di <= params.step; ++di) {
+      for (int dj = -params.step; dj <= params.step; ++dj) {
+        for (int dk = -params.step; dk <= params.step; ++dk) {
+          for (int dl = -params.step; dl <= params.step; ++dl) {
+            if (di == 0 && dj == 0 && dk == 0 && dl == 0) continue;
+            if (std::abs(di) + std::abs(dj) + std::abs(dk) + std::abs(dl) >
+                params.step) {
+              continue;
+            }
+            const SystemState cand{here.state.big_cores + di,
+                                   here.state.little_cores + dj,
+                                   here.state.big_freq + dk,
+                                   here.state.little_freq + dl};
+            if (!space.valid(cand)) continue;
+            if (filter && !filter(cand)) continue;
+            const Scored scored = score(cand);
+            // Tabu unless it aspires (beats the global best).
+            if (is_tabu(cand) && !better(scored, best)) continue;
+            if (!found || better(scored, best_move)) {
+              best_move = scored;
+              found = true;
+            }
+          }
+        }
+      }
+    }
+    if (!found) break;  // Entire neighbourhood tabu: stop the trajectory.
+    here = best_move;   // Move even if worse than the current head.
+    push_tabu(here.state);
+    if (better(here, best)) best = here;
+  }
+
+  result.state = best.state;
+  result.est_perf = best.perf;
+  result.est_power = best.power;
+  result.est_pp = best.pp;
+  result.moved = !(best.state == current);
+  return result;
+}
+
+}  // namespace hars

@@ -1,0 +1,112 @@
+#include "core/thread_assignment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace hars {
+
+namespace {
+
+// Table 3.1 with the "fast" cluster first: cf cores at relative speed
+// r >= 1, cs cores at speed 1. Returns {threads_fast, threads_slow,
+// used_fast, used_slow}.
+struct FastSlow {
+  int tf = 0, ts = 0, cf_used = 0, cs_used = 0;
+};
+
+FastSlow assign_fast_slow(int t, int cf, int cs, double r) {
+  assert(r >= 1.0);
+  FastSlow out;
+  if (t <= 0) return out;
+  if (cf == 0) {  // Degenerate: only the slow cluster exists.
+    out.ts = t;
+    out.cs_used = std::min(t, cs);
+    return out;
+  }
+  const double rcf = r * cf;
+  if (t <= cf) {
+    // Row 1: one fast core per thread.
+    out.tf = t;
+    out.cf_used = t;
+  } else if (static_cast<double>(t) <= rcf || cs == 0) {
+    // Row 2: time-sharing the fast cluster still beats the slow one.
+    out.tf = t;
+    out.cf_used = cf;
+  } else if (static_cast<double>(t) <= rcf + cs) {
+    // Row 3: fill the fast cluster to its break-even thread count, put the
+    // remainder on dedicated slow cores.
+    out.tf = static_cast<int>(std::floor(rcf));
+    out.ts = t - out.tf;
+    out.cf_used = cf;
+    out.cs_used = out.ts;
+  } else {
+    // Row 4: both clusters saturated; split in proportion to capacity.
+    out.tf = static_cast<int>(std::ceil(rcf / (rcf + cs) * t));
+    out.ts = t - out.tf;
+    out.cf_used = cf;
+    out.cs_used = cs;
+  }
+  return out;
+}
+
+}  // namespace
+
+ThreadAssignment assign_threads(int t, int cb, int cl, double r) {
+  assert(r > 0.0);
+  ThreadAssignment a;
+  if (t <= 0) return a;
+  assert(cb + cl >= 1);
+  if (r >= 1.0) {
+    const FastSlow fs = assign_fast_slow(t, cb, cl, r);
+    a.tb = fs.tf;
+    a.tl = fs.ts;
+    a.cb_used = fs.cf_used;
+    a.cl_used = fs.cs_used;
+  } else {
+    // Little is the faster cluster; mirror the table with r' = 1/r.
+    const FastSlow fs = assign_fast_slow(t, cl, cb, 1.0 / r);
+    a.tl = fs.tf;
+    a.tb = fs.ts;
+    a.cl_used = fs.cf_used;
+    a.cb_used = fs.cs_used;
+  }
+  return a;
+}
+
+double unit_completion_time(const ThreadAssignment& a, int t, double total_work,
+                            int cb, int cl, double sb, double sl) {
+  if (t <= 0) return 0.0;
+  const double w = total_work / t;  // Equal per-thread share.
+  double tb = 0.0;
+  double tl = 0.0;
+  if (a.tb > 0) {
+    if (cb <= 0 || sb <= 0.0) return std::numeric_limits<double>::infinity();
+    tb = a.tb <= cb ? w / sb : a.tb * w / (cb * sb);
+  }
+  if (a.tl > 0) {
+    if (cl <= 0 || sl <= 0.0) return std::numeric_limits<double>::infinity();
+    tl = a.tl <= cl ? w / sl : a.tl * w / (cl * sl);
+  }
+  return std::max(tb, tl);
+}
+
+ClusterUtilization estimate_utilization(const ThreadAssignment& a, int t,
+                                        int cb, int cl, double sb, double sl) {
+  ClusterUtilization u;
+  const double tf = unit_completion_time(a, t, /*total_work=*/t, cb, cl, sb, sl);
+  if (tf <= 0.0 || !std::isfinite(tf)) return u;
+  const double w = 1.0;  // total_work = t => per-thread share 1.
+  if (a.tb > 0 && cb > 0 && sb > 0.0) {
+    const double tb = a.tb <= cb ? w / sb : a.tb * w / (cb * sb);
+    u.big = tb / tf;
+  }
+  if (a.tl > 0 && cl > 0 && sl > 0.0) {
+    const double tl = a.tl <= cl ? w / sl : a.tl * w / (cl * sl);
+    u.little = tl / tf;
+  }
+  return u;
+}
+
+}  // namespace hars

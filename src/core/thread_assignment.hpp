@@ -1,0 +1,41 @@
+// Table 3.1: thread assignment to the big and little clusters.
+//
+// Given T threads of equal work, C_B big cores at per-core speed S_B and
+// C_L little cores at speed S_L (ratio r = S_B / S_L), choose how many
+// threads run on each cluster (T_B + T_L = T) so that the unit completion
+// time t_f = max(t_B, t_L) is minimized. The paper derives the table for
+// r >= 1; the r < 1 case is the mirror image (swap the roles of the
+// clusters), which we implement symmetrically.
+#pragma once
+
+namespace hars {
+
+struct ThreadAssignment {
+  int tb = 0;       ///< Threads placed on the big cluster (T_B).
+  int tl = 0;       ///< Threads placed on the little cluster (T_L).
+  int cb_used = 0;  ///< Big cores actually used (C_B,U <= C_B).
+  int cl_used = 0;  ///< Little cores actually used (C_L,U <= C_L).
+};
+
+/// Applies Table 3.1. `r` must be positive. Handles the degenerate
+/// C_B = 0 / C_L = 0 cases by packing all threads onto the available
+/// cluster. Requires T >= 0 and C_B + C_L >= 1 when T > 0.
+ThreadAssignment assign_threads(int t, int cb, int cl, double r);
+
+/// Completion time of one unit of total work W distributed equally over T
+/// threads under the given assignment and per-core speeds:
+///   t_B = (T_B/T * W) / (min-needed big capacity), etc.; t_f = max(t_B, t_L).
+/// Returns +inf when the assignment cannot run (no cores for its threads).
+double unit_completion_time(const ThreadAssignment& a, int t, double total_work,
+                            int cb, int cl, double sb, double sl);
+
+/// Cluster utilizations of the *used* cores implied by the assignment:
+/// U_B,U = t_B / t_f and U_L,U = t_L / t_f (paper §3.1.2).
+struct ClusterUtilization {
+  double big = 0.0;
+  double little = 0.0;
+};
+ClusterUtilization estimate_utilization(const ThreadAssignment& a, int t,
+                                        int cb, int cl, double sb, double sl);
+
+}  // namespace hars

@@ -1,0 +1,28 @@
+#include "core/workload_predictor.hpp"
+
+namespace hars {
+
+const char* predictor_kind_name(PredictorKind kind) {
+  return kind == PredictorKind::kKalman ? "kalman" : "last-value";
+}
+
+KalmanRatePredictor::KalmanRatePredictor(double q, double r) : filter_(q, r) {}
+
+double KalmanRatePredictor::observe(double measured_rate) {
+  return filter_.update(measured_rate);
+}
+
+void KalmanRatePredictor::on_state_change(double factor) {
+  if (factor > 0.0) filter_.rescale(factor);
+}
+
+void KalmanRatePredictor::reset() { filter_.reset(); }
+
+std::unique_ptr<RatePredictor> make_predictor(PredictorKind kind) {
+  if (kind == PredictorKind::kKalman) {
+    return std::make_unique<KalmanRatePredictor>();
+  }
+  return std::make_unique<LastValuePredictor>();
+}
+
+}  // namespace hars

@@ -1,0 +1,63 @@
+// Workload / rate prediction for the runtime manager.
+//
+// HARS's baseline model (§3.1.4): the work observed over the last
+// heartbeat period repeats — i.e. the windowed rate measured now is what
+// the current state will keep delivering. The Kalman predictor upgrades
+// this with the filter of Hoffmann et al. [6]: it smooths measurement
+// noise (avoiding adaptation on spurious window jitter) and, when the
+// manager changes the system state, rescales its estimate by the
+// estimator-predicted speedup instead of re-learning from scratch.
+#pragma once
+
+#include <memory>
+
+#include "util/kalman.hpp"
+
+namespace hars {
+
+enum class PredictorKind { kLastValue, kKalman };
+
+const char* predictor_kind_name(PredictorKind kind);
+
+class RatePredictor {
+ public:
+  virtual ~RatePredictor() = default;
+
+  /// Feeds one windowed-rate observation; returns the rate the manager
+  /// should reason about.
+  virtual double observe(double measured_rate) = 0;
+
+  /// Notifies the predictor that the system state changed and the rate is
+  /// expected to scale by `factor` (t_f(old) / t_f(new)).
+  virtual void on_state_change(double factor) = 0;
+
+  virtual void reset() = 0;
+};
+
+/// The paper's default: believe the last measurement.
+class LastValuePredictor final : public RatePredictor {
+ public:
+  double observe(double measured_rate) override { return measured_rate; }
+  void on_state_change(double) override {}
+  void reset() override {}
+};
+
+class KalmanRatePredictor final : public RatePredictor {
+ public:
+  /// `q` and `r` are relative (scaled by the square of the running
+  /// estimate) so one tuning works across heartbeat-rate magnitudes.
+  explicit KalmanRatePredictor(double q = 2e-3, double r = 2e-2);
+
+  double observe(double measured_rate) override;
+  void on_state_change(double factor) override;
+  void reset() override;
+
+  const ScalarKalman& filter() const { return filter_; }
+
+ private:
+  ScalarKalman filter_;
+};
+
+std::unique_ptr<RatePredictor> make_predictor(PredictorKind kind);
+
+}  // namespace hars

@@ -1,0 +1,83 @@
+#include "exp/metrics.hpp"
+
+#include <algorithm>
+
+namespace hars {
+
+namespace {
+
+/// Visits consecutive windowed-rate segments of the history clipped to
+/// [t0, t1], invoking fn(rate, weight_us).
+template <typename Fn>
+void for_each_rate_segment(std::span<const HeartbeatRecord> history, TimeUs t0,
+                           TimeUs t1, std::size_t window, Fn&& fn) {
+  if (history.empty() || t1 <= t0) return;
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    const TimeUs seg_start = std::max(history[i - 1].time, t0);
+    const TimeUs seg_end = std::min(history[i].time, t1);
+    if (seg_end <= seg_start) continue;
+    const std::size_t first = i >= window ? i - window : 0;
+    const TimeUs span = history[i].time - history[first].time;
+    const double rate =
+        span > 0 ? static_cast<double>(i - first) / us_to_sec(span) : 0.0;
+    fn(rate, seg_end - seg_start);
+  }
+  // Tail: extend the final windowed rate to t1.
+  const TimeUs tail_start = std::max(history.back().time, t0);
+  if (t1 > tail_start && history.size() >= 2) {
+    const std::size_t i = history.size() - 1;
+    const std::size_t first = i >= window ? i - window : 0;
+    const TimeUs span = history[i].time - history[first].time;
+    const double rate =
+        span > 0 ? static_cast<double>(i - first) / us_to_sec(span) : 0.0;
+    fn(rate, t1 - tail_start);
+  }
+  // Head before the first heartbeat counts as zero rate.
+  const TimeUs head_end = std::min(history.front().time, t1);
+  if (head_end > t0) fn(0.0, head_end - t0);
+}
+
+}  // namespace
+
+double time_weighted_norm_perf(std::span<const HeartbeatRecord> history,
+                               const PerfTarget& target, TimeUs t0, TimeUs t1,
+                               std::size_t window) {
+  const double g = target.avg();
+  if (g <= 0.0) return 0.0;
+  double weighted = 0.0;
+  double total_w = 0.0;
+  for_each_rate_segment(history, t0, t1, window,
+                        [&](double rate, TimeUs weight) {
+                          weighted += std::min(g, rate) / g *
+                                      static_cast<double>(weight);
+                          total_w += static_cast<double>(weight);
+                        });
+  return total_w > 0.0 ? weighted / total_w : 0.0;
+}
+
+double time_in_window_fraction(std::span<const HeartbeatRecord> history,
+                               const PerfTarget& target, TimeUs t0, TimeUs t1,
+                               std::size_t window) {
+  double inside = 0.0;
+  double total_w = 0.0;
+  for_each_rate_segment(history, t0, t1, window,
+                        [&](double rate, TimeUs weight) {
+                          if (target.contains(rate)) {
+                            inside += static_cast<double>(weight);
+                          }
+                          total_w += static_cast<double>(weight);
+                        });
+  return total_w > 0.0 ? inside / total_w : 0.0;
+}
+
+double average_rate(std::span<const HeartbeatRecord> history, TimeUs t0,
+                    TimeUs t1) {
+  if (t1 <= t0) return 0.0;
+  std::int64_t beats = 0;
+  for (const auto& rec : history) {
+    if (rec.time > t0 && rec.time <= t1) ++beats;
+  }
+  return static_cast<double>(beats) / us_to_sec(t1 - t0);
+}
+
+}  // namespace hars

@@ -1,0 +1,48 @@
+// Experiment metrics.
+//
+// The paper's headline metric is normalized performance per watt, where
+// normalized performance is min(g, h) / g (g = target, h = achieved rate;
+// overperformance earns no credit, §3.1.3). We compute a time-weighted
+// average of the windowed heartbeat rate's normalized performance over the
+// measurement span, and divide by the measured average power.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "heartbeats/heartbeat.hpp"
+#include "util/common.hpp"
+
+namespace hars {
+
+struct RunMetrics {
+  double norm_perf = 0.0;     ///< Time-weighted min(g, rate)/g in [0, 1].
+  double avg_rate_hps = 0.0;  ///< Mean heartbeat rate over the span.
+  double avg_power_w = 0.0;
+  double perf_per_watt = 0.0;  ///< norm_perf / avg_power_w.
+  double manager_cpu_pct = 0.0;
+  std::int64_t heartbeats = 0;
+  double in_window_fraction = 0.0;  ///< Time share with rate inside target.
+  double energy_j = 0.0;            ///< Total energy over the span.
+  /// Energy per heartbeat (J/beat): a throughput-oriented efficiency view
+  /// complementing normalized perf/watt.
+  double energy_per_beat_j = 0.0;
+};
+
+/// Time-weighted normalized performance of a heartbeat history over
+/// [t0, t1], using a sliding `window`-beat rate.
+double time_weighted_norm_perf(std::span<const HeartbeatRecord> history,
+                               const PerfTarget& target, TimeUs t0, TimeUs t1,
+                               std::size_t window = 10);
+
+/// Fraction of [t0, t1] during which the windowed rate is inside the target.
+double time_in_window_fraction(std::span<const HeartbeatRecord> history,
+                               const PerfTarget& target, TimeUs t0, TimeUs t1,
+                               std::size_t window = 10);
+
+/// Mean heartbeat rate over [t0, t1] (beats / span).
+double average_rate(std::span<const HeartbeatRecord> history, TimeUs t0,
+                    TimeUs t1);
+
+}  // namespace hars

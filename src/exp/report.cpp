@@ -1,0 +1,64 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace hars {
+
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+ReportTable::ReportTable(std::string title) : title_(std::move(title)) {}
+
+void ReportTable::set_columns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+}
+
+void ReportTable::add_row(const std::string& label,
+                          const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_value(v));
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::add_text_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+void ReportTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(columns_);
+  for (const auto& row : rows_) grow(row);
+
+  out << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << "  ";
+      out << cells[i];
+      for (std::size_t pad = cells[i].size(); pad < widths[i]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  if (!columns_.empty()) {
+    print_row(columns_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+  out << '\n';
+}
+
+}  // namespace hars

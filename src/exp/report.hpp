@@ -1,0 +1,31 @@
+// ASCII table reporting for the bench binaries: each figure-regenerating
+// bench prints the same rows/series the paper plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hars {
+
+class ReportTable {
+ public:
+  explicit ReportTable(std::string title);
+
+  void set_columns(std::vector<std::string> names);
+  void add_row(const std::string& label, const std::vector<double>& values);
+  void add_text_row(const std::vector<std::string>& cells);
+
+  /// Column-aligned print with a title banner.
+  void print(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats with 3 decimal digits (figures) trimming trailing zeros.
+std::string format_value(double v);
+
+}  // namespace hars

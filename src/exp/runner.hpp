@@ -1,0 +1,81 @@
+// Experiment runner: builds a platform + benchmark + runtime version,
+// executes the measurement protocol and returns metrics/traces. Every
+// figure-regenerating bench binary is a thin loop over these calls.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/parsec.hpp"
+#include "core/hars.hpp"
+#include "exp/calibration.hpp"
+#include "exp/metrics.hpp"
+#include "mphars/mphars_manager.hpp"
+
+namespace hars {
+
+// --- Single-application evaluation (§5.1) ---
+
+enum class SingleVersion { kBaseline, kStaticOptimal, kHarsI, kHarsE, kHarsEI };
+
+const char* single_version_name(SingleVersion version);
+std::vector<SingleVersion> all_single_versions();
+
+struct SingleRunOptions {
+  double target_fraction = 0.50;  ///< Fraction of max achievable rate.
+  TimeUs duration = 120 * kUsPerSec;
+  int threads = 8;
+  std::uint64_t seed = 1;
+  /// Overrides for the HARS variants (distance sweep, ablations); ignored
+  /// by baseline/SO. Negative = use the variant default.
+  int override_window = -1;
+  int override_d = -1;
+  int override_adapt_period = -1;
+  double override_r0 = -1.0;
+  /// Force a scheduler for HARS variants (ablation); -1 = variant default.
+  int override_scheduler = -1;  ///< 0 = chunk, 1 = interleaved, 2 = hierarchical.
+  /// Extensions (ablations): -1 = variant default.
+  int override_predictor = -1;  ///< 0 = last-value, 1 = kalman.
+  int override_policy = -1;     ///< 0 = incremental, 1 = exhaustive, 2 = tabu.
+  bool learn_ratio = false;     ///< Online big:little ratio learning.
+};
+
+struct SingleRunResult {
+  RunMetrics metrics;
+  std::vector<TracePoint> trace;   ///< Empty for baseline / static optimal.
+  SystemState static_state;        ///< Chosen state for kStaticOptimal.
+  PerfTarget target;
+};
+
+SingleRunResult run_single(ParsecBenchmark bench, SingleVersion version,
+                           const SingleRunOptions& options = {});
+
+// --- Multi-application evaluation (§5.2) ---
+
+enum class MultiVersion { kBaseline, kConsI, kMpHarsI, kMpHarsE };
+
+const char* multi_version_name(MultiVersion version);
+std::vector<MultiVersion> all_multi_versions();
+
+struct MultiRunOptions {
+  double target_fraction = 0.50;
+  TimeUs duration = 150 * kUsPerSec;
+  int threads = 8;
+  std::uint64_t seed = 1;
+};
+
+struct MultiRunResult {
+  std::vector<RunMetrics> per_app;         ///< One entry per benchmark.
+  std::vector<std::vector<TracePoint>> traces;
+  std::vector<PerfTarget> targets;
+  double avg_power_w = 0.0;  ///< System power over the whole run.
+};
+
+MultiRunResult run_multi(const std::vector<ParsecBenchmark>& benches,
+                         MultiVersion version,
+                         const MultiRunOptions& options = {});
+
+/// The six two-application cases of Figure 5.4, in order.
+std::vector<std::vector<ParsecBenchmark>> multiapp_cases();
+
+}  // namespace hars

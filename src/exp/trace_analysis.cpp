@@ -1,0 +1,74 @@
+#include "exp/trace_analysis.hpp"
+
+namespace hars {
+
+TraceStats analyze_trace(std::span<const TracePoint> trace,
+                         const PerfTarget& target, int stable_beats) {
+  TraceStats stats;
+  if (trace.empty()) return stats;
+
+  // Settling: first index beginning a run of `stable_beats` in-window points.
+  int run = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (target.contains(trace[i].hps)) {
+      ++run;
+      if (run >= stable_beats) {
+        stats.settle_index = trace[i + 1 - static_cast<std::size_t>(stable_beats)].hb_index;
+        break;
+      }
+    } else {
+      run = 0;
+    }
+  }
+
+  // In-window fraction after the settle point (or over everything).
+  std::size_t start = 0;
+  if (stats.settle_index >= 0) {
+    while (start < trace.size() && trace[start].hb_index < stats.settle_index) {
+      ++start;
+    }
+  }
+  std::size_t inside = 0;
+  for (std::size_t i = start; i < trace.size(); ++i) {
+    if (target.contains(trace[i].hps)) ++inside;
+  }
+  const std::size_t counted = trace.size() - start;
+  stats.in_window_fraction =
+      counted > 0 ? static_cast<double>(inside) / static_cast<double>(counted)
+                  : 0.0;
+
+  // Oscillation: sign changes of the operating-point score delta.
+  auto score = [](const TracePoint& p) {
+    return p.big_cores + p.little_cores + p.big_freq_ghz + p.little_freq_ghz;
+  };
+  int direction = 0;
+  int changes = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double delta = score(trace[i]) - score(trace[i - 1]);
+    if (delta == 0.0) continue;
+    const int dir = delta > 0.0 ? 1 : -1;
+    if (direction != 0 && dir != direction) ++changes;
+    direction = dir;
+  }
+  stats.oscillations_per_100 =
+      100.0 * static_cast<double>(changes) / static_cast<double>(trace.size());
+
+  double bc = 0.0;
+  double lc = 0.0;
+  double bf = 0.0;
+  double lf = 0.0;
+  for (const TracePoint& p : trace) {
+    bc += p.big_cores;
+    lc += p.little_cores;
+    bf += p.big_freq_ghz;
+    lf += p.little_freq_ghz;
+  }
+  const double n = static_cast<double>(trace.size());
+  stats.mean_big_cores = bc / n;
+  stats.mean_little_cores = lc / n;
+  stats.mean_big_freq = bf / n;
+  stats.mean_little_freq = lf / n;
+  return stats;
+}
+
+}  // namespace hars

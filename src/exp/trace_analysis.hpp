@@ -1,0 +1,36 @@
+// Behaviour-trace analysis: quantifies the qualitative claims made about
+// the Figure 5.5-5.7 graphs — how fast a runtime settles into the target
+// window, how much it oscillates afterwards, and how expensive the
+// operating points it visits are.
+#pragma once
+
+#include <span>
+
+#include "core/runtime_manager.hpp"  // TracePoint
+#include "heartbeats/heartbeat.hpp"
+
+namespace hars {
+
+struct TraceStats {
+  /// First heartbeat index from which the rate stays inside the target
+  /// window for at least `stable_beats` consecutive points; -1 if never.
+  std::int64_t settle_index = -1;
+  /// Fraction of trace points (after settling, or overall if never
+  /// settled) inside the target window.
+  double in_window_fraction = 0.0;
+  /// Direction changes of the configured "performance score"
+  /// (C_B + C_L + frequency sum) per 100 points — an oscillation measure.
+  double oscillations_per_100 = 0.0;
+  /// Mean allocated cores and frequencies over the trace.
+  double mean_big_cores = 0.0;
+  double mean_little_cores = 0.0;
+  double mean_big_freq = 0.0;
+  double mean_little_freq = 0.0;
+};
+
+/// Analyzes a behaviour trace against a target window. `stable_beats` is
+/// the consecutive-in-window run length that counts as "settled".
+TraceStats analyze_trace(std::span<const TracePoint> trace,
+                         const PerfTarget& target, int stable_beats = 10);
+
+}  // namespace hars

@@ -1,0 +1,38 @@
+#include "heartbeats/heartbeat.hpp"
+
+namespace hars {
+
+HeartbeatMonitor::HeartbeatMonitor(std::size_t window)
+    : window_(window > 1 ? window : 2) {}
+
+void HeartbeatMonitor::emit(TimeUs now) {
+  HeartbeatRecord rec{next_index_++, now};
+  window_.push(rec);
+  history_.push_back(rec);
+}
+
+TimeUs HeartbeatMonitor::last_time() const {
+  return window_.empty() ? 0 : window_.newest().time;
+}
+
+double HeartbeatMonitor::rate() const {
+  if (window_.size() < 2) return 0.0;
+  const TimeUs span = window_.newest().time - window_.oldest().time;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(window_.size() - 1) / us_to_sec(span);
+}
+
+double HeartbeatMonitor::global_rate(TimeUs now) const {
+  if (history_.empty()) return 0.0;
+  const TimeUs span = now - history_.front().time;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(history_.size() - 1) / us_to_sec(span);
+}
+
+void HeartbeatMonitor::reset() {
+  window_.clear();
+  history_.clear();
+  next_index_ = 0;
+}
+
+}  // namespace hars

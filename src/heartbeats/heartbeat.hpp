@@ -1,0 +1,73 @@
+// Application Heartbeats (Hoffmann et al., ICAC'10) — the monitoring
+// substrate HARS observes applications through. The application emits a
+// heartbeat each time it finishes a unit of work; the runtime reads a
+// windowed heartbeat rate and compares it with a user-specified target
+// window [min, max] (the paper uses target +/- 5%).
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace hars {
+
+/// A performance target window expressed in heartbeats per second.
+struct PerfTarget {
+  double min = 0.0;
+  double max = 0.0;
+
+  double avg() const { return 0.5 * (min + max); }
+  bool contains(double rate) const { return rate >= min && rate <= max; }
+
+  /// Paper convention: `center*(1 - tol)` .. `center*(1 + tol)`.
+  static PerfTarget around(double center, double tolerance = 0.05) {
+    return PerfTarget{center * (1.0 - tolerance), center * (1.0 + tolerance)};
+  }
+};
+
+struct HeartbeatRecord {
+  std::int64_t index = 0;  ///< Monotonic heartbeat number (0-based).
+  TimeUs time = 0;         ///< Emission time.
+};
+
+/// Per-application heartbeat log with windowed rate computation.
+class HeartbeatMonitor {
+ public:
+  /// `window` is the number of most recent heartbeats used for the rate.
+  explicit HeartbeatMonitor(std::size_t window = 10);
+
+  void set_target(PerfTarget target) { target_ = target; }
+  const PerfTarget& target() const { return target_; }
+
+  /// Called by the application when it completes a unit of work.
+  void emit(TimeUs now);
+
+  /// Total heartbeats emitted so far.
+  std::int64_t count() const { return next_index_; }
+
+  /// Index of the most recent heartbeat, or -1 before the first.
+  std::int64_t last_index() const { return next_index_ - 1; }
+
+  TimeUs last_time() const;
+
+  /// Windowed heartbeat rate in heartbeats/second; 0 until two heartbeats
+  /// have been observed.
+  double rate() const;
+
+  /// Rate over the whole run (count / elapsed-since-first).
+  double global_rate(TimeUs now) const;
+
+  /// Full emission history (kept for behaviour traces).
+  const std::vector<HeartbeatRecord>& history() const { return history_; }
+
+  void reset();
+
+ private:
+  PerfTarget target_;
+  RingBuffer<HeartbeatRecord> window_;
+  std::vector<HeartbeatRecord> history_;
+  std::int64_t next_index_ = 0;
+};
+
+}  // namespace hars

@@ -1,0 +1,70 @@
+#include "hmp/cpu_mask.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace hars {
+
+CpuMask CpuMask::range(CoreId first, int count) {
+  assert(first >= 0 && count >= 0 && first + count <= kMaxCpus);
+  if (count == 0) return CpuMask();
+  if (count >= 64) return CpuMask(~0ULL);
+  const std::uint64_t block = ((1ULL << count) - 1) << first;
+  return CpuMask(block);
+}
+
+CpuMask CpuMask::single(CoreId cpu) {
+  assert(cpu >= 0 && cpu < kMaxCpus);
+  return CpuMask(1ULL << cpu);
+}
+
+void CpuMask::set(CoreId cpu) {
+  assert(cpu >= 0 && cpu < kMaxCpus);
+  bits_ |= (1ULL << cpu);
+}
+
+void CpuMask::clear(CoreId cpu) {
+  assert(cpu >= 0 && cpu < kMaxCpus);
+  bits_ &= ~(1ULL << cpu);
+}
+
+bool CpuMask::test(CoreId cpu) const {
+  if (cpu < 0 || cpu >= kMaxCpus) return false;
+  return (bits_ >> cpu) & 1ULL;
+}
+
+int CpuMask::count() const { return std::popcount(bits_); }
+
+CoreId CpuMask::first() const {
+  if (bits_ == 0) return -1;
+  return std::countr_zero(bits_);
+}
+
+CoreId CpuMask::next(CoreId cpu) const {
+  if (cpu + 1 >= kMaxCpus) return -1;
+  const std::uint64_t rest = bits_ >> (cpu + 1);
+  if (rest == 0) return -1;
+  return cpu + 1 + std::countr_zero(rest);
+}
+
+std::string CpuMask::to_string() const {
+  std::string out = "{";
+  bool first_item = true;
+  CoreId c = first();
+  while (c >= 0) {
+    CoreId run_end = c;
+    while (test(run_end + 1)) ++run_end;
+    if (!first_item) out += ',';
+    out += std::to_string(c);
+    if (run_end > c) {
+      out += '-';
+      out += std::to_string(run_end);
+    }
+    first_item = false;
+    c = next(run_end);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace hars

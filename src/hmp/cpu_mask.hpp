@@ -1,0 +1,63 @@
+// CpuMask: a fixed-width CPU affinity set, the simulator's equivalent of
+// cpu_set_t used with sched_setaffinity(2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace hars {
+
+class CpuMask {
+ public:
+  static constexpr int kMaxCpus = 64;
+
+  constexpr CpuMask() = default;
+  constexpr explicit CpuMask(std::uint64_t bits) : bits_(bits) {}
+
+  /// Mask with cpus [first, first+count) set.
+  static CpuMask range(CoreId first, int count);
+
+  /// Mask with a single cpu set.
+  static CpuMask single(CoreId cpu);
+
+  void set(CoreId cpu);
+  void clear(CoreId cpu);
+  bool test(CoreId cpu) const;
+
+  int count() const;
+  bool empty() const { return bits_ == 0; }
+  bool any() const { return bits_ != 0; }
+
+  /// Lowest set cpu, or -1 when empty.
+  CoreId first() const;
+
+  /// Next set cpu strictly greater than `cpu`, or -1.
+  CoreId next(CoreId cpu) const;
+
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  friend constexpr CpuMask operator&(CpuMask a, CpuMask b) {
+    return CpuMask(a.bits_ & b.bits_);
+  }
+  friend constexpr CpuMask operator|(CpuMask a, CpuMask b) {
+    return CpuMask(a.bits_ | b.bits_);
+  }
+  friend constexpr CpuMask operator~(CpuMask a) { return CpuMask(~a.bits_); }
+  friend constexpr bool operator==(CpuMask a, CpuMask b) {
+    return a.bits_ == b.bits_;
+  }
+
+  bool contains(CpuMask other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+
+  /// "{0,1,5-7}"-style rendering for logs and reports.
+  std::string to_string() const;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace hars

@@ -1,0 +1,140 @@
+#include "hmp/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hars {
+
+const char* core_type_name(CoreType type) {
+  return type == CoreType::kBig ? "big" : "little";
+}
+
+Machine::Machine(MachineSpec spec) : spec_(std::move(spec)) {
+  if (spec_.clusters.empty()) {
+    throw std::invalid_argument("Machine requires at least one cluster");
+  }
+  for (int c = 0; c < num_clusters(); ++c) {
+    const ClusterSpec& cs = spec_.clusters[c];
+    if (cs.core_count <= 0) {
+      throw std::invalid_argument("cluster core_count must be positive");
+    }
+    if (cs.freqs_ghz.empty() ||
+        !std::is_sorted(cs.freqs_ghz.begin(), cs.freqs_ghz.end())) {
+      throw std::invalid_argument("cluster frequencies must be ascending");
+    }
+    cluster_first_core_.push_back(num_cores_);
+    for (int i = 0; i < cs.core_count; ++i) {
+      core_cluster_.push_back(c);
+      ++num_cores_;
+    }
+    // Boot at the highest level, like the paper's performance-governor
+    // baseline.
+    freq_level_.push_back(static_cast<int>(cs.freqs_ghz.size()) - 1);
+    if (cs.type == CoreType::kLittle) little_cluster_ = c;
+    if (cs.type == CoreType::kBig) big_cluster_ = c;
+  }
+  if (num_cores_ > CpuMask::kMaxCpus) {
+    throw std::invalid_argument("too many cores for CpuMask");
+  }
+  online_ = CpuMask::range(0, num_cores_);
+}
+
+Machine Machine::exynos5422() {
+  MachineSpec spec;
+  spec.name = "exynos5422";
+  ClusterSpec little;
+  little.type = CoreType::kLittle;
+  little.core_count = 4;
+  little.ipc = 2.0;
+  for (double f = 0.8; f < 1.301; f += 0.1) little.freqs_ghz.push_back(f);
+  ClusterSpec big;
+  big.type = CoreType::kBig;
+  big.core_count = 4;
+  big.ipc = 3.0;
+  for (double f = 0.8; f < 1.601; f += 0.1) big.freqs_ghz.push_back(f);
+  spec.clusters = {little, big};
+  return Machine(std::move(spec));
+}
+
+ClusterId Machine::cluster_of(CoreId core) const {
+  assert(core >= 0 && core < num_cores_);
+  return core_cluster_[static_cast<std::size_t>(core)];
+}
+
+CoreType Machine::core_type(CoreId core) const {
+  return spec_.clusters[static_cast<std::size_t>(cluster_of(core))].type;
+}
+
+CpuMask Machine::cluster_mask(ClusterId cluster) const {
+  assert(cluster >= 0 && cluster < num_clusters());
+  return CpuMask::range(cluster_first_core_[static_cast<std::size_t>(cluster)],
+                        spec_.clusters[static_cast<std::size_t>(cluster)].core_count);
+}
+
+int Machine::cluster_core_count(ClusterId cluster) const {
+  assert(cluster >= 0 && cluster < num_clusters());
+  return spec_.clusters[static_cast<std::size_t>(cluster)].core_count;
+}
+
+int Machine::num_freq_levels(ClusterId cluster) const {
+  return static_cast<int>(
+      spec_.clusters[static_cast<std::size_t>(cluster)].freqs_ghz.size());
+}
+
+double Machine::freq_ghz_at_level(ClusterId cluster, int level) const {
+  const auto& freqs = spec_.clusters[static_cast<std::size_t>(cluster)].freqs_ghz;
+  const int clamped = std::clamp(level, 0, static_cast<int>(freqs.size()) - 1);
+  return freqs[static_cast<std::size_t>(clamped)];
+}
+
+int Machine::freq_level(ClusterId cluster) const {
+  return freq_level_[static_cast<std::size_t>(cluster)];
+}
+
+double Machine::freq_ghz(ClusterId cluster) const {
+  return freq_ghz_at_level(cluster, freq_level(cluster));
+}
+
+double Machine::core_freq_ghz(CoreId core) const {
+  return freq_ghz(cluster_of(core));
+}
+
+void Machine::set_freq_level(ClusterId cluster, int level) {
+  assert(cluster >= 0 && cluster < num_clusters());
+  const int max_level = num_freq_levels(cluster) - 1;
+  freq_level_[static_cast<std::size_t>(cluster)] = std::clamp(level, 0, max_level);
+}
+
+void Machine::set_freq_ghz(ClusterId cluster, double ghz) {
+  const auto& freqs = spec_.clusters[static_cast<std::size_t>(cluster)].freqs_ghz;
+  int best = 0;
+  double best_err = std::abs(freqs[0] - ghz);
+  for (int i = 1; i < static_cast<int>(freqs.size()); ++i) {
+    const double err = std::abs(freqs[static_cast<std::size_t>(i)] - ghz);
+    if (err < best_err) {
+      best = i;
+      best_err = err;
+    }
+  }
+  set_freq_level(cluster, best);
+}
+
+int Machine::max_freq_level(ClusterId cluster) const {
+  return num_freq_levels(cluster) - 1;
+}
+
+void Machine::set_online_mask(CpuMask mask) {
+  // cpu0 can never be offlined on Linux; preserve that invariant.
+  mask.set(0);
+  online_ = mask & all_mask();
+}
+
+double Machine::core_speed(CoreId core) const {
+  const ClusterSpec& cs =
+      spec_.clusters[static_cast<std::size_t>(cluster_of(core))];
+  return cs.ipc * core_freq_ghz(core);
+}
+
+}  // namespace hars

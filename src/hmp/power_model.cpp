@@ -1,0 +1,69 @@
+#include "hmp/power_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace hars {
+
+PowerParams PowerParams::cortex_a15() {
+  PowerParams p;
+  p.c_dyn = 0.30;   // ~1.2 W/core at 1.6 GHz -> ~4.8 W dynamic for 4 cores.
+  p.c_leak = 0.15;  // ~0.24 W at 1.6 GHz.
+  p.c_mem = 0.06;
+  p.k_therm = 0.02;
+  return p;
+}
+
+PowerParams PowerParams::cortex_a7() {
+  PowerParams p;
+  p.c_dyn = 0.10;   // ~0.22 W/core at 1.3 GHz.
+  p.c_leak = 0.05;
+  p.c_mem = 0.03;
+  p.k_therm = 0.01;
+  return p;
+}
+
+PowerParams PowerParams::for_type(CoreType type) {
+  return type == CoreType::kBig ? cortex_a15() : cortex_a7();
+}
+
+PowerModel::PowerModel(const Machine& machine) : machine_(&machine) {
+  params_.reserve(static_cast<std::size_t>(machine.num_clusters()));
+  for (int c = 0; c < machine.num_clusters(); ++c) {
+    params_.push_back(
+        PowerParams::for_type(machine.spec().clusters[static_cast<std::size_t>(c)].type));
+  }
+}
+
+PowerModel::PowerModel(const Machine& machine, std::vector<PowerParams> per_cluster)
+    : machine_(&machine), params_(std::move(per_cluster)) {
+  assert(static_cast<int>(params_.size()) == machine.num_clusters());
+}
+
+double PowerModel::cluster_power(ClusterId cluster, double busy_sum) const {
+  const PowerParams& p = params_[static_cast<std::size_t>(cluster)];
+  const double f = machine_->freq_ghz(cluster);
+  const bool any_online =
+      (machine_->online_mask() & machine_->cluster_mask(cluster)).any();
+  if (!any_online) return 0.0;
+  const double dynamic = p.c_dyn * f * f * f * busy_sum;
+  const double leakage = p.c_leak * f * (1.0 + p.k_therm * busy_sum * f * f);
+  const double memory = p.c_mem * busy_sum;
+  return dynamic + leakage + memory;
+}
+
+double PowerModel::total_power(const std::vector<double>& core_busy) const {
+  assert(static_cast<int>(core_busy.size()) == machine_->num_cores());
+  double total = base_watts_;
+  for (int c = 0; c < machine_->num_clusters(); ++c) {
+    double busy_sum = 0.0;
+    const CpuMask mask = machine_->cluster_mask(c);
+    for (CoreId core = mask.first(); core >= 0; core = mask.next(core)) {
+      busy_sum += core_busy[static_cast<std::size_t>(core)];
+    }
+    total += cluster_power(c, busy_sum);
+  }
+  return total;
+}
+
+}  // namespace hars

@@ -1,0 +1,80 @@
+#include "hmp/power_sensor.hpp"
+
+#include <cassert>
+
+namespace hars {
+
+PowerSensor::PowerSensor(const Machine& machine, const PowerModel& model,
+                         TimeUs sample_period_us, double noise_stddev,
+                         std::uint64_t seed)
+    : machine_(&machine),
+      model_(&model),
+      sample_period_us_(sample_period_us),
+      noise_stddev_(noise_stddev),
+      rng_(seed),
+      cluster_energy_j_(static_cast<std::size_t>(machine.num_clusters()), 0.0),
+      next_sample_at_(sample_period_us) {
+  assert(sample_period_us > 0);
+}
+
+void PowerSensor::tick(TimeUs now, TimeUs tick_us,
+                       const std::vector<double>& core_busy) {
+  const double dt_sec = us_to_sec(tick_us);
+  std::vector<double> cluster_watts(
+      static_cast<std::size_t>(machine_->num_clusters()), 0.0);
+  double total = 0.0;
+  for (int c = 0; c < machine_->num_clusters(); ++c) {
+    double busy_sum = 0.0;
+    const CpuMask mask = machine_->cluster_mask(c);
+    for (CoreId core = mask.first(); core >= 0; core = mask.next(core)) {
+      busy_sum += core_busy[static_cast<std::size_t>(core)];
+    }
+    const double watts = model_->cluster_power(c, busy_sum);
+    cluster_watts[static_cast<std::size_t>(c)] = watts;
+    cluster_energy_j_[static_cast<std::size_t>(c)] += watts * dt_sec;
+    total += watts;
+  }
+  base_energy_j_ += model_->base_watts() * dt_sec;
+  total += model_->base_watts();
+  last_instant_power_ = total;
+
+  if (now >= next_sample_at_) {
+    PowerSample sample;
+    sample.time = now;
+    sample.cluster_watts.reserve(cluster_watts.size());
+    double noisy_total = 0.0;
+    for (double w : cluster_watts) {
+      const double noisy = w * (1.0 + rng_.normal(0.0, noise_stddev_));
+      sample.cluster_watts.push_back(noisy);
+      noisy_total += noisy;
+    }
+    sample.total_watts = noisy_total;
+    samples_.push_back(std::move(sample));
+    next_sample_at_ += sample_period_us_;
+  }
+}
+
+double PowerSensor::cluster_energy_j(ClusterId cluster) const {
+  return cluster_energy_j_[static_cast<std::size_t>(cluster)];
+}
+
+double PowerSensor::total_energy_j() const {
+  double total = base_energy_j_;
+  for (double e : cluster_energy_j_) total += e;
+  return total;
+}
+
+double PowerSensor::average_power_w(TimeUs elapsed_us) const {
+  if (elapsed_us <= 0) return 0.0;
+  return total_energy_j() / us_to_sec(elapsed_us);
+}
+
+void PowerSensor::reset() {
+  for (double& e : cluster_energy_j_) e = 0.0;
+  base_energy_j_ = 0.0;
+  samples_.clear();
+  next_sample_at_ = sample_period_us_;
+  last_instant_power_ = 0.0;
+}
+
+}  // namespace hars

@@ -1,0 +1,65 @@
+// Sampled power sensor, modelled on the ODROID-XU3's INA231 current/voltage
+// monitors: per-cluster readings at a fixed sampling period (the paper
+// reports 263,808 us). Readings carry multiplicative noise; energy is
+// integrated exactly from the ground-truth model each tick so perf/watt
+// metrics do not depend on sampling luck, while estimator *training* data
+// (PowerProfiler) goes through the noisy sampled path like the paper's.
+#pragma once
+
+#include <vector>
+
+#include "hmp/power_model.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace hars {
+
+struct PowerSample {
+  TimeUs time = 0;
+  std::vector<double> cluster_watts;  ///< One entry per cluster.
+  double total_watts = 0.0;
+};
+
+class PowerSensor {
+ public:
+  static constexpr TimeUs kDefaultSamplePeriodUs = 263'808;
+
+  PowerSensor(const Machine& machine, const PowerModel& model,
+              TimeUs sample_period_us = kDefaultSamplePeriodUs,
+              double noise_stddev = 0.01, std::uint64_t seed = 42);
+
+  /// Advances the sensor by one simulator tick with the given per-core
+  /// busy fractions. Integrates energy and takes samples as the sampling
+  /// period elapses.
+  void tick(TimeUs now, TimeUs tick_us, const std::vector<double>& core_busy);
+
+  /// Exact accumulated energy in joules (per cluster / total).
+  double cluster_energy_j(ClusterId cluster) const;
+  double total_energy_j() const;
+
+  /// Average power over the whole run so far.
+  double average_power_w(TimeUs elapsed_us) const;
+
+  /// Most recent noisy sample (empty until the first period elapses).
+  const std::vector<PowerSample>& samples() const { return samples_; }
+
+  /// The latest instantaneous (un-sampled, noiseless) total power.
+  double instantaneous_power_w() const { return last_instant_power_; }
+
+  void reset();
+
+ private:
+  const Machine* machine_;
+  const PowerModel* model_;
+  TimeUs sample_period_us_;
+  double noise_stddev_;
+  Rng rng_;
+
+  std::vector<double> cluster_energy_j_;
+  double base_energy_j_ = 0.0;
+  TimeUs next_sample_at_;
+  std::vector<PowerSample> samples_;
+  double last_instant_power_ = 0.0;
+};
+
+}  // namespace hars

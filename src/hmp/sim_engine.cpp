@@ -1,0 +1,156 @@
+#include "hmp/sim_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hars {
+
+SimEngine::SimEngine(Machine machine, std::unique_ptr<Scheduler> scheduler,
+                     SimConfig config)
+    : machine_(std::move(machine)),
+      power_model_(machine_),
+      sensor_(machine_, power_model_, config.sensor_period_us,
+              config.sensor_noise, config.sensor_seed),
+      scheduler_(std::move(scheduler)),
+      config_(config),
+      core_busy_us_(static_cast<std::size_t>(machine_.num_cores()), 0.0),
+      tick_busy_(static_cast<std::size_t>(machine_.num_cores()), 0.0) {
+  if (!scheduler_) throw std::invalid_argument("SimEngine requires a scheduler");
+  if (config_.tick_us <= 0) throw std::invalid_argument("tick must be positive");
+}
+
+AppId SimEngine::add_app(App* app) {
+  assert(app != nullptr);
+  const AppId id = static_cast<AppId>(apps_.size());
+  apps_.push_back(app);
+  app_thread_base_.push_back(static_cast<int>(threads_.size()));
+  for (int i = 0; i < app->thread_count(); ++i) {
+    SimThread t;
+    t.id = static_cast<ThreadId>(threads_.size());
+    t.app = id;
+    t.local_index = i;
+    t.affinity = machine_.all_mask();
+    threads_.push_back(t);
+  }
+  return id;
+}
+
+SimThread& SimEngine::thread_of(AppId app_id, int local_tid) {
+  assert(app_id >= 0 && app_id < num_apps());
+  assert(local_tid >= 0 && local_tid < apps_[static_cast<std::size_t>(app_id)]->thread_count());
+  return threads_[static_cast<std::size_t>(
+      app_thread_base_[static_cast<std::size_t>(app_id)] + local_tid)];
+}
+
+const SimThread& SimEngine::thread_of(AppId app_id, int local_tid) const {
+  return const_cast<SimEngine*>(this)->thread_of(app_id, local_tid);
+}
+
+void SimEngine::set_thread_affinity(AppId app_id, int local_tid, CpuMask mask) {
+  thread_of(app_id, local_tid).affinity = mask;
+}
+
+void SimEngine::set_app_affinity(AppId app_id, CpuMask mask) {
+  App& a = app(app_id);
+  for (int i = 0; i < a.thread_count(); ++i) set_thread_affinity(app_id, i, mask);
+}
+
+CpuMask SimEngine::thread_affinity(AppId app_id, int local_tid) const {
+  return thread_of(app_id, local_tid).affinity;
+}
+
+CoreId SimEngine::thread_core(AppId app_id, int local_tid) const {
+  return thread_of(app_id, local_tid).core;
+}
+
+void SimEngine::run_until(TimeUs t) {
+  while (now_ < t) step();
+}
+
+void SimEngine::step() {
+  const TimeUs tick = config_.tick_us;
+  now_ += tick;
+
+  for (App* a : apps_) a->begin_tick(now_);
+
+  // Refresh runnability and load averages.
+  for (SimThread& t : threads_) {
+    t.runnable = apps_[static_cast<std::size_t>(t.app)]->runnable(t.local_index);
+    t.load.update(t.runnable, tick);
+  }
+
+  scheduler_->assign(machine_, threads_);
+
+  std::fill(tick_busy_.begin(), tick_busy_.end(), 0.0);
+
+  // Charge pending runtime-manager overhead against the manager core's
+  // capacity for this tick.
+  const TimeUs mgr_use = std::min(pending_manager_us_, tick);
+  pending_manager_us_ -= mgr_use;
+  std::vector<TimeUs> core_capacity(static_cast<std::size_t>(machine_.num_cores()),
+                                    tick);
+  if (mgr_use > 0) {
+    core_capacity[static_cast<std::size_t>(config_.manager_core)] -= mgr_use;
+    tick_busy_[static_cast<std::size_t>(config_.manager_core)] +=
+        static_cast<double>(mgr_use) / static_cast<double>(tick);
+  }
+
+  // Count runnable threads per core, then hand out equal shares.
+  std::vector<int> threads_on_core(static_cast<std::size_t>(machine_.num_cores()), 0);
+  for (const SimThread& t : threads_) {
+    if (t.runnable && t.core >= 0) {
+      ++threads_on_core[static_cast<std::size_t>(t.core)];
+    }
+  }
+  for (SimThread& t : threads_) {
+    if (!t.runnable || t.core < 0) continue;
+    const auto core = static_cast<std::size_t>(t.core);
+    const int sharers = threads_on_core[core];
+    if (sharers <= 0) continue;
+    const TimeUs share = core_capacity[core] / sharers;
+    if (share <= 0) continue;
+    const CoreType type = machine_.core_type(t.core);
+    const double freq = machine_.core_freq_ghz(t.core);
+    const TimeUs used =
+        apps_[static_cast<std::size_t>(t.app)]->execute(t.local_index, share, type, freq);
+    t.cpu_time_us += used;
+    tick_busy_[core] += static_cast<double>(used) / static_cast<double>(tick);
+  }
+
+  for (App* a : apps_) a->end_tick(now_);
+
+  if (manager_ != nullptr) {
+    const TimeUs cost = manager_->on_tick(now_);
+    if (cost > 0) {
+      pending_manager_us_ += cost;
+      manager_overhead_total_us_ += cost;
+    }
+  }
+
+  for (double& b : tick_busy_) b = std::min(b, 1.0);
+  for (int c = 0; c < machine_.num_cores(); ++c) {
+    core_busy_us_[static_cast<std::size_t>(c)] +=
+        tick_busy_[static_cast<std::size_t>(c)] * static_cast<double>(tick);
+  }
+  sensor_.tick(now_, tick, tick_busy_);
+}
+
+double SimEngine::core_busy_fraction(CoreId core) const {
+  if (now_ <= 0) return 0.0;
+  return core_busy_us_[static_cast<std::size_t>(core)] / static_cast<double>(now_);
+}
+
+double SimEngine::manager_cpu_utilization_pct() const {
+  if (now_ <= 0) return 0.0;
+  return 100.0 * static_cast<double>(manager_overhead_total_us_) /
+         static_cast<double>(now_);
+}
+
+std::int64_t SimEngine::total_migrations() const {
+  std::int64_t n = 0;
+  for (const SimThread& t : threads_) n += t.migrations;
+  return n;
+}
+
+}  // namespace hars

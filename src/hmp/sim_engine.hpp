@@ -1,0 +1,126 @@
+// SimEngine: the discrete-time execution engine.
+//
+// Advances the machine in fixed ticks (default 1 ms). Each tick it:
+//   1. lets every application generate/prepare work (begin_tick),
+//   2. asks the OS-scheduler model to place runnable threads on cores,
+//   3. divides each core's tick equally among the threads on it and lets
+//      the owning application consume the CPU shares,
+//   4. runs application barrier/heartbeat logic (end_tick),
+//   5. invokes the attached runtime manager (HARS / MP-HARS / CONS-I),
+//      charging its reported CPU cost to the manager core (cpu0) so that
+//      runtime overhead both consumes capacity and burns power,
+//   6. integrates power and advances the sensor.
+//
+// The engine exposes the "syscall surface" the paper's user-level runtime
+// uses on Linux: sched_setaffinity (set_thread_affinity), cpufreq
+// (machine().set_freq_level) and hotplug (machine().set_online_mask).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "hmp/machine.hpp"
+#include "hmp/power_model.hpp"
+#include "hmp/power_sensor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace hars {
+
+class SimEngine;
+
+/// Runtime managers (HARS, MP-HARS, CONS-I) attach to the engine through
+/// this hook. `on_tick` returns the CPU time (us) the manager consumed so
+/// the engine can charge it as overhead.
+class ManagerHook {
+ public:
+  virtual ~ManagerHook() = default;
+  virtual TimeUs on_tick(TimeUs now) = 0;
+};
+
+struct SimConfig {
+  TimeUs tick_us = 1 * kUsPerMs;
+  CoreId manager_core = 0;  ///< Where runtime-manager overhead is charged.
+  std::uint64_t sensor_seed = 42;
+  TimeUs sensor_period_us = PowerSensor::kDefaultSamplePeriodUs;
+  double sensor_noise = 0.01;
+};
+
+class SimEngine {
+ public:
+  SimEngine(Machine machine, std::unique_ptr<Scheduler> scheduler,
+            SimConfig config = {});
+
+  /// Registers an application (non-owning); returns its AppId. All of the
+  /// app's threads start with affinity = all cores.
+  AppId add_app(App* app);
+
+  void set_manager(ManagerHook* manager) { manager_ = manager; }
+
+  Machine& machine() { return machine_; }
+  const Machine& machine() const { return machine_; }
+  const PowerModel& power_model() const { return power_model_; }
+  PowerSensor& sensor() { return sensor_; }
+  const PowerSensor& sensor() const { return sensor_; }
+  Scheduler& scheduler() { return *scheduler_; }
+
+  int num_apps() const { return static_cast<int>(apps_.size()); }
+  App& app(AppId id) { return *apps_[static_cast<std::size_t>(id)]; }
+  const App& app(AppId id) const { return *apps_[static_cast<std::size_t>(id)]; }
+
+  TimeUs now() const { return now_; }
+  TimeUs tick_us() const { return config_.tick_us; }
+
+  /// sched_setaffinity equivalent for one thread of one app.
+  void set_thread_affinity(AppId app_id, int local_tid, CpuMask mask);
+
+  /// Applies `mask` to every thread of the app (cluster-level pinning).
+  void set_app_affinity(AppId app_id, CpuMask mask);
+
+  CpuMask thread_affinity(AppId app_id, int local_tid) const;
+  CoreId thread_core(AppId app_id, int local_tid) const;
+
+  /// Runs the simulation until `t` (absolute) or for `dt` (relative).
+  void run_until(TimeUs t);
+  void run_for(TimeUs dt) { run_until(now_ + dt); }
+
+  // --- Accounting ---
+  /// Lifetime busy fraction of a core (busy time / elapsed).
+  double core_busy_fraction(CoreId core) const;
+
+  /// Total manager overhead charged so far (us of CPU time).
+  TimeUs manager_overhead_us() const { return manager_overhead_total_us_; }
+
+  /// Manager overhead as a percentage of one CPU over the elapsed time.
+  double manager_cpu_utilization_pct() const;
+
+  std::int64_t total_migrations() const;
+
+  const std::vector<SimThread>& threads() const { return threads_; }
+
+ private:
+  void step();
+  SimThread& thread_of(AppId app_id, int local_tid);
+  const SimThread& thread_of(AppId app_id, int local_tid) const;
+
+  Machine machine_;
+  PowerModel power_model_;
+  PowerSensor sensor_;
+  std::unique_ptr<Scheduler> scheduler_;
+  SimConfig config_;
+
+  std::vector<App*> apps_;
+  std::vector<SimThread> threads_;
+  /// threads_ index of the first thread of each app.
+  std::vector<int> app_thread_base_;
+
+  ManagerHook* manager_ = nullptr;
+  TimeUs pending_manager_us_ = 0;  ///< Overhead not yet charged to a tick.
+  TimeUs manager_overhead_total_us_ = 0;
+
+  TimeUs now_ = 0;
+  std::vector<double> core_busy_us_;  ///< Lifetime busy time per core.
+  std::vector<double> tick_busy_;     ///< Scratch: per-core busy fraction.
+};
+
+}  // namespace hars

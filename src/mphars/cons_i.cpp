@@ -1,0 +1,188 @@
+#include "mphars/cons_i.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hars {
+
+double cons_perf_score(const Machine& machine, const SystemState& s, double r0,
+                       double f0_ghz) {
+  const double fb = machine.freq_ghz_at_level(machine.big_cluster(), s.big_freq);
+  const double fl =
+      machine.freq_ghz_at_level(machine.little_cluster(), s.little_freq);
+  return s.big_cores * r0 * (fb / f0_ghz) + s.little_cores * (fl / f0_ghz);
+}
+
+ConsIManager::ConsIManager(SimEngine& engine, ConsIConfig config)
+    : engine_(engine), config_(config) {
+  build_state_list();
+  // Start at the maximum state, like the baseline.
+  state_ = StateSpace::from_machine(engine_.machine()).max_state();
+  apply_state(state_);
+}
+
+void ConsIManager::build_state_list() {
+  const Machine& m = engine_.machine();
+  const int max_big = m.cluster_core_count(m.big_cluster());
+  const int max_little = m.cluster_core_count(m.little_cluster());
+  const int nb_freqs = m.num_freq_levels(m.big_cluster());
+  const int nl_freqs = m.num_freq_levels(m.little_cluster());
+  // cpu0 (a little core) can never go offline, so C_L >= 1.
+  for (int cb = 0; cb <= max_big; ++cb) {
+    for (int cl = 1; cl <= max_little; ++cl) {
+      for (int fb = 0; fb < nb_freqs; ++fb) {
+        for (int fl = 0; fl < nl_freqs; ++fl) {
+          states_.push_back(SystemState{cb, cl, fb, fl});
+        }
+      }
+    }
+  }
+  std::stable_sort(states_.begin(), states_.end(),
+                   [&](const SystemState& a, const SystemState& b) {
+                     return cons_perf_score(m, a, config_.r0, config_.f0_ghz) <
+                            cons_perf_score(m, b, config_.r0, config_.f0_ghz);
+                   });
+  // Quantize into a ladder: keep one representative per min_score_step,
+  // always retaining the maximum state (the boot configuration).
+  std::vector<SystemState> ladder;
+  double last_score = -1e18;
+  for (const auto& s : states_) {
+    const double score = cons_perf_score(m, s, config_.r0, config_.f0_ghz);
+    if (score - last_score >= config_.min_score_step) {
+      ladder.push_back(s);
+      last_score = score;
+    }
+  }
+  const SystemState max_state = StateSpace::from_machine(m).max_state();
+  if (ladder.empty() || !(ladder.back() == max_state)) {
+    ladder.push_back(max_state);
+  }
+  states_ = std::move(ladder);
+  scores_.reserve(states_.size());
+  for (const auto& s : states_) {
+    scores_.push_back(cons_perf_score(m, s, config_.r0, config_.f0_ghz));
+  }
+}
+
+std::size_t ConsIManager::current_index() const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i] == state_) return i;
+  }
+  return states_.size() - 1;
+}
+
+void ConsIManager::register_app(AppId app, const ConsIAppConfig& app_config) {
+  AppEntry entry;
+  entry.app = app;
+  entry.target = app_config.target;
+  entry.adapt_period = app_config.adapt_period;
+  apps_.push_back(std::move(entry));
+  engine_.app(app).heartbeats().set_target(app_config.target);
+}
+
+void ConsIManager::apply_state(const SystemState& s) {
+  state_ = s;
+  Machine& m = engine_.machine();
+  m.set_freq_level(m.big_cluster(), s.big_freq);
+  m.set_freq_level(m.little_cluster(), s.little_freq);
+  // Global core counts are realized with hotplug: the first C_L little and
+  // first C_B big cores stay online; everything runs unpinned under GTS.
+  CpuMask online;
+  const CoreId little_first = m.little_mask().first();
+  for (int i = 0; i < s.little_cores; ++i) online.set(little_first + i);
+  const CoreId big_first = m.big_mask().first();
+  for (int i = 0; i < s.big_cores; ++i) online.set(big_first + i);
+  m.set_online_mask(online);
+}
+
+const std::vector<TracePoint>& ConsIManager::trace(AppId app) const {
+  static const std::vector<TracePoint> kEmpty;
+  for (const auto& entry : apps_) {
+    if (entry.app == app) return entry.trace;
+  }
+  return kEmpty;
+}
+
+TimeUs ConsIManager::on_tick(TimeUs now) {
+  if (now < next_poll_) return 0;
+  next_poll_ = now + config_.poll_period_us;
+  TimeUs cost = config_.poll_cost_us;
+
+  const Machine& m = engine_.machine();
+  for (AppEntry& entry : apps_) {
+    const HeartbeatMonitor& hb = engine_.app(entry.app).heartbeats();
+    const std::int64_t idx = hb.last_index();
+    if (idx < 0 || idx == entry.last_seen_hb) continue;
+    const std::int64_t new_beats = idx - entry.last_seen_hb;
+    entry.last_seen_hb = idx;
+    entry.rate = hb.rate();
+    for (std::int64_t i = 0; i < new_beats; ++i) {
+      if (entry.freezing_cnt > 0) --entry.freezing_cnt;
+    }
+    entry.trace.push_back(TracePoint{idx, entry.rate, state_.big_cores,
+                                     state_.little_cores,
+                                     m.freq_ghz(m.big_cluster()),
+                                     m.freq_ghz(m.little_cluster())});
+
+    if (idx % entry.adapt_period != 0) continue;
+    if (entry.rate <= 0.0) continue;  // No windowed rate yet.
+    if (entry.target.contains(entry.rate)) continue;
+
+    const bool frozen = std::any_of(apps_.begin(), apps_.end(),
+                                    [](const AppEntry& a) {
+                                      return a.freezing_cnt > 0;
+                                    });
+    const PerfStatus own =
+        classify(entry.rate, entry.target.min, entry.target.max);
+    bool any_under = false;
+    bool any_achieve = false;
+    bool any_other = false;
+    for (const AppEntry& other : apps_) {
+      if (other.app == entry.app) continue;
+      // Apps that have not emitted any heartbeat yet (e.g. blackscholes'
+      // input phase, §5.2.2 case 6) do not constrain the decision.
+      if (other.rate <= 0.0) continue;
+      any_other = true;
+      const PerfStatus st =
+          classify(other.rate, other.target.min, other.target.max);
+      if (st == PerfStatus::kUnderperf) any_under = true;
+      if (st == PerfStatus::kAchieve) any_achieve = true;
+    }
+    PerfStatus others = PerfStatus::kOverperf;
+    if (any_other) {
+      if (any_under) {
+        others = PerfStatus::kUnderperf;
+      } else if (any_achieve) {
+        others = PerfStatus::kAchieve;
+      }
+    }
+
+    const InterferenceDecision decision = decide_interference(own, others, frozen);
+    cost += config_.step_cost_us;
+
+    if (decision.freeze == FreezeDecision::kUnfreeze) {
+      for (AppEntry& a : apps_) a.freezing_cnt = 0;
+    }
+
+    const std::size_t idx_now = current_index();
+    if (decision.state == StateDecision::kInc) {
+      // Nearest strictly-higher perfScore.
+      std::size_t j = idx_now;
+      while (j + 1 < states_.size() && scores_[j] <= scores_[idx_now]) ++j;
+      if (scores_[j] > scores_[idx_now]) apply_state(states_[j]);
+    } else if (decision.state == StateDecision::kDec) {
+      std::size_t j = idx_now;
+      while (j > 0 && scores_[j] >= scores_[idx_now]) --j;
+      if (scores_[j] < scores_[idx_now]) {
+        apply_state(states_[j]);
+        if (decision.freeze == FreezeDecision::kFreeze) {
+          for (AppEntry& a : apps_) a.freezing_cnt = config_.freeze_heartbeats;
+        }
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace hars

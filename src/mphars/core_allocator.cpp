@@ -1,0 +1,103 @@
+#include "mphars/core_allocator.hpp"
+
+#include <cassert>
+
+namespace hars {
+
+CpuMask owned_big_mask(const AppNode& app, int big_start_index) {
+  CpuMask mask;
+  for (std::size_t i = 0; i < app.use_b_core.size(); ++i) {
+    if (app.use_b_core[i] == kUse) {
+      mask.set(static_cast<CoreId>(i) + big_start_index);
+    }
+  }
+  return mask;
+}
+
+CpuMask owned_little_mask(const AppNode& app) {
+  CpuMask mask;
+  for (std::size_t i = 0; i < app.use_l_core.size(); ++i) {
+    if (app.use_l_core[i] == kUse) mask.set(static_cast<CoreId>(i));
+  }
+  return mask;
+}
+
+CpuMask allocate_core_set(AppNode& app, ClusterData& big_cluster,
+                          ClusterData& little_cluster, int big_start_index) {
+  const int max_big = static_cast<int>(app.use_b_core.size());
+  const int max_little = static_cast<int>(app.use_l_core.size());
+  assert(app.nprocs_b >= 0 && app.nprocs_b <= max_big);
+  assert(app.nprocs_l >= 0 && app.nprocs_l <= max_little);
+
+  // Lines 4-11: release decBigCoreCnt of the app's big cores.
+  if (app.dec_big_core_cnt > 0) {
+    for (int i = 0; i < max_big; ++i) {
+      if (app.use_b_core[static_cast<std::size_t>(i)] == kUse) {
+        big_cluster.free_core[static_cast<std::size_t>(i)] = kFree;
+        app.use_b_core[static_cast<std::size_t>(i)] = kUnuse;
+        --app.dec_big_core_cnt;
+        if (app.dec_big_core_cnt == 0) break;
+      }
+    }
+    app.dec_big_core_cnt = 0;  // Nothing left to free even if short.
+  }
+  // Lines 12-19: release decLittleCoreCnt of the app's little cores.
+  if (app.dec_little_core_cnt > 0) {
+    for (int i = 0; i < max_little; ++i) {
+      if (app.use_l_core[static_cast<std::size_t>(i)] == kUse) {
+        little_cluster.free_core[static_cast<std::size_t>(i)] = kFree;
+        app.use_l_core[static_cast<std::size_t>(i)] = kUnuse;
+        --app.dec_little_core_cnt;
+        if (app.dec_little_core_cnt == 0) break;
+      }
+    }
+    app.dec_little_core_cnt = 0;
+  }
+
+  CpuMask cpu_mask;
+  int allocated_big = 0;
+  int allocated_little = 0;
+
+  // Lines 20-25: keep already-owned big cores first (no migration).
+  for (int i = 0; i < max_big; ++i) {
+    if (allocated_big >= app.nprocs_b) break;
+    if (app.use_b_core[static_cast<std::size_t>(i)] == kUse) {
+      big_cluster.free_core[static_cast<std::size_t>(i)] = kNotFree;
+      cpu_mask.set(i + big_start_index);
+      ++allocated_big;
+    }
+  }
+  // Lines 26-32: take free big cores for the remainder.
+  for (int i = 0; i < max_big; ++i) {
+    if (allocated_big >= app.nprocs_b) break;
+    if (big_cluster.free_core[static_cast<std::size_t>(i)] == kFree) {
+      big_cluster.free_core[static_cast<std::size_t>(i)] = kNotFree;
+      app.use_b_core[static_cast<std::size_t>(i)] = kUse;
+      cpu_mask.set(i + big_start_index);
+      ++allocated_big;
+    }
+  }
+  // Lines 33-38: keep already-owned little cores.
+  for (int i = 0; i < max_little; ++i) {
+    if (allocated_little >= app.nprocs_l) break;
+    if (app.use_l_core[static_cast<std::size_t>(i)] == kUse) {
+      little_cluster.free_core[static_cast<std::size_t>(i)] = kNotFree;
+      cpu_mask.set(i);
+      ++allocated_little;
+    }
+  }
+  // Lines 39-45: take free little cores.
+  for (int i = 0; i < max_little; ++i) {
+    if (allocated_little >= app.nprocs_l) break;
+    if (little_cluster.free_core[static_cast<std::size_t>(i)] == kFree) {
+      little_cluster.free_core[static_cast<std::size_t>(i)] = kNotFree;
+      app.use_l_core[static_cast<std::size_t>(i)] = kUse;
+      cpu_mask.set(i);
+      ++allocated_little;
+    }
+  }
+
+  return cpu_mask;
+}
+
+}  // namespace hars

@@ -1,0 +1,30 @@
+// The core allocation function of MP-HARS (thesis Algorithm 4).
+//
+// Resource partitioning rules:
+//  * an application may only occupy FREE core slots — never another app's;
+//  * already-owned cores are kept in preference to grabbing new ones, to
+//    minimize thread migration (paper's bigcore example in §4.1.3);
+//  * shrinking releases the app's lowest-indexed owned cores back to the
+//    free pool (dec*CoreCnt bookkeeping).
+//
+// The function mutates the app's use_*_core arrays and the clusters'
+// free_core arrays, and returns the cpu mask of the final allocation.
+#pragma once
+
+#include "hmp/cpu_mask.hpp"
+#include "mphars/app_node.hpp"
+
+namespace hars {
+
+/// Applies Algorithm 4 for `app`: releases dec_*_core_cnt cores, then
+/// builds the allocation of app.nprocs_b big and app.nprocs_l little
+/// cores. `big_start_index` is the machine core id of the first big core
+/// (little cores start at id 0, as on the XU3).
+CpuMask allocate_core_set(AppNode& app, ClusterData& big_cluster,
+                          ClusterData& little_cluster, int big_start_index);
+
+/// Masks of the app's currently owned cores.
+CpuMask owned_big_mask(const AppNode& app, int big_start_index);
+CpuMask owned_little_mask(const AppNode& app);
+
+}  // namespace hars

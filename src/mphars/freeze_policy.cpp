@@ -1,0 +1,86 @@
+#include "mphars/freeze_policy.hpp"
+
+namespace hars {
+
+const char* perf_status_name(PerfStatus s) {
+  switch (s) {
+    case PerfStatus::kUnderperf: return "Underperf";
+    case PerfStatus::kAchieve: return "Achieve";
+    case PerfStatus::kOverperf: return "Overperf";
+  }
+  return "?";
+}
+
+const char* state_decision_name(StateDecision s) {
+  switch (s) {
+    case StateDecision::kInc: return "INC";
+    case StateDecision::kKeep: return "KEEP";
+    case StateDecision::kDec: return "DEC";
+  }
+  return "?";
+}
+
+const char* freeze_decision_name(FreezeDecision s) {
+  switch (s) {
+    case FreezeDecision::kFreeze: return "FREEZE";
+    case FreezeDecision::kUnfreeze: return "UNFREEZE";
+    case FreezeDecision::kKeep: return "KEEP";
+  }
+  return "?";
+}
+
+PerfStatus classify(double rate, double target_min, double target_max) {
+  if (rate < target_min) return PerfStatus::kUnderperf;
+  if (rate > target_max) return PerfStatus::kOverperf;
+  return PerfStatus::kAchieve;
+}
+
+InterferenceDecision decide_interference(PerfStatus app_in_period,
+                                         PerfStatus the_others, bool frozen) {
+  // Table 4.3. Rows are grouped by AppInPeriod; `the_others` only matters
+  // for the Overperf group's DEC row, but the table is encoded in full so
+  // the unit test can check it row by row.
+  switch (app_in_period) {
+    case PerfStatus::kUnderperf:
+      // The app misses its target: always push the system up; a frozen
+      // cluster is unfrozen because increases are always safe (§4.1.4:
+      // "no restriction on increasing system performance").
+      return frozen
+                 ? InterferenceDecision{StateDecision::kInc, FreezeDecision::kUnfreeze}
+                 : InterferenceDecision{StateDecision::kInc, FreezeDecision::kKeep};
+    case PerfStatus::kAchieve:
+      // Satisfied apps leave shared components alone.
+      return InterferenceDecision{StateDecision::kKeep, FreezeDecision::kKeep};
+    case PerfStatus::kOverperf:
+      switch (the_others) {
+        case PerfStatus::kUnderperf:
+          // Someone else still needs the performance: push up while frozen
+          // (thesis row: INC), hold otherwise.
+          return frozen ? InterferenceDecision{StateDecision::kInc,
+                                               FreezeDecision::kKeep}
+                        : InterferenceDecision{StateDecision::kKeep,
+                                               FreezeDecision::kKeep};
+        case PerfStatus::kAchieve:
+          // DEVIATION from the printed thesis table: the (Overperf,
+          // Achieve/Overperf, FREEZE) rows list INC, but increasing while
+          // everyone meets or exceeds their target immediately undoes the
+          // decrease that armed the freeze, and the model oscillates
+          // without ever descending (the very behaviour the freeze exists
+          // to prevent). We treat those rows as KEEP: wait out the
+          // settling window. See DESIGN.md §6.
+          return InterferenceDecision{StateDecision::kKeep,
+                                      FreezeDecision::kKeep};
+        case PerfStatus::kOverperf:
+          // Everyone overperforms: decreasing is safe, but only once the
+          // settling window expired; a decrease re-freezes the cluster.
+          return frozen ? InterferenceDecision{StateDecision::kKeep,
+                                               FreezeDecision::kKeep}
+                        : InterferenceDecision{StateDecision::kDec,
+                                               FreezeDecision::kFreeze};
+      }
+      break;
+  }
+  return InterferenceDecision{};
+}
+
+}  // namespace hars

@@ -1,0 +1,90 @@
+// The MP-HARS runtime manager (thesis §4, Algorithm 3).
+//
+// Each registered application is managed "by its own HARS": it owns its
+// cores exclusively (resource partitioning, Algorithm 4) while cluster
+// frequencies remain shared and are governed by the interference-aware
+// adaptation policy (Table 4.3 + freezing counts). Per iteration the
+// manager walks the application list, updates freezing counters on new
+// heartbeats, refreshes the clusters' frozen flags, and runs the HARS
+// search for any application in its adaptation period — with the state
+// space narrowed to the app's own cores plus free cores, and frequency
+// dimensions constrained by cluster controllability.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/perf_estimator.hpp"
+#include "core/power_estimator.hpp"
+#include "core/search.hpp"
+#include "hmp/sim_engine.hpp"
+#include "mphars/core_allocator.hpp"
+#include "mphars/freeze_policy.hpp"
+#include "mphars/registry.hpp"
+
+namespace hars {
+
+struct MpHarsConfig {
+  SearchPolicy policy = SearchPolicy::kExhaustive;
+  int exhaustive_window = 4;  ///< MP-HARS-E: m = n = 4.
+  int exhaustive_d = 7;       ///< MP-HARS-E: d = 7.
+  int freeze_heartbeats = 5;  ///< Freezing count installed after a decrease.
+  int settle_beats = 10;      ///< Fresh heartbeats required after a move.
+  double r0 = 1.5;
+
+  // Overhead model, as in RuntimeManagerConfig.
+  TimeUs poll_period_us = 5 * kUsPerMs;
+  TimeUs poll_cost_us = 60;
+  TimeUs cost_per_candidate_us = 400;
+  TimeUs adapt_fixed_cost_us = 500;
+};
+
+struct MpHarsAppConfig {
+  PerfTarget target;
+  int adapt_period = 5;
+  ThreadSchedulerKind scheduler = ThreadSchedulerKind::kChunk;
+};
+
+class MpHarsManager : public ManagerHook {
+ public:
+  MpHarsManager(SimEngine& engine, PowerCoeffTable coeffs,
+                MpHarsConfig config = {});
+
+  /// Registers an app; initial allocation is an even split of each cluster
+  /// across registered apps (re-applied on every registration).
+  void register_app(AppId app, const MpHarsAppConfig& app_config);
+
+  /// Removes an app (it exited): its cores return to the free pool, where
+  /// the remaining applications' searches can claim them on their next
+  /// adaptation. Returns false for unknown apps.
+  bool unregister_app(AppId app);
+
+  TimeUs on_tick(TimeUs now) override;
+
+  /// Current state of one app (own cores + shared frequencies).
+  SystemState app_state(AppId app) const;
+  const std::vector<TracePoint>& trace(AppId app) const;
+  const AppRegistry& registry() const { return registry_; }
+  std::int64_t adaptations() const { return adaptations_; }
+
+ private:
+  TimeUs adapt_app(AppNode& node, TimeUs now);
+  void apply_app_state(AppNode& node, const SystemState& next);
+  SystemState current_state_of(const AppNode& node) const;
+  /// Aggregate status of the other apps sharing `big` (true) or little.
+  PerfStatus others_status(const AppNode& node, bool big_cluster) const;
+  /// Does any other app own cores on the cluster?
+  bool cluster_shared(const AppNode& node, bool big_cluster) const;
+  void record_trace(AppNode& node);
+
+  SimEngine& engine_;
+  AppRegistry registry_;
+  PerfEstimator perf_est_;
+  PowerEstimator power_est_;
+  MpHarsConfig config_;
+  StateSpace machine_space_;
+  TimeUs next_poll_ = 0;
+  std::int64_t adaptations_ = 0;
+};
+
+}  // namespace hars

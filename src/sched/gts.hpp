@@ -1,0 +1,46 @@
+// Global Task Scheduling (GTS) model — the Linux HMP scheduler the paper's
+// baseline runs under (kernel 3.10 + big.LITTLE MP patches).
+//
+// Behavioural contract reproduced from the paper (§2.1, §4.1.1):
+//  * per-thread load averages with an *up* migration threshold (little->big
+//    when load exceeds it) and a *down* threshold (big->little when load
+//    falls below it);
+//  * consequence: concurrently running CPU-intensive threads all collect on
+//    the big cluster and time-share it while the little cluster idles —
+//    the inefficiency HARS exploits;
+//  * affinity masks (sched_setaffinity) are honoured, which is exactly how
+//    HARS pins threads to its chosen core allocation;
+//  * within the permitted cores, threads are balanced to the least-loaded
+//    core, preferring the current core on ties (stickiness).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace hars {
+
+struct GtsConfig {
+  double up_threshold = 0.80;    ///< little -> big when load_avg above.
+  double down_threshold = 0.30;  ///< big -> little when load_avg below.
+  /// Idle-pull spill-over: when true, an idle online core steals a
+  /// runnable thread from a core packing two or more, across clusters.
+  /// Models the fine-grain inter-cluster balancing of later schedulers
+  /// (EAS-style; thesis §3.1.4 option 3 / related work [9]) — stock GTS
+  /// does NOT do this (§4.1.1), which is the paper's baseline critique.
+  bool idle_pull = false;
+};
+
+class GtsScheduler final : public Scheduler {
+ public:
+  explicit GtsScheduler(GtsConfig config = {});
+
+  void assign(const Machine& machine, std::vector<SimThread>& threads) override;
+
+  const char* name() const override { return "gts"; }
+
+  const GtsConfig& config() const { return config_; }
+
+ private:
+  GtsConfig config_;
+};
+
+}  // namespace hars

@@ -1,0 +1,15 @@
+#include "sched/load_tracker.hpp"
+
+#include <cmath>
+
+namespace hars {
+
+LoadTracker::LoadTracker(TimeUs half_life_us) : half_life_us_(half_life_us) {}
+
+void LoadTracker::update(bool runnable, TimeUs tick_us) {
+  const double decay =
+      std::exp2(-static_cast<double>(tick_us) / static_cast<double>(half_life_us_));
+  value_ = value_ * decay + (runnable ? 1.0 : 0.0) * (1.0 - decay);
+}
+
+}  // namespace hars

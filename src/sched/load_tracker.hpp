@@ -1,0 +1,31 @@
+// Per-thread load tracking, a simplified analogue of the kernel's
+// per-entity load tracking that drives GTS migration decisions: an
+// exponentially weighted moving average of the thread's runnable fraction.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace hars {
+
+class LoadTracker {
+ public:
+  /// `half_life_us` controls how quickly the average follows behaviour
+  /// changes; the kernel's PELT half-life is ~32 ms.
+  explicit LoadTracker(TimeUs half_life_us = 32 * kUsPerMs);
+
+  /// Records one tick of `runnable` (1) or idle (0) behaviour.
+  void update(bool runnable, TimeUs tick_us);
+
+  /// Current load average in [0, 1].
+  double value() const { return value_; }
+
+  /// Threads start "hot" so freshly spawned CPU-bound work migrates up
+  /// immediately, as GTS does for forked tasks.
+  void prime(double initial) { value_ = initial; }
+
+ private:
+  TimeUs half_life_us_;
+  double value_ = 1.0;
+};
+
+}  // namespace hars

@@ -1,0 +1,41 @@
+// Scheduler interface between the simulation engine and OS-scheduler
+// models. Each tick the engine hands the scheduler the thread table; the
+// scheduler places every runnable thread on an online core permitted by
+// its affinity mask.
+#pragma once
+
+#include <vector>
+
+#include "hmp/cpu_mask.hpp"
+#include "hmp/machine.hpp"
+#include "sched/load_tracker.hpp"
+#include "util/common.hpp"
+
+namespace hars {
+
+/// Mutable per-thread record owned by the simulation engine.
+struct SimThread {
+  ThreadId id = 0;       ///< Engine-global thread id.
+  AppId app = 0;         ///< Owning application index.
+  int local_index = 0;   ///< Thread index within the application.
+  CpuMask affinity;      ///< sched_setaffinity mask (all cores by default).
+  CoreId core = -1;      ///< Current placement; -1 when unplaced.
+  bool runnable = false; ///< Wants CPU this tick.
+  LoadTracker load;      ///< Load average for migration decisions.
+  TimeUs cpu_time_us = 0;      ///< Lifetime CPU time consumed.
+  std::int64_t migrations = 0; ///< Cross-core placement changes.
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Places every runnable thread on a core (`SimThread::core`); must only
+  /// use online cores inside each thread's affinity mask (falling back to
+  /// any online core when the intersection is empty, as Linux does).
+  virtual void assign(const Machine& machine, std::vector<SimThread>& threads) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace hars

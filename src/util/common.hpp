@@ -1,0 +1,34 @@
+// Common scalar types and small helpers shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hars {
+
+/// Simulated time in microseconds since simulation start.
+using TimeUs = std::int64_t;
+
+/// Abstract units of application work. One "work unit" at speed 1.0
+/// takes one second of CPU time; speeds are in work-units per second.
+using WorkUnits = double;
+
+/// Identifier of a hardware core within the machine (dense, 0-based).
+using CoreId = int;
+
+/// Identifier of a cluster within the machine (dense, 0-based).
+using ClusterId = int;
+
+/// Identifier of a simulated software thread (dense per SimEngine).
+using ThreadId = int;
+
+/// Identifier of an application registered with the runtime.
+using AppId = int;
+
+constexpr TimeUs kUsPerSec = 1'000'000;
+constexpr TimeUs kUsPerMs = 1'000;
+
+inline double us_to_sec(TimeUs us) { return static_cast<double>(us) / kUsPerSec; }
+inline TimeUs sec_to_us(double sec) { return static_cast<TimeUs>(sec * kUsPerSec); }
+
+}  // namespace hars

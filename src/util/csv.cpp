@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+namespace hars {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  bool first = true;
+  for (auto n : names) {
+    if (!first) out_ << ',';
+    out_ << csv_escape(n);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> cells) {
+  bool first = true;
+  for (double c : cells) {
+    if (!first) out_ << ',';
+    out_ << c;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::raw_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace hars

@@ -1,0 +1,36 @@
+// Minimal CSV writer used to dump behaviour traces (Figures 5.5-5.7) and
+// bench series so they can be re-plotted outside the harness.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hars {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; `ok()` reports whether the stream is usable.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+
+  /// Writes a header row; fields are escaped as needed.
+  void header(std::initializer_list<std::string_view> names);
+
+  /// Appends one row of numeric cells.
+  void row(std::initializer_list<double> cells);
+
+  /// Appends one row of already-formatted cells.
+  void raw_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Escapes a single CSV field (quotes fields containing separators).
+std::string csv_escape(std::string_view field);
+
+}  // namespace hars

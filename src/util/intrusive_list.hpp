@@ -1,0 +1,77 @@
+// Intrusive singly-linked list.
+//
+// MP-HARS (thesis §4.1.2) manages per-application data in a linked list that
+// the runtime manager walks each iteration (Algorithm 3). We mirror that
+// structure: nodes embed the link, the list never owns its nodes.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace hars {
+
+template <typename T>
+struct IntrusiveListNode {
+  T* next = nullptr;
+};
+
+/// Singly-linked list over nodes deriving from IntrusiveListNode<T>.
+/// Non-owning: callers control node lifetime and must unlink before
+/// destroying a linked node.
+template <typename T>
+class IntrusiveList {
+ public:
+  bool empty() const { return head_ == nullptr; }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (T* p = head_; p != nullptr; p = p->next) ++n;
+    return n;
+  }
+
+  T* head() const { return head_; }
+
+  /// Appends at the tail (applications adapt in registration order).
+  void push_back(T* node) {
+    assert(node != nullptr && node->next == nullptr);
+    if (head_ == nullptr) {
+      head_ = tail_ = node;
+      return;
+    }
+    tail_->next = node;
+    tail_ = node;
+  }
+
+  /// Removes `node` if present; returns whether it was found.
+  bool remove(T* node) {
+    T* prev = nullptr;
+    for (T* p = head_; p != nullptr; prev = p, p = p->next) {
+      if (p != node) continue;
+      if (prev == nullptr) {
+        head_ = p->next;
+      } else {
+        prev->next = p->next;
+      }
+      if (tail_ == p) tail_ = prev;
+      p->next = nullptr;
+      return true;
+    }
+    return false;
+  }
+
+  /// Walks the list invoking `fn(T&)` on each node; `fn` must not unlink.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (T* p = head_; p != nullptr;) {
+      T* next = p->next;  // Tolerate fn mutating the node's payload.
+      fn(*p);
+      p = next;
+    }
+  }
+
+ private:
+  T* head_ = nullptr;
+  T* tail_ = nullptr;
+};
+
+}  // namespace hars

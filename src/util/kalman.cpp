@@ -1,0 +1,39 @@
+#include "util/kalman.hpp"
+
+namespace hars {
+
+ScalarKalman::ScalarKalman(double q, double r, double initial_p)
+    : q_(q), r_(r), initial_p_(initial_p), p_(initial_p) {}
+
+double ScalarKalman::update(double measurement) {
+  if (!initialized_) {
+    x_ = measurement;
+    p_ = initial_p_;
+    initialized_ = true;
+    k_ = 1.0;
+    return x_;
+  }
+  // Predict (random walk): x stays, uncertainty grows.
+  p_ += q_;
+  // Update.
+  k_ = p_ / (p_ + r_);
+  x_ += k_ * (measurement - x_);
+  p_ *= (1.0 - k_);
+  return x_;
+}
+
+void ScalarKalman::reset() {
+  x_ = 0.0;
+  p_ = initial_p_;
+  k_ = 0.0;
+  initialized_ = false;
+}
+
+void ScalarKalman::rescale(double factor) {
+  if (!initialized_) return;
+  x_ *= factor;
+  // Scaling multiplies the variance by factor^2.
+  p_ *= factor * factor;
+}
+
+}  // namespace hars

@@ -1,0 +1,53 @@
+// Scalar Kalman filter.
+//
+// The thesis (§3.1.4) notes HARS's workload prediction — "the next period
+// looks like the last one" — can be upgraded with a Kalman filter as in
+// Hoffmann et al.'s PTRADE/SEEC work [6]. This is the standard 1-D
+// random-walk filter those systems use: state x is the quantity being
+// tracked (heartbeat rate, workload per beat), Q the process noise (how
+// fast the true value drifts) and R the measurement noise (how noisy each
+// windowed observation is).
+#pragma once
+
+namespace hars {
+
+class ScalarKalman {
+ public:
+  /// `q`: process-noise variance per update; `r`: measurement-noise
+  /// variance; `initial_p`: initial estimate variance (large = trust the
+  /// first measurements).
+  explicit ScalarKalman(double q = 1e-4, double r = 1e-2,
+                        double initial_p = 1.0);
+
+  /// Incorporates one measurement and returns the filtered estimate.
+  double update(double measurement);
+
+  /// Current estimate (prediction for the next period under random walk).
+  double estimate() const { return x_; }
+
+  /// Current estimate variance.
+  double variance() const { return p_; }
+
+  /// Kalman gain used by the most recent update (diagnostics).
+  double last_gain() const { return k_; }
+
+  bool initialized() const { return initialized_; }
+
+  void reset();
+
+  /// Rescale the state when the operating point changes by a known factor
+  /// (e.g. the runtime changed the system state and expects rate to scale
+  /// by `factor`); keeps the filter from treating the jump as noise.
+  void rescale(double factor);
+
+ private:
+  double q_;
+  double r_;
+  double initial_p_;
+  double x_ = 0.0;
+  double p_;
+  double k_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace hars

@@ -1,0 +1,28 @@
+// Leveled logging with a process-global threshold. The simulator is silent
+// by default; experiments raise the level for behaviour debugging.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace hars {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a formatted message (printf-style) when `level` passes the filter.
+void log_message(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+#define HARS_LOG_DEBUG(...) ::hars::log_message(::hars::LogLevel::kDebug, __VA_ARGS__)
+#define HARS_LOG_INFO(...) ::hars::log_message(::hars::LogLevel::kInfo, __VA_ARGS__)
+#define HARS_LOG_WARN(...) ::hars::log_message(::hars::LogLevel::kWarn, __VA_ARGS__)
+#define HARS_LOG_ERROR(...) ::hars::log_message(::hars::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace hars

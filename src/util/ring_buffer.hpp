@@ -1,0 +1,56 @@
+// Fixed-capacity ring buffer; used for heartbeat windows and load history.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace hars {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    assert(capacity > 0);
+  }
+
+  void push(const T& value) {
+    buf_[head_] = value;
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buf_.size(); }
+
+  /// Element `i` counted from the oldest retained entry (0 = oldest).
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    const std::size_t start = (head_ + buf_.size() - size_) % buf_.size();
+    return buf_[(start + i) % buf_.size()];
+  }
+
+  const T& newest() const {
+    assert(size_ > 0);
+    return (*this)[size_ - 1];
+  }
+
+  const T& oldest() const {
+    assert(size_ > 0);
+    return (*this)[0];
+  }
+
+  void clear() {
+    size_ = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hars

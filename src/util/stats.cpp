@@ -1,0 +1,144 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hars {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+namespace {
+
+// Solve the symmetric positive-definite system A x = b in place via
+// Gaussian elimination with partial pivoting. Returns false if singular.
+bool solve_dense(std::vector<std::vector<double>>& a, std::vector<double>& b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[pivot], a[col]);
+    std::swap(b[pivot], b[col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i][k] * b[k];
+    b[i] = acc / a[i][i];
+  }
+  return true;
+}
+
+}  // namespace
+
+RegressionFit fit_linear(std::span<const std::vector<double>> xs,
+                         std::span<const double> ys) {
+  RegressionFit fit;
+  fit.n = ys.size();
+  if (xs.empty() || xs.size() != ys.size()) return fit;
+  const std::size_t d = xs.front().size();
+  // Augment with the intercept column: solve for [coeffs..., intercept].
+  const std::size_t m = d + 1;
+  std::vector<std::vector<double>> ata(m, std::vector<double>(m, 0.0));
+  std::vector<double> atb(m, 0.0);
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    std::vector<double> row(m, 1.0);
+    for (std::size_t j = 0; j < d; ++j) row[j] = xs[s][j];
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) ata[i][j] += row[i] * row[j];
+      atb[i] += row[i] * ys[s];
+    }
+  }
+  if (!solve_dense(ata, atb)) return fit;
+  fit.coeffs.assign(atb.begin(), atb.begin() + static_cast<long>(d));
+  fit.intercept = atb.back();
+
+  double y_mean = 0.0;
+  for (double y : ys) y_mean += y;
+  y_mean /= static_cast<double>(ys.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    const double pred = predict(fit, xs[s]);
+    ss_res += (ys[s] - pred) * (ys[s] - pred);
+    ss_tot += (ys[s] - y_mean) * (ys[s] - y_mean);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+RegressionFit fit_linear_1d(std::span<const double> x, std::span<const double> y) {
+  std::vector<std::vector<double>> xs;
+  xs.reserve(x.size());
+  for (double v : x) xs.push_back({v});
+  return fit_linear(xs, y);
+}
+
+double predict(const RegressionFit& fit, std::span<const double> x) {
+  double acc = fit.intercept;
+  const std::size_t d = std::min(fit.coeffs.size(), x.size());
+  for (std::size_t i = 0; i < d; ++i) acc += fit.coeffs[i] * x[i];
+  return acc;
+}
+
+}  // namespace hars

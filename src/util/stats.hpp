@@ -1,0 +1,64 @@
+// Small statistics toolkit: online moments, geometric mean, and ordinary
+// least-squares linear regression (the paper's power estimator fits
+// per-(cluster, frequency) linear models to profiled sensor data).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hars {
+
+/// Numerically stable online mean / variance / min / max accumulator
+/// (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values; returns 0 for empty input.
+double geomean(std::span<const double> values);
+
+/// Arithmetic mean; returns 0 for empty input.
+double mean(std::span<const double> values);
+
+/// Result of a simple (one- or multi-feature) least-squares fit.
+struct RegressionFit {
+  std::vector<double> coeffs;  ///< One coefficient per feature.
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< Coefficient of determination on the fit data.
+  std::size_t n = 0;       ///< Number of samples fitted.
+};
+
+/// Ordinary least-squares for y = coeffs . x + intercept.
+///
+/// `xs` holds one feature row per sample. Solved via normal equations with
+/// Gaussian elimination (feature counts here are tiny: 1-2). Returns a fit
+/// with r_squared = 0 when the system is degenerate.
+RegressionFit fit_linear(std::span<const std::vector<double>> xs,
+                         std::span<const double> ys);
+
+/// Convenience: single-feature fit y = a*x + b.
+RegressionFit fit_linear_1d(std::span<const double> x, std::span<const double> y);
+
+/// Evaluate a fit on a feature vector.
+double predict(const RegressionFit& fit, std::span<const double> x);
+
+}  // namespace hars

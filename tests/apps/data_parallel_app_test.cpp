@@ -1,0 +1,133 @@
+#include "apps/data_parallel_app.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hars {
+namespace {
+
+DataParallelConfig base_config() {
+  DataParallelConfig cfg;
+  cfg.threads = 4;
+  cfg.speed = SpeedModel{3.0, 2.0};
+  cfg.workload = {WorkloadShape::kStable, 4.0, 0.0, 0.0, 1};
+  return cfg;
+}
+
+TEST(DataParallelApp, AllThreadsRunnableAtStart) {
+  DataParallelApp app("t", base_config());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(app.runnable(i));
+}
+
+TEST(DataParallelApp, HeartbeatAtBarrierOnly) {
+  DataParallelApp app("t", base_config());
+  // Each thread has 1.0 work. At big/1.0 GHz a thread does 3 wu/s:
+  // 1 wu needs ~333 ms.
+  for (int step = 0; step < 300; ++step) {
+    for (int i = 0; i < 3; ++i) {  // Thread 3 starved.
+      app.execute(i, 10 * kUsPerMs, CoreType::kBig, 1.0);
+    }
+    app.end_tick((step + 1) * 10 * kUsPerMs);
+  }
+  EXPECT_EQ(app.heartbeats().count(), 0);  // Barrier never completes.
+  EXPECT_FALSE(app.runnable(0));           // Done threads idle at barrier.
+  EXPECT_TRUE(app.runnable(3));
+}
+
+TEST(DataParallelApp, IterationCompletesWithAllThreads) {
+  DataParallelApp app("t", base_config());
+  TimeUs now = 0;
+  while (app.heartbeats().count() < 3 && now < 10 * kUsPerSec) {
+    now += kUsPerMs;
+    for (int i = 0; i < 4; ++i) app.execute(i, kUsPerMs, CoreType::kBig, 1.0);
+    app.end_tick(now);
+  }
+  EXPECT_EQ(app.heartbeats().count(), 3);
+  EXPECT_EQ(app.iterations_completed(), 3);
+  // 1 wu per thread at 3 wu/s -> 333 ms per iteration.
+  EXPECT_NEAR(static_cast<double>(now) / 3.0, 333'000.0, 5'000.0);
+}
+
+TEST(DataParallelApp, ExecuteReturnsUsedTimeOnly) {
+  DataParallelApp app("t", base_config());
+  // Share of 10 s at 3 wu/s would do 30 wu, but only 1 wu remains.
+  const TimeUs used = app.execute(0, 10 * kUsPerSec, CoreType::kBig, 1.0);
+  EXPECT_NEAR(static_cast<double>(used), 1.0 / 3.0 * kUsPerSec, 2000.0);
+  EXPECT_EQ(app.execute(0, kUsPerSec, CoreType::kBig, 1.0), 0);
+}
+
+TEST(DataParallelApp, SpeedDependsOnCoreTypeAndFreq) {
+  DataParallelConfig cfg = base_config();
+  cfg.speed = SpeedModel{4.0, 1.0};
+  DataParallelApp app("t", cfg);
+  const TimeUs big = app.execute(0, 100 * kUsPerMs, CoreType::kBig, 1.0);
+  // 0.1 s at 4 wu/s consumes 0.4 wu of the 1.0 share: full share used.
+  EXPECT_EQ(big, 100 * kUsPerMs);
+  // Little at 1 wu/s: also keeps running but retires 4x less work; after
+  // 0.6 wu remain, 0.6 s of little time finishes the share.
+  const TimeUs little = app.execute(0, kUsPerSec, CoreType::kLittle, 1.0);
+  EXPECT_NEAR(static_cast<double>(little), 0.6 * kUsPerSec, 2000.0);
+}
+
+TEST(DataParallelApp, WarmupSerialPhase) {
+  DataParallelConfig cfg = base_config();
+  cfg.warmup_work = 3.0;
+  DataParallelApp app("t", cfg);
+  EXPECT_TRUE(app.in_warmup());
+  EXPECT_TRUE(app.runnable(0));   // Only thread 0 parses input.
+  EXPECT_FALSE(app.runnable(1));
+  // 3 wu at 3 wu/s = 1 s of work.
+  TimeUs now = 0;
+  while (app.in_warmup() && now < 5 * kUsPerSec) {
+    now += kUsPerMs;
+    app.execute(0, kUsPerMs, CoreType::kBig, 1.0);
+    app.end_tick(now);
+  }
+  EXPECT_NEAR(static_cast<double>(now), 1.0 * kUsPerSec, 10'000.0);
+  EXPECT_EQ(app.heartbeats().count(), 0);  // No heartbeats during warmup.
+  // After warmup all threads become runnable.
+  app.end_tick(now + kUsPerMs);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(app.runnable(i));
+}
+
+TEST(DataParallelApp, MaxIterationsFinishes) {
+  DataParallelConfig cfg = base_config();
+  cfg.max_iterations = 2;
+  DataParallelApp app("t", cfg);
+  TimeUs now = 0;
+  for (int step = 0; step < 2000 && !app.finished(); ++step) {
+    now += kUsPerMs;
+    for (int i = 0; i < 4; ++i) app.execute(i, kUsPerMs, CoreType::kBig, 1.6);
+    app.end_tick(now);
+  }
+  EXPECT_TRUE(app.finished());
+  EXPECT_EQ(app.heartbeats().count(), 2);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(app.runnable(i));
+}
+
+TEST(DataParallelApp, ImbalanceJittersShares) {
+  DataParallelConfig cfg = base_config();
+  cfg.imbalance = 0.3;
+  DataParallelApp app("t", cfg);
+  // Run threads with identical CPU; with jittered shares they finish at
+  // different times, so right after some finish others still run.
+  bool observed_partial = false;
+  TimeUs now = 0;
+  for (int step = 0; step < 3000; ++step) {
+    now += kUsPerMs;
+    for (int i = 0; i < 4; ++i) app.execute(i, kUsPerMs, CoreType::kBig, 1.0);
+    int runnable = 0;
+    for (int i = 0; i < 4; ++i) runnable += app.runnable(i);
+    if (runnable > 0 && runnable < 4) observed_partial = true;
+    app.end_tick(now);
+  }
+  EXPECT_TRUE(observed_partial);
+}
+
+TEST(DataParallelApp, RejectsZeroThreads) {
+  DataParallelConfig cfg = base_config();
+  cfg.threads = 0;
+  EXPECT_THROW(DataParallelApp("t", cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hars

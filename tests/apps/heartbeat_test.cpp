@@ -1,0 +1,85 @@
+#include "heartbeats/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hars {
+namespace {
+
+TEST(PerfTarget, AroundBuildsSymmetricWindow) {
+  const PerfTarget t = PerfTarget::around(2.0, 0.05);
+  EXPECT_NEAR(t.min, 1.9, 1e-12);
+  EXPECT_NEAR(t.max, 2.1, 1e-12);
+  EXPECT_NEAR(t.avg(), 2.0, 1e-12);
+}
+
+TEST(PerfTarget, Contains) {
+  const PerfTarget t{1.0, 2.0};
+  EXPECT_TRUE(t.contains(1.0));
+  EXPECT_TRUE(t.contains(1.5));
+  EXPECT_TRUE(t.contains(2.0));
+  EXPECT_FALSE(t.contains(0.99));
+  EXPECT_FALSE(t.contains(2.01));
+}
+
+TEST(HeartbeatMonitor, CountsAndIndexes) {
+  HeartbeatMonitor m;
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_EQ(m.last_index(), -1);
+  m.emit(100);
+  m.emit(200);
+  EXPECT_EQ(m.count(), 2);
+  EXPECT_EQ(m.last_index(), 1);
+  EXPECT_EQ(m.last_time(), 200);
+}
+
+TEST(HeartbeatMonitor, RateNeedsTwoBeats) {
+  HeartbeatMonitor m;
+  EXPECT_EQ(m.rate(), 0.0);
+  m.emit(kUsPerSec);
+  EXPECT_EQ(m.rate(), 0.0);
+  m.emit(2 * kUsPerSec);
+  EXPECT_NEAR(m.rate(), 1.0, 1e-9);
+}
+
+TEST(HeartbeatMonitor, WindowedRateTracksRecentBehaviour) {
+  HeartbeatMonitor m(/*window=*/5);
+  // 10 beats at 1 Hz, then 10 at 10 Hz.
+  TimeUs t = 0;
+  for (int i = 0; i < 10; ++i) m.emit(t += kUsPerSec);
+  for (int i = 0; i < 10; ++i) m.emit(t += kUsPerSec / 10);
+  EXPECT_NEAR(m.rate(), 10.0, 0.5);
+}
+
+TEST(HeartbeatMonitor, GlobalRateSpansWholeRun) {
+  HeartbeatMonitor m(3);
+  TimeUs t = 0;
+  for (int i = 0; i < 21; ++i) m.emit(t += kUsPerSec / 2);
+  EXPECT_NEAR(m.global_rate(t), 2.0, 0.01);
+}
+
+TEST(HeartbeatMonitor, HistoryKeepsEverything) {
+  HeartbeatMonitor m(2);
+  for (int i = 0; i < 50; ++i) m.emit(i * 1000);
+  EXPECT_EQ(m.history().size(), 50u);
+  EXPECT_EQ(m.history().front().index, 0);
+  EXPECT_EQ(m.history().back().index, 49);
+}
+
+TEST(HeartbeatMonitor, ResetClears) {
+  HeartbeatMonitor m;
+  m.emit(1);
+  m.reset();
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_TRUE(m.history().empty());
+  EXPECT_EQ(m.rate(), 0.0);
+}
+
+TEST(HeartbeatMonitor, TargetStored) {
+  HeartbeatMonitor m;
+  m.set_target(PerfTarget{1.5, 2.5});
+  EXPECT_DOUBLE_EQ(m.target().min, 1.5);
+  EXPECT_DOUBLE_EQ(m.target().max, 2.5);
+}
+
+}  // namespace
+}  // namespace hars

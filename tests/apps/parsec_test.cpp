@@ -1,0 +1,89 @@
+#include "apps/parsec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/data_parallel_app.hpp"
+#include "apps/pipeline_app.hpp"
+
+namespace hars {
+namespace {
+
+TEST(Parsec, CodesAndNames) {
+  EXPECT_STREQ(parsec_code(ParsecBenchmark::kBlackscholes), "BL");
+  EXPECT_STREQ(parsec_code(ParsecBenchmark::kBodytrack), "BO");
+  EXPECT_STREQ(parsec_code(ParsecBenchmark::kFacesim), "FA");
+  EXPECT_STREQ(parsec_code(ParsecBenchmark::kFerret), "FE");
+  EXPECT_STREQ(parsec_code(ParsecBenchmark::kFluidanimate), "FL");
+  EXPECT_STREQ(parsec_code(ParsecBenchmark::kSwaptions), "SW");
+  EXPECT_STREQ(parsec_name(ParsecBenchmark::kFerret), "ferret");
+}
+
+TEST(Parsec, SixBenchmarksInFigureOrder) {
+  const auto all = all_parsec_benchmarks();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all.front(), ParsecBenchmark::kBlackscholes);
+  EXPECT_EQ(all.back(), ParsecBenchmark::kSwaptions);
+}
+
+TEST(Parsec, MultiappSubsetHasFour) {
+  EXPECT_EQ(multiapp_parsec_benchmarks().size(), 4u);
+}
+
+TEST(Parsec, BlackscholesRatioIsOne) {
+  EXPECT_DOUBLE_EQ(parsec_true_ratio(ParsecBenchmark::kBlackscholes), 1.0);
+  EXPECT_DOUBLE_EQ(parsec_true_ratio(ParsecBenchmark::kSwaptions), 1.5);
+}
+
+TEST(Parsec, BlackscholesSpeedEqualOnBothCoreTypes) {
+  auto app = make_parsec_app(ParsecBenchmark::kBlackscholes);
+  const SpeedModel& speed = app->speed_model();
+  EXPECT_DOUBLE_EQ(speed.speed(CoreType::kBig, 1.0),
+                   speed.speed(CoreType::kLittle, 1.0));
+}
+
+TEST(Parsec, BlackscholesHasWarmupPhase) {
+  auto app = make_parsec_app(ParsecBenchmark::kBlackscholes);
+  auto* dp = dynamic_cast<DataParallelApp*>(app.get());
+  ASSERT_NE(dp, nullptr);
+  EXPECT_TRUE(dp->in_warmup());
+}
+
+TEST(Parsec, FerretIsSixStagePipelineWithEightThreads) {
+  auto app = make_parsec_app(ParsecBenchmark::kFerret);
+  auto* pipe = dynamic_cast<PipelineApp*>(app.get());
+  ASSERT_NE(pipe, nullptr);
+  EXPECT_EQ(pipe->num_stages(), 6);
+  EXPECT_EQ(pipe->thread_count(), 8);
+}
+
+TEST(Parsec, DataParallelBenchmarksHonorThreadCount) {
+  for (ParsecBenchmark b : {ParsecBenchmark::kBodytrack, ParsecBenchmark::kFacesim,
+                            ParsecBenchmark::kFluidanimate,
+                            ParsecBenchmark::kSwaptions}) {
+    auto app = make_parsec_app(b, 6);
+    EXPECT_EQ(app->thread_count(), 6) << parsec_name(b);
+  }
+}
+
+TEST(Parsec, DeterministicConstruction) {
+  auto a = make_parsec_app(ParsecBenchmark::kBodytrack, 8, 99);
+  auto b = make_parsec_app(ParsecBenchmark::kBodytrack, 8, 99);
+  // Execute identically and compare heartbeat times.
+  TimeUs now = 0;
+  for (int step = 0; step < 2000; ++step) {
+    now += kUsPerMs;
+    for (int i = 0; i < 8; ++i) {
+      a->execute(i, kUsPerMs, CoreType::kBig, 1.6);
+      b->execute(i, kUsPerMs, CoreType::kBig, 1.6);
+    }
+    a->end_tick(now);
+    b->end_tick(now);
+  }
+  ASSERT_EQ(a->heartbeats().count(), b->heartbeats().count());
+  EXPECT_GT(a->heartbeats().count(), 0);
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,116 @@
+#include "apps/pipeline_app.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hars {
+namespace {
+
+PipelineConfig two_stage() {
+  PipelineConfig cfg;
+  cfg.stages = {{1, 1.0}, {1, 1.0}};
+  cfg.speed = SpeedModel{3.0, 2.0};
+  cfg.max_in_flight = 4;
+  return cfg;
+}
+
+TEST(PipelineApp, ThreadCountSumsStages) {
+  PipelineConfig cfg;
+  cfg.stages = {{1, 0.2}, {1, 0.6}, {2, 1.6}, {2, 1.6}, {1, 0.6}, {1, 0.2}};
+  PipelineApp app("ferret", cfg);
+  EXPECT_EQ(app.thread_count(), 8);
+  EXPECT_EQ(app.num_stages(), 6);
+  EXPECT_EQ(app.stage_of_thread(0), 0);
+  EXPECT_EQ(app.stage_of_thread(2), 2);
+  EXPECT_EQ(app.stage_of_thread(3), 2);
+  EXPECT_EQ(app.stage_of_thread(7), 5);
+}
+
+TEST(PipelineApp, ItemsFlowAndEmitHeartbeats) {
+  PipelineApp app("p", two_stage());
+  TimeUs now = 0;
+  for (int step = 0; step < 5000; ++step) {
+    now += kUsPerMs;
+    app.begin_tick(now);
+    for (int i = 0; i < 2; ++i) app.execute(i, kUsPerMs, CoreType::kBig, 1.0);
+    app.end_tick(now);
+  }
+  // Each stage does 1 wu/item at 3 wu/s -> steady state 3 items/s; 5 s run.
+  EXPECT_NEAR(static_cast<double>(app.items_retired()), 15.0, 2.0);
+  EXPECT_EQ(app.heartbeats().count(), app.items_retired());
+}
+
+TEST(PipelineApp, ThroughputLimitedByBottleneckStage) {
+  PipelineConfig cfg;
+  cfg.stages = {{1, 0.5}, {1, 2.0}};  // Stage 1 is 4x heavier.
+  cfg.speed = SpeedModel{2.0, 2.0};
+  PipelineApp app("p", cfg);
+  TimeUs now = 0;
+  for (int step = 0; step < 10000; ++step) {
+    now += kUsPerMs;
+    app.begin_tick(now);
+    for (int i = 0; i < 2; ++i) app.execute(i, kUsPerMs, CoreType::kBig, 1.0);
+    app.end_tick(now);
+  }
+  // Bottleneck: 2 wu at 2 wu/s = 1 item/s.
+  EXPECT_NEAR(app.heartbeats().global_rate(now), 1.0, 0.1);
+}
+
+TEST(PipelineApp, StarvedStageNotRunnable) {
+  PipelineApp app("p", two_stage());
+  app.begin_tick(kUsPerMs);
+  EXPECT_TRUE(app.runnable(0));   // Source has admitted items.
+  EXPECT_FALSE(app.runnable(1));  // Nothing has reached stage 1 yet.
+}
+
+TEST(PipelineApp, InFlightBounded) {
+  PipelineConfig cfg = two_stage();
+  cfg.max_in_flight = 2;
+  PipelineApp app("p", cfg);
+  TimeUs now = 0;
+  // Stage 1 never executes: items pile up only to the in-flight cap.
+  for (int step = 0; step < 1000; ++step) {
+    now += kUsPerMs;
+    app.begin_tick(now);
+    app.execute(0, kUsPerMs, CoreType::kBig, 1.0);
+    app.end_tick(now);
+  }
+  EXPECT_EQ(app.items_retired(), 0);
+  EXPECT_TRUE(app.runnable(1));
+}
+
+TEST(PipelineApp, MaxItemsFinishes) {
+  PipelineConfig cfg = two_stage();
+  cfg.max_items = 3;
+  PipelineApp app("p", cfg);
+  TimeUs now = 0;
+  for (int step = 0; step < 20000 && !app.finished(); ++step) {
+    now += kUsPerMs;
+    app.begin_tick(now);
+    for (int i = 0; i < 2; ++i) app.execute(i, kUsPerMs, CoreType::kBig, 1.6);
+    app.end_tick(now);
+  }
+  EXPECT_TRUE(app.finished());
+  EXPECT_EQ(app.items_retired(), 3);
+}
+
+TEST(PipelineApp, MultipleItemsPerTickWhenFast) {
+  PipelineConfig cfg;
+  cfg.stages = {{1, 0.001}, {1, 0.001}};  // Tiny items.
+  cfg.speed = SpeedModel{3.0, 2.0};
+  cfg.max_in_flight = 64;
+  PipelineApp app("p", cfg);
+  TimeUs now = kUsPerMs;
+  app.begin_tick(now);
+  app.execute(0, kUsPerMs, CoreType::kBig, 1.6);
+  app.execute(1, kUsPerMs, CoreType::kBig, 1.6);
+  app.end_tick(now);
+  EXPECT_GT(app.heartbeats().count(), 1);
+}
+
+TEST(PipelineApp, RequiresStages) {
+  PipelineConfig cfg;
+  EXPECT_THROW(PipelineApp("p", cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hars

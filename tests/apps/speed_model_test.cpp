@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+
+namespace hars {
+namespace {
+
+TEST(SpeedModel, ComputeBoundScalesLinearly) {
+  const SpeedModel m{3.0, 2.0, 0.0};
+  EXPECT_DOUBLE_EQ(m.speed(CoreType::kBig, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(m.speed(CoreType::kBig, 1.6), 4.8);
+  EXPECT_DOUBLE_EQ(m.speed(CoreType::kLittle, 1.3), 2.6);
+}
+
+TEST(SpeedModel, FullyMemoryBoundIgnoresFrequency) {
+  const SpeedModel m{3.0, 2.0, 1.0};
+  EXPECT_NEAR(m.speed(CoreType::kBig, 0.8), m.speed(CoreType::kBig, 1.6), 1e-9);
+}
+
+TEST(SpeedModel, PartialMemorySensitivitySublinear) {
+  const SpeedModel m{3.0, 2.0, 0.5};
+  const double low = m.speed(CoreType::kBig, 0.8);
+  const double high = m.speed(CoreType::kBig, 1.6);
+  // Doubling frequency buys sqrt(2), not 2.
+  EXPECT_NEAR(high / low, std::sqrt(2.0), 1e-9);
+}
+
+TEST(SpeedModel, RatioUnaffectedByMemorySensitivity) {
+  const SpeedModel m{3.0, 2.0, 0.4};
+  const double r = m.speed(CoreType::kBig, 1.0) / m.speed(CoreType::kLittle, 1.0);
+  EXPECT_NEAR(r, 1.5, 1e-9);
+}
+
+TEST(SpeedModel, SpeedAtOneGhzEqualsIpc) {
+  const SpeedModel m{3.0, 2.0, 0.7};
+  EXPECT_NEAR(m.speed(CoreType::kBig, 1.0), 3.0, 1e-9);
+  EXPECT_NEAR(m.speed(CoreType::kLittle, 1.0), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,63 @@
+#include "apps/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace hars {
+namespace {
+
+TEST(WorkloadGenerator, StableIsConstant) {
+  WorkloadConfig cfg{WorkloadShape::kStable, 5.0, 0.0, 0.0, 1};
+  WorkloadGenerator gen(cfg, Rng(1));
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(gen.next(i), 5.0);
+}
+
+TEST(WorkloadGenerator, NoisyCentersOnBase) {
+  WorkloadConfig cfg{WorkloadShape::kNoisy, 10.0, 0.1, 0.0, 1};
+  WorkloadGenerator gen(cfg, Rng(2));
+  OnlineStats stats;
+  for (int i = 0; i < 5000; ++i) stats.add(gen.next(i));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.2);
+  EXPECT_GT(stats.stddev(), 0.5);
+}
+
+TEST(WorkloadGenerator, PhasedOscillates) {
+  WorkloadConfig cfg{WorkloadShape::kPhased, 10.0, 0.0, 0.3, 40};
+  WorkloadGenerator gen(cfg, Rng(3));
+  double min_v = 1e9;
+  double max_v = -1e9;
+  for (int i = 0; i < 80; ++i) {
+    const double v = gen.next(i);
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_NEAR(max_v, 13.0, 0.2);
+  EXPECT_NEAR(min_v, 7.0, 0.2);
+}
+
+TEST(WorkloadGenerator, PhasedPeriodRepeats) {
+  WorkloadConfig cfg{WorkloadShape::kPhased, 10.0, 0.0, 0.3, 20};
+  WorkloadGenerator gen(cfg, Rng(4));
+  std::vector<double> first_cycle;
+  for (int i = 0; i < 20; ++i) first_cycle.push_back(gen.next(i));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NEAR(gen.next(i + 20), first_cycle[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(WorkloadGenerator, NeverCollapsesUnderHeavyNoise) {
+  WorkloadConfig cfg{WorkloadShape::kNoisy, 1.0, 3.0, 0.0, 1};
+  WorkloadGenerator gen(cfg, Rng(5));
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(gen.next(i), 0.2 * 1.0);
+}
+
+TEST(WorkloadGenerator, DeterministicAcrossInstances) {
+  WorkloadConfig cfg{WorkloadShape::kNoisy, 4.0, 0.2, 0.0, 1};
+  WorkloadGenerator a(cfg, Rng(42));
+  WorkloadGenerator b(cfg, Rng(42));
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.next(i), b.next(i));
+}
+
+}  // namespace
+}  // namespace hars

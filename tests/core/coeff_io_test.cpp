@@ -1,0 +1,111 @@
+#include "core/coeff_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/power_estimator.hpp"
+
+namespace hars {
+namespace {
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+PowerCoeffTable sample_table() {
+  const Machine machine = Machine::exynos5422();
+  return profile_power(machine, PowerModel{machine});
+}
+
+TEST(CoeffIo, RoundTripPreservesTable) {
+  const std::string path = temp_path("coeffs_roundtrip.csv");
+  const PowerCoeffTable original = sample_table();
+  ASSERT_TRUE(save_power_coeffs(path, original));
+  const auto loaded = load_power_coeffs(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->big.alpha.size(), original.big.alpha.size());
+  ASSERT_EQ(loaded->little.alpha.size(), original.little.alpha.size());
+  for (std::size_t i = 0; i < original.big.alpha.size(); ++i) {
+    EXPECT_NEAR(loaded->big.alpha[i], original.big.alpha[i], 1e-4);
+    EXPECT_NEAR(loaded->big.beta[i], original.big.beta[i], 1e-4);
+  }
+  for (std::size_t i = 0; i < original.little.alpha.size(); ++i) {
+    EXPECT_NEAR(loaded->little.alpha[i], original.little.alpha[i], 1e-4);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CoeffIo, LoadMissingFileFails) {
+  EXPECT_FALSE(load_power_coeffs("/nonexistent/dir/coeffs.csv").has_value());
+}
+
+TEST(CoeffIo, SaveToUnwritablePathFails) {
+  const PowerCoeffTable table = sample_table();
+  EXPECT_FALSE(save_power_coeffs("/nonexistent/dir/coeffs.csv", table));
+}
+
+TEST(CoeffIo, MalformedRowRejected) {
+  const std::string path = temp_path("coeffs_malformed.csv");
+  {
+    std::ofstream out(path);
+    out << "cluster,level,alpha,beta,r_squared\n";
+    out << "big,0,not_a_number,0.1,0.99\n";
+  }
+  EXPECT_FALSE(load_power_coeffs(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CoeffIo, UnknownClusterRejected) {
+  const std::string path = temp_path("coeffs_unknown.csv");
+  {
+    std::ofstream out(path);
+    out << "cluster,level,alpha,beta,r_squared\n";
+    out << "medium,0,1.0,0.1,0.99\n";
+  }
+  EXPECT_FALSE(load_power_coeffs(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CoeffIo, NonDenseLevelsRejected) {
+  const std::string path = temp_path("coeffs_sparse.csv");
+  {
+    std::ofstream out(path);
+    out << "cluster,level,alpha,beta,r_squared\n";
+    out << "big,0,1.0,0.1,0.99\n";
+    out << "big,2,1.2,0.1,0.99\n";  // Level 1 missing.
+    out << "little,0,0.3,0.05,0.99\n";
+  }
+  EXPECT_FALSE(load_power_coeffs(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CoeffIo, EmptyClusterRejected) {
+  const std::string path = temp_path("coeffs_empty.csv");
+  {
+    std::ofstream out(path);
+    out << "cluster,level,alpha,beta,r_squared\n";
+    out << "big,0,1.0,0.1,0.99\n";  // No little rows.
+  }
+  EXPECT_FALSE(load_power_coeffs(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CoeffIo, LoadedTableDrivesEstimator) {
+  const std::string path = temp_path("coeffs_est.csv");
+  const PowerCoeffTable original = sample_table();
+  ASSERT_TRUE(save_power_coeffs(path, original));
+  const auto loaded = load_power_coeffs(path);
+  ASSERT_TRUE(loaded.has_value());
+  const Machine machine = Machine::exynos5422();
+  PerfEstimator perf(machine, 1.5);
+  PowerEstimator a(original);
+  PowerEstimator b(*loaded);
+  const SystemState s{3, 2, 5, 3};
+  EXPECT_NEAR(a.estimate(s, 8, perf), b.estimate(s, 8, perf), 1e-3);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hars

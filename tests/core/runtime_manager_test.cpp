@@ -1,0 +1,147 @@
+#include "core/runtime_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/data_parallel_app.hpp"
+#include "core/hars.hpp"
+#include "sched/gts.hpp"
+
+namespace hars {
+namespace {
+
+struct Fixture {
+  SimEngine engine{Machine::exynos5422(), std::make_unique<GtsScheduler>()};
+  std::unique_ptr<DataParallelApp> app;
+  AppId id = -1;
+
+  explicit Fixture(double work_per_iter = 4.0, int threads = 8) {
+    DataParallelConfig cfg;
+    cfg.threads = threads;
+    cfg.speed = SpeedModel{3.0, 2.0};
+    cfg.workload = {WorkloadShape::kStable, work_per_iter, 0.0, 0.0, 1};
+    app = std::make_unique<DataParallelApp>("t", cfg);
+    id = engine.add_app(app.get());
+  }
+};
+
+TEST(RuntimeManager, StartsAtMaxState) {
+  Fixture f;
+  auto manager = attach_hars(f.engine, f.id, PerfTarget::around(2.0),
+                             HarsVariant::kHarsE);
+  EXPECT_EQ(manager->current_state(),
+            StateSpace::from_machine(f.engine.machine()).max_state());
+}
+
+TEST(RuntimeManager, InstallsTargetOnMonitor) {
+  Fixture f;
+  auto manager = attach_hars(f.engine, f.id, PerfTarget::around(2.0),
+                             HarsVariant::kHarsE);
+  EXPECT_NEAR(f.app->heartbeats().target().avg(), 2.0, 1e-9);
+}
+
+TEST(RuntimeManager, AdaptsDownWhenOverperforming) {
+  Fixture f;
+  // Max state gives ~9+ hb/s for work=4; target 2 hb/s -> must shed power.
+  auto manager = attach_hars(f.engine, f.id, PerfTarget::around(2.0),
+                             HarsVariant::kHarsE);
+  f.engine.run_for(60 * kUsPerSec);
+  EXPECT_GT(manager->adaptations(), 0);
+  const SystemState s = manager->current_state();
+  EXPECT_LT(manhattan_distance(s, StateSpace::from_machine(f.engine.machine()).max_state()),
+            100);  // Moved somewhere.
+  const double rate = f.app->heartbeats().rate();
+  EXPECT_NEAR(rate, 2.0, 0.5);
+}
+
+TEST(RuntimeManager, HarsIAdaptsSlowerThanHarsE) {
+  Fixture fi;
+  auto mi = attach_hars(fi.engine, fi.id, PerfTarget::around(2.0),
+                        HarsVariant::kHarsI);
+  Fixture fe;
+  auto me = attach_hars(fe.engine, fe.id, PerfTarget::around(2.0),
+                        HarsVariant::kHarsE);
+  fi.engine.run_for(20 * kUsPerSec);
+  fe.engine.run_for(20 * kUsPerSec);
+  // HARS-I moves one knob per adaptation: after the same wall time its
+  // state is no further from max than HARS-E's.
+  const SystemState max_state =
+      StateSpace::from_machine(fi.engine.machine()).max_state();
+  EXPECT_LE(manhattan_distance(mi->current_state(), max_state),
+            manhattan_distance(me->current_state(), max_state) + 1);
+}
+
+TEST(RuntimeManager, NoAdaptationInsideWindow) {
+  Fixture f;
+  RuntimeManagerConfig config = config_for_variant(HarsVariant::kHarsE);
+  auto manager = attach_hars(f.engine, f.id, PerfTarget::around(2.0),
+                             HarsVariant::kHarsE, &config);
+  f.engine.run_for(90 * kUsPerSec);
+  const std::int64_t settled = manager->adaptations();
+  // Once in the window, further run should add few or no adaptations.
+  f.engine.run_for(20 * kUsPerSec);
+  EXPECT_LE(manager->adaptations() - settled, 3);
+}
+
+TEST(RuntimeManager, TraceRecordsHeartbeats) {
+  Fixture f;
+  auto manager = attach_hars(f.engine, f.id, PerfTarget::around(2.0),
+                             HarsVariant::kHarsEI);
+  f.engine.run_for(20 * kUsPerSec);
+  ASSERT_FALSE(manager->trace().empty());
+  const TracePoint& p = manager->trace().back();
+  EXPECT_GT(p.hb_index, 0);
+  EXPECT_GT(p.hps, 0.0);
+  EXPECT_GE(p.big_cores, 0);
+  EXPECT_LE(p.big_cores, 4);
+  EXPECT_GT(p.big_freq_ghz, 0.0);
+}
+
+TEST(RuntimeManager, OverheadChargedToEngine) {
+  Fixture f;
+  auto manager = attach_hars(f.engine, f.id, PerfTarget::around(2.0),
+                             HarsVariant::kHarsE);
+  f.engine.run_for(30 * kUsPerSec);
+  EXPECT_GT(f.engine.manager_overhead_us(), 0);
+  EXPECT_LT(f.engine.manager_cpu_utilization_pct(), 10.0);
+}
+
+TEST(RuntimeManager, ApplyStateSetsFrequenciesAndAffinity) {
+  Fixture f;
+  RuntimeManagerConfig config = config_for_variant(HarsVariant::kHarsE);
+  const PowerCoeffTable coeffs =
+      profile_power(f.engine.machine(), f.engine.power_model());
+  RuntimeManager manager(f.engine, f.id, PerfTarget::around(2.0), coeffs,
+                         config);
+  manager.apply_state(SystemState{2, 3, 1, 2});
+  const Machine& m = f.engine.machine();
+  EXPECT_EQ(m.freq_level(m.big_cluster()), 1);
+  EXPECT_EQ(m.freq_level(m.little_cluster()), 2);
+  // Affinities only cover the allocated cores (big 4-5, little 0-2).
+  const CpuMask allowed = CpuMask::range(4, 2) | CpuMask::range(0, 3);
+  for (int i = 0; i < f.app->thread_count(); ++i) {
+    EXPECT_TRUE(allowed.contains(f.engine.thread_affinity(f.id, i))) << i;
+  }
+}
+
+TEST(ConfigForVariant, MatchesPaper) {
+  const RuntimeManagerConfig i = config_for_variant(HarsVariant::kHarsI);
+  EXPECT_EQ(i.policy, SearchPolicy::kIncremental);
+  EXPECT_EQ(i.scheduler, ThreadSchedulerKind::kChunk);
+  const RuntimeManagerConfig e = config_for_variant(HarsVariant::kHarsE);
+  EXPECT_EQ(e.policy, SearchPolicy::kExhaustive);
+  EXPECT_EQ(e.exhaustive_window, 4);
+  EXPECT_EQ(e.exhaustive_d, 7);
+  const RuntimeManagerConfig ei = config_for_variant(HarsVariant::kHarsEI);
+  EXPECT_EQ(ei.scheduler, ThreadSchedulerKind::kInterleaved);
+}
+
+TEST(HarsVariantName, Names) {
+  EXPECT_STREQ(hars_variant_name(HarsVariant::kHarsI), "HARS-I");
+  EXPECT_STREQ(hars_variant_name(HarsVariant::kHarsE), "HARS-E");
+  EXPECT_STREQ(hars_variant_name(HarsVariant::kHarsEI), "HARS-EI");
+}
+
+}  // namespace
+}  // namespace hars

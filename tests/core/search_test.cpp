@@ -1,0 +1,181 @@
+#include "core/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/power_profiler.hpp"
+
+namespace hars {
+namespace {
+
+class SearchTest : public testing::Test {
+ protected:
+  Machine machine_ = Machine::exynos5422();
+  StateSpace space_ = StateSpace::from_machine(machine_);
+  PerfEstimator perf_{machine_, 1.5};
+  PowerEstimator power_{profile_power(machine_, PowerModel{machine_})};
+};
+
+TEST_F(SearchTest, NormalizedPerfCapsAtOne) {
+  const PerfTarget t{1.9, 2.1};
+  EXPECT_NEAR(normalized_perf(2.0, t), 1.0, 1e-12);
+  EXPECT_NEAR(normalized_perf(4.0, t), 1.0, 1e-12);  // No overperf credit.
+  EXPECT_NEAR(normalized_perf(1.0, t), 0.5, 1e-12);
+  EXPECT_EQ(normalized_perf(1.0, PerfTarget{0.0, 0.0}), 0.0);
+}
+
+TEST_F(SearchTest, PolicyParams) {
+  const SearchParams over = params_for_policy(SearchPolicy::kIncremental, true);
+  EXPECT_EQ(over.m, 1);
+  EXPECT_EQ(over.n, 0);
+  EXPECT_EQ(over.d, 1);
+  const SearchParams under = params_for_policy(SearchPolicy::kIncremental, false);
+  EXPECT_EQ(under.m, 0);
+  EXPECT_EQ(under.n, 1);
+  EXPECT_EQ(under.d, 1);
+  const SearchParams ex = params_for_policy(SearchPolicy::kExhaustive, true);
+  EXPECT_EQ(ex.m, 4);
+  EXPECT_EQ(ex.n, 4);
+  EXPECT_EQ(ex.d, 7);
+}
+
+TEST_F(SearchTest, OverperformingMovesToCheaperState) {
+  // At max state with rate far above target, the search must find a state
+  // that still satisfies the target with lower estimated power.
+  const SystemState cur = space_.max_state();
+  const PerfTarget target = PerfTarget::around(2.0);
+  const SearchResult r =
+      get_next_sys_state(4.0, cur, target, SearchParams{4, 4, 7}, space_,
+                         perf_, power_, 8);
+  EXPECT_TRUE(r.moved);
+  EXPECT_GE(r.est_perf, target.min);
+  EXPECT_LT(power_.estimate(r.state, 8, perf_), power_.estimate(cur, 8, perf_));
+}
+
+TEST_F(SearchTest, UnderperformingMovesToFasterState) {
+  const SystemState cur{1, 0, 0, 0};
+  const PerfTarget target = PerfTarget::around(2.0);
+  const SearchResult r =
+      get_next_sys_state(0.4, cur, target, SearchParams{4, 4, 7}, space_,
+                         perf_, power_, 8);
+  EXPECT_TRUE(r.moved);
+  EXPECT_GT(perf_.estimate_rate(r.state, cur, 0.4, 8), 0.4);
+}
+
+TEST_F(SearchTest, ResultAlwaysWithinDistanceBudget) {
+  const PerfTarget target = PerfTarget::around(2.0);
+  for (int d : {1, 3, 5, 7}) {
+    const SystemState cur{2, 2, 4, 3};
+    const SearchResult r = get_next_sys_state(
+        4.0, cur, target, SearchParams{4, 4, d}, space_, perf_, power_, 8);
+    EXPECT_LE(manhattan_distance(r.state, cur), d) << "d=" << d;
+  }
+}
+
+TEST_F(SearchTest, ResultAlwaysValid) {
+  const PerfTarget target = PerfTarget::around(1.0);
+  for (double rate : {0.1, 1.0, 10.0}) {
+    const SystemState cur{0, 1, 0, 0};  // Corner of the space.
+    const SearchResult r = get_next_sys_state(
+        rate, cur, target, SearchParams{4, 4, 7}, space_, perf_, power_, 8);
+    EXPECT_TRUE(space_.valid(r.state));
+  }
+}
+
+TEST_F(SearchTest, IncrementalChangesAtMostOneStep) {
+  const SystemState cur{2, 2, 4, 3};
+  const PerfTarget target = PerfTarget::around(2.0);
+  const SearchResult r = get_next_sys_state(
+      4.0, cur, target, params_for_policy(SearchPolicy::kIncremental, true),
+      space_, perf_, power_, 8);
+  EXPECT_LE(manhattan_distance(r.state, cur), 1);
+}
+
+TEST_F(SearchTest, CandidateCountGrowsWithD) {
+  const SystemState cur{2, 2, 4, 3};
+  const PerfTarget target = PerfTarget::around(2.0);
+  int prev = 0;
+  for (int d : {1, 3, 5, 7, 9}) {
+    const SearchResult r = get_next_sys_state(
+        4.0, cur, target, SearchParams{4, 4, d}, space_, perf_, power_, 8);
+    EXPECT_GT(r.candidates, prev) << "d=" << d;
+    prev = r.candidates;
+  }
+}
+
+TEST_F(SearchTest, FilterExcludesCandidates) {
+  const SystemState cur{2, 2, 4, 3};
+  const PerfTarget target = PerfTarget::around(2.0);
+  // Forbid any big-core change (MP-HARS-style narrowing).
+  const CandidateFilter filter = [&](const SystemState& s) {
+    return s.big_cores == cur.big_cores;
+  };
+  const SearchResult r = get_next_sys_state(4.0, cur, target,
+                                            SearchParams{4, 4, 7}, space_,
+                                            perf_, power_, 8, filter);
+  EXPECT_EQ(r.state.big_cores, cur.big_cores);
+}
+
+TEST_F(SearchTest, StaysWhenCurrentAlreadyBest) {
+  // Current state satisfies the target; no candidate should win unless it
+  // strictly improves estimated perf/watt.
+  const PerfTarget target = PerfTarget::around(2.0);
+  // First let an exhaustive search settle from max.
+  SystemState cur = space_.max_state();
+  double rate = 4.0;
+  for (int iter = 0; iter < 10; ++iter) {
+    const SearchResult r = get_next_sys_state(
+        rate, cur, target, SearchParams{4, 4, 7}, space_, perf_, power_, 8);
+    if (!r.moved) break;
+    rate = perf_.estimate_rate(r.state, cur, rate, 8);
+    cur = r.state;
+  }
+  // Converged: one more search stays put.
+  const SearchResult r = get_next_sys_state(
+      rate, cur, target, SearchParams{4, 4, 7}, space_, perf_, power_, 8);
+  EXPECT_FALSE(r.moved);
+}
+
+TEST_F(SearchTest, PrefersTargetSatisfactionOverEfficiency) {
+  // From a tiny state, some candidates have great perf/watt but miss the
+  // target; the search must prefer a target-satisfying one (Algorithm 2's
+  // two-tier selection).
+  const SystemState cur{1, 0, 4, 0};
+  const double rate = 1.0;
+  const PerfTarget target = PerfTarget::around(1.5);
+  const SearchResult r = get_next_sys_state(
+      rate, cur, target, SearchParams{4, 4, 7}, space_, perf_, power_, 8);
+  EXPECT_GE(r.est_perf, target.min);
+}
+
+// Distance-budget sweep as a parameterized property: the chosen state never
+// violates the budget nor the space bounds for any (current state, rate).
+using SearchCase = std::tuple<int, int, int, int, double, int>;
+
+class SearchProperty : public testing::TestWithParam<SearchCase> {};
+
+TEST_P(SearchProperty, RespectsBudgetAndBounds) {
+  const auto [cb, cl, fb, fl, rate, d] = GetParam();
+  Machine machine = Machine::exynos5422();
+  const StateSpace space = StateSpace::from_machine(machine);
+  PerfEstimator perf(machine, 1.5);
+  PowerEstimator power(profile_power(machine, PowerModel{machine}));
+  const SystemState cur{cb, cl, fb, fl};
+  if (!space.valid(cur)) GTEST_SKIP();
+  const PerfTarget target = PerfTarget::around(2.0);
+  const SearchResult r = get_next_sys_state(rate, cur, target,
+                                            SearchParams{4, 4, d}, space, perf,
+                                            power, 8);
+  EXPECT_TRUE(space.valid(r.state));
+  EXPECT_LE(manhattan_distance(r.state, cur), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SearchProperty,
+    testing::Combine(testing::Values(0, 2, 4), testing::Values(0, 2, 4),
+                     testing::Values(0, 4, 8), testing::Values(0, 5),
+                     testing::Values(0.5, 2.0, 6.0), testing::Values(1, 4, 9)));
+
+}  // namespace
+}  // namespace hars

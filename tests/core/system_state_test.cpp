@@ -1,0 +1,63 @@
+#include "core/system_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hars {
+namespace {
+
+TEST(SystemState, Equality) {
+  const SystemState a{1, 2, 3, 4};
+  const SystemState b{1, 2, 3, 4};
+  const SystemState c{1, 2, 3, 5};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SystemState, ManhattanDistance) {
+  const SystemState a{1, 2, 3, 4};
+  const SystemState b{2, 0, 3, 7};
+  EXPECT_EQ(manhattan_distance(a, b), 1 + 2 + 0 + 3);
+  EXPECT_EQ(manhattan_distance(a, a), 0);
+  EXPECT_EQ(manhattan_distance(a, b), manhattan_distance(b, a));
+}
+
+TEST(SystemState, ToStringReadable) {
+  EXPECT_EQ((SystemState{1, 2, 3, 4}.to_string()), "(CB=1 CL=2 fB=3 fL=4)");
+}
+
+TEST(StateSpace, FromExynosMachine) {
+  const StateSpace s = StateSpace::from_machine(Machine::exynos5422());
+  EXPECT_EQ(s.max_big_cores, 4);
+  EXPECT_EQ(s.max_little_cores, 4);
+  EXPECT_EQ(s.num_big_freqs, 9);
+  EXPECT_EQ(s.num_little_freqs, 6);
+}
+
+TEST(StateSpace, ValidityBounds) {
+  const StateSpace s = StateSpace::from_machine(Machine::exynos5422());
+  EXPECT_TRUE(s.valid(SystemState{4, 4, 8, 5}));
+  EXPECT_TRUE(s.valid(SystemState{0, 1, 0, 0}));
+  EXPECT_TRUE(s.valid(SystemState{1, 0, 0, 0}));
+  EXPECT_FALSE(s.valid(SystemState{0, 0, 0, 0}));  // Needs >= 1 core.
+  EXPECT_FALSE(s.valid(SystemState{5, 0, 0, 0}));
+  EXPECT_FALSE(s.valid(SystemState{-1, 2, 0, 0}));
+  EXPECT_FALSE(s.valid(SystemState{1, 1, 9, 0}));  // Big freq out of range.
+  EXPECT_FALSE(s.valid(SystemState{1, 1, 0, 6}));  // Little freq out of range.
+}
+
+TEST(StateSpace, MaxState) {
+  const StateSpace s = StateSpace::from_machine(Machine::exynos5422());
+  const SystemState m = s.max_state();
+  EXPECT_EQ(m, (SystemState{4, 4, 8, 5}));
+  EXPECT_TRUE(s.valid(m));
+}
+
+TEST(StateSpace, NarrowedSpaceForMpHars) {
+  StateSpace s = StateSpace::from_machine(Machine::exynos5422());
+  s.max_big_cores = 2;  // Only 2 big cores available to this app.
+  EXPECT_FALSE(s.valid(SystemState{3, 0, 0, 0}));
+  EXPECT_TRUE(s.valid(SystemState{2, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,179 @@
+#include "core/thread_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+namespace hars {
+namespace {
+
+// Brute-force optimum: try every (tb, tl) split and return the best t_f.
+double brute_force_best_tf(int t, int cb, int cl, double sb, double sl) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int tb = 0; tb <= t; ++tb) {
+    const int tl = t - tb;
+    ThreadAssignment a;
+    a.tb = tb;
+    a.tl = tl;
+    a.cb_used = std::min(tb, cb);
+    a.cl_used = std::min(tl, cl);
+    if ((tb > 0 && cb == 0) || (tl > 0 && cl == 0)) continue;
+    best = std::min(best, unit_completion_time(a, t, t, cb, cl, sb, sl));
+  }
+  return best;
+}
+
+TEST(ThreadAssignment, Row1OneCorePerThread) {
+  // 0 < T <= C_B: all threads on dedicated big cores.
+  const ThreadAssignment a = assign_threads(3, 4, 4, 1.5);
+  EXPECT_EQ(a.tb, 3);
+  EXPECT_EQ(a.tl, 0);
+  EXPECT_EQ(a.cb_used, 3);
+  EXPECT_EQ(a.cl_used, 0);
+}
+
+TEST(ThreadAssignment, Row2TimeShareBigStillWins) {
+  // C_B < T <= r*C_B: time-sharing big beats moving to little.
+  // T=5, C_B=4, r=1.5: r*C_B = 6 >= 5.
+  const ThreadAssignment a = assign_threads(5, 4, 4, 1.5);
+  EXPECT_EQ(a.tb, 5);
+  EXPECT_EQ(a.tl, 0);
+  EXPECT_EQ(a.cb_used, 4);
+  EXPECT_EQ(a.cl_used, 0);
+}
+
+TEST(ThreadAssignment, Row3SpillToLittle) {
+  // r*C_B < T <= r*C_B + C_L: T_B = floor(r*C_B).
+  // T=8, C_B=4, C_L=4, r=1.5: r*C_B = 6 < 8 <= 10.
+  const ThreadAssignment a = assign_threads(8, 4, 4, 1.5);
+  EXPECT_EQ(a.tb, 6);
+  EXPECT_EQ(a.tl, 2);
+  EXPECT_EQ(a.cb_used, 4);
+  EXPECT_EQ(a.cl_used, 2);
+}
+
+TEST(ThreadAssignment, Row4ProportionalSplit) {
+  // T > r*C_B + C_L: proportional with ceil on the big side.
+  // T=20, C_B=4, C_L=4, r=1.5: T_B = ceil(6/10*20) = 12.
+  const ThreadAssignment a = assign_threads(20, 4, 4, 1.5);
+  EXPECT_EQ(a.tb, 12);
+  EXPECT_EQ(a.tl, 8);
+  EXPECT_EQ(a.cb_used, 4);
+  EXPECT_EQ(a.cl_used, 4);
+}
+
+TEST(ThreadAssignment, DegenerateNoBigCores) {
+  const ThreadAssignment a = assign_threads(6, 0, 4, 1.5);
+  EXPECT_EQ(a.tb, 0);
+  EXPECT_EQ(a.tl, 6);
+  EXPECT_EQ(a.cl_used, 4);
+}
+
+TEST(ThreadAssignment, DegenerateNoLittleCores) {
+  const ThreadAssignment a = assign_threads(6, 4, 0, 1.5);
+  EXPECT_EQ(a.tb, 6);
+  EXPECT_EQ(a.tl, 0);
+  EXPECT_EQ(a.cb_used, 4);
+}
+
+TEST(ThreadAssignment, ZeroThreads) {
+  const ThreadAssignment a = assign_threads(0, 4, 4, 1.5);
+  EXPECT_EQ(a.tb + a.tl, 0);
+}
+
+TEST(ThreadAssignment, MirroredWhenLittleFaster) {
+  // r < 1: little is effectively faster (e.g. big at 0.8 GHz, little 1.3).
+  const ThreadAssignment a = assign_threads(3, 4, 4, 0.5);
+  EXPECT_EQ(a.tl, 3);  // One fast (little) core per thread.
+  EXPECT_EQ(a.tb, 0);
+}
+
+TEST(UnitCompletionTime, DedicatedCores) {
+  ThreadAssignment a{2, 2, 2, 2};
+  // W=4 over 4 threads -> w=1; tB = 1/2, tL = 1/1.
+  const double tf = unit_completion_time(a, 4, 4.0, 4, 4, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(tf, 1.0);
+}
+
+TEST(UnitCompletionTime, TimeSharedCluster) {
+  ThreadAssignment a{4, 0, 2, 0};
+  // 4 threads share 2 big cores: tB = 4*w/(2*sB) = 4*1/(2*2) = 1.
+  const double tf = unit_completion_time(a, 4, 4.0, 2, 4, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(tf, 1.0);
+}
+
+TEST(UnitCompletionTime, InfeasibleIsInfinite) {
+  ThreadAssignment a{2, 0, 0, 0};
+  EXPECT_TRUE(std::isinf(unit_completion_time(a, 2, 2.0, 0, 4, 2.0, 1.0)));
+}
+
+TEST(EstimateUtilization, BottleneckClusterFullyUtilized) {
+  const ThreadAssignment a = assign_threads(8, 4, 4, 1.5);
+  const ClusterUtilization u = estimate_utilization(a, 8, 4, 4, 1.5, 1.0);
+  // T_B = 6 on 4 cores is the slower side in this layout.
+  EXPECT_GT(u.big, 0.9);
+  EXPECT_GT(u.little, 0.0);
+  EXPECT_LE(u.big, 1.0 + 1e-12);
+  EXPECT_LE(u.little, 1.0 + 1e-12);
+}
+
+TEST(EstimateUtilization, UnusedClusterZero) {
+  const ThreadAssignment a = assign_threads(2, 4, 4, 1.5);
+  const ClusterUtilization u = estimate_utilization(a, 2, 4, 4, 1.5, 1.0);
+  EXPECT_EQ(u.little, 0.0);
+  EXPECT_GT(u.big, 0.0);
+}
+
+// ---- Property sweep: Table 3.1 minimizes t_f over brute force. ----
+
+using AssignCase = std::tuple<int, int, int, double>;  // T, C_B, C_L, r.
+
+class ThreadAssignmentOptimality : public testing::TestWithParam<AssignCase> {};
+
+TEST_P(ThreadAssignmentOptimality, MatchesBruteForceOptimum) {
+  const auto [t, cb, cl, r] = GetParam();
+  const double sl = 1.0;
+  const double sb = r * sl;
+  const ThreadAssignment a = assign_threads(t, cb, cl, r);
+  EXPECT_EQ(a.tb + a.tl, t);
+  EXPECT_LE(a.cb_used, cb);
+  EXPECT_LE(a.cl_used, cl);
+  EXPECT_LE(a.cb_used, std::max(a.tb, 0));
+  EXPECT_LE(a.cl_used, std::max(a.tl, 0));
+  const double table_tf = unit_completion_time(a, t, t, cb, cl, sb, sl);
+  const double best_tf = brute_force_best_tf(t, cb, cl, sb, sl);
+  // Table 3.1 rounds the proportional split (floor/ceil), so it can be off
+  // the brute-force optimum by at most one thread on the fast side. The
+  // implied bound is (ideal_fast + 1) / ideal_fast.
+  const double r_fast = r >= 1.0 ? r : 1.0 / r;
+  const int c_fast = r >= 1.0 ? cb : cl;
+  const int c_slow = r >= 1.0 ? cl : cb;
+  const double ideal_fast =
+      r_fast * c_fast / (r_fast * c_fast + c_slow) * static_cast<double>(t);
+  const double slack = 1.0 + 1.0 / std::max(1.0, std::floor(ideal_fast));
+  EXPECT_LE(table_tf, best_tf * slack + 1e-9)
+      << "T=" << t << " CB=" << cb << " CL=" << cl << " r=" << r;
+}
+
+std::vector<AssignCase> assignment_cases() {
+  std::vector<AssignCase> cases;
+  for (int t : {1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 24}) {
+    for (int cb : {0, 1, 2, 3, 4}) {
+      for (int cl : {0, 1, 2, 4}) {
+        if (cb + cl == 0) continue;
+        for (double r : {0.6, 1.0, 1.5, 2.0, 3.0}) {
+          cases.emplace_back(t, cb, cl, r);
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThreadAssignmentOptimality,
+                         testing::ValuesIn(assignment_cases()));
+
+}  // namespace
+}  // namespace hars

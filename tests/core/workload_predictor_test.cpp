@@ -1,0 +1,62 @@
+#include "core/workload_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hars {
+namespace {
+
+TEST(PredictorFactory, MakesRequestedKind) {
+  auto last = make_predictor(PredictorKind::kLastValue);
+  auto kalman = make_predictor(PredictorKind::kKalman);
+  EXPECT_NE(dynamic_cast<LastValuePredictor*>(last.get()), nullptr);
+  EXPECT_NE(dynamic_cast<KalmanRatePredictor*>(kalman.get()), nullptr);
+}
+
+TEST(PredictorNames, Names) {
+  EXPECT_STREQ(predictor_kind_name(PredictorKind::kLastValue), "last-value");
+  EXPECT_STREQ(predictor_kind_name(PredictorKind::kKalman), "kalman");
+}
+
+TEST(LastValuePredictor, PassesThrough) {
+  LastValuePredictor p;
+  EXPECT_DOUBLE_EQ(p.observe(2.5), 2.5);
+  p.on_state_change(10.0);  // Ignored.
+  EXPECT_DOUBLE_EQ(p.observe(0.1), 0.1);
+}
+
+TEST(KalmanRatePredictor, SmoothsJitter) {
+  KalmanRatePredictor p;
+  Rng rng(7);
+  double out = 0.0;
+  for (int i = 0; i < 300; ++i) out = p.observe(2.0 + rng.normal(0.0, 0.2));
+  EXPECT_NEAR(out, 2.0, 0.1);
+}
+
+TEST(KalmanRatePredictor, StateChangeRescalesInsteadOfRelearning) {
+  KalmanRatePredictor p;
+  for (int i = 0; i < 100; ++i) p.observe(2.0);
+  // Manager halves the configuration's speed: expect rate 1.0 immediately.
+  p.on_state_change(0.5);
+  const double first_after = p.observe(1.0);
+  EXPECT_NEAR(first_after, 1.0, 0.1);
+}
+
+TEST(KalmanRatePredictor, NonPositiveFactorIgnored) {
+  KalmanRatePredictor p;
+  p.observe(2.0);
+  p.on_state_change(0.0);
+  p.on_state_change(-1.0);
+  EXPECT_NEAR(p.observe(2.0), 2.0, 0.2);
+}
+
+TEST(KalmanRatePredictor, ResetStartsOver) {
+  KalmanRatePredictor p;
+  p.observe(5.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.observe(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,94 @@
+#include "hmp/cpu_mask.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hars {
+namespace {
+
+TEST(CpuMask, DefaultEmpty) {
+  CpuMask m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_EQ(m.first(), -1);
+}
+
+TEST(CpuMask, SetClearTest) {
+  CpuMask m;
+  m.set(3);
+  m.set(7);
+  EXPECT_TRUE(m.test(3));
+  EXPECT_TRUE(m.test(7));
+  EXPECT_FALSE(m.test(4));
+  m.clear(3);
+  EXPECT_FALSE(m.test(3));
+  EXPECT_EQ(m.count(), 1);
+}
+
+TEST(CpuMask, TestOutOfRangeIsFalse) {
+  CpuMask m(~0ULL);
+  EXPECT_FALSE(m.test(-1));
+  EXPECT_FALSE(m.test(64));
+}
+
+TEST(CpuMask, RangeFactory) {
+  const CpuMask m = CpuMask::range(4, 4);
+  EXPECT_EQ(m.count(), 4);
+  EXPECT_TRUE(m.test(4));
+  EXPECT_TRUE(m.test(7));
+  EXPECT_FALSE(m.test(3));
+  EXPECT_FALSE(m.test(8));
+  EXPECT_TRUE(CpuMask::range(0, 0).empty());
+}
+
+TEST(CpuMask, SingleFactory) {
+  const CpuMask m = CpuMask::single(5);
+  EXPECT_EQ(m.count(), 1);
+  EXPECT_EQ(m.first(), 5);
+}
+
+TEST(CpuMask, FirstAndNextIterate) {
+  CpuMask m;
+  m.set(1);
+  m.set(4);
+  m.set(5);
+  EXPECT_EQ(m.first(), 1);
+  EXPECT_EQ(m.next(1), 4);
+  EXPECT_EQ(m.next(4), 5);
+  EXPECT_EQ(m.next(5), -1);
+}
+
+TEST(CpuMask, NextAtBoundary) {
+  CpuMask m;
+  m.set(63);
+  EXPECT_EQ(m.next(62), 63);
+  EXPECT_EQ(m.next(63), -1);
+}
+
+TEST(CpuMask, SetOperators) {
+  const CpuMask a = CpuMask::range(0, 4);
+  const CpuMask b = CpuMask::range(2, 4);
+  EXPECT_EQ((a & b).count(), 2);
+  EXPECT_EQ((a | b).count(), 6);
+  EXPECT_TRUE(a.contains(CpuMask::range(1, 2)));
+  EXPECT_FALSE(a.contains(b));
+}
+
+TEST(CpuMask, Equality) {
+  EXPECT_EQ(CpuMask::range(0, 3), CpuMask(0b111ULL));
+  EXPECT_FALSE(CpuMask::range(0, 3) == CpuMask::range(0, 4));
+}
+
+TEST(CpuMask, ToStringRuns) {
+  CpuMask m;
+  m.set(0);
+  m.set(1);
+  m.set(2);
+  m.set(5);
+  m.set(7);
+  m.set(8);
+  EXPECT_EQ(m.to_string(), "{0-2,5,7-8}");
+  EXPECT_EQ(CpuMask().to_string(), "{}");
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,107 @@
+// Integration tests for the §3.1.4 / §5.1.2 extensions wired into the
+// runtime manager: Kalman prediction, tabu search, hierarchical
+// scheduling and online ratio learning.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/data_parallel_app.hpp"
+#include "apps/parsec.hpp"
+#include "core/hars.hpp"
+#include "exp/runner.hpp"
+#include "hmp/sim_engine.hpp"
+#include "sched/gts.hpp"
+
+namespace hars {
+namespace {
+
+SingleRunOptions quick_options() {
+  SingleRunOptions o;
+  o.duration = 80 * kUsPerSec;
+  return o;
+}
+
+TEST(Extensions, KalmanPredictorKeepsTargetOnNoisyWorkload) {
+  SingleRunOptions options = quick_options();
+  options.override_predictor = 1;
+  const SingleRunResult r =
+      run_single(ParsecBenchmark::kBodytrack, SingleVersion::kHarsE, options);
+  EXPECT_GT(r.metrics.norm_perf, 0.85);
+  EXPECT_GT(r.metrics.perf_per_watt, 0.0);
+}
+
+TEST(Extensions, KalmanComparableToLastValueOnStableWorkload) {
+  SingleRunOptions options = quick_options();
+  options.override_predictor = 0;
+  const SingleRunResult last =
+      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, options);
+  options.override_predictor = 1;
+  const SingleRunResult kalman =
+      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, options);
+  EXPECT_GT(kalman.metrics.perf_per_watt, 0.75 * last.metrics.perf_per_watt);
+}
+
+TEST(Extensions, TabuPolicyConvergesToTarget) {
+  SingleRunOptions options = quick_options();
+  options.override_policy = 2;
+  const SingleRunResult r =
+      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, options);
+  EXPECT_GT(r.metrics.norm_perf, 0.85);
+  const SingleRunResult base = run_single(ParsecBenchmark::kSwaptions,
+                                          SingleVersion::kBaseline, options);
+  EXPECT_GT(r.metrics.perf_per_watt, 1.5 * base.metrics.perf_per_watt);
+}
+
+TEST(Extensions, HierarchicalSchedulerWorksOnPipeline) {
+  SingleRunOptions options = quick_options();
+  options.override_scheduler = 2;  // Hierarchical.
+  const SingleRunResult r =
+      run_single(ParsecBenchmark::kFerret, SingleVersion::kHarsE, options);
+  EXPECT_GT(r.metrics.norm_perf, 0.8);
+  // At least as good as the chunk mapping the paper criticizes.
+  options.override_scheduler = 0;
+  const SingleRunResult chunk =
+      run_single(ParsecBenchmark::kFerret, SingleVersion::kHarsE, options);
+  EXPECT_GE(r.metrics.perf_per_watt, 0.9 * chunk.metrics.perf_per_watt);
+}
+
+TEST(Extensions, RatioLearningImprovesBlackscholes) {
+  SingleRunOptions options = quick_options();
+  options.duration = 100 * kUsPerSec;
+  const SingleRunResult fixed =
+      run_single(ParsecBenchmark::kBlackscholes, SingleVersion::kHarsE, options);
+  options.learn_ratio = true;
+  const SingleRunResult learned =
+      run_single(ParsecBenchmark::kBlackscholes, SingleVersion::kHarsE, options);
+  // The learner must never be materially worse, and BL's wrong prior gives
+  // it room to help.
+  EXPECT_GE(learned.metrics.perf_per_watt, 0.9 * fixed.metrics.perf_per_watt);
+  EXPECT_GT(learned.metrics.norm_perf, 0.85);
+}
+
+TEST(Extensions, RatioLearnerConvergesInsideManager) {
+  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
+  auto app = make_parsec_app(ParsecBenchmark::kBlackscholes);  // True r = 1.0.
+  const AppId id = engine.add_app(app.get());
+  RuntimeManagerConfig config = config_for_variant(HarsVariant::kHarsE);
+  config.learn_ratio = true;
+  auto manager = attach_hars(engine, id, PerfTarget::around(2.0),
+                             HarsVariant::kHarsE, &config);
+  engine.run_for(120 * kUsPerSec);
+  // Started from the 1.5 prior; should have moved toward 1.0.
+  EXPECT_LT(manager->current_r0(), 1.4);
+}
+
+TEST(Extensions, EnergyMetricsPopulated) {
+  const SingleRunResult r = run_single(ParsecBenchmark::kSwaptions,
+                                       SingleVersion::kHarsE, quick_options());
+  EXPECT_GT(r.metrics.energy_j, 0.0);
+  EXPECT_GT(r.metrics.energy_per_beat_j, 0.0);
+  // Energy per beat consistency: energy / (rate * span).
+  EXPECT_NEAR(r.metrics.energy_per_beat_j,
+              r.metrics.avg_power_w / r.metrics.avg_rate_hps,
+              0.2 * r.metrics.energy_per_beat_j);
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,80 @@
+#include "exp/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hars {
+namespace {
+
+std::vector<HeartbeatRecord> regular_beats(double rate_hps, TimeUs start,
+                                           TimeUs end) {
+  std::vector<HeartbeatRecord> out;
+  const TimeUs period = static_cast<TimeUs>(kUsPerSec / rate_hps);
+  std::int64_t idx = 0;
+  for (TimeUs t = start; t <= end; t += period) {
+    out.push_back(HeartbeatRecord{idx++, t});
+  }
+  return out;
+}
+
+TEST(Metrics, NormPerfOneWhenOnTarget) {
+  const auto beats = regular_beats(2.0, 0, 100 * kUsPerSec);
+  const PerfTarget target = PerfTarget::around(2.0);
+  const double np = time_weighted_norm_perf(beats, target, 0, 100 * kUsPerSec);
+  EXPECT_NEAR(np, 1.0, 0.02);
+}
+
+TEST(Metrics, NormPerfCappedWhenOverperforming) {
+  const auto beats = regular_beats(8.0, 0, 100 * kUsPerSec);
+  const PerfTarget target = PerfTarget::around(2.0);
+  EXPECT_NEAR(time_weighted_norm_perf(beats, target, 0, 100 * kUsPerSec), 1.0,
+              0.02);
+}
+
+TEST(Metrics, NormPerfHalfWhenAtHalfTarget) {
+  const auto beats = regular_beats(1.0, 0, 100 * kUsPerSec);
+  const PerfTarget target = PerfTarget::around(2.0);
+  EXPECT_NEAR(time_weighted_norm_perf(beats, target, 0, 100 * kUsPerSec), 0.5,
+              0.03);
+}
+
+TEST(Metrics, EmptyHistoryIsZero) {
+  const PerfTarget target = PerfTarget::around(2.0);
+  EXPECT_EQ(time_weighted_norm_perf({}, target, 0, kUsPerSec), 0.0);
+  EXPECT_EQ(average_rate({}, 0, kUsPerSec), 0.0);
+}
+
+TEST(Metrics, HeadBeforeFirstBeatCountsAsZeroRate) {
+  // Beats only in the second half of the span.
+  const auto beats = regular_beats(2.0, 50 * kUsPerSec, 100 * kUsPerSec);
+  const PerfTarget target = PerfTarget::around(2.0);
+  const double np = time_weighted_norm_perf(beats, target, 0, 100 * kUsPerSec);
+  EXPECT_NEAR(np, 0.5, 0.05);  // Half the span at zero, half at 1.0.
+}
+
+TEST(Metrics, InWindowFraction) {
+  const auto beats = regular_beats(2.0, 0, 100 * kUsPerSec);
+  EXPECT_NEAR(time_in_window_fraction(beats, PerfTarget::around(2.0), 0,
+                                      100 * kUsPerSec),
+              1.0, 0.05);
+  EXPECT_NEAR(time_in_window_fraction(beats, PerfTarget::around(4.0), 0,
+                                      100 * kUsPerSec),
+              0.0, 0.05);
+}
+
+TEST(Metrics, AverageRateCountsBeatsInSpan) {
+  const auto beats = regular_beats(4.0, 0, 100 * kUsPerSec);
+  EXPECT_NEAR(average_rate(beats, 0, 100 * kUsPerSec), 4.0, 0.1);
+  // Half span -> same rate.
+  EXPECT_NEAR(average_rate(beats, 50 * kUsPerSec, 100 * kUsPerSec), 4.0, 0.2);
+}
+
+TEST(Metrics, DegenerateSpan) {
+  const auto beats = regular_beats(4.0, 0, kUsPerSec);
+  EXPECT_EQ(average_rate(beats, kUsPerSec, kUsPerSec), 0.0);
+  EXPECT_EQ(time_weighted_norm_perf(beats, PerfTarget::around(1.0), kUsPerSec,
+                                    kUsPerSec),
+            0.0);
+}
+
+}  // namespace
+}  // namespace hars

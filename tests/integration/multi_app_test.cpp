@@ -1,0 +1,117 @@
+// End-to-end multi-application runs backing Figure 5.4's orderings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/runner.hpp"
+
+namespace hars {
+namespace {
+
+MultiRunOptions quick_options() {
+  MultiRunOptions o;
+  o.duration = 100 * kUsPerSec;
+  return o;
+}
+
+TEST(MultiApp, CaseListMatchesPaper) {
+  const auto cases = multiapp_cases();
+  ASSERT_EQ(cases.size(), 6u);
+  EXPECT_EQ(cases[3][0], ParsecBenchmark::kBodytrack);      // Case 4 = BO+FL.
+  EXPECT_EQ(cases[3][1], ParsecBenchmark::kFluidanimate);
+  EXPECT_EQ(cases[5][0], ParsecBenchmark::kBodytrack);      // Case 6 = BO+BL.
+  EXPECT_EQ(cases[5][1], ParsecBenchmark::kBlackscholes);
+}
+
+TEST(MultiApp, BaselineRunsBothAppsFlatOut) {
+  const auto benches = multiapp_cases()[0];  // BO+SW.
+  const MultiRunResult r = run_multi(benches, MultiVersion::kBaseline,
+                                     quick_options());
+  ASSERT_EQ(r.per_app.size(), 2u);
+  EXPECT_GT(r.avg_power_w, 4.0);
+  for (const RunMetrics& m : r.per_app) EXPECT_GT(m.heartbeats, 10);
+}
+
+TEST(MultiApp, MpHarsEBeatsBaselineOnGeomean) {
+  const auto benches = multiapp_cases()[0];
+  const MultiRunResult base = run_multi(benches, MultiVersion::kBaseline,
+                                        quick_options());
+  const MultiRunResult mp = run_multi(benches, MultiVersion::kMpHarsE,
+                                      quick_options());
+  const double base_gm = std::sqrt(base.per_app[0].perf_per_watt *
+                                   base.per_app[1].perf_per_watt);
+  const double mp_gm =
+      std::sqrt(mp.per_app[0].perf_per_watt * mp.per_app[1].perf_per_watt);
+  EXPECT_GT(mp_gm, 1.3 * base_gm);
+}
+
+TEST(MultiApp, MpHarsESavesPowerVersusBaseline) {
+  const auto benches = multiapp_cases()[3];  // BO+FL.
+  const MultiRunResult base = run_multi(benches, MultiVersion::kBaseline,
+                                        quick_options());
+  const MultiRunResult mp = run_multi(benches, MultiVersion::kMpHarsE,
+                                      quick_options());
+  EXPECT_LT(mp.avg_power_w, base.avg_power_w);
+}
+
+TEST(MultiApp, ConsIBeatsBaselineWhenAsymmetric) {
+  // Case 2 (BL+SW): blackscholes' silent input phase leaves swaptions
+  // running solo, far above its target; CONS-I can decrease the shared
+  // state and save power where the baseline cannot.
+  const auto benches = multiapp_cases()[1];
+  const MultiRunResult base = run_multi(benches, MultiVersion::kBaseline,
+                                        quick_options());
+  const MultiRunResult cons = run_multi(benches, MultiVersion::kConsI,
+                                        quick_options());
+  const double base_gm = std::sqrt(base.per_app[0].perf_per_watt *
+                                   base.per_app[1].perf_per_watt);
+  const double cons_gm = std::sqrt(cons.per_app[0].perf_per_watt *
+                                   cons.per_app[1].perf_per_watt);
+  EXPECT_GT(cons_gm, base_gm);
+}
+
+TEST(MultiApp, ConsIDescendsWhenBothOverperform) {
+  // Case 1 (BO+SW): both apps start at 2x their (concurrent-baseline-
+  // derived) targets, so the conservative model may decrease the shared
+  // state and save real power while keeping both close to target.
+  const auto benches = multiapp_cases()[0];
+  const MultiRunResult base = run_multi(benches, MultiVersion::kBaseline,
+                                        quick_options());
+  const MultiRunResult cons = run_multi(benches, MultiVersion::kConsI,
+                                        quick_options());
+  EXPECT_LT(cons.avg_power_w, 0.8 * base.avg_power_w);
+  for (const RunMetrics& m : cons.per_app) EXPECT_GT(m.norm_perf, 0.8);
+}
+
+TEST(MultiApp, TracesProducedForManagedVersions) {
+  const auto benches = multiapp_cases()[3];
+  for (MultiVersion v : {MultiVersion::kConsI, MultiVersion::kMpHarsI,
+                         MultiVersion::kMpHarsE}) {
+    MultiRunOptions o;
+    o.duration = 40 * kUsPerSec;
+    const MultiRunResult r = run_multi(benches, v, o);
+    ASSERT_EQ(r.traces.size(), 2u) << multi_version_name(v);
+    EXPECT_FALSE(r.traces[0].empty()) << multi_version_name(v);
+    EXPECT_FALSE(r.traces[1].empty()) << multi_version_name(v);
+  }
+}
+
+TEST(MultiApp, TargetsDerivedFromStandaloneCalibration) {
+  const auto benches = multiapp_cases()[0];
+  const MultiRunResult r = run_multi(benches, MultiVersion::kBaseline,
+                                     quick_options());
+  ASSERT_EQ(r.targets.size(), 2u);
+  for (const PerfTarget& t : r.targets) EXPECT_GT(t.avg(), 0.0);
+}
+
+TEST(MultiApp, VersionNames) {
+  EXPECT_STREQ(multi_version_name(MultiVersion::kBaseline), "Baseline");
+  EXPECT_STREQ(multi_version_name(MultiVersion::kConsI), "CONS-I");
+  EXPECT_STREQ(multi_version_name(MultiVersion::kMpHarsI), "MP-HARS-I");
+  EXPECT_STREQ(multi_version_name(MultiVersion::kMpHarsE), "MP-HARS-E");
+  EXPECT_EQ(all_multi_versions().size(), 4u);
+  EXPECT_EQ(all_single_versions().size(), 5u);
+}
+
+}  // namespace
+}  // namespace hars

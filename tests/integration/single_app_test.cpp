@@ -1,0 +1,126 @@
+// End-to-end single-application runs: the orderings the paper's Figures
+// 5.1-5.3 depend on must hold on the simulated platform.
+#include <gtest/gtest.h>
+
+#include "exp/calibration.hpp"
+#include "exp/runner.hpp"
+#include "exp/static_optimal.hpp"
+
+namespace hars {
+namespace {
+
+SingleRunOptions quick_options(double fraction = 0.5) {
+  SingleRunOptions o;
+  o.target_fraction = fraction;
+  o.duration = 80 * kUsPerSec;
+  return o;
+}
+
+TEST(Calibration, MaxRatesAreReasonable) {
+  for (ParsecBenchmark b : all_parsec_benchmarks()) {
+    const Calibration cal = calibrate_benchmark(b);
+    EXPECT_GT(cal.max_rate_hps, 0.5) << parsec_name(b);
+    EXPECT_LT(cal.max_rate_hps, 50.0) << parsec_name(b);
+    EXPECT_NEAR(cal.default_target.avg(), 0.5 * cal.max_rate_hps, 1e-9);
+    EXPECT_NEAR(cal.high_target.avg(), 0.75 * cal.max_rate_hps, 1e-9);
+  }
+}
+
+TEST(Calibration, Memoized) {
+  const Calibration a = calibrate_benchmark(ParsecBenchmark::kSwaptions);
+  const Calibration b = calibrate_benchmark(ParsecBenchmark::kSwaptions);
+  EXPECT_EQ(a.max_rate_hps, b.max_rate_hps);
+}
+
+TEST(SingleApp, BaselineOverperformsAndBurnsPower) {
+  const SingleRunResult r =
+      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kBaseline,
+                 quick_options());
+  EXPECT_GT(r.metrics.avg_rate_hps, r.target.max);  // Overperforms.
+  EXPECT_NEAR(r.metrics.norm_perf, 1.0, 0.05);
+  EXPECT_GT(r.metrics.avg_power_w, 4.0);  // Near-max machine power.
+}
+
+TEST(SingleApp, HarsEBeatsBaselinePerfPerWatt) {
+  const SingleRunResult base =
+      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kBaseline,
+                 quick_options());
+  const SingleRunResult hars =
+      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE,
+                 quick_options());
+  EXPECT_GT(hars.metrics.perf_per_watt, 1.5 * base.metrics.perf_per_watt);
+  // And it still (mostly) delivers the target.
+  EXPECT_GT(hars.metrics.norm_perf, 0.85);
+}
+
+TEST(SingleApp, HarsEAtLeastAsGoodAsHarsI) {
+  const SingleRunResult hi = run_single(
+      ParsecBenchmark::kBodytrack, SingleVersion::kHarsI, quick_options());
+  const SingleRunResult he = run_single(
+      ParsecBenchmark::kBodytrack, SingleVersion::kHarsE, quick_options());
+  EXPECT_GT(he.metrics.perf_per_watt, 0.9 * hi.metrics.perf_per_watt);
+}
+
+TEST(SingleApp, StaticOptimalBeatsBaseline) {
+  const SingleRunResult base =
+      run_single(ParsecBenchmark::kBlackscholes, SingleVersion::kBaseline,
+                 quick_options());
+  const SingleRunResult so =
+      run_single(ParsecBenchmark::kBlackscholes, SingleVersion::kStaticOptimal,
+                 quick_options());
+  EXPECT_GT(so.metrics.perf_per_watt, 1.5 * base.metrics.perf_per_watt);
+}
+
+TEST(SingleApp, FerretInterleavedBeatsChunk) {
+  // The ferret story (§5.1.2): the chunk scheduler maps pipeline stages
+  // onto one cluster and bottlenecks; interleaving fixes it.
+  const SingleRunResult chunk = run_single(
+      ParsecBenchmark::kFerret, SingleVersion::kHarsE, quick_options());
+  const SingleRunResult inter = run_single(
+      ParsecBenchmark::kFerret, SingleVersion::kHarsEI, quick_options());
+  EXPECT_GE(inter.metrics.perf_per_watt, 0.95 * chunk.metrics.perf_per_watt);
+  EXPECT_GE(inter.metrics.norm_perf + 0.05, chunk.metrics.norm_perf);
+}
+
+TEST(SingleApp, HarsTracksHighTargetToo) {
+  const SingleRunResult r = run_single(
+      ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, quick_options(0.75));
+  EXPECT_GT(r.metrics.norm_perf, 0.85);
+}
+
+TEST(SingleApp, ManagerOverheadGrowsWithDistance) {
+  SingleRunOptions small = quick_options();
+  small.duration = 40 * kUsPerSec;
+  small.override_d = 1;
+  const SingleRunResult d1 = run_single(ParsecBenchmark::kSwaptions,
+                                        SingleVersion::kHarsEI, small);
+  small.override_d = 9;
+  const SingleRunResult d9 = run_single(ParsecBenchmark::kSwaptions,
+                                        SingleVersion::kHarsEI, small);
+  EXPECT_GE(d9.metrics.manager_cpu_pct, d1.metrics.manager_cpu_pct);
+  EXPECT_LT(d9.metrics.manager_cpu_pct, 8.0);  // Paper: under ~6%.
+}
+
+TEST(StaticOptimal, ChoosesTargetSatisfyingState) {
+  const Calibration cal = calibrate_benchmark(ParsecBenchmark::kSwaptions);
+  const StaticOptimalResult so =
+      find_static_optimal(ParsecBenchmark::kSwaptions, cal.default_target);
+  EXPECT_TRUE(so.satisfies_target);
+  EXPECT_GT(so.measured_pp, 0.0);
+  // Memoization returns the identical state.
+  const StaticOptimalResult again =
+      find_static_optimal(ParsecBenchmark::kSwaptions, cal.default_target);
+  EXPECT_EQ(so.state, again.state);
+}
+
+TEST(StaticOptimal, UsesFewerResourcesThanMax) {
+  const Calibration cal = calibrate_benchmark(ParsecBenchmark::kSwaptions);
+  const StaticOptimalResult so =
+      find_static_optimal(ParsecBenchmark::kSwaptions, cal.default_target);
+  const SystemState max_state =
+      StateSpace::from_machine(Machine::exynos5422()).max_state();
+  EXPECT_GT(manhattan_distance(so.state, max_state), 0);
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,100 @@
+#include "exp/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+namespace hars {
+namespace {
+
+TracePoint point(std::int64_t idx, double hps, int bc = 2, int lc = 2,
+                 double bf = 1.0, double lf = 1.0) {
+  return TracePoint{idx, hps, bc, lc, bf, lf};
+}
+
+TEST(TraceAnalysis, EmptyTrace) {
+  const TraceStats s = analyze_trace({}, PerfTarget::around(2.0));
+  EXPECT_EQ(s.settle_index, -1);
+  EXPECT_EQ(s.in_window_fraction, 0.0);
+}
+
+TEST(TraceAnalysis, ImmediateSettle) {
+  std::vector<TracePoint> trace;
+  for (int i = 0; i < 30; ++i) trace.push_back(point(i, 2.0));
+  const TraceStats s = analyze_trace(trace, PerfTarget::around(2.0), 10);
+  EXPECT_EQ(s.settle_index, 0);
+  EXPECT_DOUBLE_EQ(s.in_window_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(s.oscillations_per_100, 0.0);
+}
+
+TEST(TraceAnalysis, SettleAfterTransient) {
+  std::vector<TracePoint> trace;
+  for (int i = 0; i < 20; ++i) trace.push_back(point(i, 5.0));  // Overshoot.
+  for (int i = 20; i < 60; ++i) trace.push_back(point(i, 2.0));
+  const TraceStats s = analyze_trace(trace, PerfTarget::around(2.0), 10);
+  EXPECT_EQ(s.settle_index, 20);
+  EXPECT_DOUBLE_EQ(s.in_window_fraction, 1.0);  // After settling.
+}
+
+TEST(TraceAnalysis, NeverSettles) {
+  std::vector<TracePoint> trace;
+  for (int i = 0; i < 40; ++i) {
+    trace.push_back(point(i, i % 2 == 0 ? 1.0 : 3.0));  // Always outside.
+  }
+  const TraceStats s = analyze_trace(trace, PerfTarget::around(2.0), 5);
+  EXPECT_EQ(s.settle_index, -1);
+  EXPECT_DOUBLE_EQ(s.in_window_fraction, 0.0);
+}
+
+TEST(TraceAnalysis, OscillationCounting) {
+  std::vector<TracePoint> trace;
+  // Core count flips up and down every point: direction changes each step
+  // after the first.
+  for (int i = 0; i < 20; ++i) {
+    trace.push_back(point(i, 2.0, i % 2 == 0 ? 2 : 3));
+  }
+  const TraceStats s = analyze_trace(trace, PerfTarget::around(2.0));
+  EXPECT_GT(s.oscillations_per_100, 80.0);
+
+  // Monotone descent: no direction change.
+  std::vector<TracePoint> mono;
+  for (int i = 0; i < 20; ++i) mono.push_back(point(i, 2.0, 4 - i / 6));
+  EXPECT_DOUBLE_EQ(analyze_trace(mono, PerfTarget::around(2.0)).oscillations_per_100,
+                   0.0);
+}
+
+TEST(TraceAnalysis, MeansComputed) {
+  std::vector<TracePoint> trace{point(0, 2.0, 4, 0, 1.6, 0.8),
+                                point(1, 2.0, 0, 4, 0.8, 1.2)};
+  const TraceStats s = analyze_trace(trace, PerfTarget::around(2.0));
+  EXPECT_DOUBLE_EQ(s.mean_big_cores, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_little_cores, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_big_freq, 1.2);
+  EXPECT_DOUBLE_EQ(s.mean_little_freq, 1.0);
+}
+
+TEST(TraceAnalysis, RealHarsTraceSettles) {
+  SingleRunOptions options;
+  options.duration = 90 * kUsPerSec;
+  const SingleRunResult r =
+      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, options);
+  const TraceStats s = analyze_trace(r.trace, r.target, 5);
+  EXPECT_GE(s.settle_index, 0);        // It does settle...
+  EXPECT_GT(s.in_window_fraction, 0.6);  // ...and mostly stays there.
+}
+
+TEST(TraceAnalysis, HarsIOscillatesLessThanHarsEPerPoint) {
+  // §3.1.3: d = 1 "may reduce the system oscillation".
+  SingleRunOptions options;
+  options.duration = 90 * kUsPerSec;
+  const SingleRunResult hi =
+      run_single(ParsecBenchmark::kFluidanimate, SingleVersion::kHarsI, options);
+  const SingleRunResult he =
+      run_single(ParsecBenchmark::kFluidanimate, SingleVersion::kHarsE, options);
+  const TraceStats si = analyze_trace(hi.trace, hi.target);
+  const TraceStats se = analyze_trace(he.trace, he.target);
+  EXPECT_LE(si.oscillations_per_100, se.oscillations_per_100 + 10.0);
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,51 @@
+#include "sched/load_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hars {
+namespace {
+
+TEST(LoadTracker, StartsHot) {
+  LoadTracker t;
+  EXPECT_DOUBLE_EQ(t.value(), 1.0);
+}
+
+TEST(LoadTracker, DecaysWhenIdle) {
+  LoadTracker t(32 * kUsPerMs);
+  for (int i = 0; i < 32; ++i) t.update(false, kUsPerMs);
+  // One half-life of idleness halves the value.
+  EXPECT_NEAR(t.value(), 0.5, 0.01);
+}
+
+TEST(LoadTracker, RisesWhenRunnable) {
+  LoadTracker t(32 * kUsPerMs);
+  t.prime(0.0);
+  for (int i = 0; i < 32; ++i) t.update(true, kUsPerMs);
+  EXPECT_NEAR(t.value(), 0.5, 0.01);
+  for (int i = 0; i < 320; ++i) t.update(true, kUsPerMs);
+  EXPECT_GT(t.value(), 0.99);
+}
+
+TEST(LoadTracker, ConvergesToDutyCycle) {
+  LoadTracker t(16 * kUsPerMs);
+  for (int i = 0; i < 5000; ++i) t.update(i % 2 == 0, kUsPerMs);
+  EXPECT_NEAR(t.value(), 0.5, 0.05);
+}
+
+TEST(LoadTracker, PrimeSetsValue) {
+  LoadTracker t;
+  t.prime(0.25);
+  EXPECT_DOUBLE_EQ(t.value(), 0.25);
+}
+
+TEST(LoadTracker, StaysInUnitRange) {
+  LoadTracker t;
+  for (int i = 0; i < 1000; ++i) {
+    t.update(i % 3 != 0, kUsPerMs);
+    EXPECT_GE(t.value(), 0.0);
+    EXPECT_LE(t.value(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,78 @@
+#include "util/intrusive_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hars {
+namespace {
+
+struct Node : IntrusiveListNode<Node> {
+  int value = 0;
+  explicit Node(int v) : value(v) {}
+};
+
+std::vector<int> values(const IntrusiveList<Node>& list) {
+  std::vector<int> out;
+  list.for_each([&](Node& n) { out.push_back(n.value); });
+  return out;
+}
+
+TEST(IntrusiveList, EmptyList) {
+  IntrusiveList<Node> list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.head(), nullptr);
+}
+
+TEST(IntrusiveList, PushBackPreservesOrder) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2), c(3);
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  EXPECT_EQ(values(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(IntrusiveList, RemoveHeadMiddleTail) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2), c(3), d(4);
+  for (Node* n : {&a, &b, &c, &d}) list.push_back(n);
+
+  EXPECT_TRUE(list.remove(&b));  // middle
+  EXPECT_EQ(values(list), (std::vector<int>{1, 3, 4}));
+  EXPECT_TRUE(list.remove(&a));  // head
+  EXPECT_EQ(values(list), (std::vector<int>{3, 4}));
+  EXPECT_TRUE(list.remove(&d));  // tail
+  EXPECT_EQ(values(list), (std::vector<int>{3}));
+}
+
+TEST(IntrusiveList, RemoveAbsentReturnsFalse) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2);
+  list.push_back(&a);
+  EXPECT_FALSE(list.remove(&b));
+}
+
+TEST(IntrusiveList, ReinsertAfterRemove) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2);
+  list.push_back(&a);
+  list.push_back(&b);
+  ASSERT_TRUE(list.remove(&a));
+  list.push_back(&a);  // tail now
+  EXPECT_EQ(values(list), (std::vector<int>{2, 1}));
+}
+
+TEST(IntrusiveList, ForEachAllowsPayloadMutation) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2);
+  list.push_back(&a);
+  list.push_back(&b);
+  list.for_each([](Node& n) { n.value *= 10; });
+  EXPECT_EQ(values(list), (std::vector<int>{10, 20}));
+}
+
+}  // namespace
+}  // namespace hars

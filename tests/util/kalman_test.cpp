@@ -1,0 +1,86 @@
+#include "util/kalman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hars {
+namespace {
+
+TEST(ScalarKalman, FirstMeasurementAdoptedExactly) {
+  ScalarKalman k;
+  EXPECT_FALSE(k.initialized());
+  EXPECT_DOUBLE_EQ(k.update(3.7), 3.7);
+  EXPECT_TRUE(k.initialized());
+  EXPECT_DOUBLE_EQ(k.estimate(), 3.7);
+}
+
+TEST(ScalarKalman, ConvergesToConstantSignal) {
+  ScalarKalman k(1e-4, 1e-2);
+  Rng rng(3);
+  double estimate = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    estimate = k.update(2.0 + rng.normal(0.0, 0.1));
+  }
+  EXPECT_NEAR(estimate, 2.0, 0.05);
+}
+
+TEST(ScalarKalman, SmoothsNoiseBelowMeasurementNoise) {
+  ScalarKalman k(1e-5, 1e-2);
+  Rng rng(5);
+  double sq_err = 0.0;
+  int n = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double est = k.update(1.0 + rng.normal(0.0, 0.1));
+    if (i > 100) {
+      sq_err += (est - 1.0) * (est - 1.0);
+      ++n;
+    }
+  }
+  // Filtered RMS error well below the raw noise (0.1).
+  EXPECT_LT(std::sqrt(sq_err / n), 0.05);
+}
+
+TEST(ScalarKalman, TracksDriftingSignal) {
+  ScalarKalman k(1e-2, 1e-2);
+  double estimate = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    estimate = k.update(1.0 + 0.01 * i);  // Ramp.
+  }
+  EXPECT_NEAR(estimate, 1.0 + 0.01 * 299, 0.15);
+}
+
+TEST(ScalarKalman, GainDecreasesAsConfidenceGrows) {
+  ScalarKalman k(1e-6, 1e-2);
+  k.update(1.0);
+  k.update(1.0);
+  const double early_gain = k.last_gain();
+  for (int i = 0; i < 200; ++i) k.update(1.0);
+  EXPECT_LT(k.last_gain(), early_gain);
+}
+
+TEST(ScalarKalman, RescaleShiftsEstimate) {
+  ScalarKalman k;
+  k.update(2.0);
+  k.rescale(3.0);
+  EXPECT_NEAR(k.estimate(), 6.0, 1e-12);
+}
+
+TEST(ScalarKalman, RescaleBeforeInitIsNoop) {
+  ScalarKalman k;
+  k.rescale(5.0);
+  EXPECT_DOUBLE_EQ(k.estimate(), 0.0);
+}
+
+TEST(ScalarKalman, ResetForgetsEverything) {
+  ScalarKalman k;
+  k.update(9.0);
+  k.reset();
+  EXPECT_FALSE(k.initialized());
+  EXPECT_DOUBLE_EQ(k.update(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,54 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hars {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 3u);
+}
+
+TEST(RingBuffer, FillsToCapacity) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_FALSE(rb.full());
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.oldest(), 1);
+  EXPECT_EQ(rb.newest(), 3);
+}
+
+TEST(RingBuffer, OverwritesOldest) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.oldest(), 3);
+  EXPECT_EQ(rb.newest(), 5);
+  EXPECT_EQ(rb[0], 3);
+  EXPECT_EQ(rb[1], 4);
+  EXPECT_EQ(rb[2], 5);
+}
+
+TEST(RingBuffer, IndexingAfterManyWraps) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 103; ++i) rb.push(i);
+  EXPECT_EQ(rb[0], 99);
+  EXPECT_EQ(rb[3], 102);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(7);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.newest(), 9);
+}
+
+}  // namespace
+}  // namespace hars

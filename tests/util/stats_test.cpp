@@ -1,0 +1,147 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hars {
+namespace {
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Geomean, KnownValues) {
+  const std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+}
+
+TEST(Geomean, EmptyAndNonPositive) {
+  EXPECT_EQ(geomean({}), 0.0);
+  const std::vector<double> with_zero{1.0, 0.0};
+  EXPECT_EQ(geomean(with_zero), 0.0);
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> v{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(FitLinear1d, RecoversPlantedLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(2.5 * i * 0.1 + 0.7);
+  }
+  const RegressionFit fit = fit_linear_1d(x, y);
+  ASSERT_EQ(fit.coeffs.size(), 1u);
+  EXPECT_NEAR(fit.coeffs[0], 2.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 0.7, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear1d, NoisyFitStillCloseWithHighR2) {
+  Rng rng(21);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double xv = rng.uniform(0.0, 10.0);
+    x.push_back(xv);
+    y.push_back(-1.2 * xv + 4.0 + rng.normal(0.0, 0.1));
+  }
+  const RegressionFit fit = fit_linear_1d(x, y);
+  EXPECT_NEAR(fit.coeffs[0], -1.2, 0.02);
+  EXPECT_NEAR(fit.intercept, 4.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLinear, TwoFeatures) {
+  Rng rng(31);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0.0, 5.0);
+    const double b = rng.uniform(0.0, 5.0);
+    xs.push_back({a, b});
+    ys.push_back(3.0 * a - 2.0 * b + 1.0);
+  }
+  const RegressionFit fit = fit_linear(xs, ys);
+  ASSERT_EQ(fit.coeffs.size(), 2u);
+  EXPECT_NEAR(fit.coeffs[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coeffs[1], -2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-8);
+}
+
+TEST(FitLinear, DegenerateInputReturnsEmptyFit) {
+  const RegressionFit fit = fit_linear({}, {});
+  EXPECT_TRUE(fit.coeffs.empty());
+  EXPECT_EQ(fit.r_squared, 0.0);
+}
+
+TEST(FitLinear, SingularSystemHandled) {
+  // All x identical: slope is unidentifiable.
+  std::vector<std::vector<double>> xs(10, std::vector<double>{2.0});
+  std::vector<double> ys(10, 5.0);
+  const RegressionFit fit = fit_linear(xs, ys);
+  EXPECT_TRUE(fit.coeffs.empty());  // Degenerate: no fit produced.
+}
+
+TEST(Predict, EvaluatesFit) {
+  RegressionFit fit;
+  fit.coeffs = {2.0, 0.5};
+  fit.intercept = 1.0;
+  const std::vector<double> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(predict(fit, x), 9.0);
+}
+
+}  // namespace
+}  // namespace hars

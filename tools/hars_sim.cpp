@@ -1,0 +1,158 @@
+// hars_sim: command-line front end for the experiment runner.
+//
+//   hars_sim --bench SW --version HARS-E --fraction 0.5 --duration 120
+//            [--trace trace.csv]
+//
+// Runs one benchmark under one runtime version on the simulated
+// big.LITTLE platform and prints the metrics the paper's figures are
+// built from. With --trace, the behaviour trace (heartbeat rate, core
+// counts, frequencies) is written as CSV.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace hars;
+
+void usage() {
+  std::puts(
+      "usage: hars_sim [options]\n"
+      "  --bench NAME      BL|BO|FA|FE|FL|SW (default SW)\n"
+      "  --version NAME    Baseline|SO|HARS-I|HARS-E|HARS-EI (default HARS-E)\n"
+      "  --fraction F      target as fraction of max achievable (default 0.5)\n"
+      "  --duration SEC    measured run length in simulated seconds (default 120)\n"
+      "  --threads N       application threads (default 8)\n"
+      "  --seed N          deterministic seed (default 1)\n"
+      "  --scheduler NAME  chunk|interleaved|hierarchical (HARS versions)\n"
+      "  --predictor NAME  last-value|kalman (HARS versions)\n"
+      "  --policy NAME     incremental|exhaustive|tabu (HARS versions)\n"
+      "  --learn-ratio     enable online big:little ratio learning\n"
+      "  --trace FILE      write the behaviour trace as CSV\n"
+      "  --help            this text");
+}
+
+bool parse_bench(const std::string& name, ParsecBenchmark* out) {
+  for (ParsecBenchmark b : all_parsec_benchmarks()) {
+    if (name == parsec_code(b) || name == parsec_name(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_version(const std::string& name, SingleVersion* out) {
+  for (SingleVersion v : all_single_versions()) {
+    if (name == single_version_name(v)) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ParsecBenchmark bench = ParsecBenchmark::kSwaptions;
+  SingleVersion version = SingleVersion::kHarsE;
+  SingleRunOptions options;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      usage();
+      return 0;
+    } else if (arg == "--bench") {
+      if (!parse_bench(next(), &bench)) {
+        std::fprintf(stderr, "unknown benchmark\n");
+        return 2;
+      }
+    } else if (arg == "--version") {
+      if (!parse_version(next(), &version)) {
+        std::fprintf(stderr, "unknown version\n");
+        return 2;
+      }
+    } else if (arg == "--fraction") {
+      options.target_fraction = std::atof(next());
+    } else if (arg == "--duration") {
+      options.duration = static_cast<TimeUs>(std::atof(next()) * kUsPerSec);
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next());
+    } else if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--scheduler") {
+      const std::string s = next();
+      options.override_scheduler = s == "chunk"         ? 0
+                                   : s == "interleaved" ? 1
+                                   : s == "hierarchical" ? 2
+                                                         : -1;
+    } else if (arg == "--predictor") {
+      const std::string s = next();
+      options.override_predictor = s == "last-value" ? 0 : s == "kalman" ? 1 : -1;
+    } else if (arg == "--policy") {
+      const std::string s = next();
+      options.override_policy = s == "incremental"  ? 0
+                                : s == "exhaustive" ? 1
+                                : s == "tabu"       ? 2
+                                                    : -1;
+    } else if (arg == "--learn-ratio") {
+      options.learn_ratio = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  const SingleRunResult r = run_single(bench, version, options);
+  std::printf("bench            %s (%s)\n", parsec_code(bench), parsec_name(bench));
+  std::printf("version          %s\n", single_version_name(version));
+  std::printf("target           %.3f hb/s [%.3f, %.3f]\n", r.target.avg(),
+              r.target.min, r.target.max);
+  std::printf("avg rate         %.3f hb/s\n", r.metrics.avg_rate_hps);
+  std::printf("norm perf        %.3f\n", r.metrics.norm_perf);
+  std::printf("in-window        %.1f%%\n", 100.0 * r.metrics.in_window_fraction);
+  std::printf("avg power        %.3f W\n", r.metrics.avg_power_w);
+  std::printf("perf/watt        %.3f\n", r.metrics.perf_per_watt);
+  std::printf("energy/beat      %.3f J\n", r.metrics.energy_per_beat_j);
+  std::printf("manager CPU      %.2f%%\n", r.metrics.manager_cpu_pct);
+  std::printf("heartbeats       %lld\n", static_cast<long long>(r.metrics.heartbeats));
+  if (version == SingleVersion::kStaticOptimal) {
+    std::printf("static state     %s\n", r.static_state.to_string().c_str());
+  }
+
+  if (!trace_path.empty()) {
+    CsvWriter csv(trace_path);
+    if (!csv.ok()) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    csv.header({"hb_index", "hps", "b_core", "l_core", "target_min",
+                "target_max", "b_freq_ghz", "l_freq_ghz"});
+    for (const TracePoint& p : r.trace) {
+      csv.row({static_cast<double>(p.hb_index), p.hps,
+               static_cast<double>(p.big_cores),
+               static_cast<double>(p.little_cores), r.target.min, r.target.max,
+               p.big_freq_ghz, p.little_freq_ghz});
+    }
+    std::printf("trace            %s (%zu points)\n", trace_path.c_str(),
+                r.trace.size());
+  }
+  return 0;
+}
