@@ -3,8 +3,8 @@
 // thesis fixes but never sweeps.
 #include <iostream>
 
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "exp/runner.hpp"
 #include "util/stats.hpp"
 
 int main() {
@@ -20,13 +20,16 @@ int main() {
     std::vector<double> utils;
     for (ParsecBenchmark bench :
          {ParsecBenchmark::kSwaptions, ParsecBenchmark::kFluidanimate}) {
-      SingleRunOptions options;
-      options.duration = 90 * kUsPerSec;
-      options.override_adapt_period = period;
-      const SingleRunResult r = run_single(bench, SingleVersion::kHarsE, options);
-      pps.push_back(r.metrics.perf_per_watt);
-      nps.push_back(r.metrics.norm_perf);
-      utils.push_back(r.metrics.manager_cpu_pct);
+      const ExperimentResult r = ExperimentBuilder()
+                                     .app(bench)
+                                     .variant("HARS-E")
+                                     .adapt_period(period)
+                                     .duration(90 * kUsPerSec)
+                                     .build()
+                                     .run();
+      pps.push_back(r.app().metrics.perf_per_watt);
+      nps.push_back(r.app().metrics.norm_perf);
+      utils.push_back(r.app().metrics.manager_cpu_pct);
     }
     table.add_row(std::to_string(period),
                   {geomean(pps), geomean(nps), mean(utils)});

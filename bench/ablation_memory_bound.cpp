@@ -8,11 +8,8 @@
 #include <memory>
 
 #include "apps/data_parallel_app.hpp"
-#include "core/hars.hpp"
-#include "exp/metrics.hpp"
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "hmp/sim_engine.hpp"
-#include "sched/gts.hpp"
 
 namespace {
 
@@ -25,34 +22,44 @@ struct Outcome {
   std::int64_t adaptations = 0;
 };
 
+AppFactory mem_app(double mem_sensitivity) {
+  return [mem_sensitivity](int threads, std::uint64_t seed) {
+    DataParallelConfig cfg;
+    cfg.threads = threads;
+    cfg.speed = SpeedModel{3.0, 2.0, mem_sensitivity};
+    cfg.workload = {WorkloadShape::kStable, 4.0, 0.02, 0.0, 1};
+    cfg.seed = seed;
+    return std::make_unique<DataParallelApp>("mem", cfg);
+  };
+}
+
 Outcome run_mem(double mem_sensitivity) {
-  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
-  DataParallelConfig cfg;
-  cfg.threads = 8;
-  cfg.speed = SpeedModel{3.0, 2.0, mem_sensitivity};
-  cfg.workload = {WorkloadShape::kStable, 4.0, 0.02, 0.0, 1};
-  DataParallelApp app("mem", cfg);
-  const AppId id = engine.add_app(&app);
+  // Calibrate the target against this app's own baseline max: a short
+  // cold-start baseline probe through the same pipeline.
+  const ExperimentResult probe = ExperimentBuilder()
+                                     .app("mem", mem_app(mem_sensitivity))
+                                     .target(PerfTarget::around(1.0))
+                                     .variant("Baseline")
+                                     .protocol(RunProtocol::kColdStart)
+                                     .duration(20 * kUsPerSec)
+                                     .build()
+                                     .run();
+  const PerfTarget target =
+      PerfTarget::around(0.5 * probe.app().metrics.avg_rate_hps);
 
-  // Calibrate the target against this app's own baseline max.
-  engine.run_for(20 * kUsPerSec);
-  const double max_rate = app.heartbeats().global_rate(engine.now());
-  const PerfTarget target = PerfTarget::around(0.5 * max_rate);
-
-  SimEngine engine2(Machine::exynos5422(), std::make_unique<GtsScheduler>());
-  DataParallelApp app2("mem", cfg);
-  const AppId id2 = engine2.add_app(&app2);
-  (void)id;
-  auto manager = attach_hars(engine2, id2, target, HarsVariant::kHarsE);
-  engine2.run_for(120 * kUsPerSec);
-
+  const ExperimentResult r = ExperimentBuilder()
+                                 .app("mem", mem_app(mem_sensitivity))
+                                 .target(target)
+                                 .variant("HARS-E")
+                                 .protocol(RunProtocol::kColdStart)
+                                 .duration(120 * kUsPerSec)
+                                 .build()
+                                 .run();
   Outcome out;
-  const auto& history = app2.heartbeats().history();
-  const TimeUs t0 = history.empty() ? 0 : history.front().time;
-  out.norm_perf = time_weighted_norm_perf(history, target, t0, engine2.now());
-  out.power = engine2.sensor().average_power_w(engine2.now());
+  out.norm_perf = r.app().metrics.norm_perf;
+  out.power = r.app().metrics.avg_power_w;
   out.pp = out.power > 0.0 ? out.norm_perf / out.power : 0.0;
-  out.adaptations = manager->adaptations();
+  out.adaptations = r.adaptations;
   return out;
 }
 

@@ -4,14 +4,9 @@
 // exploit; idle-pull closes part of that gap at the OS level.
 #include <cstdio>
 #include <iostream>
-#include <memory>
 
-#include "apps/parsec.hpp"
-#include "exp/calibration.hpp"
-#include "exp/metrics.hpp"
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "hmp/sim_engine.hpp"
-#include "sched/gts.hpp"
 
 namespace {
 
@@ -25,20 +20,19 @@ struct BaselineResult {
 BaselineResult run_baseline(ParsecBenchmark bench, bool idle_pull) {
   GtsConfig config;
   config.idle_pull = idle_pull;
-  SimEngine engine(Machine::exynos5422(),
-                   std::make_unique<GtsScheduler>(config));
-  auto app = make_parsec_app(bench);
-  engine.add_app(app.get());
-  while (app->heartbeats().count() == 0 && engine.now() < 60 * kUsPerSec) {
-    engine.run_for(100 * kUsPerMs);
-  }
-  const TimeUs t0 = engine.now();
-  engine.sensor().reset();
-  engine.run_for(60 * kUsPerSec);
-  BaselineResult out;
-  out.rate = average_rate(app->heartbeats().history(), t0, engine.now());
-  out.power = engine.sensor().average_power_w(engine.now() - t0);
-  return out;
+  // A dummy explicit target skips calibration: only the raw rate and
+  // power of the maximum configuration matter here.
+  const ExperimentResult r = ExperimentBuilder()
+                                 .os_scheduler(config)
+                                 .app(bench)
+                                 .target(PerfTarget::around(1.0))
+                                 .variant("Baseline")
+                                 .protocol(RunProtocol::kSteadyState)
+                                 .duration(60 * kUsPerSec)
+                                 .build()
+                                 .run();
+  return BaselineResult{r.app().metrics.avg_rate_hps,
+                        r.app().metrics.avg_power_w};
 }
 
 }  // namespace

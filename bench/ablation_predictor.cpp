@@ -3,8 +3,8 @@
 // (fluidanimate) benchmarks where windowed rates jitter the most.
 #include <iostream>
 
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "exp/runner.hpp"
 
 int main() {
   using namespace hars;
@@ -16,17 +16,20 @@ int main() {
   for (ParsecBenchmark bench :
        {ParsecBenchmark::kBodytrack, ParsecBenchmark::kFluidanimate,
         ParsecBenchmark::kSwaptions}) {
-    for (int predictor : {0, 1}) {
-      SingleRunOptions options;
-      options.duration = 100 * kUsPerSec;
-      options.override_predictor = predictor;
-      const SingleRunResult r = run_single(bench, SingleVersion::kHarsE, options);
-      table.add_text_row({parsec_code(bench),
-                          predictor == 0 ? "last-value" : "kalman",
-                          format_value(r.metrics.perf_per_watt),
-                          format_value(r.metrics.norm_perf),
-                          format_value(100.0 * r.metrics.in_window_fraction),
-                          format_value(r.metrics.manager_cpu_pct)});
+    for (PredictorKind predictor :
+         {PredictorKind::kLastValue, PredictorKind::kKalman}) {
+      const ExperimentResult r = ExperimentBuilder()
+                                     .app(bench)
+                                     .variant("HARS-E")
+                                     .predictor(predictor)
+                                     .duration(100 * kUsPerSec)
+                                     .build()
+                                     .run();
+      table.add_text_row({parsec_code(bench), predictor_kind_name(predictor),
+                          format_value(r.app().metrics.perf_per_watt),
+                          format_value(r.app().metrics.norm_perf),
+                          format_value(100.0 * r.app().metrics.in_window_fraction),
+                          format_value(r.app().metrics.manager_cpu_pct)});
     }
   }
   table.print(std::cout);

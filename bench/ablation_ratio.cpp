@@ -4,8 +4,22 @@
 // should recover the gap to the static optimal.
 #include <iostream>
 
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "exp/runner.hpp"
+
+namespace {
+
+using namespace hars;
+
+ExperimentBuilder blackscholes_hars() {
+  ExperimentBuilder builder;
+  builder.app(ParsecBenchmark::kBlackscholes)
+      .variant("HARS-E")
+      .duration(90 * kUsPerSec);
+  return builder;
+}
+
+}  // namespace
 
 int main() {
   using namespace hars;
@@ -14,31 +28,28 @@ int main() {
   ReportTable table("HARS-E on blackscholes with different assumed r0");
   table.set_columns({"r0", "perf/watt", "norm perf", "avg power W"});
   for (double r0 : {1.0, 1.25, 1.5, 2.0}) {
-    SingleRunOptions options;
-    options.duration = 90 * kUsPerSec;
-    options.override_r0 = r0;
-    const SingleRunResult r =
-        run_single(ParsecBenchmark::kBlackscholes, SingleVersion::kHarsE, options);
+    const ExperimentResult r =
+        blackscholes_hars().assumed_ratio(r0).build().run();
     table.add_row(format_value(r0),
-                  {r.metrics.perf_per_watt, r.metrics.norm_perf,
-                   r.metrics.avg_power_w});
+                  {r.app().metrics.perf_per_watt, r.app().metrics.norm_perf,
+                   r.app().metrics.avg_power_w});
   }
   {
     // §5.1.2 future work: learn the ratio online instead of fixing it.
-    SingleRunOptions options;
-    options.duration = 90 * kUsPerSec;
-    options.learn_ratio = true;
-    const SingleRunResult learned = run_single(ParsecBenchmark::kBlackscholes,
-                                               SingleVersion::kHarsE, options);
-    table.add_row("learned", {learned.metrics.perf_per_watt,
-                              learned.metrics.norm_perf,
-                              learned.metrics.avg_power_w});
+    const ExperimentResult learned =
+        blackscholes_hars().learn_ratio().build().run();
+    table.add_row("learned", {learned.app().metrics.perf_per_watt,
+                              learned.app().metrics.norm_perf,
+                              learned.app().metrics.avg_power_w});
   }
-  const SingleRunResult so = run_single(ParsecBenchmark::kBlackscholes,
-                                        SingleVersion::kStaticOptimal,
-                                        SingleRunOptions{});
-  table.add_row("SO", {so.metrics.perf_per_watt, so.metrics.norm_perf,
-                       so.metrics.avg_power_w});
+  const ExperimentResult so = ExperimentBuilder()
+                                  .app(ParsecBenchmark::kBlackscholes)
+                                  .variant("SO")
+                                  .build()
+                                  .run();
+  table.add_row("SO", {so.app().metrics.perf_per_watt,
+                       so.app().metrics.norm_perf,
+                       so.app().metrics.avg_power_w});
   table.print(std::cout);
   std::puts("Shape check: the assumed ratio moves achieved efficiency by");
   std::puts("tens of percent on BL; a strong overestimate (r0 = 2.0) is the");

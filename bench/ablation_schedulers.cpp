@@ -3,9 +3,10 @@
 // performance targets. The pipeline benchmark (ferret) is where the
 // mapping matters: chunk can place whole stages on one cluster.
 #include <iostream>
+#include <vector>
 
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "exp/runner.hpp"
 
 int main() {
   using namespace hars;
@@ -19,15 +20,19 @@ int main() {
     for (ParsecBenchmark bench : all_parsec_benchmarks()) {
       std::vector<double> pp;
       std::vector<double> norm;
-      for (int sched : {0, 1, 2}) {
-        SingleRunOptions options;
-        options.duration = 90 * kUsPerSec;
-        options.target_fraction = fraction;
-        options.override_scheduler = sched;
-        const SingleRunResult r =
-            run_single(bench, SingleVersion::kHarsE, options);
-        pp.push_back(r.metrics.perf_per_watt);
-        norm.push_back(r.metrics.norm_perf);
+      for (ThreadSchedulerKind sched :
+           {ThreadSchedulerKind::kChunk, ThreadSchedulerKind::kInterleaved,
+            ThreadSchedulerKind::kHierarchical}) {
+        const ExperimentResult r = ExperimentBuilder()
+                                       .app(bench)
+                                       .variant("HARS-E")
+                                       .scheduler(sched)
+                                       .target_fraction(fraction)
+                                       .duration(90 * kUsPerSec)
+                                       .build()
+                                       .run();
+        pp.push_back(r.app().metrics.perf_per_watt);
+        norm.push_back(r.app().metrics.norm_perf);
       }
       table.add_row(parsec_code(bench),
                     {pp[0], pp[1], pp[2], norm[0], norm[1], norm[2]});

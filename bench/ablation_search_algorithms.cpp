@@ -3,40 +3,41 @@
 // search trajectory proposed as the escape from local optima.
 #include <iostream>
 
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "exp/runner.hpp"
 #include "util/stats.hpp"
 
 int main() {
   using namespace hars;
   std::puts("Ablation: search algorithm (default target)\n");
 
+  const SearchPolicy policies[] = {SearchPolicy::kIncremental,
+                                   SearchPolicy::kExhaustive,
+                                   SearchPolicy::kTabu};
   ReportTable table("incremental vs exhaustive vs tabu");
   table.set_columns({"bench", "policy", "perf/watt", "norm perf",
                      "mgr CPU %"});
   std::vector<double> pp_by_policy[3];
   for (ParsecBenchmark bench : all_parsec_benchmarks()) {
-    for (int policy : {0, 1, 2}) {
-      SingleRunOptions options;
-      options.duration = 100 * kUsPerSec;
-      options.override_policy = policy;
-      const SingleRunResult r = run_single(bench, SingleVersion::kHarsE, options);
-      const char* name = policy == 0   ? "incremental"
-                         : policy == 1 ? "exhaustive"
-                                       : "tabu";
-      table.add_text_row({parsec_code(bench), name,
-                          format_value(r.metrics.perf_per_watt),
-                          format_value(r.metrics.norm_perf),
-                          format_value(r.metrics.manager_cpu_pct)});
-      pp_by_policy[policy].push_back(r.metrics.perf_per_watt);
+    for (int pi = 0; pi < 3; ++pi) {
+      const ExperimentResult r = ExperimentBuilder()
+                                     .app(bench)
+                                     .variant("HARS-E")
+                                     .policy(policies[pi])
+                                     .duration(100 * kUsPerSec)
+                                     .build()
+                                     .run();
+      table.add_text_row({parsec_code(bench), search_policy_name(policies[pi]),
+                          format_value(r.app().metrics.perf_per_watt),
+                          format_value(r.app().metrics.norm_perf),
+                          format_value(r.app().metrics.manager_cpu_pct)});
+      pp_by_policy[pi].push_back(r.app().metrics.perf_per_watt);
     }
   }
-  table.add_text_row({"GM", "incremental", format_value(geomean(pp_by_policy[0])),
-                      "", ""});
-  table.add_text_row({"GM", "exhaustive", format_value(geomean(pp_by_policy[1])),
-                      "", ""});
-  table.add_text_row({"GM", "tabu", format_value(geomean(pp_by_policy[2])),
-                      "", ""});
+  for (int pi = 0; pi < 3; ++pi) {
+    table.add_text_row({"GM", search_policy_name(policies[pi]),
+                        format_value(geomean(pp_by_policy[pi])), "", ""});
+  }
   table.print(std::cout);
   std::puts("Shape check: exhaustive and tabu clearly beat incremental;");
   std::puts("tabu is competitive with exhaustive at lower candidate cost.");

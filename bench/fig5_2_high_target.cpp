@@ -3,10 +3,11 @@
 // Expected difference vs. Figure 5.1: smaller efficiency gains (less
 // energy slack below the maximum configuration).
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "exp/runner.hpp"
 #include "util/stats.hpp"
 
 int main() {
@@ -14,25 +15,29 @@ int main() {
   std::puts("Figure 5.2 reproduction: perf/watt, high target (75% +/- 5%)");
   std::puts("Values normalized to the Baseline version.\n");
 
-  const auto versions = all_single_versions();
+  const std::vector<std::string> versions{"Baseline", "SO", "HARS-I",
+                                          "HARS-E", "HARS-EI"};
   ReportTable table("Performance/Power (normalized to Baseline)");
   std::vector<std::string> cols{"bench"};
-  for (SingleVersion v : versions) cols.push_back(single_version_name(v));
+  for (const std::string& v : versions) cols.push_back(v);
   table.set_columns(cols);
 
   std::vector<std::vector<double>> normalized(versions.size());
   for (ParsecBenchmark bench : all_parsec_benchmarks()) {
-    SingleRunOptions options;
-    options.target_fraction = 0.75;
     double baseline_pp = 0.0;
     std::vector<double> row;
     for (std::size_t vi = 0; vi < versions.size(); ++vi) {
-      const SingleRunResult r = run_single(bench, versions[vi], options);
-      if (versions[vi] == SingleVersion::kBaseline) {
-        baseline_pp = r.metrics.perf_per_watt;
+      const ExperimentResult r = ExperimentBuilder()
+                                     .app(bench)
+                                     .variant(versions[vi])
+                                     .target_fraction(0.75)
+                                     .build()
+                                     .run();
+      if (versions[vi] == "Baseline") {
+        baseline_pp = r.app().metrics.perf_per_watt;
       }
       const double norm = baseline_pp > 0.0
-                              ? r.metrics.perf_per_watt / baseline_pp
+                              ? r.app().metrics.perf_per_watt / baseline_pp
                               : 0.0;
       row.push_back(norm);
       normalized[vi].push_back(norm);

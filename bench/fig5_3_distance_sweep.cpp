@@ -5,8 +5,8 @@
 #include <iostream>
 #include <vector>
 
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "exp/runner.hpp"
 #include "util/stats.hpp"
 
 int main() {
@@ -25,14 +25,16 @@ int main() {
       std::vector<double> pps;
       std::vector<double> utils;
       for (ParsecBenchmark bench : all_parsec_benchmarks()) {
-        SingleRunOptions options;
-        options.target_fraction = fractions[fi];
-        options.duration = 90 * kUsPerSec;
-        options.override_d = d;
-        const SingleRunResult r =
-            run_single(bench, SingleVersion::kHarsEI, options);
-        pps.push_back(r.metrics.perf_per_watt);
-        utils.push_back(r.metrics.manager_cpu_pct);
+        const ExperimentResult r = ExperimentBuilder()
+                                       .app(bench)
+                                       .variant("HARS-EI")
+                                       .target_fraction(fractions[fi])
+                                       .search_distance(d)
+                                       .duration(90 * kUsPerSec)
+                                       .build()
+                                       .run();
+        pps.push_back(r.app().metrics.perf_per_watt);
+        utils.push_back(r.app().metrics.manager_cpu_pct);
       }
       pp[fi].push_back(geomean(pps));
       util[fi].push_back(mean(utils));

@@ -6,8 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "exp/runner.hpp"
 #include "util/stats.hpp"
 
 int main() {
@@ -15,28 +15,35 @@ int main() {
   std::puts("Figure 5.4 reproduction: multi-application perf/watt");
   std::puts("Values normalized to the Baseline version of the same app/case.\n");
 
-  const auto versions = all_multi_versions();
+  const std::vector<std::string> versions{"Baseline", "CONS-I", "MP-HARS-I",
+                                          "MP-HARS-E"};
   const auto cases = multiapp_cases();
 
   ReportTable table("Performance/Power (normalized to Baseline)");
   std::vector<std::string> cols{"case", "app"};
-  for (MultiVersion v : versions) cols.push_back(multi_version_name(v));
+  for (const std::string& v : versions) cols.push_back(v);
   table.set_columns(cols);
 
   std::vector<std::vector<double>> normalized(versions.size());
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-    MultiRunOptions options;
-    std::vector<MultiRunResult> results;
+    std::vector<ExperimentResult> results;
     results.reserve(versions.size());
-    for (MultiVersion v : versions) results.push_back(run_multi(cases[ci], v, options));
-    const MultiRunResult& base = results.front();
+    for (const std::string& v : versions) {
+      results.push_back(ExperimentBuilder()
+                            .apps(cases[ci])
+                            .variant(v)
+                            .duration(150 * kUsPerSec)
+                            .build()
+                            .run());
+    }
+    const ExperimentResult& base = results.front();
     for (std::size_t ai = 0; ai < cases[ci].size(); ++ai) {
       std::vector<std::string> row{"Case " + std::to_string(ci + 1),
                                    parsec_code(cases[ci][ai])};
       for (std::size_t vi = 0; vi < versions.size(); ++vi) {
-        const double b = base.per_app[ai].perf_per_watt;
+        const double b = base.apps[ai].metrics.perf_per_watt;
         const double norm =
-            b > 0.0 ? results[vi].per_app[ai].perf_per_watt / b : 0.0;
+            b > 0.0 ? results[vi].apps[ai].metrics.perf_per_watt / b : 0.0;
         row.push_back(format_value(norm));
         normalized[vi].push_back(norm);
       }

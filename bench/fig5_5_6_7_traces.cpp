@@ -7,8 +7,8 @@
 #include <iostream>
 #include <string>
 
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "exp/runner.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -18,45 +18,56 @@ using namespace hars;
 
 void dump_trace(const std::string& fig, const std::string& version,
                 const std::vector<ParsecBenchmark>& benches,
-                const MultiRunResult& result) {
+                const ExperimentResult& result) {
   for (std::size_t ai = 0; ai < benches.size(); ++ai) {
     const std::string path =
         fig + "_" + version + "_" + parsec_code(benches[ai]) + ".csv";
     CsvWriter csv(path);
     csv.header({"hb_index", "hps", "b_core", "l_core", "target_min",
                 "target_max", "b_freq_ghz", "l_freq_ghz"});
-    for (const TracePoint& p : result.traces[ai]) {
+    for (const TracePoint& p : result.apps[ai].trace) {
       csv.row({static_cast<double>(p.hb_index), p.hps,
                static_cast<double>(p.big_cores),
-               static_cast<double>(p.little_cores), result.targets[ai].min,
-               result.targets[ai].max, p.big_freq_ghz, p.little_freq_ghz});
+               static_cast<double>(p.little_cores), result.apps[ai].target.min,
+               result.apps[ai].target.max, p.big_freq_ghz, p.little_freq_ghz});
     }
     std::printf("  wrote %s (%zu points)\n", path.c_str(),
-                result.traces[ai].size());
+                result.apps[ai].trace.size());
   }
 }
 
 void summarize(const char* label, const std::vector<ParsecBenchmark>& benches,
-               const MultiRunResult& result) {
+               const ExperimentResult& result) {
   ReportTable table(label);
   table.set_columns({"app", "avg HPS", "target", "in-window %", "avg B_Core",
                      "avg L_Core", "avg B_Freq", "avg L_Freq"});
   for (std::size_t ai = 0; ai < benches.size(); ++ai) {
     OnlineStats hps, bc, lc, bf, lf;
-    for (const TracePoint& p : result.traces[ai]) {
+    for (const TracePoint& p : result.apps[ai].trace) {
       hps.add(p.hps);
       bc.add(p.big_cores);
       lc.add(p.little_cores);
       bf.add(p.big_freq_ghz);
       lf.add(p.little_freq_ghz);
     }
-    table.add_text_row({parsec_code(benches[ai]), format_value(hps.mean()),
-                        format_value(result.targets[ai].avg()),
-                        format_value(100.0 * result.per_app[ai].in_window_fraction),
-                        format_value(bc.mean()), format_value(lc.mean()),
-                        format_value(bf.mean()), format_value(lf.mean())});
+    table.add_text_row(
+        {parsec_code(benches[ai]), format_value(hps.mean()),
+         format_value(result.apps[ai].target.avg()),
+         format_value(100.0 * result.apps[ai].metrics.in_window_fraction),
+         format_value(bc.mean()), format_value(lc.mean()),
+         format_value(bf.mean()), format_value(lf.mean())});
   }
   table.print(std::cout);
+}
+
+ExperimentResult run_case(const std::vector<ParsecBenchmark>& benches,
+                          const std::string& version) {
+  return ExperimentBuilder()
+      .apps(benches)
+      .variant(version)
+      .duration(150 * kUsPerSec)
+      .build()
+      .run();
 }
 
 }  // namespace
@@ -65,18 +76,16 @@ int main() {
   using namespace hars;
   std::puts("Figures 5.5-5.7 reproduction: behaviour of case 4 (BO+FL)\n");
   const auto benches = multiapp_cases()[3];
-  MultiRunOptions options;
-  options.duration = 150 * kUsPerSec;
 
-  const MultiRunResult cons = run_multi(benches, MultiVersion::kConsI, options);
+  const ExperimentResult cons = run_case(benches, "CONS-I");
   summarize("Figure 5.5: CONS-I", benches, cons);
   dump_trace("fig5_5", "CONS-I", benches, cons);
 
-  const MultiRunResult mpi = run_multi(benches, MultiVersion::kMpHarsI, options);
+  const ExperimentResult mpi = run_case(benches, "MP-HARS-I");
   summarize("Figure 5.6: MP-HARS-I", benches, mpi);
   dump_trace("fig5_6", "MP-HARS-I", benches, mpi);
 
-  const MultiRunResult mpe = run_multi(benches, MultiVersion::kMpHarsE, options);
+  const ExperimentResult mpe = run_case(benches, "MP-HARS-E");
   summarize("Figure 5.7: MP-HARS-E", benches, mpe);
   dump_trace("fig5_7", "MP-HARS-E", benches, mpe);
 

@@ -9,9 +9,7 @@
 #include <memory>
 
 #include "apps/data_parallel_app.hpp"
-#include "core/hars.hpp"
-#include "hmp/sim_engine.hpp"
-#include "sched/gts.hpp"
+#include "exp/experiment.hpp"
 
 int main() {
   using namespace hars;
@@ -31,38 +29,50 @@ int main() {
   for (double f = 1.0; f < 3.61; f += 0.2) p_cores.freqs_ghz.push_back(f);
   spec.clusters = {e_cores, p_cores};
 
-  SimEngine engine(Machine(spec), std::make_unique<GtsScheduler>());
+  const Machine machine(spec);
   std::printf("machine: %s, %d cores (%d P + %d E), P up to %.1f GHz\n\n",
-              engine.machine().spec().name.c_str(), engine.machine().num_cores(),
-              engine.machine().cluster_core_count(engine.machine().big_cluster()),
-              engine.machine().cluster_core_count(engine.machine().little_cluster()),
-              engine.machine().freq_ghz_at_level(
-                  engine.machine().big_cluster(),
-                  engine.machine().max_freq_level(engine.machine().big_cluster())));
+              machine.spec().name.c_str(), machine.num_cores(),
+              machine.cluster_core_count(machine.big_cluster()),
+              machine.cluster_core_count(machine.little_cluster()),
+              machine.freq_ghz_at_level(
+                  machine.big_cluster(),
+                  machine.max_freq_level(machine.big_cluster())));
 
-  DataParallelConfig cfg;
-  cfg.threads = 8;
-  cfg.speed = SpeedModel{4.0, 2.0};  // r = 2 on this part.
-  cfg.workload = {WorkloadShape::kPhased, 8.0, 0.05, 0.15, 50};
-  DataParallelApp app("render", cfg);
-  const AppId id = engine.add_app(&app);
+  const AppFactory render_app = [](int threads, std::uint64_t seed) {
+    DataParallelConfig cfg;
+    cfg.threads = threads;
+    cfg.speed = SpeedModel{4.0, 2.0};  // r = 2 on this part.
+    cfg.workload = {WorkloadShape::kPhased, 8.0, 0.05, 0.15, 50};
+    cfg.seed = seed;
+    return std::make_unique<DataParallelApp>("render", cfg);
+  };
 
-  RuntimeManagerConfig config = config_for_variant(HarsVariant::kHarsEI);
-  config.r0 = 2.0;  // Match the platform's width ratio.
-  auto manager = attach_hars(engine, id, PerfTarget::around(2.5),
-                             HarsVariant::kHarsEI, &config);
+  const ExperimentResult result =
+      ExperimentBuilder()
+          .platform(machine)
+          .app("render", render_app)
+          .target(PerfTarget::around(2.5))
+          .variant("HARS-EI")
+          .assumed_ratio(2.0)  // Match the platform's width ratio.
+          .protocol(RunProtocol::kColdStart)
+          .duration(100 * kUsPerSec)
+          .sample_every(10 * kUsPerSec,
+                        [](const RunView& view) {
+                          const SystemState state =
+                              view.variant.current_state().value_or(
+                                  SystemState{});
+                          std::printf(
+                              "t=%3llds  rate %.2f hb/s  state %s  power %.2f W\n",
+                              static_cast<long long>(view.now / kUsPerSec),
+                              view.apps.front()->heartbeats().rate(),
+                              state.to_string().c_str(),
+                              view.engine.sensor().instantaneous_power_w());
+                        })
+          .build()
+          .run();
 
-  for (int chunk = 0; chunk < 10; ++chunk) {
-    engine.run_for(10 * kUsPerSec);
-    std::printf("t=%3llds  rate %.2f hb/s  state %s  power %.2f W\n",
-                static_cast<long long>(engine.now() / kUsPerSec),
-                app.heartbeats().rate(),
-                manager->current_state().to_string().c_str(),
-                engine.sensor().instantaneous_power_w());
-  }
-  std::printf("\navg power %.2f W over %llds; %lld adaptations\n",
-              engine.sensor().average_power_w(engine.now()),
-              static_cast<long long>(engine.now() / kUsPerSec),
-              static_cast<long long>(manager->adaptations()));
+  std::printf("\navg power %.2f W over %.0fs; %lld adaptations\n",
+              result.avg_power_w, us_to_sec(100 * kUsPerSec),
+              static_cast<long long>(result.adaptations));
   return 0;
 }

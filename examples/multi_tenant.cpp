@@ -1,66 +1,76 @@
 // Multi-tenant scenario: two self-adaptive applications with independent
 // SLOs share one big.LITTLE machine under MP-HARS. Shows resource
 // partitioning (disjoint core sets) and interference-aware frequency
-// control in action.
+// control in action. The experiment runs through the builder API; the
+// sampling callback reaches past the uniform surface (dynamic_cast on
+// VariantInstance::hook()) for the manager's per-app core registry.
 //
 //   $ ./multi_tenant
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "apps/data_parallel_app.hpp"
-#include "core/power_profiler.hpp"
-#include "hmp/sim_engine.hpp"
+#include "exp/experiment.hpp"
 #include "mphars/mphars_manager.hpp"
-#include "sched/gts.hpp"
 
 int main() {
   using namespace hars;
 
-  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
+  const AppFactory video_app = [](int threads, std::uint64_t seed) {
+    DataParallelConfig cfg;
+    cfg.threads = threads;
+    cfg.speed = SpeedModel{3.0, 2.0};
+    cfg.workload = {WorkloadShape::kNoisy, 5.0, 0.08, 0.0, 1};
+    cfg.seed = seed;
+    return std::make_unique<DataParallelApp>("video-encoder", cfg);
+  };
+  const AppFactory analytics_app = [](int threads, std::uint64_t seed) {
+    DataParallelConfig cfg;
+    cfg.threads = threads;
+    cfg.speed = SpeedModel{2.4, 2.4};  // Memory-bound: no big-core win.
+    cfg.workload = {WorkloadShape::kStable, 4.0, 0.02, 0.0, 1};
+    cfg.seed = seed;
+    return std::make_unique<DataParallelApp>("analytics", cfg);
+  };
 
-  DataParallelConfig video;
-  video.threads = 8;
-  video.speed = SpeedModel{3.0, 2.0};
-  video.workload = {WorkloadShape::kNoisy, 5.0, 0.08, 0.0, 1};
-  video.seed = 11;
-  DataParallelApp video_app("video-encoder", video);
-  const AppId video_id = engine.add_app(&video_app);
-
-  DataParallelConfig analytics;
-  analytics.threads = 8;
-  analytics.speed = SpeedModel{2.4, 2.4};  // Memory-bound: no big-core win.
-  analytics.workload = {WorkloadShape::kStable, 4.0, 0.02, 0.0, 1};
-  analytics.seed = 13;
-  DataParallelApp analytics_app("analytics", analytics);
-  const AppId analytics_id = engine.add_app(&analytics_app);
-
-  MpHarsManager manager(engine,
-                        profile_power(engine.machine(), engine.power_model()),
-                        MpHarsConfig{});
-  manager.register_app(video_id, MpHarsAppConfig{PerfTarget::around(2.0), 5});
-  manager.register_app(analytics_id, MpHarsAppConfig{PerfTarget::around(1.5), 5});
-  engine.set_manager(&manager);
-
+  // The manager (and its registry) lives only for the duration of run();
+  // the callback snapshots the final core sets for the summary below.
+  std::string video_cores, analytics_cores;
   std::puts("time(s)  video hb/s  analytics hb/s  video cores  analytics cores");
-  for (int chunk = 0; chunk < 15; ++chunk) {
-    engine.run_for(10 * kUsPerSec);
-    const AppNode* v = manager.registry().find(video_id);
-    const AppNode* a = manager.registry().find(analytics_id);
-    std::printf("%6lld  %10.2f  %14.2f  %4dB + %dL    %4dB + %dL\n",
-                static_cast<long long>(engine.now() / kUsPerSec),
-                video_app.heartbeats().rate(), analytics_app.heartbeats().rate(),
-                v->nprocs_b, v->nprocs_l, a->nprocs_b, a->nprocs_l);
-  }
+  const ExperimentResult result =
+      ExperimentBuilder()
+          .app("video-encoder", video_app)
+          .target(PerfTarget::around(2.0))
+          .app("analytics", analytics_app)
+          .target(PerfTarget::around(1.5))
+          .variant("MP-HARS-E")
+          .seed(11)
+          .duration(150 * kUsPerSec)
+          .sample_every(
+              10 * kUsPerSec,
+              [&](const RunView& view) {
+                const auto* manager =
+                    dynamic_cast<const MpHarsManager*>(view.variant.hook());
+                if (manager == nullptr) return;  // Not an MP-HARS variant.
+                const AppNode* v = manager->registry().find(view.app_ids[0]);
+                const AppNode* a = manager->registry().find(view.app_ids[1]);
+                std::printf("%6lld  %10.2f  %14.2f  %4dB + %dL    %4dB + %dL\n",
+                            static_cast<long long>(view.now / kUsPerSec),
+                            view.apps[0]->heartbeats().rate(),
+                            view.apps[1]->heartbeats().rate(), v->nprocs_b,
+                            v->nprocs_l, a->nprocs_b, a->nprocs_l);
+                video_cores = owned_big_mask(*v, 4).to_string() + "+" +
+                              owned_little_mask(*v).to_string();
+                analytics_cores = owned_big_mask(*a, 4).to_string() + "+" +
+                                  owned_little_mask(*a).to_string();
+              })
+          .build()
+          .run();
 
-  const AppNode* v = manager.registry().find(video_id);
-  const AppNode* a = manager.registry().find(analytics_id);
-  std::printf("\ncore sets: video %s+%s, analytics %s+%s (always disjoint)\n",
-              owned_big_mask(*v, 4).to_string().c_str(),
-              owned_little_mask(*v).to_string().c_str(),
-              owned_big_mask(*a, 4).to_string().c_str(),
-              owned_little_mask(*a).to_string().c_str());
-  std::printf("avg power: %.2f W, adaptations: %lld\n",
-              engine.sensor().average_power_w(engine.now()),
-              static_cast<long long>(manager.adaptations()));
+  std::printf("\ncore sets: video %s, analytics %s (always disjoint)\n",
+              video_cores.c_str(), analytics_cores.c_str());
+  std::printf("avg power: %.2f W, adaptations: %lld\n", result.avg_power_w,
+              static_cast<long long>(result.adaptations));
   return 0;
 }

@@ -4,42 +4,47 @@
 // stages onto the little cluster and bottleneck the service (Figure 3.2).
 //
 //   $ ./pipeline_service
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
 #include "apps/pipeline_app.hpp"
-#include "core/hars.hpp"
-#include "hmp/sim_engine.hpp"
-#include "sched/gts.hpp"
+#include "exp/experiment.hpp"
 
 namespace {
 
 using namespace hars;
 
+AppFactory query_pipeline() {
+  return [](int, std::uint64_t seed) {
+    PipelineConfig cfg;
+    cfg.stages = {{1, 0.20}, {1, 0.60}, {2, 1.60},
+                  {2, 1.60}, {1, 0.60}, {1, 0.20}};
+    cfg.speed = SpeedModel{3.0, 2.0};
+    cfg.work_noise = 0.05;
+    cfg.seed = seed;
+    return std::make_unique<PipelineApp>("query-pipeline", cfg);
+  };
+}
+
 void run_with(ThreadSchedulerKind scheduler, double target_hps) {
-  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
-
-  PipelineConfig cfg;
-  cfg.stages = {{1, 0.20}, {1, 0.60}, {2, 1.60},
-                {2, 1.60}, {1, 0.60}, {1, 0.20}};
-  cfg.speed = SpeedModel{3.0, 2.0};
-  cfg.work_noise = 0.05;
-  PipelineApp app("query-pipeline", cfg);
-  const AppId id = engine.add_app(&app);
-
-  RuntimeManagerConfig config = config_for_variant(HarsVariant::kHarsE);
-  config.scheduler = scheduler;
   const PerfTarget target = PerfTarget::around(target_hps);
-  auto manager = attach_hars(engine, id, target, HarsVariant::kHarsE, &config);
-
-  engine.run_for(120 * kUsPerSec);
-  const double rate = app.heartbeats().rate();
+  const ExperimentResult result = ExperimentBuilder()
+                                      .app("query-pipeline", query_pipeline())
+                                      .target(target)
+                                      .variant("HARS-E")
+                                      .scheduler(scheduler)
+                                      .protocol(RunProtocol::kColdStart)
+                                      .duration(120 * kUsPerSec)
+                                      .build()
+                                      .run();
+  const double rate = result.app().metrics.avg_rate_hps;
   const double norm = std::min(target.avg(), rate) / target.avg();
   std::printf("  %-12s  rate %.2f hb/s (target %.2f, SLO %.0f%%)  "
               "power %.2f W  state %s\n",
               thread_scheduler_name(scheduler), rate, target_hps, 100.0 * norm,
-              engine.sensor().average_power_w(engine.now()),
-              manager->current_state().to_string().c_str());
+              result.app().metrics.avg_power_w,
+              result.final_state.value_or(SystemState{}).to_string().c_str());
 }
 
 }  // namespace

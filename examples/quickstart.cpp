@@ -1,51 +1,61 @@
 // Quickstart: run one self-adaptive application under HARS on the
 // simulated big.LITTLE platform and watch it settle into its target
-// window at a fraction of the baseline power.
+// window at a fraction of the baseline power — all through the unified
+// ExperimentBuilder API.
 //
 //   $ ./quickstart
 #include <cstdio>
 #include <memory>
 
 #include "apps/data_parallel_app.hpp"
-#include "core/hars.hpp"
-#include "hmp/sim_engine.hpp"
-#include "sched/gts.hpp"
+#include "exp/experiment.hpp"
 
 int main() {
   using namespace hars;
 
-  // 1. A simulated ODROID-XU3-like machine under the Linux GTS scheduler.
-  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
-
-  // 2. A self-adaptive multithreaded application: 8 worker threads, one
+  // 1. A self-adaptive multithreaded application: 8 worker threads, one
   //    heartbeat per parallel iteration.
-  DataParallelConfig cfg;
-  cfg.threads = 8;
-  cfg.speed = SpeedModel{3.0, 2.0};  // big : little = 1.5 at equal frequency.
-  cfg.workload = {WorkloadShape::kStable, 4.0, 0.02, 0.0, 1};
-  DataParallelApp app("myapp", cfg);
-  const AppId id = engine.add_app(&app);
+  const AppFactory my_app = [](int threads, std::uint64_t seed) {
+    DataParallelConfig cfg;
+    cfg.threads = threads;
+    cfg.speed = SpeedModel{3.0, 2.0};  // big : little = 1.5 at equal freq.
+    cfg.workload = {WorkloadShape::kStable, 4.0, 0.02, 0.0, 1};
+    cfg.seed = seed;
+    return std::make_unique<DataParallelApp>("myapp", cfg);
+  };
 
-  // 3. Attach HARS-EI with a 2 heartbeats/second target (+/- 5%).
-  auto manager = attach_hars(engine, id, PerfTarget::around(2.0),
-                             HarsVariant::kHarsEI);
-
-  // 4. Run for two simulated minutes, reporting every 10 seconds.
+  // 2. Configure the experiment: the ODROID-XU3-like default platform,
+  //    HARS-EI, and a 2 heartbeats/second target (+/- 5%). The sampling
+  //    callback reports every 10 simulated seconds.
   std::puts("time(s)  rate(hb/s)  state               power(W)");
-  for (int chunk = 0; chunk < 12; ++chunk) {
-    engine.run_for(10 * kUsPerSec);
-    std::printf("%6lld  %9.2f  %-18s  %7.2f\n",
-                static_cast<long long>(engine.now() / kUsPerSec),
-                app.heartbeats().rate(),
-                manager->current_state().to_string().c_str(),
-                engine.sensor().instantaneous_power_w());
-  }
+  const ExperimentResult result =
+      ExperimentBuilder()
+          .app("myapp", my_app)
+          .target(PerfTarget::around(2.0))
+          .variant("HARS-EI")
+          .protocol(RunProtocol::kColdStart)
+          .duration(120 * kUsPerSec)
+          .sample_every(10 * kUsPerSec,
+                        [](const RunView& view) {
+                          const SystemState state =
+                              view.variant.current_state().value_or(
+                                  SystemState{});
+                          std::printf(
+                              "%6lld  %9.2f  %-18s  %7.2f\n",
+                              static_cast<long long>(view.now / kUsPerSec),
+                              view.apps.front()->heartbeats().rate(),
+                              state.to_string().c_str(),
+                              view.engine.sensor().instantaneous_power_w());
+                        })
+          .build()
+          .run();
 
+  // 3. The run's metrics: heartbeat count, adaptations, power, overhead.
+  const RunMetrics& m = result.app().metrics;
   std::printf("\nheartbeats: %lld, adaptations: %lld, avg power: %.2f W, "
               "manager overhead: %.2f%% of one CPU\n",
-              static_cast<long long>(app.heartbeats().count()),
-              static_cast<long long>(manager->adaptations()),
-              engine.sensor().average_power_w(engine.now()),
-              engine.manager_cpu_utilization_pct());
+              static_cast<long long>(m.heartbeats),
+              static_cast<long long>(result.adaptations), m.avg_power_w,
+              m.manager_cpu_pct);
   return 0;
 }

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "core/power_profiler.hpp"
 #include "core/runtime_manager.hpp"
@@ -18,6 +20,9 @@ namespace hars {
 enum class HarsVariant { kHarsI, kHarsE, kHarsEI };
 
 const char* hars_variant_name(HarsVariant variant);
+
+/// Inverse of hars_variant_name; nullopt for unknown names.
+std::optional<HarsVariant> parse_hars_variant(std::string_view name);
 
 /// The manager configuration the paper uses for each variant.
 RuntimeManagerConfig config_for_variant(HarsVariant variant);

@@ -20,6 +20,14 @@ const char* search_policy_name(SearchPolicy policy) {
   return "?";
 }
 
+std::optional<SearchPolicy> parse_search_policy(std::string_view name) {
+  for (SearchPolicy policy : {SearchPolicy::kIncremental,
+                              SearchPolicy::kExhaustive, SearchPolicy::kTabu}) {
+    if (name == search_policy_name(policy)) return policy;
+  }
+  return std::nullopt;
+}
+
 SearchParams params_for_policy(SearchPolicy policy, bool overperforming,
                                int exhaustive_window, int exhaustive_d) {
   if (policy != SearchPolicy::kIncremental) {

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <string_view>
 
 #include "core/perf_estimator.hpp"
 #include "core/power_estimator.hpp"
@@ -36,6 +38,9 @@ enum class SearchPolicy {
 };
 
 const char* search_policy_name(SearchPolicy policy);
+
+/// Inverse of search_policy_name; nullopt for unknown names.
+std::optional<SearchPolicy> parse_search_policy(std::string_view name);
 
 /// Builds the effective SearchParams for a policy given whether the
 /// application currently overperforms its target.

@@ -15,6 +15,16 @@ const char* thread_scheduler_name(ThreadSchedulerKind kind) {
   return "?";
 }
 
+std::optional<ThreadSchedulerKind> parse_thread_scheduler(
+    std::string_view name) {
+  for (ThreadSchedulerKind kind :
+       {ThreadSchedulerKind::kChunk, ThreadSchedulerKind::kInterleaved,
+        ThreadSchedulerKind::kHierarchical}) {
+    if (name == thread_scheduler_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 std::vector<bool> plan_hierarchical_placement(const std::vector<int>& group_sizes,
                                               int tb, [[maybe_unused]] int tl) {
   int t = 0;

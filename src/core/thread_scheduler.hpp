@@ -11,6 +11,8 @@
 //    cost of cache sharing.
 #pragma once
 
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/thread_assignment.hpp"
@@ -22,6 +24,10 @@ namespace hars {
 enum class ThreadSchedulerKind { kChunk, kInterleaved, kHierarchical };
 
 const char* thread_scheduler_name(ThreadSchedulerKind kind);
+
+/// Inverse of thread_scheduler_name; nullopt for unknown names.
+std::optional<ThreadSchedulerKind> parse_thread_scheduler(
+    std::string_view name);
 
 /// Per-thread cluster plan: entry i is true when thread i goes to the big
 /// cluster. `tb + tl` must equal `t`.

@@ -6,6 +6,13 @@ const char* predictor_kind_name(PredictorKind kind) {
   return kind == PredictorKind::kKalman ? "kalman" : "last-value";
 }
 
+std::optional<PredictorKind> parse_predictor_kind(std::string_view name) {
+  for (PredictorKind kind : {PredictorKind::kLastValue, PredictorKind::kKalman}) {
+    if (name == predictor_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 KalmanRatePredictor::KalmanRatePredictor(double q, double r) : filter_(q, r) {}
 
 double KalmanRatePredictor::observe(double measured_rate) {

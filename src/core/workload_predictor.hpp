@@ -10,6 +10,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "util/kalman.hpp"
 
@@ -18,6 +20,9 @@ namespace hars {
 enum class PredictorKind { kLastValue, kKalman };
 
 const char* predictor_kind_name(PredictorKind kind);
+
+/// Inverse of predictor_kind_name; nullopt for unknown names.
+std::optional<PredictorKind> parse_predictor_kind(std::string_view name);
 
 class RatePredictor {
  public:

@@ -1,0 +1,186 @@
+// The unified experiment API.
+//
+// One typed, composable surface replaces the old run_single / run_multi
+// fork: an ExperimentBuilder configures platform -> apps -> targets ->
+// runtime variant -> measurement protocol, validates the combination at
+// build() time, and Experiment::run() executes the common pipeline —
+// resolve targets, assemble the engine, instantiate the variant through
+// the VariantRegistry, warm up per protocol, simulate, and collect
+// per-app metrics and behaviour traces.
+//
+//   ExperimentResult r = ExperimentBuilder()
+//                            .app(ParsecBenchmark::kSwaptions)
+//                            .target_fraction(0.5)
+//                            .variant("HARS-EI")
+//                            .duration(120 * kUsPerSec)
+//                            .build()
+//                            .run();
+//
+// Any number of apps is supported (the multi-application §5.2 protocol is
+// the same pipeline with per-app targets derived from a concurrent
+// baseline probe); custom App factories and custom machines slot in next
+// to the PARSEC presets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/parsec.hpp"
+#include "exp/metrics.hpp"
+#include "exp/variant_registry.hpp"
+#include "hmp/machine.hpp"
+#include "sched/gts.hpp"
+#include "sched/scheduler.hpp"
+
+namespace hars {
+
+class Experiment;
+
+/// Builds one application instance for the run. `threads` and `seed` come
+/// from the experiment spec (seed is already offset per app slot).
+using AppFactory =
+    std::function<std::unique_ptr<App>(int threads, std::uint64_t seed)>;
+
+struct AppSpec {
+  std::optional<ParsecBenchmark> bench;  ///< Set for PARSEC presets.
+  AppFactory factory;
+  std::optional<PerfTarget> target;  ///< Explicit target; else derived.
+  std::string label;
+};
+
+/// Measurement protocol.
+///  * kSteadyState — warm up until every app heartbeats (cap 60 s), reset
+///    the power sensor, then measure for `duration` (the §5.1 protocol);
+///  * kColdStart — all apps start with the measurement at t = 0 and each
+///    app's span begins at its first heartbeat (the §5.2 protocol).
+///  * kAuto — steady-state for one app, cold-start for several.
+enum class RunProtocol { kAuto, kSteadyState, kColdStart };
+
+struct RunView;
+using SampleFn = std::function<void(const RunView&)>;
+
+/// The validated configuration Experiment runs. Built by ExperimentBuilder;
+/// read by the variant factories through VariantSetup::spec.
+struct ExperimentSpec {
+  Machine machine = Machine::exynos5422();
+  std::function<std::unique_ptr<Scheduler>()> make_scheduler;
+  std::vector<AppSpec> apps;
+  std::string variant = "HARS-E";
+  double target_fraction = 0.50;  ///< Of max achievable, for derived targets.
+  TimeUs duration = 120 * kUsPerSec;
+  int threads = 8;
+  std::uint64_t seed = 1;
+  RunProtocol protocol = RunProtocol::kAuto;
+  VariantTuning tuning;
+  TimeUs sample_period = 0;
+  SampleFn sampler;
+};
+
+struct AppRunResult {
+  std::string label;
+  RunMetrics metrics;
+  std::vector<TracePoint> trace;  ///< Empty for trace-less variants.
+  PerfTarget target;
+};
+
+struct ExperimentResult {
+  std::vector<AppRunResult> apps;  ///< In registration order.
+  double avg_power_w = 0.0;        ///< System power over the measured span.
+  std::optional<SystemState> static_state;  ///< Chosen state, "SO" only.
+  std::optional<SystemState> final_state;   ///< Manager state at run end.
+  std::int64_t adaptations = 0;
+
+  const AppRunResult& app(std::size_t i = 0) const { return apps.at(i); }
+};
+
+/// Live view passed to the sampling callback between simulation slices.
+struct RunView {
+  SimEngine& engine;
+  const std::vector<App*>& apps;      ///< In registration order.
+  const std::vector<AppId>& app_ids;  ///< Engine ids, same order as apps.
+  VariantInstance& variant;
+  TimeUs now = 0;
+};
+
+/// Invalid builder configurations are reported through this exception.
+class ExperimentConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+class Experiment {
+ public:
+  /// Executes the pipeline. Deterministic: identical specs produce
+  /// identical results.
+  ExperimentResult run() const;
+
+  const ExperimentSpec& spec() const { return spec_; }
+
+ private:
+  friend class ExperimentBuilder;
+  explicit Experiment(ExperimentSpec spec) : spec_(std::move(spec)) {}
+
+  ExperimentSpec spec_;
+};
+
+class ExperimentBuilder {
+ public:
+  ExperimentBuilder();
+
+  // --- Platform ---
+  ExperimentBuilder& platform(Machine machine);
+  /// OS-scheduler substrate (default: stock GTS).
+  ExperimentBuilder& os_scheduler(GtsConfig config);
+  ExperimentBuilder& os_scheduler(
+      std::function<std::unique_ptr<Scheduler>()> factory);
+
+  // --- Applications ---
+  ExperimentBuilder& app(ParsecBenchmark bench);
+  ExperimentBuilder& app(std::string label, AppFactory factory);
+  ExperimentBuilder& apps(const std::vector<ParsecBenchmark>& benches);
+
+  // --- Targets ---
+  /// Explicit target for the most recently added app.
+  ExperimentBuilder& target(PerfTarget target);
+  /// Derived-target fraction of max achievable performance (default 0.5).
+  ExperimentBuilder& target_fraction(double fraction);
+
+  // --- Runtime variant ---
+  ExperimentBuilder& variant(std::string name);
+  ExperimentBuilder& scheduler(ThreadSchedulerKind kind);
+  ExperimentBuilder& predictor(PredictorKind kind);
+  ExperimentBuilder& policy(SearchPolicy policy);
+  ExperimentBuilder& search_window(int window);
+  ExperimentBuilder& search_distance(int d);
+  ExperimentBuilder& adapt_period(int heartbeats);
+  ExperimentBuilder& assumed_ratio(double r0);
+  ExperimentBuilder& learn_ratio(bool on = true);
+  ExperimentBuilder& tabu(TabuParams params);
+
+  // --- Protocol ---
+  ExperimentBuilder& protocol(RunProtocol protocol);
+  ExperimentBuilder& duration(TimeUs duration);
+  ExperimentBuilder& duration_sec(double seconds);
+  ExperimentBuilder& threads(int threads);
+  ExperimentBuilder& seed(std::uint64_t seed);
+  /// Invokes `fn` every `period` of simulated time during the run.
+  ExperimentBuilder& sample_every(TimeUs period, SampleFn fn);
+
+  /// Validates the configuration; throws ExperimentConfigError on an
+  /// inconsistent one (unknown variant, tuning the variant ignores, tabu
+  /// parameters without the tabu policy, app-count mismatch, ...).
+  Experiment build() const;
+
+ private:
+  ExperimentSpec spec_;
+};
+
+/// The six two-application cases of Figure 5.4, in order.
+std::vector<std::vector<ParsecBenchmark>> multiapp_cases();
+
+}  // namespace hars

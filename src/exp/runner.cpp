@@ -1,14 +1,9 @@
+// Deprecated shims: each runner maps its options onto the unified
+// Experiment pipeline and repackages the result. Kept bit-identical to
+// direct ExperimentBuilder use (asserted by the shim regression test).
 #include "exp/runner.hpp"
 
-#include <map>
-#include <memory>
-#include <string>
-#include <tuple>
-
-#include "exp/static_optimal.hpp"
-#include "hmp/sim_engine.hpp"
-#include "mphars/cons_i.hpp"
-#include "sched/gts.hpp"
+#include <utility>
 
 namespace hars {
 
@@ -28,6 +23,13 @@ std::vector<SingleVersion> all_single_versions() {
           SingleVersion::kHarsI, SingleVersion::kHarsE, SingleVersion::kHarsEI};
 }
 
+std::optional<SingleVersion> parse_single_version(std::string_view name) {
+  for (SingleVersion version : all_single_versions()) {
+    if (name == single_version_name(version)) return version;
+  }
+  return std::nullopt;
+}
+
 const char* multi_version_name(MultiVersion version) {
   switch (version) {
     case MultiVersion::kBaseline: return "Baseline";
@@ -43,248 +45,77 @@ std::vector<MultiVersion> all_multi_versions() {
           MultiVersion::kMpHarsE};
 }
 
-std::vector<std::vector<ParsecBenchmark>> multiapp_cases() {
-  using B = ParsecBenchmark;
-  return {{B::kBodytrack, B::kSwaptions},    // Case 1
-          {B::kBlackscholes, B::kSwaptions}, // Case 2
-          {B::kFluidanimate, B::kBlackscholes},  // Case 3
-          {B::kBodytrack, B::kFluidanimate},     // Case 4
-          {B::kFluidanimate, B::kSwaptions},     // Case 5
-          {B::kBodytrack, B::kBlackscholes}};    // Case 6
-}
-
-namespace {
-
-RunMetrics finalize_metrics(const SimEngine& engine, const App& app,
-                            const PerfTarget& target, TimeUs t0) {
-  RunMetrics m;
-  const auto& history = app.heartbeats().history();
-  const TimeUs t1 = engine.now();
-  m.norm_perf = time_weighted_norm_perf(history, target, t0, t1);
-  m.avg_rate_hps = average_rate(history, t0, t1);
-  m.avg_power_w = engine.sensor().average_power_w(t1 - t0);
-  m.perf_per_watt = m.avg_power_w > 0.0 ? m.norm_perf / m.avg_power_w : 0.0;
-  m.manager_cpu_pct = engine.manager_cpu_utilization_pct();
-  m.heartbeats = app.heartbeats().count();
-  m.in_window_fraction = time_in_window_fraction(history, target, t0, t1);
-  m.energy_j = engine.sensor().total_energy_j();
-  const double beats_in_span = m.avg_rate_hps * us_to_sec(t1 - t0);
-  m.energy_per_beat_j = beats_in_span > 0.0 ? m.energy_j / beats_in_span : 0.0;
-  return m;
-}
-
-void run_past_warmup(SimEngine& engine, const App& app) {
-  const TimeUs warmup_cap = engine.now() + 60 * kUsPerSec;
-  while (app.heartbeats().count() == 0 && engine.now() < warmup_cap) {
-    engine.run_for(100 * kUsPerMs);
+std::optional<MultiVersion> parse_multi_version(std::string_view name) {
+  for (MultiVersion version : all_multi_versions()) {
+    if (name == multi_version_name(version)) return version;
   }
+  return std::nullopt;
 }
-
-RuntimeManagerConfig hars_config_with_overrides(HarsVariant variant,
-                                                const SingleRunOptions& o) {
-  RuntimeManagerConfig config = config_for_variant(variant);
-  if (o.override_window >= 0) config.exhaustive_window = o.override_window;
-  if (o.override_d >= 0) config.exhaustive_d = o.override_d;
-  if (o.override_adapt_period > 0) config.adapt_period = o.override_adapt_period;
-  if (o.override_r0 > 0.0) config.r0 = o.override_r0;
-  if (o.override_scheduler == 0) config.scheduler = ThreadSchedulerKind::kChunk;
-  if (o.override_scheduler == 1) {
-    config.scheduler = ThreadSchedulerKind::kInterleaved;
-  }
-  if (o.override_scheduler == 2) {
-    config.scheduler = ThreadSchedulerKind::kHierarchical;
-  }
-  if (o.override_predictor == 0) config.predictor = PredictorKind::kLastValue;
-  if (o.override_predictor == 1) config.predictor = PredictorKind::kKalman;
-  if (o.override_policy == 0) config.policy = SearchPolicy::kIncremental;
-  if (o.override_policy == 1) config.policy = SearchPolicy::kExhaustive;
-  if (o.override_policy == 2) config.policy = SearchPolicy::kTabu;
-  config.learn_ratio = o.learn_ratio;
-  return config;
-}
-
-}  // namespace
 
 SingleRunResult run_single(ParsecBenchmark bench, SingleVersion version,
                            const SingleRunOptions& options) {
-  const Calibration cal =
-      calibrate_benchmark(bench, options.threads, options.seed);
-  const PerfTarget target = cal.target_for_fraction(options.target_fraction);
+  ExperimentBuilder builder;
+  builder.app(bench)
+      .variant(single_version_name(version))
+      .target_fraction(options.target_fraction)
+      .duration(options.duration)
+      .threads(options.threads)
+      .seed(options.seed);
 
-  SingleRunResult result;
-  result.target = target;
-
-  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
-  std::unique_ptr<App> app = make_parsec_app(bench, options.threads, options.seed);
-  const AppId id = engine.add_app(app.get());
-  app->heartbeats().set_target(target);
-
-  std::unique_ptr<RuntimeManager> manager;
-  switch (version) {
-    case SingleVersion::kBaseline:
-      break;  // Max cores, max frequency, GTS: nothing to do.
-    case SingleVersion::kStaticOptimal: {
-      StaticOptimalOptions so;
-      so.threads = options.threads;
-      so.seed = options.seed;
-      const StaticOptimalResult so_result = find_static_optimal(bench, target, so);
-      result.static_state = so_result.state;
-      Machine& m = engine.machine();
-      m.set_freq_level(m.big_cluster(), so_result.state.big_freq);
-      m.set_freq_level(m.little_cluster(), so_result.state.little_freq);
-      CpuMask allowed;
-      const CoreId lf = m.little_mask().first();
-      for (int i = 0; i < so_result.state.little_cores; ++i) allowed.set(lf + i);
-      const CoreId bf = m.big_mask().first();
-      for (int i = 0; i < so_result.state.big_cores; ++i) allowed.set(bf + i);
-      engine.set_app_affinity(id, allowed);
-      break;
+  const bool is_hars = version == SingleVersion::kHarsI ||
+                       version == SingleVersion::kHarsE ||
+                       version == SingleVersion::kHarsEI;
+  if (is_hars) {
+    // The old runner applied overrides only to the HARS variants and
+    // silently ignored them elsewhere; the builder would reject them.
+    if (options.override_window >= 0) builder.search_window(options.override_window);
+    if (options.override_d >= 0) builder.search_distance(options.override_d);
+    if (options.override_adapt_period > 0) {
+      builder.adapt_period(options.override_adapt_period);
     }
-    case SingleVersion::kHarsI:
-    case SingleVersion::kHarsE:
-    case SingleVersion::kHarsEI: {
-      const HarsVariant variant =
-          version == SingleVersion::kHarsI   ? HarsVariant::kHarsI
-          : version == SingleVersion::kHarsE ? HarsVariant::kHarsE
-                                             : HarsVariant::kHarsEI;
-      RuntimeManagerConfig config = hars_config_with_overrides(variant, options);
-      manager = attach_hars(engine, id, target, variant, &config);
-      break;
+    if (options.override_r0 > 0.0) builder.assumed_ratio(options.override_r0);
+    if (options.override_scheduler == 0) builder.scheduler(ThreadSchedulerKind::kChunk);
+    if (options.override_scheduler == 1) {
+      builder.scheduler(ThreadSchedulerKind::kInterleaved);
     }
+    if (options.override_scheduler == 2) {
+      builder.scheduler(ThreadSchedulerKind::kHierarchical);
+    }
+    if (options.override_predictor == 0) builder.predictor(PredictorKind::kLastValue);
+    if (options.override_predictor == 1) builder.predictor(PredictorKind::kKalman);
+    if (options.override_policy == 0) builder.policy(SearchPolicy::kIncremental);
+    if (options.override_policy == 1) builder.policy(SearchPolicy::kExhaustive);
+    if (options.override_policy == 2) builder.policy(SearchPolicy::kTabu);
+    if (options.learn_ratio) builder.learn_ratio(true);
   }
 
-  run_past_warmup(engine, *app);
-  const TimeUs t0 = engine.now();
-  engine.sensor().reset();
-  engine.run_for(options.duration);
-
-  result.metrics = finalize_metrics(engine, *app, target, t0);
-  if (manager) result.trace = manager->trace();
+  ExperimentResult run = builder.build().run();
+  SingleRunResult result;
+  result.metrics = run.apps.front().metrics;
+  result.trace = std::move(run.apps.front().trace);
+  result.static_state = run.static_state.value_or(SystemState{});
+  result.target = run.apps.front().target;
   return result;
 }
 
-namespace {
-
-/// Maximum achievable performance of each app *while running concurrently
-/// with its case partners* under the baseline (all cores, max frequency,
-/// GTS). Multi-app targets are fractions of this: with N CPU-bound apps
-/// sharing the machine, a fraction of the standalone rate would already be
-/// met (or missed) by construction, which is not what §5.2.1 evaluates.
-std::vector<double> concurrent_baseline_rates(
-    const std::vector<ParsecBenchmark>& benches, const MultiRunOptions& options) {
-  using Key = std::tuple<std::string, long long, int, std::uint64_t>;
-  static std::map<Key, std::vector<double>> cache;
-  std::string case_key;
-  for (ParsecBenchmark b : benches) {
-    case_key += parsec_code(b);
-    case_key += '+';
-  }
-  const Key key{case_key, static_cast<long long>(options.duration),
-                options.threads, options.seed};
-  if (auto it = cache.find(key); it != cache.end()) return it->second;
-
-  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
-  std::vector<std::unique_ptr<App>> apps;
-  for (std::size_t i = 0; i < benches.size(); ++i) {
-    apps.push_back(make_parsec_app(benches[i], options.threads, options.seed + i));
-    engine.add_app(apps.back().get());
-  }
-  engine.run_for(options.duration);
-  std::vector<double> rates;
-  for (const auto& app : apps) {
-    const auto& history = app->heartbeats().history();
-    const TimeUs t0 = history.empty() ? 0 : history.front().time;
-    rates.push_back(average_rate(history, t0, engine.now()));
-  }
-  cache.emplace(key, rates);
-  return rates;
-}
-
-}  // namespace
-
 MultiRunResult run_multi(const std::vector<ParsecBenchmark>& benches,
                          MultiVersion version, const MultiRunOptions& options) {
+  ExperimentResult run = ExperimentBuilder()
+                             .apps(benches)
+                             .variant(multi_version_name(version))
+                             .target_fraction(options.target_fraction)
+                             .duration(options.duration)
+                             .threads(options.threads)
+                             .seed(options.seed)
+                             .protocol(RunProtocol::kColdStart)
+                             .build()
+                             .run();
   MultiRunResult result;
-
-  const std::vector<double> base_rates =
-      concurrent_baseline_rates(benches, options);
-
-  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
-  std::vector<std::unique_ptr<App>> apps;
-  std::vector<AppId> ids;
-  std::vector<PerfTarget> targets;
-  for (std::size_t i = 0; i < benches.size(); ++i) {
-    targets.push_back(
-        PerfTarget::around(options.target_fraction * base_rates[i]));
-    apps.push_back(
-        make_parsec_app(benches[i], options.threads, options.seed + i));
-    ids.push_back(engine.add_app(apps.back().get()));
-    apps.back()->heartbeats().set_target(targets.back());
-  }
-  result.targets = targets;
-
-  std::unique_ptr<ConsIManager> cons;
-  std::unique_ptr<MpHarsManager> mphars;
-  switch (version) {
-    case MultiVersion::kBaseline:
-      break;
-    case MultiVersion::kConsI: {
-      cons = std::make_unique<ConsIManager>(engine);
-      for (std::size_t i = 0; i < ids.size(); ++i) {
-        cons->register_app(ids[i], ConsIAppConfig{targets[i], 5});
-      }
-      engine.set_manager(cons.get());
-      break;
-    }
-    case MultiVersion::kMpHarsI:
-    case MultiVersion::kMpHarsE: {
-      MpHarsConfig config;
-      config.policy = version == MultiVersion::kMpHarsI
-                          ? SearchPolicy::kIncremental
-                          : SearchPolicy::kExhaustive;
-      const PowerCoeffTable coeffs =
-          profile_power(engine.machine(), engine.power_model());
-      mphars = std::make_unique<MpHarsManager>(engine, coeffs, config);
-      for (std::size_t i = 0; i < ids.size(); ++i) {
-        mphars->register_app(ids[i], MpHarsAppConfig{targets[i], 5,
-                                                     ThreadSchedulerKind::kChunk});
-      }
-      engine.set_manager(mphars.get());
-      break;
-    }
-  }
-
-  // All applications start at the same time (paper §5.2.1); measure the
-  // whole run from t = 0.
-  engine.run_for(options.duration);
-  result.avg_power_w = engine.sensor().average_power_w(engine.now());
-
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    const App& app = *apps[i];
-    RunMetrics m;
-    const auto& history = app.heartbeats().history();
-    const TimeUs t0 = history.empty() ? 0 : history.front().time;
-    const TimeUs t1 = engine.now();
-    m.norm_perf = time_weighted_norm_perf(history, targets[i], t0, t1);
-    m.avg_rate_hps = average_rate(history, t0, t1);
-    m.avg_power_w = result.avg_power_w;
-    m.perf_per_watt = m.avg_power_w > 0.0 ? m.norm_perf / m.avg_power_w : 0.0;
-    m.manager_cpu_pct = engine.manager_cpu_utilization_pct();
-    m.heartbeats = app.heartbeats().count();
-    m.in_window_fraction =
-        time_in_window_fraction(history, targets[i], t0, t1);
-    m.energy_j = engine.sensor().total_energy_j();
-    const double beats_in_span = m.avg_rate_hps * us_to_sec(t1 - t0);
-    m.energy_per_beat_j = beats_in_span > 0.0 ? m.energy_j / beats_in_span : 0.0;
-    result.per_app.push_back(m);
-
-    if (cons) {
-      result.traces.push_back(cons->trace(ids[i]));
-    } else if (mphars) {
-      result.traces.push_back(mphars->trace(ids[i]));
-    } else {
-      result.traces.emplace_back();
-    }
+  result.avg_power_w = run.avg_power_w;
+  for (AppRunResult& app : run.apps) {
+    result.per_app.push_back(app.metrics);
+    result.traces.push_back(std::move(app.trace));
+    result.targets.push_back(app.target);
   }
   return result;
 }

@@ -1,14 +1,21 @@
-// Experiment runner: builds a platform + benchmark + runtime version,
-// executes the measurement protocol and returns metrics/traces. Every
-// figure-regenerating bench binary is a thin loop over these calls.
+// DEPRECATED experiment entry points.
+//
+// run_single / run_multi were the two parallel, non-composable runners the
+// figures were originally generated from. They are now thin shims over the
+// unified Experiment API (exp/experiment.hpp) — same signatures, identical
+// metrics — kept so existing call sites continue to compile. New code
+// should use ExperimentBuilder + VariantRegistry directly.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "apps/parsec.hpp"
 #include "core/hars.hpp"
 #include "exp/calibration.hpp"
+#include "exp/experiment.hpp"
 #include "exp/metrics.hpp"
 #include "mphars/mphars_manager.hpp"
 
@@ -21,6 +28,11 @@ enum class SingleVersion { kBaseline, kStaticOptimal, kHarsI, kHarsE, kHarsEI };
 const char* single_version_name(SingleVersion version);
 std::vector<SingleVersion> all_single_versions();
 
+/// Inverse of single_version_name; nullopt for unknown names.
+std::optional<SingleVersion> parse_single_version(std::string_view name);
+
+/// Deprecated: use ExperimentBuilder's typed setters (scheduler(),
+/// predictor(), policy(), ...) instead of the int sentinels.
 struct SingleRunOptions {
   double target_fraction = 0.50;  ///< Fraction of max achievable rate.
   TimeUs duration = 120 * kUsPerSec;
@@ -47,6 +59,7 @@ struct SingleRunResult {
   PerfTarget target;
 };
 
+[[deprecated("use ExperimentBuilder (exp/experiment.hpp)")]]
 SingleRunResult run_single(ParsecBenchmark bench, SingleVersion version,
                            const SingleRunOptions& options = {});
 
@@ -56,6 +69,9 @@ enum class MultiVersion { kBaseline, kConsI, kMpHarsI, kMpHarsE };
 
 const char* multi_version_name(MultiVersion version);
 std::vector<MultiVersion> all_multi_versions();
+
+/// Inverse of multi_version_name; nullopt for unknown names.
+std::optional<MultiVersion> parse_multi_version(std::string_view name);
 
 struct MultiRunOptions {
   double target_fraction = 0.50;
@@ -71,11 +87,11 @@ struct MultiRunResult {
   double avg_power_w = 0.0;  ///< System power over the whole run.
 };
 
+[[deprecated("use ExperimentBuilder (exp/experiment.hpp)")]]
 MultiRunResult run_multi(const std::vector<ParsecBenchmark>& benches,
                          MultiVersion version,
                          const MultiRunOptions& options = {});
 
-/// The six two-application cases of Figure 5.4, in order.
-std::vector<std::vector<ParsecBenchmark>> multiapp_cases();
+// multiapp_cases() now lives in exp/experiment.hpp (included above).
 
 }  // namespace hars

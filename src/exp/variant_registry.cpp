@@ -1,0 +1,265 @@
+#include "exp/variant_registry.hpp"
+
+#include <utility>
+
+#include "core/hars.hpp"
+#include "core/power_profiler.hpp"
+#include "exp/experiment.hpp"
+#include "exp/static_optimal.hpp"
+#include "mphars/cons_i.hpp"
+#include "mphars/mphars_manager.hpp"
+
+namespace hars {
+
+std::vector<TracePoint> VariantInstance::trace(AppId) const { return {}; }
+
+std::optional<SystemState> VariantInstance::current_state() const {
+  return std::nullopt;
+}
+
+std::optional<SystemState> VariantInstance::static_state() const {
+  return std::nullopt;
+}
+
+unsigned tuning_fields(const VariantTuning& t) {
+  unsigned fields = 0;
+  if (t.scheduler) fields |= kTuneScheduler;
+  if (t.predictor) fields |= kTunePredictor;
+  if (t.policy) fields |= kTunePolicy;
+  if (t.search_window) fields |= kTuneSearchWindow;
+  if (t.search_distance) fields |= kTuneSearchDistance;
+  if (t.adapt_period) fields |= kTuneAdaptPeriod;
+  if (t.r0) fields |= kTuneR0;
+  if (t.learn_ratio) fields |= kTuneLearnRatio;
+  if (t.tabu) fields |= kTuneTabu;
+  return fields;
+}
+
+const char* tuning_field_name(TuningField field) {
+  switch (field) {
+    case kTuneScheduler: return "scheduler";
+    case kTunePredictor: return "predictor";
+    case kTunePolicy: return "policy";
+    case kTuneSearchWindow: return "search_window";
+    case kTuneSearchDistance: return "search_distance";
+    case kTuneAdaptPeriod: return "adapt_period";
+    case kTuneR0: return "assumed_ratio";
+    case kTuneLearnRatio: return "learn_ratio";
+    case kTuneTabu: return "tabu";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr unsigned kHarsTuning = kTuneScheduler | kTunePredictor | kTunePolicy |
+                                 kTuneSearchWindow | kTuneSearchDistance |
+                                 kTuneAdaptPeriod | kTuneR0 | kTuneLearnRatio |
+                                 kTuneTabu;
+constexpr unsigned kConsTuning = kTuneAdaptPeriod | kTuneR0;
+constexpr unsigned kMpHarsTuning = kTuneScheduler | kTuneSearchWindow |
+                                   kTuneSearchDistance | kTuneAdaptPeriod |
+                                   kTuneR0;
+
+/// Baseline: the full machine at top frequency under the OS scheduler —
+/// no manager at all.
+class BaselineInstance final : public VariantInstance {};
+
+/// SO: the offline oracle's state, applied once and held for the run.
+class StaticOptimalInstance final : public VariantInstance {
+ public:
+  explicit StaticOptimalInstance(SystemState state) : state_(state) {}
+  std::optional<SystemState> static_state() const override { return state_; }
+  std::optional<SystemState> current_state() const override { return state_; }
+
+ private:
+  SystemState state_;
+};
+
+std::unique_ptr<VariantInstance> make_static_optimal(
+    const VariantSetup& setup) {
+  StaticOptimalOptions so;
+  so.threads = setup.spec.threads;
+  so.seed = setup.spec.seed;
+  const StaticOptimalResult so_result = find_static_optimal(
+      *setup.spec.apps.front().bench, setup.targets.front(), so);
+  Machine& m = setup.engine.machine();
+  m.set_freq_level(m.big_cluster(), so_result.state.big_freq);
+  m.set_freq_level(m.little_cluster(), so_result.state.little_freq);
+  CpuMask allowed;
+  const CoreId lf = m.little_mask().first();
+  for (int i = 0; i < so_result.state.little_cores; ++i) allowed.set(lf + i);
+  const CoreId bf = m.big_mask().first();
+  for (int i = 0; i < so_result.state.big_cores; ++i) allowed.set(bf + i);
+  setup.engine.set_app_affinity(setup.app_ids.front(), allowed);
+  return std::make_unique<StaticOptimalInstance>(so_result.state);
+}
+
+/// The single-application HARS manager, with the variant's paper
+/// configuration adjusted by the experiment's typed tuning.
+class HarsInstance final : public VariantInstance {
+ public:
+  HarsInstance(const VariantSetup& setup, HarsVariant variant) {
+    RuntimeManagerConfig config = config_for_variant(variant);
+    const VariantTuning& t = setup.spec.tuning;
+    if (t.scheduler) config.scheduler = *t.scheduler;
+    if (t.predictor) config.predictor = *t.predictor;
+    if (t.policy) config.policy = *t.policy;
+    if (t.search_window) config.exhaustive_window = *t.search_window;
+    if (t.search_distance) config.exhaustive_d = *t.search_distance;
+    if (t.adapt_period) config.adapt_period = *t.adapt_period;
+    if (t.r0) config.r0 = *t.r0;
+    if (t.learn_ratio) config.learn_ratio = *t.learn_ratio;
+    if (t.tabu) config.tabu = *t.tabu;
+    const PowerCoeffTable coeffs =
+        profile_power(setup.engine.machine(), setup.engine.power_model());
+    auto manager = std::make_unique<RuntimeManager>(
+        setup.engine, setup.app_ids.front(), setup.targets.front(), coeffs,
+        config);
+    manager_ = manager.get();
+    inner_ = std::move(manager);
+  }
+
+  std::vector<TracePoint> trace(AppId) const override {
+    return manager_->trace();
+  }
+  std::optional<SystemState> current_state() const override {
+    return manager_->current_state();
+  }
+  std::int64_t adaptations() const override { return manager_->adaptations(); }
+
+ private:
+  RuntimeManager* manager_ = nullptr;
+};
+
+class ConsInstance final : public VariantInstance {
+ public:
+  explicit ConsInstance(const VariantSetup& setup) {
+    ConsIConfig config;
+    const VariantTuning& t = setup.spec.tuning;
+    if (t.r0) config.r0 = *t.r0;
+    auto manager = std::make_unique<ConsIManager>(setup.engine, config);
+    for (std::size_t i = 0; i < setup.app_ids.size(); ++i) {
+      manager->register_app(
+          setup.app_ids[i],
+          ConsIAppConfig{setup.targets[i], t.adapt_period.value_or(5)});
+    }
+    manager_ = manager.get();
+    inner_ = std::move(manager);
+  }
+
+  std::vector<TracePoint> trace(AppId app) const override {
+    return manager_->trace(app);
+  }
+  std::optional<SystemState> current_state() const override {
+    return manager_->global_state();
+  }
+
+ private:
+  ConsIManager* manager_ = nullptr;
+};
+
+class MpHarsInstance final : public VariantInstance {
+ public:
+  MpHarsInstance(const VariantSetup& setup, SearchPolicy policy) {
+    MpHarsConfig config;
+    config.policy = policy;
+    const VariantTuning& t = setup.spec.tuning;
+    if (t.search_window) config.exhaustive_window = *t.search_window;
+    if (t.search_distance) config.exhaustive_d = *t.search_distance;
+    if (t.r0) config.r0 = *t.r0;
+    const PowerCoeffTable coeffs =
+        profile_power(setup.engine.machine(), setup.engine.power_model());
+    auto manager =
+        std::make_unique<MpHarsManager>(setup.engine, coeffs, config);
+    for (std::size_t i = 0; i < setup.app_ids.size(); ++i) {
+      manager->register_app(
+          setup.app_ids[i],
+          MpHarsAppConfig{setup.targets[i], t.adapt_period.value_or(5),
+                          t.scheduler.value_or(ThreadSchedulerKind::kChunk)});
+    }
+    manager_ = manager.get();
+    inner_ = std::move(manager);
+  }
+
+  std::vector<TracePoint> trace(AppId app) const override {
+    return manager_->trace(app);
+  }
+  std::int64_t adaptations() const override { return manager_->adaptations(); }
+
+ private:
+  MpHarsManager* manager_ = nullptr;
+};
+
+constexpr int kManyApps = 64;
+
+}  // namespace
+
+VariantRegistry::VariantRegistry() {
+  register_variant("Baseline", VariantTraits{1, kManyApps, 0, {}, false},
+                   [](const VariantSetup&) {
+                     return std::make_unique<BaselineInstance>();
+                   });
+  register_variant("SO",
+                   VariantTraits{1, 1, 0, {}, /*requires_parsec=*/true},
+                   make_static_optimal);
+  const auto hars_entry = [this](const char* name, HarsVariant variant,
+                                 SearchPolicy base_policy) {
+    register_variant(name, VariantTraits{1, 1, kHarsTuning, base_policy, false},
+                     [variant](const VariantSetup& setup) {
+                       return std::make_unique<HarsInstance>(setup, variant);
+                     });
+  };
+  hars_entry("HARS-I", HarsVariant::kHarsI, SearchPolicy::kIncremental);
+  hars_entry("HARS-E", HarsVariant::kHarsE, SearchPolicy::kExhaustive);
+  hars_entry("HARS-EI", HarsVariant::kHarsEI, SearchPolicy::kExhaustive);
+  register_variant(
+      "CONS-I",
+      VariantTraits{1, kManyApps, kConsTuning, SearchPolicy::kIncremental,
+                    false},
+      [](const VariantSetup& setup) {
+        return std::make_unique<ConsInstance>(setup);
+      });
+  const auto mphars_entry = [this](const char* name, SearchPolicy policy) {
+    register_variant(name,
+                     VariantTraits{1, kManyApps, kMpHarsTuning, policy, false},
+                     [policy](const VariantSetup& setup) {
+                       return std::make_unique<MpHarsInstance>(setup, policy);
+                     });
+  };
+  mphars_entry("MP-HARS-I", SearchPolicy::kIncremental);
+  mphars_entry("MP-HARS-E", SearchPolicy::kExhaustive);
+}
+
+VariantRegistry& VariantRegistry::instance() {
+  static VariantRegistry registry;
+  return registry;
+}
+
+void VariantRegistry::register_variant(std::string name, VariantTraits traits,
+                                       VariantFactory factory) {
+  for (VariantEntry& entry : entries_) {
+    if (entry.name == name) {
+      entry.traits = traits;
+      entry.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back({std::move(name), traits, std::move(factory)});
+}
+
+const VariantEntry* VariantRegistry::find(std::string_view name) const {
+  for (const VariantEntry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> VariantRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const VariantEntry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+}  // namespace hars

@@ -55,7 +55,27 @@ class SimEngine {
   /// app's threads start with affinity = all cores.
   AppId add_app(App* app);
 
-  void set_manager(ManagerHook* manager) { manager_ = manager; }
+  /// Installs a manager the caller keeps alive (legacy wiring; the
+  /// Experiment pipeline and the attach_hars shim use this).
+  void set_manager(ManagerHook* manager) {
+    if (owned_manager_.get() != manager) owned_manager_.reset();
+    manager_ = manager;
+  }
+
+  /// Installs a manager the engine owns; replaces any previous manager.
+  void set_manager(std::unique_ptr<ManagerHook> manager) {
+    owned_manager_ = std::move(manager);
+    manager_ = owned_manager_.get();
+  }
+
+  /// Detaches (and, if owned, destroys) the current manager. Accrued
+  /// overhead accounting is kept.
+  void clear_manager() {
+    manager_ = nullptr;
+    owned_manager_.reset();
+  }
+
+  ManagerHook* manager() const { return manager_; }
 
   Machine& machine() { return machine_; }
   const Machine& machine() const { return machine_; }
@@ -115,6 +135,7 @@ class SimEngine {
   std::vector<int> app_thread_base_;
 
   ManagerHook* manager_ = nullptr;
+  std::unique_ptr<ManagerHook> owned_manager_;  ///< Set iff engine-owned.
   TimeUs pending_manager_us_ = 0;  ///< Overhead not yet charged to a tick.
   TimeUs manager_overhead_total_us_ = 0;
 

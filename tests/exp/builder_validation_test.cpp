@@ -1,0 +1,136 @@
+// ExperimentBuilder::build() must reject inconsistent configurations with
+// a descriptive ExperimentConfigError instead of silently ignoring them
+// (the old runner dropped unknown overrides on the floor).
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace hars {
+namespace {
+
+ExperimentBuilder valid_single() {
+  ExperimentBuilder builder;
+  builder.app(ParsecBenchmark::kSwaptions).variant("HARS-E");
+  return builder;
+}
+
+TEST(BuilderValidation, AcceptsValidSingleAppConfig) {
+  EXPECT_NO_THROW(valid_single().build());
+}
+
+TEST(BuilderValidation, RejectsEmptyAppList) {
+  ExperimentBuilder builder;
+  builder.variant("HARS-E");
+  EXPECT_THROW(builder.build(), ExperimentConfigError);
+}
+
+TEST(BuilderValidation, RejectsUnknownVariant) {
+  ExperimentBuilder builder = valid_single();
+  builder.variant("HARS-X");
+  try {
+    builder.build();
+    FAIL() << "expected ExperimentConfigError";
+  } catch (const ExperimentConfigError& error) {
+    // The error names the known variants so typos are self-diagnosing.
+    EXPECT_NE(std::string(error.what()).find("HARS-EI"), std::string::npos);
+  }
+}
+
+TEST(BuilderValidation, RejectsTabuParamsWithoutTabuPolicy) {
+  ExperimentBuilder builder = valid_single();
+  builder.tabu(TabuParams{16, 8, 1});  // HARS-E defaults to kExhaustive.
+  EXPECT_THROW(builder.build(), ExperimentConfigError);
+}
+
+TEST(BuilderValidation, AcceptsTabuParamsWithTabuPolicy) {
+  ExperimentBuilder builder = valid_single();
+  builder.policy(SearchPolicy::kTabu).tabu(TabuParams{16, 8, 1});
+  EXPECT_NO_THROW(builder.build());
+}
+
+TEST(BuilderValidation, RejectsTuningTheVariantIgnores) {
+  // The old runner silently ignored HARS overrides under Baseline/SO;
+  // the builder makes that a configuration error.
+  for (const char* variant : {"Baseline", "SO"}) {
+    ExperimentBuilder builder;
+    builder.app(ParsecBenchmark::kSwaptions).variant(variant);
+    builder.scheduler(ThreadSchedulerKind::kInterleaved);
+    EXPECT_THROW(builder.build(), ExperimentConfigError) << variant;
+  }
+  ExperimentBuilder cons;
+  cons.apps(multiapp_cases()[0]).variant("CONS-I");
+  cons.predictor(PredictorKind::kKalman);  // CONS-I has no predictor.
+  EXPECT_THROW(cons.build(), ExperimentConfigError);
+}
+
+TEST(BuilderValidation, RejectsMultiAppForSingleAppVariants) {
+  for (const char* variant : {"SO", "HARS-I", "HARS-E", "HARS-EI"}) {
+    ExperimentBuilder builder;
+    builder.apps(multiapp_cases()[0]).variant(variant);
+    EXPECT_THROW(builder.build(), ExperimentConfigError) << variant;
+  }
+}
+
+TEST(BuilderValidation, AcceptsMultiAppForMultiAppVariants) {
+  for (const char* variant : {"Baseline", "CONS-I", "MP-HARS-I", "MP-HARS-E"}) {
+    ExperimentBuilder builder;
+    builder.apps(multiapp_cases()[0]).variant(variant);
+    EXPECT_NO_THROW(builder.build()) << variant;
+  }
+}
+
+TEST(BuilderValidation, RejectsStaticOptimalForCustomApps) {
+  ExperimentBuilder builder;
+  builder.app("custom", [](int, std::uint64_t) {
+    return make_parsec_app(ParsecBenchmark::kSwaptions);
+  });
+  builder.target(PerfTarget::around(2.0)).variant("SO");
+  EXPECT_THROW(builder.build(), ExperimentConfigError);
+}
+
+TEST(BuilderValidation, RejectsBadNumericRanges) {
+  EXPECT_THROW(valid_single().target_fraction(0.0).build(),
+               ExperimentConfigError);
+  EXPECT_THROW(valid_single().target_fraction(1.5).build(),
+               ExperimentConfigError);
+  EXPECT_THROW(valid_single().duration(0).build(), ExperimentConfigError);
+  EXPECT_THROW(valid_single().threads(0).build(), ExperimentConfigError);
+  EXPECT_THROW(valid_single().adapt_period(0).build(), ExperimentConfigError);
+  EXPECT_THROW(valid_single().assumed_ratio(-1.0).build(),
+               ExperimentConfigError);
+  EXPECT_THROW(valid_single().search_window(-1).build(),
+               ExperimentConfigError);
+  EXPECT_THROW(valid_single().search_distance(-2).build(),
+               ExperimentConfigError);
+}
+
+TEST(BuilderValidation, RejectsTargetBeforeApp) {
+  ExperimentBuilder builder;
+  EXPECT_THROW(builder.target(PerfTarget::around(2.0)),
+               ExperimentConfigError);
+}
+
+TEST(BuilderValidation, RejectsEmptyTargetWindow) {
+  ExperimentBuilder builder;
+  builder.app(ParsecBenchmark::kSwaptions)
+      .target(PerfTarget{3.0, 2.0})  // min > max.
+      .variant("HARS-E");
+  EXPECT_THROW(builder.build(), ExperimentConfigError);
+}
+
+TEST(BuilderValidation, RejectsSamplerWithoutPeriod) {
+  ExperimentBuilder builder = valid_single();
+  builder.sample_every(0, [](const RunView&) {});
+  EXPECT_THROW(builder.build(), ExperimentConfigError);
+}
+
+TEST(BuilderValidation, AutoProtocolResolvesByAppCount) {
+  const Experiment single = valid_single().build();
+  EXPECT_EQ(single.spec().protocol, RunProtocol::kSteadyState);
+  ExperimentBuilder multi;
+  multi.apps(multiapp_cases()[0]).variant("MP-HARS-E");
+  EXPECT_EQ(multi.build().spec().protocol, RunProtocol::kColdStart);
+}
+
+}  // namespace
+}  // namespace hars

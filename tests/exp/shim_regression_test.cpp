@@ -1,0 +1,143 @@
+// Regression: the deprecated run_single / run_multi shims must produce
+// metrics identical to direct Experiment::run() calls — porting a call
+// site to the builder API is guaranteed not to change any number.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
+
+// The whole point of this file is to call the deprecated entry points.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace hars {
+namespace {
+
+void expect_same_metrics(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_DOUBLE_EQ(a.norm_perf, b.norm_perf);
+  EXPECT_DOUBLE_EQ(a.avg_rate_hps, b.avg_rate_hps);
+  EXPECT_DOUBLE_EQ(a.avg_power_w, b.avg_power_w);
+  EXPECT_DOUBLE_EQ(a.perf_per_watt, b.perf_per_watt);
+  EXPECT_DOUBLE_EQ(a.manager_cpu_pct, b.manager_cpu_pct);
+  EXPECT_EQ(a.heartbeats, b.heartbeats);
+  EXPECT_DOUBLE_EQ(a.in_window_fraction, b.in_window_fraction);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.energy_per_beat_j, b.energy_per_beat_j);
+}
+
+TEST(ShimRegression, RunSingleMatchesExperimentRun) {
+  SingleRunOptions options;
+  options.duration = 30 * kUsPerSec;
+  const SingleRunResult shim =
+      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, options);
+
+  const ExperimentResult direct = ExperimentBuilder()
+                                      .app(ParsecBenchmark::kSwaptions)
+                                      .variant("HARS-E")
+                                      .target_fraction(0.5)
+                                      .duration(30 * kUsPerSec)
+                                      .build()
+                                      .run();
+
+  expect_same_metrics(shim.metrics, direct.app().metrics);
+  EXPECT_DOUBLE_EQ(shim.target.min, direct.app().target.min);
+  EXPECT_DOUBLE_EQ(shim.target.max, direct.app().target.max);
+  ASSERT_EQ(shim.trace.size(), direct.app().trace.size());
+  for (std::size_t i = 0; i < shim.trace.size(); ++i) {
+    EXPECT_EQ(shim.trace[i].hb_index, direct.app().trace[i].hb_index);
+    EXPECT_DOUBLE_EQ(shim.trace[i].hps, direct.app().trace[i].hps);
+    EXPECT_EQ(shim.trace[i].big_cores, direct.app().trace[i].big_cores);
+    EXPECT_EQ(shim.trace[i].little_cores, direct.app().trace[i].little_cores);
+  }
+}
+
+TEST(ShimRegression, RunSingleOverridesMatchTypedTuning) {
+  SingleRunOptions options;
+  options.duration = 25 * kUsPerSec;
+  options.override_scheduler = 1;  // interleaved
+  options.override_d = 5;
+  options.override_predictor = 1;  // kalman
+  const SingleRunResult shim =
+      run_single(ParsecBenchmark::kBodytrack, SingleVersion::kHarsE, options);
+
+  const ExperimentResult direct = ExperimentBuilder()
+                                      .app(ParsecBenchmark::kBodytrack)
+                                      .variant("HARS-E")
+                                      .scheduler(ThreadSchedulerKind::kInterleaved)
+                                      .search_distance(5)
+                                      .predictor(PredictorKind::kKalman)
+                                      .duration(25 * kUsPerSec)
+                                      .build()
+                                      .run();
+  expect_same_metrics(shim.metrics, direct.app().metrics);
+}
+
+TEST(ShimRegression, RunSingleBaselineMatches) {
+  SingleRunOptions options;
+  options.duration = 20 * kUsPerSec;
+  const SingleRunResult shim = run_single(ParsecBenchmark::kFluidanimate,
+                                          SingleVersion::kBaseline, options);
+  const ExperimentResult direct = ExperimentBuilder()
+                                      .app(ParsecBenchmark::kFluidanimate)
+                                      .variant("Baseline")
+                                      .duration(20 * kUsPerSec)
+                                      .build()
+                                      .run();
+  expect_same_metrics(shim.metrics, direct.app().metrics);
+  EXPECT_TRUE(shim.trace.empty());
+}
+
+TEST(ShimRegression, RunMultiSingleBenchDerivesColdStartTargets) {
+  // Legacy edge: run_multi with one benchmark derived its target from the
+  // cold-start concurrent-baseline probe, not the steady-state standalone
+  // calibration run_single uses. The shim must keep that.
+  MultiRunOptions options;
+  options.duration = 30 * kUsPerSec;
+  const MultiRunResult shim = run_multi({ParsecBenchmark::kSwaptions},
+                                        MultiVersion::kConsI, options);
+  const ExperimentResult direct = ExperimentBuilder()
+                                      .app(ParsecBenchmark::kSwaptions)
+                                      .variant("CONS-I")
+                                      .duration(30 * kUsPerSec)
+                                      .protocol(RunProtocol::kColdStart)
+                                      .build()
+                                      .run();
+  ASSERT_EQ(shim.per_app.size(), 1u);
+  expect_same_metrics(shim.per_app[0], direct.app().metrics);
+  EXPECT_DOUBLE_EQ(shim.targets[0].min, direct.app().target.min);
+
+  // And it genuinely differs from the steady-state calibration target.
+  SingleRunOptions single;
+  single.duration = 30 * kUsPerSec;
+  const SingleRunResult steady = run_single(ParsecBenchmark::kSwaptions,
+                                            SingleVersion::kBaseline, single);
+  EXPECT_NE(shim.targets[0].min, steady.target.min);
+}
+
+TEST(ShimRegression, RunMultiMatchesExperimentRun) {
+  const std::vector<ParsecBenchmark> benches = multiapp_cases()[0];
+  MultiRunOptions options;
+  options.duration = 40 * kUsPerSec;
+  const MultiRunResult shim =
+      run_multi(benches, MultiVersion::kConsI, options);
+
+  const ExperimentResult direct = ExperimentBuilder()
+                                      .apps(benches)
+                                      .variant("CONS-I")
+                                      .target_fraction(0.5)
+                                      .duration(40 * kUsPerSec)
+                                      .protocol(RunProtocol::kColdStart)
+                                      .build()
+                                      .run();
+
+  ASSERT_EQ(shim.per_app.size(), direct.apps.size());
+  EXPECT_DOUBLE_EQ(shim.avg_power_w, direct.avg_power_w);
+  for (std::size_t i = 0; i < shim.per_app.size(); ++i) {
+    expect_same_metrics(shim.per_app[i], direct.apps[i].metrics);
+    EXPECT_DOUBLE_EQ(shim.targets[i].min, direct.apps[i].target.min);
+    EXPECT_DOUBLE_EQ(shim.targets[i].max, direct.apps[i].target.max);
+    EXPECT_EQ(shim.traces[i].size(), direct.apps[i].trace.size());
+  }
+}
+
+}  // namespace
+}  // namespace hars

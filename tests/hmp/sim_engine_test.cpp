@@ -125,6 +125,31 @@ TEST(SimEngine, ManagerOverheadConsumesAppCapacityOnManagerCore) {
   EXPECT_NEAR(rate, 1.3, 0.3);
 }
 
+TEST(SimEngine, OwnedManagerLifetimeAndClear) {
+  auto engine = make_engine();
+  // Owned install: the engine keeps the manager alive and ticking.
+  engine->set_manager(std::make_unique<FixedCostManager>(100));
+  ASSERT_NE(engine->manager(), nullptr);
+  engine->run_for(5 * kUsPerSec);
+  EXPECT_GT(engine->manager_overhead_us(), 0);
+
+  // Replacing an owned manager with a non-owning one destroys the old one.
+  FixedCostManager external(50);
+  engine->set_manager(&external);
+  EXPECT_EQ(engine->manager(), &external);
+
+  // Re-installing the same raw pointer is a no-op for ownership.
+  engine->set_manager(&external);
+  EXPECT_EQ(engine->manager(), &external);
+
+  // clear_manager detaches; overhead accounting is kept.
+  const TimeUs charged = engine->manager_overhead_us();
+  engine->clear_manager();
+  EXPECT_EQ(engine->manager(), nullptr);
+  engine->run_for(5 * kUsPerSec);
+  EXPECT_EQ(engine->manager_overhead_us(), charged);
+}
+
 TEST(SimEngine, PowerAccumulates) {
   auto engine = make_engine();
   DataParallelApp app("test", simple_config());

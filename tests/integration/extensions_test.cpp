@@ -8,78 +8,101 @@
 #include "apps/data_parallel_app.hpp"
 #include "apps/parsec.hpp"
 #include "core/hars.hpp"
-#include "exp/runner.hpp"
+#include "exp/experiment.hpp"
 #include "hmp/sim_engine.hpp"
 #include "sched/gts.hpp"
 
 namespace hars {
 namespace {
 
-SingleRunOptions quick_options() {
-  SingleRunOptions o;
-  o.duration = 80 * kUsPerSec;
-  return o;
+ExperimentBuilder quick(ParsecBenchmark bench) {
+  ExperimentBuilder builder;
+  builder.app(bench).variant("HARS-E").duration(80 * kUsPerSec);
+  return builder;
 }
 
 TEST(Extensions, KalmanPredictorKeepsTargetOnNoisyWorkload) {
-  SingleRunOptions options = quick_options();
-  options.override_predictor = 1;
-  const SingleRunResult r =
-      run_single(ParsecBenchmark::kBodytrack, SingleVersion::kHarsE, options);
-  EXPECT_GT(r.metrics.norm_perf, 0.85);
-  EXPECT_GT(r.metrics.perf_per_watt, 0.0);
+  const ExperimentResult r = quick(ParsecBenchmark::kBodytrack)
+                                 .predictor(PredictorKind::kKalman)
+                                 .build()
+                                 .run();
+  EXPECT_GT(r.app().metrics.norm_perf, 0.85);
+  EXPECT_GT(r.app().metrics.perf_per_watt, 0.0);
 }
 
 TEST(Extensions, KalmanComparableToLastValueOnStableWorkload) {
-  SingleRunOptions options = quick_options();
-  options.override_predictor = 0;
-  const SingleRunResult last =
-      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, options);
-  options.override_predictor = 1;
-  const SingleRunResult kalman =
-      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, options);
-  EXPECT_GT(kalman.metrics.perf_per_watt, 0.75 * last.metrics.perf_per_watt);
+  const ExperimentResult last = quick(ParsecBenchmark::kSwaptions)
+                                    .predictor(PredictorKind::kLastValue)
+                                    .build()
+                                    .run();
+  const ExperimentResult kalman = quick(ParsecBenchmark::kSwaptions)
+                                      .predictor(PredictorKind::kKalman)
+                                      .build()
+                                      .run();
+  EXPECT_GT(kalman.app().metrics.perf_per_watt,
+            0.75 * last.app().metrics.perf_per_watt);
 }
 
 TEST(Extensions, TabuPolicyConvergesToTarget) {
-  SingleRunOptions options = quick_options();
-  options.override_policy = 2;
-  const SingleRunResult r =
-      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, options);
-  EXPECT_GT(r.metrics.norm_perf, 0.85);
-  const SingleRunResult base = run_single(ParsecBenchmark::kSwaptions,
-                                          SingleVersion::kBaseline, options);
-  EXPECT_GT(r.metrics.perf_per_watt, 1.5 * base.metrics.perf_per_watt);
+  const ExperimentResult r = quick(ParsecBenchmark::kSwaptions)
+                                 .policy(SearchPolicy::kTabu)
+                                 .build()
+                                 .run();
+  EXPECT_GT(r.app().metrics.norm_perf, 0.85);
+  ExperimentBuilder baseline;
+  baseline.app(ParsecBenchmark::kSwaptions)
+      .variant("Baseline")
+      .duration(80 * kUsPerSec);
+  const ExperimentResult base = baseline.build().run();
+  EXPECT_GT(r.app().metrics.perf_per_watt,
+            1.5 * base.app().metrics.perf_per_watt);
+}
+
+TEST(Extensions, TabuParamsFlowThroughBuilder) {
+  const ExperimentResult r = quick(ParsecBenchmark::kSwaptions)
+                                 .policy(SearchPolicy::kTabu)
+                                 .tabu(TabuParams{8, 6, 1})
+                                 .duration(40 * kUsPerSec)
+                                 .build()
+                                 .run();
+  EXPECT_GT(r.app().metrics.norm_perf, 0.8);
 }
 
 TEST(Extensions, HierarchicalSchedulerWorksOnPipeline) {
-  SingleRunOptions options = quick_options();
-  options.override_scheduler = 2;  // Hierarchical.
-  const SingleRunResult r =
-      run_single(ParsecBenchmark::kFerret, SingleVersion::kHarsE, options);
-  EXPECT_GT(r.metrics.norm_perf, 0.8);
+  const ExperimentResult r = quick(ParsecBenchmark::kFerret)
+                                 .scheduler(ThreadSchedulerKind::kHierarchical)
+                                 .build()
+                                 .run();
+  EXPECT_GT(r.app().metrics.norm_perf, 0.8);
   // At least as good as the chunk mapping the paper criticizes.
-  options.override_scheduler = 0;
-  const SingleRunResult chunk =
-      run_single(ParsecBenchmark::kFerret, SingleVersion::kHarsE, options);
-  EXPECT_GE(r.metrics.perf_per_watt, 0.9 * chunk.metrics.perf_per_watt);
+  const ExperimentResult chunk = quick(ParsecBenchmark::kFerret)
+                                     .scheduler(ThreadSchedulerKind::kChunk)
+                                     .build()
+                                     .run();
+  EXPECT_GE(r.app().metrics.perf_per_watt,
+            0.9 * chunk.app().metrics.perf_per_watt);
 }
 
 TEST(Extensions, RatioLearningImprovesBlackscholes) {
-  SingleRunOptions options = quick_options();
-  options.duration = 100 * kUsPerSec;
-  const SingleRunResult fixed =
-      run_single(ParsecBenchmark::kBlackscholes, SingleVersion::kHarsE, options);
-  options.learn_ratio = true;
-  const SingleRunResult learned =
-      run_single(ParsecBenchmark::kBlackscholes, SingleVersion::kHarsE, options);
+  const ExperimentResult fixed = quick(ParsecBenchmark::kBlackscholes)
+                                     .duration(100 * kUsPerSec)
+                                     .build()
+                                     .run();
+  const ExperimentResult learned = quick(ParsecBenchmark::kBlackscholes)
+                                       .duration(100 * kUsPerSec)
+                                       .learn_ratio()
+                                       .build()
+                                       .run();
   // The learner must never be materially worse, and BL's wrong prior gives
   // it room to help.
-  EXPECT_GE(learned.metrics.perf_per_watt, 0.9 * fixed.metrics.perf_per_watt);
-  EXPECT_GT(learned.metrics.norm_perf, 0.85);
+  EXPECT_GE(learned.app().metrics.perf_per_watt,
+            0.9 * fixed.app().metrics.perf_per_watt);
+  EXPECT_GT(learned.app().metrics.norm_perf, 0.85);
 }
 
 TEST(Extensions, RatioLearnerConvergesInsideManager) {
+  // Exercises the legacy attach_hars facade (kept for direct engine
+  // embedding) together with the engine's non-owning manager slot.
   SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
   auto app = make_parsec_app(ParsecBenchmark::kBlackscholes);  // True r = 1.0.
   const AppId id = engine.add_app(app.get());
@@ -93,14 +116,13 @@ TEST(Extensions, RatioLearnerConvergesInsideManager) {
 }
 
 TEST(Extensions, EnergyMetricsPopulated) {
-  const SingleRunResult r = run_single(ParsecBenchmark::kSwaptions,
-                                       SingleVersion::kHarsE, quick_options());
-  EXPECT_GT(r.metrics.energy_j, 0.0);
-  EXPECT_GT(r.metrics.energy_per_beat_j, 0.0);
+  const ExperimentResult r = quick(ParsecBenchmark::kSwaptions).build().run();
+  EXPECT_GT(r.app().metrics.energy_j, 0.0);
+  EXPECT_GT(r.app().metrics.energy_per_beat_j, 0.0);
   // Energy per beat consistency: energy / (rate * span).
-  EXPECT_NEAR(r.metrics.energy_per_beat_j,
-              r.metrics.avg_power_w / r.metrics.avg_rate_hps,
-              0.2 * r.metrics.energy_per_beat_j);
+  EXPECT_NEAR(r.app().metrics.energy_per_beat_j,
+              r.app().metrics.avg_power_w / r.app().metrics.avg_rate_hps,
+              0.2 * r.app().metrics.energy_per_beat_j);
 }
 
 }  // namespace

@@ -3,15 +3,25 @@
 
 #include <cmath>
 
-#include "exp/runner.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"  // Legacy version-name surface (VersionNames test).
 
 namespace hars {
 namespace {
 
-MultiRunOptions quick_options() {
-  MultiRunOptions o;
-  o.duration = 100 * kUsPerSec;
-  return o;
+ExperimentResult quick_multi(const std::vector<ParsecBenchmark>& benches,
+                             const char* variant) {
+  return ExperimentBuilder()
+      .apps(benches)
+      .variant(variant)
+      .duration(100 * kUsPerSec)
+      .build()
+      .run();
+}
+
+double gm_pp(const ExperimentResult& r) {
+  return std::sqrt(r.apps[0].metrics.perf_per_watt *
+                   r.apps[1].metrics.perf_per_watt);
 }
 
 TEST(MultiApp, CaseListMatchesPaper) {
@@ -25,32 +35,23 @@ TEST(MultiApp, CaseListMatchesPaper) {
 
 TEST(MultiApp, BaselineRunsBothAppsFlatOut) {
   const auto benches = multiapp_cases()[0];  // BO+SW.
-  const MultiRunResult r = run_multi(benches, MultiVersion::kBaseline,
-                                     quick_options());
-  ASSERT_EQ(r.per_app.size(), 2u);
+  const ExperimentResult r = quick_multi(benches, "Baseline");
+  ASSERT_EQ(r.apps.size(), 2u);
   EXPECT_GT(r.avg_power_w, 4.0);
-  for (const RunMetrics& m : r.per_app) EXPECT_GT(m.heartbeats, 10);
+  for (const AppRunResult& app : r.apps) EXPECT_GT(app.metrics.heartbeats, 10);
 }
 
 TEST(MultiApp, MpHarsEBeatsBaselineOnGeomean) {
   const auto benches = multiapp_cases()[0];
-  const MultiRunResult base = run_multi(benches, MultiVersion::kBaseline,
-                                        quick_options());
-  const MultiRunResult mp = run_multi(benches, MultiVersion::kMpHarsE,
-                                      quick_options());
-  const double base_gm = std::sqrt(base.per_app[0].perf_per_watt *
-                                   base.per_app[1].perf_per_watt);
-  const double mp_gm =
-      std::sqrt(mp.per_app[0].perf_per_watt * mp.per_app[1].perf_per_watt);
-  EXPECT_GT(mp_gm, 1.3 * base_gm);
+  const ExperimentResult base = quick_multi(benches, "Baseline");
+  const ExperimentResult mp = quick_multi(benches, "MP-HARS-E");
+  EXPECT_GT(gm_pp(mp), 1.3 * gm_pp(base));
 }
 
 TEST(MultiApp, MpHarsESavesPowerVersusBaseline) {
   const auto benches = multiapp_cases()[3];  // BO+FL.
-  const MultiRunResult base = run_multi(benches, MultiVersion::kBaseline,
-                                        quick_options());
-  const MultiRunResult mp = run_multi(benches, MultiVersion::kMpHarsE,
-                                      quick_options());
+  const ExperimentResult base = quick_multi(benches, "Baseline");
+  const ExperimentResult mp = quick_multi(benches, "MP-HARS-E");
   EXPECT_LT(mp.avg_power_w, base.avg_power_w);
 }
 
@@ -59,15 +60,9 @@ TEST(MultiApp, ConsIBeatsBaselineWhenAsymmetric) {
   // running solo, far above its target; CONS-I can decrease the shared
   // state and save power where the baseline cannot.
   const auto benches = multiapp_cases()[1];
-  const MultiRunResult base = run_multi(benches, MultiVersion::kBaseline,
-                                        quick_options());
-  const MultiRunResult cons = run_multi(benches, MultiVersion::kConsI,
-                                        quick_options());
-  const double base_gm = std::sqrt(base.per_app[0].perf_per_watt *
-                                   base.per_app[1].perf_per_watt);
-  const double cons_gm = std::sqrt(cons.per_app[0].perf_per_watt *
-                                   cons.per_app[1].perf_per_watt);
-  EXPECT_GT(cons_gm, base_gm);
+  const ExperimentResult base = quick_multi(benches, "Baseline");
+  const ExperimentResult cons = quick_multi(benches, "CONS-I");
+  EXPECT_GT(gm_pp(cons), gm_pp(base));
 }
 
 TEST(MultiApp, ConsIDescendsWhenBothOverperform) {
@@ -75,42 +70,47 @@ TEST(MultiApp, ConsIDescendsWhenBothOverperform) {
   // derived) targets, so the conservative model may decrease the shared
   // state and save real power while keeping both close to target.
   const auto benches = multiapp_cases()[0];
-  const MultiRunResult base = run_multi(benches, MultiVersion::kBaseline,
-                                        quick_options());
-  const MultiRunResult cons = run_multi(benches, MultiVersion::kConsI,
-                                        quick_options());
+  const ExperimentResult base = quick_multi(benches, "Baseline");
+  const ExperimentResult cons = quick_multi(benches, "CONS-I");
   EXPECT_LT(cons.avg_power_w, 0.8 * base.avg_power_w);
-  for (const RunMetrics& m : cons.per_app) EXPECT_GT(m.norm_perf, 0.8);
+  for (const AppRunResult& app : cons.apps) {
+    EXPECT_GT(app.metrics.norm_perf, 0.8);
+  }
 }
 
 TEST(MultiApp, TracesProducedForManagedVersions) {
   const auto benches = multiapp_cases()[3];
-  for (MultiVersion v : {MultiVersion::kConsI, MultiVersion::kMpHarsI,
-                         MultiVersion::kMpHarsE}) {
-    MultiRunOptions o;
-    o.duration = 40 * kUsPerSec;
-    const MultiRunResult r = run_multi(benches, v, o);
-    ASSERT_EQ(r.traces.size(), 2u) << multi_version_name(v);
-    EXPECT_FALSE(r.traces[0].empty()) << multi_version_name(v);
-    EXPECT_FALSE(r.traces[1].empty()) << multi_version_name(v);
+  for (const char* variant : {"CONS-I", "MP-HARS-I", "MP-HARS-E"}) {
+    const ExperimentResult r = ExperimentBuilder()
+                                   .apps(benches)
+                                   .variant(variant)
+                                   .duration(40 * kUsPerSec)
+                                   .build()
+                                   .run();
+    ASSERT_EQ(r.apps.size(), 2u) << variant;
+    EXPECT_FALSE(r.apps[0].trace.empty()) << variant;
+    EXPECT_FALSE(r.apps[1].trace.empty()) << variant;
   }
 }
 
-TEST(MultiApp, TargetsDerivedFromStandaloneCalibration) {
+TEST(MultiApp, TargetsDerivedFromConcurrentBaseline) {
   const auto benches = multiapp_cases()[0];
-  const MultiRunResult r = run_multi(benches, MultiVersion::kBaseline,
-                                     quick_options());
-  ASSERT_EQ(r.targets.size(), 2u);
-  for (const PerfTarget& t : r.targets) EXPECT_GT(t.avg(), 0.0);
+  const ExperimentResult r = quick_multi(benches, "Baseline");
+  ASSERT_EQ(r.apps.size(), 2u);
+  for (const AppRunResult& app : r.apps) EXPECT_GT(app.target.avg(), 0.0);
 }
 
 TEST(MultiApp, VersionNames) {
+  // The legacy enum surface still round-trips (the shims depend on it).
   EXPECT_STREQ(multi_version_name(MultiVersion::kBaseline), "Baseline");
   EXPECT_STREQ(multi_version_name(MultiVersion::kConsI), "CONS-I");
   EXPECT_STREQ(multi_version_name(MultiVersion::kMpHarsI), "MP-HARS-I");
   EXPECT_STREQ(multi_version_name(MultiVersion::kMpHarsE), "MP-HARS-E");
   EXPECT_EQ(all_multi_versions().size(), 4u);
   EXPECT_EQ(all_single_versions().size(), 5u);
+  EXPECT_EQ(parse_multi_version("MP-HARS-E"), MultiVersion::kMpHarsE);
+  EXPECT_EQ(parse_single_version("HARS-EI"), SingleVersion::kHarsEI);
+  EXPECT_EQ(parse_single_version("nope"), std::nullopt);
 }
 
 }  // namespace

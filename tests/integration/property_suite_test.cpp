@@ -9,7 +9,7 @@
 #include "core/hars.hpp"
 #include "core/power_profiler.hpp"
 #include "core/search.hpp"
-#include "exp/runner.hpp"
+#include "exp/experiment.hpp"
 #include "hmp/sim_engine.hpp"
 #include "sched/gts.hpp"
 #include "util/rng.hpp"
@@ -29,17 +29,23 @@ class HarsConvergence : public testing::TestWithParam<ConvergenceCase> {};
 TEST_P(HarsConvergence, AchievesTargetAndBeatsBaseline) {
   const auto [bench_i, version_i] = GetParam();
   const ParsecBenchmark bench = all_parsec_benchmarks()[static_cast<std::size_t>(bench_i)];
-  const SingleVersion version =
-      std::vector<SingleVersion>{SingleVersion::kHarsI, SingleVersion::kHarsE,
-                                 SingleVersion::kHarsEI}[static_cast<std::size_t>(version_i)];
-  SingleRunOptions options;
-  options.duration = 70 * kUsPerSec;
-  const SingleRunResult hars = run_single(bench, version, options);
-  const SingleRunResult base = run_single(bench, SingleVersion::kBaseline, options);
-  EXPECT_GT(hars.metrics.norm_perf, 0.80)
-      << parsec_code(bench) << " " << single_version_name(version);
-  EXPECT_GT(hars.metrics.perf_per_watt, 1.3 * base.metrics.perf_per_watt)
-      << parsec_code(bench) << " " << single_version_name(version);
+  const char* variant = std::vector<const char*>{
+      "HARS-I", "HARS-E", "HARS-EI"}[static_cast<std::size_t>(version_i)];
+  const auto run_variant = [bench](const char* name) {
+    return ExperimentBuilder()
+        .app(bench)
+        .variant(name)
+        .duration(70 * kUsPerSec)
+        .build()
+        .run();
+  };
+  const ExperimentResult hars = run_variant(variant);
+  const ExperimentResult base = run_variant("Baseline");
+  EXPECT_GT(hars.app().metrics.norm_perf, 0.80)
+      << parsec_code(bench) << " " << variant;
+  EXPECT_GT(hars.app().metrics.perf_per_watt,
+            1.3 * base.app().metrics.perf_per_watt)
+      << parsec_code(bench) << " " << variant;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchVersions, HarsConvergence,
@@ -174,7 +180,7 @@ TEST(ChaosFuzz, EngineInvariantsHoldUnderRandomControl) {
       // scheduling pass; one quiet tick lets the scheduler migrate (as
       // hotplug does at the next schedule point), after which every
       // runnable thread must sit on an online core.
-      engine.set_manager(nullptr);
+      engine.clear_manager();
       engine.run_for(engine.tick_us());
       for (const SimThread& t : engine.threads()) {
         if (t.runnable && t.core >= 0) {

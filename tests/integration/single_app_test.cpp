@@ -3,17 +3,20 @@
 #include <gtest/gtest.h>
 
 #include "exp/calibration.hpp"
-#include "exp/runner.hpp"
+#include "exp/experiment.hpp"
 #include "exp/static_optimal.hpp"
 
 namespace hars {
 namespace {
 
-SingleRunOptions quick_options(double fraction = 0.5) {
-  SingleRunOptions o;
-  o.target_fraction = fraction;
-  o.duration = 80 * kUsPerSec;
-  return o;
+ExperimentBuilder quick(ParsecBenchmark bench, const char* variant,
+                        double fraction = 0.5) {
+  ExperimentBuilder builder;
+  builder.app(bench)
+      .variant(variant)
+      .target_fraction(fraction)
+      .duration(80 * kUsPerSec);
+  return builder;
 }
 
 TEST(Calibration, MaxRatesAreReasonable) {
@@ -33,72 +36,73 @@ TEST(Calibration, Memoized) {
 }
 
 TEST(SingleApp, BaselineOverperformsAndBurnsPower) {
-  const SingleRunResult r =
-      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kBaseline,
-                 quick_options());
-  EXPECT_GT(r.metrics.avg_rate_hps, r.target.max);  // Overperforms.
-  EXPECT_NEAR(r.metrics.norm_perf, 1.0, 0.05);
-  EXPECT_GT(r.metrics.avg_power_w, 4.0);  // Near-max machine power.
+  const ExperimentResult r =
+      quick(ParsecBenchmark::kSwaptions, "Baseline").build().run();
+  EXPECT_GT(r.app().metrics.avg_rate_hps, r.app().target.max);  // Overperforms.
+  EXPECT_NEAR(r.app().metrics.norm_perf, 1.0, 0.05);
+  EXPECT_GT(r.app().metrics.avg_power_w, 4.0);  // Near-max machine power.
 }
 
 TEST(SingleApp, HarsEBeatsBaselinePerfPerWatt) {
-  const SingleRunResult base =
-      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kBaseline,
-                 quick_options());
-  const SingleRunResult hars =
-      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE,
-                 quick_options());
-  EXPECT_GT(hars.metrics.perf_per_watt, 1.5 * base.metrics.perf_per_watt);
+  const ExperimentResult base =
+      quick(ParsecBenchmark::kSwaptions, "Baseline").build().run();
+  const ExperimentResult hars =
+      quick(ParsecBenchmark::kSwaptions, "HARS-E").build().run();
+  EXPECT_GT(hars.app().metrics.perf_per_watt,
+            1.5 * base.app().metrics.perf_per_watt);
   // And it still (mostly) delivers the target.
-  EXPECT_GT(hars.metrics.norm_perf, 0.85);
+  EXPECT_GT(hars.app().metrics.norm_perf, 0.85);
 }
 
 TEST(SingleApp, HarsEAtLeastAsGoodAsHarsI) {
-  const SingleRunResult hi = run_single(
-      ParsecBenchmark::kBodytrack, SingleVersion::kHarsI, quick_options());
-  const SingleRunResult he = run_single(
-      ParsecBenchmark::kBodytrack, SingleVersion::kHarsE, quick_options());
-  EXPECT_GT(he.metrics.perf_per_watt, 0.9 * hi.metrics.perf_per_watt);
+  const ExperimentResult hi =
+      quick(ParsecBenchmark::kBodytrack, "HARS-I").build().run();
+  const ExperimentResult he =
+      quick(ParsecBenchmark::kBodytrack, "HARS-E").build().run();
+  EXPECT_GT(he.app().metrics.perf_per_watt,
+            0.9 * hi.app().metrics.perf_per_watt);
 }
 
 TEST(SingleApp, StaticOptimalBeatsBaseline) {
-  const SingleRunResult base =
-      run_single(ParsecBenchmark::kBlackscholes, SingleVersion::kBaseline,
-                 quick_options());
-  const SingleRunResult so =
-      run_single(ParsecBenchmark::kBlackscholes, SingleVersion::kStaticOptimal,
-                 quick_options());
-  EXPECT_GT(so.metrics.perf_per_watt, 1.5 * base.metrics.perf_per_watt);
+  const ExperimentResult base =
+      quick(ParsecBenchmark::kBlackscholes, "Baseline").build().run();
+  const ExperimentResult so =
+      quick(ParsecBenchmark::kBlackscholes, "SO").build().run();
+  EXPECT_GT(so.app().metrics.perf_per_watt,
+            1.5 * base.app().metrics.perf_per_watt);
+  EXPECT_TRUE(so.static_state.has_value());
 }
 
 TEST(SingleApp, FerretInterleavedBeatsChunk) {
   // The ferret story (§5.1.2): the chunk scheduler maps pipeline stages
   // onto one cluster and bottlenecks; interleaving fixes it.
-  const SingleRunResult chunk = run_single(
-      ParsecBenchmark::kFerret, SingleVersion::kHarsE, quick_options());
-  const SingleRunResult inter = run_single(
-      ParsecBenchmark::kFerret, SingleVersion::kHarsEI, quick_options());
-  EXPECT_GE(inter.metrics.perf_per_watt, 0.95 * chunk.metrics.perf_per_watt);
-  EXPECT_GE(inter.metrics.norm_perf + 0.05, chunk.metrics.norm_perf);
+  const ExperimentResult chunk =
+      quick(ParsecBenchmark::kFerret, "HARS-E").build().run();
+  const ExperimentResult inter =
+      quick(ParsecBenchmark::kFerret, "HARS-EI").build().run();
+  EXPECT_GE(inter.app().metrics.perf_per_watt,
+            0.95 * chunk.app().metrics.perf_per_watt);
+  EXPECT_GE(inter.app().metrics.norm_perf + 0.05, chunk.app().metrics.norm_perf);
 }
 
 TEST(SingleApp, HarsTracksHighTargetToo) {
-  const SingleRunResult r = run_single(
-      ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, quick_options(0.75));
-  EXPECT_GT(r.metrics.norm_perf, 0.85);
+  const ExperimentResult r =
+      quick(ParsecBenchmark::kSwaptions, "HARS-E", 0.75).build().run();
+  EXPECT_GT(r.app().metrics.norm_perf, 0.85);
 }
 
 TEST(SingleApp, ManagerOverheadGrowsWithDistance) {
-  SingleRunOptions small = quick_options();
-  small.duration = 40 * kUsPerSec;
-  small.override_d = 1;
-  const SingleRunResult d1 = run_single(ParsecBenchmark::kSwaptions,
-                                        SingleVersion::kHarsEI, small);
-  small.override_d = 9;
-  const SingleRunResult d9 = run_single(ParsecBenchmark::kSwaptions,
-                                        SingleVersion::kHarsEI, small);
-  EXPECT_GE(d9.metrics.manager_cpu_pct, d1.metrics.manager_cpu_pct);
-  EXPECT_LT(d9.metrics.manager_cpu_pct, 8.0);  // Paper: under ~6%.
+  const auto run_d = [](int d) {
+    return quick(ParsecBenchmark::kSwaptions, "HARS-EI")
+        .duration(40 * kUsPerSec)
+        .search_distance(d)
+        .build()
+        .run();
+  };
+  const ExperimentResult d1 = run_d(1);
+  const ExperimentResult d9 = run_d(9);
+  EXPECT_GE(d9.app().metrics.manager_cpu_pct, d1.app().metrics.manager_cpu_pct);
+  EXPECT_LT(d9.app().metrics.manager_cpu_pct, 8.0);  // Paper: under ~6%.
 }
 
 TEST(StaticOptimal, ChoosesTargetSatisfyingState) {

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "exp/runner.hpp"
+#include "exp/experiment.hpp"
 
 namespace hars {
 namespace {
@@ -73,26 +73,30 @@ TEST(TraceAnalysis, MeansComputed) {
   EXPECT_DOUBLE_EQ(s.mean_little_freq, 1.0);
 }
 
+ExperimentResult run_variant(ParsecBenchmark bench, const char* variant) {
+  return ExperimentBuilder()
+      .app(bench)
+      .variant(variant)
+      .duration(90 * kUsPerSec)
+      .build()
+      .run();
+}
+
 TEST(TraceAnalysis, RealHarsTraceSettles) {
-  SingleRunOptions options;
-  options.duration = 90 * kUsPerSec;
-  const SingleRunResult r =
-      run_single(ParsecBenchmark::kSwaptions, SingleVersion::kHarsE, options);
-  const TraceStats s = analyze_trace(r.trace, r.target, 5);
+  const ExperimentResult r = run_variant(ParsecBenchmark::kSwaptions, "HARS-E");
+  const TraceStats s = analyze_trace(r.app().trace, r.app().target, 5);
   EXPECT_GE(s.settle_index, 0);        // It does settle...
   EXPECT_GT(s.in_window_fraction, 0.6);  // ...and mostly stays there.
 }
 
 TEST(TraceAnalysis, HarsIOscillatesLessThanHarsEPerPoint) {
   // §3.1.3: d = 1 "may reduce the system oscillation".
-  SingleRunOptions options;
-  options.duration = 90 * kUsPerSec;
-  const SingleRunResult hi =
-      run_single(ParsecBenchmark::kFluidanimate, SingleVersion::kHarsI, options);
-  const SingleRunResult he =
-      run_single(ParsecBenchmark::kFluidanimate, SingleVersion::kHarsE, options);
-  const TraceStats si = analyze_trace(hi.trace, hi.target);
-  const TraceStats se = analyze_trace(he.trace, he.target);
+  const ExperimentResult hi =
+      run_variant(ParsecBenchmark::kFluidanimate, "HARS-I");
+  const ExperimentResult he =
+      run_variant(ParsecBenchmark::kFluidanimate, "HARS-E");
+  const TraceStats si = analyze_trace(hi.app().trace, hi.app().target);
+  const TraceStats se = analyze_trace(he.app().trace, he.app().target);
   EXPECT_LE(si.oscillations_per_100, se.oscillations_per_100 + 10.0);
 }
 

@@ -1,18 +1,23 @@
-// hars_sim: command-line front end for the experiment runner.
+// hars_sim: command-line front end for the unified Experiment API.
 //
 //   hars_sim --bench SW --version HARS-E --fraction 0.5 --duration 120
 //            [--trace trace.csv]
 //
-// Runs one benchmark under one runtime version on the simulated
-// big.LITTLE platform and prints the metrics the paper's figures are
-// built from. With --trace, the behaviour trace (heartbeat rate, core
-// counts, frequencies) is written as CSV.
+// Runs one or more benchmarks under any registered runtime version on the
+// simulated big.LITTLE platform and prints the metrics the paper's
+// figures are built from. --version accepts every VariantRegistry name
+// (Baseline, SO, HARS-I/E/EI, CONS-I, MP-HARS-I/E, plus user-registered
+// variants); repeat --bench to run a multi-application case. With
+// --trace, each app's behaviour trace (heartbeat rate, core counts,
+// frequencies) is written as CSV.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
-#include "exp/runner.hpp"
+#include "exp/experiment.hpp"
+#include "exp/variant_registry.hpp"
 #include "util/csv.hpp"
 
 namespace {
@@ -20,10 +25,17 @@ namespace {
 using namespace hars;
 
 void usage() {
-  std::puts(
+  std::string versions;
+  for (const std::string& name : VariantRegistry::instance().names()) {
+    if (!versions.empty()) versions += '|';
+    versions += name;
+  }
+  std::printf(
       "usage: hars_sim [options]\n"
-      "  --bench NAME      BL|BO|FA|FE|FL|SW (default SW)\n"
-      "  --version NAME    Baseline|SO|HARS-I|HARS-E|HARS-EI (default HARS-E)\n"
+      "  --bench NAME      BL|BO|FA|FE|FL|SW (default SW); repeat for a\n"
+      "                    multi-application case\n"
+      "  --version NAME    %s\n"
+      "                    (default HARS-E)\n"
       "  --fraction F      target as fraction of max achievable (default 0.5)\n"
       "  --duration SEC    measured run length in simulated seconds (default 120)\n"
       "  --threads N       application threads (default 8)\n"
@@ -32,8 +44,9 @@ void usage() {
       "  --predictor NAME  last-value|kalman (HARS versions)\n"
       "  --policy NAME     incremental|exhaustive|tabu (HARS versions)\n"
       "  --learn-ratio     enable online big:little ratio learning\n"
-      "  --trace FILE      write the behaviour trace as CSV\n"
-      "  --help            this text");
+      "  --trace FILE      write the behaviour trace(s) as CSV\n"
+      "  --help            this text\n",
+      versions.c_str());
 }
 
 bool parse_bench(const std::string& name, ParsecBenchmark* out) {
@@ -46,22 +59,34 @@ bool parse_bench(const std::string& name, ParsecBenchmark* out) {
   return false;
 }
 
-bool parse_version(const std::string& name, SingleVersion* out) {
-  for (SingleVersion v : all_single_versions()) {
-    if (name == single_version_name(v)) {
-      *out = v;
-      return true;
-    }
+void write_trace(const std::string& path, const AppRunResult& app) {
+  CsvWriter csv(path);
+  if (!csv.ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
   }
-  return false;
+  csv.header({"hb_index", "hps", "b_core", "l_core", "target_min",
+              "target_max", "b_freq_ghz", "l_freq_ghz"});
+  for (const TracePoint& p : app.trace) {
+    csv.row({static_cast<double>(p.hb_index), p.hps,
+             static_cast<double>(p.big_cores),
+             static_cast<double>(p.little_cores), app.target.min,
+             app.target.max, p.big_freq_ghz, p.little_freq_ghz});
+  }
+  std::printf("trace            %s (%zu points)\n", path.c_str(),
+              app.trace.size());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ParsecBenchmark bench = ParsecBenchmark::kSwaptions;
-  SingleVersion version = SingleVersion::kHarsE;
-  SingleRunOptions options;
+  std::vector<ParsecBenchmark> benches;
+  std::string version = "HARS-E";
+  ExperimentBuilder builder;
+  double fraction = 0.50;
+  double duration_sec = 120.0;
+  int threads = 8;
+  std::uint64_t seed = 1;
   std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -77,40 +102,50 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     } else if (arg == "--bench") {
+      ParsecBenchmark bench;
       if (!parse_bench(next(), &bench)) {
         std::fprintf(stderr, "unknown benchmark\n");
         return 2;
       }
+      benches.push_back(bench);
     } else if (arg == "--version") {
-      if (!parse_version(next(), &version)) {
-        std::fprintf(stderr, "unknown version\n");
+      version = next();
+      if (VariantRegistry::instance().find(version) == nullptr) {
+        std::fprintf(stderr, "unknown version %s\n", version.c_str());
+        usage();
         return 2;
       }
     } else if (arg == "--fraction") {
-      options.target_fraction = std::atof(next());
+      fraction = std::atof(next());
     } else if (arg == "--duration") {
-      options.duration = static_cast<TimeUs>(std::atof(next()) * kUsPerSec);
+      duration_sec = std::atof(next());
     } else if (arg == "--threads") {
-      options.threads = std::atoi(next());
+      threads = std::atoi(next());
     } else if (arg == "--seed") {
-      options.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--scheduler") {
-      const std::string s = next();
-      options.override_scheduler = s == "chunk"         ? 0
-                                   : s == "interleaved" ? 1
-                                   : s == "hierarchical" ? 2
-                                                         : -1;
+      const auto kind = parse_thread_scheduler(next());
+      if (!kind) {
+        std::fprintf(stderr, "unknown scheduler\n");
+        return 2;
+      }
+      builder.scheduler(*kind);
     } else if (arg == "--predictor") {
-      const std::string s = next();
-      options.override_predictor = s == "last-value" ? 0 : s == "kalman" ? 1 : -1;
+      const auto kind = parse_predictor_kind(next());
+      if (!kind) {
+        std::fprintf(stderr, "unknown predictor\n");
+        return 2;
+      }
+      builder.predictor(*kind);
     } else if (arg == "--policy") {
-      const std::string s = next();
-      options.override_policy = s == "incremental"  ? 0
-                                : s == "exhaustive" ? 1
-                                : s == "tabu"       ? 2
-                                                    : -1;
+      const auto policy = parse_search_policy(next());
+      if (!policy) {
+        std::fprintf(stderr, "unknown policy\n");
+        return 2;
+      }
+      builder.policy(*policy);
     } else if (arg == "--learn-ratio") {
-      options.learn_ratio = true;
+      builder.learn_ratio(true);
     } else if (arg == "--trace") {
       trace_path = next();
     } else {
@@ -120,39 +155,66 @@ int main(int argc, char** argv) {
     }
   }
 
-  const SingleRunResult r = run_single(bench, version, options);
-  std::printf("bench            %s (%s)\n", parsec_code(bench), parsec_name(bench));
-  std::printf("version          %s\n", single_version_name(version));
-  std::printf("target           %.3f hb/s [%.3f, %.3f]\n", r.target.avg(),
-              r.target.min, r.target.max);
-  std::printf("avg rate         %.3f hb/s\n", r.metrics.avg_rate_hps);
-  std::printf("norm perf        %.3f\n", r.metrics.norm_perf);
-  std::printf("in-window        %.1f%%\n", 100.0 * r.metrics.in_window_fraction);
-  std::printf("avg power        %.3f W\n", r.metrics.avg_power_w);
-  std::printf("perf/watt        %.3f\n", r.metrics.perf_per_watt);
-  std::printf("energy/beat      %.3f J\n", r.metrics.energy_per_beat_j);
-  std::printf("manager CPU      %.2f%%\n", r.metrics.manager_cpu_pct);
-  std::printf("heartbeats       %lld\n", static_cast<long long>(r.metrics.heartbeats));
-  if (version == SingleVersion::kStaticOptimal) {
-    std::printf("static state     %s\n", r.static_state.to_string().c_str());
+  if (benches.empty()) benches.push_back(ParsecBenchmark::kSwaptions);
+  builder.apps(benches)
+      .variant(version)
+      .target_fraction(fraction)
+      .duration_sec(duration_sec)
+      .threads(threads)
+      .seed(seed);
+
+  ExperimentResult result;
+  try {
+    result = builder.build().run();
+  } catch (const ExperimentConfigError& error) {
+    std::fprintf(stderr, "invalid configuration: %s\n", error.what());
+    return 2;
+  }
+
+  std::printf("version          %s\n", version.c_str());
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    const AppRunResult& app = result.apps[i];
+    std::printf("bench            %s (%s)\n", parsec_code(benches[i]),
+                parsec_name(benches[i]));
+    std::printf("target           %.3f hb/s [%.3f, %.3f]\n", app.target.avg(),
+                app.target.min, app.target.max);
+    std::printf("avg rate         %.3f hb/s\n", app.metrics.avg_rate_hps);
+    std::printf("norm perf        %.3f\n", app.metrics.norm_perf);
+    std::printf("in-window        %.1f%%\n",
+                100.0 * app.metrics.in_window_fraction);
+    std::printf("avg power        %.3f W\n", app.metrics.avg_power_w);
+    std::printf("perf/watt        %.3f\n", app.metrics.perf_per_watt);
+    std::printf("energy/beat      %.3f J\n", app.metrics.energy_per_beat_j);
+    std::printf("manager CPU      %.2f%%\n", app.metrics.manager_cpu_pct);
+    std::printf("heartbeats       %lld\n",
+                static_cast<long long>(app.metrics.heartbeats));
+  }
+  if (result.static_state) {
+    std::printf("static state     %s\n",
+                result.static_state->to_string().c_str());
   }
 
   if (!trace_path.empty()) {
-    CsvWriter csv(trace_path);
-    if (!csv.ok()) {
-      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
-      return 1;
+    if (result.apps.size() == 1) {
+      write_trace(trace_path, result.apps.front());
+    } else {
+      // Multi-app: suffix each app's code (and slot index, so repeated
+      // benchmarks get distinct files) before the filename's extension.
+      for (std::size_t i = 0; i < result.apps.size(); ++i) {
+        std::string path = trace_path;
+        std::string suffix = "_";
+        suffix += std::to_string(i + 1);
+        suffix += '_';
+        suffix += parsec_code(benches[i]);
+        const std::size_t slash = path.find_last_of('/');
+        const std::size_t dot = path.rfind('.');
+        const bool dot_in_name =
+            dot != std::string::npos &&
+            (slash == std::string::npos || dot > slash);
+        path.insert(dot_in_name ? dot : path.size(), suffix);
+        write_trace(path, result.apps[i]);
+      }
     }
-    csv.header({"hb_index", "hps", "b_core", "l_core", "target_min",
-                "target_max", "b_freq_ghz", "l_freq_ghz"});
-    for (const TracePoint& p : r.trace) {
-      csv.row({static_cast<double>(p.hb_index), p.hps,
-               static_cast<double>(p.big_cores),
-               static_cast<double>(p.little_cores), r.target.min, r.target.max,
-               p.big_freq_ghz, p.little_freq_ghz});
-    }
-    std::printf("trace            %s (%zu points)\n", trace_path.c_str(),
-                r.trace.size());
   }
   return 0;
 }
