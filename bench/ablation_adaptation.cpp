@@ -1,40 +1,55 @@
 // Ablation: adaptation period (heartbeats between checks) for HARS-E and
 // the freezing-count length for MP-HARS-E — the two cadence knobs the
-// thesis fixes but never sweeps.
+// thesis fixes but never sweeps. The period x bench grid runs through the
+// SweepEngine; the per-period reductions through the Aggregator.
 #include <iostream>
+#include <vector>
 
-#include "exp/experiment.hpp"
 #include "exp/report.hpp"
-#include "util/stats.hpp"
+#include "sweep/aggregator.hpp"
+#include "sweep/sweep_cli.hpp"
+#include "sweep/sweep_engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hars;
   std::puts("Ablation: adaptation cadence\n");
+
+  SweepSpec spec;
+  spec.name("ablation_adaptation")
+      .base([](ExperimentBuilder& b) {
+        b.variant("HARS-E").duration(90 * kUsPerSec);
+      })
+      .values("period", {2, 5, 10, 20},
+              [](ExperimentBuilder& b, double period) {
+                b.adapt_period(static_cast<int>(period));
+              })
+      .benchmarks(
+          {ParsecBenchmark::kSwaptions, ParsecBenchmark::kFluidanimate});
+
+  TableSink sink;
+  SweepEngine engine(sweep_options_from_cli(argc, argv));
+  engine.add_sink(sink);
+  const SweepReport report = engine.run(spec);
+  if (report_sweep_failures(std::cerr, report) > 0) return 1;
+
+  Aggregator agg;
+  agg.group_by({"period"})
+      .geomean("perf_per_watt")
+      .geomean("norm_perf")
+      .mean("manager_cpu_pct");
+  const std::vector<Record> grouped = agg.apply(sink.rows());
 
   ReportTable table("HARS-E adaptation period sweep (swaptions + fluidanimate GM)");
   table.set_columns({"adapt period (hb)", "GM perf/watt", "GM norm perf",
                      "manager CPU %"});
-  for (int period : {2, 5, 10, 20}) {
-    std::vector<double> pps;
-    std::vector<double> nps;
-    std::vector<double> utils;
-    for (ParsecBenchmark bench :
-         {ParsecBenchmark::kSwaptions, ParsecBenchmark::kFluidanimate}) {
-      const ExperimentResult r = ExperimentBuilder()
-                                     .app(bench)
-                                     .variant("HARS-E")
-                                     .adapt_period(period)
-                                     .duration(90 * kUsPerSec)
-                                     .build()
-                                     .run();
-      pps.push_back(r.app().metrics.perf_per_watt);
-      nps.push_back(r.app().metrics.norm_perf);
-      utils.push_back(r.app().metrics.manager_cpu_pct);
-    }
-    table.add_row(std::to_string(period),
-                  {geomean(pps), geomean(nps), mean(utils)});
+  for (const Record& row : grouped) {
+    table.add_row(std::string(row.text("period")),
+                  {row.number("geomean_perf_per_watt"),
+                   row.number("geomean_norm_perf"),
+                   row.number("mean_manager_cpu_pct")});
   }
   table.print(std::cout);
+  print_sweep_summary(std::cout, report);
   std::puts("Shape check: very short periods adapt on noisy windows; very");
   std::puts("long periods track phased workloads (FL) sluggishly.");
   return 0;

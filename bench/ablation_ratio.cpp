@@ -1,56 +1,54 @@
 // Ablation: sensitivity to the assumed big:little performance ratio r0.
 // The paper observes blackscholes' true ratio is 1.0 while HARS assumes
 // 1.5, driving it into a suboptimal state; feeding HARS the right ratio
-// should recover the gap to the static optimal.
+// should recover the gap to the static optimal. The heterogeneous axis
+// (fixed ratios, the online learner, and the SO bound) is one SweepSpec.
 #include <iostream>
+#include <vector>
 
-#include "exp/experiment.hpp"
 #include "exp/report.hpp"
+#include "sweep/sweep_cli.hpp"
+#include "sweep/sweep_engine.hpp"
 
-namespace {
-
-using namespace hars;
-
-ExperimentBuilder blackscholes_hars() {
-  ExperimentBuilder builder;
-  builder.app(ParsecBenchmark::kBlackscholes)
-      .variant("HARS-E")
-      .duration(90 * kUsPerSec);
-  return builder;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace hars;
   std::puts("Ablation: assumed r0 vs achieved efficiency (blackscholes)\n");
 
+  std::vector<AxisPoint> configs;
+  for (double r0 : {1.0, 1.25, 1.5, 2.0}) {
+    configs.emplace_back(format_value(r0), r0, [r0](ExperimentBuilder& b) {
+      b.variant("HARS-E").duration(90 * kUsPerSec).assumed_ratio(r0);
+    });
+  }
+  // §5.1.2 future work: learn the ratio online instead of fixing it.
+  configs.emplace_back("learned", [](ExperimentBuilder& b) {
+    b.variant("HARS-E").duration(90 * kUsPerSec).learn_ratio();
+  });
+  configs.emplace_back("SO",
+                       [](ExperimentBuilder& b) { b.variant("SO"); });
+
+  SweepSpec spec;
+  spec.name("ablation_ratio")
+      .base([](ExperimentBuilder& b) {
+        b.app(ParsecBenchmark::kBlackscholes);
+      })
+      .axis("r0", std::move(configs));
+
+  TableSink sink;
+  SweepEngine engine(sweep_options_from_cli(argc, argv));
+  engine.add_sink(sink);
+  const SweepReport report = engine.run(spec);
+  if (report_sweep_failures(std::cerr, report) > 0) return 1;
+
   ReportTable table("HARS-E on blackscholes with different assumed r0");
   table.set_columns({"r0", "perf/watt", "norm perf", "avg power W"});
-  for (double r0 : {1.0, 1.25, 1.5, 2.0}) {
-    const ExperimentResult r =
-        blackscholes_hars().assumed_ratio(r0).build().run();
-    table.add_row(format_value(r0),
-                  {r.app().metrics.perf_per_watt, r.app().metrics.norm_perf,
-                   r.app().metrics.avg_power_w});
+  for (const Record& row : sink.rows()) {
+    table.add_row(std::string(row.text("r0")),
+                  {row.number("perf_per_watt"), row.number("norm_perf"),
+                   row.number("avg_power_w")});
   }
-  {
-    // §5.1.2 future work: learn the ratio online instead of fixing it.
-    const ExperimentResult learned =
-        blackscholes_hars().learn_ratio().build().run();
-    table.add_row("learned", {learned.app().metrics.perf_per_watt,
-                              learned.app().metrics.norm_perf,
-                              learned.app().metrics.avg_power_w});
-  }
-  const ExperimentResult so = ExperimentBuilder()
-                                  .app(ParsecBenchmark::kBlackscholes)
-                                  .variant("SO")
-                                  .build()
-                                  .run();
-  table.add_row("SO", {so.app().metrics.perf_per_watt,
-                       so.app().metrics.norm_perf,
-                       so.app().metrics.avg_power_w});
   table.print(std::cout);
+  print_sweep_summary(std::cout, report);
   std::puts("Shape check: the assumed ratio moves achieved efficiency by");
   std::puts("tens of percent on BL; a strong overestimate (r0 = 2.0) is the");
   std::puts("costliest because it oversells the big cluster. The online");

@@ -1,16 +1,44 @@
 // Ablation: the three HARS thread schedulers — chunk-based, interleaving
 // (§3.1.3) and the hierarchy-aware extension (§3.1.4 option 2) — at both
 // performance targets. The pipeline benchmark (ferret) is where the
-// mapping matters: chunk can place whole stages on one cluster.
+// mapping matters: chunk can place whole stages on one cluster. The
+// fraction x bench x scheduler grid is one SweepSpec.
 #include <iostream>
 #include <vector>
 
-#include "exp/experiment.hpp"
 #include "exp/report.hpp"
+#include "sweep/sweep_cli.hpp"
+#include "sweep/sweep_engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hars;
   std::puts("Ablation: HARS-E thread scheduler (chunk / interleaved / hierarchical)\n");
+
+  const std::vector<std::pair<std::string, ThreadSchedulerKind>> scheds{
+      {"chunk", ThreadSchedulerKind::kChunk},
+      {"inter", ThreadSchedulerKind::kInterleaved},
+      {"hier", ThreadSchedulerKind::kHierarchical}};
+  std::vector<AxisPoint> sched_points;
+  for (const auto& [label, kind] : scheds) {
+    const ThreadSchedulerKind k = kind;
+    sched_points.emplace_back(label,
+                              [k](ExperimentBuilder& b) { b.scheduler(k); });
+  }
+
+  SweepSpec spec;
+  spec.name("ablation_schedulers")
+      .base([](ExperimentBuilder& b) {
+        b.variant("HARS-E").duration(90 * kUsPerSec);
+      })
+      .target_fractions({0.50, 0.75})
+      .benchmarks(all_parsec_benchmarks())
+      .axis("sched", std::move(sched_points));
+
+  TableSink sink;
+  SweepEngine engine(sweep_options_from_cli(argc, argv));
+  engine.add_sink(sink);
+  const SweepReport report = engine.run(spec);
+  if (report_sweep_failures(std::cerr, report) > 0) return 1;
 
   for (double fraction : {0.50, 0.75}) {
     ReportTable table(fraction == 0.50 ? "Default target (50%)"
@@ -18,27 +46,25 @@ int main() {
     table.set_columns({"bench", "chunk pp", "inter pp", "hier pp",
                        "chunk norm", "inter norm", "hier norm"});
     for (ParsecBenchmark bench : all_parsec_benchmarks()) {
-      std::vector<double> pp;
-      std::vector<double> norm;
-      for (ThreadSchedulerKind sched :
-           {ThreadSchedulerKind::kChunk, ThreadSchedulerKind::kInterleaved,
-            ThreadSchedulerKind::kHierarchical}) {
-        const ExperimentResult r = ExperimentBuilder()
-                                       .app(bench)
-                                       .variant("HARS-E")
-                                       .scheduler(sched)
-                                       .target_fraction(fraction)
-                                       .duration(90 * kUsPerSec)
-                                       .build()
-                                       .run();
-        pp.push_back(r.app().metrics.perf_per_watt);
-        norm.push_back(r.app().metrics.norm_perf);
-      }
+      const std::string_view code = parsec_code(bench);
+      const auto value = [&](const std::string& sched,
+                             std::string_view column) {
+        return record_number(sink.rows(),
+                             {{"fraction", format_number(fraction)},
+                              {"bench", code},
+                              {"sched", sched}},
+                             column);
+      };
       table.add_row(parsec_code(bench),
-                    {pp[0], pp[1], pp[2], norm[0], norm[1], norm[2]});
+                    {value("chunk", "perf_per_watt"),
+                     value("inter", "perf_per_watt"),
+                     value("hier", "perf_per_watt"),
+                     value("chunk", "norm_perf"), value("inter", "norm_perf"),
+                     value("hier", "norm_perf")});
     }
     table.print(std::cout);
   }
+  print_sweep_summary(std::cout, report);
   std::puts("Shape check: on FE (6-stage pipeline) the chunk mapping");
   std::puts("delivers the lowest normalized performance; interleaving and");
   std::puts("the hierarchy-aware scheduler recover it, most visibly when");

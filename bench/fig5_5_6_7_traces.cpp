@@ -1,14 +1,16 @@
 // Regenerates Figures 5.5 / 5.6 / 5.7: behaviour graphs of case 4 (BO+FL)
 // under CONS-I, MP-HARS-I and MP-HARS-E. For each app the trace records
 // HPS, allocated big/little core count, target window and cluster
-// frequencies per heartbeat. Summaries are printed and the full series are
-// written to CSV next to the binary.
+// frequencies per heartbeat. The three versions run as one SweepSpec
+// (keep_results retains the full traces); summaries are printed and the
+// full series are written to CSV next to the binary.
 #include <cstdio>
 #include <iostream>
 #include <string>
 
-#include "exp/experiment.hpp"
 #include "exp/report.hpp"
+#include "sweep/sweep_cli.hpp"
+#include "sweep/sweep_engine.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -36,7 +38,8 @@ void dump_trace(const std::string& fig, const std::string& version,
   }
 }
 
-void summarize(const char* label, const std::vector<ParsecBenchmark>& benches,
+void summarize(const std::string& label,
+               const std::vector<ParsecBenchmark>& benches,
                const ExperimentResult& result) {
   ReportTable table(label);
   table.set_columns({"app", "avg HPS", "target", "in-window %", "avg B_Core",
@@ -60,35 +63,38 @@ void summarize(const char* label, const std::vector<ParsecBenchmark>& benches,
   table.print(std::cout);
 }
 
-ExperimentResult run_case(const std::vector<ParsecBenchmark>& benches,
-                          const std::string& version) {
-  return ExperimentBuilder()
-      .apps(benches)
-      .variant(version)
-      .duration(150 * kUsPerSec)
-      .build()
-      .run();
-}
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hars;
   std::puts("Figures 5.5-5.7 reproduction: behaviour of case 4 (BO+FL)\n");
-  const auto benches = multiapp_cases()[3];
+  const std::vector<ParsecBenchmark> benches = multiapp_cases()[3];
 
-  const ExperimentResult cons = run_case(benches, "CONS-I");
-  summarize("Figure 5.5: CONS-I", benches, cons);
-  dump_trace("fig5_5", "CONS-I", benches, cons);
+  const std::vector<std::pair<std::string, std::string>> figures{
+      {"fig5_5", "CONS-I"}, {"fig5_6", "MP-HARS-I"}, {"fig5_7", "MP-HARS-E"}};
 
-  const ExperimentResult mpi = run_case(benches, "MP-HARS-I");
-  summarize("Figure 5.6: MP-HARS-I", benches, mpi);
-  dump_trace("fig5_6", "MP-HARS-I", benches, mpi);
+  SweepSpec spec;
+  spec.name("fig5_5_6_7")
+      .base([benches](ExperimentBuilder& b) {
+        b.apps(benches).duration(150 * kUsPerSec);
+      })
+      .variants({"CONS-I", "MP-HARS-I", "MP-HARS-E"});
 
-  const ExperimentResult mpe = run_case(benches, "MP-HARS-E");
-  summarize("Figure 5.7: MP-HARS-E", benches, mpe);
-  dump_trace("fig5_7", "MP-HARS-E", benches, mpe);
+  SweepOptions options = sweep_options_from_cli(argc, argv);
+  options.keep_results = true;  // The figures need the full traces.
+  SweepEngine engine(options);
+  const SweepReport report = engine.run(spec);
+  if (report_sweep_failures(std::cerr, report) > 0) return 1;
 
+  for (std::size_t i = 0; i < figures.size(); ++i) {
+    const auto& [fig, version] = figures[i];
+    const ExperimentResult& result = report.outcome(i).result;
+    summarize("Figure 5." + std::to_string(5 + i) + ": " + version, benches,
+              result);
+    dump_trace(fig, version, benches, result);
+  }
+
+  print_sweep_summary(std::cout, report);
   std::puts("Paper shape check: under CONS-I, FL overshoots its target while");
   std::puts("BO achieves it (shared state cannot decrease); MP-HARS keeps");
   std::puts("both apps near their windows; MP-HARS-E settles on a cheaper");

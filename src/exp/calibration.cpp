@@ -1,42 +1,42 @@
 #include "exp/calibration.hpp"
 
-#include <map>
 #include <memory>
 #include <tuple>
 
 #include "exp/metrics.hpp"
 #include "hmp/sim_engine.hpp"
 #include "sched/gts.hpp"
+#include "util/once_cache.hpp"
 
 namespace hars {
 
 Calibration calibrate_benchmark(ParsecBenchmark bench, int threads,
                                 std::uint64_t seed, TimeUs duration) {
   using Key = std::tuple<int, int, std::uint64_t, TimeUs>;
-  static std::map<Key, Calibration> cache;
+  static OnceCache<Key, Calibration> cache;
   const Key key{static_cast<int>(bench), threads, seed, duration};
-  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  return cache.get_or_compute(key, [&] {
+    SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
+    std::unique_ptr<App> app = make_parsec_app(bench, threads, seed);
+    const AppId id = engine.add_app(app.get());
+    (void)id;
 
-  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
-  std::unique_ptr<App> app = make_parsec_app(bench, threads, seed);
-  const AppId id = engine.add_app(app.get());
-  (void)id;
+    // Skip warm-up: run until the first heartbeat (blackscholes parses its
+    // input serially before emitting any), capped defensively.
+    const TimeUs warmup_cap = 60 * kUsPerSec;
+    while (app->heartbeats().count() == 0 && engine.now() < warmup_cap) {
+      engine.run_for(100 * kUsPerMs);
+    }
+    const TimeUs t0 = engine.now();
+    engine.run_for(duration);
 
-  // Skip warm-up: run until the first heartbeat (blackscholes parses its
-  // input serially before emitting any), capped defensively.
-  const TimeUs warmup_cap = 60 * kUsPerSec;
-  while (app->heartbeats().count() == 0 && engine.now() < warmup_cap) {
-    engine.run_for(100 * kUsPerMs);
-  }
-  const TimeUs t0 = engine.now();
-  engine.run_for(duration);
-
-  Calibration cal;
-  cal.max_rate_hps = average_rate(app->heartbeats().history(), t0, engine.now());
-  cal.default_target = cal.target_for_fraction(0.50);
-  cal.high_target = cal.target_for_fraction(0.75);
-  cache.emplace(key, cal);
-  return cal;
+    Calibration cal;
+    cal.max_rate_hps =
+        average_rate(app->heartbeats().history(), t0, engine.now());
+    cal.default_target = cal.target_for_fraction(0.50);
+    cal.high_target = cal.target_for_fraction(0.75);
+    return cal;
+  });
 }
 
 }  // namespace hars

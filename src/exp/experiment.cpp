@@ -1,12 +1,12 @@
 #include "exp/experiment.hpp"
 
 #include <algorithm>
-#include <map>
 #include <tuple>
 #include <utility>
 
 #include "exp/calibration.hpp"
 #include "hmp/sim_engine.hpp"
+#include "util/once_cache.hpp"
 
 namespace hars {
 
@@ -50,23 +50,7 @@ std::string machine_signature(const Machine& machine) {
 /// app-set/machine/duration/threads/seed because every figure re-uses the
 /// same probes — but only for PARSEC app sets, whose labels identify
 /// their factories (custom factories can share a label).
-std::vector<double> concurrent_baseline_rates(const ExperimentSpec& spec) {
-  using Key = std::tuple<std::string, long long, int, std::uint64_t>;
-  static std::map<Key, std::vector<double>> cache;
-  bool cacheable = !spec.make_scheduler;  // Custom schedulers aren't keyed.
-  std::string case_key;
-  for (const AppSpec& app : spec.apps) {
-    cacheable &= app.bench.has_value();
-    case_key += app.label;
-    case_key += '+';
-  }
-  case_key += machine_signature(spec.machine);
-  const Key key{case_key, static_cast<long long>(spec.duration), spec.threads,
-                spec.seed};
-  if (cacheable) {
-    if (auto it = cache.find(key); it != cache.end()) return it->second;
-  }
-
+std::vector<double> probe_baseline_rates(const ExperimentSpec& spec) {
   SimEngine engine(spec.machine, spec.make_scheduler
                                      ? spec.make_scheduler()
                                      : make_default_scheduler());
@@ -82,8 +66,24 @@ std::vector<double> concurrent_baseline_rates(const ExperimentSpec& spec) {
     const TimeUs t0 = history.empty() ? 0 : history.front().time;
     rates.push_back(average_rate(history, t0, engine.now()));
   }
-  if (cacheable) cache.emplace(key, rates);
   return rates;
+}
+
+std::vector<double> concurrent_baseline_rates(const ExperimentSpec& spec) {
+  using Key = std::tuple<std::string, long long, int, std::uint64_t>;
+  static OnceCache<Key, std::vector<double>> cache;
+  bool cacheable = !spec.make_scheduler;  // Custom schedulers aren't keyed.
+  std::string case_key;
+  for (const AppSpec& app : spec.apps) {
+    cacheable &= app.bench.has_value();
+    case_key += app.label;
+    case_key += '+';
+  }
+  if (!cacheable) return probe_baseline_rates(spec);
+  case_key += machine_signature(spec.machine);
+  const Key key{case_key, static_cast<long long>(spec.duration), spec.threads,
+                spec.seed};
+  return cache.get_or_compute(key, [&] { return probe_baseline_rates(spec); });
 }
 
 /// Per-app targets: explicit ones win. Derived targets follow the

@@ -1,7 +1,6 @@
 #include "exp/static_optimal.hpp"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 #include <tuple>
 #include <vector>
@@ -14,6 +13,7 @@
 #include "exp/metrics.hpp"
 #include "hmp/sim_engine.hpp"
 #include "sched/gts.hpp"
+#include "util/once_cache.hpp"
 
 namespace hars {
 
@@ -90,15 +90,11 @@ double measure_pinned_max_rate(ParsecBenchmark bench, const SystemState& max_sta
 
 }  // namespace
 
-StaticOptimalResult find_static_optimal(ParsecBenchmark bench,
-                                        const PerfTarget& target,
-                                        const StaticOptimalOptions& options) {
-  using Key = std::tuple<int, double, double, std::uint64_t, int>;
-  static std::map<Key, StaticOptimalResult> cache;
-  const Key key{static_cast<int>(bench), target.min, target.max, options.seed,
-                options.threads};
-  if (auto it = cache.find(key); it != cache.end()) return it->second;
+namespace {
 
+StaticOptimalResult compute_static_optimal(
+    ParsecBenchmark bench, const PerfTarget& target,
+    const StaticOptimalOptions& options) {
   const Machine machine = Machine::exynos5422();
   const StateSpace space = StateSpace::from_machine(machine);
   // The offline sweep may use the benchmark's true ratio: SO is an oracle.
@@ -165,8 +161,20 @@ StaticOptimalResult find_static_optimal(ParsecBenchmark bench,
       best_set = true;
     }
   }
-  cache.emplace(key, best);
   return best;
+}
+
+}  // namespace
+
+StaticOptimalResult find_static_optimal(ParsecBenchmark bench,
+                                        const PerfTarget& target,
+                                        const StaticOptimalOptions& options) {
+  using Key = std::tuple<int, double, double, std::uint64_t, int>;
+  static OnceCache<Key, StaticOptimalResult> cache;
+  const Key key{static_cast<int>(bench), target.min, target.max, options.seed,
+                options.threads};
+  return cache.get_or_compute(
+      key, [&] { return compute_static_optimal(bench, target, options); });
 }
 
 }  // namespace hars

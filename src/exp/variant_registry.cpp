@@ -238,6 +238,7 @@ VariantRegistry& VariantRegistry::instance() {
 
 void VariantRegistry::register_variant(std::string name, VariantTraits traits,
                                        VariantFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (VariantEntry& entry : entries_) {
     if (entry.name == name) {
       entry.traits = traits;
@@ -249,6 +250,7 @@ void VariantRegistry::register_variant(std::string name, VariantTraits traits,
 }
 
 const VariantEntry* VariantRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const VariantEntry& entry : entries_) {
     if (entry.name == name) return &entry;
   }
@@ -256,6 +258,7 @@ const VariantEntry* VariantRegistry::find(std::string_view name) const {
 }
 
 std::vector<std::string> VariantRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const VariantEntry& entry : entries_) out.push_back(entry.name);

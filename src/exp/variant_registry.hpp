@@ -15,8 +15,10 @@
 // immediately runnable from Experiment::run() and `hars_sim --version`.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -136,6 +138,12 @@ class VariantRegistry {
  public:
   /// The process-wide registry, with the paper's eight runtime versions
   /// (Baseline, SO, HARS-I/E/EI, CONS-I, MP-HARS-I/E) pre-registered.
+  /// Construction is once-only (C++ magic static) and every accessor
+  /// locks, so concurrent Experiment::run() calls from sweep-pool workers
+  /// can look variants up safely. Entries live in a deque, so a pointer
+  /// returned by find() stays valid across later registrations — but
+  /// replacing a variant by name while another thread runs it is still a
+  /// race; register new variants before launching a parallel sweep.
   static VariantRegistry& instance();
 
   /// Registers (or replaces) a variant under `name`.
@@ -150,7 +158,8 @@ class VariantRegistry {
 
  private:
   VariantRegistry();
-  std::vector<VariantEntry> entries_;
+  mutable std::mutex mutex_;
+  std::deque<VariantEntry> entries_;
 };
 
 /// RAII registration helper so new variants can self-register from any

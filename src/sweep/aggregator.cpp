@@ -1,0 +1,86 @@
+#include "sweep/aggregator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/stats.hpp"
+
+namespace hars {
+
+Aggregator& Aggregator::group_by(std::vector<std::string> keys) {
+  keys_ = std::move(keys);
+  return *this;
+}
+
+Aggregator& Aggregator::geomean(std::string column) {
+  reductions_.push_back(Reduction{Op::kGeomean, std::move(column)});
+  return *this;
+}
+
+Aggregator& Aggregator::mean(std::string column) {
+  reductions_.push_back(Reduction{Op::kMean, std::move(column)});
+  return *this;
+}
+
+std::vector<Record> Aggregator::apply(std::span<const Record> rows) const {
+  struct Group {
+    std::vector<std::string> key_values;
+    std::vector<std::vector<double>> series;  ///< One per reduction.
+    std::size_t n = 0;
+  };
+  std::vector<Group> groups;  // First-appearance order.
+
+  for (const Record& row : rows) {
+    std::vector<std::string> key_values;
+    key_values.reserve(keys_.size());
+    for (const std::string& key : keys_) {
+      key_values.emplace_back(row.text(key));
+    }
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (g.key_values == key_values) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(Group{std::move(key_values),
+                             std::vector<std::vector<double>>(
+                                 reductions_.size()),
+                             0});
+      group = &groups.back();
+    }
+    ++group->n;
+    for (std::size_t r = 0; r < reductions_.size(); ++r) {
+      const double v = row.number(reductions_[r].column);
+      if (!std::isnan(v)) group->series[r].push_back(v);
+    }
+  }
+
+  std::vector<Record> out;
+  out.reserve(groups.size());
+  for (const Group& group : groups) {
+    Record record;
+    for (std::size_t k = 0; k < keys_.size(); ++k) {
+      record.set(keys_[k], group.key_values[k]);
+    }
+    for (std::size_t r = 0; r < reductions_.size(); ++r) {
+      const Reduction& red = reductions_[r];
+      const char* prefix = red.op == Op::kGeomean ? "geomean_" : "mean_";
+      // A group whose column was entirely absent/non-numeric reduces to
+      // NaN without tripping the empty-input assert in stats.
+      double value = std::numeric_limits<double>::quiet_NaN();
+      if (!group.series[r].empty()) {
+        value = red.op == Op::kGeomean ? hars::geomean(group.series[r])
+                                       : hars::mean(group.series[r]);
+      }
+      record.set(prefix + red.column, value);
+    }
+    record.set("rows", static_cast<std::int64_t>(group.n));
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace hars

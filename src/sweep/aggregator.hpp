@@ -1,0 +1,46 @@
+// Grouped reductions over sweep records — the geomean/mean pivots every
+// figure computes (per-benchmark rows collapsed to a GM per variant, CPU
+// utilization averaged per distance, ...).
+//
+//   Aggregator agg;
+//   agg.group_by({"fraction", "distance"})
+//      .geomean("perf_per_watt")
+//      .mean("manager_cpu_pct");
+//   std::vector<Record> rows = agg.apply(sink.rows());
+//
+// Output rows keep the group keys and add one column per reduction, named
+// "<op>_<column>", plus "rows" — the number of records in the group, NOT
+// the per-statistic sample size (a record whose column is absent or
+// non-numeric still counts toward "rows" but not toward the reduction).
+// Group order is first appearance in the input, so aggregation is
+// deterministic.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sweep/result_sink.hpp"
+
+namespace hars {
+
+class Aggregator {
+ public:
+  Aggregator& group_by(std::vector<std::string> keys);
+  Aggregator& geomean(std::string column);
+  Aggregator& mean(std::string column);
+
+  std::vector<Record> apply(std::span<const Record> rows) const;
+
+ private:
+  enum class Op { kGeomean, kMean };
+  struct Reduction {
+    Op op;
+    std::string column;
+  };
+
+  std::vector<std::string> keys_;
+  std::vector<Reduction> reductions_;
+};
+
+}  // namespace hars

@@ -1,0 +1,50 @@
+#include "sweep/sweep_cli.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <string>
+
+namespace hars {
+
+SweepOptions sweep_options_from_cli(int argc, char** argv) {
+  SweepOptions options;
+  if (const char* env = std::getenv("HARS_JOBS")) {
+    options.jobs = std::atoi(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = std::atoi(argv[i + 1]);
+      ++i;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      options.jobs = std::atoi(argv[i] + 7);
+    }
+  }
+  if (options.jobs < 0) options.jobs = 1;
+  return options;
+}
+
+void print_sweep_summary(std::ostream& out, const SweepReport& report) {
+  out << "campaign '" << report.campaign << "': " << report.outcomes.size()
+      << " cases, " << report.jobs << " job" << (report.jobs == 1 ? "" : "s")
+      << ", " << format_number(report.wall_ms) << " ms ("
+      << format_number(report.cases_per_sec()) << " cases/s), "
+      << report.failed << " failed\n";
+}
+
+std::size_t report_sweep_failures(std::ostream& out,
+                                  const SweepReport& report) {
+  for (const CaseOutcome& outcome : report.outcomes) {
+    if (outcome.ok()) continue;
+    std::string where;
+    for (const CaseCoord& coord : outcome.sweep_case.coords) {
+      if (!where.empty()) where += ' ';
+      where += coord.axis + '=' + coord.label;
+    }
+    out << "case " << outcome.sweep_case.index << " (" << where
+        << ") failed: " << outcome.error << '\n';
+  }
+  return report.failed;
+}
+
+}  // namespace hars

@@ -1,0 +1,26 @@
+// Shared command-line plumbing for sweep-driven binaries: every figure /
+// ablation bench accepts `--jobs N` (0 = hardware concurrency; also
+// honoured via the HARS_JOBS environment variable, flag wins) and prints
+// a one-line campaign summary.
+#pragma once
+
+#include <iosfwd>
+
+#include "sweep/sweep_engine.hpp"
+
+namespace hars {
+
+/// Parses `--jobs N` / `--jobs=N` out of argv (and HARS_JOBS from the
+/// environment). Unrecognized arguments are ignored so binaries can layer
+/// their own flags. Defaults to 1 (serial, the reproducible reference).
+SweepOptions sweep_options_from_cli(int argc, char** argv);
+
+/// "campaign 'fig5_3': 60 cases, 4 jobs, 1234.5 ms (48.6 cases/s), 0 failed"
+void print_sweep_summary(std::ostream& out, const SweepReport& report);
+
+/// Prints every failed case's coordinates and error to `out`; returns the
+/// number of failures (bench binaries exit non-zero on any).
+std::size_t report_sweep_failures(std::ostream& out,
+                                  const SweepReport& report);
+
+}  // namespace hars

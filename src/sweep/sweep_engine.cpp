@@ -1,0 +1,179 @@
+#include "sweep/sweep_engine.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "sweep/work_stealing_pool.hpp"
+
+namespace hars {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Case coordinates as the leading columns of every sink record.
+Record coord_prefix(const SweepCase& sweep_case, SeedMode mode) {
+  Record prefix;
+  prefix.set("case", static_cast<std::int64_t>(sweep_case.index));
+  for (const CaseCoord& coord : sweep_case.coords) {
+    if (!std::isnan(coord.number)) {
+      prefix.set(coord.axis, coord.number);
+    } else {
+      prefix.set(coord.axis, coord.label);
+    }
+  }
+  if (mode == SeedMode::kDerived) {
+    // Text cell: a 64-bit seed does not survive the numeric cells' double
+    // representation.
+    prefix.set("seed", std::to_string(sweep_case.seed));
+  }
+  return prefix;
+}
+
+Record merge(const Record& prefix, const Record& columns) {
+  Record out = prefix;
+  for (const RecordCell& cell : columns.cells()) {
+    if (cell.numeric) {
+      out.set(cell.key, cell.number);
+    } else {
+      out.set(cell.key, cell.text);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Record> run_experiment_case(const SweepSpec& spec,
+                                        const SweepCase& sweep_case,
+                                        ExperimentResult* result_out) {
+  ExperimentBuilder builder;
+  if (spec.base_mutator()) spec.base_mutator()(builder);
+  for (const BuilderMutator& mutate : sweep_case.mutators) mutate(builder);
+  if (spec.seeding() == SeedMode::kDerived) builder.seed(sweep_case.seed);
+
+  const ExperimentResult result = builder.build().run();
+
+  std::vector<Record> records;
+  records.reserve(result.apps.size());
+  for (std::size_t i = 0; i < result.apps.size(); ++i) {
+    const AppRunResult& app = result.apps[i];
+    Record r;
+    r.set("app", app.label);
+    r.set("app_index", static_cast<std::int64_t>(i));
+    r.set("target_min", app.target.min);
+    r.set("target_max", app.target.max);
+    r.set("norm_perf", app.metrics.norm_perf);
+    r.set("avg_rate_hps", app.metrics.avg_rate_hps);
+    r.set("avg_power_w", app.metrics.avg_power_w);
+    r.set("perf_per_watt", app.metrics.perf_per_watt);
+    r.set("manager_cpu_pct", app.metrics.manager_cpu_pct);
+    r.set("heartbeats", app.metrics.heartbeats);
+    r.set("in_window_fraction", app.metrics.in_window_fraction);
+    r.set("energy_j", app.metrics.energy_j);
+    r.set("energy_per_beat_j", app.metrics.energy_per_beat_j);
+    r.set("adaptations", result.adaptations);
+    records.push_back(std::move(r));
+  }
+  if (result_out != nullptr) *result_out = result;
+  return records;
+}
+
+SweepEngine::SweepEngine(SweepOptions options) : options_(options) {
+  if (options_.jobs == 0) {
+    options_.jobs =
+        static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (options_.jobs < 1) options_.jobs = 1;
+}
+
+SweepEngine& SweepEngine::add_sink(ResultSink& sink) {
+  sinks_.push_back(&sink);
+  return *this;
+}
+
+SweepReport SweepEngine::run(const SweepSpec& spec) {
+  const auto campaign_start = std::chrono::steady_clock::now();
+  std::vector<SweepCase> cases = spec.expand();
+
+  SweepReport report;
+  report.campaign = spec.campaign();
+  report.jobs = options_.jobs;
+  report.outcomes.resize(cases.size());
+
+  std::vector<char> done(cases.size(), 0);
+  std::mutex emit_mutex;      // Guards done[], emit cursor, and the sinks.
+  std::size_t emit_cursor = 0;
+
+  const auto run_case = [&](std::size_t i) {
+    CaseOutcome outcome;
+    outcome.sweep_case = cases[i];
+    const auto case_start = std::chrono::steady_clock::now();
+    try {
+      std::vector<Record> columns;
+      if (spec.runner()) {
+        columns = spec.runner()(cases[i]);
+      } else {
+        columns = run_experiment_case(
+            spec, cases[i], options_.keep_results ? &outcome.result : nullptr);
+      }
+      const Record prefix = coord_prefix(cases[i], spec.seeding());
+      outcome.records.reserve(columns.size());
+      for (const Record& c : columns) outcome.records.push_back(merge(prefix, c));
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.error = "unknown error";
+    }
+    outcome.wall_ms = elapsed_ms(case_start);
+
+    // Publish, then release the completed prefix to the sinks in order.
+    // A throwing sink is captured as that case's error — it must not
+    // escape the pool task (std::terminate) or stall the cursor.
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    report.outcomes[i] = std::move(outcome);
+    done[i] = 1;
+    while (emit_cursor < done.size() && done[emit_cursor]) {
+      CaseOutcome& ready = report.outcomes[emit_cursor];
+      try {
+        for (const Record& record : ready.records) {
+          for (ResultSink* sink : sinks_) sink->write(record);
+        }
+      } catch (const std::exception& e) {
+        if (ready.error.empty()) {
+          ready.error = std::string("sink write failed: ") + e.what();
+        }
+      } catch (...) {
+        if (ready.error.empty()) ready.error = "sink write failed";
+      }
+      ++emit_cursor;
+    }
+  };
+
+  if (options_.jobs == 1) {
+    for (std::size_t i = 0; i < cases.size(); ++i) run_case(i);
+  } else {
+    WorkStealingPool pool(options_.jobs);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      pool.submit([&run_case, i] { run_case(i); });
+    }
+    pool.wait_idle();
+  }
+
+  for (ResultSink* sink : sinks_) sink->flush();
+  for (const CaseOutcome& outcome : report.outcomes) {
+    if (!outcome.ok()) ++report.failed;
+  }
+  report.wall_ms = elapsed_ms(campaign_start);
+  return report;
+}
+
+}  // namespace hars

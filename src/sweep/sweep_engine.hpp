@@ -1,0 +1,85 @@
+// SweepEngine: executes an expanded SweepSpec on a work-stealing pool.
+//
+// Each case runs as one task: build an ExperimentBuilder (spec base
+// mutator, then the case's axis mutators, then — in SeedMode::kDerived —
+// the case's coordinate-derived seed), run the experiment, and flatten
+// the result into one Record per app. Campaigns with a custom CaseRunner
+// substitute their own evaluation; either way the engine prepends the
+// case coordinates to every record.
+//
+// Results are handed to the attached ResultSinks strictly in case order
+// (a completion cursor releases the ready prefix), so sink output is
+// byte-identical regardless of worker count; per-case metrics are
+// bit-identical because cases share no mutable state and seeds derive
+// from coordinates, not scheduling. Wall-clock numbers live only on the
+// CaseOutcome / SweepReport, never in sink records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "sweep/result_sink.hpp"
+#include "sweep/sweep_spec.hpp"
+
+namespace hars {
+
+struct SweepOptions {
+  /// Worker threads; 1 runs inline on the calling thread, 0 means
+  /// hardware concurrency.
+  int jobs = 1;
+  /// Keep each case's full ExperimentResult (traces can be large; turn
+  /// off for huge campaigns that only need the sink records).
+  bool keep_results = true;
+};
+
+struct CaseOutcome {
+  SweepCase sweep_case;
+  ExperimentResult result;     ///< Default runner + keep_results only.
+  std::vector<Record> records; ///< What the sinks received.
+  double wall_ms = 0.0;
+  std::string error;           ///< Non-empty when the case threw.
+
+  bool ok() const { return error.empty(); }
+};
+
+struct SweepReport {
+  std::string campaign;
+  std::vector<CaseOutcome> outcomes;  ///< In case order.
+  int jobs = 1;
+  double wall_ms = 0.0;  ///< Whole-campaign wall clock.
+  std::size_t failed = 0;
+
+  double cases_per_sec() const {
+    return wall_ms > 0.0 ? 1e3 * static_cast<double>(outcomes.size()) / wall_ms
+                         : 0.0;
+  }
+  const CaseOutcome& outcome(std::size_t i) const { return outcomes.at(i); }
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions options = {});
+
+  /// Attaches a non-owning sink; records stream to it in case order.
+  SweepEngine& add_sink(ResultSink& sink);
+
+  SweepReport run(const SweepSpec& spec);
+
+  int jobs() const { return options_.jobs; }
+
+ private:
+  SweepOptions options_;
+  std::vector<ResultSink*> sinks_;
+};
+
+/// The engine's default evaluation of one case, exposed for reuse (the
+/// hars_sim CLI and tests): applies base + axis mutators (+ derived seed),
+/// runs the experiment, returns one metric Record per app. Coordinates
+/// are NOT included — the engine prepends them.
+std::vector<Record> run_experiment_case(const SweepSpec& spec,
+                                        const SweepCase& sweep_case,
+                                        ExperimentResult* result_out);
+
+}  // namespace hars

@@ -1,0 +1,197 @@
+#include "sweep/sweep_spec.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace hars {
+
+namespace {
+constexpr double kNoNumber = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+AxisPoint::AxisPoint(std::string label_, BuilderMutator mutate_)
+    : label(std::move(label_)), number(kNoNumber), mutate(std::move(mutate_)) {}
+
+AxisPoint::AxisPoint(std::string label_, double number_,
+                     BuilderMutator mutate_)
+    : label(std::move(label_)), number(number_), mutate(std::move(mutate_)) {}
+
+const CaseCoord* SweepCase::find(std::string_view axis) const {
+  for (const CaseCoord& coord : coords) {
+    if (coord.axis == axis) return &coord;
+  }
+  return nullptr;
+}
+
+std::string_view SweepCase::label(std::string_view axis) const {
+  const CaseCoord* coord = find(axis);
+  return coord != nullptr ? std::string_view(coord->label)
+                          : std::string_view();
+}
+
+double SweepCase::number(std::string_view axis) const {
+  const CaseCoord* coord = find(axis);
+  return coord != nullptr ? coord->number : kNoNumber;
+}
+
+SweepSpec& SweepSpec::name(std::string campaign) {
+  name_ = std::move(campaign);
+  return *this;
+}
+
+SweepSpec& SweepSpec::base(BuilderMutator mutate) {
+  base_ = std::move(mutate);
+  return *this;
+}
+
+SweepSpec& SweepSpec::seed_mode(SeedMode mode) {
+  seed_mode_ = mode;
+  return *this;
+}
+
+SweepSpec& SweepSpec::base_seed(std::uint64_t seed) {
+  base_seed_ = seed;
+  return *this;
+}
+
+SweepSpec& SweepSpec::case_runner(CaseRunner runner) {
+  runner_ = std::move(runner);
+  return *this;
+}
+
+SweepSpec& SweepSpec::axis(std::string name, std::vector<AxisPoint> points) {
+  axes_.push_back(SweepAxis{std::move(name), std::move(points)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::benchmarks(const std::vector<ParsecBenchmark>& benches) {
+  std::vector<AxisPoint> points;
+  points.reserve(benches.size());
+  for (ParsecBenchmark bench : benches) {
+    points.emplace_back(parsec_code(bench),
+                        [bench](ExperimentBuilder& b) { b.app(bench); });
+  }
+  return axis("bench", std::move(points));
+}
+
+SweepSpec& SweepSpec::variants(const std::vector<std::string>& names) {
+  std::vector<AxisPoint> points;
+  points.reserve(names.size());
+  for (const std::string& name : names) {
+    points.emplace_back(name,
+                        [name](ExperimentBuilder& b) { b.variant(name); });
+  }
+  return axis("variant", std::move(points));
+}
+
+SweepSpec& SweepSpec::target_fractions(const std::vector<double>& fractions) {
+  std::vector<AxisPoint> points;
+  points.reserve(fractions.size());
+  for (double f : fractions) {
+    points.emplace_back(format_number(f), f, [f](ExperimentBuilder& b) {
+      b.target_fraction(f);
+    });
+  }
+  return axis("fraction", std::move(points));
+}
+
+SweepSpec& SweepSpec::search_distances(const std::vector<int>& distances) {
+  std::vector<AxisPoint> points;
+  points.reserve(distances.size());
+  for (int d : distances) {
+    points.emplace_back(std::to_string(d), static_cast<double>(d),
+                        [d](ExperimentBuilder& b) { b.search_distance(d); });
+  }
+  return axis("distance", std::move(points));
+}
+
+SweepSpec& SweepSpec::durations_sec(const std::vector<double>& seconds) {
+  std::vector<AxisPoint> points;
+  points.reserve(seconds.size());
+  for (double s : seconds) {
+    points.emplace_back(format_number(s), s, [s](ExperimentBuilder& b) {
+      b.duration_sec(s);
+    });
+  }
+  return axis("duration_s", std::move(points));
+}
+
+SweepSpec& SweepSpec::values(
+    std::string name, const std::vector<double>& numbers,
+    std::function<void(ExperimentBuilder&, double)> apply) {
+  std::vector<AxisPoint> points;
+  points.reserve(numbers.size());
+  for (double v : numbers) {
+    BuilderMutator mutate;
+    if (apply) {
+      mutate = [apply, v](ExperimentBuilder& b) { apply(b, v); };
+    }
+    points.emplace_back(format_number(v), v, std::move(mutate));
+  }
+  return axis(std::move(name), std::move(points));
+}
+
+SweepSpec& SweepSpec::add_case(std::vector<CaseCoord> coords,
+                               std::vector<BuilderMutator> mutators) {
+  SweepCase c;
+  c.coords = std::move(coords);
+  c.mutators = std::move(mutators);
+  explicit_cases_.push_back(std::move(c));
+  return *this;
+}
+
+std::uint64_t derive_case_seed(std::uint64_t base_seed,
+                               const std::vector<CaseCoord>& coords) {
+  // FNV-1a over the coordinate identity, finalized through splitmix64 so
+  // structurally similar cases still get well-mixed seeds.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ base_seed;
+  const auto mix_byte = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (const CaseCoord& coord : coords) {
+    for (char c : coord.axis) mix_byte(static_cast<unsigned char>(c));
+    mix_byte('=');
+    for (char c : coord.label) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(';');
+  }
+  std::uint64_t state = h;
+  std::uint64_t seed = splitmix64(state);
+  // Seed 0 is reserved as "unset" by convention; remap deterministically.
+  return seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+}
+
+std::vector<SweepCase> SweepSpec::expand() const {
+  std::vector<SweepCase> cases;
+  if (!axes_.empty()) {
+    std::size_t total = 1;
+    for (const SweepAxis& ax : axes_) {
+      total *= ax.points.empty() ? 0 : ax.points.size();
+    }
+    std::vector<std::size_t> cursor(axes_.size(), 0);
+    for (std::size_t n = 0; n < total; ++n) {
+      SweepCase c;
+      for (std::size_t a = 0; a < axes_.size(); ++a) {
+        const AxisPoint& point = axes_[a].points[cursor[a]];
+        c.coords.push_back(CaseCoord{axes_[a].name, point.label, point.number});
+        if (point.mutate) c.mutators.push_back(point.mutate);
+      }
+      cases.push_back(std::move(c));
+      // Row-major advance: last axis varies fastest.
+      for (std::size_t a = axes_.size(); a-- > 0;) {
+        if (++cursor[a] < axes_[a].points.size()) break;
+        cursor[a] = 0;
+      }
+    }
+  }
+  for (const SweepCase& c : explicit_cases_) cases.push_back(c);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    cases[i].index = i;
+    cases[i].seed = derive_case_seed(base_seed_, cases[i].coords);
+  }
+  return cases;
+}
+
+}  // namespace hars

@@ -1,0 +1,142 @@
+// Declarative experiment campaigns.
+//
+// A SweepSpec names parameter axes — benchmarks, runtime variants, target
+// fractions, search distances, durations, or arbitrary ExperimentBuilder
+// mutators — and expands them into the cartesian grid of SweepCases the
+// SweepEngine executes. An explicit case list can be appended instead of
+// (or alongside) the grid for the irregular corners a product of axes
+// cannot express.
+//
+//   SweepSpec spec;
+//   spec.name("fig5_3")
+//       .base([](ExperimentBuilder& b) { b.duration(90 * kUsPerSec); })
+//       .benchmarks(all_parsec_benchmarks())
+//       .variants({"HARS-EI"})
+//       .search_distances({1, 3, 5, 7, 9});
+//
+// Determinism: expansion is a pure function of the spec, and every case
+// carries a seed derived only from the campaign's base seed and the
+// case's coordinates — never from execution order — so serial and
+// parallel engine runs produce bit-identical metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/parsec.hpp"
+#include "exp/experiment.hpp"
+#include "sweep/result_sink.hpp"
+
+namespace hars {
+
+using BuilderMutator = std::function<void(ExperimentBuilder&)>;
+
+/// One value of an axis: a display label, an optional numeric coordinate
+/// (NaN when the axis is not numeric) and an optional builder mutation.
+struct AxisPoint {
+  std::string label;
+  double number;
+  BuilderMutator mutate;
+
+  AxisPoint(std::string label_, BuilderMutator mutate_ = nullptr);
+  AxisPoint(std::string label_, double number_,
+            BuilderMutator mutate_ = nullptr);
+};
+
+struct SweepAxis {
+  std::string name;
+  std::vector<AxisPoint> points;
+};
+
+/// A case's position along one axis.
+struct CaseCoord {
+  std::string axis;
+  std::string label;
+  double number;  ///< NaN for non-numeric axes.
+};
+
+/// One fully resolved point of the campaign.
+struct SweepCase {
+  std::size_t index = 0;  ///< Position in the expanded list (emission order).
+  std::vector<CaseCoord> coords;            ///< In axis order.
+  std::vector<BuilderMutator> mutators;     ///< In axis order.
+  std::uint64_t seed = 0;                   ///< Coordinate-derived seed.
+
+  const CaseCoord* find(std::string_view axis) const;
+  /// Label along `axis`; empty when the case has no such coordinate.
+  std::string_view label(std::string_view axis) const;
+  /// Numeric coordinate along `axis`; NaN when absent or non-numeric.
+  double number(std::string_view axis) const;
+};
+
+/// How the engine seeds each case's ExperimentBuilder.
+enum class SeedMode {
+  kFixed,    ///< Leave the builder's seed alone (base/mutators decide).
+  kDerived,  ///< Install the case's coordinate-derived seed.
+};
+
+/// Custom per-case evaluation for campaigns that are not a single
+/// Experiment (offline tables, probe-then-run protocols). Returns the
+/// metric columns of one or more result rows; the engine prepends the
+/// case coordinates ("case", the axis names, "seed" in derived mode) to
+/// each — a runner column with the same key overrides the coordinate
+/// value in place rather than duplicating the key.
+using CaseRunner = std::function<std::vector<Record>(const SweepCase&)>;
+
+class SweepSpec {
+ public:
+  // --- Identity / defaults ---
+  SweepSpec& name(std::string campaign);
+  /// Applied to every case's builder before the axis mutators.
+  SweepSpec& base(BuilderMutator mutate);
+  SweepSpec& seed_mode(SeedMode mode);
+  SweepSpec& base_seed(std::uint64_t seed);
+  /// Replaces the default build-and-run evaluation.
+  SweepSpec& case_runner(CaseRunner runner);
+
+  // --- Axes (cartesian product, in declaration order) ---
+  SweepSpec& axis(std::string name, std::vector<AxisPoint> points);
+  SweepSpec& benchmarks(const std::vector<ParsecBenchmark>& benches);
+  SweepSpec& variants(const std::vector<std::string>& names);
+  SweepSpec& target_fractions(const std::vector<double>& fractions);
+  SweepSpec& search_distances(const std::vector<int>& distances);
+  SweepSpec& durations_sec(const std::vector<double>& seconds);
+  /// Numeric axis with a custom application function (pass nullptr for a
+  /// pure-parameter axis read back via SweepCase::number).
+  SweepSpec& values(std::string name, const std::vector<double>& numbers,
+                    std::function<void(ExperimentBuilder&, double)> apply);
+
+  // --- Explicit case list (appended after the grid) ---
+  SweepSpec& add_case(std::vector<CaseCoord> coords,
+                      std::vector<BuilderMutator> mutators);
+
+  /// Expands grid + explicit cases, stamping indices and derived seeds.
+  std::vector<SweepCase> expand() const;
+
+  const std::string& campaign() const { return name_; }
+  const BuilderMutator& base_mutator() const { return base_; }
+  SeedMode seeding() const { return seed_mode_; }
+  std::uint64_t campaign_seed() const { return base_seed_; }
+  const CaseRunner& runner() const { return runner_; }
+  const std::vector<SweepAxis>& axes() const { return axes_; }
+
+ private:
+  std::string name_ = "sweep";
+  BuilderMutator base_;
+  SeedMode seed_mode_ = SeedMode::kFixed;
+  std::uint64_t base_seed_ = 1;
+  CaseRunner runner_;
+  std::vector<SweepAxis> axes_;
+  std::vector<SweepCase> explicit_cases_;
+};
+
+/// The seed SweepSpec::expand() stamps on a case: a splitmix64-style hash
+/// of the campaign seed and the case's (axis, label) coordinates —
+/// independent of case index and execution order.
+std::uint64_t derive_case_seed(std::uint64_t base_seed,
+                               const std::vector<CaseCoord>& coords);
+
+}  // namespace hars

@@ -1,0 +1,47 @@
+// Keyed compute-once cache, safe for concurrent sweep workers.
+//
+// The map itself is guarded by a mutex, but the (potentially expensive —
+// whole probe simulations) computation runs outside it under a per-key
+// once_flag: concurrent lookups of different keys compute in parallel,
+// concurrent lookups of the same key compute exactly once and everyone
+// observes the same value — which is what keeps cached and uncached sweep
+// cases bit-identical. A computation that throws leaves the flag unset,
+// so a later call retries.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace hars {
+
+template <typename Key, typename Value>
+class OnceCache {
+ public:
+  /// Returns the cached value for `key`, computing it via `fn` on first
+  /// use. The returned copy is taken under the entry's completed
+  /// once_flag, so it never observes a partial write.
+  template <typename Fn>
+  Value get_or_compute(const Key& key, Fn&& fn) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::shared_ptr<Entry>& slot = entries_[key];
+      if (!slot) slot = std::make_shared<Entry>();
+      entry = slot;
+    }
+    std::call_once(entry->once, [&] { entry->value = fn(); });
+    return entry->value;
+  }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    Value value;
+  };
+
+  std::mutex mutex_;
+  std::map<Key, std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace hars

@@ -1,7 +1,9 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace hars {
 
@@ -45,7 +47,8 @@ double OnlineStats::variance() const {
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
 double geomean(std::span<const double> values) {
-  if (values.empty()) return 0.0;
+  assert(!values.empty() && "geomean of empty input");
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   double log_sum = 0.0;
   for (double v : values) {
     if (v <= 0.0) return 0.0;
@@ -55,7 +58,8 @@ double geomean(std::span<const double> values) {
 }
 
 double mean(std::span<const double> values) {
-  if (values.empty()) return 0.0;
+  assert(!values.empty() && "mean of empty input");
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   double sum = 0.0;
   for (double v : values) sum += v;
   return sum / static_cast<double>(values.size());

@@ -33,10 +33,13 @@ class OnlineStats {
   double max_ = 0.0;
 };
 
-/// Geometric mean of strictly positive values; returns 0 for empty input.
+/// Geometric mean of strictly positive values. An empty input has no
+/// mean: asserts in debug builds and returns NaN in release; any
+/// non-positive value yields 0.
 double geomean(std::span<const double> values);
 
-/// Arithmetic mean; returns 0 for empty input.
+/// Arithmetic mean. An empty input has no mean: asserts in debug builds
+/// and returns NaN in release.
 double mean(std::span<const double> values);
 
 /// Result of a simple (one- or multi-feature) least-squares fit.

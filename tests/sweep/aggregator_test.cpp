@@ -1,0 +1,77 @@
+#include "sweep/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hars {
+namespace {
+
+Record row(const std::string& variant, const std::string& bench, double pp,
+           double util) {
+  Record r;
+  r.set("variant", variant);
+  r.set("bench", bench);
+  r.set("perf_per_watt", pp);
+  r.set("manager_cpu_pct", util);
+  return r;
+}
+
+TEST(Aggregator, GroupedGeomeanAndMean) {
+  std::vector<Record> rows;
+  rows.push_back(row("HARS-E", "SW", 1.0, 2.0));
+  rows.push_back(row("HARS-E", "BO", 4.0, 4.0));
+  rows.push_back(row("Baseline", "SW", 16.0, 0.0));
+
+  Aggregator agg;
+  agg.group_by({"variant"}).geomean("perf_per_watt").mean("manager_cpu_pct");
+  const std::vector<Record> out = agg.apply(rows);
+
+  ASSERT_EQ(out.size(), 2u);  // First-appearance order.
+  EXPECT_EQ(out[0].text("variant"), "HARS-E");
+  EXPECT_DOUBLE_EQ(out[0].number("geomean_perf_per_watt"), 2.0);
+  EXPECT_DOUBLE_EQ(out[0].number("mean_manager_cpu_pct"), 3.0);
+  EXPECT_DOUBLE_EQ(out[0].number("rows"), 2.0);
+  EXPECT_EQ(out[1].text("variant"), "Baseline");
+  EXPECT_DOUBLE_EQ(out[1].number("geomean_perf_per_watt"), 16.0);
+  EXPECT_DOUBLE_EQ(out[1].number("rows"), 1.0);
+}
+
+TEST(Aggregator, MultiKeyGrouping) {
+  std::vector<Record> rows;
+  rows.push_back(row("A", "SW", 2.0, 0.0));
+  rows.push_back(row("A", "BO", 8.0, 0.0));
+  rows.push_back(row("A", "SW", 8.0, 0.0));
+
+  Aggregator agg;
+  agg.group_by({"variant", "bench"}).geomean("perf_per_watt");
+  const std::vector<Record> out = agg.apply(rows);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].text("bench"), "SW");
+  EXPECT_DOUBLE_EQ(out[0].number("geomean_perf_per_watt"), 4.0);
+  EXPECT_DOUBLE_EQ(out[1].number("geomean_perf_per_watt"), 8.0);
+}
+
+TEST(Aggregator, MissingColumnReducesToNaN) {
+  std::vector<Record> rows;
+  Record r;
+  r.set("variant", "A");
+  rows.push_back(r);
+
+  Aggregator agg;
+  agg.group_by({"variant"}).geomean("perf_per_watt");
+  const std::vector<Record> out = agg.apply(rows);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(std::isnan(out[0].number("geomean_perf_per_watt")));
+  EXPECT_DOUBLE_EQ(out[0].number("rows"), 1.0);
+}
+
+TEST(Aggregator, EmptyInputYieldsNoGroups) {
+  Aggregator agg;
+  agg.group_by({"variant"}).mean("x");
+  EXPECT_TRUE(agg.apply(std::vector<Record>{}).empty());
+}
+
+}  // namespace
+}  // namespace hars

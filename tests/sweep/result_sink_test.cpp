@@ -1,0 +1,115 @@
+#include "sweep/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace hars {
+namespace {
+
+Record sample_record(const std::string& bench, double pp, std::int64_t beats) {
+  Record r;
+  r.set("bench", bench);
+  r.set("perf_per_watt", pp);
+  r.set("heartbeats", beats);
+  return r;
+}
+
+TEST(Record, SetOnExistingKeyReplacesInPlace) {
+  Record r;
+  r.set("a", 1.0).set("b", "x").set("a", "overridden");
+  ASSERT_EQ(r.cells().size(), 2u);
+  EXPECT_EQ(r.cells()[0].key, "a");  // Original column position kept.
+  EXPECT_EQ(r.text("a"), "overridden");
+  EXPECT_TRUE(std::isnan(r.number("a")));  // No longer numeric.
+  r.set("b", 7.5);
+  EXPECT_DOUBLE_EQ(r.number("b"), 7.5);
+}
+
+TEST(Record, CellAccess) {
+  const Record r = sample_record("SW", 0.25, 42);
+  EXPECT_EQ(r.text("bench"), "SW");
+  EXPECT_DOUBLE_EQ(r.number("perf_per_watt"), 0.25);
+  EXPECT_DOUBLE_EQ(r.number("heartbeats"), 42.0);
+  EXPECT_TRUE(std::isnan(r.number("bench")));     // Non-numeric cell.
+  EXPECT_TRUE(std::isnan(r.number("missing")));
+  EXPECT_EQ(r.text("missing"), "");
+}
+
+TEST(Record, FormatNumberIsShortestRoundTrip) {
+  EXPECT_EQ(format_number(0.5), "0.5");
+  EXPECT_EQ(format_number(2.0), "2");
+  EXPECT_EQ(format_number(0.1), "0.1");
+  EXPECT_EQ(format_number(-3.25), "-3.25");
+}
+
+TEST(FindRecord, MatchesAllPairs) {
+  std::vector<Record> rows;
+  rows.push_back(sample_record("SW", 0.5, 1));
+  rows.push_back(sample_record("BO", 0.75, 2));
+  const Record* hit = find_record(rows, {{"bench", "BO"}});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->number("perf_per_watt"), 0.75);
+  EXPECT_EQ(find_record(rows, {{"bench", "FL"}}), nullptr);
+  EXPECT_DOUBLE_EQ(record_number(rows, {{"bench", "SW"}}, "perf_per_watt"),
+                   0.5);
+  EXPECT_TRUE(
+      std::isnan(record_number(rows, {{"bench", "FL"}}, "perf_per_watt")));
+}
+
+TEST(TableSink, CollectsRows) {
+  TableSink sink;
+  sink.write(sample_record("SW", 0.5, 1));
+  sink.write(sample_record("BO", 0.75, 2));
+  ASSERT_EQ(sink.rows().size(), 2u);
+  EXPECT_EQ(sink.rows()[1].text("bench"), "BO");
+}
+
+TEST(CsvSink, GoldenOutput) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.write(sample_record("SW", 0.5, 12));
+  sink.write(sample_record("BO", 2.0, 7));
+  sink.flush();
+  EXPECT_EQ(out.str(),
+            "bench,perf_per_watt,heartbeats\n"
+            "SW,0.5,12\n"
+            "BO,2,7\n");
+}
+
+TEST(CsvSink, EscapesAndAlignsToHeader) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  Record first;
+  first.set("label", "has,comma");
+  first.set("value", 1.0);
+  sink.write(first);
+  // Second record: missing "label", extra key ignored by the header.
+  Record second;
+  second.set("value", 2.0);
+  second.set("extra", 9.0);
+  sink.write(second);
+  EXPECT_EQ(out.str(),
+            "label,value\n"
+            "\"has,comma\",1\n"
+            ",2\n");
+}
+
+TEST(JsonlSink, GoldenOutput) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.write(sample_record("SW", 0.5, 12));
+  Record quirky;
+  quirky.set("name", "say \"hi\"\n");
+  quirky.set("bad", std::nan(""));
+  sink.write(quirky);
+  sink.flush();
+  EXPECT_EQ(out.str(),
+            "{\"bench\":\"SW\",\"perf_per_watt\":0.5,\"heartbeats\":12}\n"
+            "{\"name\":\"say \\\"hi\\\"\\n\",\"bad\":null}\n");
+}
+
+}  // namespace
+}  // namespace hars

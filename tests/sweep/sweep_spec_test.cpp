@@ -1,0 +1,106 @@
+#include "sweep/sweep_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hars {
+namespace {
+
+TEST(SweepSpec, CartesianExpansionRowMajor) {
+  SweepSpec spec;
+  spec.benchmarks({ParsecBenchmark::kSwaptions, ParsecBenchmark::kBodytrack})
+      .search_distances({1, 3, 5});
+  const std::vector<SweepCase> cases = spec.expand();
+  ASSERT_EQ(cases.size(), 6u);
+  // Last axis varies fastest.
+  EXPECT_EQ(cases[0].label("bench"), "SW");
+  EXPECT_EQ(cases[0].label("distance"), "1");
+  EXPECT_EQ(cases[1].label("bench"), "SW");
+  EXPECT_EQ(cases[1].label("distance"), "3");
+  EXPECT_EQ(cases[3].label("bench"), "BO");
+  EXPECT_EQ(cases[3].label("distance"), "1");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(cases[i].index, i);
+  }
+}
+
+TEST(SweepSpec, NumericAxesCarryNumbers) {
+  SweepSpec spec;
+  spec.target_fractions({0.5, 0.75}).search_distances({7});
+  const std::vector<SweepCase> cases = spec.expand();
+  ASSERT_EQ(cases.size(), 2u);
+  EXPECT_DOUBLE_EQ(cases[0].number("fraction"), 0.5);
+  EXPECT_DOUBLE_EQ(cases[1].number("fraction"), 0.75);
+  EXPECT_DOUBLE_EQ(cases[0].number("distance"), 7.0);
+  EXPECT_EQ(cases[0].label("fraction"), "0.5");
+  EXPECT_TRUE(std::isnan(cases[0].number("no_such_axis")));
+  EXPECT_EQ(cases[0].label("no_such_axis"), "");
+}
+
+TEST(SweepSpec, VariantAxisMutatesBuilder) {
+  SweepSpec spec;
+  spec.benchmarks({ParsecBenchmark::kSwaptions}).variants({"HARS-EI"});
+  const std::vector<SweepCase> cases = spec.expand();
+  ASSERT_EQ(cases.size(), 1u);
+  ExperimentBuilder builder;
+  for (const BuilderMutator& mutate : cases[0].mutators) mutate(builder);
+  const Experiment exp = builder.build();
+  EXPECT_EQ(exp.spec().variant, "HARS-EI");
+  ASSERT_EQ(exp.spec().apps.size(), 1u);
+  EXPECT_EQ(exp.spec().apps[0].label, "SW");
+}
+
+TEST(SweepSpec, PureParameterAxisHasNoMutator) {
+  SweepSpec spec;
+  spec.values("t", {1.0, 2.0}, nullptr);
+  const std::vector<SweepCase> cases = spec.expand();
+  ASSERT_EQ(cases.size(), 2u);
+  EXPECT_TRUE(cases[0].mutators.empty());
+  EXPECT_DOUBLE_EQ(cases[1].number("t"), 2.0);
+}
+
+TEST(SweepSpec, ExplicitCasesAppendAfterGrid) {
+  SweepSpec spec;
+  spec.search_distances({1});
+  spec.add_case({CaseCoord{"custom", "special", 42.0}}, {});
+  const std::vector<SweepCase> cases = spec.expand();
+  ASSERT_EQ(cases.size(), 2u);
+  EXPECT_EQ(cases[0].label("distance"), "1");
+  EXPECT_EQ(cases[1].label("custom"), "special");
+  EXPECT_DOUBLE_EQ(cases[1].number("custom"), 42.0);
+  EXPECT_EQ(cases[1].index, 1u);
+  EXPECT_NE(cases[1].seed, 0u);
+}
+
+TEST(SweepSpec, EmptyAxisYieldsNoCases) {
+  SweepSpec spec;
+  spec.benchmarks({ParsecBenchmark::kSwaptions}).variants({});
+  EXPECT_TRUE(spec.expand().empty());
+}
+
+TEST(SweepSpec, DerivedSeedsAreCoordinateStableAndDistinct) {
+  SweepSpec spec;
+  spec.base_seed(7)
+      .benchmarks({ParsecBenchmark::kSwaptions, ParsecBenchmark::kBodytrack})
+      .search_distances({1, 3});
+  const std::vector<SweepCase> a = spec.expand();
+  const std::vector<SweepCase> b = spec.expand();
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Same spec => same seeds (independent of expansion call).
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      EXPECT_NE(a[i].seed, a[j].seed);
+    }
+  }
+  // The seed depends on coordinates, not on the case's grid position.
+  EXPECT_EQ(a[1].seed, derive_case_seed(7, a[1].coords));
+  // A different campaign seed shifts every case seed.
+  SweepSpec other = spec;
+  other.base_seed(8);
+  EXPECT_NE(other.expand()[0].seed, a[0].seed);
+}
+
+}  // namespace
+}  // namespace hars

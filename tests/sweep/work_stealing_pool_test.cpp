@@ -1,0 +1,78 @@
+#include "sweep/work_stealing_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace hars {
+namespace {
+
+TEST(WorkStealingPool, RunsEveryTask) {
+  WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(WorkStealingPool, ClampsWorkerCount) {
+  WorkStealingPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(WorkStealingPool, WaitIdleWithNoTasksReturns) {
+  WorkStealingPool pool(2);
+  pool.wait_idle();  // Must not hang.
+}
+
+TEST(WorkStealingPool, TasksSubmittedFromTasksRun) {
+  WorkStealingPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&pool, &count] {
+      ++count;
+      pool.submit([&count] { ++count; });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(WorkStealingPool, UnevenWorkIsStolen) {
+  // One long task pins a worker; the short tasks dealt to its deque must
+  // be stolen by the others for the pool to finish promptly.
+  WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_GT(pool.steal_count(), 0u);
+}
+
+TEST(WorkStealingPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    WorkStealingPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace hars

@@ -63,16 +63,34 @@ TEST(Geomean, KnownValues) {
   EXPECT_NEAR(geomean(v), 4.0, 1e-12);
 }
 
-TEST(Geomean, EmptyAndNonPositive) {
-  EXPECT_EQ(geomean({}), 0.0);
+TEST(Geomean, NonPositiveIsZero) {
   const std::vector<double> with_zero{1.0, 0.0};
   EXPECT_EQ(geomean(with_zero), 0.0);
+  const std::vector<double> with_negative{2.0, -1.0};
+  EXPECT_EQ(geomean(with_negative), 0.0);
+}
+
+// An empty input has no mean: debug builds assert, release builds return
+// NaN (so a missing series can never masquerade as a real 0.0 statistic).
+TEST(Geomean, EmptyHasNoValue) {
+#ifdef NDEBUG
+  EXPECT_TRUE(std::isnan(geomean({})));
+#else
+  EXPECT_DEATH(geomean({}), "empty");
+#endif
 }
 
 TEST(Mean, Basic) {
   const std::vector<double> v{1.0, 2.0, 6.0};
   EXPECT_DOUBLE_EQ(mean(v), 3.0);
-  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Mean, EmptyHasNoValue) {
+#ifdef NDEBUG
+  EXPECT_TRUE(std::isnan(mean({})));
+#else
+  EXPECT_DEATH(mean({}), "empty");
+#endif
 }
 
 TEST(FitLinear1d, RecoversPlantedLine) {

@@ -2,6 +2,8 @@
 //
 //   hars_sim --bench SW --version HARS-E --fraction 0.5 --duration 120
 //            [--trace trace.csv]
+//   hars_sim sweep --bench SW --bench BO --version Baseline --version HARS-E
+//            --jobs 4 [--csv out.csv] [--jsonl out.jsonl]
 //
 // Runs one or more benchmarks under any registered runtime version on the
 // simulated big.LITTLE platform and prints the metrics the paper's
@@ -10,14 +12,25 @@
 // variants); repeat --bench to run a multi-application case. With
 // --trace, each app's behaviour trace (heartbeat rate, core counts,
 // frequencies) is written as CSV.
+//
+// In `sweep` mode, repeated --bench/--version/--fraction/--distance flags
+// become axes of a cartesian campaign executed on the work-stealing pool
+// (--jobs N; 0 = hardware concurrency); results stream to stdout as a
+// table and optionally to --csv / --jsonl sinks. --derive-seeds gives
+// every case a coordinate-derived RNG seed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/report.hpp"
 #include "exp/variant_registry.hpp"
+#include "sweep/sweep_cli.hpp"
+#include "sweep/sweep_engine.hpp"
 #include "util/csv.hpp"
 
 namespace {
@@ -31,12 +44,14 @@ void usage() {
     versions += name;
   }
   std::printf(
-      "usage: hars_sim [options]\n"
+      "usage: hars_sim [sweep] [options]\n"
       "  --bench NAME      BL|BO|FA|FE|FL|SW (default SW); repeat for a\n"
-      "                    multi-application case\n"
+      "                    multi-application case (run mode) or a bench\n"
+      "                    axis (sweep mode)\n"
       "  --version NAME    %s\n"
-      "                    (default HARS-E)\n"
-      "  --fraction F      target as fraction of max achievable (default 0.5)\n"
+      "                    (default HARS-E); repeatable in sweep mode\n"
+      "  --fraction F      target as fraction of max achievable (default 0.5);\n"
+      "                    repeatable in sweep mode\n"
       "  --duration SEC    measured run length in simulated seconds (default 120)\n"
       "  --threads N       application threads (default 8)\n"
       "  --seed N          deterministic seed (default 1)\n"
@@ -44,7 +59,13 @@ void usage() {
       "  --predictor NAME  last-value|kalman (HARS versions)\n"
       "  --policy NAME     incremental|exhaustive|tabu (HARS versions)\n"
       "  --learn-ratio     enable online big:little ratio learning\n"
-      "  --trace FILE      write the behaviour trace(s) as CSV\n"
+      "  --trace FILE      write the behaviour trace(s) as CSV (run mode)\n"
+      "sweep mode only:\n"
+      "  --distance D      HARS-EI search distance axis; repeatable\n"
+      "  --jobs N          pool workers (default 1; 0 = hardware threads)\n"
+      "  --csv FILE        write result records as CSV\n"
+      "  --jsonl FILE      write result records as JSON lines\n"
+      "  --derive-seeds    per-case coordinate-derived RNG seeds\n"
       "  --help            this text\n",
       versions.c_str());
 }
@@ -77,9 +98,150 @@ void write_trace(const std::string& path, const AppRunResult& app) {
               app.trace.size());
 }
 
+int run_sweep_mode(int argc, char** argv) {
+  std::vector<ParsecBenchmark> benches;
+  std::vector<std::string> versions;
+  std::vector<double> fractions;
+  std::vector<int> distances;
+  double duration_sec = 120.0;
+  int threads = 8;
+  std::uint64_t seed = 1;
+  bool derive_seeds = false;
+  std::string csv_path;
+  std::string jsonl_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      usage();
+      return 0;
+    } else if (arg == "--bench") {
+      ParsecBenchmark bench;
+      if (!parse_bench(next(), &bench)) {
+        std::fprintf(stderr, "unknown benchmark\n");
+        return 2;
+      }
+      benches.push_back(bench);
+    } else if (arg == "--version") {
+      const std::string version = next();
+      if (VariantRegistry::instance().find(version) == nullptr) {
+        std::fprintf(stderr, "unknown version %s\n", version.c_str());
+        return 2;
+      }
+      versions.push_back(version);
+    } else if (arg == "--fraction") {
+      fractions.push_back(std::atof(next()));
+    } else if (arg == "--distance") {
+      distances.push_back(std::atoi(next()));
+    } else if (arg == "--duration") {
+      duration_sec = std::atof(next());
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--derive-seeds") {
+      derive_seeds = true;
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--jsonl") {
+      jsonl_path = next();
+    } else if (arg == "--jobs") {
+      next();  // Consumed again by sweep_options_from_cli.
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      // Parsed by sweep_options_from_cli.
+    } else {
+      std::fprintf(stderr, "unknown sweep option %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (benches.empty()) benches.push_back(ParsecBenchmark::kSwaptions);
+  if (versions.empty()) versions.push_back("HARS-E");
+
+  SweepSpec spec;
+  spec.name("hars_sim_sweep")
+      .base([duration_sec, threads, seed](ExperimentBuilder& b) {
+        b.duration_sec(duration_sec).threads(threads).seed(seed);
+      })
+      .base_seed(seed)
+      .benchmarks(benches)
+      .variants(versions);
+  if (!fractions.empty()) spec.target_fractions(fractions);
+  if (!distances.empty()) spec.search_distances(distances);
+  if (derive_seeds) spec.seed_mode(SeedMode::kDerived);
+
+  TableSink table_sink;
+  std::unique_ptr<CsvSink> csv_sink;
+  std::unique_ptr<JsonlSink> jsonl_sink;
+  SweepOptions options = sweep_options_from_cli(argc, argv);
+  options.keep_results = false;
+  SweepEngine engine(options);
+  engine.add_sink(table_sink);
+  if (!csv_path.empty()) {
+    csv_sink = std::make_unique<CsvSink>(csv_path);
+    if (!csv_sink->ok()) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    engine.add_sink(*csv_sink);
+  }
+  if (!jsonl_path.empty()) {
+    jsonl_sink = std::make_unique<JsonlSink>(jsonl_path);
+    if (!jsonl_sink->ok()) {
+      std::fprintf(stderr, "cannot write %s\n", jsonl_path.c_str());
+      return 1;
+    }
+    engine.add_sink(*jsonl_sink);
+  }
+
+  const SweepReport report = engine.run(spec);
+  const std::size_t failures = report_sweep_failures(std::cerr, report);
+
+  ReportTable table("sweep results");
+  std::vector<std::string> columns{"bench", "variant"};
+  if (!fractions.empty()) columns.push_back("fraction");
+  if (!distances.empty()) columns.push_back("distance");
+  for (const char* metric : {"norm_perf", "avg_power_w", "perf_per_watt",
+                             "in_window_fraction"}) {
+    columns.push_back(metric);
+  }
+  table.set_columns(columns);
+  for (const Record& row : table_sink.rows()) {
+    std::vector<std::string> cells;
+    for (const std::string& column : columns) {
+      const RecordCell* cell = row.find(column);
+      cells.push_back(cell != nullptr
+                          ? (cell->numeric ? format_value(cell->number)
+                                           : cell->text)
+                          : std::string());
+    }
+    table.add_text_row(cells);
+  }
+  table.print(std::cout);
+
+  if (!csv_path.empty()) std::printf("csv              %s\n", csv_path.c_str());
+  if (!jsonl_path.empty()) {
+    std::printf("jsonl            %s\n", jsonl_path.c_str());
+  }
+  print_sweep_summary(std::cout, report);
+  return failures > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
+    return run_sweep_mode(argc, argv);
+  }
+
   std::vector<ParsecBenchmark> benches;
   std::string version = "HARS-E";
   ExperimentBuilder builder;
@@ -146,6 +308,10 @@ int main(int argc, char** argv) {
       builder.policy(*policy);
     } else if (arg == "--learn-ratio") {
       builder.learn_ratio(true);
+    } else if (arg == "--jobs") {
+      next();  // Accepted for symmetry with sweep mode; one run is serial.
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      // Accepted for symmetry with sweep mode; one run is serial.
     } else if (arg == "--trace") {
       trace_path = next();
     } else {
