@@ -1,8 +1,9 @@
 // Bring-your-own-platform: HARS is not tied to the Exynos 5422 preset.
-// This example defines a modern laptop-like 2-big + 6-little part, runs
-// the same self-adaptive application on it, and lets HARS find an
-// efficient state (cf. the reproduction note: modern P/E-core parts are
-// the natural target for this runtime today).
+// This example declares a modern laptop-like 2-big + 6-little part as a
+// PlatformSpec (topology + power parameters + calibration default in one
+// value), registers it so sweeps can reference it by name, and lets HARS
+// find an efficient state (cf. the reproduction note: modern P/E-core
+// parts are the natural target for this runtime today).
 //
 //   $ ./custom_platform
 #include <cstdio>
@@ -10,33 +11,35 @@
 
 #include "apps/data_parallel_app.hpp"
 #include "exp/experiment.hpp"
+#include "hmp/platform_registry.hpp"
 
 int main() {
   using namespace hars;
 
   // A P/E-core-style machine: 2 fast wide cores + 6 efficiency cores.
-  MachineSpec spec;
-  spec.name = "laptop-2P6E";
-  ClusterSpec e_cores;
-  e_cores.type = CoreType::kLittle;
-  e_cores.core_count = 6;
-  e_cores.ipc = 2.0;
-  for (double f = 0.8; f < 2.01; f += 0.2) e_cores.freqs_ghz.push_back(f);
-  ClusterSpec p_cores;
-  p_cores.type = CoreType::kBig;
-  p_cores.core_count = 2;
-  p_cores.ipc = 4.0;
-  for (double f = 1.0; f < 3.61; f += 0.2) p_cores.freqs_ghz.push_back(f);
-  spec.clusters = {e_cores, p_cores};
+  // The builder attaches per-core-type default power parameters; override
+  // any cluster's with .power(...).
+  const PlatformSpec laptop = PlatformBuilder()
+                                  .name("laptop-2P6E")
+                                  .cluster(CoreType::kLittle, 6, 2.0)
+                                  .freq_range_ghz(0.8, 2.01, 0.2)
+                                  .cluster(CoreType::kBig, 2, 4.0)
+                                  .freq_range_ghz(1.0, 3.61, 0.2)
+                                  .base_watts(0.9)
+                                  .build();
 
-  const Machine machine(spec);
+  // Optional: register it so `.platform("laptop-2P6E")` and sweep
+  // `platforms({...})` axes resolve the name anywhere in the process.
+  PlatformRegistry::instance().register_platform(laptop);
+
+  const Machine machine = laptop.make_machine();
   std::printf("machine: %s, %d cores (%d P + %d E), P up to %.1f GHz\n\n",
               machine.spec().name.c_str(), machine.num_cores(),
-              machine.cluster_core_count(machine.big_cluster()),
-              machine.cluster_core_count(machine.little_cluster()),
+              machine.cluster_core_count(machine.fastest_cluster()),
+              machine.cluster_core_count(machine.slowest_cluster()),
               machine.freq_ghz_at_level(
-                  machine.big_cluster(),
-                  machine.max_freq_level(machine.big_cluster())));
+                  machine.fastest_cluster(),
+                  machine.max_freq_level(machine.fastest_cluster())));
 
   const AppFactory render_app = [](int threads, std::uint64_t seed) {
     DataParallelConfig cfg;
@@ -49,7 +52,7 @@ int main() {
 
   const ExperimentResult result =
       ExperimentBuilder()
-          .platform(machine)
+          .platform("laptop-2P6E")
           .app("render", render_app)
           .target(PerfTarget::around(2.5))
           .variant("HARS-EI")

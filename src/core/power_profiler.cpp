@@ -52,9 +52,9 @@ PowerCoeffTable profile_power(const Machine& machine, const PowerModel& model,
                               const ProfilerConfig& config) {
   Rng rng(config.seed);
   PowerCoeffTable table;
-  table.big = profile_cluster(machine, model, machine.big_cluster(), config, rng);
+  table.big = profile_cluster(machine, model, machine.fastest_cluster(), config, rng);
   table.little =
-      profile_cluster(machine, model, machine.little_cluster(), config, rng);
+      profile_cluster(machine, model, machine.slowest_cluster(), config, rng);
   return table;
 }
 

@@ -28,21 +28,21 @@ RuntimeManager::RuntimeManager(SimEngine& engine, AppId app, PerfTarget target,
 
 CpuMask RuntimeManager::big_set(const SystemState& s) const {
   const Machine& m = engine_.machine();
-  const CoreId first = m.big_mask().first();
+  const CoreId first = m.fastest_mask().first();
   return CpuMask::range(first, s.big_cores);
 }
 
 CpuMask RuntimeManager::little_set(const SystemState& s) const {
   const Machine& m = engine_.machine();
-  const CoreId first = m.little_mask().first();
+  const CoreId first = m.slowest_mask().first();
   return CpuMask::range(first, s.little_cores);
 }
 
 void RuntimeManager::apply_state(const SystemState& state) {
   state_ = state;
   Machine& m = engine_.machine();
-  m.set_freq_level(m.big_cluster(), state.big_freq);
-  m.set_freq_level(m.little_cluster(), state.little_freq);
+  m.set_freq_level(m.fastest_cluster(), state.big_freq);
+  m.set_freq_level(m.slowest_cluster(), state.little_freq);
   const int t = engine_.app(app_).thread_count();
   const ThreadAssignment a = perf_est_.assignment(state, t);
   apply_thread_schedule(engine_, app_, config_.scheduler, a, big_set(state),
@@ -70,8 +70,8 @@ TimeUs RuntimeManager::on_tick(TimeUs now) {
   const Machine& m = engine_.machine();
   trace_.push_back(TracePoint{
       idx, measured_rate, state_.big_cores, state_.little_cores,
-      m.freq_ghz_at_level(m.big_cluster(), state_.big_freq),
-      m.freq_ghz_at_level(m.little_cluster(), state_.little_freq)});
+      m.freq_ghz_at_level(m.fastest_cluster(), state_.big_freq),
+      m.freq_ghz_at_level(m.slowest_cluster(), state_.little_freq)});
 
   if (idx % config_.adapt_period != 0) return cost;  // isAdaptPeriod
   if (rate <= 0.0) return cost;  // Not enough beats for a windowed rate yet.

@@ -21,10 +21,10 @@ int manhattan_distance(const SystemState& a, const SystemState& b) {
 
 StateSpace StateSpace::from_machine(const Machine& machine) {
   StateSpace space;
-  space.max_big_cores = machine.cluster_core_count(machine.big_cluster());
-  space.max_little_cores = machine.cluster_core_count(machine.little_cluster());
-  space.num_big_freqs = machine.num_freq_levels(machine.big_cluster());
-  space.num_little_freqs = machine.num_freq_levels(machine.little_cluster());
+  space.max_big_cores = machine.cluster_core_count(machine.fastest_cluster());
+  space.max_little_cores = machine.cluster_core_count(machine.slowest_cluster());
+  space.num_big_freqs = machine.num_freq_levels(machine.fastest_cluster());
+  space.num_little_freqs = machine.num_freq_levels(machine.slowest_cluster());
   return space;
 }
 

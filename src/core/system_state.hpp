@@ -26,7 +26,10 @@ int manhattan_distance(const SystemState& a, const SystemState& b);
 
 /// Inclusive bounds of the explorable space. For single-application HARS
 /// these are the machine limits; MP-HARS narrows the core bounds to
-/// "own cores + free cores" (§4.1.2).
+/// "own cores + free cores" (§4.1.2). On N-cluster machines the "big"
+/// dimensions map onto the fastest cluster and the "little" dimensions
+/// onto the slowest (Machine's perf-ranked capability API); middle
+/// clusters stay under OS-scheduler control.
 struct StateSpace {
   int max_big_cores = 4;
   int max_little_cores = 4;

@@ -1,22 +1,26 @@
 #include "exp/calibration.hpp"
 
 #include <memory>
+#include <string>
 #include <tuple>
 
 #include "exp/metrics.hpp"
+#include "hmp/platform_registry.hpp"
 #include "hmp/sim_engine.hpp"
 #include "sched/gts.hpp"
 #include "util/once_cache.hpp"
 
 namespace hars {
 
-Calibration calibrate_benchmark(ParsecBenchmark bench, int threads,
+Calibration calibrate_benchmark(const PlatformSpec& platform,
+                                ParsecBenchmark bench, int threads,
                                 std::uint64_t seed, TimeUs duration) {
-  using Key = std::tuple<int, int, std::uint64_t, TimeUs>;
+  using Key = std::tuple<std::string, int, int, std::uint64_t, TimeUs>;
   static OnceCache<Key, Calibration> cache;
-  const Key key{static_cast<int>(bench), threads, seed, duration};
+  const Key key{platform.signature(), static_cast<int>(bench), threads, seed,
+                duration};
   return cache.get_or_compute(key, [&] {
-    SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
+    SimEngine engine(platform, std::make_unique<GtsScheduler>());
     std::unique_ptr<App> app = make_parsec_app(bench, threads, seed);
     const AppId id = engine.add_app(app.get());
     (void)id;
@@ -37,6 +41,12 @@ Calibration calibrate_benchmark(ParsecBenchmark bench, int threads,
     cal.high_target = cal.target_for_fraction(0.75);
     return cal;
   });
+}
+
+Calibration calibrate_benchmark(ParsecBenchmark bench, int threads,
+                                std::uint64_t seed, TimeUs duration) {
+  return calibrate_benchmark(PlatformRegistry::instance().get("exynos5422"),
+                             bench, threads, seed, duration);
 }
 
 }  // namespace hars

@@ -6,6 +6,7 @@
 
 #include "apps/parsec.hpp"
 #include "heartbeats/heartbeat.hpp"
+#include "hmp/platform_spec.hpp"
 #include "util/common.hpp"
 
 namespace hars {
@@ -20,8 +21,15 @@ struct Calibration {
   }
 };
 
-/// Runs the baseline measurement. Results are memoized per (bench, seed,
-/// threads) because every figure re-uses the same calibration.
+/// Runs the baseline measurement on `platform`. Results are memoized per
+/// (platform signature, bench, seed, threads, duration) because every
+/// figure re-uses the same calibration.
+Calibration calibrate_benchmark(const PlatformSpec& platform,
+                                ParsecBenchmark bench, int threads = 8,
+                                std::uint64_t seed = 1,
+                                TimeUs duration = 40 * kUsPerSec);
+
+/// Legacy form: the exynos5422 preset platform.
 Calibration calibrate_benchmark(ParsecBenchmark bench, int threads = 8,
                                 std::uint64_t seed = 1,
                                 TimeUs duration = 40 * kUsPerSec);

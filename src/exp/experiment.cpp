@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exp/calibration.hpp"
+#include "hmp/platform_registry.hpp"
 #include "hmp/sim_engine.hpp"
 #include "util/once_cache.hpp"
 
@@ -26,21 +27,6 @@ std::unique_ptr<Scheduler> make_default_scheduler() {
   return std::make_unique<GtsScheduler>();
 }
 
-/// A stable signature of the probe-relevant machine configuration, for
-/// the baseline-rate cache key (two machines with equal signatures run
-/// the probe identically).
-std::string machine_signature(const Machine& machine) {
-  std::string sig = machine.spec().name;
-  for (const ClusterSpec& cluster : machine.spec().clusters) {
-    sig += '|';
-    sig += std::to_string(static_cast<int>(cluster.type)) + ':' +
-           std::to_string(cluster.core_count) + ':' +
-           std::to_string(cluster.ipc);
-    for (double f : cluster.freqs_ghz) sig += ',' + std::to_string(f);
-  }
-  return sig;
-}
-
 /// Maximum achievable performance of each app *while running concurrently
 /// with its partners* under the baseline (all cores, max frequency, the
 /// configured OS scheduler). Multi-app derived targets are fractions of
@@ -51,9 +37,9 @@ std::string machine_signature(const Machine& machine) {
 /// same probes — but only for PARSEC app sets, whose labels identify
 /// their factories (custom factories can share a label).
 std::vector<double> probe_baseline_rates(const ExperimentSpec& spec) {
-  SimEngine engine(spec.machine, spec.make_scheduler
-                                     ? spec.make_scheduler()
-                                     : make_default_scheduler());
+  SimEngine engine(spec.platform, spec.make_scheduler
+                                      ? spec.make_scheduler()
+                                      : make_default_scheduler());
   std::vector<std::unique_ptr<App>> apps;
   for (std::size_t i = 0; i < spec.apps.size(); ++i) {
     apps.push_back(spec.apps[i].factory(spec.threads, spec.seed + i));
@@ -80,7 +66,7 @@ std::vector<double> concurrent_baseline_rates(const ExperimentSpec& spec) {
     case_key += '+';
   }
   if (!cacheable) return probe_baseline_rates(spec);
-  case_key += machine_signature(spec.machine);
+  case_key += spec.platform.signature();
   const Key key{case_key, static_cast<long long>(spec.duration), spec.threads,
                 spec.seed};
   return cache.get_or_compute(key, [&] { return probe_baseline_rates(spec); });
@@ -104,8 +90,8 @@ std::vector<PerfTarget> resolve_targets(const ExperimentSpec& spec) {
   }
   if (spec.protocol == RunProtocol::kSteadyState && spec.apps.size() == 1 &&
       spec.apps.front().bench) {
-    const Calibration cal = calibrate_benchmark(*spec.apps.front().bench,
-                                                spec.threads, spec.seed);
+    const Calibration cal = calibrate_benchmark(
+        spec.platform, *spec.apps.front().bench, spec.threads, spec.seed);
     targets[0] = cal.target_for_fraction(spec.target_fraction);
     return targets;
   }
@@ -143,9 +129,9 @@ ExperimentResult Experiment::run() const {
   const ExperimentSpec& spec = spec_;
   const std::vector<PerfTarget> targets = resolve_targets(spec);
 
-  SimEngine engine(spec.machine, spec.make_scheduler
-                                     ? spec.make_scheduler()
-                                     : make_default_scheduler());
+  SimEngine engine(spec.platform, spec.make_scheduler
+                                      ? spec.make_scheduler()
+                                      : make_default_scheduler());
   std::vector<std::unique_ptr<App>> apps;
   std::vector<App*> app_ptrs;
   std::vector<AppId> ids;
@@ -217,9 +203,31 @@ ExperimentResult Experiment::run() const {
 
 ExperimentBuilder::ExperimentBuilder() = default;
 
-ExperimentBuilder& ExperimentBuilder::platform(Machine machine) {
-  spec_.machine = std::move(machine);
+ExperimentBuilder& ExperimentBuilder::platform(PlatformSpec spec) {
+  try {
+    spec.validate();
+  } catch (const PlatformConfigError& error) {
+    throw ExperimentConfigError(error.what());
+  }
+  spec_.platform = std::move(spec);
   return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::platform(std::string_view name) {
+  try {
+    spec_.platform = PlatformRegistry::instance().get(name);
+  } catch (const PlatformConfigError& error) {
+    throw ExperimentConfigError(error.what());
+  }
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::platform(Machine machine) {
+  // Validate at configure time so an unsupportable machine (e.g. a little
+  // cluster out-peaking a big one, which the perf-ranked pools cannot
+  // represent) fails here with the documented exception type instead of
+  // surfacing a PlatformConfigError from inside run().
+  return platform(PlatformSpec::from_machine(machine));
 }
 
 ExperimentBuilder& ExperimentBuilder::os_scheduler(GtsConfig config) {

@@ -34,6 +34,7 @@
 #include "exp/metrics.hpp"
 #include "exp/variant_registry.hpp"
 #include "hmp/machine.hpp"
+#include "hmp/platform_spec.hpp"
 #include "sched/gts.hpp"
 #include "sched/scheduler.hpp"
 
@@ -67,7 +68,9 @@ using SampleFn = std::function<void(const RunView&)>;
 /// The validated configuration Experiment runs. Built by ExperimentBuilder;
 /// read by the variant factories through VariantSetup::spec.
 struct ExperimentSpec {
-  Machine machine = Machine::exynos5422();
+  /// The platform the experiment runs on (topology + power parameters +
+  /// calibration defaults). Default: the paper's Exynos 5422 preset.
+  PlatformSpec platform = PlatformSpec::from_machine(Machine::exynos5422());
   std::function<std::unique_ptr<Scheduler>()> make_scheduler;
   std::vector<AppSpec> apps;
   std::string variant = "HARS-E";
@@ -133,6 +136,13 @@ class ExperimentBuilder {
   ExperimentBuilder();
 
   // --- Platform ---
+  /// A declarative platform description (validated here).
+  ExperimentBuilder& platform(PlatformSpec spec);
+  /// A registered platform by name ("exynos5422", "sd855", ...); throws
+  /// ExperimentConfigError listing the known names when unknown.
+  ExperimentBuilder& platform(std::string_view name);
+  /// Legacy: a bare Machine, wrapped with the per-core-type default power
+  /// parameters.
   ExperimentBuilder& platform(Machine machine);
   /// OS-scheduler substrate (default: stock GTS).
   ExperimentBuilder& os_scheduler(GtsConfig config);

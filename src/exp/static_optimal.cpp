@@ -11,6 +11,7 @@
 #include "core/search.hpp"
 #include "core/thread_scheduler.hpp"
 #include "exp/metrics.hpp"
+#include "hmp/platform_registry.hpp"
 #include "hmp/sim_engine.hpp"
 #include "sched/gts.hpp"
 #include "util/once_cache.hpp"
@@ -25,20 +26,21 @@ struct Probe {
   bool satisfies = false;
 };
 
-Probe probe_state(ParsecBenchmark bench, const SystemState& s,
-                  const PerfTarget& target, const StaticOptimalOptions& options) {
-  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
+Probe probe_state(const PlatformSpec& platform, ParsecBenchmark bench,
+                  const SystemState& s, const PerfTarget& target,
+                  const StaticOptimalOptions& options) {
+  SimEngine engine(platform, std::make_unique<GtsScheduler>());
   std::unique_ptr<App> app = make_parsec_app(bench, options.threads, options.seed);
   const AppId id = engine.add_app(app.get());
   app->heartbeats().set_target(target);
 
   Machine& m = engine.machine();
-  m.set_freq_level(m.big_cluster(), s.big_freq);
-  m.set_freq_level(m.little_cluster(), s.little_freq);
+  m.set_freq_level(m.fastest_cluster(), s.big_freq);
+  m.set_freq_level(m.slowest_cluster(), s.little_freq);
   CpuMask allowed;
-  const CoreId lf = m.little_mask().first();
+  const CoreId lf = m.slowest_mask().first();
   for (int i = 0; i < s.little_cores; ++i) allowed.set(lf + i);
-  const CoreId bf = m.big_mask().first();
+  const CoreId bf = m.fastest_mask().first();
   for (int i = 0; i < s.big_cores; ++i) allowed.set(bf + i);
   engine.set_app_affinity(id, allowed);
 
@@ -65,19 +67,21 @@ Probe probe_state(ParsecBenchmark bench, const SystemState& s,
 // thread-assignment model* (Table 3.1-pinned threads); the GTS baseline
 // leaves the little cluster idle, which would bias every little-using
 // candidate low and push the true optimum out of the shortlist.
-double measure_pinned_max_rate(ParsecBenchmark bench, const SystemState& max_state,
+double measure_pinned_max_rate(const PlatformSpec& platform,
+                               ParsecBenchmark bench,
+                               const SystemState& max_state,
                                const PerfEstimator& perf_est,
                                const StaticOptimalOptions& options) {
-  SimEngine engine(Machine::exynos5422(), std::make_unique<GtsScheduler>());
+  SimEngine engine(platform, std::make_unique<GtsScheduler>());
   std::unique_ptr<App> app = make_parsec_app(bench, options.threads, options.seed);
   const AppId id = engine.add_app(app.get());
 
   Machine& m = engine.machine();
-  m.set_freq_level(m.big_cluster(), max_state.big_freq);
-  m.set_freq_level(m.little_cluster(), max_state.little_freq);
+  m.set_freq_level(m.fastest_cluster(), max_state.big_freq);
+  m.set_freq_level(m.slowest_cluster(), max_state.little_freq);
   const ThreadAssignment a = perf_est.assignment(max_state, app->thread_count());
   apply_thread_schedule(engine, id, ThreadSchedulerKind::kChunk, a,
-                        m.big_mask(), m.little_mask());
+                        m.fastest_mask(), m.slowest_mask());
 
   const TimeUs warmup_cap = 60 * kUsPerSec;
   while (app->heartbeats().count() == 0 && engine.now() < warmup_cap) {
@@ -93,20 +97,20 @@ double measure_pinned_max_rate(ParsecBenchmark bench, const SystemState& max_sta
 namespace {
 
 StaticOptimalResult compute_static_optimal(
-    ParsecBenchmark bench, const PerfTarget& target,
-    const StaticOptimalOptions& options) {
-  const Machine machine = Machine::exynos5422();
+    const PlatformSpec& platform, ParsecBenchmark bench,
+    const PerfTarget& target, const StaticOptimalOptions& options) {
+  const Machine machine = platform.make_machine();
   const StateSpace space = StateSpace::from_machine(machine);
   // The offline sweep may use the benchmark's true ratio: SO is an oracle.
   PerfEstimator perf_est(machine, parsec_true_ratio(bench));
-  const PowerModel model(machine);
+  const PowerModel model(machine, platform.cluster_power());
   PowerEstimator power_est(profile_power(machine, model));
 
   // Reference point: measured rate of the maximum state under the
   // estimator's own (pinned) assignment model.
   const SystemState max_state = space.max_state();
   const double ref_rate =
-      measure_pinned_max_rate(bench, max_state, perf_est, options);
+      measure_pinned_max_rate(platform, bench, max_state, perf_est, options);
 
   struct Ranked {
     SystemState state;
@@ -147,8 +151,9 @@ StaticOptimalResult compute_static_optimal(
   const int n_probe = std::min<int>(options.shortlist,
                                     static_cast<int>(ranked.size()));
   for (int i = 0; i < n_probe; ++i) {
-    const Probe probe = probe_state(bench, ranked[static_cast<std::size_t>(i)].state,
-                                    target, options);
+    const Probe probe =
+        probe_state(platform, bench, ranked[static_cast<std::size_t>(i)].state,
+                    target, options);
     const bool better =
         !best_set ||
         (probe.satisfies && !best.satisfies_target) ||
@@ -169,12 +174,16 @@ StaticOptimalResult compute_static_optimal(
 StaticOptimalResult find_static_optimal(ParsecBenchmark bench,
                                         const PerfTarget& target,
                                         const StaticOptimalOptions& options) {
-  using Key = std::tuple<int, double, double, std::uint64_t, int>;
+  const PlatformSpec platform =
+      options.platform ? *options.platform
+                       : PlatformRegistry::instance().get("exynos5422");
+  using Key = std::tuple<std::string, int, double, double, std::uint64_t, int>;
   static OnceCache<Key, StaticOptimalResult> cache;
-  const Key key{static_cast<int>(bench), target.min, target.max, options.seed,
-                options.threads};
-  return cache.get_or_compute(
-      key, [&] { return compute_static_optimal(bench, target, options); });
+  const Key key{platform.signature(), static_cast<int>(bench), target.min,
+                target.max, options.seed, options.threads};
+  return cache.get_or_compute(key, [&] {
+    return compute_static_optimal(platform, bench, target, options);
+  });
 }
 
 }  // namespace hars

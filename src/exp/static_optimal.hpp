@@ -9,9 +9,12 @@
 // satisfies the target.
 #pragma once
 
+#include <optional>
+
 #include "apps/parsec.hpp"
 #include "core/system_state.hpp"
 #include "exp/calibration.hpp"
+#include "hmp/platform_spec.hpp"
 
 namespace hars {
 
@@ -20,6 +23,8 @@ struct StaticOptimalOptions {
   TimeUs probe_duration = 15 * kUsPerSec;///< Per-candidate measurement.
   int threads = 8;
   std::uint64_t seed = 1;
+  /// Platform the oracle sweeps; unset = the exynos5422 preset.
+  std::optional<PlatformSpec> platform;
 };
 
 struct StaticOptimalResult {

@@ -81,15 +81,16 @@ std::unique_ptr<VariantInstance> make_static_optimal(
   StaticOptimalOptions so;
   so.threads = setup.spec.threads;
   so.seed = setup.spec.seed;
+  so.platform = setup.spec.platform;
   const StaticOptimalResult so_result = find_static_optimal(
       *setup.spec.apps.front().bench, setup.targets.front(), so);
   Machine& m = setup.engine.machine();
-  m.set_freq_level(m.big_cluster(), so_result.state.big_freq);
-  m.set_freq_level(m.little_cluster(), so_result.state.little_freq);
+  m.set_freq_level(m.fastest_cluster(), so_result.state.big_freq);
+  m.set_freq_level(m.slowest_cluster(), so_result.state.little_freq);
   CpuMask allowed;
-  const CoreId lf = m.little_mask().first();
+  const CoreId lf = m.slowest_mask().first();
   for (int i = 0; i < so_result.state.little_cores; ++i) allowed.set(lf + i);
-  const CoreId bf = m.big_mask().first();
+  const CoreId bf = m.fastest_mask().first();
   for (int i = 0; i < so_result.state.big_cores; ++i) allowed.set(bf + i);
   setup.engine.set_app_affinity(setup.app_ids.front(), allowed);
   return std::make_unique<StaticOptimalInstance>(so_result.state);
@@ -101,6 +102,9 @@ class HarsInstance final : public VariantInstance {
  public:
   HarsInstance(const VariantSetup& setup, HarsVariant variant) {
     RuntimeManagerConfig config = config_for_variant(variant);
+    // Calibration default: the platform's assumed fastest:slowest ratio
+    // (the paper's r0 = 3/2 on the Exynos preset).
+    config.r0 = setup.spec.platform.assumed_ratio();
     const VariantTuning& t = setup.spec.tuning;
     if (t.scheduler) config.scheduler = *t.scheduler;
     if (t.predictor) config.predictor = *t.predictor;
@@ -136,6 +140,7 @@ class ConsInstance final : public VariantInstance {
  public:
   explicit ConsInstance(const VariantSetup& setup) {
     ConsIConfig config;
+    config.r0 = setup.spec.platform.assumed_ratio();
     const VariantTuning& t = setup.spec.tuning;
     if (t.r0) config.r0 = *t.r0;
     auto manager = std::make_unique<ConsIManager>(setup.engine, config);
@@ -164,6 +169,7 @@ class MpHarsInstance final : public VariantInstance {
   MpHarsInstance(const VariantSetup& setup, SearchPolicy policy) {
     MpHarsConfig config;
     config.policy = policy;
+    config.r0 = setup.spec.platform.assumed_ratio();
     const VariantTuning& t = setup.spec.tuning;
     if (t.search_window) config.exhaustive_window = *t.search_window;
     if (t.search_distance) config.exhaustive_d = *t.search_distance;

@@ -32,13 +32,22 @@ Machine::Machine(MachineSpec spec) : spec_(std::move(spec)) {
     // Boot at the highest level, like the paper's performance-governor
     // baseline.
     freq_level_.push_back(static_cast<int>(cs.freqs_ghz.size()) - 1);
-    if (cs.type == CoreType::kLittle) little_cluster_ = c;
-    if (cs.type == CoreType::kBig) big_cluster_ = c;
   }
   if (num_cores_ > CpuMask::kMaxCpus) {
     throw std::invalid_argument("too many cores for CpuMask");
   }
   online_ = CpuMask::range(0, num_cores_);
+  perf_order_.resize(static_cast<std::size_t>(num_clusters()));
+  for (int c = 0; c < num_clusters(); ++c) perf_order_[static_cast<std::size_t>(c)] = c;
+  std::stable_sort(perf_order_.begin(), perf_order_.end(),
+                   [this](ClusterId a, ClusterId b) {
+                     return cluster_peak_speed(a) > cluster_peak_speed(b);
+                   });
+}
+
+double Machine::cluster_peak_speed(ClusterId cluster) const {
+  const ClusterSpec& cs = spec_.clusters[static_cast<std::size_t>(cluster)];
+  return cs.ipc * cs.freqs_ghz.back();
 }
 
 Machine Machine::exynos5422() {
@@ -113,6 +122,7 @@ void Machine::set_freq_ghz(ClusterId cluster, double ghz) {
   double best_err = std::abs(freqs[0] - ghz);
   for (int i = 1; i < static_cast<int>(freqs.size()); ++i) {
     const double err = std::abs(freqs[static_cast<std::size_t>(i)] - ghz);
+    // Strict < keeps the first (lowest) level on an exact-midpoint tie.
     if (err < best_err) {
       best = i;
       best_err = err;

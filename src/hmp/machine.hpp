@@ -55,11 +55,29 @@ class Machine {
   CpuMask cluster_mask(ClusterId cluster) const;
   int cluster_core_count(ClusterId cluster) const;
 
-  /// Convenience for two-cluster big.LITTLE machines.
-  ClusterId little_cluster() const { return little_cluster_; }
-  ClusterId big_cluster() const { return big_cluster_; }
-  CpuMask big_mask() const { return cluster_mask(big_cluster_); }
-  CpuMask little_mask() const { return cluster_mask(little_cluster_); }
+  // --- Capability API (N-cluster machines) ---
+  /// Peak per-core speed of a cluster: ipc * top frequency. The ordering
+  /// key for the perf-ranked queries below.
+  double cluster_peak_speed(ClusterId cluster) const;
+
+  /// Cluster ids ordered fastest-first by peak per-core speed; ties break
+  /// toward the lower cluster id, so the order is deterministic on
+  /// symmetric machines.
+  const std::vector<ClusterId>& clusters_by_perf() const {
+    return perf_order_;
+  }
+  ClusterId fastest_cluster() const { return perf_order_.front(); }
+  ClusterId slowest_cluster() const { return perf_order_.back(); }
+  CpuMask fastest_mask() const { return cluster_mask(fastest_cluster()); }
+  CpuMask slowest_mask() const { return cluster_mask(slowest_cluster()); }
+
+  /// Legacy two-cluster big.LITTLE names; shims over the capability API
+  /// (big = fastest cluster, little = slowest). Prefer
+  /// fastest_cluster()/slowest_cluster() in new code.
+  ClusterId little_cluster() const { return slowest_cluster(); }
+  ClusterId big_cluster() const { return fastest_cluster(); }
+  CpuMask big_mask() const { return fastest_mask(); }
+  CpuMask little_mask() const { return slowest_mask(); }
 
   // --- DVFS (per-cluster, as on the XU3) ---
   int num_freq_levels(ClusterId cluster) const;
@@ -71,7 +89,10 @@ class Machine {
   /// Sets the cluster to the given DVFS level, clamped to the valid range.
   void set_freq_level(ClusterId cluster, int level);
 
-  /// Sets the cluster to the closest available frequency.
+  /// Sets the cluster to the closest available frequency. A target exactly
+  /// midway between two levels snaps to the *lower* level — the tie-break
+  /// is deterministic and biased toward less power, like cpufreq's
+  /// closest-below resolution.
   void set_freq_ghz(ClusterId cluster, double ghz);
 
   /// Highest available level index.
@@ -97,8 +118,7 @@ class Machine {
   std::vector<int> cluster_first_core_;
   std::vector<int> freq_level_;  ///< Per cluster.
   CpuMask online_;
-  ClusterId little_cluster_ = 0;
-  ClusterId big_cluster_ = 0;
+  std::vector<ClusterId> perf_order_;  ///< Clusters, fastest first.
 };
 
 }  // namespace hars

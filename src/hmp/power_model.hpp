@@ -26,6 +26,10 @@ struct PowerParams {
   double c_mem = 0.0;    ///< W per fully-busy core (uncore/memory traffic).
   double k_therm = 0.0;  ///< Leakage inflation per (busy core * GHz^2).
 
+  // Legacy per-core-type defaults, kept as thin shims for out-of-tree
+  // callers. Canonically, power parameters are carried per cluster by a
+  // PlatformSpec (hmp/platform_spec.hpp); these values are what
+  // PlatformSpec::from_machine attaches when wrapping a bare Machine.
   static PowerParams cortex_a15();
   static PowerParams cortex_a7();
   static PowerParams for_type(CoreType type);
@@ -33,7 +37,9 @@ struct PowerParams {
 
 class PowerModel {
  public:
-  /// Uses per-core-type default parameters for the machine's clusters.
+  /// Uses the legacy per-core-type default parameters for the machine's
+  /// clusters. Prefer constructing through a PlatformSpec (SimEngine's
+  /// platform constructor), which carries explicit per-cluster params.
   explicit PowerModel(const Machine& machine);
 
   PowerModel(const Machine& machine, std::vector<PowerParams> per_cluster);

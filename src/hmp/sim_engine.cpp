@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "hmp/platform_spec.hpp"
+
 namespace hars {
 
 SimEngine::SimEngine(Machine machine, std::unique_ptr<Scheduler> scheduler,
@@ -18,6 +20,15 @@ SimEngine::SimEngine(Machine machine, std::unique_ptr<Scheduler> scheduler,
       tick_busy_(static_cast<std::size_t>(machine_.num_cores()), 0.0) {
   if (!scheduler_) throw std::invalid_argument("SimEngine requires a scheduler");
   if (config_.tick_us <= 0) throw std::invalid_argument("tick must be positive");
+}
+
+SimEngine::SimEngine(const PlatformSpec& platform,
+                     std::unique_ptr<Scheduler> scheduler, SimConfig config)
+    : SimEngine(platform.make_machine(), std::move(scheduler), config) {
+  // Swap in the platform's carried power parameters; sensor_ references
+  // power_model_ by address, which assignment preserves.
+  power_model_ = PowerModel(machine_, platform.cluster_power());
+  power_model_.set_base_watts(platform.base_watts);
 }
 
 AppId SimEngine::add_app(App* app) {

@@ -46,9 +46,18 @@ struct SimConfig {
   double sensor_noise = 0.01;
 };
 
+struct PlatformSpec;  // hmp/platform_spec.hpp
+
 class SimEngine {
  public:
+  /// Legacy wiring: the power model falls back to the per-core-type
+  /// default parameters for the machine's clusters.
   SimEngine(Machine machine, std::unique_ptr<Scheduler> scheduler,
+            SimConfig config = {});
+
+  /// Platform wiring: materializes the machine and applies the platform's
+  /// per-cluster power parameters and base draw.
+  SimEngine(const PlatformSpec& platform, std::unique_ptr<Scheduler> scheduler,
             SimConfig config = {});
 
   /// Registers an application (non-owning); returns its AppId. All of the

@@ -8,9 +8,9 @@ namespace hars {
 
 double cons_perf_score(const Machine& machine, const SystemState& s, double r0,
                        double f0_ghz) {
-  const double fb = machine.freq_ghz_at_level(machine.big_cluster(), s.big_freq);
+  const double fb = machine.freq_ghz_at_level(machine.fastest_cluster(), s.big_freq);
   const double fl =
-      machine.freq_ghz_at_level(machine.little_cluster(), s.little_freq);
+      machine.freq_ghz_at_level(machine.slowest_cluster(), s.little_freq);
   return s.big_cores * r0 * (fb / f0_ghz) + s.little_cores * (fl / f0_ghz);
 }
 
@@ -24,13 +24,19 @@ ConsIManager::ConsIManager(SimEngine& engine, ConsIConfig config)
 
 void ConsIManager::build_state_list() {
   const Machine& m = engine_.machine();
-  const int max_big = m.cluster_core_count(m.big_cluster());
-  const int max_little = m.cluster_core_count(m.little_cluster());
-  const int nb_freqs = m.num_freq_levels(m.big_cluster());
-  const int nl_freqs = m.num_freq_levels(m.little_cluster());
-  // cpu0 (a little core) can never go offline, so C_L >= 1.
-  for (int cb = 0; cb <= max_big; ++cb) {
-    for (int cl = 1; cl <= max_little; ++cl) {
+  const int max_big = m.cluster_core_count(m.fastest_cluster());
+  const int max_little = m.cluster_core_count(m.slowest_cluster());
+  const int nb_freqs = m.num_freq_levels(m.fastest_cluster());
+  const int nl_freqs = m.num_freq_levels(m.slowest_cluster());
+  // cpu0 can never go offline. When it belongs to a controlled pool that
+  // pool's count must stay >= 1 so the model matches the force-online
+  // core (on the XU3 cpu0 is a little core, hence the paper's C_L >= 1);
+  // when cpu0 sits in a middle cluster, keep C_L >= 1 so the controlled
+  // pools always offer the applications at least one core.
+  const int min_big = m.fastest_mask().test(0) ? 1 : 0;
+  const int min_little = min_big == 0 ? 1 : 0;
+  for (int cb = min_big; cb <= max_big; ++cb) {
+    for (int cl = min_little; cl <= max_little; ++cl) {
       for (int fb = 0; fb < nb_freqs; ++fb) {
         for (int fl = 0; fl < nl_freqs; ++fl) {
           states_.push_back(SystemState{cb, cl, fb, fl});
@@ -84,14 +90,21 @@ void ConsIManager::register_app(AppId app, const ConsIAppConfig& app_config) {
 void ConsIManager::apply_state(const SystemState& s) {
   state_ = s;
   Machine& m = engine_.machine();
-  m.set_freq_level(m.big_cluster(), s.big_freq);
-  m.set_freq_level(m.little_cluster(), s.little_freq);
-  // Global core counts are realized with hotplug: the first C_L little and
-  // first C_B big cores stay online; everything runs unpinned under GTS.
+  m.set_freq_level(m.fastest_cluster(), s.big_freq);
+  m.set_freq_level(m.slowest_cluster(), s.little_freq);
+  // Global core counts are realized with hotplug: the first C_L slow-pool
+  // and first C_B fast-pool cores stay online; everything runs unpinned
+  // under GTS. Middle clusters of an N-cluster machine are outside the
+  // model's two controlled pools and stay online under OS control.
   CpuMask online;
-  const CoreId little_first = m.little_mask().first();
+  for (ClusterId c = 0; c < m.num_clusters(); ++c) {
+    if (c != m.fastest_cluster() && c != m.slowest_cluster()) {
+      online = online | m.cluster_mask(c);
+    }
+  }
+  const CoreId little_first = m.slowest_mask().first();
   for (int i = 0; i < s.little_cores; ++i) online.set(little_first + i);
-  const CoreId big_first = m.big_mask().first();
+  const CoreId big_first = m.fastest_mask().first();
   for (int i = 0; i < s.big_cores; ++i) online.set(big_first + i);
   m.set_online_mask(online);
 }
@@ -122,8 +135,8 @@ TimeUs ConsIManager::on_tick(TimeUs now) {
     }
     entry.trace.push_back(TracePoint{idx, entry.rate, state_.big_cores,
                                      state_.little_cores,
-                                     m.freq_ghz(m.big_cluster()),
-                                     m.freq_ghz(m.little_cluster())});
+                                     m.freq_ghz(m.fastest_cluster()),
+                                     m.freq_ghz(m.slowest_cluster())});
 
     if (idx % entry.adapt_period != 0) continue;
     if (entry.rate <= 0.0) continue;  // No windowed rate yet.

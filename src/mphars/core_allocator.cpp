@@ -14,16 +14,19 @@ CpuMask owned_big_mask(const AppNode& app, int big_start_index) {
   return mask;
 }
 
-CpuMask owned_little_mask(const AppNode& app) {
+CpuMask owned_little_mask(const AppNode& app, int little_start_index) {
   CpuMask mask;
   for (std::size_t i = 0; i < app.use_l_core.size(); ++i) {
-    if (app.use_l_core[i] == kUse) mask.set(static_cast<CoreId>(i));
+    if (app.use_l_core[i] == kUse) {
+      mask.set(static_cast<CoreId>(i) + little_start_index);
+    }
   }
   return mask;
 }
 
 CpuMask allocate_core_set(AppNode& app, ClusterData& big_cluster,
-                          ClusterData& little_cluster, int big_start_index) {
+                          ClusterData& little_cluster, int big_start_index,
+                          int little_start_index) {
   const int max_big = static_cast<int>(app.use_b_core.size());
   const int max_little = static_cast<int>(app.use_l_core.size());
   assert(app.nprocs_b >= 0 && app.nprocs_b <= max_big);
@@ -82,7 +85,7 @@ CpuMask allocate_core_set(AppNode& app, ClusterData& big_cluster,
     if (allocated_little >= app.nprocs_l) break;
     if (app.use_l_core[static_cast<std::size_t>(i)] == kUse) {
       little_cluster.free_core[static_cast<std::size_t>(i)] = kNotFree;
-      cpu_mask.set(i);
+      cpu_mask.set(i + little_start_index);
       ++allocated_little;
     }
   }
@@ -92,7 +95,7 @@ CpuMask allocate_core_set(AppNode& app, ClusterData& big_cluster,
     if (little_cluster.free_core[static_cast<std::size_t>(i)] == kFree) {
       little_cluster.free_core[static_cast<std::size_t>(i)] = kNotFree;
       app.use_l_core[static_cast<std::size_t>(i)] = kUse;
-      cpu_mask.set(i);
+      cpu_mask.set(i + little_start_index);
       ++allocated_little;
     }
   }

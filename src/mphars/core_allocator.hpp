@@ -17,14 +17,17 @@
 namespace hars {
 
 /// Applies Algorithm 4 for `app`: releases dec_*_core_cnt cores, then
-/// builds the allocation of app.nprocs_b big and app.nprocs_l little
-/// cores. `big_start_index` is the machine core id of the first big core
-/// (little cores start at id 0, as on the XU3).
+/// builds the allocation of app.nprocs_b fast-pool and app.nprocs_l
+/// slow-pool cores. `big_start_index` / `little_start_index` are the
+/// machine core ids of the pools' first cores (on the XU3 the little
+/// cluster starts at id 0; on N-cluster platforms the slowest cluster can
+/// sit anywhere, so callers pass Machine::slowest_mask().first()).
 CpuMask allocate_core_set(AppNode& app, ClusterData& big_cluster,
-                          ClusterData& little_cluster, int big_start_index);
+                          ClusterData& little_cluster, int big_start_index,
+                          int little_start_index = 0);
 
 /// Masks of the app's currently owned cores.
 CpuMask owned_big_mask(const AppNode& app, int big_start_index);
-CpuMask owned_little_mask(const AppNode& app);
+CpuMask owned_little_mask(const AppNode& app, int little_start_index = 0);
 
 }  // namespace hars

@@ -8,8 +8,8 @@ namespace hars {
 MpHarsManager::MpHarsManager(SimEngine& engine, PowerCoeffTable coeffs,
                              MpHarsConfig config)
     : engine_(engine),
-      registry_(engine.machine().cluster_core_count(engine.machine().big_cluster()),
-                engine.machine().cluster_core_count(engine.machine().little_cluster())),
+      registry_(engine.machine().cluster_core_count(engine.machine().fastest_cluster()),
+                engine.machine().cluster_core_count(engine.machine().slowest_cluster())),
       perf_est_(engine.machine(), config.r0),
       power_est_(std::move(coeffs)),
       config_(config),
@@ -26,18 +26,20 @@ void MpHarsManager::register_app(AppId app, const MpHarsAppConfig& app_config) {
   // everything, then re-allocate fair shares in registration order.
   const int napps = static_cast<int>(registry_.size());
   const int big_share = std::max(
-      1, registry_.big_cluster().free_core.empty()
+      1, registry_.fastest_cluster().free_core.empty()
              ? 0
-             : static_cast<int>(registry_.big_cluster().free_core.size()) / napps);
+             : static_cast<int>(registry_.fastest_cluster().free_core.size()) / napps);
   const int little_share = std::max(
-      1, static_cast<int>(registry_.little_cluster().free_core.size()) / napps);
+      1, static_cast<int>(registry_.slowest_cluster().free_core.size()) / napps);
   registry_.for_each([&](AppNode& n) {
     n.dec_big_core_cnt = n.used_big_count();
     n.dec_little_core_cnt = n.used_little_count();
     n.nprocs_b = 0;
     n.nprocs_l = 0;
-    allocate_core_set(n, registry_.big_cluster(), registry_.little_cluster(),
-                      engine_.machine().big_mask().first());
+    allocate_core_set(n, registry_.fastest_cluster(),
+                      registry_.slowest_cluster(),
+                      engine_.machine().fastest_mask().first(),
+                      engine_.machine().slowest_mask().first());
   });
   registry_.for_each([&](AppNode& n) {
     SystemState initial;
@@ -58,8 +60,8 @@ SystemState MpHarsManager::current_state_of(const AppNode& node) const {
   SystemState s;
   s.big_cores = node.nprocs_b;
   s.little_cores = node.nprocs_l;
-  s.big_freq = m.freq_level(m.big_cluster());
-  s.little_freq = m.freq_level(m.little_cluster());
+  s.big_freq = m.freq_level(m.fastest_cluster());
+  s.little_freq = m.freq_level(m.slowest_cluster());
   return s;
 }
 
@@ -110,7 +112,7 @@ void MpHarsManager::record_trace(AppNode& node) {
   const Machine& m = engine_.machine();
   node.trace.push_back(TracePoint{
       node.last_seen_hb, node.heartbeat_rate, node.nprocs_b, node.nprocs_l,
-      m.freq_ghz(m.big_cluster()), m.freq_ghz(m.little_cluster())});
+      m.freq_ghz(m.fastest_cluster()), m.freq_ghz(m.slowest_cluster())});
 }
 
 void MpHarsManager::apply_app_state(AppNode& node, const SystemState& next) {
@@ -122,32 +124,33 @@ void MpHarsManager::apply_app_state(AppNode& node, const SystemState& next) {
       std::max(0, node.used_little_count() - next.little_cores);
   node.nprocs_b = next.big_cores;
   node.nprocs_l = next.little_cores;
-  allocate_core_set(node, registry_.big_cluster(), registry_.little_cluster(),
-                    m.big_mask().first());
+  allocate_core_set(node, registry_.fastest_cluster(),
+                    registry_.slowest_cluster(), m.fastest_mask().first(),
+                    m.slowest_mask().first());
   // The allocator may come up short if free cores ran out (the search
   // filter prevents this, but stay safe).
   node.nprocs_b = node.used_big_count();
   node.nprocs_l = node.used_little_count();
 
-  const int old_big_freq = m.freq_level(m.big_cluster());
-  const int old_little_freq = m.freq_level(m.little_cluster());
-  m.set_freq_level(m.big_cluster(), next.big_freq);
-  m.set_freq_level(m.little_cluster(), next.little_freq);
-  registry_.big_cluster().nfreq = m.freq_level(m.big_cluster());
-  registry_.little_cluster().nfreq = m.freq_level(m.little_cluster());
+  const int old_big_freq = m.freq_level(m.fastest_cluster());
+  const int old_little_freq = m.freq_level(m.slowest_cluster());
+  m.set_freq_level(m.fastest_cluster(), next.big_freq);
+  m.set_freq_level(m.slowest_cluster(), next.little_freq);
+  registry_.fastest_cluster().nfreq = m.freq_level(m.fastest_cluster());
+  registry_.slowest_cluster().nfreq = m.freq_level(m.slowest_cluster());
 
   // Pin the app's threads over its own cores.
   const SystemState applied = current_state_of(node);
   const int t = engine_.app(node.app_id).thread_count();
   const ThreadAssignment a = perf_est_.assignment(applied, t);
   apply_thread_schedule(engine_, node.app_id, node.scheduler, a,
-                        owned_big_mask(node, m.big_mask().first()),
-                        owned_little_mask(node));
+                        owned_big_mask(node, m.fastest_mask().first()),
+                        owned_little_mask(node, m.slowest_mask().first()));
 
   // Lines 23-26 of Algorithm 3: a frequency decrease freezes the cluster
   // by arming the freezing counts of every application using it.
-  const bool big_dec = m.freq_level(m.big_cluster()) < old_big_freq;
-  const bool little_dec = m.freq_level(m.little_cluster()) < old_little_freq;
+  const bool big_dec = m.freq_level(m.fastest_cluster()) < old_big_freq;
+  const bool little_dec = m.freq_level(m.slowest_cluster()) < old_little_freq;
   if (big_dec || little_dec) {
     registry_.for_each([&](AppNode& other) {
       if (big_dec && other.used_big_count() > 0) {
@@ -177,8 +180,8 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
   const SystemState current = current_state_of(node);
 
   // Line 18: free cores not allocated to any application.
-  const int free_big = registry_.big_cluster().free_count();
-  const int free_little = registry_.little_cluster().free_count();
+  const int free_big = registry_.fastest_cluster().free_count();
+  const int free_little = registry_.slowest_cluster().free_count();
 
   // Line 19: frequency controllability per cluster.
   struct FreqRule {
@@ -188,8 +191,8 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
   auto rule_for = [&](bool big_cluster) -> FreqRule {
     if (!cluster_shared(node, big_cluster)) return FreqRule{};  // Exclusive.
     const bool frozen = big_cluster
-                            ? registry_.big_cluster().frozen_flag != 0
-                            : registry_.little_cluster().frozen_flag != 0;
+                            ? registry_.fastest_cluster().frozen_flag != 0
+                            : registry_.slowest_cluster().frozen_flag != 0;
     const PerfStatus own = classify(rate, target.min, target.max);
     const PerfStatus others = others_status(node, big_cluster);
     const InterferenceDecision decision =
@@ -204,9 +207,9 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
         }
       });
       if (big_cluster) {
-        registry_.big_cluster().frozen_flag = 0;
+        registry_.fastest_cluster().frozen_flag = 0;
       } else {
-        registry_.little_cluster().frozen_flag = 0;
+        registry_.slowest_cluster().frozen_flag = 0;
       }
     }
     switch (decision.state) {
@@ -279,8 +282,8 @@ TimeUs MpHarsManager::on_tick(TimeUs now) {
       if (n.freezing_cnt_b > 0) big_frozen = 1;
       if (n.freezing_cnt_l > 0) little_frozen = 1;
     });
-    registry_.big_cluster().frozen_flag = big_frozen;
-    registry_.little_cluster().frozen_flag = little_frozen;
+    registry_.fastest_cluster().frozen_flag = big_frozen;
+    registry_.slowest_cluster().frozen_flag = little_frozen;
 
     // Lines 16-22: adaptation period check.
     if (idx % node.adapt_period == 0) {

@@ -38,6 +38,16 @@ class AppRegistry {
 
   std::size_t size() const { return nodes_.size(); }
 
+  /// The two managed pools, named after the machine's perf-ranked
+  /// capability API: "fastest" slots map onto the fastest cluster's cores
+  /// and "slowest" onto the slowest cluster's (on two-cluster big.LITTLE
+  /// parts these are exactly the big and little clusters).
+  ClusterData& fastest_cluster() { return big_; }
+  ClusterData& slowest_cluster() { return little_; }
+  const ClusterData& fastest_cluster() const { return big_; }
+  const ClusterData& slowest_cluster() const { return little_; }
+
+  /// Legacy two-cluster names (shims).
   ClusterData& big_cluster() { return big_; }
   ClusterData& little_cluster() { return little_; }
   const ClusterData& big_cluster() const { return big_; }

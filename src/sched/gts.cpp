@@ -9,8 +9,13 @@ GtsScheduler::GtsScheduler(GtsConfig config) : config_(config) {}
 
 void GtsScheduler::assign(const Machine& machine, std::vector<SimThread>& threads) {
   const CpuMask online = machine.online_mask();
-  const CpuMask big = machine.big_mask();
-  const CpuMask little = machine.little_mask();
+  // GTS is a two-tier policy: the "little" down-migration tier is the
+  // slowest cluster, the "big" up-migration tier is everything faster.
+  // On two-cluster big.LITTLE parts this is exactly the big cluster; on
+  // N-cluster machines high-load threads may use every non-slowest
+  // cluster instead of stacking on the single fastest one.
+  const CpuMask little = machine.slowest_mask();
+  const CpuMask big = machine.all_mask() & ~little;
 
   // Number of runnable threads currently packed on each core; rebuilt each
   // tick as we (re)place threads.

@@ -86,6 +86,16 @@ SweepSpec& SweepSpec::variants(const std::vector<std::string>& names) {
   return axis("variant", std::move(points));
 }
 
+SweepSpec& SweepSpec::platforms(const std::vector<std::string>& names) {
+  std::vector<AxisPoint> points;
+  points.reserve(names.size());
+  for (const std::string& name : names) {
+    points.emplace_back(name,
+                        [name](ExperimentBuilder& b) { b.platform(name); });
+  }
+  return axis("platform", std::move(points));
+}
+
 SweepSpec& SweepSpec::target_fractions(const std::vector<double>& fractions) {
   std::vector<AxisPoint> points;
   points.reserve(fractions.size());

@@ -101,6 +101,8 @@ class SweepSpec {
   SweepSpec& axis(std::string name, std::vector<AxisPoint> points);
   SweepSpec& benchmarks(const std::vector<ParsecBenchmark>& benches);
   SweepSpec& variants(const std::vector<std::string>& names);
+  /// PlatformRegistry names; each case runs on the named platform.
+  SweepSpec& platforms(const std::vector<std::string>& names);
   SweepSpec& target_fractions(const std::vector<double>& fractions);
   SweepSpec& search_distances(const std::vector<int>& distances);
   SweepSpec& durations_sec(const std::vector<double>& seconds);

@@ -51,6 +51,42 @@ TEST(Machine, SetFreqGhzSnapsToNearest) {
   EXPECT_NEAR(m.freq_ghz(m.little_cluster()), 1.3, 1e-9);
 }
 
+TEST(Machine, SetFreqGhzExactMidpointPrefersLowerLevel) {
+  // Levels chosen so the midpoints (1.5, 2.5) are exactly representable:
+  // the tie must break deterministically toward the lower level.
+  MachineSpec spec;
+  spec.name = "midpoint";
+  ClusterSpec c;
+  c.type = CoreType::kBig;
+  c.core_count = 1;
+  c.ipc = 1.0;
+  c.freqs_ghz = {1.0, 2.0, 3.0};
+  spec.clusters = {c};
+  Machine m{spec};
+  m.set_freq_ghz(0, 1.5);
+  EXPECT_EQ(m.freq_level(0), 0);
+  m.set_freq_ghz(0, 2.5);
+  EXPECT_EQ(m.freq_level(0), 1);
+  // Just past the midpoint snaps up.
+  m.set_freq_ghz(0, 1.500000001);
+  EXPECT_EQ(m.freq_level(0), 1);
+}
+
+TEST(Machine, CapabilityApiOnExynos) {
+  const Machine m = Machine::exynos5422();
+  // big (cluster 1) has the higher peak speed: 3 * 1.6 > 2 * 1.3.
+  EXPECT_EQ(m.fastest_cluster(), 1);
+  EXPECT_EQ(m.slowest_cluster(), 0);
+  EXPECT_EQ(m.fastest_mask(), m.big_mask());
+  EXPECT_EQ(m.slowest_mask(), m.little_mask());
+  EXPECT_NEAR(m.cluster_peak_speed(1), 4.8, 1e-9);
+  EXPECT_NEAR(m.cluster_peak_speed(0), 2.6, 1e-9);
+  const std::vector<ClusterId> order = m.clusters_by_perf();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+}
+
 TEST(Machine, CoreSpeedScalesWithIpcAndFreq) {
   Machine m = Machine::exynos5422();
   // big: ipc 3 @ 1.6 GHz; little: ipc 2 @ 1.3 GHz.

@@ -1,0 +1,129 @@
+// PlatformRegistry: preset catalogue, registration round-trips,
+// duplicate-name and unknown-name errors.
+#include "hmp/platform_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hars {
+namespace {
+
+PlatformSpec toy(const std::string& name) {
+  return PlatformBuilder()
+      .name(name)
+      .cluster(CoreType::kLittle, 2, 2.0)
+      .freqs_ghz({0.5, 1.0})
+      .cluster(CoreType::kBig, 2, 3.0)
+      .freqs_ghz({1.0, 2.0})
+      .build();
+}
+
+TEST(PlatformRegistry, PresetsRegistered) {
+  const std::vector<std::string> names = PlatformRegistry::instance().names();
+  for (const char* preset :
+       {"exynos5422", "sd855", "server2x8", "manycore4x4"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), preset), names.end())
+        << preset;
+  }
+}
+
+TEST(PlatformRegistry, ExynosPresetMatchesMachinePreset) {
+  const PlatformSpec spec = PlatformRegistry::instance().get("exynos5422");
+  const Machine preset = Machine::exynos5422();
+  const Machine materialized = spec.make_machine();
+  ASSERT_EQ(materialized.num_clusters(), preset.num_clusters());
+  for (int c = 0; c < preset.num_clusters(); ++c) {
+    const ClusterSpec& a = materialized.spec().clusters[static_cast<std::size_t>(c)];
+    const ClusterSpec& b = preset.spec().clusters[static_cast<std::size_t>(c)];
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.core_count, b.core_count);
+    EXPECT_EQ(a.ipc, b.ipc);
+    ASSERT_EQ(a.freqs_ghz.size(), b.freqs_ghz.size());
+    for (std::size_t i = 0; i < a.freqs_ghz.size(); ++i) {
+      EXPECT_EQ(a.freqs_ghz[i], b.freqs_ghz[i]);  // Bit-identical ladders.
+    }
+  }
+  EXPECT_EQ(spec.base_watts, 0.7);
+  EXPECT_DOUBLE_EQ(spec.assumed_ratio(), 1.5);
+}
+
+TEST(PlatformRegistry, PresetTopologies) {
+  const PlatformSpec sd855 = PlatformRegistry::instance().get("sd855");
+  ASSERT_EQ(sd855.clusters.size(), 3u);  // little + big + prime.
+  const Machine m = sd855.make_machine();
+  EXPECT_EQ(m.num_cores(), 8);
+  EXPECT_EQ(m.cluster_core_count(m.fastest_cluster()), 1);  // Prime core.
+  EXPECT_EQ(m.cluster_core_count(m.slowest_cluster()), 4);
+
+  const PlatformSpec server = PlatformRegistry::instance().get("server2x8");
+  ASSERT_EQ(server.clusters.size(), 2u);
+  EXPECT_EQ(server.make_machine().num_cores(), 16);
+  EXPECT_DOUBLE_EQ(server.assumed_ratio(), 1.0);  // Symmetric.
+
+  const PlatformSpec manycore =
+      PlatformRegistry::instance().get("manycore4x4");
+  ASSERT_EQ(manycore.clusters.size(), 4u);
+  EXPECT_EQ(manycore.make_machine().num_cores(), 16);
+}
+
+TEST(PlatformRegistry, AssumedRatioPairMatchesMachineRankingForPresets) {
+  // assumed_ratio() derives from the spec-side fastest/slowest scan; it
+  // must name the same cluster pair the materialized Machine ranks, for
+  // every preset (pins the two implementations together).
+  for (const std::string& name : PlatformRegistry::instance().names()) {
+    const PlatformSpec spec = PlatformRegistry::instance().get(name);
+    if (spec.default_r0 > 0.0) continue;  // Explicit override, not derived.
+    const Machine m = spec.make_machine();
+    const double fast_ipc =
+        spec.clusters[static_cast<std::size_t>(m.fastest_cluster())]
+            .topology.ipc;
+    const double slow_ipc =
+        spec.clusters[static_cast<std::size_t>(m.slowest_cluster())]
+            .topology.ipc;
+    EXPECT_DOUBLE_EQ(spec.assumed_ratio(), fast_ipc / slow_ipc) << name;
+  }
+}
+
+TEST(PlatformRegistry, RegisterRoundTrip) {
+  PlatformRegistry::instance().register_platform(toy("toy-round-trip"));
+  const PlatformSpec* found =
+      PlatformRegistry::instance().find("toy-round-trip");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->signature(), toy("toy-round-trip").signature());
+  const PlatformSpec got = PlatformRegistry::instance().get("toy-round-trip");
+  EXPECT_EQ(got.signature(), toy("toy-round-trip").signature());
+}
+
+TEST(PlatformRegistry, DuplicateNameThrowsUnlessReplace) {
+  PlatformRegistry::instance().register_platform(toy("toy-duplicate"));
+  EXPECT_THROW(
+      PlatformRegistry::instance().register_platform(toy("toy-duplicate")),
+      PlatformConfigError);
+
+  PlatformSpec updated = toy("toy-duplicate");
+  updated.base_watts = 1.5;
+  PlatformRegistry::instance().register_platform(updated, /*replace=*/true);
+  EXPECT_EQ(PlatformRegistry::instance().get("toy-duplicate").base_watts, 1.5);
+}
+
+TEST(PlatformRegistry, UnknownNameErrors) {
+  EXPECT_EQ(PlatformRegistry::instance().find("no-such-platform"), nullptr);
+  try {
+    PlatformRegistry::instance().get("no-such-platform");
+    FAIL() << "expected PlatformConfigError";
+  } catch (const PlatformConfigError& error) {
+    // The error lists the known names to aid discovery.
+    EXPECT_NE(std::string(error.what()).find("exynos5422"), std::string::npos);
+  }
+}
+
+TEST(PlatformRegistry, RejectsInvalidSpec) {
+  PlatformSpec invalid = toy("toy-invalid");
+  invalid.clusters.clear();
+  EXPECT_THROW(PlatformRegistry::instance().register_platform(invalid),
+               PlatformConfigError);
+}
+
+}  // namespace
+}  // namespace hars

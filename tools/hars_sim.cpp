@@ -29,6 +29,7 @@
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 #include "exp/variant_registry.hpp"
+#include "hmp/platform_registry.hpp"
 #include "sweep/sweep_cli.hpp"
 #include "sweep/sweep_engine.hpp"
 #include "util/csv.hpp"
@@ -50,6 +51,10 @@ void usage() {
       "                    axis (sweep mode)\n"
       "  --version NAME    %s\n"
       "                    (default HARS-E); repeatable in sweep mode\n"
+      "  --platform NAME   registered platform (default exynos5422);\n"
+      "                    repeatable in sweep mode; --list-platforms to\n"
+      "                    enumerate\n"
+      "  --list-platforms  print the platform catalogue and exit\n"
       "  --fraction F      target as fraction of max achievable (default 0.5);\n"
       "                    repeatable in sweep mode\n"
       "  --duration SEC    measured run length in simulated seconds (default 120)\n"
@@ -68,6 +73,38 @@ void usage() {
       "  --derive-seeds    per-case coordinate-derived RNG seeds\n"
       "  --help            this text\n",
       versions.c_str());
+}
+
+void list_platforms() {
+  std::printf("%-14s %-8s %-6s %s\n", "platform", "clusters", "cores",
+              "topology (type count x ipc @ DVFS range GHz)");
+  for (const std::string& name : PlatformRegistry::instance().names()) {
+    const PlatformSpec spec = PlatformRegistry::instance().get(name);
+    std::string topo;
+    int cores = 0;
+    for (const PlatformCluster& cluster : spec.clusters) {
+      const ClusterSpec& t = cluster.topology;
+      cores += t.core_count;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s%s %dx%.1f @ %.2f-%.2f",
+                    topo.empty() ? "" : " | ",
+                    core_type_name(t.type), t.core_count, t.ipc,
+                    t.freqs_ghz.front(), t.freqs_ghz.back());
+      topo += buf;
+    }
+    std::printf("%-14s %-8zu %-6d %s\n", spec.name.c_str(),
+                spec.clusters.size(), cores, topo.c_str());
+  }
+}
+
+bool parse_platform(const std::string& name) {
+  if (PlatformRegistry::instance().find(name) != nullptr) return true;
+  std::fprintf(stderr, "unknown platform %s; known:", name.c_str());
+  for (const std::string& known : PlatformRegistry::instance().names()) {
+    std::fprintf(stderr, " %s", known.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return false;
 }
 
 bool parse_bench(const std::string& name, ParsecBenchmark* out) {
@@ -101,6 +138,7 @@ void write_trace(const std::string& path, const AppRunResult& app) {
 int run_sweep_mode(int argc, char** argv) {
   std::vector<ParsecBenchmark> benches;
   std::vector<std::string> versions;
+  std::vector<std::string> platforms;
   std::vector<double> fractions;
   std::vector<int> distances;
   double duration_sec = 120.0;
@@ -136,6 +174,13 @@ int run_sweep_mode(int argc, char** argv) {
         return 2;
       }
       versions.push_back(version);
+    } else if (arg == "--platform") {
+      const std::string platform = next();
+      if (!parse_platform(platform)) return 2;
+      platforms.push_back(platform);
+    } else if (arg == "--list-platforms") {
+      list_platforms();
+      return 0;
     } else if (arg == "--fraction") {
       fractions.push_back(std::atof(next()));
     } else if (arg == "--distance") {
@@ -174,6 +219,7 @@ int run_sweep_mode(int argc, char** argv) {
       .base_seed(seed)
       .benchmarks(benches)
       .variants(versions);
+  if (!platforms.empty()) spec.platforms(platforms);
   if (!fractions.empty()) spec.target_fractions(fractions);
   if (!distances.empty()) spec.search_distances(distances);
   if (derive_seeds) spec.seed_mode(SeedMode::kDerived);
@@ -207,6 +253,7 @@ int run_sweep_mode(int argc, char** argv) {
 
   ReportTable table("sweep results");
   std::vector<std::string> columns{"bench", "variant"};
+  if (!platforms.empty()) columns.push_back("platform");
   if (!fractions.empty()) columns.push_back("fraction");
   if (!distances.empty()) columns.push_back("distance");
   for (const char* metric : {"norm_perf", "avg_power_w", "perf_per_watt",
@@ -244,6 +291,7 @@ int main(int argc, char** argv) {
 
   std::vector<ParsecBenchmark> benches;
   std::string version = "HARS-E";
+  std::string platform;
   ExperimentBuilder builder;
   double fraction = 0.50;
   double duration_sec = 120.0;
@@ -277,6 +325,12 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (arg == "--platform") {
+      platform = next();
+      if (!parse_platform(platform)) return 2;
+    } else if (arg == "--list-platforms") {
+      list_platforms();
+      return 0;
     } else if (arg == "--fraction") {
       fraction = std::atof(next());
     } else if (arg == "--duration") {
@@ -322,6 +376,7 @@ int main(int argc, char** argv) {
   }
 
   if (benches.empty()) benches.push_back(ParsecBenchmark::kSwaptions);
+  if (!platform.empty()) builder.platform(std::string_view(platform));
   builder.apps(benches)
       .variant(version)
       .target_fraction(fraction)
@@ -338,6 +393,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("version          %s\n", version.c_str());
+  if (!platform.empty()) {
+    std::printf("platform         %s\n", platform.c_str());
+  }
   for (std::size_t i = 0; i < benches.size(); ++i) {
     const AppRunResult& app = result.apps[i];
     std::printf("bench            %s (%s)\n", parsec_code(benches[i]),
