@@ -75,6 +75,15 @@ class App {
   /// normally end on time instead).
   virtual bool finished() const { return false; }
 
+  /// Workload-phase multiplier (scenario `set_phase` events): the app's
+  /// work appears `scale`× heavier — effective per-thread speed is divided
+  /// by it, which is equivalent to multiplying every iteration's work.
+  /// 1.0 = nominal; must be > 0.
+  void set_phase_scale(double scale) {
+    if (scale > 0.0) phase_scale_ = scale;
+  }
+  double phase_scale() const { return phase_scale_; }
+
   /// Thread-hierarchy information (thesis §3.1.4, option 2): sizes of the
   /// application's thread groups in thread-ID order. Data-parallel apps
   /// are one flat group; pipeline apps report one group per stage so a
@@ -86,7 +95,7 @@ class App {
 
  protected:
   double thread_speed(CoreType type, double freq_ghz) const {
-    return speed_.speed(type, freq_ghz);
+    return speed_.speed(type, freq_ghz) / phase_scale_;
   }
 
  private:
@@ -94,6 +103,7 @@ class App {
   int thread_count_;
   SpeedModel speed_;
   HeartbeatMonitor heartbeats_;
+  double phase_scale_ = 1.0;
 };
 
 }  // namespace hars

@@ -7,6 +7,9 @@
 #include "exp/calibration.hpp"
 #include "hmp/platform_registry.hpp"
 #include "hmp/sim_engine.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "scenario/scenario_runtime.hpp"
+#include "scenario/trace_sink.hpp"
 #include "util/once_cache.hpp"
 
 namespace hars {
@@ -105,11 +108,10 @@ std::vector<PerfTarget> resolve_targets(const ExperimentSpec& spec) {
 }
 
 RunMetrics collect_metrics(const SimEngine& engine, const App& app,
-                           const PerfTarget& target, TimeUs t0,
+                           const PerfTarget& target, TimeUs t0, TimeUs t1,
                            double avg_power_w) {
   RunMetrics m;
   const auto& history = app.heartbeats().history();
-  const TimeUs t1 = engine.now();
   m.norm_perf = time_weighted_norm_perf(history, target, t0, t1);
   m.avg_rate_hps = average_rate(history, t0, t1);
   m.avg_power_w = avg_power_w;
@@ -123,10 +125,117 @@ RunMetrics collect_metrics(const SimEngine& engine, const App& app,
   return m;
 }
 
+/// The scenario pipeline: apps arrive and depart per the scenario's event
+/// list, dispatched at tick boundaries by a ScenarioRuntime installed as
+/// the engine's tick hook. Cold-start protocol throughout; each app's
+/// measurement span runs from its first heartbeat to its departure (or
+/// run end).
+ExperimentResult run_scenario(const ExperimentSpec& spec) {
+  const Scenario& scenario = *spec.scenario;
+  SimEngine engine(spec.platform, spec.make_scheduler
+                                      ? spec.make_scheduler()
+                                      : make_default_scheduler());
+  ScenarioRuntime runtime(scenario, engine, spec,
+                          resolve_scenario_targets(spec, scenario));
+  runtime.spawn_initial();
+
+  const std::vector<AppId> initial_ids = runtime.initial_ids();
+  const std::vector<PerfTarget> initial_targets = runtime.initial_targets();
+  const VariantEntry* entry = VariantRegistry::instance().find(spec.variant);
+  const VariantSetup setup{engine, spec, initial_ids, initial_targets};
+  std::unique_ptr<VariantInstance> instance = entry->factory(setup);
+  if (instance == nullptr) {
+    throw std::runtime_error("variant \"" + spec.variant +
+                             "\" factory returned no instance");
+  }
+  if (instance->active()) engine.set_manager(instance.get());
+  runtime.attach_variant(instance.get());
+
+  if (spec.capture != nullptr) {
+    TraceMeta meta;
+    meta.scenario_dsl = scenario.to_dsl();
+    meta.platform = spec.platform.name;
+    meta.variant = spec.variant;
+    meta.seed = spec.seed;
+    meta.threads = spec.threads;
+    meta.duration_us = spec.duration;
+    meta.fraction = spec.target_fraction;
+    meta.sample_ticks = spec.capture->sample_every_ticks();
+    spec.capture->write_meta(meta);
+    runtime.attach_capture(spec.capture);
+  }
+  engine.set_tick_hook([&runtime](TimeUs t) { runtime.on_tick(t); });
+
+  if (spec.sample_period > 0 && spec.sampler) {
+    std::vector<App*> app_ptrs;
+    std::vector<AppId> ids;
+    const TimeUs end = engine.now() + spec.duration;
+    while (engine.now() < end) {
+      engine.run_for(std::min(spec.sample_period, end - engine.now()));
+      app_ptrs.clear();
+      ids.clear();
+      for (const ScenarioAppSlot& slot : runtime.slots()) {
+        if (!slot.alive) continue;
+        app_ptrs.push_back(slot.app.get());
+        ids.push_back(slot.id);
+      }
+      spec.sampler(RunView{engine, app_ptrs, ids, *instance, engine.now()});
+    }
+  } else {
+    engine.run_for(spec.duration);
+  }
+  runtime.finish(engine.now());
+
+  ExperimentResult result;
+  const TimeUs t1 = engine.now();
+  result.avg_power_w = engine.sensor().average_power_w(t1);
+  for (const ScenarioAppSlot& slot : runtime.slots()) {
+    if (!slot.spawned) continue;  // Arrival beyond the run's duration.
+    AppRunResult app_result;
+    app_result.label = slot.label;
+    app_result.target = slot.target;
+    app_result.spawn_time_us = slot.spawn_time;
+    app_result.depart_time_us = slot.depart_time;
+    const TimeUs span1 = slot.depart_time >= 0 ? slot.depart_time : t1;
+    const auto& history = slot.app->heartbeats().history();
+    const TimeUs span0 = history.empty() ? slot.spawn_time : history.front().time;
+    app_result.metrics = collect_metrics(engine, *slot.app, slot.target,
+                                         std::min(span0, span1), span1,
+                                         result.avg_power_w);
+    app_result.trace = instance->trace(slot.id);
+    result.apps.push_back(std::move(app_result));
+  }
+  result.static_state = instance->static_state();
+  result.final_state = instance->current_state();
+  result.adaptations = instance->adaptations();
+
+  if (spec.capture != nullptr) {
+    for (const AppRunResult& app : result.apps) {
+      Record r;
+      r.set("kind", "metrics");
+      r.set("app", app.label);
+      r.set("spawn_us", static_cast<std::int64_t>(app.spawn_time_us));
+      r.set("depart_us", static_cast<std::int64_t>(app.depart_time_us));
+      r.set("heartbeats", app.metrics.heartbeats);
+      r.set("norm_perf", app.metrics.norm_perf);
+      r.set("avg_rate_hps", app.metrics.avg_rate_hps);
+      r.set("avg_power_w", app.metrics.avg_power_w);
+      r.set("perf_per_watt", app.metrics.perf_per_watt);
+      r.set("in_window_fraction", app.metrics.in_window_fraction);
+      r.set("energy_j", app.metrics.energy_j);
+      r.set("manager_cpu_pct", app.metrics.manager_cpu_pct);
+      r.set("adaptations", result.adaptations);
+      spec.capture->write(r);
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 ExperimentResult Experiment::run() const {
   const ExperimentSpec& spec = spec_;
+  if (spec.scenario) return run_scenario(spec);
   const std::vector<PerfTarget> targets = resolve_targets(spec);
 
   SimEngine engine(spec.platform, spec.make_scheduler
@@ -191,7 +300,7 @@ ExperimentResult Experiment::run() const {
       span0 = history.empty() ? 0 : history.front().time;
     }
     app_result.metrics = collect_metrics(engine, *apps[i], targets[i], span0,
-                                         result.avg_power_w);
+                                         t1, result.avg_power_w);
     app_result.trace = instance->trace(ids[i]);
     result.apps.push_back(std::move(app_result));
   }
@@ -266,6 +375,30 @@ ExperimentBuilder& ExperimentBuilder::app(std::string label,
 ExperimentBuilder& ExperimentBuilder::apps(
     const std::vector<ParsecBenchmark>& benches) {
   for (ParsecBenchmark bench : benches) app(bench);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::scenario(Scenario scenario) {
+  try {
+    scenario.validate();
+  } catch (const ScenarioError& error) {
+    throw ExperimentConfigError(error.what());
+  }
+  spec_.scenario = std::move(scenario);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::scenario(std::string_view name) {
+  try {
+    spec_.scenario = ScenarioRegistry::instance().get(name);
+  } catch (const ScenarioError& error) {
+    throw ExperimentConfigError(error.what());
+  }
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::capture(TraceSink& sink) {
+  spec_.capture = &sink;
   return *this;
 }
 
@@ -366,6 +499,37 @@ ExperimentBuilder& ExperimentBuilder::sample_every(TimeUs period,
 
 Experiment ExperimentBuilder::build() const {
   ExperimentSpec spec = spec_;
+
+  if (spec.scenario) {
+    if (!spec.apps.empty()) {
+      throw ExperimentConfigError(
+          "scenario() and app() are exclusive: scenario spawns define the "
+          "apps");
+    }
+    if (spec.protocol == RunProtocol::kSteadyState) {
+      throw ExperimentConfigError(
+          "scenario runs use the cold-start protocol (a steady-state warmup "
+          "has no meaning when apps arrive over time)");
+    }
+    spec.protocol = RunProtocol::kColdStart;
+    // Synthesize the t = 0 app set so variant factories (and the traits
+    // validation below) see the initial apps; later arrivals go through
+    // VariantInstance::on_app_spawn.
+    for (const ScenarioEvent* spawn : spec.scenario->spawns()) {
+      if (spawn->time > 0) continue;
+      AppSpec app;
+      app.bench = spawn->spawn.bench;
+      const ParsecBenchmark bench = *spawn->spawn.bench;
+      app.factory = [bench](int threads, std::uint64_t seed) {
+        return make_parsec_app(bench, threads, seed);
+      };
+      app.label = spawn->app;
+      if (spawn->spawn.target) app.target = *spawn->spawn.target;
+      spec.apps.push_back(std::move(app));
+    }
+  } else if (spec.capture != nullptr) {
+    throw ExperimentConfigError("capture() requires scenario()");
+  }
 
   if (spec.apps.empty()) {
     throw ExperimentConfigError("experiment needs at least one app");

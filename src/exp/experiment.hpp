@@ -35,12 +35,14 @@
 #include "exp/variant_registry.hpp"
 #include "hmp/machine.hpp"
 #include "hmp/platform_spec.hpp"
+#include "scenario/scenario.hpp"
 #include "sched/gts.hpp"
 #include "sched/scheduler.hpp"
 
 namespace hars {
 
 class Experiment;
+class TraceSink;  // scenario/trace_sink.hpp
 
 /// Builds one application instance for the run. `threads` and `seed` come
 /// from the experiment spec (seed is already offset per app slot).
@@ -82,13 +84,22 @@ struct ExperimentSpec {
   VariantTuning tuning;
   TimeUs sample_period = 0;
   SampleFn sampler;
+  /// Dynamic scenario (apps from the scenario, not from `apps` — build()
+  /// synthesizes `apps` from the t = 0 spawns so variant factories and
+  /// validation see the initial set).
+  std::optional<Scenario> scenario;
+  /// Trace capture for scenario runs (non-owning; see TraceSink).
+  TraceSink* capture = nullptr;
 };
 
 struct AppRunResult {
   std::string label;
   RunMetrics metrics;
   std::vector<TracePoint> trace;  ///< Empty for trace-less variants.
-  PerfTarget target;
+  PerfTarget target;              ///< Target at run end.
+  // --- Scenario runs only (0 / -1 otherwise) ---
+  TimeUs spawn_time_us = 0;    ///< When the app arrived.
+  TimeUs depart_time_us = -1;  ///< When it was killed; -1 = ran to end.
 };
 
 struct ExperimentResult {
@@ -153,6 +164,18 @@ class ExperimentBuilder {
   ExperimentBuilder& app(ParsecBenchmark bench);
   ExperimentBuilder& app(std::string label, AppFactory factory);
   ExperimentBuilder& apps(const std::vector<ParsecBenchmark>& benches);
+
+  // --- Dynamic scenario (the time axis; exclusive with app()) ---
+  /// Apps, targets and mid-run events come from the scenario; the run
+  /// uses the cold-start protocol and every per-app span ends at the
+  /// app's departure. Validated at build(): see ExperimentSpec::scenario.
+  ExperimentBuilder& scenario(Scenario scenario);
+  /// A registered scenario preset by name ("steady", "staggered", ...);
+  /// throws ExperimentConfigError listing the known names when unknown.
+  ExperimentBuilder& scenario(std::string_view name);
+  /// Captures the scenario run's trace into `sink` (kept alive by the
+  /// caller); requires scenario(). See TraceSink for the replay contract.
+  ExperimentBuilder& capture(TraceSink& sink);
 
   // --- Targets ---
   /// Explicit target for the most recently added app.

@@ -1,5 +1,6 @@
 #include "exp/variant_registry.hpp"
 
+#include <map>
 #include <utility>
 
 #include "core/hars.hpp"
@@ -100,7 +101,8 @@ std::unique_ptr<VariantInstance> make_static_optimal(
 /// configuration adjusted by the experiment's typed tuning.
 class HarsInstance final : public VariantInstance {
  public:
-  HarsInstance(const VariantSetup& setup, HarsVariant variant) {
+  HarsInstance(const VariantSetup& setup, HarsVariant variant)
+      : managed_app_(setup.app_ids.front()) {
     RuntimeManagerConfig config = config_for_variant(variant);
     // Calibration default: the platform's assumed fastest:slowest ratio
     // (the paper's r0 = 3/2 on the Exynos preset).
@@ -132,22 +134,29 @@ class HarsInstance final : public VariantInstance {
   }
   std::int64_t adaptations() const override { return manager_->adaptations(); }
 
+  /// Single-app manager: if *our* app departs, go silent for the rest of
+  /// the run (background departures are none of our business).
+  void on_app_kill(AppId app) override {
+    if (app == managed_app_) mute_inner();
+  }
+
  private:
+  AppId managed_app_;
   RuntimeManager* manager_ = nullptr;
 };
 
 class ConsInstance final : public VariantInstance {
  public:
-  explicit ConsInstance(const VariantSetup& setup) {
+  explicit ConsInstance(const VariantSetup& setup)
+      : adapt_period_(setup.spec.tuning.adapt_period.value_or(5)) {
     ConsIConfig config;
     config.r0 = setup.spec.platform.assumed_ratio();
     const VariantTuning& t = setup.spec.tuning;
     if (t.r0) config.r0 = *t.r0;
     auto manager = std::make_unique<ConsIManager>(setup.engine, config);
     for (std::size_t i = 0; i < setup.app_ids.size(); ++i) {
-      manager->register_app(
-          setup.app_ids[i],
-          ConsIAppConfig{setup.targets[i], t.adapt_period.value_or(5)});
+      manager->register_app(setup.app_ids[i],
+                            ConsIAppConfig{setup.targets[i], adapt_period_});
     }
     manager_ = manager.get();
     inner_ = std::move(manager);
@@ -160,13 +169,25 @@ class ConsInstance final : public VariantInstance {
     return manager_->global_state();
   }
 
+  void on_app_spawn(AppId app, const PerfTarget& target) override {
+    manager_->register_app(app, ConsIAppConfig{target, adapt_period_});
+  }
+  void on_app_kill(AppId app) override { manager_->unregister_app(app); }
+  void on_app_target(AppId app, const PerfTarget& target) override {
+    manager_->set_app_target(app, target);
+  }
+
  private:
+  int adapt_period_;
   ConsIManager* manager_ = nullptr;
 };
 
 class MpHarsInstance final : public VariantInstance {
  public:
-  MpHarsInstance(const VariantSetup& setup, SearchPolicy policy) {
+  MpHarsInstance(const VariantSetup& setup, SearchPolicy policy)
+      : adapt_period_(setup.spec.tuning.adapt_period.value_or(5)),
+        scheduler_(setup.spec.tuning.scheduler.value_or(
+            ThreadSchedulerKind::kChunk)) {
     MpHarsConfig config;
     config.policy = policy;
     config.r0 = setup.spec.platform.assumed_ratio();
@@ -181,20 +202,38 @@ class MpHarsInstance final : public VariantInstance {
     for (std::size_t i = 0; i < setup.app_ids.size(); ++i) {
       manager->register_app(
           setup.app_ids[i],
-          MpHarsAppConfig{setup.targets[i], t.adapt_period.value_or(5),
-                          t.scheduler.value_or(ThreadSchedulerKind::kChunk)});
+          MpHarsAppConfig{setup.targets[i], adapt_period_, scheduler_});
     }
     manager_ = manager.get();
     inner_ = std::move(manager);
   }
 
   std::vector<TracePoint> trace(AppId app) const override {
+    const auto retired = retired_traces_.find(app);
+    if (retired != retired_traces_.end()) return retired->second;
     return manager_->trace(app);
   }
   std::int64_t adaptations() const override { return manager_->adaptations(); }
 
+  void on_app_spawn(AppId app, const PerfTarget& target) override {
+    manager_->register_app(app, MpHarsAppConfig{target, adapt_period_,
+                                                scheduler_});
+  }
+  void on_app_kill(AppId app) override {
+    // The registry node (and its trace) dies with the unregistration;
+    // keep the trace so post-run queries still see the departed app.
+    retired_traces_[app] = manager_->trace(app);
+    manager_->unregister_app(app);
+  }
+  void on_app_target(AppId app, const PerfTarget& target) override {
+    manager_->set_app_target(app, target);
+  }
+
  private:
+  int adapt_period_;
+  ThreadSchedulerKind scheduler_;
   MpHarsManager* manager_ = nullptr;
+  std::map<AppId, std::vector<TracePoint>> retired_traces_;
 };
 
 constexpr int kManyApps = 64;

@@ -86,7 +86,30 @@ class VariantInstance : public ManagerHook {
   ~VariantInstance() override = default;
 
   TimeUs on_tick(TimeUs now) override {
-    return inner_ ? inner_->on_tick(now) : 0;
+    return (inner_ && !inner_muted_) ? inner_->on_tick(now) : 0;
+  }
+
+  // --- Scenario hooks (dynamic app sets) ---
+  /// A scenario spawned `app` mid-run; the engine already has it and its
+  /// target is installed. Multi-app managers register it; the default
+  /// ignores it (single-app variants keep managing their original app
+  /// while background apps come and go).
+  virtual void on_app_spawn(AppId app, const PerfTarget& target) {
+    (void)app;
+    (void)target;
+  }
+
+  /// `app` is departing; called *before* the engine reclaims its threads.
+  /// Multi-app managers unregister it; a single-app manager whose own app
+  /// departs mutes itself (mute_inner) so it never reads the dead slot.
+  virtual void on_app_kill(AppId app) { (void)app; }
+
+  /// A scenario moved `app`'s target; the heartbeat monitor is already
+  /// updated (which is all the single-app HARS manager reads). Managers
+  /// that cache per-app targets refresh them here.
+  virtual void on_app_target(AppId app, const PerfTarget& target) {
+    (void)app;
+    (void)target;
   }
 
   /// True when a runtime manager is attached (and should be installed on
@@ -110,7 +133,14 @@ class VariantInstance : public ManagerHook {
   virtual std::int64_t adaptations() const { return 0; }
 
  protected:
+  /// Permanently stops forwarding on_tick to the owned manager (post-run
+  /// queries like trace() stay valid — they must not touch the engine).
+  void mute_inner() { inner_muted_ = true; }
+
   std::unique_ptr<ManagerHook> inner_;
+
+ private:
+  bool inner_muted_ = false;
 };
 
 /// Everything a factory may consult: the engine (apps already added,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "hmp/platform_spec.hpp"
 
@@ -38,7 +39,7 @@ AppId SimEngine::add_app(App* app) {
   app_thread_base_.push_back(static_cast<int>(threads_.size()));
   for (int i = 0; i < app->thread_count(); ++i) {
     SimThread t;
-    t.id = static_cast<ThreadId>(threads_.size());
+    t.id = next_thread_id_++;
     t.app = id;
     t.local_index = i;
     t.affinity = machine_.all_mask();
@@ -47,8 +48,28 @@ AppId SimEngine::add_app(App* app) {
   return id;
 }
 
+void SimEngine::remove_app(AppId app_id) {
+  if (!app_alive(app_id)) {
+    throw std::out_of_range("remove_app: unknown or already-removed app " +
+                            std::to_string(app_id));
+  }
+  const auto slot = static_cast<std::size_t>(app_id);
+  const int thread_count = apps_[slot]->thread_count();
+  std::erase_if(threads_, [&](const SimThread& t) {
+    if (t.app != app_id) return false;
+    retired_migrations_ += t.migrations;
+    return true;
+  });
+  // Later apps' thread ranges shift down by the erased block.
+  for (std::size_t j = slot + 1; j < app_thread_base_.size(); ++j) {
+    if (app_thread_base_[j] >= 0) app_thread_base_[j] -= thread_count;
+  }
+  app_thread_base_[slot] = -1;
+  apps_[slot] = nullptr;
+}
+
 SimThread& SimEngine::thread_of(AppId app_id, int local_tid) {
-  assert(app_id >= 0 && app_id < num_apps());
+  assert(app_alive(app_id));
   assert(local_tid >= 0 && local_tid < apps_[static_cast<std::size_t>(app_id)]->thread_count());
   return threads_[static_cast<std::size_t>(
       app_thread_base_[static_cast<std::size_t>(app_id)] + local_tid)];
@@ -80,10 +101,14 @@ void SimEngine::run_until(TimeUs t) {
 }
 
 void SimEngine::step() {
+  if (tick_hook_) tick_hook_(now_);
+
   const TimeUs tick = config_.tick_us;
   now_ += tick;
 
-  for (App* a : apps_) a->begin_tick(now_);
+  for (App* a : apps_) {
+    if (a != nullptr) a->begin_tick(now_);
+  }
 
   // Refresh runnability and load averages.
   for (SimThread& t : threads_) {
@@ -129,7 +154,9 @@ void SimEngine::step() {
     tick_busy_[core] += static_cast<double>(used) / static_cast<double>(tick);
   }
 
-  for (App* a : apps_) a->end_tick(now_);
+  for (App* a : apps_) {
+    if (a != nullptr) a->end_tick(now_);
+  }
 
   if (manager_ != nullptr) {
     const TimeUs cost = manager_->on_tick(now_);
@@ -159,7 +186,7 @@ double SimEngine::manager_cpu_utilization_pct() const {
 }
 
 std::int64_t SimEngine::total_migrations() const {
-  std::int64_t n = 0;
+  std::int64_t n = retired_migrations_;
   for (const SimThread& t : threads_) n += t.migrations;
   return n;
 }

@@ -1,6 +1,9 @@
 // SimEngine: the discrete-time execution engine.
 //
 // Advances the machine in fixed ticks (default 1 ms). Each tick it:
+//   0. fires the tick hook with the tick's start time (scenario event
+//      dispatch: apps may be added/removed, targets/phases/hotplug may
+//      change here, visible to the whole tick),
 //   1. lets every application generate/prepare work (begin_tick),
 //   2. asks the OS-scheduler model to place runnable threads on cores,
 //   3. divides each core's tick equally among the threads on it and lets
@@ -16,6 +19,7 @@
 // (machine().set_freq_level) and hotplug (machine().set_online_mask).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -61,8 +65,33 @@ class SimEngine {
             SimConfig config = {});
 
   /// Registers an application (non-owning); returns its AppId. All of the
-  /// app's threads start with affinity = all cores.
+  /// app's threads start with affinity = all cores. Apps may be added
+  /// mid-run (scenario arrivals); their threads join scheduling on the
+  /// next tick.
   AppId add_app(App* app);
+
+  /// Deregisters a departed application: its threads are reclaimed from
+  /// the scheduler (erased from the thread table, so no share of any core
+  /// reaches it again) and its slot is cleared so no stale heartbeat or
+  /// affinity state can leak into later manager decisions. The AppId is
+  /// retired, never reused; ids of other apps are stable. Detach the app
+  /// from any manager *before* removing it. Throws std::out_of_range on
+  /// an unknown or already-removed id.
+  void remove_app(AppId app_id);
+
+  /// False once `app_id` has been remove_app()ed.
+  bool app_alive(AppId app_id) const {
+    return app_id >= 0 && app_id < num_apps() &&
+           apps_[static_cast<std::size_t>(app_id)] != nullptr;
+  }
+
+  /// Installs a callback invoked at every tick boundary with the tick's
+  /// start time (first call: t = 0), before applications generate work —
+  /// the dispatch point for scenario events: state changed by the hook is
+  /// visible to the whole tick. One hook; empty function clears it.
+  void set_tick_hook(std::function<void(TimeUs)> hook) {
+    tick_hook_ = std::move(hook);
+  }
 
   /// Installs a manager the caller keeps alive (legacy wiring; the
   /// Experiment pipeline and the attach_hars shim use this).
@@ -93,7 +122,9 @@ class SimEngine {
   const PowerSensor& sensor() const { return sensor_; }
   Scheduler& scheduler() { return *scheduler_; }
 
+  /// Number of app slots ever registered (removed apps keep their slot).
   int num_apps() const { return static_cast<int>(apps_.size()); }
+  /// The app in slot `id`; the id must be alive (app_alive).
   App& app(AppId id) { return *apps_[static_cast<std::size_t>(id)]; }
   const App& app(AppId id) const { return *apps_[static_cast<std::size_t>(id)]; }
 
@@ -138,10 +169,14 @@ class SimEngine {
   std::unique_ptr<Scheduler> scheduler_;
   SimConfig config_;
 
-  std::vector<App*> apps_;
+  std::vector<App*> apps_;  ///< Slot per AppId; null once removed.
   std::vector<SimThread> threads_;
-  /// threads_ index of the first thread of each app.
+  /// threads_ index of the first thread of each app; -1 once removed.
   std::vector<int> app_thread_base_;
+  ThreadId next_thread_id_ = 0;  ///< Ids stay unique across removals.
+  std::int64_t retired_migrations_ = 0;  ///< Migrations of removed apps.
+
+  std::function<void(TimeUs)> tick_hook_;
 
   ManagerHook* manager_ = nullptr;
   std::unique_ptr<ManagerHook> owned_manager_;  ///< Set iff engine-owned.

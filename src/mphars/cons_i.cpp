@@ -87,6 +87,29 @@ void ConsIManager::register_app(AppId app, const ConsIAppConfig& app_config) {
   engine_.app(app).heartbeats().set_target(app_config.target);
 }
 
+bool ConsIManager::set_app_target(AppId app, PerfTarget target) {
+  for (AppEntry& entry : apps_) {
+    if (entry.app == app && entry.alive) {
+      entry.target = target;
+      engine_.app(app).heartbeats().set_target(target);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ConsIManager::unregister_app(AppId app) {
+  for (AppEntry& entry : apps_) {
+    if (entry.app == app && entry.alive) {
+      entry.alive = false;
+      entry.rate = 0.0;  // A departed app no longer constrains decisions.
+      entry.freezing_cnt = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
 void ConsIManager::apply_state(const SystemState& s) {
   state_ = s;
   Machine& m = engine_.machine();
@@ -124,6 +147,7 @@ TimeUs ConsIManager::on_tick(TimeUs now) {
 
   const Machine& m = engine_.machine();
   for (AppEntry& entry : apps_) {
+    if (!entry.alive) continue;
     const HeartbeatMonitor& hb = engine_.app(entry.app).heartbeats();
     const std::int64_t idx = hb.last_index();
     if (idx < 0 || idx == entry.last_seen_hb) continue;
@@ -142,9 +166,12 @@ TimeUs ConsIManager::on_tick(TimeUs now) {
     if (entry.rate <= 0.0) continue;  // No windowed rate yet.
     if (entry.target.contains(entry.rate)) continue;
 
+    // Departed entries are excluded everywhere freezing counts are read
+    // or armed: they emit no heartbeats, so a count set on one would
+    // never decay and would freeze the system for the rest of the run.
     const bool frozen = std::any_of(apps_.begin(), apps_.end(),
                                     [](const AppEntry& a) {
-                                      return a.freezing_cnt > 0;
+                                      return a.alive && a.freezing_cnt > 0;
                                     });
     const PerfStatus own =
         classify(entry.rate, entry.target.min, entry.target.max);
@@ -175,7 +202,9 @@ TimeUs ConsIManager::on_tick(TimeUs now) {
     cost += config_.step_cost_us;
 
     if (decision.freeze == FreezeDecision::kUnfreeze) {
-      for (AppEntry& a : apps_) a.freezing_cnt = 0;
+      for (AppEntry& a : apps_) {
+        if (a.alive) a.freezing_cnt = 0;
+      }
     }
 
     const std::size_t idx_now = current_index();
@@ -190,7 +219,9 @@ TimeUs ConsIManager::on_tick(TimeUs now) {
       if (scores_[j] < scores_[idx_now]) {
         apply_state(states_[j]);
         if (decision.freeze == FreezeDecision::kFreeze) {
-          for (AppEntry& a : apps_) a.freezing_cnt = config_.freeze_heartbeats;
+          for (AppEntry& a : apps_) {
+            if (a.alive) a.freezing_cnt = config_.freeze_heartbeats;
+          }
         }
       }
     }

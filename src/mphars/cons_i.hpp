@@ -52,6 +52,14 @@ class ConsIManager : public ManagerHook {
 
   void register_app(AppId app, const ConsIAppConfig& app_config);
 
+  /// Removes a departed app from the decision loop (its trace is kept for
+  /// post-run queries). Returns false for unknown apps.
+  bool unregister_app(AppId app);
+
+  /// Moves an app's performance target (scenario set_target events).
+  /// Returns false for unknown apps.
+  bool set_app_target(AppId app, PerfTarget target);
+
   TimeUs on_tick(TimeUs now) override;
 
   const SystemState& global_state() const { return state_; }
@@ -60,6 +68,7 @@ class ConsIManager : public ManagerHook {
  private:
   struct AppEntry {
     AppId app = -1;
+    bool alive = true;  ///< False once unregistered (departed).
     PerfTarget target;
     int adapt_period = 5;
     std::int64_t last_seen_hb = -1;

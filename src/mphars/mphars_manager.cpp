@@ -55,6 +55,14 @@ bool MpHarsManager::unregister_app(AppId app) {
   return registry_.remove(app);
 }
 
+bool MpHarsManager::set_app_target(AppId app, PerfTarget target) {
+  AppNode* node = registry_.find(app);
+  if (node == nullptr) return false;
+  node->target = target;
+  engine_.app(app).heartbeats().set_target(target);
+  return true;
+}
+
 SystemState MpHarsManager::current_state_of(const AppNode& node) const {
   const Machine& m = engine_.machine();
   SystemState s;

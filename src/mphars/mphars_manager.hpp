@@ -59,6 +59,10 @@ class MpHarsManager : public ManagerHook {
   /// adaptation. Returns false for unknown apps.
   bool unregister_app(AppId app);
 
+  /// Moves an app's performance target (scenario set_target events).
+  /// Returns false for unknown apps.
+  bool set_app_target(AppId app, PerfTarget target);
+
   TimeUs on_tick(TimeUs now) override;
 
   /// Current state of one app (own cores + shared frequencies).

@@ -1,0 +1,157 @@
+// Declarative dynamic scenarios: the time axis of the evaluation.
+//
+// A Scenario is a validated, time-ordered list of events applied to a run
+// while it executes — applications arriving (`spawn`) and departing
+// (`kill`), performance targets moving (`set_target`), workload phases
+// shifting (`set_phase`, a work multiplier), and cores failing or
+// recovering (`offline_cores` / `online_cores`). Scenarios are *data*,
+// not code: load one from the CSV DSL (Scenario::from_file, format in
+// docs/FILE_FORMATS.md), compose one with the fluent ScenarioBuilder, or
+// fetch a preset from the ScenarioRegistry ("steady", "staggered",
+// "bursty", "rush_hour", "core_failure").
+//
+// Determinism: a Scenario is a pure value; event dispatch happens at tick
+// boundaries of the SimEngine in event order, and every spawned app's RNG
+// seed derives from the experiment seed and the spawn's position in the
+// scenario — never from wall clock or execution order — so a scenario run
+// is exactly reproducible (and replayable bit-for-bit; see TraceSink).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/parsec.hpp"
+#include "heartbeats/heartbeat.hpp"
+#include "hmp/cpu_mask.hpp"
+#include "util/common.hpp"
+
+namespace hars {
+
+/// Malformed scenarios (DSL syntax, ordering, unknown app references) are
+/// reported through this exception.
+class ScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class ScenarioEventKind {
+  kSpawn,         ///< An application arrives.
+  kKill,          ///< An application departs (threads reclaimed).
+  kSetTarget,     ///< An application's performance target moves.
+  kSetPhase,      ///< Workload phase: work appears `scale`× heavier.
+  kOfflineCores,  ///< Cores go offline (hotplug failure model).
+  kOnlineCores,   ///< Cores come back online.
+};
+
+const char* scenario_event_name(ScenarioEventKind kind);
+
+/// Payload of a spawn event. Target resolution at run time: an explicit
+/// `target` window wins; otherwise the app's target is `fraction` (or the
+/// experiment's target_fraction when unset) of its standalone calibrated
+/// maximum rate on the run's platform.
+struct ScenarioSpawn {
+  std::optional<ParsecBenchmark> bench;  ///< Workload preset (required).
+  int threads = 0;                       ///< 0 = experiment default.
+  std::optional<double> fraction;        ///< Derived-target fraction.
+  std::optional<PerfTarget> target;      ///< Explicit target; wins.
+};
+
+struct ScenarioEvent {
+  TimeUs time = 0;
+  ScenarioEventKind kind = ScenarioEventKind::kSpawn;
+  std::string app;           ///< Scenario-unique app id (core events: empty).
+  ScenarioSpawn spawn;       ///< kSpawn payload.
+  PerfTarget target;         ///< kSetTarget payload.
+  double phase_scale = 1.0;  ///< kSetPhase payload (> 0).
+  CpuMask cores;             ///< kOfflineCores / kOnlineCores payload.
+};
+
+/// A validated, time-ordered event list. Construct via ScenarioBuilder,
+/// from_file/from_stream, or the ScenarioRegistry — all three validate().
+struct Scenario {
+  std::string name;
+  std::vector<ScenarioEvent> events;  ///< Non-decreasing in time.
+
+  /// Throws ScenarioError on an inconsistent scenario: empty name, no
+  /// spawn at t = 0, out-of-order events, duplicate spawn ids, events
+  /// referencing unknown / not-yet-spawned / already-killed apps,
+  /// non-positive phase scales or thread counts, empty core masks,
+  /// offlining cpu0 (the manager core is not hot-unpluggable), spawns
+  /// without a workload, negative event times, or non-spawn events at
+  /// t = 0 (the first tick boundary is reserved for initial arrivals).
+  void validate() const;
+
+  /// The spawn events in scenario order (positions define app seeds).
+  std::vector<const ScenarioEvent*> spawns() const;
+
+  /// Time of the last event (0 for a steady scenario).
+  TimeUs last_event_time() const;
+
+  /// Parses the scenario CSV DSL (docs/FILE_FORMATS.md):
+  ///   # comment / empty lines ignored
+  ///   scenario,NAME
+  ///   TIME_MS,spawn,app=ID,bench=SW[,threads=N][,fraction=F]
+  ///                 [,min=HPS,max=HPS]
+  ///   TIME_MS,kill,app=ID
+  ///   TIME_MS,set_target,app=ID,min=HPS,max=HPS
+  ///   TIME_MS,set_phase,app=ID,scale=X
+  ///   TIME_MS,offline_cores,cores=SPEC   (SPEC: "4-7" or "1;3;5-6")
+  ///   TIME_MS,online_cores,cores=SPEC
+  /// Events must appear in non-decreasing time order (out-of-order input
+  /// is rejected, not sorted). The result is validate()d.
+  static Scenario from_stream(std::istream& in);
+
+  /// Reads `path` and parses it with from_stream.
+  static Scenario from_file(const std::string& path);
+
+  /// Serializes back to the DSL; from_stream(to_stream(s)) round-trips to
+  /// an equal scenario (asserted by tests/scenario/scenario_test.cpp).
+  void to_stream(std::ostream& out) const;
+  std::string to_dsl() const;
+};
+
+bool operator==(const ScenarioSpawn& a, const ScenarioSpawn& b);
+bool operator==(const ScenarioEvent& a, const ScenarioEvent& b);
+bool operator==(const Scenario& a, const Scenario& b);
+
+/// Parses a core-set spec ("4-7", "1;3;5-6") into a mask; throws
+/// ScenarioError on malformed input. Inverse of format_core_set.
+CpuMask parse_core_set(const std::string& spec);
+std::string format_core_set(CpuMask mask);
+
+/// Fluent composition mirroring ExperimentBuilder. Events may be added in
+/// any order; build() stably sorts by time and validates:
+///
+///   Scenario s = ScenarioBuilder("staggered")
+///                    .spawn(0, "a0", ParsecBenchmark::kBodytrack)
+///                    .spawn(8 * kUsPerSec, "a1", ParsecBenchmark::kFluidanimate)
+///                    .kill(30 * kUsPerSec, "a1")
+///                    .build();
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(std::string name);
+
+  /// Starts a spawn; the per-spawn setters below refine the latest one.
+  ScenarioBuilder& spawn(TimeUs t, std::string app, ParsecBenchmark bench);
+  ScenarioBuilder& threads(int n);
+  ScenarioBuilder& fraction(double f);
+  ScenarioBuilder& target(PerfTarget t);
+
+  ScenarioBuilder& kill(TimeUs t, std::string app);
+  ScenarioBuilder& set_target(TimeUs t, std::string app, PerfTarget target);
+  ScenarioBuilder& set_phase(TimeUs t, std::string app, double scale);
+  ScenarioBuilder& offline_cores(TimeUs t, CpuMask cores);
+  ScenarioBuilder& online_cores(TimeUs t, CpuMask cores);
+
+  /// Stable-sorts by time, validates, returns the finished scenario.
+  Scenario build() const;
+
+ private:
+  ScenarioEvent& last_spawn();
+  Scenario scenario_;
+};
+
+}  // namespace hars

@@ -1,0 +1,113 @@
+#include "scenario/scenario_registry.hpp"
+
+#include <utility>
+
+namespace hars {
+
+namespace {
+
+Scenario make_steady() {
+  return ScenarioBuilder("steady")
+      .spawn(0, "a0", ParsecBenchmark::kSwaptions)
+      .build();
+}
+
+Scenario make_staggered() {
+  return ScenarioBuilder("staggered")
+      .spawn(0, "a0", ParsecBenchmark::kBodytrack)
+      .spawn(8 * kUsPerSec, "a1", ParsecBenchmark::kFluidanimate)
+      .spawn(16 * kUsPerSec, "a2", ParsecBenchmark::kSwaptions)
+      .kill(30 * kUsPerSec, "a1")
+      .build();
+}
+
+Scenario make_bursty() {
+  return ScenarioBuilder("bursty")
+      .spawn(0, "a0", ParsecBenchmark::kFacesim)
+      .set_phase(10 * kUsPerSec, "a0", 2.0)
+      .set_phase(20 * kUsPerSec, "a0", 1.0)
+      .set_phase(30 * kUsPerSec, "a0", 2.0)
+      .set_phase(40 * kUsPerSec, "a0", 1.0)
+      .build();
+}
+
+Scenario make_rush_hour() {
+  return ScenarioBuilder("rush_hour")
+      .spawn(0, "resident", ParsecBenchmark::kSwaptions)
+      .spawn(10 * kUsPerSec, "b0", ParsecBenchmark::kBodytrack)
+      .spawn(14 * kUsPerSec, "b1", ParsecBenchmark::kFluidanimate)
+      .spawn(18 * kUsPerSec, "b2", ParsecBenchmark::kBlackscholes)
+      .kill(40 * kUsPerSec, "b0")
+      .kill(44 * kUsPerSec, "b1")
+      .kill(48 * kUsPerSec, "b2")
+      .build();
+}
+
+Scenario make_core_failure() {
+  const CpuMask fast_cores = parse_core_set("4-7");
+  return ScenarioBuilder("core_failure")
+      .spawn(0, "a0", ParsecBenchmark::kBodytrack)
+      .offline_cores(10 * kUsPerSec, fast_cores)
+      .online_cores(25 * kUsPerSec, fast_cores)
+      .build();
+}
+
+}  // namespace
+
+ScenarioRegistry::ScenarioRegistry() {
+  entries_.push_back(make_steady());
+  entries_.push_back(make_staggered());
+  entries_.push_back(make_bursty());
+  entries_.push_back(make_rush_hour());
+  entries_.push_back(make_core_failure());
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::register_scenario(Scenario scenario) {
+  scenario.validate();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Scenario& entry : entries_) {
+    if (entry.name == scenario.name) {
+      entry = std::move(scenario);
+      return;
+    }
+  }
+  entries_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Scenario& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Scenario ScenarioRegistry::get(std::string_view name) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Scenario& entry : entries_) {
+      if (entry.name == name) return entry;
+    }
+  }
+  std::string message = "unknown scenario \"" + std::string(name) + "\"; known:";
+  for (const std::string& known : names()) {
+    message += ' ';
+    message += known;
+  }
+  throw ScenarioError(message);
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Scenario& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+}  // namespace hars

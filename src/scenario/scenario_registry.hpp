@@ -1,0 +1,59 @@
+// ScenarioRegistry: the string-keyed catalogue of scenario presets,
+// mirroring the PlatformRegistry / VariantRegistry idiom. Presets model
+// the adaptation stimuli the paper's runtime exists for:
+//
+//   steady        one app, no events — the §5.1 baseline protocol.
+//   staggered     apps arrive 8 s apart, one departs mid-run (§5.2's
+//                 multi-app protocol with the time axis turned on).
+//   bursty        one app whose workload phase doubles and relaxes every
+//                 10 s (set_phase stress for the predictors).
+//   rush_hour     a resident app plus a burst of three arrivals that all
+//                 depart again — peak-load resource contention.
+//   core_failure  the non-manager cores of the fast cluster fail at 10 s
+//                 and recover at 25 s (hotplug resilience).
+//
+// Event times are absolute; presets fit inside the default 120 s run and
+// the interesting window is the first ~50 s, so short test runs cover
+// them too. Core ids in core_failure refer to cores 4-7, the fast
+// cluster(s) on the 8-core presets (exynos5422, sd855); on other
+// platforms the mask simply intersects the machine.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace hars {
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry with the presets above pre-registered.
+  /// Thread-safe like the other registries; register custom scenarios
+  /// before launching a parallel sweep.
+  static ScenarioRegistry& instance();
+
+  /// Registers (or replaces) a scenario under its own name. The scenario
+  /// is validate()d first.
+  void register_scenario(Scenario scenario);
+
+  /// Null when `name` is unknown; the pointer stays valid across later
+  /// registrations of *other* names.
+  const Scenario* find(std::string_view name) const;
+
+  /// Copy of the named scenario; throws ScenarioError listing the known
+  /// names when unknown.
+  Scenario get(std::string_view name) const;
+
+  /// All registered names, in registration order.
+  std::vector<std::string> names() const;
+
+ private:
+  ScenarioRegistry();
+  mutable std::mutex mutex_;
+  std::deque<Scenario> entries_;  ///< Deque: find() pointers stay valid.
+};
+
+}  // namespace hars

@@ -1,0 +1,190 @@
+#include "scenario/scenario_runtime.hpp"
+
+#include <utility>
+
+#include "exp/calibration.hpp"
+
+namespace hars {
+
+std::vector<PerfTarget> resolve_scenario_targets(const ExperimentSpec& spec,
+                                                 const Scenario& scenario) {
+  std::vector<PerfTarget> targets;
+  const auto spawns = scenario.spawns();
+  targets.reserve(spawns.size());
+  for (std::size_t i = 0; i < spawns.size(); ++i) {
+    const ScenarioSpawn& spawn = spawns[i]->spawn;
+    if (spawn.target) {
+      targets.push_back(*spawn.target);
+      continue;
+    }
+    const int threads = spawn.threads > 0 ? spawn.threads : spec.threads;
+    const Calibration cal = calibrate_benchmark(spec.platform, *spawn.bench,
+                                                threads, spec.seed + i);
+    const double fraction =
+        spawn.fraction ? *spawn.fraction : spec.target_fraction;
+    targets.push_back(cal.target_for_fraction(fraction));
+  }
+  return targets;
+}
+
+ScenarioRuntime::ScenarioRuntime(const Scenario& scenario, SimEngine& engine,
+                                 const ExperimentSpec& spec,
+                                 std::vector<PerfTarget> targets)
+    : scenario_(scenario), engine_(engine), spec_(spec) {
+  const auto spawns = scenario_.spawns();
+  slots_.reserve(spawns.size());
+  for (std::size_t i = 0; i < spawns.size(); ++i) {
+    ScenarioAppSlot slot;
+    slot.label = spawns[i]->app;
+    slot.spawn_event = spawns[i];
+    slot.target = targets[i];
+    slot.threads = spawns[i]->spawn.threads > 0 ? spawns[i]->spawn.threads
+                                                : spec_.threads;
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void ScenarioRuntime::spawn_slot(std::size_t slot_index, TimeUs now) {
+  ScenarioAppSlot& slot = slots_[slot_index];
+  slot.app = make_parsec_app(*slot.spawn_event->spawn.bench, slot.threads,
+                             spec_.seed + slot_index);
+  slot.id = engine_.add_app(slot.app.get());
+  slot.app->heartbeats().set_target(slot.target);
+  slot.spawn_time = now;
+  slot.spawned = true;
+  slot.alive = true;
+  if (variant_ != nullptr) variant_->on_app_spawn(slot.id, slot.target);
+}
+
+void ScenarioRuntime::spawn_initial() {
+  // validate() guarantees every t = 0 event is a spawn.
+  std::size_t spawn_index = 0;
+  while (next_event_ < scenario_.events.size() &&
+         scenario_.events[next_event_].time <= 0) {
+    spawn_slot(spawn_index++, 0);
+    ++next_event_;
+  }
+}
+
+ScenarioAppSlot& ScenarioRuntime::slot_of(const std::string& label) {
+  for (ScenarioAppSlot& slot : slots_) {
+    if (slot.label == label) return slot;
+  }
+  throw ScenarioError("runtime: unknown app \"" + label + "\"");
+}
+
+void ScenarioRuntime::dispatch(const ScenarioEvent& event, TimeUs now) {
+  switch (event.kind) {
+    case ScenarioEventKind::kSpawn: {
+      // Slot index = position among spawns (validate() forbids dup ids).
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].spawn_event == &event) {
+          spawn_slot(i, now);
+          return;
+        }
+      }
+      throw ScenarioError("runtime: spawn event without slot");
+    }
+    case ScenarioEventKind::kKill: {
+      ScenarioAppSlot& slot = slot_of(event.app);
+      if (!slot.alive) return;
+      if (variant_ != nullptr) variant_->on_app_kill(slot.id);
+      engine_.remove_app(slot.id);
+      slot.alive = false;
+      slot.depart_time = now;
+      return;
+    }
+    case ScenarioEventKind::kSetTarget: {
+      ScenarioAppSlot& slot = slot_of(event.app);
+      if (!slot.alive) return;
+      slot.target = event.target;
+      slot.app->heartbeats().set_target(event.target);
+      if (variant_ != nullptr) variant_->on_app_target(slot.id, event.target);
+      return;
+    }
+    case ScenarioEventKind::kSetPhase: {
+      ScenarioAppSlot& slot = slot_of(event.app);
+      if (!slot.alive) return;
+      slot.app->set_phase_scale(event.phase_scale);
+      return;
+    }
+    case ScenarioEventKind::kOfflineCores: {
+      Machine& m = engine_.machine();
+      m.set_online_mask(m.online_mask() & ~event.cores);
+      return;
+    }
+    case ScenarioEventKind::kOnlineCores: {
+      Machine& m = engine_.machine();
+      m.set_online_mask(m.online_mask() | event.cores);
+      return;
+    }
+  }
+}
+
+void ScenarioRuntime::on_tick(TimeUs now) {
+  while (next_event_ < scenario_.events.size() &&
+         scenario_.events[next_event_].time <= now) {
+    dispatch(scenario_.events[next_event_], now);
+    ++next_event_;
+  }
+  if (capture_ != nullptr &&
+      tick_index_ % capture_->sample_every_ticks() == 0) {
+    sample(now);
+  }
+  ++tick_index_;
+}
+
+void ScenarioRuntime::finish(TimeUs now) {
+  if (capture_ != nullptr) sample(now);
+}
+
+void ScenarioRuntime::sample(TimeUs now) {
+  const Machine& m = engine_.machine();
+  const CpuMask online = m.online_mask();
+  for (const ScenarioAppSlot& slot : slots_) {
+    if (!slot.alive) continue;
+    // The app's allocated cores: the union of its threads' affinities,
+    // intersected with the online mask, split by the managed pools.
+    CpuMask allowed;
+    for (const SimThread& t : engine_.threads()) {
+      if (t.app == slot.id) allowed = allowed | t.affinity;
+    }
+    allowed = allowed & online;
+    const HeartbeatMonitor& hb = slot.app->heartbeats();
+    Record r;
+    r.set("kind", "sample");
+    r.set("t_us", static_cast<std::int64_t>(now));
+    r.set("app", slot.label);
+    r.set("beats", hb.count());
+    r.set("hps", hb.rate());
+    r.set("target_min", slot.target.min);
+    r.set("target_max", slot.target.max);
+    r.set("big_cores", (allowed & m.fastest_mask()).count());
+    r.set("little_cores", (allowed & m.slowest_mask()).count());
+    r.set("big_freq_ghz", m.freq_ghz(m.fastest_cluster()));
+    r.set("little_freq_ghz", m.freq_ghz(m.slowest_cluster()));
+    r.set("online", online.count());
+    r.set("power_w", engine_.sensor().instantaneous_power_w());
+    capture_->write(r);
+  }
+}
+
+std::vector<AppId> ScenarioRuntime::initial_ids() const {
+  std::vector<AppId> ids;
+  for (const ScenarioAppSlot& slot : slots_) {
+    if (slot.spawned && slot.spawn_event->time <= 0) ids.push_back(slot.id);
+  }
+  return ids;
+}
+
+std::vector<PerfTarget> ScenarioRuntime::initial_targets() const {
+  std::vector<PerfTarget> targets;
+  for (const ScenarioAppSlot& slot : slots_) {
+    if (slot.spawned && slot.spawn_event->time <= 0) {
+      targets.push_back(slot.target);
+    }
+  }
+  return targets;
+}
+
+}  // namespace hars

@@ -1,0 +1,222 @@
+#include "scenario/trace_sink.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "exp/experiment.hpp"
+#include "hmp/platform_registry.hpp"
+#include "scenario/scenario.hpp"
+
+namespace hars {
+
+TraceSink::TraceSink(int sample_every_ticks)
+    : sample_ticks_(sample_every_ticks < 1 ? 1 : sample_every_ticks),
+      jsonl_(buffer_) {}
+
+void TraceSink::write_meta(const TraceMeta& meta) {
+  if (PlatformRegistry::instance().find(meta.platform) == nullptr) {
+    throw ScenarioError(
+        "trace capture needs a registry platform for replay; \"" +
+        meta.platform + "\" is not registered");
+  }
+  Record r;
+  r.set("kind", "meta");
+  r.set("scenario", meta.scenario_dsl);
+  r.set("platform", meta.platform);
+  r.set("variant", meta.variant);
+  r.set("seed", std::to_string(meta.seed));  // Text: exact 64-bit value.
+  r.set("threads", meta.threads);
+  r.set("duration_us", static_cast<std::int64_t>(meta.duration_us));
+  r.set("fraction", meta.fraction);
+  r.set("sample_ticks", meta.sample_ticks);
+  jsonl_.write(r);
+}
+
+void TraceSink::write(const Record& record) {
+  jsonl_.write(record);
+  if (record.text("kind") == "sample") samples_.push_back(record);
+}
+
+bool TraceSink::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << bytes();
+  return out.good();
+}
+
+namespace {
+
+[[noreturn]] void bad_meta(const std::string& why) {
+  throw ScenarioError("trace meta: " + why);
+}
+
+/// Inverse of json_escape for the escapes it emits.
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) bad_meta("dangling escape");
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) bad_meta("truncated \\u escape");
+        const std::string hex(s.substr(i + 1, 4));
+        out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+        i += 4;
+        break;
+      }
+      default: bad_meta("unknown escape");
+    }
+  }
+  return out;
+}
+
+/// Value of "key" in a flat one-line JSON object written by JsonlSink.
+/// Returns the *raw* value token (quotes stripped, still escaped for
+/// strings); `found` reports presence.
+std::string raw_value(const std::string& line, const std::string& key,
+                      bool* is_string, bool* found) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while (true) {
+    pos = line.find(needle, pos);
+    if (pos == std::string::npos) {
+      *found = false;
+      return {};
+    }
+    // Reject needle matches inside a value: the char before must be
+    // '{' or ',' (JsonlSink never emits spaces between cells).
+    if (pos > 0 && (line[pos - 1] == '{' || line[pos - 1] == ',')) break;
+    pos += needle.size();
+  }
+  *found = true;
+  std::size_t v = pos + needle.size();
+  if (v < line.size() && line[v] == '"') {
+    *is_string = true;
+    std::size_t end = v + 1;
+    while (end < line.size()) {
+      if (line[end] == '\\') {
+        end += 2;
+        continue;
+      }
+      if (line[end] == '"') break;
+      ++end;
+    }
+    if (end >= line.size()) bad_meta("unterminated string for " + key);
+    return line.substr(v + 1, end - v - 1);
+  }
+  *is_string = false;
+  std::size_t end = v;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(v, end - v);
+}
+
+std::string meta_string(const std::string& line, const std::string& key) {
+  bool is_string = false;
+  bool found = false;
+  const std::string raw = raw_value(line, key, &is_string, &found);
+  if (!found || !is_string) bad_meta("missing string field \"" + key + "\"");
+  return json_unescape(raw);
+}
+
+double meta_number(const std::string& line, const std::string& key) {
+  bool is_string = false;
+  bool found = false;
+  const std::string raw = raw_value(line, key, &is_string, &found);
+  if (!found || is_string) bad_meta("missing numeric field \"" + key + "\"");
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    bad_meta("malformed number for \"" + key + "\"");
+  }
+  return v;
+}
+
+}  // namespace
+
+TraceMeta parse_trace_meta(const std::string& meta_line) {
+  if (meta_line.empty() || meta_line.front() != '{') {
+    bad_meta("first line is not a JSON object");
+  }
+  if (meta_string(meta_line, "kind") != "meta") {
+    bad_meta("first line is not a meta record");
+  }
+  TraceMeta meta;
+  meta.scenario_dsl = meta_string(meta_line, "scenario");
+  meta.platform = meta_string(meta_line, "platform");
+  meta.variant = meta_string(meta_line, "variant");
+  meta.seed = std::strtoull(meta_string(meta_line, "seed").c_str(), nullptr, 10);
+  meta.threads = static_cast<int>(meta_number(meta_line, "threads"));
+  meta.duration_us = static_cast<TimeUs>(meta_number(meta_line, "duration_us"));
+  meta.fraction = meta_number(meta_line, "fraction");
+  meta.sample_ticks = static_cast<int>(meta_number(meta_line, "sample_ticks"));
+  return meta;
+}
+
+ReplayOutcome replay_trace(const std::string& bytes) {
+  const std::size_t eol = bytes.find('\n');
+  if (eol == std::string::npos) bad_meta("capture has no meta line");
+  const TraceMeta meta = parse_trace_meta(bytes.substr(0, eol));
+
+  std::istringstream dsl(meta.scenario_dsl);
+  const Scenario scenario = Scenario::from_stream(dsl);
+
+  TraceSink sink(meta.sample_ticks);
+  ExperimentBuilder builder;
+  builder.platform(std::string_view(meta.platform))
+      .scenario(scenario)
+      .variant(meta.variant)
+      .seed(meta.seed)
+      .threads(meta.threads)
+      .duration(meta.duration_us)
+      .target_fraction(meta.fraction)
+      .capture(sink);
+  try {
+    (void)builder.build().run();
+  } catch (const ExperimentConfigError& error) {
+    throw ScenarioError(std::string("replay cannot re-run capture: ") +
+                        error.what());
+  }
+
+  const std::string replayed = sink.bytes();
+  if (replayed == bytes) return ReplayOutcome{true, "replay is bit-identical"};
+
+  // Locate the first diverging line for the report.
+  std::istringstream a(bytes);
+  std::istringstream b(replayed);
+  std::string la;
+  std::string lb;
+  int line_no = 0;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(a, la));
+    const bool gb = static_cast<bool>(std::getline(b, lb));
+    ++line_no;
+    if (!ga && !gb) break;
+    if (la != lb || ga != gb) {
+      return ReplayOutcome{
+          false, "replay diverges at line " + std::to_string(line_no) +
+                     ":\n  captured: " + (ga ? la : "<eof>") +
+                     "\n  replayed: " + (gb ? lb : "<eof>")};
+    }
+  }
+  return ReplayOutcome{false, "replay diverges (byte-level difference)"};
+}
+
+ReplayOutcome replay_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ScenarioError("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return replay_trace(buffer.str());
+}
+
+}  // namespace hars

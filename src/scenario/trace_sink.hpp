@@ -1,0 +1,95 @@
+// TraceSink: deterministic scenario trace capture and bit-exact replay.
+//
+// A capture is a JSONL stream (schema in docs/FILE_FORMATS.md):
+//   line 1            {"kind":"meta", ...}     — everything needed to
+//                     re-run the experiment: the scenario serialized to
+//                     its DSL, platform/variant names, seed, threads,
+//                     duration, target fraction and the sample cadence;
+//   then per sample   {"kind":"sample", ...}   — per-app state at a tick
+//                     boundary (windowed rate, beats, target, allocated
+//                     cores, cluster frequencies, online cores, power);
+//   finally per app   {"kind":"metrics", ...}  — the run's final metrics.
+//
+// Numbers are written with format_number (shortest round-trip decimals),
+// so the byte stream is a canonical function of the simulation: replaying
+// the meta line MUST reproduce the remaining bytes exactly. replay_trace
+// re-runs a capture and asserts exactly that — the golden scenario
+// regression in tests/scenario/replay_test.cpp and `hars_sim --replay`.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sweep/result_sink.hpp"
+#include "util/common.hpp"
+
+namespace hars {
+
+/// The re-run recipe embedded in a capture's first line. The platform is
+/// carried by registry name: captures of unregistered ad-hoc platforms
+/// cannot be replayed (write_meta throws ScenarioError).
+struct TraceMeta {
+  std::string scenario_dsl;  ///< Scenario::to_dsl() of the scenario.
+  std::string platform;      ///< PlatformRegistry name.
+  std::string variant;       ///< VariantRegistry name.
+  std::uint64_t seed = 1;
+  int threads = 8;
+  TimeUs duration_us = 0;
+  double fraction = 0.5;     ///< Default derived-target fraction.
+  int sample_ticks = 1;      ///< Trace cadence in engine ticks.
+};
+
+class TraceSink {
+ public:
+  /// `sample_every_ticks` thins the per-tick sampling (1 = every tick);
+  /// the run's final state is always sampled.
+  explicit TraceSink(int sample_every_ticks = 1);
+
+  int sample_every_ticks() const { return sample_ticks_; }
+
+  /// Writes the meta line; must come first. Throws ScenarioError when the
+  /// platform is not resolvable by name (replay would be impossible).
+  void write_meta(const TraceMeta& meta);
+
+  /// Appends one record (the runtime builds sample records, the
+  /// experiment pipeline the final metrics records).
+  void write(const Record& record);
+
+  /// Structured copies of the "sample" records, for analysis (e.g. the
+  /// scenario suite's adaptation-latency metric).
+  const std::vector<Record>& samples() const { return samples_; }
+
+  /// The full capture (JSONL bytes) accumulated so far.
+  std::string bytes() const { return buffer_.str(); }
+
+  /// Writes bytes() to `path`; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  int sample_ticks_;
+  std::ostringstream buffer_;
+  JsonlSink jsonl_;
+  std::vector<Record> samples_;
+};
+
+/// Parses a capture's meta line (exact inverse of write_meta; also used
+/// by tools/docs_check to validate the checked-in example). Throws
+/// ScenarioError on malformed input.
+TraceMeta parse_trace_meta(const std::string& meta_line);
+
+struct ReplayOutcome {
+  bool ok = false;
+  std::string message;  ///< On mismatch: where the streams first diverge.
+};
+
+/// Re-runs the capture in `bytes` from its meta line and compares the
+/// regenerated capture byte-for-byte. Throws ScenarioError when the
+/// capture cannot be re-run at all (bad meta, unknown platform/variant).
+ReplayOutcome replay_trace(const std::string& bytes);
+
+/// Reads `path` and replays it.
+ReplayOutcome replay_trace_file(const std::string& path);
+
+}  // namespace hars

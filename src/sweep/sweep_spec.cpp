@@ -96,6 +96,16 @@ SweepSpec& SweepSpec::platforms(const std::vector<std::string>& names) {
   return axis("platform", std::move(points));
 }
 
+SweepSpec& SweepSpec::scenarios(const std::vector<std::string>& names) {
+  std::vector<AxisPoint> points;
+  points.reserve(names.size());
+  for (const std::string& name : names) {
+    points.emplace_back(name,
+                        [name](ExperimentBuilder& b) { b.scenario(name); });
+  }
+  return axis("scenario", std::move(points));
+}
+
 SweepSpec& SweepSpec::target_fractions(const std::vector<double>& fractions) {
   std::vector<AxisPoint> points;
   points.reserve(fractions.size());

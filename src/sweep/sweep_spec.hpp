@@ -103,6 +103,10 @@ class SweepSpec {
   SweepSpec& variants(const std::vector<std::string>& names);
   /// PlatformRegistry names; each case runs on the named platform.
   SweepSpec& platforms(const std::vector<std::string>& names);
+  /// ScenarioRegistry names; each case runs the named dynamic scenario
+  /// (exclusive with a `benchmarks` axis — scenario spawns define the
+  /// apps).
+  SweepSpec& scenarios(const std::vector<std::string>& names);
   SweepSpec& target_fractions(const std::vector<double>& fractions);
   SweepSpec& search_distances(const std::vector<int>& distances);
   SweepSpec& durations_sec(const std::vector<double>& seconds);

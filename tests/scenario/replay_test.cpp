@@ -1,0 +1,93 @@
+// Golden scenario regressions: trace capture -> replay bit-identity, and
+// sweep-level determinism of the scenarios axis across worker counts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/experiment.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "scenario/trace_sink.hpp"
+#include "sweep/sweep_engine.hpp"
+
+namespace hars {
+namespace {
+
+std::string capture_staggered(std::uint64_t seed, const char* variant) {
+  TraceSink sink(/*sample_every_ticks=*/250);
+  ExperimentBuilder builder;
+  builder.scenario(std::string_view("staggered"))
+      .variant(variant)
+      .duration(12 * kUsPerSec)
+      .seed(seed)
+      .capture(sink);
+  (void)builder.build().run();
+  return sink.bytes();
+}
+
+TEST(ScenarioReplay, CaptureIsBitIdenticalOnReplay) {
+  const std::string capture = capture_staggered(1, "MP-HARS-E");
+  ASSERT_FALSE(capture.empty());
+  const ReplayOutcome outcome = replay_trace(capture);
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
+TEST(ScenarioReplay, RepeatedCapturesAreIdentical) {
+  EXPECT_EQ(capture_staggered(7, "HARS-E"), capture_staggered(7, "HARS-E"));
+}
+
+TEST(ScenarioReplay, DifferentSeedsDiverge) {
+  EXPECT_NE(capture_staggered(1, "HARS-E"), capture_staggered(2, "HARS-E"));
+}
+
+TEST(ScenarioReplay, TamperedCaptureIsReported) {
+  std::string capture = capture_staggered(1, "Baseline");
+  // Flip one metric digit in the last line.
+  const std::size_t pos = capture.rfind("\"norm_perf\":");
+  ASSERT_NE(pos, std::string::npos);
+  std::size_t digit = capture.find_first_of("0123456789", pos + 12);
+  ASSERT_NE(digit, std::string::npos);
+  capture[digit] = capture[digit] == '9' ? '8' : '9';
+  const ReplayOutcome outcome = replay_trace(capture);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.message.find("diverges"), std::string::npos);
+}
+
+TEST(ScenarioReplay, MetaRoundTrips) {
+  const std::string capture = capture_staggered(3, "Baseline");
+  const std::string meta_line = capture.substr(0, capture.find('\n'));
+  const TraceMeta meta = parse_trace_meta(meta_line);
+  EXPECT_EQ(meta.variant, "Baseline");
+  EXPECT_EQ(meta.seed, 3u);
+  EXPECT_EQ(meta.duration_us, 12 * kUsPerSec);
+  EXPECT_EQ(meta.sample_ticks, 250);
+  std::istringstream dsl(meta.scenario_dsl);
+  const Scenario scenario = Scenario::from_stream(dsl);
+  EXPECT_EQ(scenario.name, "staggered");
+  EXPECT_EQ(scenario.spawns().size(), 3u);
+}
+
+/// The scenarios sweep axis is deterministic across worker counts: the
+/// sink byte streams of --jobs 1 and --jobs 2 agree.
+TEST(ScenarioSweep, RecordsAreByteIdenticalAcrossJobs) {
+  const auto run_with_jobs = [](int jobs) {
+    SweepSpec spec;
+    spec.name("scenario_jobs")
+        .base([](ExperimentBuilder& b) { b.duration(6 * kUsPerSec); })
+        .scenarios({"steady", "staggered", "core_failure"})
+        .variants({"Baseline", "MP-HARS-E"});
+    std::ostringstream csv_bytes;
+    CsvSink csv(csv_bytes);
+    SweepEngine engine(SweepOptions{.jobs = jobs, .keep_results = false});
+    engine.add_sink(csv);
+    const SweepReport report = engine.run(spec);
+    EXPECT_EQ(report.failed, 0u) << "jobs=" << jobs;
+    return csv_bytes.str();
+  };
+  const std::string serial = run_with_jobs(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("staggered"), std::string::npos);
+  EXPECT_EQ(serial, run_with_jobs(2));
+}
+
+}  // namespace
+}  // namespace hars

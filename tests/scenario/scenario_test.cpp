@@ -1,0 +1,215 @@
+// Scenario DSL parse/validate round-trips, rejection of malformed input,
+// builder <-> file equivalence, and the preset registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "scenario/scenario.hpp"
+#include "scenario/scenario_registry.hpp"
+
+namespace hars {
+namespace {
+
+Scenario parse(const std::string& dsl) {
+  std::istringstream in(dsl);
+  return Scenario::from_stream(in);
+}
+
+TEST(ScenarioDsl, ParsesEveryEventKind) {
+  const Scenario s = parse(
+      "# a comment\n"
+      "scenario,demo\n"
+      "\n"
+      "0,spawn,app=a0,bench=BO,threads=4,fraction=0.6\n"
+      "1000,spawn,app=a1,bench=FL,min=2.5,max=3.5\n"
+      "2000,set_target,app=a0,min=1,max=2\n"
+      "3000,set_phase,app=a0,scale=1.5\n"
+      "4000,offline_cores,cores=4-7\n"
+      "5000,online_cores,cores=4;6-7\n"
+      "6000,kill,app=a1\n");
+  ASSERT_EQ(s.events.size(), 7u);
+  EXPECT_EQ(s.name, "demo");
+  EXPECT_EQ(s.events[0].kind, ScenarioEventKind::kSpawn);
+  EXPECT_EQ(*s.events[0].spawn.bench, ParsecBenchmark::kBodytrack);
+  EXPECT_EQ(s.events[0].spawn.threads, 4);
+  EXPECT_DOUBLE_EQ(*s.events[0].spawn.fraction, 0.6);
+  ASSERT_TRUE(s.events[1].spawn.target.has_value());
+  EXPECT_DOUBLE_EQ(s.events[1].spawn.target->min, 2.5);
+  EXPECT_EQ(s.events[1].time, 1 * kUsPerSec);
+  EXPECT_EQ(s.events[3].phase_scale, 1.5);
+  EXPECT_EQ(s.events[4].cores, CpuMask::range(4, 4));
+  CpuMask sparse;
+  sparse.set(4);
+  sparse.set(6);
+  sparse.set(7);
+  EXPECT_EQ(s.events[5].cores, sparse);
+  EXPECT_EQ(s.events[6].kind, ScenarioEventKind::kKill);
+  EXPECT_EQ(s.last_event_time(), 6 * kUsPerSec);
+  EXPECT_EQ(s.spawns().size(), 2u);
+}
+
+TEST(ScenarioDsl, RoundTripsThroughDsl) {
+  for (const std::string& name : ScenarioRegistry::instance().names()) {
+    const Scenario original = ScenarioRegistry::instance().get(name);
+    const Scenario reparsed = parse(original.to_dsl());
+    EXPECT_TRUE(reparsed == original) << "round-trip changed " << name;
+  }
+}
+
+TEST(ScenarioDsl, SubMillisecondTimesRoundTripExactly) {
+  // 1001 us serializes as "1.001" ms; 1.001 * 1000 computes to
+  // 1000.999..., so a truncating parse would lose a microsecond.
+  for (const TimeUs t : {1001, 2002, 4004, 8001, 999999}) {
+    const Scenario s = ScenarioBuilder("subms")
+                           .spawn(0, "a0", ParsecBenchmark::kSwaptions)
+                           .kill(t, "a0")
+                           .build();
+    const Scenario reparsed = parse(s.to_dsl());
+    EXPECT_EQ(reparsed.events[1].time, t);
+    EXPECT_TRUE(reparsed == s);
+  }
+}
+
+TEST(ScenarioDsl, BuilderAndFileAgree) {
+  const Scenario built = ScenarioBuilder("demo")
+                             .spawn(0, "a0", ParsecBenchmark::kBodytrack)
+                             .threads(4)
+                             .fraction(0.6)
+                             .spawn(5 * kUsPerSec, "a1",
+                                    ParsecBenchmark::kSwaptions)
+                             .target(PerfTarget{2.5, 3.5})
+                             .set_phase(6 * kUsPerSec, "a0", 2.0)
+                             .kill(9 * kUsPerSec, "a1")
+                             .build();
+  const Scenario parsed = parse(
+      "scenario,demo\n"
+      "0,spawn,app=a0,bench=BO,threads=4,fraction=0.6\n"
+      "5000,spawn,app=a1,bench=SW,min=2.5,max=3.5\n"
+      "6000,set_phase,app=a0,scale=2\n"
+      "9000,kill,app=a1\n");
+  EXPECT_TRUE(built == parsed);
+}
+
+TEST(ScenarioDsl, BuilderSortsOutOfOrderInsertions) {
+  const Scenario s = ScenarioBuilder("demo")
+                         .kill(9 * kUsPerSec, "a0")
+                         .set_phase(4 * kUsPerSec, "a0", 2.0)
+                         .spawn(0, "a0", ParsecBenchmark::kSwaptions)
+                         .build();
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.events[0].kind, ScenarioEventKind::kSpawn);
+  EXPECT_EQ(s.events[2].kind, ScenarioEventKind::kKill);
+}
+
+TEST(ScenarioDsl, RejectsOutOfOrderEvents) {
+  EXPECT_THROW(parse("scenario,bad\n"
+                     "0,spawn,app=a0,bench=SW\n"
+                     "5000,set_phase,app=a0,scale=2\n"
+                     "4000,kill,app=a0\n"),
+               ScenarioError);
+}
+
+TEST(ScenarioDsl, RejectsDuplicateAppIds) {
+  EXPECT_THROW(parse("scenario,bad\n"
+                     "0,spawn,app=a0,bench=SW\n"
+                     "1000,spawn,app=a0,bench=BO\n"),
+               ScenarioError);
+}
+
+TEST(ScenarioDsl, RejectsUnknownAndDeadAppReferences) {
+  EXPECT_THROW(parse("scenario,bad\n"
+                     "0,spawn,app=a0,bench=SW\n"
+                     "1000,kill,app=ghost\n"),
+               ScenarioError);
+  EXPECT_THROW(parse("scenario,bad\n"
+                     "0,spawn,app=a0,bench=SW\n"
+                     "1000,kill,app=a0\n"
+                     "2000,set_phase,app=a0,scale=2\n"),
+               ScenarioError);
+}
+
+TEST(ScenarioDsl, RejectsStructuralProblems) {
+  // No header.
+  EXPECT_THROW(parse("0,spawn,app=a0,bench=SW\n"), ScenarioError);
+  // No t=0 spawn.
+  EXPECT_THROW(parse("scenario,bad\n1000,spawn,app=a0,bench=SW\n"),
+               ScenarioError);
+  // t=0 reserved for spawns.
+  EXPECT_THROW(parse("scenario,bad\n"
+                     "0,spawn,app=a0,bench=SW\n"
+                     "0,offline_cores,cores=4-7\n"),
+               ScenarioError);
+  // Unknown bench and unknown event.
+  EXPECT_THROW(parse("scenario,bad\n0,spawn,app=a0,bench=XX\n"),
+               ScenarioError);
+  EXPECT_THROW(parse("scenario,bad\n0,frobnicate,app=a0\n"), ScenarioError);
+  // Offlining the manager core.
+  EXPECT_THROW(parse("scenario,bad\n"
+                     "0,spawn,app=a0,bench=SW\n"
+                     "1000,offline_cores,cores=0-3\n"),
+               ScenarioError);
+  // Malformed key=value cell and malformed core set.
+  EXPECT_THROW(parse("scenario,bad\n0,spawn,app=a0,bench\n"), ScenarioError);
+  EXPECT_THROW(parse("scenario,bad\n"
+                     "0,spawn,app=a0,bench=SW\n"
+                     "1000,offline_cores,cores=7-4\n"),
+               ScenarioError);
+  // Bad numeric payloads.
+  EXPECT_THROW(parse("scenario,bad\n"
+                     "0,spawn,app=a0,bench=SW\n"
+                     "1000,set_phase,app=a0,scale=0\n"),
+               ScenarioError);
+  EXPECT_THROW(parse("scenario,bad\n0,spawn,app=a0,bench=SW,fraction=1.5\n"),
+               ScenarioError);
+  EXPECT_THROW(parse("scenario,bad\n0,spawn,app=a0,bench=SW,min=3,max=2\n"),
+               ScenarioError);
+}
+
+TEST(ScenarioCoreSet, FormatsAndParsesRanges) {
+  CpuMask m;
+  m.set(0);
+  m.set(1);
+  m.set(5);
+  m.set(6);
+  m.set(7);
+  const std::string spec = format_core_set(m);
+  EXPECT_EQ(spec, "0-1;5-7");
+  EXPECT_EQ(parse_core_set(spec), m);
+  EXPECT_EQ(parse_core_set("3"), CpuMask::single(3));
+  EXPECT_THROW(parse_core_set("4-"), ScenarioError);
+  EXPECT_THROW(parse_core_set("a-b"), ScenarioError);
+  EXPECT_THROW(parse_core_set(""), ScenarioError);
+}
+
+TEST(ScenarioRegistry, HasTheDocumentedPresets) {
+  const auto names = ScenarioRegistry::instance().names();
+  for (const char* expected :
+       {"steady", "staggered", "bursty", "rush_hour", "core_failure"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing preset " << expected;
+  }
+  EXPECT_NO_THROW(ScenarioRegistry::instance().get("staggered").validate());
+}
+
+TEST(ScenarioRegistry, UnknownNameListsKnownOnes) {
+  try {
+    ScenarioRegistry::instance().get("nope");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find("staggered"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, RegisterReplacesByName) {
+  Scenario custom = ScenarioBuilder("docs-test-custom")
+                        .spawn(0, "x", ParsecBenchmark::kSwaptions)
+                        .build();
+  ScenarioRegistry::instance().register_scenario(custom);
+  const Scenario* found = ScenarioRegistry::instance().find("docs-test-custom");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->events.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hars

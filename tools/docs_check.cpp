@@ -1,0 +1,231 @@
+// docs_check: CI gate for the documentation layer.
+//
+// 1. Link check — every relative markdown link in README.md and
+//    docs/*.md must resolve to an existing file (anchors and absolute
+//    URLs are skipped).
+// 2. Format-drift check — every worked example checked into examples/
+//    must parse with the *real* parser it documents, so
+//    docs/FILE_FORMATS.md cannot drift from the code:
+//      examples/*.platform.csv   -> PlatformSpec::from_file
+//      examples/*.scenario.csv   -> Scenario::from_file
+//      examples/*.trace.jsonl    -> parse_trace_meta + record shape
+//      examples/*.records.csv    -> CSV shape (constant column count)
+//      examples/*.records.jsonl  -> JSONL record shape
+//
+//   docs_check [--root DIR]   (default: current directory)
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hmp/platform_spec.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/trace_sink.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int failures = 0;
+
+void fail(const std::string& what) {
+  std::fprintf(stderr, "docs_check: %s\n", what.c_str());
+  ++failures;
+}
+
+/// Extracts relative link targets from one markdown file and verifies
+/// they exist. Matches the `](target)` part of inline links.
+void check_links(const fs::path& root, const fs::path& md) {
+  std::ifstream in(md);
+  if (!in) {
+    fail("cannot read " + md.string());
+    return;
+  }
+  std::string line;
+  int line_no = 0;
+  bool in_code_fence = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t text = line.find_first_not_of(" \t");
+    if (text != std::string::npos && line.compare(text, 3, "```") == 0) {
+      in_code_fence = !in_code_fence;
+      continue;
+    }
+    if (in_code_fence) continue;  // C++ lambdas look like markdown links.
+    std::size_t pos = 0;
+    while ((pos = line.find("](", pos)) != std::string::npos) {
+      const std::size_t start = pos + 2;
+      const std::size_t end = line.find(')', start);
+      if (end == std::string::npos) break;
+      std::string target = line.substr(start, end - start);
+      pos = end;
+      // Skip absolute URLs, mailto, in-page anchors, and "targets" with
+      // spaces (inline code that merely looks like a link).
+      if (target.empty() || target.front() == '#' ||
+          target.find("://") != std::string::npos ||
+          target.rfind("mailto:", 0) == 0 ||
+          target.find(' ') != std::string::npos) {
+        continue;
+      }
+      const std::size_t anchor = target.find('#');
+      if (anchor != std::string::npos) target = target.substr(0, anchor);
+      const fs::path resolved = md.parent_path() / target;
+      if (!fs::exists(resolved)) {
+        fail(md.lexically_relative(root).string() + ":" +
+             std::to_string(line_no) + ": broken link \"" + target + "\"");
+      }
+    }
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+void check_platform_example(const fs::path& path) {
+  try {
+    (void)hars::PlatformSpec::from_file(path.string());
+  } catch (const std::exception& error) {
+    fail(path.string() + ": " + error.what());
+  }
+}
+
+void check_scenario_example(const fs::path& path) {
+  try {
+    (void)hars::Scenario::from_file(path.string());
+  } catch (const std::exception& error) {
+    fail(path.string() + ": " + error.what());
+  }
+}
+
+void check_jsonl_shape(const fs::path& path, bool expect_trace_meta) {
+  std::ifstream in(path);
+  if (!in) {
+    fail("cannot read " + path.string());
+    return;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.front() != '{' || line.back() != '}') {
+      fail(path.string() + ":" + std::to_string(line_no) +
+           ": not a one-line JSON object");
+      return;
+    }
+    if (expect_trace_meta && line_no == 1) {
+      try {
+        (void)hars::parse_trace_meta(line);
+      } catch (const std::exception& error) {
+        fail(path.string() + ": meta line: " + error.what());
+      }
+    }
+  }
+  if (line_no == 0) fail(path.string() + ": empty example");
+}
+
+void check_records_csv(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    fail("cannot read " + path.string());
+    return;
+  }
+  std::string header;
+  if (!std::getline(in, header) || header.empty()) {
+    fail(path.string() + ": missing CSV header");
+    return;
+  }
+  const std::size_t columns = split_csv(header).size();
+  std::string line;
+  int line_no = 1;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    ++rows;
+    if (split_csv(line).size() != columns) {
+      fail(path.string() + ":" + std::to_string(line_no) +
+           ": row has a different cell count than the header");
+    }
+  }
+  if (rows == 0) fail(path.string() + ": header but no rows");
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    }
+  }
+
+  // --- Links ---
+  const fs::path readme = root / "README.md";
+  if (fs::exists(readme)) {
+    check_links(root, readme);
+  } else {
+    fail("README.md not found under " + root.string());
+  }
+  const fs::path docs = root / "docs";
+  if (fs::is_directory(docs)) {
+    for (const auto& entry : fs::directory_iterator(docs)) {
+      if (entry.path().extension() == ".md") check_links(root, entry.path());
+    }
+  } else {
+    fail("docs/ not found under " + root.string());
+  }
+
+  // --- Worked examples vs. parsers ---
+  const fs::path examples = root / "examples";
+  int checked = 0;
+  if (fs::is_directory(examples)) {
+    for (const auto& entry : fs::directory_iterator(examples)) {
+      const std::string name = entry.path().filename().string();
+      if (ends_with(name, ".platform.csv")) {
+        check_platform_example(entry.path());
+        ++checked;
+      } else if (ends_with(name, ".scenario.csv")) {
+        check_scenario_example(entry.path());
+        ++checked;
+      } else if (ends_with(name, ".trace.jsonl")) {
+        check_jsonl_shape(entry.path(), /*expect_trace_meta=*/true);
+        ++checked;
+      } else if (ends_with(name, ".records.jsonl")) {
+        check_jsonl_shape(entry.path(), /*expect_trace_meta=*/false);
+        ++checked;
+      } else if (ends_with(name, ".records.csv")) {
+        check_records_csv(entry.path());
+        ++checked;
+      }
+    }
+  } else {
+    fail("examples/ not found under " + root.string());
+  }
+  if (checked == 0) {
+    fail("no example data files found (expected *.platform.csv, "
+         "*.scenario.csv, *.trace.jsonl, *.records.{csv,jsonl} under "
+         "examples/)");
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "docs_check: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("docs_check: links and %d example file(s) OK\n", checked);
+  return 0;
+}

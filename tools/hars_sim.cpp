@@ -30,6 +30,8 @@
 #include "exp/report.hpp"
 #include "exp/variant_registry.hpp"
 #include "hmp/platform_registry.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "scenario/trace_sink.hpp"
 #include "sweep/sweep_cli.hpp"
 #include "sweep/sweep_engine.hpp"
 #include "util/csv.hpp"
@@ -55,6 +57,16 @@ void usage() {
       "                    repeatable in sweep mode; --list-platforms to\n"
       "                    enumerate\n"
       "  --list-platforms  print the platform catalogue and exit\n"
+      "  --scenario NAME   registered scenario (timed arrivals/departures,\n"
+      "                    target/phase shifts, core failures); exclusive\n"
+      "                    with --bench; repeatable in sweep mode;\n"
+      "                    --list-scenarios to enumerate\n"
+      "  --list-scenarios  print the scenario catalogue and exit\n"
+      "  --capture FILE    write the scenario trace as JSONL (run mode,\n"
+      "                    with --scenario; replayable bit-for-bit)\n"
+      "  --replay FILE     re-run a captured trace and verify it is\n"
+      "                    bit-identical; exits non-zero on divergence\n"
+      "  --sample-ticks N  trace capture cadence in engine ticks (default 10)\n"
       "  --fraction F      target as fraction of max achievable (default 0.5);\n"
       "                    repeatable in sweep mode\n"
       "  --duration SEC    measured run length in simulated seconds (default 120)\n"
@@ -94,6 +106,46 @@ void list_platforms() {
     }
     std::printf("%-14s %-8zu %-6d %s\n", spec.name.c_str(),
                 spec.clusters.size(), cores, topo.c_str());
+  }
+}
+
+void list_scenarios() {
+  std::printf("%-14s %-7s %s\n", "scenario", "events", "timeline");
+  for (const std::string& name : ScenarioRegistry::instance().names()) {
+    const Scenario* s = ScenarioRegistry::instance().find(name);
+    std::string timeline;
+    for (const ScenarioEvent& e : s->events) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s%.0fs:%s",
+                    timeline.empty() ? "" : " ",
+                    us_to_sec(e.time), scenario_event_name(e.kind));
+      timeline += buf;
+    }
+    std::printf("%-14s %-7zu %s\n", name.c_str(), s->events.size(),
+                timeline.c_str());
+  }
+}
+
+bool parse_scenario(const std::string& name) {
+  if (ScenarioRegistry::instance().find(name) != nullptr) return true;
+  std::fprintf(stderr, "unknown scenario %s; known:", name.c_str());
+  for (const std::string& known : ScenarioRegistry::instance().names()) {
+    std::fprintf(stderr, " %s", known.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return false;
+}
+
+int run_replay(const std::string& path) {
+  try {
+    const ReplayOutcome outcome = replay_trace_file(path);
+    std::printf("replay           %s: %s\n", path.c_str(),
+                outcome.ok ? "bit-identical" : "DIVERGENT");
+    if (!outcome.ok) std::fprintf(stderr, "%s\n", outcome.message.c_str());
+    return outcome.ok ? 0 : 1;
+  } catch (const ScenarioError& error) {
+    std::fprintf(stderr, "replay failed: %s\n", error.what());
+    return 2;
   }
 }
 
@@ -139,6 +191,7 @@ int run_sweep_mode(int argc, char** argv) {
   std::vector<ParsecBenchmark> benches;
   std::vector<std::string> versions;
   std::vector<std::string> platforms;
+  std::vector<std::string> scenarios;
   std::vector<double> fractions;
   std::vector<int> distances;
   double duration_sec = 120.0;
@@ -181,6 +234,13 @@ int run_sweep_mode(int argc, char** argv) {
     } else if (arg == "--list-platforms") {
       list_platforms();
       return 0;
+    } else if (arg == "--scenario") {
+      const std::string name = next();
+      if (!parse_scenario(name)) return 2;
+      scenarios.push_back(name);
+    } else if (arg == "--list-scenarios") {
+      list_scenarios();
+      return 0;
     } else if (arg == "--fraction") {
       fractions.push_back(std::atof(next()));
     } else if (arg == "--distance") {
@@ -208,7 +268,15 @@ int run_sweep_mode(int argc, char** argv) {
     }
   }
 
-  if (benches.empty()) benches.push_back(ParsecBenchmark::kSwaptions);
+  if (!scenarios.empty() && !benches.empty()) {
+    std::fprintf(stderr,
+                 "--scenario and --bench are exclusive (the scenario's spawn "
+                 "events define the apps)\n");
+    return 2;
+  }
+  if (benches.empty() && scenarios.empty()) {
+    benches.push_back(ParsecBenchmark::kSwaptions);
+  }
   if (versions.empty()) versions.push_back("HARS-E");
 
   SweepSpec spec;
@@ -216,9 +284,10 @@ int run_sweep_mode(int argc, char** argv) {
       .base([duration_sec, threads, seed](ExperimentBuilder& b) {
         b.duration_sec(duration_sec).threads(threads).seed(seed);
       })
-      .base_seed(seed)
-      .benchmarks(benches)
-      .variants(versions);
+      .base_seed(seed);
+  if (!benches.empty()) spec.benchmarks(benches);
+  if (!scenarios.empty()) spec.scenarios(scenarios);
+  spec.variants(versions);
   if (!platforms.empty()) spec.platforms(platforms);
   if (!fractions.empty()) spec.target_fractions(fractions);
   if (!distances.empty()) spec.search_distances(distances);
@@ -252,7 +321,13 @@ int run_sweep_mode(int argc, char** argv) {
   const std::size_t failures = report_sweep_failures(std::cerr, report);
 
   ReportTable table("sweep results");
-  std::vector<std::string> columns{"bench", "variant"};
+  std::vector<std::string> columns;
+  if (!benches.empty()) columns.push_back("bench");
+  if (!scenarios.empty()) {
+    columns.push_back("scenario");
+    columns.push_back("app");
+  }
+  columns.push_back("variant");
   if (!platforms.empty()) columns.push_back("platform");
   if (!fractions.empty()) columns.push_back("fraction");
   if (!distances.empty()) columns.push_back("distance");
@@ -292,6 +367,10 @@ int main(int argc, char** argv) {
   std::vector<ParsecBenchmark> benches;
   std::string version = "HARS-E";
   std::string platform;
+  std::string scenario;
+  std::string capture_path;
+  std::string replay_path;
+  int sample_ticks = 10;
   ExperimentBuilder builder;
   double fraction = 0.50;
   double duration_sec = 120.0;
@@ -331,6 +410,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-platforms") {
       list_platforms();
       return 0;
+    } else if (arg == "--scenario") {
+      scenario = next();
+      if (!parse_scenario(scenario)) return 2;
+    } else if (arg == "--list-scenarios") {
+      list_scenarios();
+      return 0;
+    } else if (arg == "--capture") {
+      capture_path = next();
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--sample-ticks") {
+      sample_ticks = std::atoi(next());
     } else if (arg == "--fraction") {
       fraction = std::atof(next());
     } else if (arg == "--duration") {
@@ -375,10 +466,30 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (benches.empty()) benches.push_back(ParsecBenchmark::kSwaptions);
+  if (!replay_path.empty()) return run_replay(replay_path);
+
+  if (!scenario.empty() && !benches.empty()) {
+    std::fprintf(stderr,
+                 "--scenario and --bench are exclusive (the scenario's spawn "
+                 "events define the apps)\n");
+    return 2;
+  }
+  if (scenario.empty() && !capture_path.empty()) {
+    std::fprintf(stderr, "--capture requires --scenario\n");
+    return 2;
+  }
+  if (benches.empty() && scenario.empty()) {
+    benches.push_back(ParsecBenchmark::kSwaptions);
+  }
   if (!platform.empty()) builder.platform(std::string_view(platform));
-  builder.apps(benches)
-      .variant(version)
+  TraceSink capture_sink(sample_ticks);
+  if (!scenario.empty()) {
+    builder.scenario(std::string_view(scenario));
+    if (!capture_path.empty()) builder.capture(capture_sink);
+  } else {
+    builder.apps(benches);
+  }
+  builder.variant(version)
       .target_fraction(fraction)
       .duration_sec(duration_sec)
       .threads(threads)
@@ -392,14 +503,38 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!capture_path.empty()) {
+    if (!capture_sink.write_file(capture_path)) {
+      std::fprintf(stderr, "cannot write %s\n", capture_path.c_str());
+      return 1;
+    }
+    std::printf("capture          %s (%zu samples)\n", capture_path.c_str(),
+                capture_sink.samples().size());
+  }
+
   std::printf("version          %s\n", version.c_str());
   if (!platform.empty()) {
     std::printf("platform         %s\n", platform.c_str());
   }
-  for (std::size_t i = 0; i < benches.size(); ++i) {
+  if (!scenario.empty()) {
+    std::printf("scenario         %s\n", scenario.c_str());
+  }
+  for (std::size_t i = 0; i < result.apps.size(); ++i) {
     const AppRunResult& app = result.apps[i];
-    std::printf("bench            %s (%s)\n", parsec_code(benches[i]),
-                parsec_name(benches[i]));
+    if (scenario.empty()) {
+      std::printf("bench            %s (%s)\n", parsec_code(benches[i]),
+                  parsec_name(benches[i]));
+    } else {
+      std::string departed;
+      if (app.depart_time_us >= 0) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ", departed %.1fs",
+                      us_to_sec(app.depart_time_us));
+        departed = buf;
+      }
+      std::printf("app              %s (arrived %.1fs%s)\n", app.label.c_str(),
+                  us_to_sec(app.spawn_time_us), departed.c_str());
+    }
     std::printf("target           %.3f hb/s [%.3f, %.3f]\n", app.target.avg(),
                 app.target.min, app.target.max);
     std::printf("avg rate         %.3f hb/s\n", app.metrics.avg_rate_hps);
@@ -422,14 +557,16 @@ int main(int argc, char** argv) {
     if (result.apps.size() == 1) {
       write_trace(trace_path, result.apps.front());
     } else {
-      // Multi-app: suffix each app's code (and slot index, so repeated
-      // benchmarks get distinct files) before the filename's extension.
+      // Multi-app: suffix each app's code/label (and slot index, so
+      // repeated benchmarks get distinct files) before the filename's
+      // extension.
       for (std::size_t i = 0; i < result.apps.size(); ++i) {
         std::string path = trace_path;
         std::string suffix = "_";
         suffix += std::to_string(i + 1);
         suffix += '_';
-        suffix += parsec_code(benches[i]);
+        suffix += scenario.empty() ? parsec_code(benches[i])
+                                   : result.apps[i].label.c_str();
         const std::size_t slash = path.find_last_of('/');
         const std::size_t dot = path.rfind('.');
         const bool dot_in_name =
