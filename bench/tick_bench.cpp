@@ -1,0 +1,325 @@
+// tick_bench: the simulation tick-throughput campaign.
+//
+// The per-tick simulation cost is the dominant wall-clock term of every
+// sweep, so this bench makes it a tracked first-class metric
+// (BENCH_tick.json, uploaded by CI like the other BENCH artifacts). It
+// reports:
+//
+//  1. Grid: ticks/sec for every valid (platform x variant x app-count)
+//     combination, measured serially, then re-run on a work-stealing
+//     pool (--jobs N) with a byte-identical-records assertion — the
+//     engine must produce the same metrics at any parallelism.
+//  2. Speedup: the staggered scenario on exynos5422 under all eight
+//     runtime versions, run on the optimized tick/search path and on the
+//     retained reference path (--reference semantics of
+//     ExperimentBuilder::reference_impl), median of --reps repetitions.
+//     Asserts (a) records are bit-identical between the two paths and
+//     (b) the optimized path is at least as fast (perf smoke).
+//
+//   tick_bench [--duration SEC] [--grid-duration SEC] [--reps N]
+//              [--jobs N] [--out FILE] [--reference]
+//
+// --reference additionally runs the *grid* on the reference path (the
+// speedup section always measures both paths).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/variant_registry.hpp"
+#include "hmp/platform_registry.hpp"
+#include "sweep/result_sink.hpp"
+#include "sweep/work_stealing_pool.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace hars;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct GridCase {
+  std::string platform;
+  std::string variant;
+  int apps = 1;
+};
+
+// No blackscholes here: its ~10 s serial warm-up emits no heartbeats
+// within a short probe, which the derived-target validation now rejects
+// (it used to silently derive a {0, 0} target).
+const std::vector<ParsecBenchmark>& grid_benchmarks() {
+  static const std::vector<ParsecBenchmark> k = {
+      ParsecBenchmark::kSwaptions, ParsecBenchmark::kBodytrack,
+      ParsecBenchmark::kFluidanimate, ParsecBenchmark::kFacesim};
+  return k;
+}
+
+Experiment build_case(const GridCase& c, double duration_sec, bool reference) {
+  ExperimentBuilder b;
+  b.platform(std::string_view(c.platform)).variant(c.variant);
+  for (int i = 0; i < c.apps; ++i) {
+    // Explicit targets: the grid measures tick throughput, and short
+    // measured spans could not support a derived-target baseline probe.
+    b.app(grid_benchmarks()[static_cast<std::size_t>(i)])
+        .target(PerfTarget::around(1.0 + 0.2 * i));
+  }
+  b.duration_sec(duration_sec).reference_impl(reference);
+  return b.build();
+}
+
+/// One flat record of everything metric-bearing in a result, used for the
+/// byte-identical comparisons (format_number round-trips doubles).
+Record result_record(const ExperimentResult& r) {
+  Record rec;
+  rec.set("avg_power_w", r.avg_power_w);
+  rec.set("adaptations", r.adaptations);
+  for (std::size_t i = 0; i < r.apps.size(); ++i) {
+    const AppRunResult& app = r.apps[i];
+    const std::string p = "app" + std::to_string(i) + "_";
+    rec.set(p + "label", app.label);
+    rec.set(p + "heartbeats", app.metrics.heartbeats);
+    rec.set(p + "norm_perf", app.metrics.norm_perf);
+    rec.set(p + "avg_rate_hps", app.metrics.avg_rate_hps);
+    rec.set(p + "perf_per_watt", app.metrics.perf_per_watt);
+    rec.set(p + "in_window", app.metrics.in_window_fraction);
+    rec.set(p + "energy_j", app.metrics.energy_j);
+    rec.set(p + "manager_cpu_pct", app.metrics.manager_cpu_pct);
+    rec.set(p + "trace_points", static_cast<std::int64_t>(app.trace.size()));
+  }
+  return rec;
+}
+
+std::string fingerprint(const std::vector<Record>& records) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  for (const Record& r : records) sink.write(r);
+  return out.str();
+}
+
+struct GridOutcome {
+  GridCase c;
+  double wall_ms = 0.0;
+  double ticks = 0.0;
+  Record record;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double speedup_duration_sec = 40.0;
+  double grid_duration_sec = 5.0;
+  int reps = 3;
+  int jobs = 0;  // 0 = hardware concurrency.
+  bool reference_grid = false;
+  std::string out_path = "BENCH_tick.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      speedup_duration_sec = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--grid-duration") == 0 && i + 1 < argc) {
+      grid_duration_sec = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reference") == 0) {
+      reference_grid = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (jobs <= 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const double tick_sec = us_to_sec(SimConfig{}.tick_us);
+
+  // ---- Part 1: the throughput grid -------------------------------------
+  std::vector<GridCase> cases;
+  for (const char* platform : {"exynos5422", "sd855"}) {
+    for (const std::string& variant : VariantRegistry::instance().names()) {
+      const VariantEntry* entry = VariantRegistry::instance().find(variant);
+      for (int apps : {1, 2, 4}) {
+        if (apps < entry->traits.min_apps || apps > entry->traits.max_apps) {
+          continue;
+        }
+        cases.push_back(GridCase{platform, variant, apps});
+      }
+    }
+  }
+
+  // Untimed warm-up: populate the calibration / baseline-probe caches so
+  // neither timed pass (nor the parallel pass) pays them.
+  for (const GridCase& c : cases) {
+    (void)build_case(c, grid_duration_sec, reference_grid).run();
+  }
+
+  std::vector<GridOutcome> grid(cases.size());
+  const auto grid_start = Clock::now();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    GridOutcome& out = grid[i];
+    out.c = cases[i];
+    out.ticks = grid_duration_sec / tick_sec;
+    const auto start = Clock::now();
+    const ExperimentResult r =
+        build_case(cases[i], grid_duration_sec, reference_grid).run();
+    out.wall_ms = ms_since(start);
+    out.record = result_record(r);
+  }
+  const double grid_serial_ms = ms_since(grid_start);
+
+  // Parallel pass over the same grid: same records, any worker count.
+  std::vector<Record> parallel_records(cases.size());
+  const auto par_start = Clock::now();
+  {
+    WorkStealingPool pool(jobs);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      pool.submit([&, i] {
+        const ExperimentResult r =
+            build_case(cases[i], grid_duration_sec, reference_grid).run();
+        parallel_records[i] = result_record(r);
+      });
+    }
+    pool.wait_idle();
+  }
+  const double grid_parallel_ms = ms_since(par_start);
+
+  std::vector<Record> serial_records;
+  serial_records.reserve(grid.size());
+  for (const GridOutcome& o : grid) serial_records.push_back(o.record);
+  const bool grid_identical =
+      fingerprint(serial_records) == fingerprint(parallel_records);
+
+  for (const GridOutcome& o : grid) {
+    std::printf("grid %-11s %-10s apps=%d  %8.1f kticks/s\n",
+                o.c.platform.c_str(), o.c.variant.c_str(), o.c.apps,
+                o.ticks / (o.wall_ms / 1000.0) / 1000.0);
+  }
+  std::printf("grid: %zu cases, serial %.1f ms, parallel(%d) %.1f ms, "
+              "records %s\n",
+              grid.size(), grid_serial_ms, jobs, grid_parallel_ms,
+              grid_identical ? "identical" : "DIVERGENT");
+
+  // ---- Part 2: optimized vs reference on the staggered scenario --------
+  struct SpeedupRow {
+    std::string variant;
+    double opt_tps = 0.0;
+    double ref_tps = 0.0;
+    bool identical = false;
+  };
+  const double speedup_ticks = speedup_duration_sec / tick_sec;
+  std::vector<SpeedupRow> speedups;
+  auto run_staggered = [&](const std::string& variant, bool reference,
+                           double* wall_ms) {
+    ExperimentBuilder b;
+    b.platform(std::string_view("exynos5422"))
+        .scenario(std::string_view("staggered"))
+        .variant(variant)
+        .duration_sec(speedup_duration_sec)
+        .reference_impl(reference);
+    const Experiment experiment = b.build();
+    const auto start = Clock::now();
+    const ExperimentResult r = experiment.run();
+    *wall_ms = ms_since(start);
+    return result_record(r);
+  };
+
+  for (const std::string& variant : VariantRegistry::instance().names()) {
+    // Warm calibration caches for this variant's scenario targets.
+    {
+      double ignored = 0.0;
+      (void)run_staggered(variant, false, &ignored);
+    }
+    std::vector<double> opt_ms;
+    std::vector<double> ref_ms;
+    Record opt_record;
+    Record ref_record;
+    for (int rep = 0; rep < reps; ++rep) {
+      double w = 0.0;
+      opt_record = run_staggered(variant, false, &w);
+      opt_ms.push_back(w);
+      ref_record = run_staggered(variant, true, &w);
+      ref_ms.push_back(w);
+    }
+    // Min-of-reps: the least-interfered repetition is the standard
+    // noise-robust wall-clock estimator for both paths.
+    std::sort(opt_ms.begin(), opt_ms.end());
+    std::sort(ref_ms.begin(), ref_ms.end());
+    SpeedupRow row;
+    row.variant = variant;
+    row.opt_tps = speedup_ticks / (opt_ms.front() / 1000.0);
+    row.ref_tps = speedup_ticks / (ref_ms.front() / 1000.0);
+    row.identical = fingerprint({opt_record}) == fingerprint({ref_record});
+    speedups.push_back(row);
+    std::printf("speedup %-10s opt %8.1f kticks/s  ref %8.1f kticks/s  "
+                "%.2fx  records %s\n",
+                row.variant.c_str(), row.opt_tps / 1000.0,
+                row.ref_tps / 1000.0, row.opt_tps / row.ref_tps,
+                row.identical ? "identical" : "DIVERGENT");
+  }
+
+  std::vector<double> ratios;
+  ratios.reserve(speedups.size());
+  for (const SpeedupRow& row : speedups) {
+    ratios.push_back(row.opt_tps / row.ref_tps);
+  }
+  const double geomean_speedup = geomean(ratios);
+
+  // ---- Emit BENCH_tick.json --------------------------------------------
+  std::ofstream out(out_path);
+  out << "{\n  \"campaign\": \"tick_bench\",\n"
+      << "  \"grid_duration_sec\": " << format_number(grid_duration_sec)
+      << ",\n  \"speedup_duration_sec\": "
+      << format_number(speedup_duration_sec) << ",\n  \"reps\": " << reps
+      << ",\n  \"jobs\": " << jobs << ",\n  \"reference_grid\": "
+      << (reference_grid ? "true" : "false")
+      << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"grid_serial_ms\": " << format_number(grid_serial_ms)
+      << ",\n  \"grid_parallel_ms\": " << format_number(grid_parallel_ms)
+      << ",\n  \"grid_records_identical\": "
+      << (grid_identical ? "true" : "false") << ",\n  \"grid\": [\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const GridOutcome& o = grid[i];
+    out << "    {\"platform\": \"" << json_escape(o.c.platform)
+        << "\", \"variant\": \"" << json_escape(o.c.variant)
+        << "\", \"apps\": " << o.c.apps
+        << ", \"wall_ms\": " << format_number(o.wall_ms)
+        << ", \"ticks_per_sec\": "
+        << format_number(o.ticks / (o.wall_ms / 1000.0)) << "}"
+        << (i + 1 < grid.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"speedup\": {\n    \"scenario\": \"staggered\",\n"
+      << "    \"platform\": \"exynos5422\",\n    \"variants\": [\n";
+  bool all_identical = grid_identical;
+  bool all_at_least_ref = true;
+  for (std::size_t i = 0; i < speedups.size(); ++i) {
+    const SpeedupRow& row = speedups[i];
+    all_identical = all_identical && row.identical;
+    all_at_least_ref = all_at_least_ref && row.opt_tps >= row.ref_tps;
+    out << "      {\"variant\": \"" << json_escape(row.variant)
+        << "\", \"opt_ticks_per_sec\": " << format_number(row.opt_tps)
+        << ", \"ref_ticks_per_sec\": " << format_number(row.ref_tps)
+        << ", \"speedup\": " << format_number(row.opt_tps / row.ref_tps)
+        << ", \"records_identical\": " << (row.identical ? "true" : "false")
+        << "}" << (i + 1 < speedups.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n    \"geomean_speedup\": " << format_number(geomean_speedup)
+      << "\n  }\n}\n";
+  std::printf("wrote %s (geomean speedup %.2fx, records %s)\n",
+              out_path.c_str(), geomean_speedup,
+              all_identical ? "identical" : "DIVERGENT");
+
+  // Records must match everywhere; the optimized path must not regress
+  // below the reference path (perf smoke).
+  if (!all_identical || !all_at_least_ref || !out.good()) return 1;
+  return 0;
+}

@@ -59,6 +59,15 @@ class App {
   /// Does thread `local_tid` want CPU this tick?
   virtual bool runnable(int local_tid) const = 0;
 
+  /// Batch form of runnable() for the engine's tick hot path: writes one
+  /// flag per thread into `out` (which has room for thread_count()
+  /// entries). Must produce exactly runnable(i) for every i — the default
+  /// does literally that; subclasses override to answer for all threads
+  /// with one virtual dispatch.
+  virtual void refresh_runnable(bool* out) const {
+    for (int i = 0; i < thread_count(); ++i) out[i] = runnable(i);
+  }
+
   /// Gives thread `local_tid` up to `share_us` of CPU on a core of `type`
   /// at `freq_ghz`. Returns the CPU time actually consumed (a thread that
   /// completes its pending work mid-share yields the rest).
@@ -67,6 +76,14 @@ class App {
 
   /// Called before scheduling each tick (source-stage item generation...).
   virtual void begin_tick(TimeUs /*now*/) {}
+
+  /// True when the app's begin_tick must run each tick. The engine
+  /// caches this per app slot and skips the virtual begin_tick dispatch
+  /// for apps that answer false. Defaults to true so a subclass that
+  /// overrides begin_tick but not this query merely loses the skipped
+  /// dispatch — never its begin_tick work; only apps whose begin_tick is
+  /// the base no-op should opt out.
+  virtual bool needs_begin_tick() const { return true; }
 
   /// Called after all threads executed; barrier/heartbeat logic lives here.
   virtual void end_tick(TimeUs now) = 0;
@@ -95,7 +112,10 @@ class App {
 
  protected:
   double thread_speed(CoreType type, double freq_ghz) const {
-    return speed_.speed(type, freq_ghz) / phase_scale_;
+    const double s = speed_.speed(type, freq_ghz);
+    // IEEE division by exactly 1.0 is the identity, so skipping it at the
+    // nominal phase is bit-identical and saves a divide on the hot path.
+    return phase_scale_ == 1.0 ? s : s / phase_scale_;
   }
 
  private:

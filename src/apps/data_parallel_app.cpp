@@ -22,12 +22,14 @@ void DataParallelApp::start_iteration() {
   }
   const WorkUnits total = workload_.next(iteration_);
   const WorkUnits equal_share = total / config_.threads;
+  open_threads_ = 0;
   for (auto& r : remaining_) {
     double jitter = 1.0;
     if (config_.imbalance > 0.0) {
       jitter = std::max(0.1, 1.0 + rng_.normal(0.0, config_.imbalance));
     }
     r = equal_share * jitter;
+    if (r > 0.0) ++open_threads_;
   }
   iteration_open_ = true;
 }
@@ -38,14 +40,39 @@ bool DataParallelApp::runnable(int local_tid) const {
   return remaining_[static_cast<std::size_t>(local_tid)] > 0.0;
 }
 
+void DataParallelApp::refresh_runnable(bool* out) const {
+  // One virtual dispatch answers for all threads (engine hot path);
+  // flag i equals runnable(i) exactly.
+  if (warmup_remaining_ > 0.0) {
+    out[0] = true;  // Serial input phase.
+    std::fill(out + 1, out + thread_count(), false);
+    return;
+  }
+  if (!iteration_open_) {
+    std::fill(out, out + thread_count(), false);
+    return;
+  }
+  for (std::size_t i = 0; i < remaining_.size(); ++i) out[i] = remaining_[i] > 0.0;
+}
+
 TimeUs DataParallelApp::execute(int local_tid, TimeUs share_us, CoreType type,
                                 double freq_ghz) {
   const double speed = thread_speed(type, freq_ghz);  // work-units / sec
   if (speed <= 0.0 || share_us <= 0) return 0;
 
+  // us_to_sec is a genuine FP division; the share repeats across the
+  // threads of a tick (equal per-core shares), so one cached conversion
+  // serves the whole barrier. Bit-identical: the cached value is the
+  // division's result.
+  if (share_us != cached_share_us_) {
+    cached_share_us_ = share_us;
+    cached_share_sec_ = us_to_sec(share_us);
+    cached_speed_ = -1.0;  // cached_used_ depends on the share too.
+  }
+
   if (warmup_remaining_ > 0.0) {
     assert(local_tid == 0);
-    const WorkUnits can_do = speed * us_to_sec(share_us);
+    const WorkUnits can_do = speed * cached_share_sec_;
     const WorkUnits done = std::min(can_do, warmup_remaining_);
     warmup_remaining_ -= done;
     return static_cast<TimeUs>(done / speed * kUsPerSec);
@@ -53,9 +80,21 @@ TimeUs DataParallelApp::execute(int local_tid, TimeUs share_us, CoreType type,
 
   WorkUnits& rem = remaining_[static_cast<std::size_t>(local_tid)];
   if (rem <= 0.0) return 0;
-  const WorkUnits can_do = speed * us_to_sec(share_us);
-  const WorkUnits done = std::min(can_do, rem);
-  rem -= done;
+  const WorkUnits can_do = speed * cached_share_sec_;
+  if (rem > can_do) {
+    // Full-share case (the bulk of a barrier's ticks): done == can_do, so
+    // the used-time division has the same operands for every thread at
+    // this (speed, share) — cache its result.
+    rem -= can_do;
+    if (speed != cached_speed_) {
+      cached_speed_ = speed;
+      cached_used_ = static_cast<TimeUs>(can_do / speed * kUsPerSec);
+    }
+    return cached_used_;
+  }
+  const WorkUnits done = rem;  // == std::min(can_do, rem) with rem <= can_do.
+  rem = 0.0;
+  --open_threads_;  // Thread reached the barrier.
   return static_cast<TimeUs>(done / speed * kUsPerSec);
 }
 
@@ -68,9 +107,9 @@ void DataParallelApp::end_tick(TimeUs now) {
     return;
   }
   if (!iteration_open_) return;
-  for (const auto& r : remaining_) {
-    if (r > 0.0) return;  // Barrier not yet reached.
-  }
+  // open_threads_ counts remaining_ entries > 0 (maintained by execute),
+  // so the barrier check is O(1) instead of a scan.
+  if (open_threads_ > 0) return;  // Barrier not yet reached.
   heartbeats().emit(now);
   ++iteration_;
   start_iteration();

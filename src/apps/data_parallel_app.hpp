@@ -33,6 +33,9 @@ class DataParallelApp final : public App {
   DataParallelApp(std::string name, const DataParallelConfig& config);
 
   bool runnable(int local_tid) const override;
+  void refresh_runnable(bool* out) const override;
+  /// begin_tick is the base no-op: iterations open in end_tick.
+  bool needs_begin_tick() const override { return false; }
   TimeUs execute(int local_tid, TimeUs share_us, CoreType type,
                  double freq_ghz) override;
   void end_tick(TimeUs now) override;
@@ -51,8 +54,13 @@ class DataParallelApp final : public App {
   WorkloadGenerator workload_;
   Rng rng_;
   std::vector<WorkUnits> remaining_;  ///< Per-thread work left this iteration.
+  TimeUs cached_share_us_ = -1;    ///< Last CPU share converted to seconds.
+  double cached_share_sec_ = 0.0;  ///< us_to_sec(cached_share_us_).
+  double cached_speed_ = -1.0;     ///< Speed the used-time cache is for.
+  TimeUs cached_used_ = 0;         ///< Full-share used time at that speed.
   WorkUnits warmup_remaining_ = 0.0;
   std::int64_t iteration_ = 0;
+  int open_threads_ = 0;  ///< remaining_ entries > 0 (barrier countdown).
   bool iteration_open_ = false;
 };
 

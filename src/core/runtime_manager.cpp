@@ -1,6 +1,7 @@
 #include "core/runtime_manager.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace hars {
 
@@ -14,6 +15,12 @@ RuntimeManager::RuntimeManager(SimEngine& engine, AppId app, PerfTarget target,
       config_(config),
       space_(StateSpace::from_machine(engine.machine())),
       predictor_(make_predictor(config.predictor)) {
+  if (!target.is_valid_window()) {
+    throw std::invalid_argument(
+        "RuntimeManager: target window must be positive (0 <= min <= max, "
+        "max > 0); a non-positive average zeroes every normalized-perf "
+        "score and the search would pick arbitrarily");
+  }
   if (config_.learn_ratio) {
     RatioLearnerConfig learner_config;
     learner_config.prior_r0 = config_.r0;
@@ -86,16 +93,24 @@ TimeUs RuntimeManager::on_tick(TimeUs now) {
 
   const bool overperforming = rate > target.avg();
   const int threads = engine_.app(app_).thread_count();
+  // One memoization epoch per adaptation: r0 may have moved (ratio
+  // learner) since the last search, so prior entries are stale.
+  SearchScratch* scratch = nullptr;
+  if (!config_.reference_search) {
+    scratch_.begin_tick(space_);
+    scratch = &scratch_;
+  }
   SearchResult result;
   if (config_.policy == SearchPolicy::kTabu) {
     result = tabu_get_next_sys_state(rate, state_, target, config_.tabu,
-                                     space_, perf_est_, power_est_, threads);
+                                     space_, perf_est_, power_est_, threads,
+                                     {}, scratch);
   } else {
     const SearchParams params =
         params_for_policy(config_.policy, overperforming,
                           config_.exhaustive_window, config_.exhaustive_d);
     result = get_next_sys_state(rate, state_, target, params, space_,
-                                perf_est_, power_est_, threads);
+                                perf_est_, power_est_, threads, {}, scratch);
   }
   cost += config_.adapt_fixed_cost_us +
           config_.cost_per_candidate_us * result.candidates;

@@ -69,6 +69,11 @@ struct RuntimeManagerConfig {
   TimeUs adapt_fixed_cost_us = 500;
 
   bool start_at_max = true;  ///< Initial state = full machine (baseline-like).
+
+  /// Runs the retained reference search implementations instead of the
+  /// memoized SearchScratch path. Decisions are bit-identical either way;
+  /// the flag is the baseline of bench/tick_bench's speedup trajectory.
+  bool reference_search = false;
 };
 
 class RuntimeManager : public ManagerHook {
@@ -105,6 +110,7 @@ class RuntimeManager : public ManagerHook {
   StateSpace space_;
 
   SystemState state_;
+  SearchScratch scratch_;  ///< Per-tick search memoization (search_scratch.hpp).
   TimeUs next_poll_ = 0;
   std::int64_t last_seen_hb_ = -1;
   std::int64_t last_change_hb_ = -1;

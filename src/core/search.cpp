@@ -7,6 +7,11 @@ namespace hars {
 
 double normalized_perf(double rate, const PerfTarget& target) {
   const double g = target.avg();
+  // Defensive only: a non-positive target average would make every
+  // candidate tie at 0 and the search pick arbitrarily, so targets are
+  // validated upstream (PerfTarget::is_valid_window — builder, scenario
+  // validator, manager constructors) and this guard should be
+  // unreachable through those paths.
   if (g <= 0.0) return 0.0;
   return std::min(g, rate) / g;
 }
@@ -31,51 +36,57 @@ std::optional<SearchPolicy> parse_search_policy(std::string_view name) {
 SearchParams params_for_policy(SearchPolicy policy, bool overperforming,
                                int exhaustive_window, int exhaustive_d) {
   if (policy != SearchPolicy::kIncremental) {
+    // HARS-E's window is symmetric by definition (§3.1.3: m = n = 4,
+    // d = 7): the sweep may shrink and grow every knob by the same
+    // amount regardless of the performance direction, and the current
+    // state competing via getBetterState keeps "no move" available.
+    // Using `exhaustive_window` for both m and n is therefore correct,
+    // not an accidental aliasing of two independent bounds.
     return SearchParams{exhaustive_window, exhaustive_window, exhaustive_d};
   }
   // HARS-I: step one component down when overperforming, up otherwise.
   return overperforming ? SearchParams{1, 0, 1} : SearchParams{0, 1, 1};
 }
 
-SearchResult get_next_sys_state(double hb_rate, const SystemState& current,
-                                const PerfTarget& target,
-                                const SearchParams& params,
-                                const StateSpace& space,
-                                const PerfEstimator& perf_est,
-                                const PowerEstimator& power_est, int threads,
-                                const CandidateFilter& filter) {
-  struct Best {
-    SystemState state;
-    double perf = -1.0;
-    double power = 0.0;
-    double pp = -1.0;
-    bool set = false;
-  };
-  Best ns;
+namespace {
 
-  auto evaluate = [&](const SystemState& s, double& perf_out, double& power_out,
-                      double& pp_out) {
-    perf_out = perf_est.estimate_rate(s, current, hb_rate, threads);
-    power_out = power_est.estimate(s, threads, perf_est);
-    const double norm = normalized_perf(perf_out, target);
-    pp_out = power_out > 0.0 ? norm / power_out : 0.0;
-  };
+/// Best-so-far candidate and the Algorithm 2 selection rules, shared by
+/// the memoized and reference sweeps so the two cannot diverge.
+struct Best {
+  SystemState state;
+  double perf = -1.0;
+  double power = 0.0;
+  double pp = -1.0;
+  bool set = false;
+};
 
-  auto consider = [&](const SystemState& s, double perf, double power, double pp) {
-    // Selection rules of Algorithm 2, lines 13-22.
-    if (perf >= target.min) {
-      if (ns.set && ns.perf >= target.min) {
-        if (pp > ns.pp) ns = Best{s, perf, power, pp, true};
-      } else {
-        ns = Best{s, perf, power, pp, true};
-      }
+void consider(Best& ns, const PerfTarget& target, const SystemState& s,
+              double perf, double power, double pp) {
+  // Selection rules of Algorithm 2, lines 13-22.
+  if (perf >= target.min) {
+    if (ns.set && ns.perf >= target.min) {
+      if (pp > ns.pp) ns = Best{s, perf, power, pp, true};
     } else {
-      if (!ns.set || ns.perf < target.min) {
-        if (!ns.set || perf > ns.perf) ns = Best{s, perf, power, pp, true};
-      }
+      ns = Best{s, perf, power, pp, true};
     }
-  };
+  } else {
+    if (!ns.set || ns.perf < target.min) {
+      if (!ns.set || perf > ns.perf) ns = Best{s, perf, power, pp, true};
+    }
+  }
+}
 
+/// The m/n/d neighbourhood sweep with a pluggable per-candidate
+/// evaluator. `evaluate(s, perf, power, pp)` must produce the Algorithm 2
+/// scores for one state.
+template <typename EvalFn>
+SearchResult neighbourhood_sweep(const SystemState& current,
+                                 const PerfTarget& target,
+                                 const SearchParams& params,
+                                 const StateSpace& space,
+                                 const CandidateFilter& filter,
+                                 EvalFn&& evaluate) {
+  Best ns;
   SearchResult result;
   for (int i = current.big_cores - params.m; i <= current.big_cores + params.n;
        ++i) {
@@ -95,7 +106,7 @@ SearchResult get_next_sys_state(double hb_rate, const SystemState& current,
           double pp = 0.0;
           evaluate(cand, perf, power, pp);
           ++result.candidates;
-          consider(cand, perf, power, pp);
+          consider(ns, target, cand, perf, power, pp);
         }
       }
     }
@@ -108,7 +119,7 @@ SearchResult get_next_sys_state(double hb_rate, const SystemState& current,
     double pp = 0.0;
     evaluate(current, perf, power, pp);
     ++result.candidates;
-    consider(current, perf, power, pp);
+    consider(ns, target, current, perf, power, pp);
   }
 
   result.state = ns.set ? ns.state : current;
@@ -117,6 +128,57 @@ SearchResult get_next_sys_state(double hb_rate, const SystemState& current,
   result.est_pp = ns.pp;
   result.moved = !(result.state == current);
   return result;
+}
+
+}  // namespace
+
+SearchResult get_next_sys_state_reference(
+    double hb_rate, const SystemState& current, const PerfTarget& target,
+    const SearchParams& params, const StateSpace& space,
+    const PerfEstimator& perf_est, const PowerEstimator& power_est,
+    int threads, const CandidateFilter& filter) {
+  return neighbourhood_sweep(
+      current, target, params, space, filter,
+      [&](const SystemState& s, double& perf_out, double& power_out,
+          double& pp_out) {
+        perf_out = perf_est.estimate_rate(s, current, hb_rate, threads);
+        power_out = power_est.estimate(s, threads, perf_est);
+        const double norm = normalized_perf(perf_out, target);
+        pp_out = power_out > 0.0 ? norm / power_out : 0.0;
+      });
+}
+
+SearchResult get_next_sys_state(double hb_rate, const SystemState& current,
+                                const PerfTarget& target,
+                                const SearchParams& params,
+                                const StateSpace& space,
+                                const PerfEstimator& perf_est,
+                                const PowerEstimator& power_est, int threads,
+                                const CandidateFilter& filter,
+                                SearchScratch* scratch) {
+  if (scratch == nullptr) {
+    return get_next_sys_state_reference(hb_rate, current, target, params,
+                                        space, perf_est, power_est, threads,
+                                        filter);
+  }
+  // Memoized sweep: t_f(current) is one lookup for the whole call, and
+  // each candidate costs one unit-time and one power lookup. The rate
+  // expression and its guards mirror PerfEstimator::estimate_rate
+  // exactly, so scores are bit-identical to the reference path.
+  const double ut_cur = scratch->unit_time(current, threads, perf_est);
+  const bool cur_ok = std::isfinite(ut_cur) && ut_cur > 0.0;
+  return neighbourhood_sweep(
+      current, target, params, space, filter,
+      [&](const SystemState& s, double& perf_out, double& power_out,
+          double& pp_out) {
+        const double ut = scratch->unit_time(s, threads, perf_est);
+        perf_out = (std::isfinite(ut) && ut > 0.0 && cur_ok)
+                       ? hb_rate * ut_cur / ut
+                       : 0.0;
+        power_out = scratch->power(s, threads, perf_est, power_est);
+        const double norm = normalized_perf(perf_out, target);
+        pp_out = power_out > 0.0 ? norm / power_out : 0.0;
+      });
 }
 
 }  // namespace hars

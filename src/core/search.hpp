@@ -14,14 +14,15 @@
 // when underperforming) and HARS-E (m=4,n=4,d=7).
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <string_view>
 
 #include "core/perf_estimator.hpp"
 #include "core/power_estimator.hpp"
+#include "core/search_scratch.hpp"
 #include "core/system_state.hpp"
 #include "heartbeats/heartbeat.hpp"
+#include "util/function_ref.hpp"
 
 namespace hars {
 
@@ -44,12 +45,23 @@ std::optional<SearchPolicy> parse_search_policy(std::string_view name);
 
 /// Builds the effective SearchParams for a policy given whether the
 /// application currently overperforms its target.
+///
+/// Non-incremental policies get the paper's *symmetric* exhaustive window
+/// (§3.1.3 defines HARS-E as m = n = 4 with d = 7): `exhaustive_window`
+/// is deliberately used for both the decrease bound m and the increase
+/// bound n, independent of the over/underperforming direction — only
+/// HARS-I is direction-asymmetric. Golden-tested by
+/// tests/core/search_test.cpp (ExhaustiveWindowIsSymmetric,
+/// HarsEDecisionGolden).
 SearchParams params_for_policy(SearchPolicy policy, bool overperforming,
                                int exhaustive_window = 4, int exhaustive_d = 7);
 
 /// Optional per-candidate constraint (MP-HARS narrows the space by free
-/// cores and frequency controllability). Return false to skip a candidate.
-using CandidateFilter = std::function<bool(const SystemState&)>;
+/// cores and frequency controllability). Return false to skip a
+/// candidate. A non-owning reference: bind it to an lvalue callable (or
+/// pass a lambda directly in the call expression); never store it past
+/// the callable's lifetime. See util/function_ref.hpp.
+using CandidateFilter = FunctionRef<bool(const SystemState&)>;
 
 struct SearchResult {
   SystemState state;          ///< Chosen next state (== current if no better).
@@ -60,13 +72,29 @@ struct SearchResult {
   bool moved = false;         ///< True when `state` differs from current.
 };
 
+/// With a non-null `scratch` the estimator calls are memoized per
+/// (state, threads) within the scratch's current epoch
+/// (SearchScratch::begin_tick) and the enumeration performs no
+/// allocations; without one it falls back to the reference
+/// implementation. Both return bit-identical SearchResults.
 SearchResult get_next_sys_state(double hb_rate, const SystemState& current,
                                 const PerfTarget& target,
                                 const SearchParams& params,
                                 const StateSpace& space,
                                 const PerfEstimator& perf_est,
                                 const PowerEstimator& power_est, int threads,
-                                const CandidateFilter& filter = {});
+                                const CandidateFilter& filter = {},
+                                SearchScratch* scratch = nullptr);
+
+/// The retained pre-memoization implementation (recomputes every
+/// estimate from scratch). Kept as the golden reference the optimized
+/// path is property-tested against, and as bench/tick_bench's
+/// `--reference` baseline.
+SearchResult get_next_sys_state_reference(
+    double hb_rate, const SystemState& current, const PerfTarget& target,
+    const SearchParams& params, const StateSpace& space,
+    const PerfEstimator& perf_est, const PowerEstimator& power_est,
+    int threads, const CandidateFilter& filter = {});
 
 /// min(g, h) / g with g = target average (no credit for overperformance).
 double normalized_perf(double rate, const PerfTarget& target);

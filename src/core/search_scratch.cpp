@@ -1,0 +1,59 @@
+#include "core/search_scratch.hpp"
+
+#include <cassert>
+
+namespace hars {
+
+void SearchScratch::begin_tick(const StateSpace& space) {
+  const int nb = space.max_big_cores + 1;
+  const int nl = space.max_little_cores + 1;
+  const int nbf = space.num_big_freqs;
+  const int nlf = space.num_little_freqs;
+  assert(nb > 0 && nl > 0 && nbf > 0 && nlf > 0);
+  const auto slots =
+      static_cast<std::size_t>(nb) * static_cast<std::size_t>(nl) *
+      static_cast<std::size_t>(nbf) * static_cast<std::size_t>(nlf);
+  if (slots > unit_time_.size() || nl != stride_l_ || nbf != stride_bf_ ||
+      nlf != stride_lf_) {
+    stride_l_ = nl;
+    stride_bf_ = nbf;
+    stride_lf_ = nlf;
+    unit_time_.assign(slots, Entry{});
+    power_.assign(slots, Entry{});
+    gen_ = 0;
+  }
+  if (++gen_ == 0) {
+    // Generation wrap (after ~4G epochs): wipe the stamps so no stale
+    // entry can alias the restarted counter.
+    unit_time_.assign(unit_time_.size(), Entry{});
+    power_.assign(power_.size(), Entry{});
+    gen_ = 1;
+  }
+}
+
+double SearchScratch::unit_time(const SystemState& s, int threads,
+                                const PerfEstimator& perf) {
+  assert(gen_ != 0 && "begin_tick() must run before lookups");
+  Entry& entry = unit_time_[index_of(s)];
+  if (entry.gen != gen_ || entry.threads != threads) {
+    entry.value = perf.unit_time(s, threads);
+    entry.gen = gen_;
+    entry.threads = threads;
+  }
+  return entry.value;
+}
+
+double SearchScratch::power(const SystemState& s, int threads,
+                            const PerfEstimator& perf,
+                            const PowerEstimator& power_est) {
+  assert(gen_ != 0 && "begin_tick() must run before lookups");
+  Entry& entry = power_[index_of(s)];
+  if (entry.gen != gen_ || entry.threads != threads) {
+    entry.value = power_est.estimate(s, threads, perf);
+    entry.gen = gen_;
+    entry.threads = threads;
+  }
+  return entry.value;
+}
+
+}  // namespace hars

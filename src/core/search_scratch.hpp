@@ -1,0 +1,82 @@
+// SearchScratch: reusable keyed scratch for the search hot path.
+//
+// The search functions (Algorithm 2's neighbourhood sweep and the tabu
+// trajectory) spend their time in two pure computations per candidate:
+// the performance estimator's unit completion time t_f(s, T) and the
+// power estimate P(s, T). Both depend only on (state, threads) plus
+// configuration that is constant within one manager tick (the machine's
+// frequency tables, the assumed ratio r0, the profiled coefficients) —
+// so within a tick every value can be computed once and reused, both
+// across candidates of one search call and across the per-app searches
+// MP-HARS runs in the same tick.
+//
+// The scratch holds dense generation-stamped tables over the state space
+// (one slot per valid SystemState); begin_tick() opens a new epoch by
+// bumping the generation, which invalidates every entry in O(1) without
+// deallocating. Steady-state lookups therefore never allocate.
+//
+// Bit-identity: a memoized value is the result of the exact expression
+// the unmemoized path evaluates, so searches through the scratch return
+// bit-identical SearchResults to the retained reference implementations
+// (get_next_sys_state_reference / tabu_get_next_sys_state_reference),
+// which tests/core/search_identity_test.cpp asserts over randomized
+// cases for all three SearchPolicy values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/perf_estimator.hpp"
+#include "core/power_estimator.hpp"
+#include "core/system_state.hpp"
+
+namespace hars {
+
+class SearchScratch {
+ public:
+  /// Opens a new memoization epoch sized for `space`: every previously
+  /// memoized value is invalidated (estimator configuration — r0, the
+  /// machine — may have changed between ticks), and the dense tables are
+  /// grown if the space outgrew them. Call once per manager tick, before
+  /// any search that passes this scratch.
+  void begin_tick(const StateSpace& space);
+
+  /// Memoized PerfEstimator::unit_time(s, threads); `s` must be valid in
+  /// the begin_tick space.
+  double unit_time(const SystemState& s, int threads,
+                   const PerfEstimator& perf);
+
+  /// Memoized PowerEstimator::estimate(s, threads, perf).
+  double power(const SystemState& s, int threads, const PerfEstimator& perf,
+               const PowerEstimator& power_est);
+
+  /// Reusable bounded-FIFO backing store for the tabu list (cleared by the
+  /// caller; capacity persists across searches so pushes do not allocate
+  /// in steady state).
+  std::vector<SystemState>& tabu_ring() { return tabu_ring_; }
+
+ private:
+  struct Entry {
+    std::uint32_t gen = 0;  ///< Epoch stamp; 0 is never a live epoch.
+    int threads = -1;       ///< Thread count the value was computed for.
+    double value = 0.0;
+  };
+
+  std::size_t index_of(const SystemState& s) const {
+    return static_cast<std::size_t>(
+        ((s.big_cores * stride_l_ + s.little_cores) * stride_bf_ +
+         s.big_freq) *
+            stride_lf_ +
+        s.little_freq);
+  }
+
+  int stride_l_ = 0;   ///< max_little_cores + 1.
+  int stride_bf_ = 0;  ///< num_big_freqs.
+  int stride_lf_ = 0;  ///< num_little_freqs.
+  std::uint32_t gen_ = 0;
+  std::vector<Entry> unit_time_;
+  std::vector<Entry> power_;
+  std::vector<SystemState> tabu_ring_;
+};
+
+}  // namespace hars

@@ -1,6 +1,7 @@
 #include "core/tabu_search.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <vector>
 
@@ -24,37 +25,18 @@ bool better(const Scored& a, const Scored& b) {
   return a.perf > b.perf;
 }
 
-}  // namespace
-
-SearchResult tabu_get_next_sys_state(double hb_rate, const SystemState& current,
-                                     const PerfTarget& target,
-                                     const TabuParams& params,
-                                     const StateSpace& space,
-                                     const PerfEstimator& perf_est,
-                                     const PowerEstimator& power_est,
-                                     int threads, const CandidateFilter& filter) {
-  SearchResult result;
-
-  auto score = [&](const SystemState& s) {
-    Scored scored;
-    scored.state = s;
-    scored.perf = perf_est.estimate_rate(s, current, hb_rate, threads);
-    scored.power = power_est.estimate(s, threads, perf_est);
-    scored.pp = scored.power > 0.0
-                    ? normalized_perf(scored.perf, target) / scored.power
-                    : 0.0;
-    scored.satisfies = scored.perf >= target.min;
-    ++result.candidates;
-    return scored;
-  };
-
-  std::deque<SystemState> tabu;
+/// The trajectory loop, shared by the memoized and reference paths so the
+/// two cannot diverge. `score(s)` produces the Algorithm 2 scores for one
+/// state (and counts it); `tabu` is any container with FIFO push capped
+/// at the tenure via `push_tabu`.
+template <typename ScoreFn, typename TabuList, typename PushFn>
+SearchResult tabu_trajectory(const SystemState& current,
+                             const TabuParams& params, const StateSpace& space,
+                             const CandidateFilter& filter, ScoreFn&& score,
+                             TabuList& tabu, PushFn&& push_tabu,
+                             SearchResult& result) {
   auto is_tabu = [&](const SystemState& s) {
     return std::find(tabu.begin(), tabu.end(), s) != tabu.end();
-  };
-  auto push_tabu = [&](const SystemState& s) {
-    tabu.push_back(s);
-    while (static_cast<int>(tabu.size()) > params.tenure) tabu.pop_front();
   };
 
   Scored here = score(current);
@@ -103,6 +85,91 @@ SearchResult tabu_get_next_sys_state(double hb_rate, const SystemState& current,
   result.est_pp = best.pp;
   result.moved = !(best.state == current);
   return result;
+}
+
+}  // namespace
+
+SearchResult tabu_get_next_sys_state_reference(
+    double hb_rate, const SystemState& current, const PerfTarget& target,
+    const TabuParams& params, const StateSpace& space,
+    const PerfEstimator& perf_est, const PowerEstimator& power_est,
+    int threads, const CandidateFilter& filter) {
+  SearchResult result;
+
+  auto score = [&](const SystemState& s) {
+    Scored scored;
+    scored.state = s;
+    scored.perf = perf_est.estimate_rate(s, current, hb_rate, threads);
+    scored.power = power_est.estimate(s, threads, perf_est);
+    scored.pp = scored.power > 0.0
+                    ? normalized_perf(scored.perf, target) / scored.power
+                    : 0.0;
+    scored.satisfies = scored.perf >= target.min;
+    ++result.candidates;
+    return scored;
+  };
+
+  std::deque<SystemState> tabu;
+  auto push_tabu = [&](const SystemState& s) {
+    tabu.push_back(s);
+    while (static_cast<int>(tabu.size()) > params.tenure) tabu.pop_front();
+  };
+
+  return tabu_trajectory(current, params, space, filter, score, tabu,
+                         push_tabu, result);
+}
+
+SearchResult tabu_get_next_sys_state(double hb_rate, const SystemState& current,
+                                     const PerfTarget& target,
+                                     const TabuParams& params,
+                                     const StateSpace& space,
+                                     const PerfEstimator& perf_est,
+                                     const PowerEstimator& power_est,
+                                     int threads, const CandidateFilter& filter,
+                                     SearchScratch* scratch) {
+  if (scratch == nullptr) {
+    return tabu_get_next_sys_state_reference(hb_rate, current, target, params,
+                                             space, perf_est, power_est,
+                                             threads, filter);
+  }
+  SearchResult result;
+
+  // Memoized scoring, mirroring PerfEstimator::estimate_rate's guards
+  // exactly (see get_next_sys_state). `candidates` still counts every
+  // logical evaluation so the overhead model — and the SearchResult —
+  // stay bit-identical to the reference path.
+  const double ut_cur = scratch->unit_time(current, threads, perf_est);
+  const bool cur_ok = std::isfinite(ut_cur) && ut_cur > 0.0;
+  auto score = [&](const SystemState& s) {
+    Scored scored;
+    scored.state = s;
+    const double ut = scratch->unit_time(s, threads, perf_est);
+    scored.perf = (std::isfinite(ut) && ut > 0.0 && cur_ok)
+                      ? hb_rate * ut_cur / ut
+                      : 0.0;
+    scored.power = scratch->power(s, threads, perf_est, power_est);
+    scored.pp = scored.power > 0.0
+                    ? normalized_perf(scored.perf, target) / scored.power
+                    : 0.0;
+    scored.satisfies = scored.perf >= target.min;
+    ++result.candidates;
+    return scored;
+  };
+
+  // Bounded FIFO over the scratch's reusable ring: erase-at-front on a
+  // <= tenure-sized vector is a few moves, with capacity retained across
+  // searches so pushes never allocate in steady state.
+  std::vector<SystemState>& tabu = scratch->tabu_ring();
+  tabu.clear();
+  auto push_tabu = [&](const SystemState& s) {
+    tabu.push_back(s);
+    while (static_cast<int>(tabu.size()) > params.tenure) {
+      tabu.erase(tabu.begin());
+    }
+  };
+
+  return tabu_trajectory(current, params, space, filter, score, tabu,
+                         push_tabu, result);
 }
 
 }  // namespace hars

@@ -25,6 +25,13 @@ struct TabuParams {
   int step = 1;           ///< Neighbourhood radius per move (Manhattan).
 };
 
+/// With a non-null `scratch`, per-state estimates are memoized for the
+/// scratch's epoch (revisited trajectory states cost one lookup) and the
+/// tabu list reuses the scratch's ring storage, making the search
+/// allocation-free in steady state; without one it falls back to the
+/// reference implementation. Both return bit-identical SearchResults
+/// (including `candidates`, which counts logical evaluations, not cache
+/// misses).
 SearchResult tabu_get_next_sys_state(double hb_rate, const SystemState& current,
                                      const PerfTarget& target,
                                      const TabuParams& params,
@@ -32,6 +39,16 @@ SearchResult tabu_get_next_sys_state(double hb_rate, const SystemState& current,
                                      const PerfEstimator& perf_est,
                                      const PowerEstimator& power_est,
                                      int threads,
-                                     const CandidateFilter& filter = {});
+                                     const CandidateFilter& filter = {},
+                                     SearchScratch* scratch = nullptr);
+
+/// The retained pre-memoization implementation (std::deque tabu list,
+/// every estimate recomputed); the golden reference for the property
+/// tests and bench/tick_bench's `--reference` baseline.
+SearchResult tabu_get_next_sys_state_reference(
+    double hb_rate, const SystemState& current, const PerfTarget& target,
+    const TabuParams& params, const StateSpace& space,
+    const PerfEstimator& perf_est, const PowerEstimator& power_est,
+    int threads, const CandidateFilter& filter = {});
 
 }  // namespace hars

@@ -30,6 +30,24 @@ std::unique_ptr<Scheduler> make_default_scheduler() {
   return std::make_unique<GtsScheduler>();
 }
 
+/// The engine + OS scheduler for a measured run, honouring the spec's
+/// reference_impl switch (bit-identical simulations either way).
+SimEngine make_engine(const ExperimentSpec& spec) {
+  std::unique_ptr<Scheduler> scheduler;
+  if (spec.make_scheduler) {
+    scheduler = spec.make_scheduler();
+  } else if (spec.reference_impl) {
+    GtsConfig gts;
+    gts.reference = true;
+    scheduler = std::make_unique<GtsScheduler>(gts);
+  } else {
+    scheduler = make_default_scheduler();
+  }
+  SimConfig config;
+  config.reference_tick = spec.reference_impl;
+  return SimEngine(spec.platform, std::move(scheduler), config);
+}
+
 /// Maximum achievable performance of each app *while running concurrently
 /// with its partners* under the baseline (all cores, max frequency, the
 /// configured OS scheduler). Multi-app derived targets are fractions of
@@ -100,9 +118,20 @@ std::vector<PerfTarget> resolve_targets(const ExperimentSpec& spec) {
   }
   const std::vector<double> rates = concurrent_baseline_rates(spec);
   for (std::size_t i = 0; i < spec.apps.size(); ++i) {
-    targets[i] = spec.apps[i].target.has_value()
-                     ? *spec.apps[i].target
-                     : PerfTarget::around(spec.target_fraction * rates[i]);
+    if (spec.apps[i].target.has_value()) {
+      targets[i] = *spec.apps[i].target;
+      continue;
+    }
+    if (!(rates[i] > 0.0)) {
+      // A zero probe rate would derive a {0, 0} target whose zero average
+      // silently zeroes every normalized-perf score; fail loudly instead.
+      throw std::runtime_error(
+          "app \"" + spec.apps[i].label +
+          "\" emitted no heartbeats in the baseline probe; cannot derive a "
+          "positive performance target (set one explicitly or lengthen the "
+          "duration)");
+    }
+    targets[i] = PerfTarget::around(spec.target_fraction * rates[i]);
   }
   return targets;
 }
@@ -132,9 +161,7 @@ RunMetrics collect_metrics(const SimEngine& engine, const App& app,
 /// run end).
 ExperimentResult run_scenario(const ExperimentSpec& spec) {
   const Scenario& scenario = *spec.scenario;
-  SimEngine engine(spec.platform, spec.make_scheduler
-                                      ? spec.make_scheduler()
-                                      : make_default_scheduler());
+  SimEngine engine = make_engine(spec);
   ScenarioRuntime runtime(scenario, engine, spec,
                           resolve_scenario_targets(spec, scenario));
   runtime.spawn_initial();
@@ -238,9 +265,7 @@ ExperimentResult Experiment::run() const {
   if (spec.scenario) return run_scenario(spec);
   const std::vector<PerfTarget> targets = resolve_targets(spec);
 
-  SimEngine engine(spec.platform, spec.make_scheduler
-                                      ? spec.make_scheduler()
-                                      : make_default_scheduler());
+  SimEngine engine = make_engine(spec);
   std::vector<std::unique_ptr<App>> apps;
   std::vector<App*> app_ptrs;
   std::vector<AppId> ids;
@@ -465,6 +490,11 @@ ExperimentBuilder& ExperimentBuilder::tabu(TabuParams params) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::reference_impl(bool on) {
+  spec_.reference_impl = on;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::protocol(RunProtocol protocol) {
   spec_.protocol = protocol;
   return *this;
@@ -586,10 +616,12 @@ Experiment ExperimentBuilder::build() const {
     throw ExperimentConfigError("target_fraction must be in (0, 1]");
   }
   for (const AppSpec& app : spec.apps) {
-    if (app.target && !(app.target->max > 0.0 &&
-                        app.target->max >= app.target->min)) {
-      throw ExperimentConfigError("app \"" + app.label +
-                                  "\" has an empty target window");
+    if (app.target && !app.target->is_valid_window()) {
+      throw ExperimentConfigError(
+          "app \"" + app.label +
+          "\" needs a positive target window (0 <= min <= max, max > 0); "
+          "a non-positive target average would zero every normalized-perf "
+          "score");
     }
   }
   if (spec.duration <= 0) {

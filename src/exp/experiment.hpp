@@ -90,6 +90,12 @@ struct ExperimentSpec {
   std::optional<Scenario> scenario;
   /// Trace capture for scenario runs (non-owning; see TraceSink).
   TraceSink* capture = nullptr;
+  /// Runs the retained reference implementations of the per-tick hot
+  /// paths (engine tick, GTS placement, search) instead of the optimized
+  /// scratch/memoized ones. Results are bit-identical either way; the
+  /// flag exists so bench/tick_bench can measure the optimized paths
+  /// against their baseline on the same build.
+  bool reference_impl = false;
 };
 
 struct AppRunResult {
@@ -194,6 +200,11 @@ class ExperimentBuilder {
   ExperimentBuilder& assumed_ratio(double r0);
   ExperimentBuilder& learn_ratio(bool on = true);
   ExperimentBuilder& tabu(TabuParams params);
+
+  // --- Implementation selection ---
+  /// Selects the retained reference hot-path implementations (see
+  /// ExperimentSpec::reference_impl). Metric-identical; benchmark use.
+  ExperimentBuilder& reference_impl(bool on = true);
 
   // --- Protocol ---
   ExperimentBuilder& protocol(RunProtocol protocol);

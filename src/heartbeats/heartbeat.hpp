@@ -20,6 +20,13 @@ struct PerfTarget {
   double avg() const { return 0.5 * (min + max); }
   bool contains(double rate) const { return rate >= min && rate <= max; }
 
+  /// A usable target window: non-empty, non-negative, with a strictly
+  /// positive average. The search normalizes performance by avg(), so a
+  /// non-positive window would make every candidate tie at zero — the
+  /// builders, the scenario validator and the runtime managers reject
+  /// such targets up front with this predicate.
+  bool is_valid_window() const { return min >= 0.0 && max > 0.0 && max >= min; }
+
   /// Paper convention: `center*(1 - tol)` .. `center*(1 + tol)`.
   static PerfTarget around(double center, double tolerance = 0.05) {
     return PerfTarget{center * (1.0 - tolerance), center * (1.0 + tolerance)};

@@ -45,28 +45,6 @@ Machine::Machine(MachineSpec spec) : spec_(std::move(spec)) {
                    });
 }
 
-double Machine::cluster_peak_speed(ClusterId cluster) const {
-  const ClusterSpec& cs = spec_.clusters[static_cast<std::size_t>(cluster)];
-  return cs.ipc * cs.freqs_ghz.back();
-}
-
-Machine Machine::exynos5422() {
-  MachineSpec spec;
-  spec.name = "exynos5422";
-  ClusterSpec little;
-  little.type = CoreType::kLittle;
-  little.core_count = 4;
-  little.ipc = 2.0;
-  for (double f = 0.8; f < 1.301; f += 0.1) little.freqs_ghz.push_back(f);
-  ClusterSpec big;
-  big.type = CoreType::kBig;
-  big.core_count = 4;
-  big.ipc = 3.0;
-  for (double f = 0.8; f < 1.601; f += 0.1) big.freqs_ghz.push_back(f);
-  spec.clusters = {little, big};
-  return Machine(std::move(spec));
-}
-
 ClusterId Machine::cluster_of(CoreId core) const {
   assert(core >= 0 && core < num_cores_);
   return core_cluster_[static_cast<std::size_t>(core)];
@@ -110,10 +88,36 @@ double Machine::core_freq_ghz(CoreId core) const {
   return freq_ghz(cluster_of(core));
 }
 
+double Machine::cluster_peak_speed(ClusterId cluster) const {
+  const ClusterSpec& cs = spec_.clusters[static_cast<std::size_t>(cluster)];
+  return cs.ipc * cs.freqs_ghz.back();
+}
+
+Machine Machine::exynos5422() {
+  MachineSpec spec;
+  spec.name = "exynos5422";
+  ClusterSpec little;
+  little.type = CoreType::kLittle;
+  little.core_count = 4;
+  little.ipc = 2.0;
+  for (double f = 0.8; f < 1.301; f += 0.1) little.freqs_ghz.push_back(f);
+  ClusterSpec big;
+  big.type = CoreType::kBig;
+  big.core_count = 4;
+  big.ipc = 3.0;
+  for (double f = 0.8; f < 1.601; f += 0.1) big.freqs_ghz.push_back(f);
+  spec.clusters = {little, big};
+  return Machine(std::move(spec));
+}
+
 void Machine::set_freq_level(ClusterId cluster, int level) {
   assert(cluster >= 0 && cluster < num_clusters());
   const int max_level = num_freq_levels(cluster) - 1;
-  freq_level_[static_cast<std::size_t>(cluster)] = std::clamp(level, 0, max_level);
+  const int clamped = std::clamp(level, 0, max_level);
+  if (freq_level_[static_cast<std::size_t>(cluster)] != clamped) {
+    freq_level_[static_cast<std::size_t>(cluster)] = clamped;
+    ++dvfs_epoch_;
+  }
 }
 
 void Machine::set_freq_ghz(ClusterId cluster, double ghz) {

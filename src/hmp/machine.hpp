@@ -8,6 +8,7 @@
 // controls the global core count.
 #pragma once
 
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,12 @@ class Machine {
   /// Sets the cluster to the given DVFS level, clamped to the valid range.
   void set_freq_level(ClusterId cluster, int level);
 
+  /// Monotonic counter bumped whenever any cluster's DVFS level actually
+  /// changes — the incremental-update hook for per-tick frequency
+  /// snapshots (SimEngine::TickScratch): consumers re-read frequencies
+  /// only when the epoch moved instead of every tick.
+  std::uint64_t dvfs_epoch() const { return dvfs_epoch_; }
+
   /// Sets the cluster to the closest available frequency. A target exactly
   /// midway between two levels snaps to the *lower* level — the tie-break
   /// is deterministic and biased toward less power, like cpufreq's
@@ -117,6 +124,7 @@ class Machine {
   std::vector<ClusterId> core_cluster_;  ///< Per core.
   std::vector<int> cluster_first_core_;
   std::vector<int> freq_level_;  ///< Per cluster.
+  std::uint64_t dvfs_epoch_ = 1;  ///< Bumped on every level change.
   CpuMask online_;
   std::vector<ClusterId> perf_order_;  ///< Clusters, fastest first.
 };

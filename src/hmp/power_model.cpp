@@ -41,15 +41,13 @@ PowerModel::PowerModel(const Machine& machine, std::vector<PowerParams> per_clus
 }
 
 double PowerModel::cluster_power(ClusterId cluster, double busy_sum) const {
-  const PowerParams& p = params_[static_cast<std::size_t>(cluster)];
+  // One formula, two entry points: delegating keeps this and the
+  // snapshot-fed fast path (cluster_power_given) textually identical,
+  // which the tick paths' bit-identity guarantee depends on.
   const double f = machine_->freq_ghz(cluster);
   const bool any_online =
       (machine_->online_mask() & machine_->cluster_mask(cluster)).any();
-  if (!any_online) return 0.0;
-  const double dynamic = p.c_dyn * f * f * f * busy_sum;
-  const double leakage = p.c_leak * f * (1.0 + p.k_therm * busy_sum * f * f);
-  const double memory = p.c_mem * busy_sum;
-  return dynamic + leakage + memory;
+  return cluster_power_given(cluster, f, any_online, busy_sum);
 }
 
 double PowerModel::total_power(const std::vector<double>& core_busy) const {

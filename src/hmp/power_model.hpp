@@ -49,6 +49,21 @@ class PowerModel {
   /// cores) draws nothing.
   double cluster_power(ClusterId cluster, double busy_sum) const;
 
+  /// cluster_power with the machine state pre-read: `f` must equal the
+  /// cluster's current freq_ghz and `any_online` whether any of its cores
+  /// is online. Same expression, same operand order — bit-identical — but
+  /// callers that snapshot the machine once per tick (SimEngine's
+  /// TickScratch) skip the per-call machine queries.
+  double cluster_power_given(ClusterId cluster, double f, bool any_online,
+                             double busy_sum) const {
+    const PowerParams& p = params_[static_cast<std::size_t>(cluster)];
+    if (!any_online) return 0.0;
+    const double dynamic = p.c_dyn * f * f * f * busy_sum;
+    const double leakage = p.c_leak * f * (1.0 + p.k_therm * busy_sum * f * f);
+    const double memory = p.c_mem * busy_sum;
+    return dynamic + leakage + memory;
+  }
+
   /// Total machine power for per-core busy fractions, including the
   /// platform base draw (memory/interconnect/board) that the paper's
   /// perf-per-watt denominators implicitly carry. The per-*cluster*

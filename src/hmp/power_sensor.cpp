@@ -13,6 +13,7 @@ PowerSensor::PowerSensor(const Machine& machine, const PowerModel& model,
       noise_stddev_(noise_stddev),
       rng_(seed),
       cluster_energy_j_(static_cast<std::size_t>(machine.num_clusters()), 0.0),
+      scratch_watts_(static_cast<std::size_t>(machine.num_clusters()), 0.0),
       next_sample_at_(sample_period_us) {
   assert(sample_period_us > 0);
 }
@@ -38,20 +39,45 @@ void PowerSensor::tick(TimeUs now, TimeUs tick_us,
   total += model_->base_watts();
   last_instant_power_ = total;
 
-  if (now >= next_sample_at_) {
-    PowerSample sample;
-    sample.time = now;
-    sample.cluster_watts.reserve(cluster_watts.size());
-    double noisy_total = 0.0;
-    for (double w : cluster_watts) {
-      const double noisy = w * (1.0 + rng_.normal(0.0, noise_stddev_));
-      sample.cluster_watts.push_back(noisy);
-      noisy_total += noisy;
-    }
-    sample.total_watts = noisy_total;
-    samples_.push_back(std::move(sample));
-    next_sample_at_ += sample_period_us_;
+  maybe_sample(now, cluster_watts);
+}
+
+void PowerSensor::tick_presummed(TimeUs now, TimeUs tick_us,
+                                 const std::vector<double>& cluster_busy,
+                                 const std::vector<double>& cluster_freq,
+                                 const std::vector<char>& cluster_online) {
+  const double dt_sec = us_to_sec(tick_us);
+  double total = 0.0;
+  for (int c = 0; c < machine_->num_clusters(); ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    const double watts = model_->cluster_power_given(
+        c, cluster_freq[i], cluster_online[i] != 0, cluster_busy[i]);
+    scratch_watts_[i] = watts;
+    cluster_energy_j_[i] += watts * dt_sec;
+    total += watts;
   }
+  base_energy_j_ += model_->base_watts() * dt_sec;
+  total += model_->base_watts();
+  last_instant_power_ = total;
+
+  maybe_sample(now, scratch_watts_);
+}
+
+void PowerSensor::maybe_sample(TimeUs now,
+                               const std::vector<double>& cluster_watts) {
+  if (now < next_sample_at_) return;
+  PowerSample sample;
+  sample.time = now;
+  sample.cluster_watts.reserve(cluster_watts.size());
+  double noisy_total = 0.0;
+  for (double w : cluster_watts) {
+    const double noisy = w * (1.0 + rng_.normal(0.0, noise_stddev_));
+    sample.cluster_watts.push_back(noisy);
+    noisy_total += noisy;
+  }
+  sample.total_watts = noisy_total;
+  samples_.push_back(std::move(sample));
+  next_sample_at_ += sample_period_us_;
 }
 
 double PowerSensor::cluster_energy_j(ClusterId cluster) const {

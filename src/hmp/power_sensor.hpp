@@ -33,6 +33,18 @@ class PowerSensor {
   /// period elapses.
   void tick(TimeUs now, TimeUs tick_us, const std::vector<double>& core_busy);
 
+  /// Allocation-free form of tick() for the engine's TickScratch path:
+  /// `cluster_busy` carries the per-cluster busy sums already accumulated
+  /// (in ascending core order, matching tick()'s own mask walk), and
+  /// `cluster_freq` / `cluster_online` the per-cluster DVFS frequency and
+  /// any-core-online snapshot, so this produces bit-identical
+  /// energy/samples without the per-tick scratch vector and per-call
+  /// machine queries tick() performs.
+  void tick_presummed(TimeUs now, TimeUs tick_us,
+                      const std::vector<double>& cluster_busy,
+                      const std::vector<double>& cluster_freq,
+                      const std::vector<char>& cluster_online);
+
   /// Exact accumulated energy in joules (per cluster / total).
   double cluster_energy_j(ClusterId cluster) const;
   double total_energy_j() const;
@@ -55,7 +67,11 @@ class PowerSensor {
   double noise_stddev_;
   Rng rng_;
 
+  /// Takes a noisy sample of `cluster_watts` when the period elapsed.
+  void maybe_sample(TimeUs now, const std::vector<double>& cluster_watts);
+
   std::vector<double> cluster_energy_j_;
+  std::vector<double> scratch_watts_;  ///< Per-tick scratch (presummed path).
   double base_energy_j_ = 0.0;
   TimeUs next_sample_at_;
   std::vector<PowerSample> samples_;

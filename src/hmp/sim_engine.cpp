@@ -36,11 +36,13 @@ AppId SimEngine::add_app(App* app) {
   assert(app != nullptr);
   const AppId id = static_cast<AppId>(apps_.size());
   apps_.push_back(app);
+  app_needs_begin_.push_back(app->needs_begin_tick() ? 1 : 0);
   app_thread_base_.push_back(static_cast<int>(threads_.size()));
   for (int i = 0; i < app->thread_count(); ++i) {
     SimThread t;
     t.id = next_thread_id_++;
     t.app = id;
+    t.app_ptr = app;
     t.local_index = i;
     t.affinity = machine_.all_mask();
     threads_.push_back(t);
@@ -100,7 +102,201 @@ void SimEngine::run_until(TimeUs t) {
   while (now_ < t) step();
 }
 
+void SimEngine::prepare_scratch() {
+  TickScratch& s = scratch_;
+  const auto n = static_cast<std::size_t>(machine_.num_cores());
+  if (s.core_type.size() != n) {
+    s.core_capacity.resize(n);
+    s.threads_on_core.resize(n);
+    s.core_share.resize(n);
+    s.core_type.resize(n);
+    s.core_cluster.resize(n);
+    s.core_freq_ghz.resize(n);
+    s.cluster_busy.resize(static_cast<std::size_t>(machine_.num_clusters()));
+    s.cluster_freq.resize(static_cast<std::size_t>(machine_.num_clusters()));
+    s.cluster_online.resize(static_cast<std::size_t>(machine_.num_clusters()));
+    for (CoreId c = 0; c < machine_.num_cores(); ++c) {
+      s.core_type[static_cast<std::size_t>(c)] = machine_.core_type(c);
+      s.core_cluster[static_cast<std::size_t>(c)] = machine_.cluster_of(c);
+    }
+    // Force both snapshots to refresh below, whatever the machine state.
+    s.dvfs_epoch = 0;  // Machine epochs start at 1.
+    s.online_bits = ~machine_.online_mask().bits();
+  }
+  refresh_machine_snapshot();
+}
+
+void SimEngine::refresh_machine_snapshot() {
+  TickScratch& s = scratch_;
+  // DVFS levels change at tick boundaries (tick hook, manager — the
+  // latter *after* the execute loop but *before* the sensor, so this runs
+  // again post-manager); the machine's epoch says when, so the snapshot
+  // is refreshed incrementally instead of every tick. Same for the
+  // hotplug mask.
+  if (s.dvfs_epoch != machine_.dvfs_epoch()) {
+    s.dvfs_epoch = machine_.dvfs_epoch();
+    for (ClusterId cl = 0; cl < machine_.num_clusters(); ++cl) {
+      const double f = machine_.freq_ghz(cl);
+      s.cluster_freq[static_cast<std::size_t>(cl)] = f;
+      const CpuMask mask = machine_.cluster_mask(cl);
+      for (CoreId c = mask.first(); c >= 0; c = mask.next(c)) {
+        s.core_freq_ghz[static_cast<std::size_t>(c)] = f;
+      }
+    }
+  }
+  if (s.online_bits != machine_.online_mask().bits()) {
+    s.online_bits = machine_.online_mask().bits();
+    for (ClusterId cl = 0; cl < machine_.num_clusters(); ++cl) {
+      s.cluster_online[static_cast<std::size_t>(cl)] =
+          (machine_.online_mask() & machine_.cluster_mask(cl)).any() ? 1 : 0;
+    }
+  }
+}
+
 void SimEngine::step() {
+  if (config_.reference_tick) {
+    step_reference();
+    return;
+  }
+  if (tick_hook_) tick_hook_(now_);
+
+  const TimeUs tick = config_.tick_us;
+  now_ += tick;
+
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    if (apps_[i] != nullptr && app_needs_begin_[i] != 0) {
+      apps_[i]->begin_tick(now_);
+    }
+  }
+
+  prepare_scratch();
+  TickScratch& s = scratch_;
+
+  // Refresh runnability and load averages, one app block at a time: the
+  // app answers for all of its (contiguous) threads with one virtual
+  // dispatch (App::refresh_runnable). Every SimThread's tracker is
+  // default-constructed by add_app, so the EWMA decay for this tick is one
+  // shared constant (asserted below) — computed once instead of one exp2
+  // per thread.
+  if (!threads_.empty()) {
+    const double decay = threads_.front().load.decay_for(tick);
+    for (std::size_t slot = 0; slot < apps_.size(); ++slot) {
+      App* a = apps_[slot];
+      if (a == nullptr) continue;
+      const auto n = static_cast<std::size_t>(a->thread_count());
+      if (s.runnable_capacity < n) {
+        s.runnable = std::make_unique<bool[]>(n);
+        s.runnable_capacity = n;
+      }
+      a->refresh_runnable(s.runnable.get());
+      SimThread* block = &threads_[static_cast<std::size_t>(
+          app_thread_base_[slot])];
+      for (std::size_t i = 0; i < n; ++i) {
+        SimThread& t = block[i];
+        assert(t.load.half_life_us() == threads_.front().load.half_life_us());
+        t.runnable = s.runnable[i];
+        t.load.update_with_decay(t.runnable, decay);
+      }
+    }
+  }
+
+  scheduler_->assign(machine_, threads_);
+
+  // tick_busy_ was re-zeroed by the integration pass of the previous
+  // tick (and starts zeroed), so no refill is needed here. The capacity
+  // array likewise only needs a refill while manager overhead is being
+  // charged against it.
+  const TimeUs mgr_use = std::min(pending_manager_us_, tick);
+  pending_manager_us_ -= mgr_use;
+  if (mgr_use > 0 || capacity_dirty_) {
+    std::fill(s.core_capacity.begin(), s.core_capacity.end(), tick);
+    capacity_dirty_ = false;
+  }
+  if (mgr_use > 0) {
+    s.core_capacity[static_cast<std::size_t>(config_.manager_core)] -= mgr_use;
+    capacity_dirty_ = true;
+    tick_busy_[static_cast<std::size_t>(config_.manager_core)] +=
+        static_cast<double>(mgr_use) / static_cast<double>(tick);
+  }
+
+  // Count runnable threads per core, then hand out equal shares. The
+  // scheduler may already track the counts (GTS does); otherwise one pass
+  // over the thread table rebuilds them. The per-core share is computed
+  // once per core (bit-identical to the per-thread division of the
+  // reference path: same operands).
+  const std::vector<int>* counts = scheduler_->runnable_per_core();
+  if (counts == nullptr) {
+    std::fill(s.threads_on_core.begin(), s.threads_on_core.end(), 0);
+    for (const SimThread& t : threads_) {
+      if (t.runnable && t.core >= 0) {
+        ++s.threads_on_core[static_cast<std::size_t>(t.core)];
+      }
+    }
+    counts = &s.threads_on_core;
+  }
+  for (std::size_t c = 0; c < s.core_share.size(); ++c) {
+    const int sharers = (*counts)[c];
+    // sharers == 1 (one thread per core — the common case once a manager
+    // has spread the threads) skips the integer division; cap / 1 == cap.
+    s.core_share[c] = sharers <= 1 ? (sharers == 1 ? s.core_capacity[c] : 0)
+                                   : s.core_capacity[c] / sharers;
+  }
+  // The used -> busy-fraction division repeats heavily (most threads use
+  // their whole share), so the last quotient is memoized; when computed,
+  // it is the same division the reference path performs.
+  TimeUs memo_used = -1;
+  double memo_busy = 0.0;
+  for (SimThread& t : threads_) {
+    if (!t.runnable || t.core < 0) continue;
+    const auto core = static_cast<std::size_t>(t.core);
+    const TimeUs share = s.core_share[core];
+    if (share <= 0) continue;
+    const TimeUs used = t.app_ptr->execute(
+        t.local_index, share, s.core_type[core], s.core_freq_ghz[core]);
+    t.cpu_time_us += used;
+    if (used != memo_used) {
+      memo_used = used;
+      memo_busy = static_cast<double>(used) / static_cast<double>(tick);
+    }
+    tick_busy_[core] += memo_busy;
+  }
+
+  for (App* a : apps_) {
+    if (a != nullptr) a->end_tick(now_);
+  }
+
+  if (manager_ != nullptr) {
+    const TimeUs cost = manager_->on_tick(now_);
+    if (cost > 0) {
+      pending_manager_us_ += cost;
+      manager_overhead_total_us_ += cost;
+    }
+    // The manager may have just moved frequencies or hotplugged cores;
+    // the sensor below must integrate against the new machine state, as
+    // the reference path (live reads) does.
+    refresh_machine_snapshot();
+  }
+
+  // One pass clamps the busy fractions, integrates lifetime busy time and
+  // accumulates the per-cluster busy sums the sensor needs; cores of a
+  // cluster are contiguous and ascending, so the addition order matches
+  // the sensor's own mask walk.
+  std::fill(s.cluster_busy.begin(), s.cluster_busy.end(), 0.0);
+  for (int c = 0; c < machine_.num_cores(); ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    const double b = std::min(tick_busy_[i], 1.0);
+    tick_busy_[i] = 0.0;  // Pre-zeroed for the next tick's accumulation.
+    core_busy_us_[i] += b * static_cast<double>(tick);
+    s.cluster_busy[static_cast<std::size_t>(s.core_cluster[i])] += b;
+  }
+  sensor_.tick_presummed(now_, tick, s.cluster_busy, s.cluster_freq,
+                         s.cluster_online);
+}
+
+// The retained reference tick path: the pre-TickScratch implementation,
+// kept verbatim so bench/tick_bench can measure the optimized path
+// against it and assert the two produce bit-identical records.
+void SimEngine::step_reference() {
   if (tick_hook_) tick_hook_(now_);
 
   const TimeUs tick = config_.tick_us;

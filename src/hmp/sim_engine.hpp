@@ -48,6 +48,33 @@ struct SimConfig {
   std::uint64_t sensor_seed = 42;
   TimeUs sensor_period_us = PowerSensor::kDefaultSamplePeriodUs;
   double sensor_noise = 0.01;
+  /// Runs the retained, unoptimized tick path (per-tick vector
+  /// allocations, per-thread machine queries) instead of the TickScratch
+  /// path. Both produce bit-identical simulations; the reference path
+  /// exists as the baseline for bench/tick_bench's speedup trajectory and
+  /// as an always-available cross-check.
+  bool reference_tick = false;
+};
+
+/// Reusable per-tick scratch owned by the engine. Pre-sized once for the
+/// machine's core count (which never changes; hotplug only toggles the
+/// online mask), so the steady-state tick path performs no allocations.
+/// Lifetime of the contents is one tick: everything here is recomputed or
+/// reused from scratch each step().
+struct TickScratch {
+  std::vector<TimeUs> core_capacity;   ///< Tick minus manager overhead.
+  std::vector<int> threads_on_core;    ///< Runnable sharers per core.
+  std::vector<TimeUs> core_share;      ///< capacity / sharers, per core.
+  std::vector<CoreType> core_type;     ///< Immutable per-core type cache.
+  std::vector<ClusterId> core_cluster; ///< Immutable core -> cluster map.
+  std::vector<double> core_freq_ghz;   ///< Per-core DVFS snapshot.
+  std::vector<double> cluster_busy;    ///< Per-cluster busy sum for the sensor.
+  std::vector<double> cluster_freq;    ///< Per-cluster DVFS snapshot.
+  std::vector<char> cluster_online;    ///< Any core of the cluster online?
+  std::unique_ptr<bool[]> runnable;    ///< App::refresh_runnable buffer.
+  std::size_t runnable_capacity = 0;   ///< Allocated size of `runnable`.
+  std::uint64_t dvfs_epoch = 0;        ///< Machine epoch the snapshot is for.
+  std::uint64_t online_bits = ~0ULL;   ///< Online mask the snapshot is for.
 };
 
 struct PlatformSpec;  // hmp/platform_spec.hpp
@@ -160,6 +187,13 @@ class SimEngine {
 
  private:
   void step();
+  void step_reference();
+  /// Sizes the scratch for the machine (first tick only) and snapshots
+  /// the per-core DVFS frequencies for this tick.
+  void prepare_scratch();
+  /// Epoch-guarded refresh of the frequency/online snapshots; re-run
+  /// after the manager hook, which may change them mid-tick.
+  void refresh_machine_snapshot();
   SimThread& thread_of(AppId app_id, int local_tid);
   const SimThread& thread_of(AppId app_id, int local_tid) const;
 
@@ -170,6 +204,9 @@ class SimEngine {
   SimConfig config_;
 
   std::vector<App*> apps_;  ///< Slot per AppId; null once removed.
+  /// Per slot: App::needs_begin_tick(), cached at add_app so the tick
+  /// path skips the no-op virtual dispatch.
+  std::vector<char> app_needs_begin_;
   std::vector<SimThread> threads_;
   /// threads_ index of the first thread of each app; -1 once removed.
   std::vector<int> app_thread_base_;
@@ -186,6 +223,10 @@ class SimEngine {
   TimeUs now_ = 0;
   std::vector<double> core_busy_us_;  ///< Lifetime busy time per core.
   std::vector<double> tick_busy_;     ///< Scratch: per-core busy fraction.
+  TickScratch scratch_;               ///< Per-tick scratch (optimized path).
+  /// True while TickScratch::core_capacity may hold a value other than a
+  /// full tick (manager overhead was charged); forces a refill.
+  bool capacity_dirty_ = true;
 };
 
 }  // namespace hars

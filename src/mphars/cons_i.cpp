@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace hars {
 
@@ -79,6 +80,10 @@ std::size_t ConsIManager::current_index() const {
 }
 
 void ConsIManager::register_app(AppId app, const ConsIAppConfig& app_config) {
+  if (!app_config.target.is_valid_window()) {
+    throw std::invalid_argument(
+        "ConsIManager::register_app: target window must be positive");
+  }
   AppEntry entry;
   entry.app = app;
   entry.target = app_config.target;
@@ -88,6 +93,10 @@ void ConsIManager::register_app(AppId app, const ConsIAppConfig& app_config) {
 }
 
 bool ConsIManager::set_app_target(AppId app, PerfTarget target) {
+  if (!target.is_valid_window()) {
+    throw std::invalid_argument(
+        "ConsIManager::set_app_target: target window must be positive");
+  }
   for (AppEntry& entry : apps_) {
     if (entry.app == app && entry.alive) {
       entry.target = target;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace hars {
 
@@ -16,6 +17,10 @@ MpHarsManager::MpHarsManager(SimEngine& engine, PowerCoeffTable coeffs,
       machine_space_(StateSpace::from_machine(engine.machine())) {}
 
 void MpHarsManager::register_app(AppId app, const MpHarsAppConfig& app_config) {
+  if (!app_config.target.is_valid_window()) {
+    throw std::invalid_argument(
+        "MpHarsManager::register_app: target window must be positive");
+  }
   AppNode& node = registry_.add(app);
   node.target = app_config.target;
   node.adapt_period = app_config.adapt_period;
@@ -56,6 +61,10 @@ bool MpHarsManager::unregister_app(AppId app) {
 }
 
 bool MpHarsManager::set_app_target(AppId app, PerfTarget target) {
+  if (!target.is_valid_window()) {
+    throw std::invalid_argument(
+        "MpHarsManager::set_app_target: target window must be positive");
+  }
   AppNode* node = registry_.find(app);
   if (node == nullptr) return false;
   node->target = target;
@@ -230,7 +239,9 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
   const FreqRule big_rule = rule_for(true);
   const FreqRule little_rule = rule_for(false);
 
-  const CandidateFilter filter = [&](const SystemState& cand) {
+  // Named lvalue: CandidateFilter is a non-owning reference, so the
+  // lambda must outlive the search call.
+  const auto filter_fn = [&](const SystemState& cand) {
     if (cand.big_cores > node.nprocs_b + free_big) return false;
     if (cand.little_cores > node.nprocs_l + free_little) return false;
     if (cand.big_freq > current.big_freq && !big_rule.allow_inc) return false;
@@ -248,7 +259,8 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
                         config_.exhaustive_window, config_.exhaustive_d);
   const SearchResult result = get_next_sys_state(
       rate, current, target, params, machine_space_, perf_est_, power_est_,
-      engine_.app(node.app_id).thread_count(), filter);
+      engine_.app(node.app_id).thread_count(), filter_fn,
+      config_.reference_search ? nullptr : &scratch_);
 
   TimeUs cost = config_.adapt_fixed_cost_us +
                 config_.cost_per_candidate_us * result.candidates;
@@ -265,6 +277,10 @@ TimeUs MpHarsManager::on_tick(TimeUs now) {
   if (now < next_poll_) return 0;
   next_poll_ = now + config_.poll_period_us;
   TimeUs cost = config_.poll_cost_us;
+
+  // One memoization epoch per manager tick: every adapt_app below shares
+  // the same estimator configuration, so their searches reuse estimates.
+  if (!config_.reference_search) scratch_.begin_tick(machine_space_);
 
   // Algorithm 3: iterate the application list.
   registry_.for_each([&](AppNode& node) {

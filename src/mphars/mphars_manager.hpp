@@ -37,6 +37,11 @@ struct MpHarsConfig {
   TimeUs poll_cost_us = 60;
   TimeUs cost_per_candidate_us = 400;
   TimeUs adapt_fixed_cost_us = 500;
+
+  /// Runs the retained reference search implementation instead of the
+  /// memoized SearchScratch path (bit-identical decisions; see
+  /// RuntimeManagerConfig::reference_search).
+  bool reference_search = false;
 };
 
 struct MpHarsAppConfig {
@@ -87,6 +92,10 @@ class MpHarsManager : public ManagerHook {
   PowerEstimator power_est_;
   MpHarsConfig config_;
   StateSpace machine_space_;
+  /// Shared per-tick search memoization: one epoch per manager tick, so
+  /// the per-app searches of the same tick reuse each other's estimates
+  /// (estimator configuration is constant across a tick).
+  SearchScratch scratch_;
   TimeUs next_poll_ = 0;
   std::int64_t adaptations_ = 0;
 };

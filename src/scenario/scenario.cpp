@@ -65,9 +65,8 @@ void Scenario::validate() const {
             (!(*e.spawn.fraction > 0.0) || *e.spawn.fraction > 1.0)) {
           fail(where + ": fraction must be in (0, 1]");
         }
-        if (e.spawn.target &&
-            !(e.spawn.target->max > 0.0 && e.spawn.target->max >= e.spawn.target->min)) {
-          fail(where + ": empty target window");
+        if (e.spawn.target && !e.spawn.target->is_valid_window()) {
+          fail(where + ": empty or non-positive target window");
         }
         apps[e.app] = Life::kAlive;
         if (e.time == 0) initial_spawn = true;
@@ -84,8 +83,8 @@ void Scenario::validate() const {
         }
         if (e.kind == ScenarioEventKind::kKill) it->second = Life::kKilled;
         if (e.kind == ScenarioEventKind::kSetTarget &&
-            !(e.target.max > 0.0 && e.target.max >= e.target.min)) {
-          fail(where + ": empty target window");
+            !e.target.is_valid_window()) {
+          fail(where + ": empty or non-positive target window");
         }
         if (e.kind == ScenarioEventKind::kSetPhase && !(e.phase_scale > 0.0)) {
           fail(where + ": phase scale must be > 0");

@@ -1,13 +1,182 @@
 #include "sched/gts.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 namespace hars {
 
 GtsScheduler::GtsScheduler(GtsConfig config) : config_(config) {}
 
+void GtsScheduler::prime_topology(const Machine& machine) {
+  cached_machine_ = &machine;
+  little_cache_ = machine.slowest_mask();
+  big_cache_ = machine.all_mask() & ~little_cache_;
+  core_cluster_mask_.resize(static_cast<std::size_t>(machine.num_cores()));
+  for (CoreId c = 0; c < machine.num_cores(); ++c) {
+    core_cluster_mask_[static_cast<std::size_t>(c)] =
+        machine.cluster_mask(machine.cluster_of(c));
+  }
+  // A machine swap also invalidates any recorded placement signature.
+  sig_valid_ = false;
+}
+
 void GtsScheduler::assign(const Machine& machine, std::vector<SimThread>& threads) {
+  if (config_.reference) {
+    assign_reference(machine, threads);
+    return;
+  }
+  if (cached_machine_ != &machine) prime_topology(machine);
+  const CpuMask online = machine.online_mask();
+  const CpuMask little = little_cache_;
+  const CpuMask big = big_cache_;
+
+  // Stable-placement skip: the current placement is a fixed point and no
+  // decision input changed, so a full run would reproduce it exactly.
+  auto tier_of = [&](const SimThread& t) -> std::uint8_t {
+    const double load = t.load.value();
+    if (load >= config_.up_threshold) return 0;
+    if (load <= config_.down_threshold) return 1;
+    return 2;
+  };
+  if (!config_.idle_pull && sig_valid_ && last_stable_ &&
+      online.bits() == prev_online_bits_ &&
+      threads.size() == prev_sig_.size()) {
+    bool same = true;
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      const SimThread& t = threads[i];
+      const ThreadSig& sig = prev_sig_[i];
+      // An unplaced runnable thread (fresh spawn reusing this index)
+      // always needs a full run — it is not part of any fixed point —
+      // and so does any thread-identity change (kill + spawn can restore
+      // the same table size with every index reshuffled).
+      if (t.id != sig.id || t.runnable != sig.runnable ||
+          t.affinity.bits() != sig.affinity || tier_of(t) != sig.tier ||
+          (t.runnable && t.core < 0)) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return;  // core_load_ from the last full run still holds.
+  }
+
+  // Number of runnable threads currently packed on each core; reused
+  // across calls (pre-sized once) and rebuilt as we (re)place threads.
+  core_load_.assign(static_cast<std::size_t>(machine.num_cores()), 0);
+  prev_sig_.resize(threads.size());
+  prev_online_bits_ = online.bits();
+  sig_valid_ = true;
+  bool moved_any = false;
+
+  auto pick_least_loaded = [&](CpuMask candidates, CoreId prefer) -> CoreId {
+    // One candidate: it wins regardless of load (frequent under manager
+    // pinning, where per-thread masks shrink to a core or two).
+    const std::uint64_t bits = candidates.bits();
+    if ((bits & (bits - 1)) == 0) {
+      return bits == 0 ? -1 : std::countr_zero(bits);
+    }
+    // Clear-lowest-bit iteration visits the same cores in the same
+    // ascending order as first()/next(), a few ops cheaper per core.
+    CoreId best = -1;
+    int best_load = INT32_MAX;
+    for (std::uint64_t rest = bits; rest != 0; rest &= rest - 1) {
+      const CoreId c = std::countr_zero(rest);
+      const int load = core_load_[static_cast<std::size_t>(c)];
+      // Strictly-better wins; the preferred (current) core wins ties.
+      if (load < best_load || (load == best_load && c == prefer)) {
+        best = c;
+        best_load = load;
+      }
+    }
+    return best;
+  };
+
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    SimThread& t = threads[i];
+    ThreadSig& sig = prev_sig_[i];
+    sig.affinity = t.affinity.bits();
+    sig.id = t.id;
+    sig.runnable = t.runnable;
+    sig.tier = tier_of(t);
+    if (!t.runnable) {
+      // Sleeping threads keep their last core for stickiness but occupy
+      // no capacity.
+      continue;
+    }
+
+    CpuMask allowed = t.affinity & online;
+    if (allowed.empty()) allowed = online;  // Linux falls back to all online.
+
+    // GTS tier selection by load thresholds, constrained by affinity.
+    CpuMask preferred = allowed;
+    if (sig.tier == 0) {
+      const CpuMask big_allowed = allowed & big;
+      if (big_allowed.any()) preferred = big_allowed;
+    } else if (sig.tier == 1) {
+      const CpuMask little_allowed = allowed & little;
+      if (little_allowed.any()) preferred = little_allowed;
+    } else if (t.core >= 0 && ((allowed.bits() >> t.core) & 1ULL) != 0) {
+      // Between thresholds: stay in the current cluster if possible.
+      const CpuMask same_cluster =
+          allowed & core_cluster_mask_[static_cast<std::size_t>(t.core)];
+      if (same_cluster.any()) preferred = same_cluster;
+    }
+
+    const CoreId target = pick_least_loaded(preferred, t.core);
+    if (target < 0) continue;  // No online core at all; cannot happen with cpu0 pinned online.
+    if (t.core != target) {
+      if (t.core >= 0) ++t.migrations;
+      t.core = target;
+      moved_any = true;
+    }
+    ++core_load_[static_cast<std::size_t>(target)];
+  }
+  last_stable_ = !moved_any;
+
+  if (!config_.idle_pull) return;
+
+  // A pull is only possible when some online core is idle AND some core
+  // stacks two or more runnable threads; checking that first skips the
+  // per-idle-core thread scans on the (common) balanced ticks without
+  // changing any placement.
+  bool any_idle = false;
+  bool any_stacked = false;
+  for (CoreId c = online.first(); c >= 0; c = online.next(c)) {
+    const int load = core_load_[static_cast<std::size_t>(c)];
+    any_idle |= load == 0;
+    any_stacked |= load >= 2;
+  }
+  if (!any_idle || !any_stacked) return;
+
+  // EAS-style idle balancing: every idle online core pulls one runnable
+  // thread from the most crowded core that the thread's affinity permits.
+  for (CoreId idle = online.first(); idle >= 0; idle = online.next(idle)) {
+    if (core_load_[static_cast<std::size_t>(idle)] != 0) continue;
+    SimThread* victim = nullptr;
+    int victim_load = 1;  // Only steal from cores with >= 2 runnable threads.
+    for (SimThread& t : threads) {
+      if (!t.runnable || t.core < 0 || t.core == idle) continue;
+      const int load = core_load_[static_cast<std::size_t>(t.core)];
+      if (load <= victim_load) continue;
+      CpuMask allowed = t.affinity & online;
+      if (allowed.empty()) allowed = online;
+      if (!allowed.test(idle)) continue;
+      victim = &t;
+      victim_load = load;
+    }
+    if (victim == nullptr) continue;
+    --core_load_[static_cast<std::size_t>(victim->core)];
+    victim->core = idle;
+    ++victim->migrations;
+    ++core_load_[static_cast<std::size_t>(idle)];
+    last_stable_ = false;
+  }
+}
+
+// The retained reference body: identical placement decisions, with the
+// original per-call scratch allocation and unconditional idle-pull scans.
+void GtsScheduler::assign_reference(const Machine& machine,
+                                    std::vector<SimThread>& threads) {
   const CpuMask online = machine.online_mask();
   // GTS is a two-tier policy: the "little" down-migration tier is the
   // slowest cluster, the "big" up-migration tier is everything faster.

@@ -14,6 +14,8 @@
 //    core, preferring the current core on ties (stickiness).
 #pragma once
 
+#include <vector>
+
 #include "sched/scheduler.hpp"
 
 namespace hars {
@@ -27,6 +29,10 @@ struct GtsConfig {
   /// (EAS-style; thesis §3.1.4 option 3 / related work [9]) — stock GTS
   /// does NOT do this (§4.1.1), which is the paper's baseline critique.
   bool idle_pull = false;
+  /// Runs the retained per-call-allocating assign() body instead of the
+  /// scratch-reusing one. Placement is bit-identical either way; the flag
+  /// exists for bench/tick_bench's reference measurement.
+  bool reference = false;
 };
 
 class GtsScheduler final : public Scheduler {
@@ -35,12 +41,52 @@ class GtsScheduler final : public Scheduler {
 
   void assign(const Machine& machine, std::vector<SimThread>& threads) override;
 
+  /// The scratch-path core loads double as the engine's runnable-thread
+  /// counts (reference mode opts out so the reference engine path keeps
+  /// doing its own counting pass, as it always did).
+  const std::vector<int>* runnable_per_core() const override {
+    return config_.reference ? nullptr : &core_load_;
+  }
+
   const char* name() const override { return "gts"; }
 
   const GtsConfig& config() const { return config_; }
 
  private:
+  void assign_reference(const Machine& machine,
+                        std::vector<SimThread>& threads);
+  /// Rebuilds the immutable-topology caches when first seeing `machine`.
+  void prime_topology(const Machine& machine);
+
   GtsConfig config_;
+  std::vector<int> core_load_;  ///< Per-call scratch, pre-sized once.
+
+  // Stable-placement skip (scratch path, idle_pull off): when the last
+  // full run migrated nothing (the placement was already a fixed point of
+  // the deterministic policy) and every per-thread decision input —
+  // runnable, load tier, affinity — plus the online mask is unchanged,
+  // re-running the policy provably reproduces the current placement, so
+  // assign() returns early with core_load_ still valid.
+  struct ThreadSig {
+    std::uint64_t affinity = 0;
+    ThreadId id = -1;  ///< Thread identity: a kill+spawn that restores the
+                       ///< same table size must not match stale entries.
+    std::uint8_t tier = 0;  ///< 0 = up, 1 = down, 2 = between thresholds.
+    bool runnable = false;
+  };
+  std::vector<ThreadSig> prev_sig_;
+  std::uint64_t prev_online_bits_ = 0;
+  bool sig_valid_ = false;
+  bool last_stable_ = false;  ///< Last full run placed without migrating.
+
+  // Topology caches (immutable for a given machine; rebuilt whenever a
+  // different Machine object is handed in — engines own their scheduler,
+  // so in practice this primes once): the per-cluster masks and the
+  // core -> cluster-mask map sit on the per-thread path.
+  const Machine* cached_machine_ = nullptr;
+  CpuMask little_cache_;
+  CpuMask big_cache_;
+  std::vector<CpuMask> core_cluster_mask_;  ///< Per core.
 };
 
 }  // namespace hars

@@ -6,10 +6,13 @@ namespace hars {
 
 LoadTracker::LoadTracker(TimeUs half_life_us) : half_life_us_(half_life_us) {}
 
+double LoadTracker::decay_for(TimeUs tick_us) const {
+  return std::exp2(-static_cast<double>(tick_us) /
+                   static_cast<double>(half_life_us_));
+}
+
 void LoadTracker::update(bool runnable, TimeUs tick_us) {
-  const double decay =
-      std::exp2(-static_cast<double>(tick_us) / static_cast<double>(half_life_us_));
-  value_ = value_ * decay + (runnable ? 1.0 : 0.0) * (1.0 - decay);
+  update_with_decay(runnable, decay_for(tick_us));
 }
 
 }  // namespace hars

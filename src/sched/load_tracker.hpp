@@ -16,6 +16,23 @@ class LoadTracker {
   /// Records one tick of `runnable` (1) or idle (0) behaviour.
   void update(bool runnable, TimeUs tick_us);
 
+  /// The per-tick EWMA factor `update` derives from the tick length.
+  /// Exposed so the engine can compute it once per tick instead of once
+  /// per thread (exp2 dominates the update otherwise).
+  double decay_for(TimeUs tick_us) const;
+
+  /// Hot-path form of update(): `decay` must equal decay_for(tick_us) for
+  /// this tracker, which makes the result bit-identical to update().
+  void update_with_decay(bool runnable, double decay) {
+    // Exact fixed points, skipped bit-identically: 0 is always one
+    // (0*d + 0*(1-d) == 0); 1 is one when d >= 1/2, where 1-d is exact
+    // (Sterbenz) and d + (1-d) rounds to exactly 1.0.
+    if (runnable ? (value_ == 1.0 && decay >= 0.5) : (value_ == 0.0)) return;
+    value_ = value_ * decay + (runnable ? 1.0 : 0.0) * (1.0 - decay);
+  }
+
+  TimeUs half_life_us() const { return half_life_us_; }
+
   /// Current load average in [0, 1].
   double value() const { return value_; }
 

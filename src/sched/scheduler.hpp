@@ -13,16 +13,23 @@
 
 namespace hars {
 
-/// Mutable per-thread record owned by the simulation engine.
+class App;
+
+/// Mutable per-thread record owned by the simulation engine. Fields the
+/// tick path touches every tick (affinity, core, runnable, load,
+/// app_ptr, local_index) lead, so they share cache lines; bookkeeping
+/// trails.
 struct SimThread {
-  ThreadId id = 0;       ///< Engine-global thread id.
-  AppId app = 0;         ///< Owning application index.
-  int local_index = 0;   ///< Thread index within the application.
   CpuMask affinity;      ///< sched_setaffinity mask (all cores by default).
   CoreId core = -1;      ///< Current placement; -1 when unplaced.
   bool runnable = false; ///< Wants CPU this tick.
+  int local_index = 0;   ///< Thread index within the application.
   LoadTracker load;      ///< Load average for migration decisions.
+  App* app_ptr = nullptr;  ///< Cached owner (== engine app(app)); stable
+                           ///< across other apps' removals.
+  AppId app = 0;         ///< Owning application index.
   TimeUs cpu_time_us = 0;      ///< Lifetime CPU time consumed.
+  ThreadId id = 0;       ///< Engine-global thread id.
   std::int64_t migrations = 0; ///< Cross-core placement changes.
 };
 
@@ -34,6 +41,13 @@ class Scheduler {
   /// use online cores inside each thread's affinity mask (falling back to
   /// any online core when the intersection is empty, as Linux does).
   virtual void assign(const Machine& machine, std::vector<SimThread>& threads) = 0;
+
+  /// Optional fast path for the engine's tick: the number of runnable
+  /// threads placed on each core by the latest assign() call, or null
+  /// when the scheduler does not track it. When provided it must equal
+  /// exactly what counting `t.runnable && t.core >= 0` over the thread
+  /// table yields, so the engine can skip that pass.
+  virtual const std::vector<int>* runnable_per_core() const { return nullptr; }
 
   virtual const char* name() const = 0;
 };

@@ -1,0 +1,58 @@
+// FunctionRef: a lightweight non-owning callable reference (two words, no
+// heap, trivially copyable) for hot-path callback parameters where
+// std::function's ownership — and its possible allocation — buys nothing.
+//
+// Lifetime contract: a FunctionRef borrows the callable it was built
+// from. Bind it to an lvalue (or pass a lambda directly in the call
+// expression, which outlives the full expression) and never store one
+// beyond the borrowed callable's lifetime:
+//
+//   const auto pred = [&](const X& x) { return ok(x); };
+//   run(items, pred);              // fine: pred outlives the call
+//   run(items, [&](const X& x) { return ok(x); });  // fine: temporary
+//                                  // lives to the end of the expression
+//   FunctionRef<bool(const X&)> f = [&](const X& x) { ... };  // DANGLING:
+//                                  // the lambda dies at the semicolon
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace hars {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Null reference; operator bool() is false and calling is undefined.
+  constexpr FunctionRef() = default;
+  constexpr FunctionRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                    std::is_invocable_r_v<R, F&, Args...>,
+                int> = 0>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace hars

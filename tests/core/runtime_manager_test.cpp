@@ -137,6 +137,20 @@ TEST(ConfigForVariant, MatchesPaper) {
   EXPECT_EQ(ei.scheduler, ThreadSchedulerKind::kInterleaved);
 }
 
+// Regression: a non-positive target average zeroed every normalized-perf
+// score (search tied at pp = 0); managers now reject such targets at
+// construction / retarget time.
+TEST(RuntimeManager, RejectsNonPositiveTargetWindow) {
+  for (const PerfTarget target :
+       {PerfTarget{-2.0, 1.0}, PerfTarget{0.0, 0.0}, PerfTarget{-3.0, -1.0}}) {
+    Fixture f;
+    EXPECT_THROW(
+        attach_hars(f.engine, f.id, target, HarsVariant::kHarsE),
+        std::invalid_argument)
+        << "min=" << target.min << " max=" << target.max;
+  }
+}
+
 TEST(HarsVariantName, Names) {
   EXPECT_STREQ(hars_variant_name(HarsVariant::kHarsI), "HARS-I");
   EXPECT_STREQ(hars_variant_name(HarsVariant::kHarsE), "HARS-E");

@@ -1,0 +1,116 @@
+// ISSUE 5 property suite: the memoized SearchScratch path must return
+// bit-identical SearchResults to the retained reference implementations
+// across randomized (state, target, params) cases for all three
+// SearchPolicy values, on both golden platforms (exynos5422, sd855).
+// "Bit-identical" is taken literally: the estimate doubles are compared
+// by their bit patterns, not within a tolerance.
+#include <bit>
+#include <cstdint>
+#include <gtest/gtest.h>
+
+#include "core/power_profiler.hpp"
+#include "core/search.hpp"
+#include "core/tabu_search.hpp"
+#include "hmp/platform_registry.hpp"
+#include "util/rng.hpp"
+
+namespace hars {
+namespace {
+
+std::uint64_t bits_of(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_bit_identical(const SearchResult& a, const SearchResult& b,
+                          const char* what, int case_index) {
+  EXPECT_EQ(a.state, b.state) << what << " case " << case_index;
+  EXPECT_EQ(a.candidates, b.candidates) << what << " case " << case_index;
+  EXPECT_EQ(a.moved, b.moved) << what << " case " << case_index;
+  EXPECT_EQ(bits_of(a.est_perf), bits_of(b.est_perf))
+      << what << " case " << case_index;
+  EXPECT_EQ(bits_of(a.est_power), bits_of(b.est_power))
+      << what << " case " << case_index;
+  EXPECT_EQ(bits_of(a.est_pp), bits_of(b.est_pp))
+      << what << " case " << case_index;
+}
+
+SystemState random_valid_state(Rng& rng, const StateSpace& space) {
+  for (;;) {
+    const SystemState s{rng.uniform_int(0, space.max_big_cores),
+                        rng.uniform_int(0, space.max_little_cores),
+                        rng.uniform_int(0, space.num_big_freqs - 1),
+                        rng.uniform_int(0, space.num_little_freqs - 1)};
+    if (space.valid(s)) return s;
+  }
+}
+
+void run_property_cases(const char* platform, int cases,
+                        std::uint64_t seed) {
+  const Machine machine =
+      PlatformRegistry::instance().get(platform).make_machine();
+  const StateSpace space = StateSpace::from_machine(machine);
+  const PerfEstimator perf(machine, 1.5);
+  const PowerEstimator power(profile_power(machine, PowerModel{machine}));
+  Rng rng(seed);
+  SearchScratch scratch;  // One scratch, one epoch per case (as managers do).
+
+  for (int i = 0; i < cases; ++i) {
+    const SystemState cur = random_valid_state(rng, space);
+    const double center = rng.uniform(0.2, 6.0);
+    const PerfTarget target = PerfTarget::around(center);
+    const double rate = rng.uniform(0.0, 8.0);
+    const int threads = rng.uniform_int(1, 16);
+    const int remainder = rng.uniform_int(0, 2);
+    const bool with_filter = rng.next_double() < 0.5;
+    const auto filter_fn = [&](const SystemState& s) {
+      return (s.big_cores + s.little_cores + s.big_freq + s.little_freq) % 3 !=
+             remainder;
+    };
+    const CandidateFilter filter =
+        with_filter ? CandidateFilter(filter_fn) : CandidateFilter();
+
+    // Incremental and exhaustive share get_next_sys_state; their policies
+    // differ only in SearchParams, so exercise both parameterizations.
+    for (const SearchPolicy policy :
+         {SearchPolicy::kIncremental, SearchPolicy::kExhaustive}) {
+      SearchParams params;
+      if (policy == SearchPolicy::kIncremental) {
+        params = params_for_policy(policy, rng.next_double() < 0.5);
+      } else {
+        params = params_for_policy(policy, rng.next_double() < 0.5,
+                                   rng.uniform_int(0, 5),
+                                   rng.uniform_int(0, 10));
+      }
+      const SearchResult ref = get_next_sys_state_reference(
+          rate, cur, target, params, space, perf, power, threads, filter);
+      scratch.begin_tick(space);
+      const SearchResult opt =
+          get_next_sys_state(rate, cur, target, params, space, perf, power,
+                             threads, filter, &scratch);
+      expect_bit_identical(ref, opt, search_policy_name(policy), i);
+      if (testing::Test::HasFailure()) return;  // Stop at the first failure.
+    }
+
+    TabuParams tabu;
+    tabu.iterations = rng.uniform_int(1, 16);
+    tabu.tenure = rng.uniform_int(1, 10);
+    tabu.step = rng.uniform_int(1, 2);
+    const SearchResult ref = tabu_get_next_sys_state_reference(
+        rate, cur, target, tabu, space, perf, power, threads, filter);
+    scratch.begin_tick(space);
+    const SearchResult opt =
+        tabu_get_next_sys_state(rate, cur, target, tabu, space, perf, power,
+                                threads, filter, &scratch);
+    expect_bit_identical(ref, opt, "tabu", i);
+    if (testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(SearchIdentityProperty, ExynosThousandRandomizedCases) {
+  run_property_cases("exynos5422", 1000, 0xCAFE);
+}
+
+TEST(SearchIdentityProperty, Sd855ThousandRandomizedCases) {
+  run_property_cases("sd855", 1000, 0xBEEF);
+}
+
+}  // namespace
+}  // namespace hars

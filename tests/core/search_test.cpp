@@ -40,6 +40,84 @@ TEST_F(SearchTest, PolicyParams) {
   EXPECT_EQ(ex.d, 7);
 }
 
+// ISSUE 5 satellite: params_for_policy deliberately passes
+// `exhaustive_window` for BOTH the decrease bound m and the increase
+// bound n of non-incremental policies — the paper's exhaustive window is
+// symmetric by definition (§3.1.3: HARS-E is m = n = 4, d = 7),
+// independent of the over/underperforming direction. Only HARS-I is
+// direction-asymmetric.
+TEST_F(SearchTest, ExhaustiveWindowIsSymmetric) {
+  for (bool over : {true, false}) {
+    for (int window : {1, 3, 4, 6}) {
+      const SearchParams p =
+          params_for_policy(SearchPolicy::kExhaustive, over, window, 7);
+      EXPECT_EQ(p.m, window) << "over=" << over;
+      EXPECT_EQ(p.n, window) << "over=" << over;
+      EXPECT_EQ(p.d, 7);
+      // Tabu runs through the same branch: its fallback params are the
+      // exhaustive ones.
+      const SearchParams t =
+          params_for_policy(SearchPolicy::kTabu, over, window, 7);
+      EXPECT_EQ(t.m, window);
+      EXPECT_EQ(t.n, window);
+    }
+  }
+  // The symmetric window really explores both directions: from a middle
+  // state, candidates exist below and above on every dimension.
+  const SystemState cur{2, 2, 4, 3};
+  const PerfTarget target = PerfTarget::around(2.0);
+  bool saw_lower_big = false;
+  bool saw_higher_big = false;
+  const auto filter = [&](const SystemState& s) {
+    saw_lower_big |= s.big_cores < cur.big_cores;
+    saw_higher_big |= s.big_cores > cur.big_cores;
+    return true;
+  };
+  (void)get_next_sys_state(2.0, cur, target,
+                           params_for_policy(SearchPolicy::kExhaustive, true),
+                           space_, perf_, power_, 8, filter);
+  EXPECT_TRUE(saw_lower_big);
+  EXPECT_TRUE(saw_higher_big);
+}
+
+// Golden HARS-E decisions on the exynos5422 space (r0 = 1.5, profiled
+// power table, 8 threads): chosen states and candidate counts pinned so
+// any change to the window semantics or the selection rules is caught.
+// Values derived from the retained reference implementation.
+TEST_F(SearchTest, HarsEDecisionGolden) {
+  struct Golden {
+    SystemState cur;
+    double rate;
+    bool overperforming;
+    SystemState expect;
+    int candidates;
+  };
+  const Golden goldens[] = {
+      {{4, 4, 8, 5}, 4.0, true, {0, 4, 5, 5}, 270},
+      {{2, 2, 4, 3}, 1.0, false, {3, 3, 7, 5}, 990},
+      {{1, 0, 0, 0}, 0.4, false, {3, 4, 0, 0}, 300},
+      {{3, 1, 6, 2}, 2.6, true, {2, 3, 2, 2}, 749},
+  };
+  const PerfTarget target = PerfTarget::around(2.0);
+  SearchScratch scratch;
+  for (const Golden& g : goldens) {
+    const SearchParams params =
+        params_for_policy(SearchPolicy::kExhaustive, g.overperforming);
+    // Reference and memoized paths must both hit the golden decision.
+    const SearchResult ref = get_next_sys_state_reference(
+        g.rate, g.cur, target, params, space_, perf_, power_, 8);
+    scratch.begin_tick(space_);
+    const SearchResult opt =
+        get_next_sys_state(g.rate, g.cur, target, params, space_, perf_,
+                           power_, 8, {}, &scratch);
+    for (const SearchResult& r : {ref, opt}) {
+      EXPECT_EQ(r.state, g.expect) << g.cur.to_string();
+      EXPECT_EQ(r.candidates, g.candidates) << g.cur.to_string();
+      EXPECT_TRUE(r.moved);
+    }
+  }
+}
+
 TEST_F(SearchTest, OverperformingMovesToCheaperState) {
   // At max state with rate far above target, the search must find a state
   // that still satisfies the target with lower estimated power.
@@ -107,8 +185,9 @@ TEST_F(SearchTest, CandidateCountGrowsWithD) {
 TEST_F(SearchTest, FilterExcludesCandidates) {
   const SystemState cur{2, 2, 4, 3};
   const PerfTarget target = PerfTarget::around(2.0);
-  // Forbid any big-core change (MP-HARS-style narrowing).
-  const CandidateFilter filter = [&](const SystemState& s) {
+  // Forbid any big-core change (MP-HARS-style narrowing). Named lvalue:
+  // CandidateFilter is a non-owning reference.
+  const auto filter = [&](const SystemState& s) {
     return s.big_cores == cur.big_cores;
   };
   const SearchResult r = get_next_sys_state(4.0, cur, target,

@@ -51,7 +51,8 @@ TEST_F(TabuSearchTest, FindsEfficientTargetSatisfyingState) {
 TEST_F(TabuSearchTest, RespectsCandidateFilter) {
   const SystemState cur{2, 2, 4, 3};
   const PerfTarget target = PerfTarget::around(2.0);
-  const CandidateFilter filter = [&](const SystemState& s) {
+  // Named lvalue: CandidateFilter is a non-owning reference.
+  const auto filter = [&](const SystemState& s) {
     return s.big_cores == cur.big_cores;  // Big-core count locked.
   };
   const SearchResult r = tabu_get_next_sys_state(

@@ -118,6 +118,27 @@ TEST(BuilderValidation, RejectsEmptyTargetWindow) {
   EXPECT_THROW(builder.build(), ExperimentConfigError);
 }
 
+// Regression: a window like {-2, 1} passed the old max-only check but has
+// a non-positive average, which silently zeroed every normalized-perf
+// score (normalized_perf returns 0 for avg <= 0) and made the search pick
+// arbitrarily among candidates all tied at pp = 0.
+TEST(BuilderValidation, RejectsNonPositiveTargetAverage) {
+  for (const PerfTarget target :
+       {PerfTarget{-2.0, 1.0}, PerfTarget{-1.0, 0.5}, PerfTarget{0.0, 0.0},
+        PerfTarget{-3.0, -1.0}}) {
+    ExperimentBuilder builder;
+    builder.app(ParsecBenchmark::kSwaptions).target(target).variant("HARS-E");
+    EXPECT_THROW(builder.build(), ExperimentConfigError)
+        << "min=" << target.min << " max=" << target.max;
+  }
+  // A positive window is still accepted.
+  ExperimentBuilder ok;
+  ok.app(ParsecBenchmark::kSwaptions)
+      .target(PerfTarget{0.5, 1.5})
+      .variant("HARS-E");
+  EXPECT_NO_THROW(ok.build());
+}
+
 TEST(BuilderValidation, RejectsSamplerWithoutPeriod) {
   ExperimentBuilder builder = valid_single();
   builder.sample_every(0, [](const RunView&) {});

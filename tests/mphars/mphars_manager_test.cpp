@@ -36,6 +36,20 @@ struct MpFixture {
   }
 };
 
+// Regression: non-positive target windows are rejected at registration
+// and retargeting (they would zero every normalized-perf score).
+TEST(MpHarsManager, RejectsNonPositiveTargets) {
+  MpFixture f;
+  f.add_app(4.0);
+  f.make_manager();
+  EXPECT_THROW(f.manager->register_app(
+                   f.ids[0], MpHarsAppConfig{PerfTarget{-2.0, 1.0}, 5}),
+               std::invalid_argument);
+  f.manager->register_app(f.ids[0], MpHarsAppConfig{PerfTarget::around(2.0), 5});
+  EXPECT_THROW(f.manager->set_app_target(f.ids[0], PerfTarget{0.0, 0.0}),
+               std::invalid_argument);
+}
+
 TEST(MpHarsManager, InitialAllocationIsEvenAndDisjoint) {
   MpFixture f;
   f.add_app(4.0);

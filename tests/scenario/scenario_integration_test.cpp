@@ -74,5 +74,37 @@ TEST(ScenarioIntegration, RushHourDrainsCleanly) {
   }
 }
 
+/// Scenario-level spawn-after-kill churn: kills and spawns interleave so
+/// new apps repeatedly reuse a compacted thread table under a live
+/// multi-app manager (the ISSUE 5 remove_app audit's end-to-end lock-in).
+TEST(ScenarioIntegration, KillSpawnKillInterleavingStaysConsistent) {
+  using B = ParsecBenchmark;
+  const Scenario churn = ScenarioBuilder("churn")
+                             .spawn(0, "a0", B::kBodytrack)
+                             .spawn(0, "a1", B::kSwaptions)
+                             .kill(6 * kUsPerSec, "a0")
+                             .spawn(8 * kUsPerSec, "a2", B::kFluidanimate)
+                             .kill(12 * kUsPerSec, "a1")
+                             .spawn(14 * kUsPerSec, "a3", B::kSwaptions)
+                             .kill(18 * kUsPerSec, "a2")
+                             .build();
+  const ExperimentResult r = ExperimentBuilder()
+                                 .scenario(churn)
+                                 .variant("MP-HARS-E")
+                                 .duration(25 * kUsPerSec)
+                                 .build()
+                                 .run();
+  ASSERT_EQ(r.apps.size(), 4u);
+  EXPECT_EQ(r.apps[0].depart_time_us, 6 * kUsPerSec);
+  EXPECT_EQ(r.apps[1].depart_time_us, 12 * kUsPerSec);
+  EXPECT_EQ(r.apps[2].spawn_time_us, 8 * kUsPerSec);
+  EXPECT_EQ(r.apps[2].depart_time_us, 18 * kUsPerSec);
+  EXPECT_EQ(r.apps[3].spawn_time_us, 14 * kUsPerSec);
+  EXPECT_EQ(r.apps[3].depart_time_us, -1);  // Survives to the end.
+  for (const AppRunResult& app : r.apps) {
+    EXPECT_GT(app.metrics.heartbeats, 0) << app.label;
+  }
+}
+
 }  // namespace
 }  // namespace hars

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
+#include <utility>
 
 #include "apps/parsec.hpp"
 #include "exp/experiment.hpp"
@@ -52,6 +54,74 @@ TEST(SimEngineRemoveApp, RemovedAppStopsConsumingCpu) {
   engine.run_for(300 * kUsPerMs);
   // No CPU shares reach a removed app: its heartbeat stream is frozen.
   EXPECT_EQ(a->heartbeats().count(), beats_at_kill);
+}
+
+/// Spawn-after-kill bookkeeping audit (ISSUE 5): a new app claims a fresh
+/// slot while threads_ has been compacted by earlier removals, and later
+/// removals shift the bases again. Interleaving kill -> spawn -> kill must
+/// keep every alive app's (base, count) window exact — per-thread
+/// affinities set through (app, local_tid) must read back through the
+/// same coordinates and land on threads owned by that app.
+TEST(SimEngineRemoveApp, SpawnAfterKillInterleavingKeepsIndexMapping) {
+  SimEngine engine(Machine::exynos5422(), gts());
+  auto a = make_parsec_app(ParsecBenchmark::kSwaptions, 4, 1);
+  auto b = make_parsec_app(ParsecBenchmark::kBodytrack, 8, 2);
+  auto c = make_parsec_app(ParsecBenchmark::kFluidanimate, 2, 3);
+  const AppId ia = engine.add_app(a.get());
+  const AppId ib = engine.add_app(b.get());
+  const AppId ic = engine.add_app(c.get());
+  engine.run_for(20 * kUsPerMs);
+
+  auto check_mapping = [&](std::initializer_list<std::pair<AppId, App*>> live) {
+    // Every (app, tid) coordinate round-trips a distinct affinity...
+    std::size_t expected_threads = 0;
+    for (const auto& [id, app] : live) {
+      ASSERT_TRUE(engine.app_alive(id));
+      expected_threads += static_cast<std::size_t>(app->thread_count());
+      for (int tid = 0; tid < app->thread_count(); ++tid) {
+        const CpuMask probe =
+            CpuMask::single((tid + id) % engine.machine().num_cores());
+        engine.set_thread_affinity(id, tid, probe);
+        EXPECT_EQ(engine.thread_affinity(id, tid).bits(), probe.bits())
+            << "app " << id << " tid " << tid;
+        engine.set_thread_affinity(id, tid, engine.machine().all_mask());
+      }
+    }
+    // ...the table holds exactly the live apps' threads, each (app,
+    // local_index) pair once, with globally unique thread ids.
+    ASSERT_EQ(engine.threads().size(), expected_threads);
+    std::set<std::pair<AppId, int>> seen;
+    std::set<ThreadId> ids_seen;
+    for (const SimThread& t : engine.threads()) {
+      EXPECT_TRUE(engine.app_alive(t.app));
+      EXPECT_TRUE(seen.emplace(t.app, t.local_index).second);
+      EXPECT_TRUE(ids_seen.insert(t.id).second);
+      EXPECT_EQ(t.app_ptr, &engine.app(t.app));
+    }
+  };
+
+  // kill a -> spawn d (reuses the compacted tail of threads_).
+  engine.remove_app(ia);
+  auto d = make_parsec_app(ParsecBenchmark::kBlackscholes, 6, 4);
+  const AppId id_d = engine.add_app(d.get());
+  check_mapping({{ib, b.get()}, {ic, c.get()}, {id_d, d.get()}});
+
+  // kill b (shifts c and d's bases down) -> spawn e -> kill d.
+  engine.remove_app(ib);
+  auto e = make_parsec_app(ParsecBenchmark::kSwaptions, 5, 5);
+  const AppId id_e = engine.add_app(e.get());
+  check_mapping({{ic, c.get()}, {id_d, d.get()}, {id_e, e.get()}});
+  engine.remove_app(id_d);
+  check_mapping({{ic, c.get()}, {id_e, e.get()}});
+
+  // The survivors keep making progress through the reshuffled table.
+  const std::int64_t c_beats = c->heartbeats().count();
+  engine.run_for(2 * kUsPerSec);
+  EXPECT_GT(c->heartbeats().count(), c_beats);
+  EXPECT_GT(e->heartbeats().count(), 0);
+  EXPECT_FALSE(engine.app_alive(ia));
+  EXPECT_FALSE(engine.app_alive(ib));
+  EXPECT_FALSE(engine.app_alive(id_d));
 }
 
 TEST(SimEngineTickHook, FiresAtEveryBoundaryWithStartTime) {

@@ -166,6 +166,22 @@ TEST(ScenarioDsl, RejectsStructuralProblems) {
                ScenarioError);
 }
 
+// Regression: targets with a non-positive average (negative min, or an
+// all-zero window) used to slip past the max-only validation and zero
+// every normalized-perf score downstream.
+TEST(ScenarioDsl, RejectsNonPositiveTargets) {
+  EXPECT_THROW(parse("scenario,bad\n0,spawn,app=a0,bench=SW,min=-2,max=1\n"),
+               ScenarioError);
+  EXPECT_THROW(parse("scenario,bad\n"
+                     "0,spawn,app=a0,bench=SW\n"
+                     "1000,set_target,app=a0,min=-2,max=1\n"),
+               ScenarioError);
+  EXPECT_THROW(parse("scenario,bad\n"
+                     "0,spawn,app=a0,bench=SW\n"
+                     "1000,set_target,app=a0,min=0,max=0\n"),
+               ScenarioError);
+}
+
 TEST(ScenarioCoreSet, FormatsAndParsesRanges) {
   CpuMask m;
   m.set(0);
