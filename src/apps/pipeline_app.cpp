@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/alloc_guard.hpp"
+
 namespace hars {
 
 int PipelineApp::total_threads(const PipelineConfig& config) {
@@ -54,6 +56,9 @@ bool PipelineApp::try_acquire(Worker& worker) {
 }
 
 void PipelineApp::begin_tick(TimeUs /*now*/) {
+  // Queue nodes are workload-model state, not engine mechanics: deque
+  // chunk growth is bounded by max_in_flight and declared amortized.
+  allocg::AllowScope allow("pipeline admission queue");
   // Admission control: keep the pipeline primed up to max_in_flight.
   while (in_flight_ < config_.max_in_flight &&
          (config_.max_items < 0 || items_admitted_ < config_.max_items)) {
@@ -84,6 +89,9 @@ TimeUs PipelineApp::execute(int local_tid, TimeUs share_us, CoreType type,
     w.remaining -= done;
     used += static_cast<TimeUs>(done / speed * kUsPerSec);
     if (w.remaining <= 1e-12) {
+      // Item hand-off touches inter-stage queues (workload-model state,
+      // amortized by retained deque chunks and vector capacity).
+      allocg::AllowScope allow("pipeline item hand-off");
       w.has_item = false;
       const int next_stage = w.stage + 1;
       if (next_stage < num_stages()) {

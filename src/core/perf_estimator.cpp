@@ -3,17 +3,19 @@
 #include <cmath>
 #include <limits>
 
+#include "util/hot_path.hpp"
+
 namespace hars {
 
 PerfEstimator::PerfEstimator(const Machine& machine, double r0, double f0_ghz)
     : machine_(&machine), r0_(r0), f0_ghz_(f0_ghz) {}
 
-double PerfEstimator::big_speed(const SystemState& s) const {
+HARS_HOT double PerfEstimator::big_speed(const SystemState& s) const {
   const double f = machine_->freq_ghz_at_level(machine_->fastest_cluster(), s.big_freq);
   return r0_ * f / f0_ghz_;  // S_B,f0 = r0, S_L,f0 = 1.
 }
 
-double PerfEstimator::little_speed(const SystemState& s) const {
+HARS_HOT double PerfEstimator::little_speed(const SystemState& s) const {
   const double f =
       machine_->freq_ghz_at_level(machine_->slowest_cluster(), s.little_freq);
   return 1.0 * f / f0_ghz_;
@@ -23,12 +25,13 @@ double PerfEstimator::ratio(const SystemState& s) const {
   return big_speed(s) / little_speed(s);
 }
 
-ThreadAssignment PerfEstimator::assignment(const SystemState& s, int t) const {
+HARS_HOT ThreadAssignment PerfEstimator::assignment(const SystemState& s,
+                                                    int t) const {
   if (s.big_cores + s.little_cores < 1 || t <= 0) return {};
   return assign_threads(t, s.big_cores, s.little_cores, ratio(s));
 }
 
-double PerfEstimator::unit_time(const SystemState& s, int t) const {
+HARS_HOT double PerfEstimator::unit_time(const SystemState& s, int t) const {
   if (t <= 0) return 0.0;
   if (s.big_cores + s.little_cores < 1) {
     return std::numeric_limits<double>::infinity();
@@ -38,9 +41,10 @@ double PerfEstimator::unit_time(const SystemState& s, int t) const {
                               s.little_cores, big_speed(s), little_speed(s));
 }
 
-double PerfEstimator::estimate_rate(const SystemState& candidate,
-                                    const SystemState& current,
-                                    double current_rate, int t) const {
+HARS_HOT double PerfEstimator::estimate_rate(const SystemState& candidate,
+                                             const SystemState& current,
+                                             double current_rate,
+                                             int t) const {
   const double t_cur = unit_time(current, t);
   const double t_cand = unit_time(candidate, t);
   if (!std::isfinite(t_cand) || t_cand <= 0.0) return 0.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/hot_path.hpp"
+
 namespace hars {
 
 PowerEstimator::PowerEstimator(PowerCoeffTable coeffs)
@@ -17,18 +19,18 @@ double eval(const ClusterPowerCoeffs& c, int level, double cores_times_util) {
 }
 }  // namespace
 
-double PowerEstimator::big_power(const SystemState& s, int cb_used,
-                                 double util) const {
+HARS_HOT double PowerEstimator::big_power(const SystemState& s, int cb_used,
+                                          double util) const {
   return eval(coeffs_.big, s.big_freq, cb_used * util);
 }
 
-double PowerEstimator::little_power(const SystemState& s, int cl_used,
-                                    double util) const {
+HARS_HOT double PowerEstimator::little_power(const SystemState& s, int cl_used,
+                                             double util) const {
   return eval(coeffs_.little, s.little_freq, cl_used * util);
 }
 
-double PowerEstimator::estimate(const SystemState& s, int t,
-                                const PerfEstimator& perf) const {
+HARS_HOT double PowerEstimator::estimate(const SystemState& s, int t,
+                                         const PerfEstimator& perf) const {
   const ThreadAssignment a = perf.assignment(s, t);
   const ClusterUtilization u = perf.utilization(s, t);
   return big_power(s, a.cb_used, u.big) + little_power(s, a.cl_used, u.little);

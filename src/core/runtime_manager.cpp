@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "util/alloc_guard.hpp"
+#include "util/audit.hpp"
 
 namespace hars {
 
@@ -58,6 +62,11 @@ void RuntimeManager::apply_state(const SystemState& state) {
 
 TimeUs RuntimeManager::on_tick(TimeUs now) {
   if (now < next_poll_) return 0;
+  // Manager bookkeeping (trace growth, predictor state, schedule
+  // changes) is a declared amortized allocator inside the engine's
+  // guarded tick; the candidate searches below re-tighten the contract
+  // with their own AllocGuard for the duration of each sweep.
+  allocg::AllowScope allow("runtime-manager bookkeeping");
   next_poll_ = now + config_.poll_period_us;
   TimeUs cost = config_.poll_cost_us;
 
@@ -111,6 +120,15 @@ TimeUs RuntimeManager::on_tick(TimeUs now) {
                           config_.exhaustive_window, config_.exhaustive_d);
     result = get_next_sys_state(rate, state_, target, params, space_,
                                 perf_est_, power_est_, threads, {}, scratch);
+  }
+  if (engine_.audit_enabled()) {
+    // The sweep only considers space_-valid candidates, so a violation
+    // here means the search itself (or a memo table) corrupted a state.
+    const std::string why = result.state.check_invariants(space_);
+    if (!why.empty()) {
+      throw AuditError("RuntimeManager: search returned invalid state: " +
+                       why);
+    }
   }
   cost += config_.adapt_fixed_cost_us +
           config_.cost_per_candidate_us * result.candidates;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/alloc_guard.hpp"
+#include "util/hot_path.hpp"
+
 namespace hars {
 
 double normalized_perf(double rate, const PerfTarget& target) {
@@ -60,8 +63,8 @@ struct Best {
   bool set = false;
 };
 
-void consider(Best& ns, const PerfTarget& target, const SystemState& s,
-              double perf, double power, double pp) {
+HARS_HOT void consider(Best& ns, const PerfTarget& target, const SystemState& s,
+                       double perf, double power, double pp) {
   // Selection rules of Algorithm 2, lines 13-22.
   if (perf >= target.min) {
     if (ns.set && ns.perf >= target.min) {
@@ -80,12 +83,12 @@ void consider(Best& ns, const PerfTarget& target, const SystemState& s,
 /// evaluator. `evaluate(s, perf, power, pp)` must produce the Algorithm 2
 /// scores for one state.
 template <typename EvalFn>
-SearchResult neighbourhood_sweep(const SystemState& current,
-                                 const PerfTarget& target,
-                                 const SearchParams& params,
-                                 const StateSpace& space,
-                                 const CandidateFilter& filter,
-                                 EvalFn&& evaluate) {
+HARS_HOT SearchResult neighbourhood_sweep(const SystemState& current,
+                                          const PerfTarget& target,
+                                          const SearchParams& params,
+                                          const StateSpace& space,
+                                          const CandidateFilter& filter,
+                                          EvalFn&& evaluate) {
   Best ns;
   SearchResult result;
   for (int i = current.big_cores - params.m; i <= current.big_cores + params.n;
@@ -148,19 +151,21 @@ SearchResult get_next_sys_state_reference(
       });
 }
 
-SearchResult get_next_sys_state(double hb_rate, const SystemState& current,
-                                const PerfTarget& target,
-                                const SearchParams& params,
-                                const StateSpace& space,
-                                const PerfEstimator& perf_est,
-                                const PowerEstimator& power_est, int threads,
-                                const CandidateFilter& filter,
-                                SearchScratch* scratch) {
+HARS_HOT SearchResult get_next_sys_state(
+    double hb_rate, const SystemState& current, const PerfTarget& target,
+    const SearchParams& params, const StateSpace& space,
+    const PerfEstimator& perf_est, const PowerEstimator& power_est, int threads,
+    const CandidateFilter& filter, SearchScratch* scratch) {
   if (scratch == nullptr) {
     return get_next_sys_state_reference(hb_rate, current, target, params,
                                         space, perf_est, power_est, threads,
                                         filter);
   }
+  // The memoized sweep is strictly allocation-free: memo tables were
+  // pre-sized by SearchScratch::begin_tick, so lookups and fills touch
+  // only existing slots. The guard re-tightens any enclosing manager
+  // AllowScope for the duration of the sweep.
+  AllocGuard guard("get_next_sys_state(scratch)");
   // Memoized sweep: t_f(current) is one lookup for the whole call, and
   // each candidate costs one unit-time and one power lookup. The rate
   // expression and its guards mirror PerfEstimator::estimate_rate

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "util/alloc_guard.hpp"
+#include "util/hot_path.hpp"
+
 namespace hars {
 
 void SearchScratch::begin_tick(const StateSpace& space) {
@@ -15,6 +18,8 @@ void SearchScratch::begin_tick(const StateSpace& space) {
       static_cast<std::size_t>(nbf) * static_cast<std::size_t>(nlf);
   if (slots > unit_time_.size() || nl != stride_l_ || nbf != stride_bf_ ||
       nlf != stride_lf_) {
+    // One-time (per state-space shape) growth of the memo tables.
+    allocg::AllowScope allow("SearchScratch memo-table growth");
     stride_l_ = nl;
     stride_bf_ = nbf;
     stride_lf_ = nlf;
@@ -31,8 +36,8 @@ void SearchScratch::begin_tick(const StateSpace& space) {
   }
 }
 
-double SearchScratch::unit_time(const SystemState& s, int threads,
-                                const PerfEstimator& perf) {
+HARS_HOT double SearchScratch::unit_time(const SystemState& s, int threads,
+                                         const PerfEstimator& perf) {
   assert(gen_ != 0 && "begin_tick() must run before lookups");
   Entry& entry = unit_time_[index_of(s)];
   if (entry.gen != gen_ || entry.threads != threads) {
@@ -43,9 +48,9 @@ double SearchScratch::unit_time(const SystemState& s, int threads,
   return entry.value;
 }
 
-double SearchScratch::power(const SystemState& s, int threads,
-                            const PerfEstimator& perf,
-                            const PowerEstimator& power_est) {
+HARS_HOT double SearchScratch::power(const SystemState& s, int threads,
+                                     const PerfEstimator& perf,
+                                     const PowerEstimator& power_est) {
   assert(gen_ != 0 && "begin_tick() must run before lookups");
   Entry& entry = power_[index_of(s)];
   if (entry.gen != gen_ || entry.threads != threads) {

@@ -12,6 +12,33 @@ std::string SystemState::to_string() const {
   return buf;
 }
 
+std::string SystemState::check_invariants(const StateSpace& space) const {
+  std::string violations;
+  const auto fail = [&](const char* what) {
+    if (!violations.empty()) violations += "; ";
+    violations += what;
+  };
+  if (big_cores < space.min_big_cores || big_cores > space.max_big_cores) {
+    fail("big_cores outside [min_big_cores, max_big_cores]");
+  }
+  if (little_cores < space.min_little_cores ||
+      little_cores > space.max_little_cores) {
+    fail("little_cores outside [min_little_cores, max_little_cores]");
+  }
+  if (big_freq < space.min_big_freq || big_freq >= space.num_big_freqs) {
+    fail("big_freq outside [min_big_freq, num_big_freqs)");
+  }
+  if (little_freq < space.min_little_freq ||
+      little_freq >= space.num_little_freqs) {
+    fail("little_freq outside [min_little_freq, num_little_freqs)");
+  }
+  if (big_cores + little_cores < 1) {
+    fail("no cores allocated (big_cores + little_cores < 1)");
+  }
+  if (!violations.empty()) violations += " in " + to_string();
+  return violations;
+}
+
 int manhattan_distance(const SystemState& a, const SystemState& b) {
   return std::abs(a.big_cores - b.big_cores) +
          std::abs(a.little_cores - b.little_cores) +

@@ -10,6 +10,8 @@
 
 namespace hars {
 
+struct StateSpace;
+
 struct SystemState {
   int big_cores = 0;      ///< C_B: big cores allocated to the app.
   int little_cores = 0;   ///< C_L: little cores allocated to the app.
@@ -19,6 +21,13 @@ struct SystemState {
   friend bool operator==(const SystemState&, const SystemState&) = default;
 
   std::string to_string() const;
+
+  /// HARS_AUDIT hook: names every invariant this state violates against
+  /// `space` (per-dimension bounds and the at-least-one-core rule), one
+  /// clause per violation. Empty string when the state is valid — the
+  /// predicate form of StateSpace::valid with a diagnosis attached; the
+  /// runtime managers call it on every search result when audits are on.
+  std::string check_invariants(const StateSpace& space) const;
 };
 
 /// Manhattan distance in the 4-D state space (Algorithm 2's getDistance).

@@ -5,6 +5,9 @@
 #include <deque>
 #include <vector>
 
+#include "util/alloc_guard.hpp"
+#include "util/hot_path.hpp"
+
 namespace hars {
 
 namespace {
@@ -19,7 +22,7 @@ struct Scored {
 
 /// Algorithm-2-compatible "is a better than b" ordering: target
 /// satisfaction first, then normalized-perf/power, then raw perf.
-bool better(const Scored& a, const Scored& b) {
+HARS_HOT bool better(const Scored& a, const Scored& b) {
   if (a.satisfies != b.satisfies) return a.satisfies;
   if (a.satisfies) return a.pp > b.pp;
   return a.perf > b.perf;
@@ -30,7 +33,7 @@ bool better(const Scored& a, const Scored& b) {
 /// state (and counts it); `tabu` is any container with FIFO push capped
 /// at the tenure via `push_tabu`.
 template <typename ScoreFn, typename TabuList, typename PushFn>
-SearchResult tabu_trajectory(const SystemState& current,
+HARS_HOT SearchResult tabu_trajectory(const SystemState& current,
                              const TabuParams& params, const StateSpace& space,
                              const CandidateFilter& filter, ScoreFn&& score,
                              TabuList& tabu, PushFn&& push_tabu,
@@ -119,14 +122,11 @@ SearchResult tabu_get_next_sys_state_reference(
                          push_tabu, result);
 }
 
-SearchResult tabu_get_next_sys_state(double hb_rate, const SystemState& current,
-                                     const PerfTarget& target,
-                                     const TabuParams& params,
-                                     const StateSpace& space,
-                                     const PerfEstimator& perf_est,
-                                     const PowerEstimator& power_est,
-                                     int threads, const CandidateFilter& filter,
-                                     SearchScratch* scratch) {
+HARS_HOT SearchResult tabu_get_next_sys_state(
+    double hb_rate, const SystemState& current, const PerfTarget& target,
+    const TabuParams& params, const StateSpace& space,
+    const PerfEstimator& perf_est, const PowerEstimator& power_est, int threads,
+    const CandidateFilter& filter, SearchScratch* scratch) {
   if (scratch == nullptr) {
     return tabu_get_next_sys_state_reference(hb_rate, current, target, params,
                                              space, perf_est, power_est,
@@ -161,8 +161,13 @@ SearchResult tabu_get_next_sys_state(double hb_rate, const SystemState& current,
   // searches so pushes never allocate in steady state.
   std::vector<SystemState>& tabu = scratch->tabu_ring();
   tabu.clear();
+  // Pre-size the ring before arming the guard: after the first search at
+  // this tenure the capacity is retained and the reserve is a no-op, so
+  // the trajectory's pushes below can never allocate in steady state.
+  tabu.reserve(static_cast<std::size_t>(params.tenure) + 1);  // hars-lint: allow(no-alloc): capacity retained across searches
+  AllocGuard guard("tabu_get_next_sys_state(scratch)");
   auto push_tabu = [&](const SystemState& s) {
-    tabu.push_back(s);
+    tabu.push_back(s);  // hars-lint: allow(no-alloc): bounded ring, reserved above
     while (static_cast<int>(tabu.size()) > params.tenure) {
       tabu.erase(tabu.begin());
     }

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/hot_path.hpp"
+
 namespace hars {
 
 namespace {
@@ -16,7 +18,7 @@ struct FastSlow {
   int tf = 0, ts = 0, cf_used = 0, cs_used = 0;
 };
 
-FastSlow assign_fast_slow(int t, int cf, int cs, double r) {
+HARS_HOT FastSlow assign_fast_slow(int t, int cf, int cs, double r) {
   assert(r >= 1.0);
   FastSlow out;
   if (t <= 0) return out;
@@ -53,7 +55,7 @@ FastSlow assign_fast_slow(int t, int cf, int cs, double r) {
 
 }  // namespace
 
-ThreadAssignment assign_threads(int t, int cb, int cl, double r) {
+HARS_HOT ThreadAssignment assign_threads(int t, int cb, int cl, double r) {
   assert(r > 0.0);
   ThreadAssignment a;
   if (t <= 0) return a;
@@ -75,8 +77,9 @@ ThreadAssignment assign_threads(int t, int cb, int cl, double r) {
   return a;
 }
 
-double unit_completion_time(const ThreadAssignment& a, int t, double total_work,
-                            int cb, int cl, double sb, double sl) {
+HARS_HOT double unit_completion_time(const ThreadAssignment& a, int t,
+                                     double total_work, int cb, int cl,
+                                     double sb, double sl) {
   if (t <= 0) return 0.0;
   const double w = total_work / t;  // Equal per-thread share.
   double tb = 0.0;

@@ -1,11 +1,16 @@
 #include "heartbeats/heartbeat.hpp"
 
+#include "util/alloc_guard.hpp"
+
 namespace hars {
 
 HeartbeatMonitor::HeartbeatMonitor(std::size_t window)
     : window_(window > 1 ? window : 2) {}
 
 void HeartbeatMonitor::emit(TimeUs now) {
+  // The full emission history is retained for behaviour traces; its
+  // amortized growth is a declared allocator inside the guarded tick.
+  allocg::AllowScope allow("heartbeat history growth");
   HeartbeatRecord rec{next_index_++, now};
   window_.push(rec);
   history_.push_back(rec);

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "util/alloc_guard.hpp"
+#include "util/hot_path.hpp"
+
 namespace hars {
 
 PowerSensor::PowerSensor(const Machine& machine, const PowerModel& model,
@@ -42,7 +45,7 @@ void PowerSensor::tick(TimeUs now, TimeUs tick_us,
   maybe_sample(now, cluster_watts);
 }
 
-void PowerSensor::tick_presummed(TimeUs now, TimeUs tick_us,
+HARS_HOT void PowerSensor::tick_presummed(TimeUs now, TimeUs tick_us,
                                  const std::vector<double>& cluster_busy,
                                  const std::vector<double>& cluster_freq,
                                  const std::vector<char>& cluster_online) {
@@ -66,6 +69,9 @@ void PowerSensor::tick_presummed(TimeUs now, TimeUs tick_us,
 void PowerSensor::maybe_sample(TimeUs now,
                                const std::vector<double>& cluster_watts) {
   if (now < next_sample_at_) return;
+  // Sample capture happens once per sampling period (~every 264 default
+  // ticks) and retains history by design: a declared amortized allocator.
+  allocg::AllowScope allow("power-sensor sample capture");
   PowerSample sample;
   sample.time = now;
   sample.cluster_watts.reserve(cluster_watts.size());

@@ -1,11 +1,14 @@
 #include "hmp/sim_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
 #include <string>
 
 #include "hmp/platform_spec.hpp"
+#include "util/alloc_guard.hpp"
+#include "util/hot_path.hpp"
 
 namespace hars {
 
@@ -102,10 +105,13 @@ void SimEngine::run_until(TimeUs t) {
   while (now_ < t) step();
 }
 
-void SimEngine::prepare_scratch() {
+HARS_HOT void SimEngine::prepare_scratch() {
   TickScratch& s = scratch_;
   const auto n = static_cast<std::size_t>(machine_.num_cores());
   if (s.core_type.size() != n) {
+    // First tick only (the core count never changes): size the scratch.
+    allocg::AllowScope allow("TickScratch first-tick growth");
+    // hars-lint: allow-begin(no-alloc): one-time growth, guarded above
     s.core_capacity.resize(n);
     s.threads_on_core.resize(n);
     s.core_share.resize(n);
@@ -115,6 +121,7 @@ void SimEngine::prepare_scratch() {
     s.cluster_busy.resize(static_cast<std::size_t>(machine_.num_clusters()));
     s.cluster_freq.resize(static_cast<std::size_t>(machine_.num_clusters()));
     s.cluster_online.resize(static_cast<std::size_t>(machine_.num_clusters()));
+    // hars-lint: allow-end
     for (CoreId c = 0; c < machine_.num_cores(); ++c) {
       s.core_type[static_cast<std::size_t>(c)] = machine_.core_type(c);
       s.core_cluster[static_cast<std::size_t>(c)] = machine_.cluster_of(c);
@@ -126,7 +133,7 @@ void SimEngine::prepare_scratch() {
   refresh_machine_snapshot();
 }
 
-void SimEngine::refresh_machine_snapshot() {
+HARS_HOT void SimEngine::refresh_machine_snapshot() {
   TickScratch& s = scratch_;
   // DVFS levels change at tick boundaries (tick hook, manager — the
   // latter *after* the execute loop but *before* the sensor, so this runs
@@ -153,12 +160,19 @@ void SimEngine::refresh_machine_snapshot() {
   }
 }
 
-void SimEngine::step() {
+HARS_HOT void SimEngine::step() {
   if (config_.reference_tick) {
     step_reference();
     return;
   }
   if (tick_hook_) tick_hook_(now_);
+
+  // From here to the end of the tick the engine is on the allocation-free
+  // contract (PR 5): any allocation not inside a declared AllowScope
+  // (heartbeat history, sensor samples, manager bookkeeping, guarded
+  // first-use growth) is a violation. The scenario hook above is outside
+  // the contract — spawning an app allocates by design.
+  AllocGuard alloc_guard("SimEngine::step");
 
   const TimeUs tick = config_.tick_us;
   now_ += tick;
@@ -185,7 +199,9 @@ void SimEngine::step() {
       if (a == nullptr) continue;
       const auto n = static_cast<std::size_t>(a->thread_count());
       if (s.runnable_capacity < n) {
-        s.runnable = std::make_unique<bool[]>(n);
+        // Grows only when an app with more threads than ever seen joins.
+        allocg::AllowScope allow("runnable buffer growth");
+        s.runnable = std::make_unique<bool[]>(n);  // hars-lint: allow(no-alloc): guarded growth
         s.runnable_capacity = n;
       }
       a->refresh_runnable(s.runnable.get());
@@ -201,6 +217,14 @@ void SimEngine::step() {
   }
 
   scheduler_->assign(machine_, threads_);
+  if (config_.audit) {
+    // Placement is audited here — between assign and the manager hook —
+    // because the manager may legitimately narrow affinities or hotplug
+    // cores later in this tick; threads keep their stale cores until the
+    // next tick's assign pass re-places them.
+    allocg::AllowScope allow("audit diagnostics");
+    audit_placement();
+  }
 
   // tick_busy_ was re-zeroed by the integration pass of the previous
   // tick (and starts zeroed), so no refill is needed here. The capacity
@@ -277,6 +301,24 @@ void SimEngine::step() {
     refresh_machine_snapshot();
   }
 
+  // Busy-sum conservation audit, first half: recompute the per-cluster
+  // sums through an independent path (the machine's cluster masks, not
+  // the core -> cluster scratch map) before the integration pass below
+  // consumes and re-zeroes tick_busy_. Same ascending-core addition
+  // order, so the sums must be bit-identical.
+  std::array<double, 64> audit_cluster_busy;  // CpuMask caps cores at 64.
+  if (config_.audit) {
+    audit_cluster_busy.fill(0.0);
+    for (ClusterId cl = 0; cl < machine_.num_clusters(); ++cl) {
+      double sum = 0.0;
+      const CpuMask mask = machine_.cluster_mask(cl);
+      for (CoreId c = mask.first(); c >= 0; c = mask.next(c)) {
+        sum += std::min(tick_busy_[static_cast<std::size_t>(c)], 1.0);
+      }
+      audit_cluster_busy[static_cast<std::size_t>(cl)] = sum;
+    }
+  }
+
   // One pass clamps the busy fractions, integrates lifetime busy time and
   // accumulates the per-cluster busy sums the sensor needs; cores of a
   // cluster are contiguous and ascending, so the addition order matches
@@ -289,8 +331,28 @@ void SimEngine::step() {
     core_busy_us_[i] += b * static_cast<double>(tick);
     s.cluster_busy[static_cast<std::size_t>(s.core_cluster[i])] += b;
   }
+  if (config_.audit) {
+    for (ClusterId cl = 0; cl < machine_.num_clusters(); ++cl) {
+      const auto i = static_cast<std::size_t>(cl);
+      if (s.cluster_busy[i] != audit_cluster_busy[i]) {
+        // The diagnostic allocates; the throw must not also trip the
+        // step's AllocGuard mid-unwind.
+        allocg::AllowScope allow("audit diagnostics");
+        throw AuditError(
+            "SimEngine::step: cluster " + std::to_string(cl) +
+            " busy-sum fed to the presummed sensor (" +
+            std::to_string(s.cluster_busy[i]) +
+            ") diverges from the mask-walk recomputation (" +
+            std::to_string(audit_cluster_busy[i]) + ")");
+      }
+    }
+  }
   sensor_.tick_presummed(now_, tick, s.cluster_busy, s.cluster_freq,
                          s.cluster_online);
+  if (config_.audit) {
+    allocg::AllowScope allow("audit diagnostics");
+    audit_tick();
+  }
 }
 
 // The retained reference tick path: the pre-TickScratch implementation,
@@ -313,6 +375,7 @@ void SimEngine::step_reference() {
   }
 
   scheduler_->assign(machine_, threads_);
+  if (config_.audit) audit_placement();  // Pre-manager: see step().
 
   std::fill(tick_busy_.begin(), tick_busy_.end(), 0.0);
 
@@ -368,6 +431,160 @@ void SimEngine::step_reference() {
         tick_busy_[static_cast<std::size_t>(c)] * static_cast<double>(tick);
   }
   sensor_.tick(now_, tick, tick_busy_);
+
+  // The reference path has no scratch to audit, but thread-table
+  // conservation applies to it equally (placement was audited post-assign
+  // above, before the manager hook could retune affinities).
+  if (config_.audit) audit_now();
+}
+
+void SimEngine::audit_now() const {
+  const auto n_slots = apps_.size();
+  if (app_needs_begin_.size() != n_slots || app_thread_base_.size() != n_slots) {
+    throw AuditError("SimEngine::audit_now: per-app side tables out of sync "
+                     "with the app slot table");
+  }
+  std::size_t alive_threads = 0;
+  for (std::size_t slot = 0; slot < n_slots; ++slot) {
+    const App* a = apps_[slot];
+    const int base = app_thread_base_[slot];
+    if (a == nullptr) {
+      if (base != -1) {
+        throw AuditError("SimEngine::audit_now: removed app slot " +
+                         std::to_string(slot) +
+                         " still claims thread base " + std::to_string(base));
+      }
+      continue;
+    }
+    const int count = a->thread_count();
+    if (base < 0 ||
+        static_cast<std::size_t>(base) + static_cast<std::size_t>(count) >
+            threads_.size()) {
+      throw AuditError("SimEngine::audit_now: app " + std::to_string(slot) +
+                       " thread block [" + std::to_string(base) + ", " +
+                       std::to_string(base + count) +
+                       ") falls outside the thread table of size " +
+                       std::to_string(threads_.size()));
+    }
+    for (int i = 0; i < count; ++i) {
+      const SimThread& t =
+          threads_[static_cast<std::size_t>(base) + static_cast<std::size_t>(i)];
+      if (t.app != static_cast<AppId>(slot) || t.app_ptr != a ||
+          t.local_index != i) {
+        throw AuditError(
+            "SimEngine::audit_now: thread table entry " +
+            std::to_string(base + i) + " does not belong to app " +
+            std::to_string(slot) + " local thread " + std::to_string(i) +
+            " (spawn/kill bookkeeping lost conservation)");
+      }
+    }
+    alive_threads += static_cast<std::size_t>(count);
+  }
+  if (alive_threads != threads_.size()) {
+    throw AuditError("SimEngine::audit_now: alive apps account for " +
+                     std::to_string(alive_threads) + " threads but the table "
+                     "holds " + std::to_string(threads_.size()) +
+                     " (spawn/kill/remove lost thread-count conservation)");
+  }
+}
+
+void SimEngine::audit_placement() const {
+  const CpuMask online = machine_.online_mask();
+  for (const SimThread& t : threads_) {
+    if (t.core >= machine_.num_cores()) {
+      throw AuditError("SimEngine::audit_placement: thread " +
+                       std::to_string(t.id) + " sits on nonexistent core " +
+                       std::to_string(t.core));
+    }
+    if (!t.runnable || t.core < 0) continue;  // Sleepers keep stale cores.
+    if (!online.test(t.core)) {
+      throw AuditError("SimEngine::audit_placement: runnable thread " +
+                       std::to_string(t.id) + " placed on offline core " +
+                       std::to_string(t.core));
+    }
+    // The scheduler honours affinity unless no allowed core is online, in
+    // which case Linux (and the model) falls back to any online core.
+    const CpuMask allowed = t.affinity & online;
+    if (allowed.any() && !allowed.test(t.core)) {
+      throw AuditError("SimEngine::audit_placement: runnable thread " +
+                       std::to_string(t.id) + " placed on core " +
+                       std::to_string(t.core) +
+                       " outside its online affinity set");
+    }
+  }
+}
+
+void SimEngine::audit_tick() const {
+  audit_now();
+  // audit_placement() deliberately does NOT run here: the manager hook
+  // (which ran between assign and this audit) may have narrowed thread
+  // affinities or hotplugged cores, making the tick's placement
+  // legitimately stale until the next assign. Placement is audited at
+  // its freshness point, immediately after scheduler_->assign().
+
+  // Snapshot coherence: the epoch-guarded TickScratch views of DVFS and
+  // hotplug state must match the live machine at the end of the tick —
+  // the sensor just integrated against them.
+  const TickScratch& s = scratch_;
+  if (s.core_type.size() != static_cast<std::size_t>(machine_.num_cores())) {
+    throw AuditError("SimEngine::audit_tick: scratch never sized for the "
+                     "machine (prepare_scratch did not run?)");
+  }
+  if (s.dvfs_epoch != machine_.dvfs_epoch()) {
+    throw AuditError("SimEngine::audit_tick: scratch DVFS epoch " +
+                     std::to_string(s.dvfs_epoch) +
+                     " is stale against machine epoch " +
+                     std::to_string(machine_.dvfs_epoch()) +
+                     " (post-manager refresh missed a retune)");
+  }
+  if (s.online_bits != machine_.online_mask().bits()) {
+    throw AuditError("SimEngine::audit_tick: scratch online mask is stale "
+                     "against the machine's hotplug state");
+  }
+  for (ClusterId cl = 0; cl < machine_.num_clusters(); ++cl) {
+    const auto i = static_cast<std::size_t>(cl);
+    if (s.cluster_freq[i] != machine_.freq_ghz(cl)) {
+      throw AuditError("SimEngine::audit_tick: cluster " + std::to_string(cl) +
+                       " frequency snapshot " + std::to_string(s.cluster_freq[i]) +
+                       " diverges from live " +
+                       std::to_string(machine_.freq_ghz(cl)));
+    }
+    const bool live_online =
+        (machine_.online_mask() & machine_.cluster_mask(cl)).any();
+    if ((s.cluster_online[i] != 0) != live_online) {
+      throw AuditError("SimEngine::audit_tick: cluster " + std::to_string(cl) +
+                       " online snapshot diverges from the live mask");
+    }
+    const double busy = s.cluster_busy[i];
+    const double cores = static_cast<double>(machine_.cluster_core_count(cl));
+    if (!(busy >= 0.0 && busy <= cores)) {
+      throw AuditError("SimEngine::audit_tick: cluster " + std::to_string(cl) +
+                       " busy-sum " + std::to_string(busy) +
+                       " outside [0, " + std::to_string(cores) +
+                       "] after per-core clamping");
+    }
+  }
+  const TimeUs tick = config_.tick_us;
+  for (CoreId c = 0; c < machine_.num_cores(); ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (s.core_freq_ghz[i] != machine_.core_freq_ghz(c)) {
+      throw AuditError("SimEngine::audit_tick: core " + std::to_string(c) +
+                       " frequency snapshot diverges from its cluster's "
+                       "live frequency");
+    }
+    if (s.core_capacity[i] < 0 || s.core_capacity[i] > tick) {
+      throw AuditError("SimEngine::audit_tick: core " + std::to_string(c) +
+                       " capacity " + std::to_string(s.core_capacity[i]) +
+                       " outside [0, tick=" + std::to_string(tick) +
+                       "] (manager overhead over-charged)");
+    }
+    if (s.core_share[i] < 0 || s.core_share[i] > s.core_capacity[i]) {
+      throw AuditError("SimEngine::audit_tick: core " + std::to_string(c) +
+                       " share " + std::to_string(s.core_share[i]) +
+                       " exceeds its capacity " +
+                       std::to_string(s.core_capacity[i]));
+    }
+  }
 }
 
 double SimEngine::core_busy_fraction(CoreId core) const {

@@ -28,6 +28,7 @@
 #include "hmp/power_model.hpp"
 #include "hmp/power_sensor.hpp"
 #include "sched/scheduler.hpp"
+#include "util/audit.hpp"
 
 namespace hars {
 
@@ -54,6 +55,12 @@ struct SimConfig {
   /// exists as the baseline for bench/tick_bench's speedup trajectory and
   /// as an always-available cross-check.
   bool reference_tick = false;
+  /// Per-tick invariant audits (audit_tick/audit_now): thread-table
+  /// conservation across spawn/kill, snapshot coherence with the live
+  /// machine, capacity/share ranges and bit-exact cluster busy-sum
+  /// conservation. Defaults on when the build defines HARS_AUDIT (the CI
+  /// sanitizer matrix does); a failed audit throws AuditError.
+  bool audit = audit::default_enabled();
 };
 
 /// Reusable per-tick scratch owned by the engine. Pre-sized once for the
@@ -185,9 +192,33 @@ class SimEngine {
 
   const std::vector<SimThread>& threads() const { return threads_; }
 
+  // --- HARS_AUDIT invariant audits ---
+  /// Whether this engine runs per-tick audits (SimConfig::audit). The
+  /// managers consult it before auditing their own search results.
+  bool audit_enabled() const { return config_.audit; }
+  void set_audit(bool enabled) { config_.audit = enabled; }
+
+  /// Runs the tick-boundary-safe audits immediately (thread-table
+  /// conservation across spawn/kill, app-slot coherence) regardless of
+  /// SimConfig::audit; throws AuditError on the first violation. The
+  /// scenario runtime calls this after dispatching spawn/kill/hotplug
+  /// events when audits are on; step() runs it (plus the placement,
+  /// snapshot-coherence and busy-sum checks) every tick.
+  void audit_now() const;
+
  private:
   void step();
   void step_reference();
+  /// Post-assign check: every runnable placed thread sits on an online
+  /// core inside its affinity set (or the online fallback). Runs
+  /// immediately after scheduler assignment — NOT at end of step — since
+  /// the manager hook may retune affinity/hotplug mid-tick, leaving
+  /// placement legitimately stale until the next assign.
+  void audit_placement() const;
+  /// End-of-step audits that need the tick's scratch: snapshot coherence
+  /// with the live machine and capacity/share ranges; also runs
+  /// audit_now().
+  void audit_tick() const;
   /// Sizes the scratch for the machine (first tick only) and snapshots
   /// the per-core DVFS frequencies for this tick.
   void prepare_scratch();

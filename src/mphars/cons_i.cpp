@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/alloc_guard.hpp"
+
 namespace hars {
 
 double cons_perf_score(const Machine& machine, const SystemState& s, double r0,
@@ -151,6 +153,9 @@ const std::vector<TracePoint>& ConsIManager::trace(AppId app) const {
 
 TimeUs ConsIManager::on_tick(TimeUs now) {
   if (now < next_poll_) return 0;
+  // Per-app trace growth and hotplug/schedule changes are declared
+  // amortized allocators inside the engine's guarded tick.
+  allocg::AllowScope allow("cons-i bookkeeping");
   next_poll_ = now + config_.poll_period_us;
   TimeUs cost = config_.poll_cost_us;
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "util/alloc_guard.hpp"
+#include "util/audit.hpp"
 
 namespace hars {
 
@@ -262,6 +266,13 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
       engine_.app(node.app_id).thread_count(), filter_fn,
       config_.reference_search ? nullptr : &scratch_);
 
+  if (engine_.audit_enabled()) {
+    const std::string why = result.state.check_invariants(machine_space_);
+    if (!why.empty()) {
+      throw AuditError("MpHarsManager: search returned invalid state: " + why);
+    }
+  }
+
   TimeUs cost = config_.adapt_fixed_cost_us +
                 config_.cost_per_candidate_us * result.candidates;
   if (result.moved) {
@@ -275,6 +286,10 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
 
 TimeUs MpHarsManager::on_tick(TimeUs now) {
   if (now < next_poll_) return 0;
+  // Registry/trace bookkeeping and schedule changes are declared
+  // amortized allocators inside the guarded tick; the candidate search
+  // re-tightens via its own AllocGuard (see get_next_sys_state).
+  allocg::AllowScope allow("mphars-manager bookkeeping");
   next_poll_ = now + config_.poll_period_us;
   TimeUs cost = config_.poll_cost_us;
 

@@ -122,11 +122,16 @@ void ScenarioRuntime::dispatch(const ScenarioEvent& event, TimeUs now) {
 }
 
 void ScenarioRuntime::on_tick(TimeUs now) {
+  bool dispatched = false;
   while (next_event_ < scenario_.events.size() &&
          scenario_.events[next_event_].time <= now) {
     dispatch(scenario_.events[next_event_], now);
     ++next_event_;
+    dispatched = true;
   }
+  // Spawn/kill/hotplug events mutate engine tables mid-run; re-check the
+  // tick-boundary-safe conservation invariants right after dispatching.
+  if (dispatched && engine_.audit_enabled()) engine_.audit_now();
   if (capture_ != nullptr &&
       tick_index_ % capture_->sample_every_ticks() == 0) {
     sample(now);

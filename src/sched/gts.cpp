@@ -4,11 +4,15 @@
 #include <bit>
 #include <vector>
 
+#include "util/alloc_guard.hpp"
+#include "util/hot_path.hpp"
+
 namespace hars {
 
 GtsScheduler::GtsScheduler(GtsConfig config) : config_(config) {}
 
 void GtsScheduler::prime_topology(const Machine& machine) {
+  allocg::AllowScope allow("GTS topology cache (machine swap only)");
   cached_machine_ = &machine;
   little_cache_ = machine.slowest_mask();
   big_cache_ = machine.all_mask() & ~little_cache_;
@@ -21,7 +25,8 @@ void GtsScheduler::prime_topology(const Machine& machine) {
   sig_valid_ = false;
 }
 
-void GtsScheduler::assign(const Machine& machine, std::vector<SimThread>& threads) {
+HARS_HOT void GtsScheduler::assign(const Machine& machine,
+                                   std::vector<SimThread>& threads) {
   if (config_.reference) {
     assign_reference(machine, threads);
     return;
@@ -62,8 +67,13 @@ void GtsScheduler::assign(const Machine& machine, std::vector<SimThread>& thread
 
   // Number of runnable threads currently packed on each core; reused
   // across calls (pre-sized once) and rebuilt as we (re)place threads.
-  core_load_.assign(static_cast<std::size_t>(machine.num_cores()), 0);
-  prev_sig_.resize(threads.size());
+  // Capacity is retained, so these only allocate when the machine or the
+  // thread table grows.
+  {
+    allocg::AllowScope allow("GTS scratch growth");
+    core_load_.assign(static_cast<std::size_t>(machine.num_cores()), 0);
+    prev_sig_.resize(threads.size());  // hars-lint: allow(no-alloc): retained capacity
+  }
   prev_online_bits_ = online.bits();
   sig_valid_ = true;
   bool moved_any = false;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "util/common.hpp"
+#include "util/hot_path.hpp"
 
 namespace hars {
 
@@ -23,7 +24,7 @@ class LoadTracker {
 
   /// Hot-path form of update(): `decay` must equal decay_for(tick_us) for
   /// this tracker, which makes the result bit-identical to update().
-  void update_with_decay(bool runnable, double decay) {
+  HARS_HOT void update_with_decay(bool runnable, double decay) {
     // Exact fixed points, skipped bit-identically: 0 is always one
     // (0*d + 0*(1-d) == 0); 1 is one when d >= 1/2, where 1-d is exact
     // (Sterbenz) and d + (1-d) rounds to exactly 1.0.

@@ -1,0 +1,123 @@
+#include "util/alloc_guard.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(HARS_ALLOC_GUARD)
+#include <new>
+#endif
+
+namespace hars {
+namespace allocg {
+
+namespace {
+FailureHandler g_handler = nullptr;  ///< nullptr = default (print + abort).
+}  // namespace
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  FailureHandler previous = g_handler;
+  g_handler = handler;
+  return previous;
+}
+
+namespace {
+void report_failure(const char* what, std::uint64_t violations) {
+  if (g_handler != nullptr) {
+    g_handler(what, violations);
+    return;
+  }
+  std::fprintf(stderr,
+               "AllocGuard: %llu disallowed allocation(s) in '%s' — the hot "
+               "path must stay allocation-free (declare legitimate amortized "
+               "allocators with allocg::AllowScope)\n",
+               static_cast<unsigned long long>(violations),
+               what != nullptr ? what : "?");
+  std::abort();
+}
+}  // namespace
+
+#if defined(HARS_ALLOC_GUARD)
+
+bool counting_compiled_in() { return true; }
+
+namespace detail {
+ThreadState& state() {
+  // Trivially-constructible, so safe to touch from the very first
+  // operator new of the thread.
+  static thread_local ThreadState s;
+  return s;
+}
+}  // namespace detail
+
+std::uint64_t thread_allocs() { return detail::state().allocs; }
+std::uint64_t thread_violations() { return detail::state().violations; }
+
+#else  // !HARS_ALLOC_GUARD
+
+bool counting_compiled_in() { return false; }
+std::uint64_t thread_allocs() { return 0; }
+std::uint64_t thread_violations() { return 0; }
+
+#endif  // HARS_ALLOC_GUARD
+
+}  // namespace allocg
+
+#if defined(HARS_ALLOC_GUARD)
+
+AllocGuard::~AllocGuard() {
+  allocg::detail::ThreadState& s = allocg::detail::state();
+  --s.strict_depth;
+  s.allow_depth = saved_allow_depth_;
+  if (armed_ && violations() > 0) {
+    allocg::report_failure(what_, violations());
+  }
+}
+
+#endif  // HARS_ALLOC_GUARD
+
+}  // namespace hars
+
+#if defined(HARS_ALLOC_GUARD)
+
+// Counting replacements for the global allocation functions. Only the
+// plain/nothrow (array) forms are replaced; the rare over-aligned forms
+// keep the library implementation (uncounted, but internally consistent).
+namespace {
+
+inline void* counted_alloc(std::size_t size) noexcept {
+  hars::allocg::detail::ThreadState& s = hars::allocg::detail::state();
+  ++s.allocs;
+  if (s.strict_depth > 0 && s.allow_depth == 0) ++s.violations;
+  return std::malloc(size != 0 ? size : 1);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#endif  // HARS_ALLOC_GUARD

@@ -1,0 +1,126 @@
+// Runtime enforcement of the allocation-free hot tick path.
+//
+// When the build defines HARS_ALLOC_GUARD (CMake option of the same name,
+// on by default), util/alloc_guard.cpp replaces the global operator
+// new/delete family with thread-local counting wrappers. An AllocGuard
+// then turns "this region performs no allocation" from a benchmark-era
+// claim into a hard assertion: every allocation made on the guard's
+// thread while the guard is alive — and not inside an AllowScope — is a
+// violation, reported through the failure handler (abort by default)
+// when the guard is destroyed.
+//
+// AllowScope marks the few *declared* amortized allocators that live
+// inside guarded regions: heartbeat history growth, power-sensor sample
+// capture, runtime-manager bookkeeping (trace points, state application),
+// and first-use scratch growth. Entering an AllocGuard re-tightens a
+// surrounding AllowScope, so the candidate-search sweep stays strict even
+// though the manager tick around it is marked as a declared allocator.
+//
+// Without HARS_ALLOC_GUARD everything here compiles to no-ops and the
+// default operator new is untouched.
+#pragma once
+
+#include <cstdint>
+
+namespace hars {
+namespace allocg {
+
+/// True when the counting operator new/delete replacements are compiled
+/// in (HARS_ALLOC_GUARD); all counters read 0 otherwise.
+bool counting_compiled_in();
+
+/// Allocations ever made on the calling thread.
+std::uint64_t thread_allocs();
+
+/// Disallowed allocations (inside a live AllocGuard, outside every
+/// AllowScope) ever made on the calling thread.
+std::uint64_t thread_violations();
+
+/// Called when a destroyed AllocGuard saw violations. The default handler
+/// prints the region and count to stderr and aborts; tests install a
+/// recording handler instead. Returns the previous handler.
+using FailureHandler = void (*)(const char* what, std::uint64_t violations);
+FailureHandler set_failure_handler(FailureHandler handler);
+
+#if defined(HARS_ALLOC_GUARD)
+
+namespace detail {
+// Thread-local counting state, bumped by the operator new replacements.
+struct ThreadState {
+  std::uint64_t allocs = 0;      ///< All allocations on this thread.
+  std::uint64_t violations = 0;  ///< Allocations under a guard, unallowed.
+  int strict_depth = 0;          ///< Live AllocGuards on this thread.
+  int allow_depth = 0;           ///< Live AllowScopes on this thread.
+};
+ThreadState& state();
+}  // namespace detail
+
+/// Declares the enclosed code a legitimate amortized allocator; see the
+/// file comment. The `why` string is documentation only.
+class AllowScope {
+ public:
+  explicit AllowScope(const char* why) { (void)why; ++detail::state().allow_depth; }
+  ~AllowScope() { --detail::state().allow_depth; }
+  AllowScope(const AllowScope&) = delete;
+  AllowScope& operator=(const AllowScope&) = delete;
+};
+
+#else  // !HARS_ALLOC_GUARD
+
+class AllowScope {
+ public:
+  explicit AllowScope(const char* why) { (void)why; }
+};
+
+#endif  // HARS_ALLOC_GUARD
+
+}  // namespace allocg
+
+/// RAII allocation sentinel over a hot region. While alive, allocations
+/// on this thread outside any AllowScope count as violations; the
+/// destructor reports them through the failure handler. allocations()
+/// and violations() expose the running deltas for tests and benchmarks.
+class AllocGuard {
+ public:
+#if defined(HARS_ALLOC_GUARD)
+  explicit AllocGuard(const char* what = "AllocGuard") : what_(what) {
+    allocg::detail::ThreadState& s = allocg::detail::state();
+    start_allocs_ = s.allocs;
+    start_violations_ = s.violations;
+    // Re-tighten: an AllowScope opened by a caller (e.g. a manager tick
+    // marked as a declared allocator) must not leak permission into this
+    // stricter region.
+    saved_allow_depth_ = s.allow_depth;
+    s.allow_depth = 0;
+    ++s.strict_depth;
+  }
+  ~AllocGuard();
+  std::uint64_t allocations() const {
+    return allocg::detail::state().allocs - start_allocs_;
+  }
+  std::uint64_t violations() const {
+    return allocg::detail::state().violations - start_violations_;
+  }
+  /// Disarms failure reporting (the deltas remain readable).
+  void dismiss() { armed_ = false; }
+#else
+  explicit AllocGuard(const char* what = "AllocGuard") { (void)what; }
+  std::uint64_t allocations() const { return 0; }
+  std::uint64_t violations() const { return 0; }
+  void dismiss() {}
+#endif
+
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+#if defined(HARS_ALLOC_GUARD)
+ private:
+  const char* what_;
+  std::uint64_t start_allocs_ = 0;
+  std::uint64_t start_violations_ = 0;
+  int saved_allow_depth_ = 0;
+  bool armed_ = true;
+#endif
+};
+
+}  // namespace hars

@@ -1,0 +1,38 @@
+// HARS_AUDIT debug invariant audits.
+//
+// The audits are always compiled; they are *enabled* per engine through
+// SimConfig::audit, whose default is `true` when the build defines
+// HARS_AUDIT (CMake option of the same name; the CI sanitizer matrix
+// turns it on so the whole suite runs audited) and `false` otherwise.
+// A failed audit throws AuditError with a description of the violated
+// invariant — audits guard simulator self-consistency (thread-table
+// conservation, snapshot coherence, busy-sum conservation, search-state
+// bounds), so an exception, not a silent misresult, is the right failure
+// mode.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hars {
+
+/// A machine-checked invariant did not hold. The message names the
+/// invariant and the observed values.
+class AuditError : public std::logic_error {
+ public:
+  explicit AuditError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace audit {
+
+/// Whether SimConfig::audit defaults to enabled in this build.
+constexpr bool default_enabled() {
+#if defined(HARS_AUDIT)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace audit
+}  // namespace hars

@@ -2,16 +2,25 @@
 //
 // The map itself is guarded by a mutex, but the (potentially expensive —
 // whole probe simulations) computation runs outside it under a per-key
-// once_flag: concurrent lookups of different keys compute in parallel,
-// concurrent lookups of the same key compute exactly once and everyone
-// observes the same value — which is what keeps cached and uncached sweep
-// cases bit-identical. A computation that throws leaves the flag unset,
-// so a later call retries.
+// state machine: concurrent lookups of different keys compute in
+// parallel, concurrent lookups of the same key compute exactly once and
+// everyone observes the same value — which is what keeps cached and
+// uncached sweep cases bit-identical. A computation that throws resets
+// the entry, so a later call retries.
+//
+// Deliberately NOT std::call_once: an exception propagating out of the
+// callable must leave the flag retryable, and that path deadlocks under
+// ThreadSanitizer (the pthread_once interceptor does not unwind), which
+// the CI sanitizer matrix would hit. The explicit condition-variable
+// protocol below is exception-safe by construction and sanitizer-clean
+// (hammered by tests/util/once_cache_test.cpp).
 #pragma once
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 namespace hars {
 
@@ -19,8 +28,8 @@ template <typename Key, typename Value>
 class OnceCache {
  public:
   /// Returns the cached value for `key`, computing it via `fn` on first
-  /// use. The returned copy is taken under the entry's completed
-  /// once_flag, so it never observes a partial write.
+  /// use. The returned copy is taken under the entry's lock after the
+  /// state reaches kDone, so it never observes a partial write.
   template <typename Fn>
   Value get_or_compute(const Key& key, Fn&& fn) {
     std::shared_ptr<Entry> entry;
@@ -30,14 +39,40 @@ class OnceCache {
       if (!slot) slot = std::make_shared<Entry>();
       entry = slot;
     }
-    std::call_once(entry->once, [&] { entry->value = fn(); });
-    return entry->value;
+
+    std::unique_lock<std::mutex> lock(entry->m);
+    for (;;) {
+      if (entry->state == State::kDone) return entry->value;
+      if (entry->state == State::kIdle) break;  // We become the computer.
+      entry->cv.wait(lock, [&] { return entry->state != State::kRunning; });
+    }
+
+    entry->state = State::kRunning;
+    lock.unlock();
+    try {
+      Value value = fn();  // Outside the lock: distinct keys in parallel.
+      lock.lock();
+      entry->value = std::move(value);
+      entry->state = State::kDone;
+      entry->cv.notify_all();
+      return entry->value;
+    } catch (...) {
+      lock.lock();
+      entry->state = State::kIdle;  // Retryable: the next caller recomputes.
+      entry->cv.notify_all();
+      lock.unlock();
+      throw;
+    }
   }
 
  private:
+  enum class State { kIdle, kRunning, kDone };
+
   struct Entry {
-    std::once_flag once;
-    Value value;
+    std::mutex m;
+    std::condition_variable cv;
+    State state = State::kIdle;
+    Value value{};
   };
 
   std::mutex mutex_;

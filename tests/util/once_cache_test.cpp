@@ -1,0 +1,113 @@
+// OnceCache concurrency hammer: N threads race keyed compute-once
+// lookups; every key must be computed exactly once and every racer must
+// observe the same value. Designed to run (and be meaningful) under
+// ThreadSanitizer in the CI sanitizer matrix.
+#include "util/once_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hars {
+namespace {
+
+TEST(OnceCache, ComputesOnceSingleThreaded) {
+  OnceCache<int, int> cache;
+  int computes = 0;
+  const int a = cache.get_or_compute(7, [&] {
+    ++computes;
+    return 70;
+  });
+  const int b = cache.get_or_compute(7, [&] {
+    ++computes;
+    return 71;  // Must not run: the first value wins.
+  });
+  EXPECT_EQ(a, 70);
+  EXPECT_EQ(b, 70);
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(OnceCache, ThrowingComputationRetries) {
+  OnceCache<int, int> cache;
+  int attempts = 0;
+  EXPECT_THROW(cache.get_or_compute(1,
+                                    [&]() -> int {
+                                      ++attempts;
+                                      throw std::runtime_error("flaky");
+                                    }),
+               std::runtime_error);
+  const int v = cache.get_or_compute(1, [&] {
+    ++attempts;
+    return 11;
+  });
+  EXPECT_EQ(v, 11);
+  EXPECT_EQ(attempts, 2);
+}
+
+TEST(OnceCache, HammerExactlyOneComputePerKey) {
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 16;
+  constexpr int kRounds = 50;
+
+  OnceCache<int, int> cache;
+  std::vector<std::atomic<int>> computes(kKeys);
+  for (auto& c : computes) c.store(0);
+
+  // Every thread hits every key kRounds times, in a different order per
+  // thread, so first-touch races occur on many keys at once.
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kKeys; ++i) {
+          const int key = (i + t * 3 + round) % kKeys;
+          const int value = cache.get_or_compute(key, [&, key] {
+            computes[static_cast<std::size_t>(key)].fetch_add(1);
+            return key * 1000 + 1;
+          });
+          if (value != key * 1000 + 1) mismatch.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_FALSE(mismatch.load());
+  for (int key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(computes[static_cast<std::size_t>(key)].load(), 1)
+        << "key " << key << " computed more than once";
+  }
+}
+
+TEST(OnceCache, HammerDistinctValueTypes) {
+  // Vector values: a torn publish would show up as a short/empty vector
+  // (and as a TSan report under the sanitizer matrix).
+  constexpr int kThreads = 8;
+  OnceCache<int, std::vector<int>> cache;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int key = 0; key < 8; ++key) {
+        const std::vector<int> v =
+            cache.get_or_compute(key, [key] {
+              return std::vector<int>(static_cast<std::size_t>(key + 3),
+                                      key);
+            });
+        if (v.size() != static_cast<std::size_t>(key + 3)) ++bad;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace hars
