@@ -16,8 +16,16 @@
 //     Asserts (a) records are bit-identical between the two paths and
 //     (b) the optimized path is at least as fast (perf smoke).
 //
+//  3. Telemetry overhead: the staggered scenario with the metrics
+//     registry + phase timers off and on (min-of-reps each). Asserts
+//     records are bit-identical and the enabled-path slowdown stays
+//     under --telemetry-budget percent (default 3; the observability
+//     layer's zero-cost contract, gated in CI). The ON pass's phase
+//     timer percentiles are emitted under "telemetry".
+//
 //   tick_bench [--duration SEC] [--grid-duration SEC] [--reps N]
 //              [--jobs N] [--out FILE] [--reference]
+//              [--telemetry-budget PCT]
 //
 // --reference additionally runs the *grid* on the reference path (the
 // speedup section always measures both paths).
@@ -35,6 +43,9 @@
 #include "exp/experiment.hpp"
 #include "exp/variant_registry.hpp"
 #include "hmp/platform_registry.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "sweep/result_sink.hpp"
 #include "sweep/work_stealing_pool.hpp"
 #include "util/stats.hpp"
@@ -122,6 +133,7 @@ int main(int argc, char** argv) {
   int reps = 3;
   int jobs = 0;  // 0 = hardware concurrency.
   bool reference_grid = false;
+  double telemetry_budget_pct = 3.0;
   std::string out_path = "BENCH_tick.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
@@ -134,6 +146,9 @@ int main(int argc, char** argv) {
       jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--reference") == 0) {
       reference_grid = true;
+    } else if (std::strcmp(argv[i], "--telemetry-budget") == 0 &&
+               i + 1 < argc) {
+      telemetry_budget_pct = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     }
@@ -274,6 +289,93 @@ int main(int argc, char** argv) {
   }
   const double geomean_speedup = geomean(ratios);
 
+  // ---- Part 3: telemetry overhead --------------------------------------
+  // The zero-cost contract, measured: the staggered scenario with
+  // telemetry fully off vs fully on (phase timers at the default
+  // sampling shift, no file sinks — this isolates instrumentation cost
+  // from I/O). OFF reps all run first so the ON passes can't warm
+  // anything for them.
+  const int tel_reps = std::max(reps, 5);
+  struct PhaseRow {
+    const char* phase;
+    std::uint64_t count = 0;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  };
+  auto run_telemetry = [&](bool telemetry, double* wall_ms) {
+    ExperimentBuilder b;
+    b.platform(std::string_view("exynos5422"))
+        .scenario(std::string_view("staggered"))
+        .variant("HARS-E")
+        .duration_sec(speedup_duration_sec);
+    if (telemetry) {
+      obs::TelemetryConfig cfg;
+      cfg.enabled = true;
+      b.telemetry(cfg);
+    }
+    const Experiment experiment = b.build();
+    const auto start = Clock::now();
+    const ExperimentResult r = experiment.run();
+    *wall_ms = ms_since(start);
+    return result_record(r);
+  };
+
+  std::vector<double> tel_off_ms;
+  std::vector<double> tel_on_ms;
+  Record tel_off_record;
+  Record tel_on_record;
+  for (int rep = 0; rep < tel_reps; ++rep) {
+    double w = 0.0;
+    tel_off_record = run_telemetry(false, &w);
+    tel_off_ms.push_back(w);
+  }
+  for (int rep = 0; rep < tel_reps; ++rep) {
+    double w = 0.0;
+    tel_on_record = run_telemetry(true, &w);
+    tel_on_ms.push_back(w);
+  }
+  std::sort(tel_off_ms.begin(), tel_off_ms.end());
+  std::sort(tel_on_ms.begin(), tel_on_ms.end());
+  const double tel_off_tps = speedup_ticks / (tel_off_ms.front() / 1000.0);
+  const double tel_on_tps = speedup_ticks / (tel_on_ms.front() / 1000.0);
+  const double tel_overhead_pct =
+      (tel_on_ms.front() / tel_off_ms.front() - 1.0) * 100.0;
+  const bool tel_identical =
+      fingerprint({tel_off_record}) == fingerprint({tel_on_record});
+  const bool tel_within_budget = tel_overhead_pct <= telemetry_budget_pct;
+
+  // Phase percentiles of the last enabled run (its session disabled the
+  // registry at finish but the accumulated shards survive).
+  std::vector<PhaseRow> phase_rows;
+  {
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().take_snapshot();
+    for (int p = 0; p < static_cast<int>(obs::TickPhase::kCount); ++p) {
+      const obs::TickPhase phase = static_cast<obs::TickPhase>(p);
+      std::string name = "engine.phase.";
+      name += obs::tick_phase_name(phase);
+      name += "_ns";
+      const obs::MetricValue* v = snap.find(name);
+      if (v == nullptr || v->count == 0) continue;
+      PhaseRow row;
+      row.phase = obs::tick_phase_name(phase);
+      row.count = v->count;
+      row.p50 = obs::histogram_quantile(*v, 0.50);
+      row.p90 = obs::histogram_quantile(*v, 0.90);
+      row.p99 = obs::histogram_quantile(*v, 0.99);
+      phase_rows.push_back(row);
+    }
+  }
+
+  std::printf("telemetry off %8.1f kticks/s  on %8.1f kticks/s  "
+              "overhead %+.2f%% (budget %.1f%%)  records %s\n",
+              tel_off_tps / 1000.0, tel_on_tps / 1000.0, tel_overhead_pct,
+              telemetry_budget_pct, tel_identical ? "identical" : "DIVERGENT");
+  for (const PhaseRow& row : phase_rows) {
+    std::printf("  phase %-18s n=%-8llu p50 %7.0f ns  p90 %7.0f ns  "
+                "p99 %7.0f ns\n",
+                row.phase, static_cast<unsigned long long>(row.count), row.p50,
+                row.p90, row.p99);
+  }
+
   // ---- Emit BENCH_tick.json --------------------------------------------
   std::ofstream out(out_path);
   out << "{\n  \"campaign\": \"tick_bench\",\n"
@@ -313,13 +415,37 @@ int main(int argc, char** argv) {
         << "}" << (i + 1 < speedups.size() ? "," : "") << "\n";
   }
   out << "    ],\n    \"geomean_speedup\": " << format_number(geomean_speedup)
-      << "\n  }\n}\n";
-  std::printf("wrote %s (geomean speedup %.2fx, records %s)\n",
-              out_path.c_str(), geomean_speedup,
+      << "\n  },\n  \"telemetry\": {\n    \"scenario\": \"staggered\",\n"
+      << "    \"platform\": \"exynos5422\",\n    \"variant\": \"HARS-E\",\n"
+      << "    \"reps\": " << tel_reps
+      << ",\n    \"off_ticks_per_sec\": " << format_number(tel_off_tps)
+      << ",\n    \"on_ticks_per_sec\": " << format_number(tel_on_tps)
+      << ",\n    \"overhead_pct\": " << format_number(tel_overhead_pct)
+      << ",\n    \"budget_pct\": " << format_number(telemetry_budget_pct)
+      << ",\n    \"records_identical\": "
+      << (tel_identical ? "true" : "false") << ",\n    \"phases\": [\n";
+  for (std::size_t i = 0; i < phase_rows.size(); ++i) {
+    const PhaseRow& row = phase_rows[i];
+    out << "      {\"phase\": \"" << row.phase
+        << "\", \"samples\": " << row.count
+        << ", \"p50_ns\": " << format_number(row.p50)
+        << ", \"p90_ns\": " << format_number(row.p90)
+        << ", \"p99_ns\": " << format_number(row.p99) << "}"
+        << (i + 1 < phase_rows.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  }\n}\n";
+  all_identical = all_identical && tel_identical;
+  std::printf("wrote %s (geomean speedup %.2fx, telemetry %+.2f%%, "
+              "records %s)\n",
+              out_path.c_str(), geomean_speedup, tel_overhead_pct,
               all_identical ? "identical" : "DIVERGENT");
 
   // Records must match everywhere; the optimized path must not regress
-  // below the reference path (perf smoke).
-  if (!all_identical || !all_at_least_ref || !out.good()) return 1;
+  // below the reference path (perf smoke); enabling telemetry must stay
+  // within its overhead budget.
+  if (!all_identical || !all_at_least_ref || !tel_within_budget ||
+      !out.good()) {
+    return 1;
+  }
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "util/alloc_guard.hpp"
 #include "util/audit.hpp"
 
@@ -120,6 +122,15 @@ TimeUs RuntimeManager::on_tick(TimeUs now) {
                           config_.exhaustive_window, config_.exhaustive_d);
     result = get_next_sys_state(rate, state_, target, params, space_,
                                 perf_est_, power_est_, threads, {}, scratch);
+  }
+  {
+    const obs::Catalog& cat = obs::catalog();
+    obs::counter_add(config_.policy == SearchPolicy::kTabu
+                         ? cat.candidates_tabu
+                         : config_.policy == SearchPolicy::kExhaustive
+                               ? cat.candidates_exhaustive
+                               : cat.candidates_incremental,
+                     static_cast<std::uint64_t>(result.candidates));
   }
   if (engine_.audit_enabled()) {
     // The sweep only considers space_-valid candidates, so a violation

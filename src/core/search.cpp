@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "util/alloc_guard.hpp"
 #include "util/hot_path.hpp"
 
@@ -172,7 +174,7 @@ HARS_HOT SearchResult get_next_sys_state(
   // exactly, so scores are bit-identical to the reference path.
   const double ut_cur = scratch->unit_time(current, threads, perf_est);
   const bool cur_ok = std::isfinite(ut_cur) && ut_cur > 0.0;
-  return neighbourhood_sweep(
+  const SearchResult result = neighbourhood_sweep(
       current, target, params, space, filter,
       [&](const SystemState& s, double& perf_out, double& power_out,
           double& pp_out) {
@@ -184,6 +186,9 @@ HARS_HOT SearchResult get_next_sys_state(
         const double norm = normalized_perf(perf_out, target);
         pp_out = power_out > 0.0 ? norm / power_out : 0.0;
       });
+  obs::counter_add(obs::catalog().search_calls);
+  if (result.moved) obs::counter_add(obs::catalog().search_moves);
+  return result;
 }
 
 }  // namespace hars

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "util/alloc_guard.hpp"
 #include "util/hot_path.hpp"
 
@@ -44,6 +46,9 @@ HARS_HOT double SearchScratch::unit_time(const SystemState& s, int threads,
     entry.value = perf.unit_time(s, threads);
     entry.gen = gen_;
     entry.threads = threads;
+    obs::counter_add(obs::catalog().memo_unit_time_misses);
+  } else {
+    obs::counter_add(obs::catalog().memo_unit_time_hits);
   }
   return entry.value;
 }
@@ -57,6 +62,9 @@ HARS_HOT double SearchScratch::power(const SystemState& s, int threads,
     entry.value = power_est.estimate(s, threads, perf);
     entry.gen = gen_;
     entry.threads = threads;
+    obs::counter_add(obs::catalog().memo_power_misses);
+  } else {
+    obs::counter_add(obs::catalog().memo_power_hits);
   }
   return entry.value;
 }

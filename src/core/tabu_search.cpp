@@ -5,6 +5,8 @@
 #include <deque>
 #include <vector>
 
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "util/alloc_guard.hpp"
 #include "util/hot_path.hpp"
 
@@ -173,8 +175,15 @@ HARS_HOT SearchResult tabu_get_next_sys_state(
     }
   };
 
-  return tabu_trajectory(current, params, space, filter, score, tabu,
-                         push_tabu, result);
+  const SearchResult out = tabu_trajectory(current, params, space, filter,
+                                           score, tabu, push_tabu, result);
+  // Ring occupancy after the trajectory: how much tabu memory the walk
+  // actually used versus the configured tenure.
+  obs::hist_observe(obs::catalog().tabu_ring_occupancy,
+                    static_cast<double>(tabu.size()));
+  obs::counter_add(obs::catalog().search_calls);
+  if (out.moved) obs::counter_add(obs::catalog().search_moves);
+  return out;
 }
 
 }  // namespace hars

@@ -262,6 +262,10 @@ ExperimentResult run_scenario(const ExperimentSpec& spec) {
 
 ExperimentResult Experiment::run() const {
   const ExperimentSpec& spec = spec_;
+  // Scoped around the whole pipeline (including scenario runs): arms the
+  // registry when enabled, writes the configured sinks on exit. With
+  // telemetry disabled this is construction of an inert object.
+  obs::TelemetrySession telemetry(spec.telemetry);
   if (spec.scenario) return run_scenario(spec);
   const std::vector<PerfTarget> targets = resolve_targets(spec);
 
@@ -492,6 +496,12 @@ ExperimentBuilder& ExperimentBuilder::tabu(TabuParams params) {
 
 ExperimentBuilder& ExperimentBuilder::reference_impl(bool on) {
   spec_.reference_impl = on;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::telemetry(obs::TelemetryConfig config) {
+  config.enabled = true;
+  spec_.telemetry = std::move(config);
   return *this;
 }
 

@@ -35,6 +35,7 @@
 #include "exp/variant_registry.hpp"
 #include "hmp/machine.hpp"
 #include "hmp/platform_spec.hpp"
+#include "obs/telemetry.hpp"
 #include "scenario/scenario.hpp"
 #include "sched/gts.hpp"
 #include "sched/scheduler.hpp"
@@ -96,6 +97,12 @@ struct ExperimentSpec {
   /// flag exists so bench/tick_bench can measure the optimized paths
   /// against their baseline on the same build.
   bool reference_impl = false;
+  /// Telemetry for this run (disabled by default — the hot path then
+  /// costs one thread-local null check). When enabled, run() scopes a
+  /// TelemetrySession around the pipeline and writes the configured
+  /// sinks on completion. Does not affect results: records are
+  /// bit-identical with telemetry on or off.
+  obs::TelemetryConfig telemetry;
 };
 
 struct AppRunResult {
@@ -205,6 +212,11 @@ class ExperimentBuilder {
   /// Selects the retained reference hot-path implementations (see
   /// ExperimentSpec::reference_impl). Metric-identical; benchmark use.
   ExperimentBuilder& reference_impl(bool on = true);
+
+  // --- Telemetry ---
+  /// Enables run-scoped telemetry with the given sink configuration
+  /// (config.enabled is forced on). See ExperimentSpec::telemetry.
+  ExperimentBuilder& telemetry(obs::TelemetryConfig config);
 
   // --- Protocol ---
   ExperimentBuilder& protocol(RunProtocol protocol);

@@ -7,6 +7,9 @@
 #include <string>
 
 #include "hmp/platform_spec.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
 #include "util/alloc_guard.hpp"
 #include "util/hot_path.hpp"
 
@@ -165,7 +168,20 @@ HARS_HOT void SimEngine::step() {
     step_reference();
     return;
   }
-  if (tick_hook_) tick_hook_(now_);
+  // Telemetry attach happens before the AllocGuard: building the shard
+  // allocates (under its own AllowScope), and detaching when telemetry
+  // was just disabled folds this thread's counts into the registry.
+  // After this line the whole tick's instrumentation is a branch + a
+  // relaxed add per write. obs_tick gates the phase timers' clock reads
+  // to every 2^phase_sample_shift-th tick.
+  obs::ensure_thread_registered();  // hars-lint: allow(no-obs-cold): pre-guard attach point
+  const bool obs_tick = obs::tick_sample();
+  const obs::Catalog& cat = obs::catalog();
+
+  {
+    obs::PhaseTimer obs_phase(obs::TickPhase::kScenarioDispatch, obs_tick);
+    if (tick_hook_) tick_hook_(now_);
+  }
 
   // From here to the end of the tick the engine is on the allocation-free
   // contract (PR 5): any allocation not inside a declared AllowScope
@@ -177,13 +193,19 @@ HARS_HOT void SimEngine::step() {
   const TimeUs tick = config_.tick_us;
   now_ += tick;
 
-  for (std::size_t i = 0; i < apps_.size(); ++i) {
-    if (apps_[i] != nullptr && app_needs_begin_[i] != 0) {
-      apps_[i]->begin_tick(now_);
+  {
+    obs::PhaseTimer obs_phase(obs::TickPhase::kBeginTick, obs_tick);
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      if (apps_[i] != nullptr && app_needs_begin_[i] != 0) {
+        apps_[i]->begin_tick(now_);
+      }
     }
   }
 
-  prepare_scratch();
+  {
+    obs::PhaseTimer obs_phase(obs::TickPhase::kSnapshotRefresh, obs_tick);
+    prepare_scratch();
+  }
   TickScratch& s = scratch_;
 
   // Refresh runnability and load averages, one app block at a time: the
@@ -193,6 +215,7 @@ HARS_HOT void SimEngine::step() {
   // shared constant (asserted below) — computed once instead of one exp2
   // per thread.
   if (!threads_.empty()) {
+    obs::PhaseTimer obs_phase(obs::TickPhase::kRunnability, obs_tick);
     const double decay = threads_.front().load.decay_for(tick);
     for (std::size_t slot = 0; slot < apps_.size(); ++slot) {
       App* a = apps_[slot];
@@ -216,80 +239,91 @@ HARS_HOT void SimEngine::step() {
     }
   }
 
-  scheduler_->assign(machine_, threads_);
-  if (config_.audit) {
-    // Placement is audited here — between assign and the manager hook —
-    // because the manager may legitimately narrow affinities or hotplug
-    // cores later in this tick; threads keep their stale cores until the
-    // next tick's assign pass re-places them.
-    allocg::AllowScope allow("audit diagnostics");
-    audit_placement();
+  {
+    obs::PhaseTimer obs_phase(obs::TickPhase::kAssign, obs_tick);
+    scheduler_->assign(machine_, threads_);
+    if (config_.audit) {
+      // Placement is audited here — between assign and the manager hook —
+      // because the manager may legitimately narrow affinities or hotplug
+      // cores later in this tick; threads keep their stale cores until the
+      // next tick's assign pass re-places them.
+      allocg::AllowScope allow("audit diagnostics");
+      audit_placement();
+    }
   }
 
-  // tick_busy_ was re-zeroed by the integration pass of the previous
-  // tick (and starts zeroed), so no refill is needed here. The capacity
-  // array likewise only needs a refill while manager overhead is being
-  // charged against it.
-  const TimeUs mgr_use = std::min(pending_manager_us_, tick);
-  pending_manager_us_ -= mgr_use;
-  if (mgr_use > 0 || capacity_dirty_) {
-    std::fill(s.core_capacity.begin(), s.core_capacity.end(), tick);
-    capacity_dirty_ = false;
-  }
-  if (mgr_use > 0) {
-    s.core_capacity[static_cast<std::size_t>(config_.manager_core)] -= mgr_use;
-    capacity_dirty_ = true;
-    tick_busy_[static_cast<std::size_t>(config_.manager_core)] +=
-        static_cast<double>(mgr_use) / static_cast<double>(tick);
-  }
+  {
+    obs::PhaseTimer obs_phase(obs::TickPhase::kExecute, obs_tick);
+    // tick_busy_ was re-zeroed by the integration pass of the previous
+    // tick (and starts zeroed), so no refill is needed here. The capacity
+    // array likewise only needs a refill while manager overhead is being
+    // charged against it.
+    const TimeUs mgr_use = std::min(pending_manager_us_, tick);
+    pending_manager_us_ -= mgr_use;
+    if (mgr_use > 0 || capacity_dirty_) {
+      std::fill(s.core_capacity.begin(), s.core_capacity.end(), tick);
+      capacity_dirty_ = false;
+    }
+    if (mgr_use > 0) {
+      s.core_capacity[static_cast<std::size_t>(config_.manager_core)] -=
+          mgr_use;
+      capacity_dirty_ = true;
+      tick_busy_[static_cast<std::size_t>(config_.manager_core)] +=
+          static_cast<double>(mgr_use) / static_cast<double>(tick);
+    }
 
-  // Count runnable threads per core, then hand out equal shares. The
-  // scheduler may already track the counts (GTS does); otherwise one pass
-  // over the thread table rebuilds them. The per-core share is computed
-  // once per core (bit-identical to the per-thread division of the
-  // reference path: same operands).
-  const std::vector<int>* counts = scheduler_->runnable_per_core();
-  if (counts == nullptr) {
-    std::fill(s.threads_on_core.begin(), s.threads_on_core.end(), 0);
-    for (const SimThread& t : threads_) {
-      if (t.runnable && t.core >= 0) {
-        ++s.threads_on_core[static_cast<std::size_t>(t.core)];
+    // Count runnable threads per core, then hand out equal shares. The
+    // scheduler may already track the counts (GTS does); otherwise one pass
+    // over the thread table rebuilds them. The per-core share is computed
+    // once per core (bit-identical to the per-thread division of the
+    // reference path: same operands).
+    const std::vector<int>* counts = scheduler_->runnable_per_core();
+    if (counts == nullptr) {
+      std::fill(s.threads_on_core.begin(), s.threads_on_core.end(), 0);
+      for (const SimThread& t : threads_) {
+        if (t.runnable && t.core >= 0) {
+          ++s.threads_on_core[static_cast<std::size_t>(t.core)];
+        }
       }
+      counts = &s.threads_on_core;
     }
-    counts = &s.threads_on_core;
-  }
-  for (std::size_t c = 0; c < s.core_share.size(); ++c) {
-    const int sharers = (*counts)[c];
-    // sharers == 1 (one thread per core — the common case once a manager
-    // has spread the threads) skips the integer division; cap / 1 == cap.
-    s.core_share[c] = sharers <= 1 ? (sharers == 1 ? s.core_capacity[c] : 0)
-                                   : s.core_capacity[c] / sharers;
-  }
-  // The used -> busy-fraction division repeats heavily (most threads use
-  // their whole share), so the last quotient is memoized; when computed,
-  // it is the same division the reference path performs.
-  TimeUs memo_used = -1;
-  double memo_busy = 0.0;
-  for (SimThread& t : threads_) {
-    if (!t.runnable || t.core < 0) continue;
-    const auto core = static_cast<std::size_t>(t.core);
-    const TimeUs share = s.core_share[core];
-    if (share <= 0) continue;
-    const TimeUs used = t.app_ptr->execute(
-        t.local_index, share, s.core_type[core], s.core_freq_ghz[core]);
-    t.cpu_time_us += used;
-    if (used != memo_used) {
-      memo_used = used;
-      memo_busy = static_cast<double>(used) / static_cast<double>(tick);
+    for (std::size_t c = 0; c < s.core_share.size(); ++c) {
+      const int sharers = (*counts)[c];
+      // sharers == 1 (one thread per core — the common case once a manager
+      // has spread the threads) skips the integer division; cap / 1 == cap.
+      s.core_share[c] = sharers <= 1 ? (sharers == 1 ? s.core_capacity[c] : 0)
+                                     : s.core_capacity[c] / sharers;
     }
-    tick_busy_[core] += memo_busy;
+    // The used -> busy-fraction division repeats heavily (most threads use
+    // their whole share), so the last quotient is memoized; when computed,
+    // it is the same division the reference path performs.
+    TimeUs memo_used = -1;
+    double memo_busy = 0.0;
+    for (SimThread& t : threads_) {
+      if (!t.runnable || t.core < 0) continue;
+      const auto core = static_cast<std::size_t>(t.core);
+      const TimeUs share = s.core_share[core];
+      if (share <= 0) continue;
+      const TimeUs used = t.app_ptr->execute(
+          t.local_index, share, s.core_type[core], s.core_freq_ghz[core]);
+      t.cpu_time_us += used;
+      if (used != memo_used) {
+        memo_used = used;
+        memo_busy = static_cast<double>(used) / static_cast<double>(tick);
+      }
+      tick_busy_[core] += memo_busy;
+    }
   }
 
-  for (App* a : apps_) {
-    if (a != nullptr) a->end_tick(now_);
+  {
+    obs::PhaseTimer obs_phase(obs::TickPhase::kEndTick, obs_tick);
+    for (App* a : apps_) {
+      if (a != nullptr) a->end_tick(now_);
+    }
   }
 
   if (manager_ != nullptr) {
+    obs::PhaseTimer obs_phase(obs::TickPhase::kManager, obs_tick);
     const TimeUs cost = manager_->on_tick(now_);
     if (cost > 0) {
       pending_manager_us_ += cost;
@@ -301,6 +335,7 @@ HARS_HOT void SimEngine::step() {
     refresh_machine_snapshot();
   }
 
+  obs::PhaseTimer obs_sensor_phase(obs::TickPhase::kSensor, obs_tick);
   // Busy-sum conservation audit, first half: recompute the per-cluster
   // sums through an independent path (the machine's cluster masks, not
   // the core -> cluster scratch map) before the integration pass below
@@ -353,6 +388,13 @@ HARS_HOT void SimEngine::step() {
     allocg::AllowScope allow("audit diagnostics");
     audit_tick();
   }
+
+  obs::counter_add(cat.ticks);
+  // Per-tick allocation telemetry (satellite of the AllocGuard contract):
+  // total allocations this tick (the declared AllowScopes) and undeclared
+  // violations, which must stay at zero.
+  obs::counter_add(cat.tick_allocs, alloc_guard.allocations());
+  obs::counter_add(cat.tick_alloc_violations, alloc_guard.violations());
 }
 
 // The retained reference tick path: the pre-TickScratch implementation,

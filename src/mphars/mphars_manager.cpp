@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "util/alloc_guard.hpp"
 #include "util/audit.hpp"
 
@@ -265,6 +267,13 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
       rate, current, target, params, machine_space_, perf_est_, power_est_,
       engine_.app(node.app_id).thread_count(), filter_fn,
       config_.reference_search ? nullptr : &scratch_);
+  {
+    const obs::Catalog& cat = obs::catalog();
+    obs::counter_add(config_.policy == SearchPolicy::kExhaustive
+                         ? cat.candidates_exhaustive
+                         : cat.candidates_incremental,
+                     static_cast<std::uint64_t>(result.candidates));
+  }
 
   if (engine_.audit_enabled()) {
     const std::string why = result.state.check_invariants(machine_space_);

@@ -1,0 +1,62 @@
+#include "obs/phase_timer.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace hars {
+namespace obs {
+
+namespace {
+
+std::atomic<int> g_shift{7};
+
+std::int64_t steady_now_raw() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Process-relative base so span timestamps start near 0 and fit
+// comfortably in Chrome's microsecond doubles.
+const std::int64_t g_base_ns = steady_now_raw();
+
+}  // namespace
+
+std::int64_t now_ns() { return steady_now_raw() - g_base_ns; }
+
+bool tick_sample() {
+  detail::ThreadShard* shard = detail::tls;
+  if (shard == nullptr) return false;
+  const std::uint64_t serial = shard->tick_serial++;
+  const int shift = g_shift.load(std::memory_order_relaxed);
+  return (serial & ((1ULL << shift) - 1)) == 0;
+}
+
+void set_phase_sample_shift(int shift) {
+  if (shift < 0) shift = 0;
+  if (shift > 20) shift = 20;
+  g_shift.store(shift, std::memory_order_relaxed);
+}
+
+int phase_sample_shift() { return g_shift.load(std::memory_order_relaxed); }
+
+void PhaseTimer::finish() {
+  const std::int64_t end_ns = now_ns();
+  const std::int64_t dur = end_ns - start_ns_;
+  hist_observe(catalog().tick_phase_ns[static_cast<int>(phase_)],
+               static_cast<double>(dur));
+  if (SpanCollector* collector = spans()) {
+    SpanEvent event;
+    event.name = tick_phase_name(phase_);
+    event.cat = "tick";
+    event.ts_ns = start_ns_;
+    event.dur_ns = dur;
+    event.tid = thread_tag();
+    collector->push(event);
+  }
+}
+
+}  // namespace obs
+}  // namespace hars

@@ -1,0 +1,55 @@
+// PhaseTimer: RAII wall-clock timer over one tick phase. The clock is
+// only read when the timer is constructed active — callers gate on
+// tick_sample(), which admits every 2^phase_sample_shift-th tick of the
+// calling thread, so the steady-state tick pays two branches and the
+// sampled tick pays 2 clock reads per phase. The destructor observes
+// the duration into catalog().tick_phase_ns[phase] and, when a
+// SpanCollector is installed, pushes a trace span.
+//
+// The clock read lives out-of-line in phase_timer.cpp: no wall-clock
+// token ever appears inside a HARS_HOT body (hars_lint's
+// no-wallclock-rand rule stays intact).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/catalog.hpp"
+#include "obs/span_collector.hpp"
+
+namespace hars {
+namespace obs {
+
+/// Process-relative monotonic time in ns. Cold-callable from anywhere;
+/// inside HARS_HOT bodies only reachable through an active PhaseTimer.
+std::int64_t now_ns();
+
+/// True on ticks that should be timed. Advances the calling thread's
+/// tick serial, so call it exactly once per tick (top of step()).
+/// Returns false when the thread is not attached (telemetry off).
+bool tick_sample();
+
+/// log2 of the tick sampling period (default 7: every 128th tick).
+/// 0 samples every tick. Cold; applies to subsequent tick_sample calls.
+void set_phase_sample_shift(int shift);
+int phase_sample_shift();
+
+class PhaseTimer {
+ public:
+  PhaseTimer(TickPhase phase, bool active) : phase_(phase), active_(active) {
+    if (active_) start_ns_ = now_ns();
+  }
+  ~PhaseTimer() {
+    if (active_) finish();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  void finish();  ///< Out-of-line: clock read + observe + span push.
+  TickPhase phase_;
+  bool active_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace hars

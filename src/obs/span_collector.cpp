@@ -1,0 +1,33 @@
+#include "obs/span_collector.hpp"
+
+#include <algorithm>
+
+#include "util/alloc_guard.hpp"
+
+namespace hars {
+namespace obs {
+
+namespace {
+std::atomic<SpanCollector*> g_spans{nullptr};
+}  // namespace
+
+SpanCollector::SpanCollector(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  allocg::AllowScope allow("obs span ring allocation");
+  ring_ = std::make_unique<SpanEvent[]>(capacity_);
+}
+
+std::vector<SpanEvent> SpanCollector::drain() const {
+  const std::size_t used =
+      std::min(next_.load(std::memory_order_relaxed), capacity_);
+  return std::vector<SpanEvent>(ring_.get(), ring_.get() + used);
+}
+
+void install_span_collector(SpanCollector* collector) {
+  g_spans.store(collector, std::memory_order_release);
+}
+
+SpanCollector* spans() { return g_spans.load(std::memory_order_relaxed); }
+
+}  // namespace obs
+}  // namespace hars

@@ -1,0 +1,65 @@
+// SpanCollector: a pre-allocated ring of trace spans (one per sampled
+// tick phase or sweep case), drained into Chrome trace-event JSON by
+// obs::write_chrome_trace. push() is lock-free and allocation-free: one
+// fetch_add plus five stores; when the ring is full further spans are
+// counted as dropped rather than grown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hars {
+namespace obs {
+
+/// One completed span. `name`/`cat` must be string literals (the
+/// collector stores the pointers).
+struct SpanEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::int64_t ts_ns = 0;   ///< Start, process-relative.
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;    ///< obs::thread_tag() of the emitting thread.
+};
+
+class SpanCollector {
+ public:
+  explicit SpanCollector(std::size_t capacity);
+
+  /// Hot path. Drops (and counts) when the ring is full.
+  void push(const SpanEvent& event) {
+    const std::size_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ring_[slot] = event;
+  }
+
+  /// The recorded spans, in push order. Only call after all writers are
+  /// quiescent (e.g. after the run, before writing the trace file).
+  std::vector<SpanEvent> drain() const;
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::unique_ptr<SpanEvent[]> ring_;
+  std::size_t capacity_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Installs `collector` as the process-wide span sink (nullptr to
+/// uninstall). The caller keeps ownership and must uninstall before
+/// destroying it. Cold.
+void install_span_collector(SpanCollector* collector);
+
+/// The installed collector, or nullptr. Hot-path safe (one relaxed load).
+SpanCollector* spans();
+
+}  // namespace obs
+}  // namespace hars

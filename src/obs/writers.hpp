@@ -1,0 +1,43 @@
+// Telemetry sinks: serialize a MetricsSnapshot (and recorded trace
+// spans) to the three export formats the repo speaks:
+//   - metrics JSONL: one JSON object per metric per line (machine diff /
+//     jq-friendly; see docs/FILE_FORMATS.md),
+//   - metrics CSV: one row per metric with quantile columns,
+//   - Prometheus text exposition format (the scrape surface of the
+//     future hars_simd daemon),
+//   - Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+// All writers are cold and deterministic: metric order is registration
+// order, numbers use the shortest round-trip form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span_collector.hpp"
+
+namespace hars {
+namespace obs {
+
+void write_metrics_jsonl(std::ostream& out, const MetricsSnapshot& snapshot);
+void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot);
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanEvent>& spans);
+
+/// File variants; return false (and print to stderr) on I/O failure.
+bool write_metrics_jsonl_file(const std::string& path,
+                              const MetricsSnapshot& snapshot);
+bool write_metrics_csv_file(const std::string& path,
+                            const MetricsSnapshot& snapshot);
+bool write_prometheus_file(const std::string& path,
+                           const MetricsSnapshot& snapshot);
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<SpanEvent>& spans);
+
+/// "search.memo.unit_time_hits" -> "hars_search_memo_unit_time_hits".
+std::string prometheus_name(std::string_view name);
+
+}  // namespace obs
+}  // namespace hars

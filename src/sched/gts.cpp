@@ -4,6 +4,8 @@
 #include <bit>
 #include <vector>
 
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "util/alloc_guard.hpp"
 #include "util/hot_path.hpp"
 
@@ -32,6 +34,7 @@ HARS_HOT void GtsScheduler::assign(const Machine& machine,
     return;
   }
   if (cached_machine_ != &machine) prime_topology(machine);
+  obs::counter_add(obs::catalog().gts_assign_calls);
   const CpuMask online = machine.online_mask();
   const CpuMask little = little_cache_;
   const CpuMask big = big_cache_;
@@ -62,7 +65,11 @@ HARS_HOT void GtsScheduler::assign(const Machine& machine,
         break;
       }
     }
-    if (same) return;  // core_load_ from the last full run still holds.
+    if (same) {
+      // core_load_ from the last full run still holds.
+      obs::counter_add(obs::catalog().gts_assign_skips);
+      return;
+    }
   }
 
   // Number of runnable threads currently packed on each core; reused
@@ -135,7 +142,10 @@ HARS_HOT void GtsScheduler::assign(const Machine& machine,
     const CoreId target = pick_least_loaded(preferred, t.core);
     if (target < 0) continue;  // No online core at all; cannot happen with cpu0 pinned online.
     if (t.core != target) {
-      if (t.core >= 0) ++t.migrations;
+      if (t.core >= 0) {
+        ++t.migrations;
+        obs::counter_add(obs::catalog().migrations);
+      }
       t.core = target;
       moved_any = true;
     }
@@ -178,6 +188,7 @@ HARS_HOT void GtsScheduler::assign(const Machine& machine,
     --core_load_[static_cast<std::size_t>(victim->core)];
     victim->core = idle;
     ++victim->migrations;
+    obs::counter_add(obs::catalog().migrations);
     ++core_load_[static_cast<std::size_t>(idle)];
     last_stable_ = false;
   }

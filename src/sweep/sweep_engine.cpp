@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "sweep/work_stealing_pool.hpp"
 
 namespace hars {
@@ -104,19 +106,31 @@ SweepReport SweepEngine::run(const SweepSpec& spec) {
   const auto campaign_start = std::chrono::steady_clock::now();
   std::vector<SweepCase> cases = spec.expand();
 
+  obs::gauge_set(obs::catalog().sweep_jobs,
+                 static_cast<double>(options_.jobs));
+
   SweepReport report;
   report.campaign = spec.campaign();
   report.jobs = options_.jobs;
   report.outcomes.resize(cases.size());
 
   std::vector<char> done(cases.size(), 0);
+  /// Completion instant of each case, for the emit-wait histogram.
+  std::vector<std::chrono::steady_clock::time_point> finished(cases.size());
   std::mutex emit_mutex;      // Guards done[], emit cursor, and the sinks.
   std::size_t emit_cursor = 0;
 
   const auto run_case = [&](std::size_t i) {
+    // Pool workers attach here (cold, before any guarded experiment
+    // code); when telemetry is off this keeps them detached.
+    obs::ensure_thread_registered();
     CaseOutcome outcome;
     outcome.sweep_case = cases[i];
     const auto case_start = std::chrono::steady_clock::now();
+    obs::hist_observe(
+        obs::catalog().sweep_case_queue_ms,
+        std::chrono::duration<double, std::milli>(case_start - campaign_start)
+            .count());
     try {
       std::vector<Record> columns;
       if (spec.runner()) {
@@ -134,6 +148,18 @@ SweepReport SweepEngine::run(const SweepSpec& spec) {
       outcome.error = "unknown error";
     }
     outcome.wall_ms = elapsed_ms(case_start);
+    obs::counter_add(obs::catalog().sweep_cases);
+    obs::hist_observe(obs::catalog().sweep_case_run_ms, outcome.wall_ms);
+    if (options_.record_timing) {
+      // Opt-in timing columns, appended after the deterministic metric
+      // columns so the default column set stays byte-identical.
+      const auto worker = static_cast<std::int64_t>(
+          WorkStealingPool::current_worker());
+      for (Record& r : outcome.records) {
+        r.set("case_wall_ms", outcome.wall_ms);
+        r.set("worker", worker);
+      }
+    }
 
     // Publish, then release the completed prefix to the sinks in order.
     // A throwing sink is captured as that case's error — it must not
@@ -141,8 +167,14 @@ SweepReport SweepEngine::run(const SweepSpec& spec) {
     std::lock_guard<std::mutex> lock(emit_mutex);
     report.outcomes[i] = std::move(outcome);
     done[i] = 1;
+    finished[i] = std::chrono::steady_clock::now();
     while (emit_cursor < done.size() && done[emit_cursor]) {
       CaseOutcome& ready = report.outcomes[emit_cursor];
+      obs::hist_observe(obs::catalog().sweep_case_emit_ms,
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() -
+                            finished[emit_cursor])
+                            .count());
       try {
         for (const Record& record : ready.records) {
           for (ResultSink* sink : sinks_) sink->write(record);

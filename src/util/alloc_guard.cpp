@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #if defined(HARS_ALLOC_GUARD)
 #include <new>
@@ -47,16 +48,35 @@ ThreadState& state() {
   static thread_local ThreadState s;
   return s;
 }
+
+std::uint64_t* scope_slot(ThreadState& s, const char* why) {
+  if (why == nullptr) return nullptr;
+  for (int i = 0; i < s.num_scopes; ++i) {
+    if (s.scopes[i].name == why || std::strcmp(s.scopes[i].name, why) == 0) {
+      return &s.scopes[i].allocs;
+    }
+  }
+  if (s.num_scopes >= ThreadState::kMaxScopes) return nullptr;
+  s.scopes[s.num_scopes].name = why;
+  s.scopes[s.num_scopes].allocs = 0;
+  return &s.scopes[s.num_scopes++].allocs;
+}
 }  // namespace detail
 
 std::uint64_t thread_allocs() { return detail::state().allocs; }
 std::uint64_t thread_violations() { return detail::state().violations; }
+
+std::vector<ScopeCount> thread_scope_counts() {
+  const detail::ThreadState& s = detail::state();
+  return std::vector<ScopeCount>(s.scopes, s.scopes + s.num_scopes);
+}
 
 #else  // !HARS_ALLOC_GUARD
 
 bool counting_compiled_in() { return false; }
 std::uint64_t thread_allocs() { return 0; }
 std::uint64_t thread_violations() { return 0; }
+std::vector<ScopeCount> thread_scope_counts() { return {}; }
 
 #endif  // HARS_ALLOC_GUARD
 
@@ -68,6 +88,7 @@ AllocGuard::~AllocGuard() {
   allocg::detail::ThreadState& s = allocg::detail::state();
   --s.strict_depth;
   s.allow_depth = saved_allow_depth_;
+  s.scope_counter = saved_scope_counter_;
   if (armed_ && violations() > 0) {
     allocg::report_failure(what_, violations());
   }
@@ -88,6 +109,7 @@ inline void* counted_alloc(std::size_t size) noexcept {
   hars::allocg::detail::ThreadState& s = hars::allocg::detail::state();
   ++s.allocs;
   if (s.strict_depth > 0 && s.allow_depth == 0) ++s.violations;
+  if (s.allow_depth > 0 && s.scope_counter != nullptr) ++*s.scope_counter;
   return std::malloc(size != 0 ? size : 1);
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace hars {
 namespace allocg {
@@ -35,6 +36,18 @@ std::uint64_t thread_allocs();
 /// Disallowed allocations (inside a live AllocGuard, outside every
 /// AllowScope) ever made on the calling thread.
 std::uint64_t thread_violations();
+
+/// Per-AllowScope attribution: allocations made on the calling thread
+/// while an AllowScope with this `why` string was innermost.
+struct ScopeCount {
+  const char* name = nullptr;
+  std::uint64_t allocs = 0;
+};
+
+/// Snapshot of the calling thread's per-scope allocation totals, in
+/// first-use order. Empty when the guard is not compiled in. Allocates
+/// (cold; telemetry flush / test assertions only).
+std::vector<ScopeCount> thread_scope_counts();
 
 /// Called when a destroyed AllocGuard saw violations. The default handler
 /// prints the region and count to stderr and aborts; tests install a
@@ -51,18 +64,45 @@ struct ThreadState {
   std::uint64_t violations = 0;  ///< Allocations under a guard, unallowed.
   int strict_depth = 0;          ///< Live AllocGuards on this thread.
   int allow_depth = 0;           ///< Live AllowScopes on this thread.
+  /// Per-scope attribution slot of the innermost live AllowScope (its
+  /// `allocs` field); null outside every scope and inside an AllocGuard
+  /// that re-tightened.
+  std::uint64_t* scope_counter = nullptr;
+  /// Fixed attribution table: one slot per distinct AllowScope `why`
+  /// string ever used on this thread (first-use order). Fixed capacity
+  /// keeps scope entry allocation-free; overflow scopes count into
+  /// allocs/violations but get no attribution slot.
+  static constexpr int kMaxScopes = 64;
+  ScopeCount scopes[kMaxScopes];
+  int num_scopes = 0;
 };
 ThreadState& state();
+/// The attribution slot for `why` (created on first use), or nullptr
+/// when the table is full. Allocation-free.
+std::uint64_t* scope_slot(ThreadState& s, const char* why);
 }  // namespace detail
 
 /// Declares the enclosed code a legitimate amortized allocator; see the
-/// file comment. The `why` string is documentation only.
+/// file comment. The `why` string doubles as the attribution key for
+/// thread_scope_counts() (use string literals).
 class AllowScope {
  public:
-  explicit AllowScope(const char* why) { (void)why; ++detail::state().allow_depth; }
-  ~AllowScope() { --detail::state().allow_depth; }
+  explicit AllowScope(const char* why) {
+    detail::ThreadState& s = detail::state();
+    saved_counter_ = s.scope_counter;
+    s.scope_counter = detail::scope_slot(s, why);
+    ++s.allow_depth;
+  }
+  ~AllowScope() {
+    detail::ThreadState& s = detail::state();
+    --s.allow_depth;
+    s.scope_counter = saved_counter_;
+  }
   AllowScope(const AllowScope&) = delete;
   AllowScope& operator=(const AllowScope&) = delete;
+
+ private:
+  std::uint64_t* saved_counter_ = nullptr;
 };
 
 #else  // !HARS_ALLOC_GUARD
@@ -91,7 +131,9 @@ class AllocGuard {
     // marked as a declared allocator) must not leak permission into this
     // stricter region.
     saved_allow_depth_ = s.allow_depth;
+    saved_scope_counter_ = s.scope_counter;
     s.allow_depth = 0;
+    s.scope_counter = nullptr;
     ++s.strict_depth;
   }
   ~AllocGuard();
@@ -119,6 +161,7 @@ class AllocGuard {
   std::uint64_t start_allocs_ = 0;
   std::uint64_t start_violations_ = 0;
   int saved_allow_depth_ = 0;
+  std::uint64_t* saved_scope_counter_ = nullptr;
   bool armed_ = true;
 #endif
 };

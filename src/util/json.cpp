@@ -1,0 +1,294 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hars {
+namespace json {
+
+bool Value::as_bool() const {
+  if (type_ != Type::kBool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("json: not a number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::kString) throw std::runtime_error("json: not a string");
+  return string_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (type_ != Type::kArray) throw std::runtime_error("json: not an array");
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::as_object() const {
+  if (type_ != Type::kObject) throw std::runtime_error("json: not an object");
+  return object_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+Value Value::null() { return Value(); }
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double n) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::array(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::object(std::vector<std::pair<std::string, Value>> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value::string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value::null();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    std::vector<std::pair<std::string, Value>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value::object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Value::object(std::move(members));
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    std::vector<Value> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value::array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Value::array(std::move(items));
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          std::uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs unsupported: the repo's
+          // writers never emit them; lone surrogates pass through as
+          // replacement-free 3-byte sequences).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    double number = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, number);
+    if (ec != std::errc() || ptr != last) fail("bad number");
+    return Value::number(number);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("json: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace json
+}  // namespace hars

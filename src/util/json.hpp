@@ -1,0 +1,68 @@
+// Minimal JSON reader for tooling and tests: bench_report merges the
+// BENCH_*.json perf records, docs_check validates the telemetry example
+// files, and the obs tests parse the sink outputs back. Recursive
+// descent over the full JSON grammar; objects preserve key order.
+// Throws std::runtime_error (with byte offset) on malformed input.
+// This is a consumer-side utility — writers in this repo emit JSON by
+// hand so their byte-level output stays deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hars {
+namespace json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::vector<std::pair<std::string, Value>>& as_object() const;
+
+  /// Object member by key, or nullptr (also for non-objects).
+  const Value* find(std::string_view key) const;
+
+  /// find() that throws when the key is missing.
+  const Value& at(std::string_view key) const;
+
+  // Construction (used by the parser; tests may build values directly).
+  static Value null();
+  static Value boolean(bool b);
+  static Value number(double n);
+  static Value string(std::string s);
+  static Value array(std::vector<Value> items);
+  static Value object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+Value parse(std::string_view text);
+
+/// Parses the file at `path` (throws on I/O failure too).
+Value parse_file(const std::string& path);
+
+}  // namespace json
+}  // namespace hars

@@ -1,0 +1,155 @@
+// MetricsRegistry unit tests: registration semantics, enable gating,
+// shard attach/detach, snapshot merge and quantile math.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+
+namespace hars {
+namespace obs {
+namespace {
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().set_enabled(true);
+    ensure_thread_registered();
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().set_enabled(false);
+    ensure_thread_registered();  // Detach this thread.
+  }
+};
+
+TEST_F(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  const CounterId a = reg.register_counter("test.registry.counter", "help");
+  const CounterId b = reg.register_counter("test.registry.counter", "other");
+  EXPECT_EQ(a.v, b.v);
+  EXPECT_GE(a.v, 0);
+}
+
+TEST_F(MetricsRegistryTest, KindMismatchThrows) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.register_counter("test.registry.kind_clash", "");
+  EXPECT_THROW(reg.register_gauge("test.registry.kind_clash", ""),
+               std::logic_error);
+  EXPECT_THROW(reg.register_histogram("test.registry.kind_clash", {1.0}, ""),
+               std::logic_error);
+}
+
+TEST_F(MetricsRegistryTest, BadHistogramBoundsThrow) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  EXPECT_THROW(reg.register_histogram("test.registry.empty_bounds", {}, ""),
+               std::logic_error);
+  EXPECT_THROW(
+      reg.register_histogram("test.registry.bad_order", {2.0, 1.0}, ""),
+      std::logic_error);
+  reg.register_histogram("test.registry.rebound", {1.0, 2.0}, "");
+  EXPECT_THROW(reg.register_histogram("test.registry.rebound", {1.0, 3.0}, ""),
+               std::logic_error);
+}
+
+TEST_F(MetricsRegistryTest, CounterAddReachesSnapshot) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  const CounterId id = reg.register_counter("test.registry.adds", "");
+  ensure_thread_registered();  // Layout changed: re-attach.
+  counter_add(id);
+  counter_add(id, 41);
+  const MetricsSnapshot snap = reg.take_snapshot();
+  const MetricValue* m = snap.find("test.registry.adds");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kCounter);
+  EXPECT_EQ(m->counter, 42u);
+}
+
+TEST_F(MetricsRegistryTest, WritesDropWhenDetached) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  const CounterId id = reg.register_counter("test.registry.detached", "");
+  ensure_thread_registered();
+  counter_add(id, 5);
+  reg.set_enabled(false);
+  ensure_thread_registered();  // Detaches: folds 5 into retired.
+  counter_add(id, 1000);       // Dropped.
+  reg.set_enabled(true);
+  ensure_thread_registered();
+  const MetricsSnapshot snap = reg.take_snapshot();
+  EXPECT_EQ(snap.find("test.registry.detached")->counter, 5u);
+}
+
+TEST_F(MetricsRegistryTest, ExitedThreadCountsAreRetained) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  const CounterId id = reg.register_counter("test.registry.retired", "");
+  std::thread worker([&] {
+    ensure_thread_registered();
+    counter_add(id, 7);
+  });
+  worker.join();
+  const MetricsSnapshot snap = reg.take_snapshot();
+  EXPECT_EQ(snap.find("test.registry.retired")->counter, 7u);
+}
+
+TEST_F(MetricsRegistryTest, GaugeLastWriteWins) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  const GaugeId id = reg.register_gauge("test.registry.gauge", "");
+  gauge_set(id, 1.5);
+  gauge_set(id, 2.5);
+  const MetricsSnapshot snap = reg.take_snapshot();
+  const MetricValue* m = snap.find("test.registry.gauge");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->gauge, 2.5);
+}
+
+TEST_F(MetricsRegistryTest, HistogramBucketsAndQuantiles) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  const HistId id = reg.register_histogram("test.registry.hist",
+                                           {1.0, 2.0, 4.0}, "");
+  ensure_thread_registered();
+  hist_observe(id, 0.5);   // (0, 1]
+  hist_observe(id, 1.0);   // le semantics: still (0, 1]
+  hist_observe(id, 3.0);   // (2, 4]
+  hist_observe(id, 100.0); // +Inf
+  const MetricsSnapshot snap = reg.take_snapshot();
+  const MetricValue* m = snap.find("test.registry.hist");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->buckets.size(), 4u);
+  EXPECT_EQ(m->buckets[0], 2u);
+  EXPECT_EQ(m->buckets[1], 0u);
+  EXPECT_EQ(m->buckets[2], 1u);
+  EXPECT_EQ(m->buckets[3], 1u);
+  EXPECT_EQ(m->count, 4u);
+  EXPECT_DOUBLE_EQ(m->sum, 104.5);
+  EXPECT_GT(histogram_quantile(*m, 0.5), 0.0);
+  EXPECT_LE(histogram_quantile(*m, 0.5), 1.0);
+  // p99 lands in the +Inf bucket: reported as its lower bound.
+  EXPECT_DOUBLE_EQ(histogram_quantile(*m, 0.99), 4.0);
+}
+
+TEST_F(MetricsRegistryTest, ResetZeroesEverything) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  const CounterId c = reg.register_counter("test.registry.reset_c", "");
+  const HistId h = reg.register_histogram("test.registry.reset_h", {1.0}, "");
+  ensure_thread_registered();
+  counter_add(c, 3);
+  hist_observe(h, 0.5);
+  reg.reset();
+  const MetricsSnapshot snap = reg.take_snapshot();
+  EXPECT_EQ(snap.find("test.registry.reset_c")->counter, 0u);
+  EXPECT_EQ(snap.find("test.registry.reset_h")->count, 0u);
+}
+
+TEST_F(MetricsRegistryTest, InertIdsAreDropped) {
+  ensure_thread_registered();
+  counter_add(CounterId{}, 5);          // Default id: no-op.
+  hist_observe(HistId{}, 1.0);          // Default id: no-op.
+  gauge_set(GaugeId{}, 1.0);            // Default id: no-op.
+  counter_add(CounterId{1 << 20}, 5);   // Out of range: no-op.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hars

@@ -1,0 +1,114 @@
+// The telemetry contract's load-bearing clause: enabling the metrics
+// registry, phase timers and span collector must not perturb a single
+// simulated bit. Every registered variant is run on both platform
+// presets — plus a dynamic-scenario run — with telemetry off and on,
+// and the full result (metrics, traces, states) must compare equal as
+// raw doubles, not within a tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/variant_registry.hpp"
+#include "obs/telemetry.hpp"
+
+namespace hars {
+namespace {
+
+/// Exact textual fingerprint of a result: %.17g round-trips doubles, so
+/// two fingerprints are equal iff every field is bit-identical.
+std::string fingerprint(const ExperimentResult& r) {
+  std::string out;
+  char buf[512];
+  const auto num = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g|", v);
+    out += buf;
+  };
+  for (const AppRunResult& app : r.apps) {
+    out += app.label;
+    out += '|';
+    num(app.metrics.norm_perf);
+    num(app.metrics.avg_rate_hps);
+    num(app.metrics.avg_power_w);
+    num(app.metrics.perf_per_watt);
+    num(app.metrics.manager_cpu_pct);
+    num(static_cast<double>(app.metrics.heartbeats));
+    num(app.metrics.in_window_fraction);
+    num(app.metrics.energy_j);
+    num(app.metrics.energy_per_beat_j);
+    num(app.target.min);
+    num(app.target.max);
+    num(static_cast<double>(app.spawn_time_us));
+    num(static_cast<double>(app.depart_time_us));
+    for (const TracePoint& p : app.trace) {
+      num(static_cast<double>(p.hb_index));
+      num(p.hps);
+      num(static_cast<double>(p.big_cores));
+      num(static_cast<double>(p.little_cores));
+      num(p.big_freq_ghz);
+      num(p.little_freq_ghz);
+    }
+  }
+  num(r.avg_power_w);
+  num(static_cast<double>(r.adaptations));
+  if (r.static_state) out += r.static_state->to_string();
+  if (r.final_state) out += r.final_state->to_string();
+  return out;
+}
+
+/// Telemetry armed with every collection mechanism live but no file
+/// sinks — the point is the simulation, not the output.
+obs::TelemetryConfig armed() {
+  obs::TelemetryConfig cfg;
+  cfg.enabled = true;
+  cfg.phase_sample_shift = 0;  // Time every tick: maximum interference.
+  return cfg;
+}
+
+TEST(TelemetryDeterminism, EveryVariantOnEveryPlatformIsBitIdentical) {
+  const std::vector<std::string> variants =
+      VariantRegistry::instance().names();
+  ASSERT_GE(variants.size(), 8u);
+  for (const char* platform : {"exynos5422", "sd855"}) {
+    for (const std::string& variant : variants) {
+      const auto make = [&](bool telemetry) {
+        ExperimentBuilder b;
+        b.platform(std::string_view(platform))
+            .app(ParsecBenchmark::kSwaptions)
+            .variant(variant)
+            .protocol(RunProtocol::kColdStart)
+            .duration(4 * kUsPerSec)
+            .seed(7);
+        if (telemetry) b.telemetry(armed());
+        return b.build().run();
+      };
+      const std::string off = fingerprint(make(false));
+      const std::string on = fingerprint(make(true));
+      const std::string off_again = fingerprint(make(false));
+      EXPECT_EQ(off, on) << variant << " on " << platform
+                         << ": telemetry changed the simulation";
+      EXPECT_EQ(off, off_again)
+          << variant << " on " << platform << ": run is not deterministic";
+    }
+  }
+}
+
+TEST(TelemetryDeterminism, StaggeredScenarioIsBitIdentical) {
+  const auto make = [&](bool telemetry) {
+    ExperimentBuilder b;
+    b.scenario(std::string_view("staggered"))
+        .variant("HARS-E")
+        .duration(40 * kUsPerSec)
+        .seed(3);
+    if (telemetry) b.telemetry(armed());
+    return b.build().run();
+  };
+  const std::string off = fingerprint(make(false));
+  const std::string on = fingerprint(make(true));
+  EXPECT_EQ(off, on) << "telemetry changed the staggered scenario run";
+}
+
+}  // namespace
+}  // namespace hars

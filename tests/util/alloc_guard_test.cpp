@@ -153,6 +153,47 @@ TEST(AllocGuard, DismissSuppressesHandlerButKeepsCounts) {
   EXPECT_TRUE(recorded().empty());
 }
 
+TEST(AllocGuard, ScopeCountsAttributeAllocationsToAllowScopes) {
+  if (!allocg::counting_compiled_in()) GTEST_SKIP();
+  std::uint64_t before = 0;
+  for (const allocg::ScopeCount& sc : allocg::thread_scope_counts()) {
+    if (std::string(sc.name) == "scope-count-test") before = sc.allocs;
+  }
+  {
+    allocg::AllowScope allow("scope-count-test");
+    ::operator delete(::operator new(16));
+    ::operator delete(::operator new(32));
+  }
+  std::uint64_t after = 0;
+  bool found = false;
+  for (const allocg::ScopeCount& sc : allocg::thread_scope_counts()) {
+    if (std::string(sc.name) == "scope-count-test") {
+      after = sc.allocs;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_EQ(after - before, 2u);
+}
+
+TEST(AllocGuard, InnerGuardSuspendsScopeAttribution) {
+  if (!allocg::counting_compiled_in()) GTEST_SKIP();
+  HandlerScope handler;
+  {
+    allocg::AllowScope allow("suspended-scope-test");
+    // An inner guard re-tightens: the allocation below is a violation of
+    // the inner guard, NOT an allocation of the enclosing scope.
+    AllocGuard inner("strict");
+    ::operator delete(::operator new(16));
+    inner.dismiss();
+  }
+  std::uint64_t count = 0;
+  for (const allocg::ScopeCount& sc : allocg::thread_scope_counts()) {
+    if (std::string(sc.name) == "suspended-scope-test") count = sc.allocs;
+  }
+  EXPECT_EQ(count, 0u);
+}
+
 TEST(AllocGuard, NestedGuardsReportIndependently) {
   if (!allocg::counting_compiled_in()) GTEST_SKIP();
   HandlerScope handler;

@@ -1,0 +1,77 @@
+// The consumer-side JSON reader: full-grammar round trips, ordered
+// object members, escape handling, and precise errors on malformed
+// input (these guard bench_report and docs_check, which parse files the
+// repo's own writers produced).
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hars {
+namespace json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_number(), 42.0);
+  EXPECT_EQ(parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Value v = parse(R"({"a":[1,2,{"b":null}],"c":{"d":true}})");
+  ASSERT_TRUE(v.is_object());
+  const Value& a = v.at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.as_array().size(), 3u);
+  EXPECT_EQ(a.as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(a.as_array()[2].at("b").is_null());
+  EXPECT_TRUE(v.at("c").at("d").as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+}
+
+TEST(Json, ObjectsPreserveKeyOrder) {
+  const Value v = parse(R"({"z":1,"a":2,"m":3})");
+  const auto& members = v.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, DecodesEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  // \u escapes decode to UTF-8 (here: U+00E9, then U+2713).
+  EXPECT_EQ(parse("\"caf\\u00e9\"").as_string(), "caf\xc3\xa9");
+  EXPECT_EQ(parse("\"\\u2713\"").as_string(), "\xe2\x9c\x93");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{"), std::runtime_error);
+  EXPECT_THROW(parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(parse("tru"), std::runtime_error);
+  EXPECT_THROW(parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse("1 2"), std::runtime_error);  // Trailing junk.
+  EXPECT_THROW(parse("nan"), std::runtime_error);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), std::runtime_error);
+  EXPECT_THROW(v.as_number(), std::runtime_error);
+  EXPECT_EQ(v.find("k"), nullptr);  // find on non-object: null, not throw.
+}
+
+TEST(Json, ParseFileErrorsOnMissingFile) {
+  EXPECT_THROW(parse_file("/nonexistent/no.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace hars

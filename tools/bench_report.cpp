@@ -1,0 +1,194 @@
+// bench_report: merges the BENCH_*.json perf records the bench binaries
+// emit (tick_bench, sweep_smoke, cross_platform, scenario_suite, ...)
+// into one human-readable table, so the perf trajectory of a branch is
+// one command instead of four files of nested JSON.
+//
+// Usage:
+//   bench_report BENCH_tick.json BENCH_sweep.json ...
+//   bench_report --dir build            # all BENCH_*.json in a directory
+//   bench_report --out summary.txt ...  # also write the table to a file
+//
+// Exit code: 0 on success, 1 when any input fails to parse (a perf
+// record that stops parsing is a regression in itself).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using hars::json::Value;
+
+struct Row {
+  std::string file;
+  std::string campaign;
+  std::string headline;
+};
+
+std::string trim_number(double v) {
+  std::ostringstream out;
+  out.precision(4);
+  out << v;
+  return out.str();
+}
+
+/// Pulls the figures worth one table cell out of a perf record. The
+/// records share no schema, so this is a best-effort scan of the keys
+/// each campaign actually emits.
+std::string headline_of(const Value& doc) {
+  std::vector<std::string> parts;
+  auto add_number = [&](const char* key, const char* label) {
+    if (const Value* v = doc.find(key); v != nullptr && v->is_number()) {
+      parts.push_back(std::string(label) + "=" + trim_number(v->as_number()));
+    }
+  };
+  add_number("geomean_speedup", "geomean_speedup");
+  add_number("speedup", "speedup");
+  add_number("wall_ms", "wall_ms");
+  add_number("ticks_per_sec", "ticks_per_sec");
+  add_number("cases", "cases");
+  add_number("jobs", "jobs");
+  if (const Value* grid = doc.find("grid"); grid != nullptr) {
+    add_number("grid_speedup", "grid_speedup");
+    if (const Value* v = grid->find("speedup"); v != nullptr && v->is_number()) {
+      parts.push_back("grid.speedup=" + trim_number(v->as_number()));
+    }
+  }
+  if (const Value* tel = doc.find("telemetry"); tel != nullptr) {
+    if (const Value* v = tel->find("overhead_pct");
+        v != nullptr && v->is_number()) {
+      parts.push_back("telemetry.overhead_pct=" + trim_number(v->as_number()));
+    }
+  }
+  if (const Value* variants = doc.find("variants");
+      variants != nullptr && variants->is_array()) {
+    parts.push_back("variants=" + std::to_string(variants->as_array().size()));
+  }
+  if (const Value* platforms = doc.find("platforms");
+      platforms != nullptr && platforms->is_array()) {
+    parts.push_back("platforms=" +
+                    std::to_string(platforms->as_array().size()));
+  }
+  if (const Value* scenarios = doc.find("scenarios");
+      scenarios != nullptr && scenarios->is_array()) {
+    parts.push_back("scenarios=" +
+                    std::to_string(scenarios->as_array().size()));
+  }
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += "  ";
+    out += p;
+  }
+  return out.empty() ? "(no scalar figures)" : out;
+}
+
+std::string campaign_of(const Value& doc, const std::string& file) {
+  if (const Value* v = doc.find("campaign"); v != nullptr && v->is_string()) {
+    return v->as_string();
+  }
+  if (const Value* v = doc.find("bench"); v != nullptr && v->is_string()) {
+    return v->as_string();
+  }
+  // BENCH_tick.json -> tick
+  std::string name = fs::path(file).filename().string();
+  if (name.rfind("BENCH_", 0) == 0) name = name.substr(6);
+  const std::size_t dot = name.rfind('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return name;
+}
+
+void print_table(std::ostream& out, const std::vector<Row>& rows) {
+  std::size_t file_width = 4, campaign_width = 8;
+  for (const Row& r : rows) {
+    file_width = std::max(file_width, r.file.size());
+    campaign_width = std::max(campaign_width, r.campaign.size());
+  }
+  out << std::string(file_width, '-') << "  "
+      << std::string(campaign_width, '-') << "  --------\n";
+  for (const Row& r : rows) {
+    out << r.file << std::string(file_width - r.file.size() + 2, ' ')
+        << r.campaign << std::string(campaign_width - r.campaign.size() + 2, ' ')
+        << r.headline << "\n";
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dir DIR] [--out FILE] [BENCH_*.json ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir") {
+      if (++i >= argc) return usage(argv[0]);
+      std::error_code ec;
+      for (const auto& entry : fs::directory_iterator(argv[i], ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+            name.substr(name.size() - 5) == ".json") {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "bench_report: cannot read directory '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+    } else if (arg == "--out") {
+      if (++i >= argc) return usage(argv[0]);
+      out_path = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+  std::sort(files.begin(), files.end());
+
+  std::vector<Row> rows;
+  bool failed = false;
+  for (const std::string& file : files) {
+    Row row;
+    row.file = fs::path(file).filename().string();
+    try {
+      const Value doc = hars::json::parse_file(file);
+      row.campaign = campaign_of(doc, file);
+      row.headline = headline_of(doc);
+    } catch (const std::exception& e) {
+      row.campaign = "ERROR";
+      row.headline = e.what();
+      failed = true;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  print_table(std::cout, rows);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_report: cannot open '%s'\n",
+                   out_path.c_str());
+      return 1;
+    }
+    print_table(out, rows);
+  }
+  return failed ? 1 : 0;
+}

@@ -11,8 +11,12 @@
 //      examples/*.trace.jsonl    -> parse_trace_meta + record shape
 //      examples/*.records.csv    -> CSV shape (constant column count)
 //      examples/*.records.jsonl  -> JSONL record shape
+//      examples/*.metrics.jsonl  -> telemetry metric dump (util/json)
+//      examples/*.spans.json     -> Chrome trace-event JSON (util/json)
+//      examples/*.prom           -> Prometheus text exposition shape
 //
 //   docs_check [--root DIR]   (default: current directory)
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -24,6 +28,7 @@
 #include "hmp/platform_spec.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/trace_sink.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -159,6 +164,100 @@ void check_records_csv(const fs::path& path) {
   if (rows == 0) fail(path.string() + ": header but no rows");
 }
 
+/// Telemetry metric dump: every line is one JSON object with at least
+/// "name" (string) and "kind" (counter|gauge|histogram), the format
+/// documented in docs/OBSERVABILITY.md.
+void check_metrics_jsonl(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    fail("cannot read " + path.string());
+    return;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      const hars::json::Value v = hars::json::parse(line);
+      const std::string& kind = v.at("kind").as_string();
+      (void)v.at("name").as_string();
+      if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+        throw std::runtime_error("unknown metric kind \"" + kind + "\"");
+      }
+      if (kind == "histogram") (void)v.at("buckets").as_array();
+    } catch (const std::exception& error) {
+      fail(path.string() + ":" + std::to_string(line_no) + ": " +
+           error.what());
+      return;
+    }
+  }
+  if (line_no == 0) fail(path.string() + ": empty example");
+}
+
+/// Chrome trace-event JSON: one object with a "traceEvents" array of
+/// complete ("ph":"X") events carrying name/ts/dur.
+void check_spans_json(const fs::path& path) {
+  try {
+    const hars::json::Value doc = hars::json::parse_file(path.string());
+    const auto& events = doc.at("traceEvents").as_array();
+    if (events.empty()) {
+      fail(path.string() + ": traceEvents is empty");
+      return;
+    }
+    for (const hars::json::Value& event : events) {
+      (void)event.at("name").as_string();
+      (void)event.at("ts").as_number();
+      (void)event.at("dur").as_number();
+      if (event.at("ph").as_string() != "X") {
+        fail(path.string() + ": expected complete events (ph == \"X\")");
+        return;
+      }
+    }
+  } catch (const std::exception& error) {
+    fail(path.string() + ": " + error.what());
+  }
+}
+
+/// Prometheus text exposition: comment lines start with '#'; sample
+/// lines are `name[{labels}] value` where value parses as a double.
+void check_prom_example(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    fail("cannot read " + path.string());
+    return;
+  }
+  std::string line;
+  int line_no = 0;
+  int samples = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    const std::string name = space == std::string::npos
+                                 ? std::string()
+                                 : line.substr(0, space);
+    bool ok = !name.empty() && (std::isalpha(name.front()) != 0 ||
+                                name.front() == '_');
+    if (ok) {
+      try {
+        std::size_t used = 0;
+        (void)std::stod(line.substr(space + 1), &used);
+        ok = used == line.size() - space - 1;
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      fail(path.string() + ":" + std::to_string(line_no) +
+           ": not a `name value` sample or `#` comment");
+      return;
+    }
+    ++samples;
+  }
+  if (samples == 0) fail(path.string() + ": no samples");
+}
+
 bool ends_with(const std::string& s, const char* suffix) {
   const std::size_t n = std::strlen(suffix);
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
@@ -210,6 +309,15 @@ int main(int argc, char** argv) {
         ++checked;
       } else if (ends_with(name, ".records.csv")) {
         check_records_csv(entry.path());
+        ++checked;
+      } else if (ends_with(name, ".metrics.jsonl")) {
+        check_metrics_jsonl(entry.path());
+        ++checked;
+      } else if (ends_with(name, ".spans.json")) {
+        check_spans_json(entry.path());
+        ++checked;
+      } else if (ends_with(name, ".prom")) {
+        check_prom_example(entry.path());
         ++checked;
       }
     }

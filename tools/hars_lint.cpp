@@ -11,6 +11,10 @@
 //                       <chrono> wall clocks
 //   no-unordered        unordered_map / unordered_set (iteration order
 //                       differs across standard libraries)
+//   no-obs-cold         cold telemetry entry points (obs registration,
+//                       snapshotting, thread attach) — only the write
+//                       fast path (counter_add / hist_observe /
+//                       PhaseTimer) is hot-safe
 //
 // Exemptions (same line): // hars-lint: allow(<rule>): <reason>
 // Exemption blocks:       // hars-lint: allow-begin(<rule>): <reason>
@@ -423,6 +427,21 @@ void check_region(const std::string& code, const HotRegion& region,
                file, findings,
                [&](std::size_t hit) { return word(hit, id.size()); });
   }
+
+  // no-obs-cold --------------------------------------------------------
+  // Cold telemetry entry points lock, allocate, or walk every shard;
+  // only the obs write fast path belongs inside a HARS_HOT body.
+  for (std::string_view fn :
+       {"register_counter(", "register_gauge(", "register_histogram(",
+        "take_snapshot(", "ensure_thread_registered("}) {
+    scan_token(code, region, starts, supp, fn, "no-obs-cold",
+               "cold telemetry call " +
+                   std::string(fn.substr(0, fn.size() - 1)) +
+                   "() in hot path (locks/allocates; hot-safe writes are "
+                   "counter_add/hist_observe/PhaseTimer)",
+               file, findings,
+               [&](std::size_t hit) { return call(hit, fn.size() - 1); });
+  }
 }
 
 std::vector<Finding> analyze(const std::string& src, const std::string& file) {
@@ -509,7 +528,9 @@ HARS_HOT int hot_bad(std::vector<int>& out) {
   out.resize(9);
   long t = time(nullptr);
   std::unordered_map<int, int> order;
-  (void)p; (void)t; (void)order;
+  auto snap = registry.take_snapshot();
+  obs::ensure_thread_registered();
+  (void)p; (void)t; (void)order; (void)snap;
   return rand();
 }
 )fixture";
@@ -524,9 +545,11 @@ HARS_HOT double hot_ok(std::vector<int>& v, double unit) {
   v.push_back(1);
   v.push_back(2);
   // hars-lint: allow-end
-  const char* words = "new malloc( time( std::vector<int> x";
+  const char* words = "new malloc( time( take_snapshot( std::vector<int> x";
   const double t = unit_time(unit);  // '_' blocks the time( token.
   const std::vector<int>& ref = v;   // Reference: owns nothing.
+  obs::counter_add(cat.ticks, 2);    // The obs write path is hot-safe.
+  obs::ensure_thread_registered();   // hars-lint: allow(no-obs-cold): pre-guard attach point
   (void)words; (void)ref;
   return t + v.size();
 }
@@ -547,7 +570,9 @@ int self_test() {
       {8, "no-alloc"},            // out.resize(9)
       {9, "no-wallclock-rand"},   // time(nullptr)
       {10, "no-unordered"},       // std::unordered_map
-      {12, "no-wallclock-rand"},  // rand()
+      {11, "no-obs-cold"},        // .take_snapshot()
+      {12, "no-obs-cold"},        // ensure_thread_registered()
+      {14, "no-wallclock-rand"},  // rand()
   };
   const std::vector<Finding> bad = analyze(kBadFixture, "fixture_bad.cpp");
   bool ok = bad.size() == expected.size();

@@ -30,6 +30,7 @@
 #include "exp/report.hpp"
 #include "exp/variant_registry.hpp"
 #include "hmp/platform_registry.hpp"
+#include "obs/telemetry.hpp"
 #include "scenario/scenario_registry.hpp"
 #include "scenario/trace_sink.hpp"
 #include "sweep/sweep_cli.hpp"
@@ -77,6 +78,14 @@ void usage() {
       "  --policy NAME     incremental|exhaustive|tabu (HARS versions)\n"
       "  --learn-ratio     enable online big:little ratio learning\n"
       "  --trace FILE      write the behaviour trace(s) as CSV (run mode)\n"
+      "  --metrics FILE    write telemetry metrics as JSON lines (run mode;\n"
+      "                    any telemetry flag arms the metrics registry)\n"
+      "  --metrics-csv FILE  write telemetry metrics as CSV (run mode)\n"
+      "  --prom FILE       write telemetry metrics in Prometheus text\n"
+      "                    format (run mode)\n"
+      "  --trace-spans FILE  write sampled tick-phase spans as Chrome\n"
+      "                    trace-event JSON (run mode; open in\n"
+      "                    chrome://tracing or Perfetto)\n"
       "sweep mode only:\n"
       "  --distance D      HARS-EI search distance axis; repeatable\n"
       "  --jobs N          pool workers (default 1; 0 = hardware threads)\n"
@@ -377,6 +386,7 @@ int main(int argc, char** argv) {
   int threads = 8;
   std::uint64_t seed = 1;
   std::string trace_path;
+  obs::TelemetryConfig telemetry_cfg;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -459,6 +469,18 @@ int main(int argc, char** argv) {
       // Accepted for symmetry with sweep mode; one run is serial.
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--metrics") {
+      telemetry_cfg.metrics_jsonl = next();
+      telemetry_cfg.enabled = true;
+    } else if (arg == "--metrics-csv") {
+      telemetry_cfg.metrics_csv = next();
+      telemetry_cfg.enabled = true;
+    } else if (arg == "--prom") {
+      telemetry_cfg.prometheus = next();
+      telemetry_cfg.enabled = true;
+    } else if (arg == "--trace-spans") {
+      telemetry_cfg.trace_json = next();
+      telemetry_cfg.enabled = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage();
@@ -494,6 +516,7 @@ int main(int argc, char** argv) {
       .duration_sec(duration_sec)
       .threads(threads)
       .seed(seed);
+  if (telemetry_cfg.enabled) builder.telemetry(telemetry_cfg);
 
   ExperimentResult result;
   try {
@@ -512,6 +535,18 @@ int main(int argc, char** argv) {
                 capture_sink.samples().size());
   }
 
+  if (!telemetry_cfg.metrics_jsonl.empty()) {
+    std::printf("metrics          %s\n", telemetry_cfg.metrics_jsonl.c_str());
+  }
+  if (!telemetry_cfg.metrics_csv.empty()) {
+    std::printf("metrics csv      %s\n", telemetry_cfg.metrics_csv.c_str());
+  }
+  if (!telemetry_cfg.prometheus.empty()) {
+    std::printf("prometheus       %s\n", telemetry_cfg.prometheus.c_str());
+  }
+  if (!telemetry_cfg.trace_json.empty()) {
+    std::printf("trace spans      %s\n", telemetry_cfg.trace_json.c_str());
+  }
   std::printf("version          %s\n", version.c_str());
   if (!platform.empty()) {
     std::printf("platform         %s\n", platform.c_str());
