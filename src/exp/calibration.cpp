@@ -16,7 +16,7 @@ Calibration calibrate_benchmark(const PlatformSpec& platform,
                                 ParsecBenchmark bench, int threads,
                                 std::uint64_t seed, TimeUs duration) {
   using Key = std::tuple<std::string, int, int, std::uint64_t, TimeUs>;
-  static OnceCache<Key, Calibration> cache;
+  static OnceCache<Key, Calibration> cache{"calibration"};
   const Key key{platform.signature(), static_cast<int>(bench), threads, seed,
                 duration};
   return cache.get_or_compute(key, [&] {

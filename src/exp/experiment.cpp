@@ -78,7 +78,7 @@ std::vector<double> probe_baseline_rates(const ExperimentSpec& spec) {
 
 std::vector<double> concurrent_baseline_rates(const ExperimentSpec& spec) {
   using Key = std::tuple<std::string, long long, int, std::uint64_t>;
-  static OnceCache<Key, std::vector<double>> cache;
+  static OnceCache<Key, std::vector<double>> cache{"baseline_probe"};
   bool cacheable = !spec.make_scheduler;  // Custom schedulers aren't keyed.
   std::string case_key;
   for (const AppSpec& app : spec.apps) {

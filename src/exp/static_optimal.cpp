@@ -178,7 +178,7 @@ StaticOptimalResult find_static_optimal(ParsecBenchmark bench,
       options.platform ? *options.platform
                        : PlatformRegistry::instance().get("exynos5422");
   using Key = std::tuple<std::string, int, double, double, std::uint64_t, int>;
-  static OnceCache<Key, StaticOptimalResult> cache;
+  static OnceCache<Key, StaticOptimalResult> cache{"static_optimal"};
   const Key key{platform.signature(), static_cast<int>(bench), target.min,
                 target.max, options.seed, options.threads};
   return cache.get_or_compute(key, [&] {

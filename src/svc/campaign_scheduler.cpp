@@ -1,0 +1,254 @@
+#include "svc/campaign_scheduler.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "apps/parsec.hpp"
+#include "core/search.hpp"
+#include "core/thread_scheduler.hpp"
+#include "core/workload_predictor.hpp"
+#include "exp/variant_registry.hpp"
+#include "hmp/platform_registry.hpp"
+#include "scenario/scenario_registry.hpp"
+
+namespace hars {
+namespace svc {
+
+namespace {
+
+bool parse_bench(const std::string& name, ParsecBenchmark* out) {
+  for (ParsecBenchmark b : all_parsec_benchmarks()) {
+    if (name == parsec_code(b) || name == parsec_name(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Resolves campaign name lists against the registries; empty return =
+/// ok. Shared by sweep and run expansion.
+std::string resolve_names(const CampaignRequest& campaign,
+                          std::vector<ParsecBenchmark>* benches) {
+  for (const std::string& name : campaign.benches) {
+    ParsecBenchmark bench;
+    if (!parse_bench(name, &bench)) {
+      return "unknown benchmark '" + name + "'";
+    }
+    benches->push_back(bench);
+  }
+  for (const std::string& name : campaign.variants) {
+    if (VariantRegistry::instance().find(name) == nullptr) {
+      return "unknown version '" + name + "'";
+    }
+  }
+  for (const std::string& name : campaign.platforms) {
+    if (PlatformRegistry::instance().find(name) == nullptr) {
+      return "unknown platform '" + name + "'";
+    }
+  }
+  for (const std::string& name : campaign.scenarios) {
+    if (ScenarioRegistry::instance().find(name) == nullptr) {
+      return "unknown scenario '" + name + "'";
+    }
+  }
+  if (!campaign.scenarios.empty() && !campaign.benches.empty()) {
+    return "benches and scenarios are exclusive (the scenario's spawn "
+           "events define the apps)";
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string expand_sweep_campaign(const CampaignRequest& campaign,
+                                  SweepSpec* spec, std::size_t* cases) {
+  std::vector<ParsecBenchmark> benches;
+  std::string error = resolve_names(campaign, &benches);
+  if (!error.empty()) return error;
+
+  std::vector<std::string> versions = campaign.variants;
+  if (benches.empty() && campaign.scenarios.empty()) {
+    benches.push_back(ParsecBenchmark::kSwaptions);
+  }
+  if (versions.empty()) versions.push_back("HARS-E");
+
+  const double duration_sec = campaign.duration_sec;
+  const int threads = campaign.threads;
+  const std::uint64_t seed = campaign.seed;
+  spec->name("hars_sim_sweep")
+      .base([duration_sec, threads, seed](ExperimentBuilder& b) {
+        b.duration_sec(duration_sec).threads(threads).seed(seed);
+      })
+      .base_seed(seed);
+  if (!benches.empty()) spec->benchmarks(benches);
+  if (!campaign.scenarios.empty()) spec->scenarios(campaign.scenarios);
+  spec->variants(versions);
+  if (!campaign.platforms.empty()) spec->platforms(campaign.platforms);
+  if (!campaign.fractions.empty()) spec->target_fractions(campaign.fractions);
+  if (!campaign.distances.empty()) spec->search_distances(campaign.distances);
+  if (campaign.derive_seeds) spec->seed_mode(SeedMode::kDerived);
+
+  const std::size_t expanded = spec->expand().size();
+  if (cases != nullptr) *cases = expanded;
+  if (campaign.start_case > expanded) {
+    return "start_case beyond the campaign's " + std::to_string(expanded) +
+           " cases";
+  }
+  return {};
+}
+
+std::string build_run_experiment(const CampaignRequest& campaign,
+                                 ExperimentBuilder* builder) {
+  std::vector<ParsecBenchmark> benches;
+  std::string error = resolve_names(campaign, &benches);
+  if (!error.empty()) return error;
+  if (campaign.scenarios.size() > 1) {
+    return "run mode takes at most one scenario";
+  }
+  if (campaign.platforms.size() > 1) {
+    return "run mode takes at most one platform";
+  }
+  if (campaign.variants.size() > 1) {
+    return "run mode takes at most one version";
+  }
+  if (campaign.fractions.size() > 1) {
+    return "run mode takes at most one fraction";
+  }
+  if (!campaign.distances.empty()) {
+    return "distances are a sweep-mode axis";
+  }
+
+  if (!campaign.scheduler.empty()) {
+    const auto kind = parse_thread_scheduler(campaign.scheduler);
+    if (!kind) return "unknown scheduler '" + campaign.scheduler + "'";
+    builder->scheduler(*kind);
+  }
+  if (!campaign.predictor.empty()) {
+    const auto kind = parse_predictor_kind(campaign.predictor);
+    if (!kind) return "unknown predictor '" + campaign.predictor + "'";
+    builder->predictor(*kind);
+  }
+  if (!campaign.policy.empty()) {
+    const auto policy = parse_search_policy(campaign.policy);
+    if (!policy) return "unknown policy '" + campaign.policy + "'";
+    builder->policy(*policy);
+  }
+  if (campaign.learn_ratio) builder->learn_ratio(true);
+
+  if (!campaign.platforms.empty()) {
+    builder->platform(std::string_view(campaign.platforms.front()));
+  }
+  if (!campaign.scenarios.empty()) {
+    builder->scenario(std::string_view(campaign.scenarios.front()));
+  } else {
+    builder->apps(benches.empty()
+                      ? std::vector<ParsecBenchmark>{
+                            ParsecBenchmark::kSwaptions}
+                      : benches);
+  }
+  builder->variant(campaign.variants.empty() ? "HARS-E"
+                                             : campaign.variants.front())
+      .target_fraction(campaign.fractions.empty() ? 0.50
+                                                  : campaign.fractions.front())
+      .duration_sec(campaign.duration_sec)
+      .threads(campaign.threads)
+      .seed(campaign.seed);
+  return {};
+}
+
+CampaignScheduler::CampaignScheduler(int jobs) {
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<WorkStealingPool>(std::max(1, jobs));
+}
+
+CampaignScheduler::CampaignPtr CampaignScheduler::register_campaign(
+    std::uint64_t session, std::uint64_t cases) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CampaignPtr campaign = std::make_shared<Campaign>();
+  campaign->id = next_id_++;
+  campaign->session = session;
+  campaign->cases = cases;
+  if (draining_) {
+    campaign->control.store(static_cast<int>(SweepControl::kDrain),
+                            std::memory_order_relaxed);
+  }
+  active_.emplace(campaign->id, campaign);
+  ++total_;
+  return campaign;
+}
+
+void CampaignScheduler::unregister_campaign(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.erase(id);
+}
+
+bool CampaignScheduler::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_.find(id);
+  if (it == active_.end()) return false;
+  it->second->control.store(static_cast<int>(SweepControl::kCancel),
+                            std::memory_order_relaxed);
+  return true;
+}
+
+void CampaignScheduler::cancel_session(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, campaign] : active_) {
+    if (campaign->session == session) {
+      campaign->control.store(static_cast<int>(SweepControl::kCancel),
+                              std::memory_order_relaxed);
+    }
+  }
+}
+
+void CampaignScheduler::drain_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+  for (auto& [id, campaign] : active_) {
+    // A cancelled campaign stays cancelled (cancel is the stronger word
+    // for reporting; scheduling behaviour is identical).
+    int expected = static_cast<int>(SweepControl::kRun);
+    campaign->control.compare_exchange_strong(
+        expected, static_cast<int>(SweepControl::kDrain),
+        std::memory_order_relaxed);
+  }
+}
+
+std::vector<CampaignStatus> CampaignScheduler::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CampaignStatus> out;
+  out.reserve(active_.size());
+  for (const auto& [id, campaign] : active_) {
+    CampaignStatus row;
+    row.campaign = id;
+    const auto control = static_cast<SweepControl>(
+        campaign->control.load(std::memory_order_relaxed));
+    row.state = control == SweepControl::kRun      ? "running"
+                : control == SweepControl::kDrain  ? "draining"
+                                                   : "cancelling";
+    row.cases = campaign->cases;
+    row.emitted = campaign->emitted.load(std::memory_order_relaxed);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CampaignStatus& a, const CampaignStatus& b) {
+              return a.campaign < b.campaign;
+            });
+  return out;
+}
+
+std::uint64_t CampaignScheduler::active_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_.size();
+}
+
+std::uint64_t CampaignScheduler::total_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace svc
+}  // namespace hars

@@ -1,0 +1,93 @@
+// CampaignScheduler: maps client campaigns onto one shared
+// WorkStealingPool and tracks them for status/cancel/drain.
+//
+// Expansion: a declarative CampaignRequest becomes the *same* SweepSpec
+// (sweep mode) or ExperimentBuilder (run mode) the hars_sim CLI builds
+// from the equivalent flags — axis order, base mutator, campaign name
+// and seeding all match, which is what makes daemon-streamed records
+// byte-identical to a local run. Unknown benchmark / variant /
+// platform / scenario names are rejected up front with a message naming
+// the offender (mapped to kBadRequest by the connection layer).
+//
+// Scheduling: all campaigns share the daemon's one pool; the SweepEngine
+// runs each with SweepOptions::shared_pool and a campaign-local latch,
+// so concurrent campaigns interleave at case granularity and never wait
+// on each other's completion. Each registered campaign owns an atomic
+// control word (SweepControl) the engine polls — cancel flips one
+// campaign's word, drain_all flips every current *and future* one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "sweep/sweep_engine.hpp"
+#include "sweep/sweep_spec.hpp"
+#include "sweep/work_stealing_pool.hpp"
+
+namespace hars {
+namespace svc {
+
+/// Builds the sweep-mode SweepSpec for `campaign` (mirroring hars_sim's
+/// sweep mode, including its defaults: SW when no bench or scenario is
+/// named, HARS-E when no variant is). Returns an error message naming
+/// the first invalid field, or empty on success; `cases` receives the
+/// expanded case count.
+std::string expand_sweep_campaign(const CampaignRequest& campaign,
+                                  SweepSpec* spec, std::size_t* cases);
+
+/// Builds the run-mode ExperimentBuilder for `campaign` (mirroring
+/// hars_sim's run mode). Returns an error message or empty.
+std::string build_run_experiment(const CampaignRequest& campaign,
+                                 ExperimentBuilder* builder);
+
+class CampaignScheduler {
+ public:
+  /// One live campaign. `control` is the word the SweepEngine polls
+  /// (values of SweepControl); `emitted` is advanced by the daemon's
+  /// streaming sink as records leave, so `status` responses report live
+  /// progress without touching the engine.
+  struct Campaign {
+    std::uint64_t id = 0;
+    std::uint64_t session = 0;
+    std::uint64_t cases = 0;
+    std::atomic<int> control{static_cast<int>(SweepControl::kRun)};
+    std::atomic<std::uint64_t> emitted{0};
+  };
+  using CampaignPtr = std::shared_ptr<Campaign>;
+
+  /// `jobs` <= 0 selects hardware concurrency.
+  explicit CampaignScheduler(int jobs);
+
+  CampaignPtr register_campaign(std::uint64_t session, std::uint64_t cases);
+  void unregister_campaign(std::uint64_t id);
+
+  /// Flips one campaign to kCancel; false when no such campaign.
+  bool cancel(std::uint64_t id);
+  /// Cancels every campaign owned by `session` (connection teardown).
+  void cancel_session(std::uint64_t session);
+  /// Flips every current and future campaign to kDrain. Idempotent.
+  void drain_all();
+
+  std::vector<CampaignStatus> status() const;
+  WorkStealingPool& pool() { return *pool_; }
+  int jobs() const { return pool_->worker_count(); }
+  std::uint64_t active_count() const;
+  std::uint64_t total_count() const;
+
+ private:
+  std::unique_ptr<WorkStealingPool> pool_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, CampaignPtr> active_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t total_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace svc
+}  // namespace hars

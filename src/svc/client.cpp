@@ -1,0 +1,156 @@
+#include "svc/client.hpp"
+
+#include <stdexcept>
+
+#include "svc/wire.hpp"
+
+namespace hars {
+namespace svc {
+
+ServiceClient::ServiceClient(const Address& address)
+    : socket_(connect_to(address)) {}
+
+void ServiceClient::send(const std::string& payload) {
+  if (!write_frame(socket_, payload)) {
+    throw std::runtime_error("hars_simd connection lost while sending");
+  }
+}
+
+json::Value ServiceClient::read_payload() {
+  std::string payload;
+  std::string error;
+  const FrameResult result = read_frame(socket_, &payload, &error);
+  if (result == FrameResult::kClosed) {
+    throw std::runtime_error("hars_simd closed the connection");
+  }
+  if (result != FrameResult::kOk) {
+    throw std::runtime_error("hars_simd protocol error: " + error);
+  }
+  return json::parse(payload);
+}
+
+bool ServiceClient::ping() {
+  Request request;
+  request.id = next_id();
+  request.verb = "ping";
+  send(encode_request(request));
+  return response_type(read_payload()) == "pong";
+}
+
+SubmitOutcome ServiceClient::submit_sweep(const CampaignRequest& campaign,
+                                          const RecordFn& on_record) {
+  Request request;
+  request.id = next_id();
+  request.verb = "submit";
+  request.campaign = campaign;
+  send(encode_request(request));
+
+  SubmitOutcome outcome;
+  for (;;) {
+    const json::Value payload = read_payload();
+    const std::string type = response_type(payload);
+    if (type == "ack") {
+      outcome.ack = parse_ack(payload);
+    } else if (type == "record") {
+      if (on_record) on_record(parse_record(payload));
+    } else if (type == "summary") {
+      outcome.summary = parse_summary(payload);
+      outcome.ok = true;
+      return outcome;
+    } else if (type == "error") {
+      outcome.error = parse_error(payload);
+      return outcome;
+    } else {
+      throw std::runtime_error("unexpected response frame '" + type + "'");
+    }
+  }
+}
+
+SubmitOutcome ServiceClient::submit_run(const CampaignRequest& campaign) {
+  Request request;
+  request.id = next_id();
+  request.verb = "submit";
+  request.campaign = campaign;
+  request.campaign.mode = "run";
+  send(encode_request(request));
+
+  SubmitOutcome outcome;
+  for (;;) {
+    const json::Value payload = read_payload();
+    const std::string type = response_type(payload);
+    if (type == "ack") {
+      outcome.ack = parse_ack(payload);
+    } else if (type == "result") {
+      outcome.result = parse_run_result(payload);
+      outcome.ok = true;
+      return outcome;
+    } else if (type == "error") {
+      outcome.error = parse_error(payload);
+      return outcome;
+    } else {
+      throw std::runtime_error("unexpected response frame '" + type + "'");
+    }
+  }
+}
+
+std::string ServiceClient::metrics_text() {
+  Request request;
+  request.id = next_id();
+  request.verb = "metrics";
+  send(encode_request(request));
+  const json::Value payload = read_payload();
+  if (response_type(payload) != "metrics") {
+    throw std::runtime_error("unexpected response to metrics");
+  }
+  return payload.at("text").as_string();
+}
+
+StatsInfo ServiceClient::stats() {
+  Request request;
+  request.id = next_id();
+  request.verb = "stats";
+  send(encode_request(request));
+  const json::Value payload = read_payload();
+  if (response_type(payload) != "stats") {
+    throw std::runtime_error("unexpected response to stats");
+  }
+  return parse_stats(payload);
+}
+
+std::vector<CampaignStatus> ServiceClient::status() {
+  Request request;
+  request.id = next_id();
+  request.verb = "status";
+  send(encode_request(request));
+  const json::Value payload = read_payload();
+  if (response_type(payload) != "status") {
+    throw std::runtime_error("unexpected response to status");
+  }
+  return parse_status(payload);
+}
+
+bool ServiceClient::cancel(std::uint64_t campaign, ErrorInfo* error) {
+  Request request;
+  request.id = next_id();
+  request.verb = "cancel";
+  request.target = campaign;
+  send(encode_request(request));
+  const json::Value payload = read_payload();
+  if (response_type(payload) == "ack") return true;
+  if (response_type(payload) == "error") {
+    if (error != nullptr) *error = parse_error(payload);
+    return false;
+  }
+  throw std::runtime_error("unexpected response to cancel");
+}
+
+bool ServiceClient::drain() {
+  Request request;
+  request.id = next_id();
+  request.verb = "drain";
+  send(encode_request(request));
+  return response_type(read_payload()) == "ack";
+}
+
+}  // namespace svc
+}  // namespace hars

@@ -1,0 +1,73 @@
+// ServiceClient: typed client for the hars_simd wire protocol.
+//
+// One client owns one connection and runs a strictly request->response
+// conversation on it (submit streams ack -> records... -> summary /
+// result). Transport and framing failures throw std::runtime_error;
+// typed protocol errors (quota, draining, bad request, ...) come back
+// in the Outcome so callers can branch on the ErrorCode — a drained
+// campaign, for example, is not an exception: its summary carries the
+// resume cursor.
+//
+// tools/hars_client, hars_sim --remote and the tests/svc suites all sit
+// on this class; none of them touch frames directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/net.hpp"
+#include "svc/protocol.hpp"
+
+namespace hars {
+namespace svc {
+
+/// Terminal result of a submit conversation.
+struct SubmitOutcome {
+  bool ok = false;
+  AckInfo ack;               ///< Valid once the daemon admitted the campaign.
+  std::optional<ErrorInfo> error;  ///< Set when !ok.
+  SummaryInfo summary;       ///< Sweep submissions.
+  RunResultPayload result;   ///< Run submissions.
+};
+
+class ServiceClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  explicit ServiceClient(const Address& address);
+
+  bool ping();
+
+  using RecordFn = std::function<void(const Record&)>;
+  /// Submits a sweep campaign and streams its records into `on_record`
+  /// (in case order, byte-identical cells to a local run). Returns when
+  /// the terminal summary or a typed error arrives.
+  SubmitOutcome submit_sweep(const CampaignRequest& campaign,
+                             const RecordFn& on_record);
+  /// Submits a run-mode campaign; the outcome carries the full result
+  /// payload.
+  SubmitOutcome submit_run(const CampaignRequest& campaign);
+
+  /// Prometheus text exposition scraped from the daemon.
+  std::string metrics_text();
+  StatsInfo stats();
+  std::vector<CampaignStatus> status();
+  /// Typed error (kNotFound) comes back as nullopt-with-false; true on ack.
+  bool cancel(std::uint64_t campaign, ErrorInfo* error = nullptr);
+  /// Requests a daemon-wide graceful drain.
+  bool drain();
+
+ private:
+  std::uint64_t next_id() { return next_id_++; }
+  void send(const std::string& payload);
+  /// Reads one response frame and parses its JSON payload.
+  json::Value read_payload();
+
+  Socket socket_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace svc
+}  // namespace hars

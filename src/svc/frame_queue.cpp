@@ -1,0 +1,58 @@
+#include "svc/frame_queue.hpp"
+
+#include <algorithm>
+
+namespace hars {
+namespace svc {
+
+FrameQueue::FrameQueue(std::size_t max_frames)
+    : max_frames_(std::max<std::size_t>(1, max_frames)) {}
+
+bool FrameQueue::push(std::string frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  can_push_.wait(lock, [this] {
+    return frames_.size() < max_frames_ || closed_ || discarding_;
+  });
+  if (closed_ || discarding_) return false;
+  frames_.push_back(std::move(frame));
+  can_pop_.notify_one();
+  return true;
+}
+
+bool FrameQueue::pop_batch(std::string* out, std::size_t max_bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  can_pop_.wait(lock,
+                [this] { return !frames_.empty() || closed_ || discarding_; });
+  if (discarding_ || frames_.empty()) return false;
+  out->clear();
+  while (!frames_.empty() &&
+         (out->empty() || out->size() + frames_.front().size() <= max_bytes)) {
+    out->append(frames_.front());
+    frames_.pop_front();
+  }
+  can_push_.notify_all();
+  return true;
+}
+
+void FrameQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+void FrameQueue::discard_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  discarding_ = true;
+  frames_.clear();
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+std::size_t FrameQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_.size();
+}
+
+}  // namespace svc
+}  // namespace hars

@@ -1,0 +1,63 @@
+// FrameQueue: the bounded per-connection send queue.
+//
+// Producers are the connection's request handler and its campaign
+// runner threads; the single consumer is the connection's writer
+// thread, which drains frames in batches (one write() per batch, not
+// per frame — record streams are many small frames). The bound is the
+// backpressure mechanism: when a client stops reading, the writer
+// blocks in write(), the queue fills, and push() blocks the campaign
+// runner — which stalls that campaign's emission cursor without
+// consuming unbounded memory or blocking any other campaign (workers
+// keep running other cases; only the emit step waits).
+//
+// Teardown: close() lets queued frames flush then stops the consumer;
+// discard_all() (peer gone) drops everything and unblocks producers
+// immediately — pushes become no-ops so runners finish unimpeded.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace hars {
+namespace svc {
+
+class FrameQueue {
+ public:
+  /// `max_frames` bounds queued-but-unsent frames (>= 1).
+  explicit FrameQueue(std::size_t max_frames);
+
+  /// Enqueues one encoded frame, blocking while the queue is full.
+  /// Returns false (dropping the frame) after close()/discard_all().
+  bool push(std::string frame);
+
+  /// Dequeues up to `max_bytes` of consecutive frames into `out`
+  /// (always at least one frame when available, regardless of size).
+  /// Blocks while empty; false when the queue is closed and drained, or
+  /// discarding.
+  bool pop_batch(std::string* out, std::size_t max_bytes);
+
+  /// Stops accepting pushes; pop_batch drains what is queued, then
+  /// reports exhaustion.
+  void close();
+
+  /// Peer is gone: drops queued frames, rejects future ones, unblocks
+  /// everyone.
+  void discard_all();
+
+  std::size_t size() const;
+
+ private:
+  const std::size_t max_frames_;
+  mutable std::mutex mutex_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<std::string> frames_;
+  bool closed_ = false;
+  bool discarding_ = false;
+};
+
+}  // namespace svc
+}  // namespace hars

@@ -1,0 +1,290 @@
+#include "svc/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+namespace hars {
+namespace svc {
+
+// --- Address ---
+
+Address Address::parse(std::string_view text) {
+  Address out;
+  if (text.rfind("unix:", 0) == 0) {
+    out.kind = Kind::kUnix;
+    out.path = std::string(text.substr(5));
+    if (out.path.empty()) {
+      throw std::invalid_argument("svc: empty unix socket path");
+    }
+    return out;
+  }
+  if (text.rfind("tcp:", 0) == 0) text.remove_prefix(4);
+  if (text.find('/') != std::string_view::npos) {
+    out.kind = Kind::kUnix;
+    out.path = std::string(text);
+    return out;
+  }
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos) {
+    throw std::invalid_argument(
+        "svc: address must be tcp:HOST:PORT, HOST:PORT, :PORT, unix:PATH "
+        "or a filesystem path");
+  }
+  out.kind = Kind::kTcp;
+  out.host = colon == 0 ? "127.0.0.1" : std::string(text.substr(0, colon));
+  const std::string port_text(text.substr(colon + 1));
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    throw std::invalid_argument("svc: bad port '" + port_text + "'");
+  }
+  out.port = static_cast<int>(port);
+  return out;
+}
+
+std::string Address::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+// --- Socket ---
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::write_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t wrote = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (wrote == 0) return false;
+    p += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool Socket::read_exact(void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd_, p, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF mid-message.
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+long Socket::read_some(void* data, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd_, data, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return static_cast<long>(got);
+  }
+}
+
+bool Socket::wait_readable(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    // POLLHUP/POLLERR also count as readable: the next read reports the
+    // EOF/error to the caller.
+    return rc > 0;
+  }
+}
+
+void Socket::shutdown_send() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- Listener ---
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error("svc: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      bound_(std::move(other.bound_)),
+      unlink_on_close_(other.unlink_on_close_) {
+  other.fd_ = -1;
+  other.unlink_on_close_ = false;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    bound_ = std::move(other.bound_);
+    unlink_on_close_ = other.unlink_on_close_;
+    other.fd_ = -1;
+    other.unlink_on_close_ = false;
+  }
+  return *this;
+}
+
+Listener Listener::listen(const Address& address, int backlog) {
+  Listener out;
+  out.bound_ = address;
+  if (address.kind == Address::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (address.path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("svc: unix socket path too long: " +
+                               address.path);
+    }
+    std::strncpy(addr.sun_path, address.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    out.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (out.fd_ < 0) fail_errno("socket(AF_UNIX)");
+    ::unlink(address.path.c_str());  // Stale socket file from a dead daemon.
+    if (::bind(out.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      fail_errno("bind " + address.path);
+    }
+    out.unlink_on_close_ = true;
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(address.port));
+    if (::inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("svc: bad listen host '" + address.host +
+                               "' (numeric IPv4 only)");
+    }
+    out.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (out.fd_ < 0) fail_errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(out.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(out.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      fail_errno("bind " + address.to_string());
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(out.fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+        0) {
+      out.bound_.port = ntohs(addr.sin_port);  // Resolves port 0.
+    }
+  }
+  if (::listen(out.fd_, backlog) < 0) fail_errno("listen");
+  return out;
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) return std::nullopt;  // Re-check drain flag.
+    if (rc <= 0) return std::nullopt;
+    break;
+  }
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  if (bound_.kind == Address::Kind::kTcp) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return Socket(fd);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (unlink_on_close_) {
+    ::unlink(bound_.path.c_str());
+    unlink_on_close_ = false;
+  }
+}
+
+Socket connect_to(const Address& address) {
+  int fd = -1;
+  if (address.kind == Address::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (address.path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("svc: unix socket path too long: " +
+                               address.path);
+    }
+    std::strncpy(addr.sun_path, address.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail_errno("socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      errno = err;
+      fail_errno("connect " + address.to_string());
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(address.port));
+    if (::inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("svc: bad host '" + address.host +
+                               "' (numeric IPv4 only)");
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail_errno("socket(AF_INET)");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      errno = err;
+      fail_errno("connect " + address.to_string());
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return Socket(fd);
+}
+
+}  // namespace svc
+}  // namespace hars

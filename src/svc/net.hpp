@@ -1,0 +1,113 @@
+// Minimal POSIX socket layer for the hars_simd service: address
+// parsing ("tcp:host:port", "host:port", ":port", "unix:/path" or a
+// bare filesystem path), RAII stream sockets with full-buffer
+// read/write, and a listener with poll-based timed accept so the
+// daemon's accept loop can watch its drain flag.
+//
+// Local-first by design: the daemon binds loopback TCP or a Unix
+// domain socket. Blocking I/O everywhere — backpressure is part of the
+// protocol contract (see docs/FILE_FORMATS.md, "Wire protocol") — with
+// poll timeouts only where the daemon must stay responsive (accept,
+// idle request reads).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hars {
+namespace svc {
+
+struct Address {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";  ///< kTcp
+  int port = 0;                    ///< kTcp; 0 = ephemeral (listen only).
+  std::string path;                ///< kUnix
+
+  /// Parses "tcp:HOST:PORT", "HOST:PORT", ":PORT", "unix:PATH", or a
+  /// bare path (anything containing '/'). Throws std::invalid_argument.
+  static Address parse(std::string_view text);
+
+  /// Canonical printable form ("tcp:127.0.0.1:7414" / "unix:/tmp/h.sock").
+  std::string to_string() const;
+};
+
+/// RAII stream socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all `n` bytes (retrying short writes/EINTR). False on error
+  /// or peer close. SIGPIPE is suppressed (MSG_NOSIGNAL).
+  bool write_all(const void* data, std::size_t n);
+  bool write_all(std::string_view s) { return write_all(s.data(), s.size()); }
+
+  /// Reads exactly `n` bytes. False on error or EOF before `n`.
+  bool read_exact(void* data, std::size_t n);
+
+  /// Reads up to `n` bytes; returns the count, 0 on orderly EOF, -1 on
+  /// error.
+  long read_some(void* data, std::size_t n);
+
+  /// Waits until the socket is readable; false on timeout. A negative
+  /// timeout waits forever.
+  bool wait_readable(int timeout_ms);
+
+  /// Disables further sends (wakes a peer blocked in read).
+  void shutdown_send();
+  /// Disables both directions (wakes peer and our own blocked reads).
+  void shutdown_both();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to `address`. For TCP, port 0 binds an
+/// ephemeral port — bound_address() reports the real one (tests use
+/// this to avoid fixed-port collisions). For Unix sockets, a stale
+/// socket file at the path is unlinked first, and the file is removed
+/// on close.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens; throws std::runtime_error on failure.
+  static Listener listen(const Address& address, int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  const Address& bound_address() const { return bound_; }
+
+  /// Accepts one connection, waiting at most `timeout_ms` (negative =
+  /// forever). nullopt on timeout or transient error.
+  std::optional<Socket> accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  Address bound_;
+  bool unlink_on_close_ = false;
+};
+
+/// Connects a stream socket to `address`; throws std::runtime_error.
+Socket connect_to(const Address& address);
+
+}  // namespace svc
+}  // namespace hars

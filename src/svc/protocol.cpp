@@ -1,0 +1,530 @@
+#include "svc/protocol.hpp"
+
+#include <limits>
+
+namespace hars {
+namespace svc {
+
+namespace {
+
+// --- Parse helpers -------------------------------------------------------
+//
+// json::Value::at/as_* throw std::runtime_error on shape mismatches;
+// the public parse_* entry points below translate those into
+// ProtocolError so callers can map them to a typed kBadRequest.
+
+double num_at(const json::Value& v, std::string_view key) {
+  const json::Value& m = v.at(key);
+  // The writer serializes non-finite doubles as null (JSON has no NaN).
+  if (m.is_null()) return std::numeric_limits<double>::quiet_NaN();
+  return m.as_number();
+}
+
+double num_or(const json::Value& v, std::string_view key, double fallback) {
+  const json::Value* m = v.find(key);
+  if (m == nullptr) return fallback;
+  if (m->is_null()) return std::numeric_limits<double>::quiet_NaN();
+  return m->as_number();
+}
+
+std::uint64_t u64_at(const json::Value& v, std::string_view key) {
+  return static_cast<std::uint64_t>(num_at(v, key));
+}
+
+std::uint64_t u64_or(const json::Value& v, std::string_view key,
+                     std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      num_or(v, key, static_cast<double>(fallback)));
+}
+
+std::int64_t i64_or(const json::Value& v, std::string_view key,
+                    std::int64_t fallback) {
+  return static_cast<std::int64_t>(
+      num_or(v, key, static_cast<double>(fallback)));
+}
+
+bool bool_or(const json::Value& v, std::string_view key, bool fallback) {
+  const json::Value* m = v.find(key);
+  return m != nullptr ? m->as_bool() : fallback;
+}
+
+std::string string_or(const json::Value& v, std::string_view key,
+                      std::string fallback = {}) {
+  const json::Value* m = v.find(key);
+  return m != nullptr ? m->as_string() : std::move(fallback);
+}
+
+std::vector<std::string> strings_or(const json::Value& v,
+                                    std::string_view key) {
+  std::vector<std::string> out;
+  const json::Value* m = v.find(key);
+  if (m == nullptr) return out;
+  for (const json::Value& item : m->as_array()) out.push_back(item.as_string());
+  return out;
+}
+
+std::vector<double> doubles_or(const json::Value& v, std::string_view key) {
+  std::vector<double> out;
+  const json::Value* m = v.find(key);
+  if (m == nullptr) return out;
+  for (const json::Value& item : m->as_array()) out.push_back(item.as_number());
+  return out;
+}
+
+std::vector<int> ints_or(const json::Value& v, std::string_view key) {
+  std::vector<int> out;
+  const json::Value* m = v.find(key);
+  if (m == nullptr) return out;
+  for (const json::Value& item : m->as_array()) {
+    out.push_back(static_cast<int>(item.as_number()));
+  }
+  return out;
+}
+
+// --- Encode helpers ------------------------------------------------------
+
+void write_strings(json::Writer& w, std::string_view key,
+                   const std::vector<std::string>& items) {
+  w.key(key).begin_array();
+  for (const std::string& item : items) w.value(item);
+  w.end_array();
+}
+
+void write_doubles(json::Writer& w, std::string_view key,
+                   const std::vector<double>& items) {
+  w.key(key).begin_array();
+  for (double item : items) w.value(item);
+  w.end_array();
+}
+
+void write_ints(json::Writer& w, std::string_view key,
+                const std::vector<int>& items) {
+  w.key(key).begin_array();
+  for (int item : items) w.value(item);
+  w.end_array();
+}
+
+void write_metrics(json::Writer& w, const RunMetrics& m) {
+  w.begin_object()
+      .key("norm_perf").value(m.norm_perf)
+      .key("avg_rate_hps").value(m.avg_rate_hps)
+      .key("avg_power_w").value(m.avg_power_w)
+      .key("perf_per_watt").value(m.perf_per_watt)
+      .key("manager_cpu_pct").value(m.manager_cpu_pct)
+      .key("heartbeats").value(m.heartbeats)
+      .key("in_window_fraction").value(m.in_window_fraction)
+      .key("energy_j").value(m.energy_j)
+      .key("energy_per_beat_j").value(m.energy_per_beat_j)
+      .end_object();
+}
+
+RunMetrics parse_metrics(const json::Value& v) {
+  RunMetrics m;
+  m.norm_perf = num_at(v, "norm_perf");
+  m.avg_rate_hps = num_at(v, "avg_rate_hps");
+  m.avg_power_w = num_at(v, "avg_power_w");
+  m.perf_per_watt = num_at(v, "perf_per_watt");
+  m.manager_cpu_pct = num_at(v, "manager_cpu_pct");
+  m.heartbeats = static_cast<std::int64_t>(num_at(v, "heartbeats"));
+  m.in_window_fraction = num_at(v, "in_window_fraction");
+  m.energy_j = num_at(v, "energy_j");
+  m.energy_per_beat_j = num_at(v, "energy_per_beat_j");
+  return m;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownVerb: return "unknown_verb";
+    case ErrorCode::kTooManyClients: return "too_many_clients";
+    case ErrorCode::kQuotaExceeded: return "quota_exceeded";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kDraining: return "draining";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+std::optional<ErrorCode> parse_error_code(std::string_view name) {
+  for (ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kUnknownVerb,
+        ErrorCode::kTooManyClients, ErrorCode::kQuotaExceeded,
+        ErrorCode::kQueueFull, ErrorCode::kDraining, ErrorCode::kNotFound,
+        ErrorCode::kInternal}) {
+    if (name == error_code_name(code)) return code;
+  }
+  return std::nullopt;
+}
+
+std::string encode_request(const Request& request) {
+  json::Writer w;
+  w.begin_object()
+      .key("id").value(request.id)
+      .key("verb").value(request.verb);
+  if (request.verb == "submit") {
+    const CampaignRequest& c = request.campaign;
+    w.key("campaign").begin_object()
+        .key("mode").value(c.mode);
+    write_strings(w, "benches", c.benches);
+    write_strings(w, "variants", c.variants);
+    write_strings(w, "platforms", c.platforms);
+    write_strings(w, "scenarios", c.scenarios);
+    write_doubles(w, "fractions", c.fractions);
+    write_ints(w, "distances", c.distances);
+    w.key("duration_sec").value(c.duration_sec)
+        .key("threads").value(c.threads)
+        .key("seed").value(c.seed)
+        .key("derive_seeds").value(c.derive_seeds)
+        .key("start_case").value(c.start_case)
+        .key("want_trace").value(c.want_trace)
+        .key("scheduler").value(c.scheduler)
+        .key("predictor").value(c.predictor)
+        .key("policy").value(c.policy)
+        .key("learn_ratio").value(c.learn_ratio)
+        .end_object();
+  } else if (request.verb == "cancel") {
+    w.key("target").value(request.target);
+  }
+  w.end_object();
+  return w.str();
+}
+
+Request parse_request(const json::Value& payload) {
+  try {
+    Request request;
+    request.id = u64_or(payload, "id", 0);
+    request.verb = payload.at("verb").as_string();
+    if (request.verb == "submit") {
+      const json::Value& c = payload.at("campaign");
+      CampaignRequest& out = request.campaign;
+      out.mode = string_or(c, "mode", "sweep");
+      if (out.mode != "sweep" && out.mode != "run") {
+        throw ProtocolError("unknown campaign mode '" + out.mode + "'");
+      }
+      out.benches = strings_or(c, "benches");
+      out.variants = strings_or(c, "variants");
+      out.platforms = strings_or(c, "platforms");
+      out.scenarios = strings_or(c, "scenarios");
+      out.fractions = doubles_or(c, "fractions");
+      out.distances = ints_or(c, "distances");
+      out.duration_sec = num_or(c, "duration_sec", 120.0);
+      out.threads = static_cast<int>(num_or(c, "threads", 8.0));
+      out.seed = u64_or(c, "seed", 1);
+      out.derive_seeds = bool_or(c, "derive_seeds", false);
+      out.start_case = u64_or(c, "start_case", 0);
+      out.want_trace = bool_or(c, "want_trace", false);
+      out.scheduler = string_or(c, "scheduler");
+      out.predictor = string_or(c, "predictor");
+      out.policy = string_or(c, "policy");
+      out.learn_ratio = bool_or(c, "learn_ratio", false);
+    } else if (request.verb == "cancel") {
+      request.target = u64_at(payload, "target");
+    }
+    return request;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("malformed request: ") + e.what());
+  }
+}
+
+std::string encode_ack(const AckInfo& ack) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("ack")
+      .key("id").value(ack.id)
+      .key("campaign").value(ack.campaign)
+      .key("cases").value(ack.cases)
+      .end_object();
+  return w.str();
+}
+
+std::string encode_stats(const StatsInfo& stats) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("stats")
+      .key("id").value(stats.id)
+      .key("sessions").value(stats.sessions)
+      .key("campaigns_active").value(stats.campaigns_active)
+      .key("campaigns_total").value(stats.campaigns_total)
+      .key("records_streamed").value(stats.records_streamed)
+      .key("caches").begin_array();
+  for (const CacheStat& c : stats.caches) {
+    w.begin_object()
+        .key("name").value(c.name)
+        .key("hits").value(c.hits)
+        .key("misses").value(c.misses)
+        .key("entries").value(c.entries)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+StatsInfo parse_stats(const json::Value& payload) {
+  StatsInfo stats;
+  stats.id = u64_or(payload, "id", 0);
+  stats.sessions = u64_or(payload, "sessions", 0);
+  stats.campaigns_active = u64_or(payload, "campaigns_active", 0);
+  stats.campaigns_total = u64_or(payload, "campaigns_total", 0);
+  stats.records_streamed = u64_or(payload, "records_streamed", 0);
+  const json::Value* caches = payload.find("caches");
+  if (caches != nullptr) {
+    for (const json::Value& item : caches->as_array()) {
+      CacheStat c;
+      c.name = string_or(item, "name");
+      c.hits = u64_or(item, "hits", 0);
+      c.misses = u64_or(item, "misses", 0);
+      c.entries = u64_or(item, "entries", 0);
+      stats.caches.push_back(std::move(c));
+    }
+  }
+  return stats;
+}
+
+std::string encode_error(const ErrorInfo& error) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("error")
+      .key("id").value(error.id)
+      .key("code").value(error_code_name(error.code))
+      .key("message").value(error.message)
+      .end_object();
+  return w.str();
+}
+
+std::string encode_record(std::uint64_t id, const Record& record) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("record")
+      .key("id").value(id)
+      .key("cells").begin_array();
+  for (const RecordCell& cell : record.cells()) {
+    w.begin_object().key("k").value(cell.key).key("t").value(cell.text);
+    if (cell.numeric) w.key("n").value(cell.number);
+    w.end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+Record parse_record(const json::Value& payload) {
+  Record record;
+  for (const json::Value& item : payload.at("cells").as_array()) {
+    RecordCell cell;
+    cell.key = item.at("k").as_string();
+    cell.text = item.at("t").as_string();
+    const json::Value* n = item.find("n");
+    if (n != nullptr) {
+      cell.numeric = true;
+      cell.number = n->is_null() ? std::numeric_limits<double>::quiet_NaN()
+                                 : n->as_number();
+    }
+    record.set_cell(std::move(cell));
+  }
+  return record;
+}
+
+std::string encode_summary(const SummaryInfo& summary) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("summary")
+      .key("id").value(summary.id)
+      .key("campaign").value(summary.campaign)
+      .key("status").value(summary.status)
+      .key("cases").value(summary.cases)
+      .key("emitted_through").value(summary.emitted_through)
+      .key("failed").value(summary.failed)
+      .key("wall_ms").value(summary.wall_ms)
+      .end_object();
+  return w.str();
+}
+
+SummaryInfo parse_summary(const json::Value& payload) {
+  SummaryInfo summary;
+  summary.id = u64_or(payload, "id", 0);
+  summary.campaign = u64_or(payload, "campaign", 0);
+  summary.status = string_or(payload, "status", "complete");
+  summary.cases = u64_or(payload, "cases", 0);
+  summary.emitted_through = u64_or(payload, "emitted_through", 0);
+  summary.failed = u64_or(payload, "failed", 0);
+  summary.wall_ms = num_or(payload, "wall_ms", 0.0);
+  return summary;
+}
+
+AckInfo parse_ack(const json::Value& payload) {
+  AckInfo ack;
+  ack.id = u64_or(payload, "id", 0);
+  ack.campaign = u64_or(payload, "campaign", 0);
+  ack.cases = u64_or(payload, "cases", 0);
+  return ack;
+}
+
+ErrorInfo parse_error(const json::Value& payload) {
+  ErrorInfo error;
+  error.id = u64_or(payload, "id", 0);
+  error.code = parse_error_code(string_or(payload, "code", "internal"))
+                   .value_or(ErrorCode::kInternal);
+  error.message = string_or(payload, "message");
+  return error;
+}
+
+std::string encode_pong(std::uint64_t id) {
+  json::Writer w;
+  w.begin_object().key("type").value("pong").key("id").value(id).end_object();
+  return w.str();
+}
+
+std::string encode_metrics_text(std::uint64_t id, std::string_view text) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("metrics")
+      .key("id").value(id)
+      .key("text").value(text)
+      .end_object();
+  return w.str();
+}
+
+std::string encode_status(std::uint64_t id,
+                          const std::vector<CampaignStatus>& campaigns) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("status")
+      .key("id").value(id)
+      .key("campaigns").begin_array();
+  for (const CampaignStatus& c : campaigns) {
+    w.begin_object()
+        .key("campaign").value(c.campaign)
+        .key("state").value(c.state)
+        .key("cases").value(c.cases)
+        .key("emitted").value(c.emitted)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+std::vector<CampaignStatus> parse_status(const json::Value& payload) {
+  std::vector<CampaignStatus> out;
+  for (const json::Value& item : payload.at("campaigns").as_array()) {
+    CampaignStatus status;
+    status.campaign = u64_or(item, "campaign", 0);
+    status.state = string_or(item, "state", "running");
+    status.cases = u64_or(item, "cases", 0);
+    status.emitted = u64_or(item, "emitted", 0);
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+RunResultPayload run_payload_of(const ExperimentResult& result,
+                                bool include_traces) {
+  RunResultPayload payload;
+  payload.avg_power_w = result.avg_power_w;
+  payload.adaptations = result.adaptations;
+  if (result.static_state.has_value()) {
+    payload.has_static_state = true;
+    payload.static_state_text = result.static_state->to_string();
+  }
+  payload.apps.reserve(result.apps.size());
+  for (const AppRunResult& app : result.apps) {
+    RunAppPayload out;
+    out.label = app.label;
+    out.target = app.target;
+    out.metrics = app.metrics;
+    if (include_traces) out.trace = app.trace;
+    out.spawn_time_us = app.spawn_time_us;
+    out.depart_time_us = app.depart_time_us;
+    payload.apps.push_back(std::move(out));
+  }
+  return payload;
+}
+
+std::string encode_run_result(std::uint64_t id,
+                              const RunResultPayload& payload) {
+  json::Writer w;
+  w.begin_object()
+      .key("type").value("result")
+      .key("id").value(id)
+      .key("avg_power_w").value(payload.avg_power_w)
+      .key("adaptations").value(payload.adaptations);
+  if (payload.has_static_state) {
+    w.key("static_state").value(payload.static_state_text);
+  }
+  w.key("apps").begin_array();
+  for (const RunAppPayload& app : payload.apps) {
+    w.begin_object()
+        .key("label").value(app.label)
+        .key("target_min").value(app.target.min)
+        .key("target_max").value(app.target.max)
+        .key("spawn_us").value(app.spawn_time_us)
+        .key("depart_us").value(app.depart_time_us)
+        .key("metrics");
+    write_metrics(w, app.metrics);
+    if (!app.trace.empty()) {
+      // Compact row form: [hb_index, hps, big, little, big_ghz, little_ghz].
+      w.key("trace").begin_array();
+      for (const TracePoint& p : app.trace) {
+        w.begin_array()
+            .value(p.hb_index)
+            .value(p.hps)
+            .value(p.big_cores)
+            .value(p.little_cores)
+            .value(p.big_freq_ghz)
+            .value(p.little_freq_ghz)
+            .end_array();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+RunResultPayload parse_run_result(const json::Value& payload) {
+  RunResultPayload out;
+  out.avg_power_w = num_or(payload, "avg_power_w", 0.0);
+  out.adaptations = i64_or(payload, "adaptations", 0);
+  const json::Value* state = payload.find("static_state");
+  if (state != nullptr) {
+    out.has_static_state = true;
+    out.static_state_text = state->as_string();
+  }
+  for (const json::Value& item : payload.at("apps").as_array()) {
+    RunAppPayload app;
+    app.label = string_or(item, "label");
+    app.target.min = num_or(item, "target_min", 0.0);
+    app.target.max = num_or(item, "target_max", 0.0);
+    app.spawn_time_us = i64_or(item, "spawn_us", 0);
+    app.depart_time_us = i64_or(item, "depart_us", -1);
+    app.metrics = parse_metrics(item.at("metrics"));
+    const json::Value* trace = item.find("trace");
+    if (trace != nullptr) {
+      for (const json::Value& row : trace->as_array()) {
+        const std::vector<json::Value>& cols = row.as_array();
+        if (cols.size() != 6) throw ProtocolError("malformed trace row");
+        TracePoint p;
+        p.hb_index = static_cast<std::int64_t>(cols[0].as_number());
+        p.hps = cols[1].as_number();
+        p.big_cores = static_cast<int>(cols[2].as_number());
+        p.little_cores = static_cast<int>(cols[3].as_number());
+        p.big_freq_ghz = cols[4].as_number();
+        p.little_freq_ghz = cols[5].as_number();
+        app.trace.push_back(p);
+      }
+    }
+    out.apps.push_back(std::move(app));
+  }
+  return out;
+}
+
+std::string response_type(const json::Value& payload) {
+  return string_or(payload, "type");
+}
+
+}  // namespace svc
+}  // namespace hars

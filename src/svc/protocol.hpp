@@ -1,0 +1,205 @@
+// Typed request/response layer of the hars_simd wire protocol.
+//
+// Every frame payload is one JSON object. Requests carry a client-chosen
+// `id` echoed on every response frame they produce, a `verb`, and
+// verb-specific fields; responses carry a `type` discriminator:
+//
+//   verb submit  -> ack, then (sweep) a stream of `record` frames and a
+//                   terminal `summary`, or (run) a terminal `result`.
+//   verb status  -> `status` (active campaign table)
+//   verb cancel  -> ack (the cancelled campaign's own stream terminates
+//                   with a `summary` of status "cancelled")
+//   verb drain   -> ack; daemon-wide drain begins (idempotent)
+//   verb metrics -> `metrics` (Prometheus text exposition in `text`)
+//   verb stats   -> `stats` (sessions, campaigns, service cache tier)
+//   verb ping    -> `pong`
+//   any error    -> `error` with a typed `code` (see ErrorCode)
+//
+// Campaign submissions are *declarative* — named benchmarks, variants,
+// platforms, scenarios and numeric axes, exactly the surface hars_sim
+// exposes — because builder mutators (arbitrary closures) cannot cross
+// a process boundary. The daemon expands them through the same
+// SweepSpec/ExperimentBuilder code paths as an in-process run, which is
+// what makes streamed records byte-identical to local execution.
+//
+// Determinism: record frames serialize each cell verbatim (key, exact
+// formatted text, numeric flag, numeric value), so the client-side
+// reconstruction feeds CsvSink/JsonlSink the same cells the in-process
+// engine would have.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "sweep/result_sink.hpp"
+#include "util/json.hpp"
+
+namespace hars {
+namespace svc {
+
+/// Typed error codes; `code` on every error frame.
+enum class ErrorCode {
+  kBadRequest,      ///< Malformed JSON / missing fields / unknown names.
+  kUnknownVerb,
+  kTooManyClients,  ///< Connection admission failed.
+  kQuotaExceeded,   ///< Per-client concurrent-campaign quota hit.
+  kQueueFull,       ///< Global queued-case budget exhausted.
+  kDraining,        ///< Daemon is draining; no new submissions.
+  kNotFound,        ///< cancel/status target does not exist.
+  kInternal,
+};
+
+const char* error_code_name(ErrorCode code);
+std::optional<ErrorCode> parse_error_code(std::string_view name);
+
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Declarative campaign description (verb submit). Vector fields are
+/// sweep axes; run mode requires at most one value per axis. Field
+/// names mirror the hars_sim CLI flags they are filled from.
+struct CampaignRequest {
+  std::string mode = "sweep";  ///< "sweep" | "run"
+  std::vector<std::string> benches;  ///< PARSEC codes ("SW", "BO", ...).
+  std::vector<std::string> variants;
+  std::vector<std::string> platforms;
+  std::vector<std::string> scenarios;
+  std::vector<double> fractions;
+  std::vector<int> distances;
+  double duration_sec = 120.0;
+  int threads = 8;
+  std::uint64_t seed = 1;
+  bool derive_seeds = false;
+  /// Resume: skip cases below this index (their records were already
+  /// emitted by a drained predecessor; see SweepOptions::start_case).
+  std::uint64_t start_case = 0;
+  /// Run mode: include per-app behaviour traces in the result payload.
+  bool want_trace = false;
+  // Run-mode tuning (empty string = builder default).
+  std::string scheduler;
+  std::string predictor;
+  std::string policy;
+  bool learn_ratio = false;
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string verb;
+  CampaignRequest campaign;   ///< verb == submit
+  std::uint64_t target = 0;   ///< verb == cancel: campaign id
+};
+
+std::string encode_request(const Request& request);
+/// Throws ProtocolError on malformed input.
+Request parse_request(const json::Value& payload);
+
+// --- Response frames ---
+
+struct AckInfo {
+  std::uint64_t id = 0;        ///< Echoed request id.
+  std::uint64_t campaign = 0;  ///< Assigned campaign id (submit only).
+  std::uint64_t cases = 0;     ///< Expanded case count (submit only).
+};
+
+struct ErrorInfo {
+  std::uint64_t id = 0;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+struct SummaryInfo {
+  std::uint64_t id = 0;
+  std::uint64_t campaign = 0;
+  std::string status;  ///< "complete" | "drained" | "cancelled"
+  std::uint64_t cases = 0;
+  std::uint64_t emitted_through = 0;
+  std::uint64_t failed = 0;
+  double wall_ms = 0.0;
+};
+
+/// One active campaign row of a `status` response.
+struct CampaignStatus {
+  std::uint64_t campaign = 0;
+  std::string state;  ///< "running" | "draining"
+  std::uint64_t cases = 0;
+  std::uint64_t emitted = 0;
+};
+
+/// One shared-cache tier row of a `stats` response (hit/miss counters
+/// and entry-count gauge of a named OnceCache, read from the metrics
+/// registry; see svc/service_cache.hpp).
+struct CacheStat {
+  std::string name;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+};
+
+struct StatsInfo {
+  std::uint64_t id = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t campaigns_active = 0;
+  std::uint64_t campaigns_total = 0;   ///< Since daemon start.
+  std::uint64_t records_streamed = 0;  ///< Since daemon start.
+  std::vector<CacheStat> caches;
+};
+
+std::string encode_ack(const AckInfo& ack);
+std::string encode_stats(const StatsInfo& stats);
+StatsInfo parse_stats(const json::Value& payload);
+std::string encode_error(const ErrorInfo& error);
+std::string encode_record(std::uint64_t id, const Record& record);
+std::string encode_summary(const SummaryInfo& summary);
+std::string encode_pong(std::uint64_t id);
+std::string encode_metrics_text(std::uint64_t id, std::string_view text);
+std::string encode_status(std::uint64_t id,
+                          const std::vector<CampaignStatus>& campaigns);
+
+/// Run-mode result payload: everything hars_sim's human-readable report
+/// prints (per-app metrics, targets, spawn/depart, optional traces, the
+/// SO static-state string), so `--remote` output is byte-identical to
+/// in-process. Carried as data rather than ExperimentResult because a
+/// SystemState cannot be reconstructed client-side from its printout.
+struct RunAppPayload {
+  std::string label;
+  PerfTarget target;
+  RunMetrics metrics;
+  std::vector<TracePoint> trace;  ///< Only when traces were requested.
+  std::int64_t spawn_time_us = 0;
+  std::int64_t depart_time_us = -1;
+};
+
+struct RunResultPayload {
+  std::vector<RunAppPayload> apps;
+  double avg_power_w = 0.0;
+  std::int64_t adaptations = 0;
+  bool has_static_state = false;
+  std::string static_state_text;
+};
+
+/// Flattens an ExperimentResult into the wire payload (server side; the
+/// hars_sim local path uses it too so both paths print from the same
+/// struct).
+RunResultPayload run_payload_of(const ExperimentResult& result,
+                                bool include_traces);
+
+std::string encode_run_result(std::uint64_t id,
+                              const RunResultPayload& payload);
+
+/// The `type` member of a response payload.
+std::string response_type(const json::Value& payload);
+
+Record parse_record(const json::Value& payload);
+SummaryInfo parse_summary(const json::Value& payload);
+AckInfo parse_ack(const json::Value& payload);
+ErrorInfo parse_error(const json::Value& payload);
+RunResultPayload parse_run_result(const json::Value& payload);
+std::vector<CampaignStatus> parse_status(const json::Value& payload);
+
+}  // namespace svc
+}  // namespace hars

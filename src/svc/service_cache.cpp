@@ -1,0 +1,54 @@
+#include "svc/service_cache.hpp"
+
+#include <string_view>
+
+#include "exp/calibration.hpp"
+#include "hmp/platform_registry.hpp"
+
+namespace hars {
+namespace svc {
+
+std::vector<CacheStat> service_cache_stats(
+    const obs::MetricsSnapshot& snapshot) {
+  std::vector<CacheStat> rows;
+  auto row_of = [&rows](std::string_view name) -> CacheStat& {
+    for (CacheStat& row : rows) {
+      if (row.name == name) return row;
+    }
+    rows.push_back(CacheStat{std::string(name), 0, 0, 0});
+    return rows.back();
+  };
+  for (const obs::MetricValue& metric : snapshot.metrics) {
+    const std::string_view name = metric.name;
+    if (name.rfind("cache.", 0) != 0) continue;
+    const std::size_t dot = name.rfind('.');
+    if (dot <= 6) continue;  // No field suffix after the cache name.
+    const std::string_view cache = name.substr(6, dot - 6);
+    const std::string_view field = name.substr(dot + 1);
+    CacheStat& row = row_of(cache);
+    if (field == "hit") {
+      row.hits = metric.counter;
+    } else if (field == "miss") {
+      row.misses = metric.counter;
+    } else if (field == "entries") {
+      row.entries = static_cast<std::uint64_t>(metric.gauge);
+    }
+  }
+  return rows;
+}
+
+std::size_t prewarm_calibration(const std::vector<ParsecBenchmark>& benches,
+                                const std::string& platform_name, int threads,
+                                std::uint64_t seed) {
+  const PlatformSpec platform = PlatformRegistry::instance().get(
+      platform_name.empty() ? "exynos5422" : platform_name);
+  std::size_t warmed = 0;
+  for (ParsecBenchmark bench : benches) {
+    (void)calibrate_benchmark(platform, bench, threads, seed);
+    ++warmed;
+  }
+  return warmed;
+}
+
+}  // namespace svc
+}  // namespace hars

@@ -1,0 +1,40 @@
+// The daemon's shared cache tier.
+//
+// The expensive keyed memoizations (calibration runs, static-optimal
+// exhaustive searches, concurrent baseline probes) live in named
+// process-wide OnceCaches. In a one-shot CLI they amortize within a
+// single campaign; inside hars_simd they are *cross-request*: every
+// client of the daemon shares one warm tier for the life of the
+// process. Each OnceCache publishes `cache.<name>.{hit,miss}` counters
+// and a `cache.<name>.entries` gauge to the MetricsRegistry (see
+// util/once_cache.hpp); this module aggregates those into the typed
+// rows the `stats` protocol verb reports, and can prewarm the
+// calibration tier so the first client does not pay the cold cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/parsec.hpp"
+#include "obs/metrics.hpp"
+#include "svc/protocol.hpp"
+
+namespace hars {
+namespace svc {
+
+/// Aggregates every `cache.<name>.*` metric of `snapshot` into one row
+/// per cache, in first-appearance order.
+std::vector<CacheStat> service_cache_stats(const obs::MetricsSnapshot& snapshot);
+
+/// Runs the default-parameter calibration for each benchmark on the
+/// named platform (empty = the exynos5422 preset), populating the
+/// shared calibration cache before the first client arrives. Returns
+/// the number of calibrations performed. Cost: one short baseline
+/// simulation per cold (platform, bench) pair.
+std::size_t prewarm_calibration(const std::vector<ParsecBenchmark>& benches,
+                                const std::string& platform_name = {},
+                                int threads = 8, std::uint64_t seed = 1);
+
+}  // namespace svc
+}  // namespace hars

@@ -1,0 +1,79 @@
+#include "svc/session.hpp"
+
+namespace hars {
+namespace svc {
+
+SessionManager::SessionManager(SessionLimits limits) : limits_(limits) {}
+
+std::optional<std::uint64_t> SessionManager::open_session() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) return std::nullopt;
+  if (sessions_.size() >= static_cast<std::size_t>(limits_.max_clients)) {
+    return std::nullopt;
+  }
+  const std::uint64_t id = next_id_++;
+  sessions_.emplace(id, Session{});
+  return id;
+}
+
+void SessionManager::close_session(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(session);
+}
+
+std::optional<ErrorCode> SessionManager::admit_campaign(std::uint64_t session,
+                                                        std::uint64_t cases) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) return ErrorCode::kDraining;
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return ErrorCode::kInternal;
+  if (it->second.campaigns >= limits_.max_campaigns_per_client) {
+    return ErrorCode::kQuotaExceeded;
+  }
+  if (queued_cases_ + cases > limits_.max_queued_cases) {
+    return ErrorCode::kQueueFull;
+  }
+  ++it->second.campaigns;
+  ++active_campaigns_;
+  queued_cases_ += cases;
+  return std::nullopt;
+}
+
+void SessionManager::release_campaign(std::uint64_t session,
+                                      std::uint64_t cases) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session);
+  if (it != sessions_.end() && it->second.campaigns > 0) {
+    --it->second.campaigns;
+  }
+  if (active_campaigns_ > 0) --active_campaigns_;
+  queued_cases_ -= cases <= queued_cases_ ? cases : queued_cases_;
+}
+
+void SessionManager::begin_drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool SessionManager::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+std::uint64_t SessionManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+std::uint64_t SessionManager::active_campaigns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_campaigns_;
+}
+
+std::uint64_t SessionManager::queued_cases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_cases_;
+}
+
+}  // namespace svc
+}  // namespace hars

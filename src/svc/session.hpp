@@ -1,0 +1,74 @@
+// SessionManager: admission control for the hars_simd daemon.
+//
+// One session is one accepted connection. Admission is two-layered:
+// connections (max_clients) and campaigns (a per-session concurrency
+// quota plus a global queued-case budget, so one client cannot submit a
+// million-case sweep and starve everyone else). All checks are typed —
+// a rejected admission names the ErrorCode the protocol layer sends —
+// and a draining daemon rejects every new submission with kDraining
+// while existing sessions run to completion.
+//
+// Thread safety: every method is safe to call from any connection
+// thread; state is one mutex-guarded table (admission is far off the
+// simulation hot path).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "svc/protocol.hpp"
+
+namespace hars {
+namespace svc {
+
+struct SessionLimits {
+  int max_clients = 16;
+  int max_campaigns_per_client = 4;
+  /// Global budget of expanded-but-unfinished cases across campaigns.
+  std::uint64_t max_queued_cases = 1u << 20;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(SessionLimits limits);
+
+  /// Admits a new connection: the session id, or nullopt when the
+  /// daemon is full or draining (the caller sends kTooManyClients /
+  /// kDraining and closes).
+  std::optional<std::uint64_t> open_session();
+  void close_session(std::uint64_t session);
+
+  /// Admits a campaign of `cases` cases for `session`: nullopt =
+  /// admitted (the caller must later release_campaign), otherwise the
+  /// ErrorCode to report (kDraining, kQuotaExceeded, kQueueFull).
+  std::optional<ErrorCode> admit_campaign(std::uint64_t session,
+                                          std::uint64_t cases);
+  void release_campaign(std::uint64_t session, std::uint64_t cases);
+
+  /// Idempotent; new sessions and campaigns are rejected from now on.
+  void begin_drain();
+  bool draining() const;
+
+  std::uint64_t active_sessions() const;
+  std::uint64_t active_campaigns() const;
+  std::uint64_t queued_cases() const;
+  const SessionLimits& limits() const { return limits_; }
+
+ private:
+  struct Session {
+    int campaigns = 0;
+  };
+
+  SessionLimits limits_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t queued_cases_ = 0;
+  std::uint64_t active_campaigns_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace svc
+}  // namespace hars

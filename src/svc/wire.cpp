@@ -1,0 +1,68 @@
+#include "svc/wire.hpp"
+
+namespace hars {
+namespace svc {
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 16);
+  out += std::to_string(payload.size());
+  out.push_back('\n');
+  out.append(payload.data(), payload.size());
+  out.push_back('\n');
+  return out;
+}
+
+FrameResult read_frame(Socket& socket, std::string* payload,
+                       std::string* error) {
+  // Length line: decimal digits then LF, read byte-wise (the line is
+  // tiny; the payload read below is the bulk transfer).
+  std::string length_line;
+  for (;;) {
+    char c;
+    const long got = socket.read_some(&c, 1);
+    if (got <= 0) {
+      if (got == 0 && length_line.empty()) return FrameResult::kClosed;
+      if (error != nullptr) {
+        *error = length_line.empty() ? "read error at frame start"
+                                     : "EOF inside frame length";
+      }
+      return FrameResult::kError;
+    }
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || length_line.size() > 12) {
+      if (error != nullptr) *error = "malformed frame length";
+      return FrameResult::kError;
+    }
+    length_line.push_back(c);
+  }
+  if (length_line.empty()) {
+    if (error != nullptr) *error = "empty frame length";
+    return FrameResult::kError;
+  }
+  const std::size_t length = std::stoull(length_line);
+  if (length > kMaxFrameBytes) {
+    if (error != nullptr) {
+      *error = "frame of " + length_line + " bytes exceeds limit";
+    }
+    return FrameResult::kOversize;
+  }
+  payload->resize(length);
+  if (length > 0 && !socket.read_exact(payload->data(), length)) {
+    if (error != nullptr) *error = "EOF inside frame payload";
+    return FrameResult::kError;
+  }
+  char trailer;
+  if (!socket.read_exact(&trailer, 1) || trailer != '\n') {
+    if (error != nullptr) *error = "missing frame trailer";
+    return FrameResult::kError;
+  }
+  return FrameResult::kOk;
+}
+
+bool write_frame(Socket& socket, std::string_view payload) {
+  return socket.write_all(encode_frame(payload));
+}
+
+}  // namespace svc
+}  // namespace hars

@@ -1,0 +1,51 @@
+// Length-prefixed JSONL framing for the hars_simd wire protocol.
+//
+// One frame is one JSON document on the wire:
+//
+//   <decimal payload byte length> LF <payload JSON, no raw newlines> LF
+//
+// e.g. `17\n{"verb":"ping"}\n` — netcat-debuggable, self-delimiting,
+// and cheap to parse. The length covers the payload only (neither LF).
+// The JSON writer escapes control characters, so a well-formed payload
+// never contains a raw newline; the trailing LF is a frame-integrity
+// check, not a delimiter the reader depends on.
+//
+// Limits: a frame larger than kMaxFrameBytes is a protocol error (the
+// reader refuses to allocate for it), as is a malformed length line.
+// See docs/FILE_FORMATS.md, "Wire protocol".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "svc/net.hpp"
+
+namespace hars {
+namespace svc {
+
+/// Upper bound on one frame's payload (a streamed record is ~1 KiB; a
+/// run result with traces can reach megabytes).
+constexpr std::size_t kMaxFrameBytes = std::size_t{64} << 20;
+
+/// `payload` wrapped in the frame envelope.
+std::string encode_frame(std::string_view payload);
+
+enum class FrameResult {
+  kOk,
+  kClosed,    ///< Orderly EOF between frames (peer finished).
+  kError,     ///< I/O error, truncated frame, or malformed envelope.
+  kOversize,  ///< Declared length exceeds kMaxFrameBytes.
+};
+
+/// Reads one frame into `payload`. Blocking; kClosed only when EOF
+/// lands exactly on a frame boundary. `error` (optional) receives a
+/// diagnostic for kError/kOversize.
+FrameResult read_frame(Socket& socket, std::string* payload,
+                       std::string* error = nullptr);
+
+/// Writes one frame; false on I/O error (peer gone).
+bool write_frame(Socket& socket, std::string_view payload);
+
+}  // namespace svc
+}  // namespace hars

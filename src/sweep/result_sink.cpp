@@ -51,6 +51,14 @@ Record& Record::set(std::string key, double value) {
   return *this;
 }
 
+Record& Record::set_cell(RecordCell cell) {
+  RecordCell& slot = upsert_cell(cells_, std::move(cell.key));
+  slot.text = std::move(cell.text);
+  slot.numeric = cell.numeric;
+  slot.number = cell.number;
+  return *this;
+}
+
 Record& Record::set(std::string key, std::int64_t value) {
   RecordCell& cell = upsert_cell(cells_, std::move(key));
   cell.text = std::to_string(value);

@@ -47,6 +47,12 @@ class Record {
   Record& set(std::string key, int value) {
     return set(std::move(key), static_cast<std::int64_t>(value));
   }
+  /// Sets a cell verbatim — text, numeric flag and numeric value all
+  /// supplied by the caller, no reformatting. The svc wire layer uses
+  /// this to reconstruct a streamed record byte-identically (int64 and
+  /// double cells format differently, so re-deriving the text from the
+  /// number alone would not round-trip).
+  Record& set_cell(RecordCell cell);
 
   const std::vector<RecordCell>& cells() const { return cells_; }
   const RecordCell* find(std::string_view key) const;

@@ -1,7 +1,10 @@
 #include "sweep/sweep_engine.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -106,75 +109,38 @@ SweepReport SweepEngine::run(const SweepSpec& spec) {
   const auto campaign_start = std::chrono::steady_clock::now();
   std::vector<SweepCase> cases = spec.expand();
 
-  obs::gauge_set(obs::catalog().sweep_jobs,
-                 static_cast<double>(options_.jobs));
+  const int jobs = options_.shared_pool != nullptr
+                       ? options_.shared_pool->worker_count()
+                       : options_.jobs;
+  obs::gauge_set(obs::catalog().sweep_jobs, static_cast<double>(jobs));
 
   SweepReport report;
   report.campaign = spec.campaign();
-  report.jobs = options_.jobs;
+  report.jobs = jobs;
   report.outcomes.resize(cases.size());
 
-  std::vector<char> done(cases.size(), 0);
+  // Emission state machine per case. kReady cases release through the
+  // cursor in order; a kBlocked case (drained/cancelled before it ran)
+  // stalls the cursor permanently, so sink output is always a clean
+  // contiguous prefix of the full campaign — the resume contract.
+  enum : char { kPending = 0, kReady = 1, kBlocked = 2 };
+  std::vector<char> state(cases.size(), kPending);
   /// Completion instant of each case, for the emit-wait histogram.
   std::vector<std::chrono::steady_clock::time_point> finished(cases.size());
-  std::mutex emit_mutex;      // Guards done[], emit cursor, and the sinks.
+  std::mutex emit_mutex;      // Guards state[], emit cursor, and the sinks.
   std::size_t emit_cursor = 0;
+  std::atomic<int> observed_stop{0};  ///< Last control word that dropped a case.
 
-  const auto run_case = [&](std::size_t i) {
-    // Pool workers attach here (cold, before any guarded experiment
-    // code); when telemetry is off this keeps them detached.
-    obs::ensure_thread_registered();
-    CaseOutcome outcome;
-    outcome.sweep_case = cases[i];
-    const auto case_start = std::chrono::steady_clock::now();
-    obs::hist_observe(
-        obs::catalog().sweep_case_queue_ms,
-        std::chrono::duration<double, std::milli>(case_start - campaign_start)
-            .count());
-    try {
-      std::vector<Record> columns;
-      if (spec.runner()) {
-        columns = spec.runner()(cases[i]);
-      } else {
-        columns = run_experiment_case(
-            spec, cases[i], options_.keep_results ? &outcome.result : nullptr);
-      }
-      const Record prefix = coord_prefix(cases[i], spec.seeding());
-      outcome.records.reserve(columns.size());
-      for (const Record& c : columns) outcome.records.push_back(merge(prefix, c));
-    } catch (const std::exception& e) {
-      outcome.error = e.what();
-    } catch (...) {
-      outcome.error = "unknown error";
-    }
-    outcome.wall_ms = elapsed_ms(case_start);
-    obs::counter_add(obs::catalog().sweep_cases);
-    obs::hist_observe(obs::catalog().sweep_case_run_ms, outcome.wall_ms);
-    if (options_.record_timing) {
-      // Opt-in timing columns, appended after the deterministic metric
-      // columns so the default column set stays byte-identical.
-      const auto worker = static_cast<std::int64_t>(
-          WorkStealingPool::current_worker());
-      for (Record& r : outcome.records) {
-        r.set("case_wall_ms", outcome.wall_ms);
-        r.set("worker", worker);
-      }
-    }
-
-    // Publish, then release the completed prefix to the sinks in order.
-    // A throwing sink is captured as that case's error — it must not
-    // escape the pool task (std::terminate) or stall the cursor.
-    std::lock_guard<std::mutex> lock(emit_mutex);
-    report.outcomes[i] = std::move(outcome);
-    done[i] = 1;
-    finished[i] = std::chrono::steady_clock::now();
-    while (emit_cursor < done.size() && done[emit_cursor]) {
+  const auto emit_ready_locked = [&] {
+    while (emit_cursor < state.size() && state[emit_cursor] == kReady) {
       CaseOutcome& ready = report.outcomes[emit_cursor];
       obs::hist_observe(obs::catalog().sweep_case_emit_ms,
                         std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() -
                             finished[emit_cursor])
                             .count());
+      // A throwing sink is captured as that case's error — it must not
+      // escape the pool task (std::terminate) or stall the cursor.
       try {
         for (const Record& record : ready.records) {
           for (ResultSink* sink : sinks_) sink->write(record);
@@ -190,11 +156,109 @@ SweepReport SweepEngine::run(const SweepSpec& spec) {
     }
   };
 
-  if (options_.jobs == 1) {
-    for (std::size_t i = 0; i < cases.size(); ++i) run_case(i);
+  // Resume: the [0, start_case) prefix was emitted by a previous run of
+  // the same spec (indices are a pure function of the spec), so it is
+  // marked ready with no records and the cursor swallows it.
+  const std::size_t first_case = std::min(options_.start_case, cases.size());
+  {
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    for (std::size_t i = 0; i < first_case; ++i) {
+      report.outcomes[i].sweep_case = cases[i];
+      report.outcomes[i].error = "skipped";
+      finished[i] = campaign_start;
+      state[i] = kReady;
+    }
+    emit_ready_locked();
+  }
+
+  const auto run_case = [&](std::size_t i) {
+    // Pool workers attach here (cold, before any guarded experiment
+    // code); when telemetry is off this keeps them detached.
+    obs::ensure_thread_registered();
+    CaseOutcome outcome;
+    outcome.sweep_case = cases[i];
+    char outcome_state = kReady;
+    const int control =
+        options_.control != nullptr
+            ? options_.control->load(std::memory_order_acquire)
+            : static_cast<int>(SweepControl::kRun);
+    if (control != static_cast<int>(SweepControl::kRun)) {
+      // Not run: in-flight cases finish, this one never starts.
+      outcome.error = control == static_cast<int>(SweepControl::kCancel)
+                          ? "cancelled"
+                          : "drained";
+      outcome_state = kBlocked;
+      observed_stop.store(control, std::memory_order_relaxed);
+    } else {
+      const auto case_start = std::chrono::steady_clock::now();
+      obs::hist_observe(obs::catalog().sweep_case_queue_ms,
+                        std::chrono::duration<double, std::milli>(
+                            case_start - campaign_start)
+                            .count());
+      try {
+        std::vector<Record> columns;
+        if (spec.runner()) {
+          columns = spec.runner()(cases[i]);
+        } else {
+          columns = run_experiment_case(
+              spec, cases[i],
+              options_.keep_results ? &outcome.result : nullptr);
+        }
+        const Record prefix = coord_prefix(cases[i], spec.seeding());
+        outcome.records.reserve(columns.size());
+        for (const Record& c : columns) {
+          outcome.records.push_back(merge(prefix, c));
+        }
+      } catch (const std::exception& e) {
+        outcome.error = e.what();
+      } catch (...) {
+        outcome.error = "unknown error";
+      }
+      outcome.wall_ms = elapsed_ms(case_start);
+      obs::counter_add(obs::catalog().sweep_cases);
+      obs::hist_observe(obs::catalog().sweep_case_run_ms, outcome.wall_ms);
+      if (options_.record_timing) {
+        // Opt-in timing columns, appended after the deterministic metric
+        // columns so the default column set stays byte-identical.
+        const auto worker = static_cast<std::int64_t>(
+            WorkStealingPool::current_worker());
+        for (Record& r : outcome.records) {
+          r.set("case_wall_ms", outcome.wall_ms);
+          r.set("worker", worker);
+        }
+      }
+    }
+
+    // Publish, then release the completed prefix to the sinks in order.
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    report.outcomes[i] = std::move(outcome);
+    state[i] = outcome_state;
+    finished[i] = std::chrono::steady_clock::now();
+    emit_ready_locked();
+  };
+
+  if (options_.shared_pool != nullptr) {
+    // Shared pool: other campaigns' tasks interleave with ours, so wait
+    // on a campaign-local latch instead of pool.wait_idle().
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = cases.size() - first_case;
+    if (remaining > 0) {
+      for (std::size_t i = first_case; i < cases.size(); ++i) {
+        options_.shared_pool->submit([&, i] {
+          run_case(i);
+          std::lock_guard<std::mutex> lock(done_mutex);
+          if (--remaining == 0) done_cv.notify_all();
+        });
+      }
+      std::unique_lock<std::mutex> lock(done_mutex);
+      done_cv.wait(lock, [&] { return remaining == 0; });
+    }
+  } else if (options_.jobs == 1) {
+    for (std::size_t i = first_case; i < cases.size(); ++i) run_case(i);
   } else {
     WorkStealingPool pool(options_.jobs);
-    for (std::size_t i = 0; i < cases.size(); ++i) {
+    for (std::size_t i = first_case; i < cases.size(); ++i) {
       pool.submit([&run_case, i] { run_case(i); });
     }
     pool.wait_idle();
@@ -202,8 +266,23 @@ SweepReport SweepEngine::run(const SweepSpec& spec) {
 
   for (ResultSink* sink : sinks_) sink->flush();
   for (const CaseOutcome& outcome : report.outcomes) {
-    if (!outcome.ok()) ++report.failed;
+    // Control-dropped and resume-skipped cases are not failures: they
+    // are accounted through status / emitted_through instead.
+    if (!outcome.ok() && outcome.error != "skipped" &&
+        outcome.error != "drained" && outcome.error != "cancelled") {
+      ++report.failed;
+    }
   }
+  {
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    report.emitted_through = emit_cursor;
+  }
+  const int stop = observed_stop.load(std::memory_order_relaxed);
+  report.status = stop == static_cast<int>(SweepControl::kCancel)
+                      ? "cancelled"
+                      : stop == static_cast<int>(SweepControl::kDrain)
+                            ? "drained"
+                            : "complete";
   report.wall_ms = elapsed_ms(campaign_start);
   return report;
 }

@@ -15,6 +15,7 @@
 // CaseOutcome / SweepReport, never in sink records.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -24,6 +25,16 @@
 #include "sweep/sweep_spec.hpp"
 
 namespace hars {
+
+class WorkStealingPool;
+
+/// Live control word a long-running campaign polls between cases; the
+/// hars_simd daemon flips it on SIGTERM (drain) or a client cancel.
+enum class SweepControl : int {
+  kRun = 0,    ///< Keep scheduling cases.
+  kDrain = 1,  ///< Finish in-flight cases; unstarted ones are not run.
+  kCancel = 2, ///< Same scheduling behaviour, reported as cancelled.
+};
 
 struct SweepOptions {
   /// Worker threads; 1 runs inline on the calling thread, 0 means
@@ -38,6 +49,24 @@ struct SweepOptions {
   /// — the byte-identity guarantees above only cover the default
   /// column set.
   bool record_timing = false;
+  /// Run on this externally owned pool instead of creating one (the
+  /// daemon shares one pool across concurrent campaigns). The engine
+  /// then tracks its own cases with a campaign-local latch rather than
+  /// pool.wait_idle(), so campaigns never wait on each other's work.
+  /// `jobs` is ignored when set.
+  WorkStealingPool* shared_pool = nullptr;
+  /// Optional external control word (values of SweepControl), polled
+  /// before each case starts. nullptr = run to completion. A case that
+  /// observes kDrain/kCancel before starting is *not run*: its outcome
+  /// carries error "drained"/"cancelled", it emits no records, and it
+  /// permanently stalls the emission cursor so the sink output stays a
+  /// clean contiguous prefix of the full campaign (the resume contract).
+  const std::atomic<int>* control = nullptr;
+  /// Skip cases with index < start_case (resume of a drained campaign:
+  /// expansion is a pure function of the spec, so indices — and the
+  /// skipped cases' would-be records — are stable across processes).
+  /// Skipped cases emit nothing and report error "skipped".
+  std::size_t start_case = 0;
 };
 
 struct CaseOutcome {
@@ -56,6 +85,12 @@ struct SweepReport {
   int jobs = 1;
   double wall_ms = 0.0;  ///< Whole-campaign wall clock.
   std::size_t failed = 0;
+  /// "complete", "drained" or "cancelled" (see SweepOptions::control).
+  std::string status = "complete";
+  /// Cases whose records reached the sinks: the contiguous prefix
+  /// [start_case, emitted_through). Equals outcomes.size() on a complete
+  /// run; a drained campaign resumes with start_case = emitted_through.
+  std::size_t emitted_through = 0;
 
   double cases_per_sec() const {
     return wall_ms > 0.0 ? 1e3 * static_cast<double>(outcomes.size()) / wall_ms

@@ -69,8 +69,8 @@ bool WorkStealingPool::try_pop(std::size_t self, std::function<void()>& task) {
   Worker& w = *queues_[self];
   std::lock_guard<std::mutex> lock(w.mutex);
   if (w.tasks.empty()) return false;
-  task = std::move(w.tasks.back());
-  w.tasks.pop_back();
+  task = std::move(w.tasks.front());
+  w.tasks.pop_front();
   return true;
 }
 

@@ -1,10 +1,16 @@
 // A small work-stealing thread pool for sweep campaigns.
 //
-// Each worker owns a deque: it pops its own tasks LIFO (cache-warm) and,
-// when empty, steals FIFO from a victim — the classic Blumofe/Leiserson
-// shape, implemented with per-deque mutexes rather than a lock-free
-// Chase-Lev deque because sweep tasks are whole simulations (milliseconds
-// to seconds each); queue overhead is noise and the mutexes keep the pool
+// Each worker owns a deque: it pops its own tasks FIFO and, when empty,
+// steals FIFO from a victim. FIFO own-pop (instead of the classic
+// cache-warm LIFO) is deliberate: sweep tasks are whole simulations
+// (milliseconds to seconds each) with no locality between them, and
+// running them in roughly submission order keeps the SweepEngine's
+// ordered emission cursor advancing continuously — which is what gives
+// hars_simd clients low submit-to-first-record latency and makes a
+// drained campaign's resume cursor land near the true progress point
+// instead of at the oldest unfinished straggler. Per-deque mutexes
+// rather than a lock-free Chase-Lev deque because queue overhead is
+// noise at this task granularity and the mutexes keep the pool
 // trivially ThreadSanitizer-clean.
 //
 // Determinism contract: the pool makes no ordering promises — callers that

@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -288,6 +290,191 @@ Value parse_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse(buffer.str());
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string number_to_string(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "null";  // Cannot happen for a finite double.
+  return std::string(buf, ptr);
+}
+
+void Writer::before_value() {
+  if (done_) throw std::logic_error("json::Writer: document already complete");
+  if (stack_.empty()) return;  // Top-level value.
+  if (stack_.back() == Scope::kObject) {
+    if (!key_pending_) {
+      throw std::logic_error("json::Writer: value inside object needs key()");
+    }
+    key_pending_ = false;
+    return;  // key() already placed the comma and colon.
+  }
+  if (!first_.back()) out_.push_back(',');
+  first_.back() = false;
+}
+
+Writer& Writer::begin_object() {
+  before_value();
+  out_.push_back('{');
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_) {
+    throw std::logic_error("json::Writer: unbalanced end_object()");
+  }
+  out_.push_back('}');
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value();
+  out_.push_back('[');
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray) {
+    throw std::logic_error("json::Writer: unbalanced end_array()");
+  }
+  out_.push_back(']');
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_) {
+    throw std::logic_error("json::Writer: key() outside an object");
+  }
+  if (!first_.back()) out_.push_back(',');
+  first_.back() = false;
+  out_.push_back('"');
+  out_ += escape(k);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view s) {
+  before_value();
+  out_.push_back('"');
+  out_ += escape(s);
+  out_.push_back('"');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  before_value();
+  out_ += number_to_string(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out_.append(buf, ptr);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out_.append(buf, ptr);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull: return null();
+    case Value::Type::kBool: return value(v.as_bool());
+    case Value::Type::kNumber: return value(v.as_number());
+    case Value::Type::kString: return value(std::string_view(v.as_string()));
+    case Value::Type::kArray: {
+      begin_array();
+      for (const Value& item : v.as_array()) value(item);
+      return end_array();
+    }
+    case Value::Type::kObject: {
+      begin_object();
+      for (const auto& [k, member] : v.as_object()) {
+        key(k);
+        value(member);
+      }
+      return end_object();
+    }
+  }
+  return *this;  // Unreachable.
+}
+
+const std::string& Writer::str() const {
+  if (!done_ || !stack_.empty()) {
+    throw std::logic_error("json::Writer: document incomplete");
+  }
+  return out_;
+}
+
+std::string dump(const Value& v) {
+  Writer w;
+  w.value(v);
+  return w.str();
 }
 
 }  // namespace json

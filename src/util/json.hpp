@@ -1,13 +1,21 @@
-// Minimal JSON reader for tooling and tests: bench_report merges the
-// BENCH_*.json perf records, docs_check validates the telemetry example
-// files, and the obs tests parse the sink outputs back. Recursive
-// descent over the full JSON grammar; objects preserve key order.
-// Throws std::runtime_error (with byte offset) on malformed input.
-// This is a consumer-side utility — writers in this repo emit JSON by
-// hand so their byte-level output stays deterministic.
+// Minimal JSON reader + writer.
+//
+// Reader: bench_report merges the BENCH_*.json perf records, docs_check
+// validates the telemetry example files, and the obs tests parse the
+// sink outputs back. Recursive descent over the full JSON grammar;
+// objects preserve key order. Throws std::runtime_error (with byte
+// offset) on malformed input.
+//
+// Writer: the svc wire protocol's frame serializer. Deterministic by
+// construction — members emit in call order, numbers use the shortest
+// round-trip decimal form (std::to_chars), strings escape every control
+// character — so a frame's bytes are a pure function of its content and
+// survive a round trip through the parser above. Non-finite numbers
+// serialize as null (matching the JsonlSink convention).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -63,6 +71,65 @@ Value parse(std::string_view text);
 
 /// Parses the file at `path` (throws on I/O failure too).
 Value parse_file(const std::string& path);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes
+/// added): `"` `\` and every control character < 0x20 become escapes
+/// (`\n`, `\t`, ... or `\u00XX`); everything else — including UTF-8
+/// multibyte sequences — passes through untouched.
+std::string escape(std::string_view s);
+
+/// Shortest round-trip decimal form of `v`; integral values print
+/// without a decimal point. NaN/Inf (not representable in JSON) print
+/// as `null`.
+std::string number_to_string(double v);
+
+/// Streaming JSON writer: builds one compact document (no whitespace)
+/// in call order. Misuse (a key outside an object, a bare value inside
+/// an object, unbalanced end_*) throws std::logic_error — the protocol
+/// layer treats frame-building bugs as programming errors.
+///
+///   Writer w;
+///   w.begin_object()
+///       .key("verb").value("submit")
+///       .key("cases").value(std::int64_t{42})
+///       .end_object();
+///   send(w.str());
+class Writer {
+ public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+  /// Member key; must be directly inside an object, before its value.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view s);
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(double v);
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(bool b);
+  Writer& null();
+  /// Serializes a whole Value tree in place of one scalar.
+  Writer& value(const Value& v);
+
+  /// The finished document; throws std::logic_error while containers
+  /// are still open or nothing was written.
+  const std::string& str() const;
+
+ private:
+  enum class Scope : unsigned char { kObject, kArray };
+  void before_value();
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;   ///< Parallel to stack_: no comma needed yet.
+  bool key_pending_ = false;  ///< key() emitted, value must follow.
+  bool done_ = false;         ///< A complete top-level value exists.
+};
+
+/// One-call serialization of a Value tree (compact form, writer rules).
+std::string dump(const Value& v);
 
 }  // namespace json
 }  // namespace hars

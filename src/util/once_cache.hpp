@@ -8,6 +8,18 @@
 // uncached sweep cases bit-identical. A computation that throws resets
 // the entry, so a later call retries.
 //
+// Named caches are observable: constructing an OnceCache with a name
+// registers `cache.<name>.hit`, `cache.<name>.miss` counters and a
+// `cache.<name>.entries` gauge in the MetricsRegistry (lazily, on first
+// lookup — registration is cold and idempotent). A lookup that returns a
+// previously computed value counts as a hit — including lookups that
+// waited on a computation another thread started; the thread that runs
+// the computation counts a miss. This is the observability surface of
+// the hars_simd shared service cache tier: the calibration,
+// baseline-probe and static-optimal caches are named, so the daemon's
+// /metrics verb reports cross-request reuse. Unnamed caches are
+// metrics-free and behave exactly as before.
+//
 // Deliberately NOT std::call_once: an exception propagating out of the
 // callable must leave the flag retryable, and that path deadlocks under
 // ThreadSanitizer (the pthread_once interceptor does not unwind), which
@@ -20,13 +32,20 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace hars {
 
 template <typename Key, typename Value>
 class OnceCache {
  public:
+  OnceCache() = default;
+  /// A named cache registers hit/miss/entries metrics on first use.
+  explicit OnceCache(std::string name) : name_(std::move(name)) {}
+
   /// Returns the cached value for `key`, computing it via `fn` on first
   /// use. The returned copy is taken under the entry's lock after the
   /// state reaches kDone, so it never observes a partial write.
@@ -35,6 +54,7 @@ class OnceCache {
     std::shared_ptr<Entry> entry;
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      ensure_metrics_locked();
       std::shared_ptr<Entry>& slot = entries_[key];
       if (!slot) slot = std::make_shared<Entry>();
       entry = slot;
@@ -42,7 +62,10 @@ class OnceCache {
 
     std::unique_lock<std::mutex> lock(entry->m);
     for (;;) {
-      if (entry->state == State::kDone) return entry->value;
+      if (entry->state == State::kDone) {
+        obs::counter_add(hit_);
+        return entry->value;
+      }
       if (entry->state == State::kIdle) break;  // We become the computer.
       entry->cv.wait(lock, [&] { return entry->state != State::kRunning; });
     }
@@ -55,15 +78,26 @@ class OnceCache {
       entry->value = std::move(value);
       entry->state = State::kDone;
       entry->cv.notify_all();
+      obs::counter_add(miss_);
+      publish_entry_count();
       return entry->value;
     } catch (...) {
       lock.lock();
       entry->state = State::kIdle;  // Retryable: the next caller recomputes.
       entry->cv.notify_all();
       lock.unlock();
+      obs::counter_add(miss_);
       throw;
     }
   }
+
+  /// Number of keyed entries (computed or in flight). Observability.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  const std::string& name() const { return name_; }
 
  private:
   enum class State { kIdle, kRunning, kDone };
@@ -75,8 +109,40 @@ class OnceCache {
     Value value{};
   };
 
-  std::mutex mutex_;
+  /// Registers the metric ids once (idempotent by metric name). Called
+  /// under mutex_; cold — registration locks the registry and allocates.
+  void ensure_metrics_locked() {
+    if (name_.empty() || metrics_ready_) return;
+    auto& registry = obs::MetricsRegistry::instance();
+    const std::string base = "cache." + name_;
+    hit_ = registry.register_counter(
+        base + ".hit", "lookups served from cache '" + name_ + "'");
+    miss_ = registry.register_counter(
+        base + ".miss", "lookups that computed into cache '" + name_ + "'");
+    entries_gauge_ = registry.register_gauge(
+        base + ".entries", "keyed entries in cache '" + name_ + "'");
+    metrics_ready_ = true;
+  }
+
+  /// Publishes the entry-count gauge after a computation lands. Takes
+  /// mutex_ itself, so callers must NOT hold it (gauge_set is cold).
+  void publish_entry_count() {
+    if (name_.empty()) return;
+    std::size_t n;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      n = entries_.size();
+    }
+    obs::gauge_set(entries_gauge_, static_cast<double>(n));
+  }
+
+  mutable std::mutex mutex_;
   std::map<Key, std::shared_ptr<Entry>> entries_;
+  std::string name_;
+  bool metrics_ready_ = false;  ///< Guarded by mutex_.
+  obs::CounterId hit_;
+  obs::CounterId miss_;
+  obs::GaugeId entries_gauge_;
 };
 
 }  // namespace hars

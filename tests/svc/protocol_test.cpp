@@ -1,0 +1,268 @@
+// Request/response payload round-trips for the typed protocol layer.
+// The load-bearing property is cell-verbatim record serialization: the
+// client-side reconstruction must feed sinks the exact text the engine
+// formatted (int64 cells and double cells format differently).
+#include "svc/protocol.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace hars {
+namespace svc {
+namespace {
+
+TEST(ProtocolTest, ErrorCodeNamesRoundTrip) {
+  const ErrorCode codes[] = {
+      ErrorCode::kBadRequest,     ErrorCode::kUnknownVerb,
+      ErrorCode::kTooManyClients, ErrorCode::kQuotaExceeded,
+      ErrorCode::kQueueFull,      ErrorCode::kDraining,
+      ErrorCode::kNotFound,       ErrorCode::kInternal,
+  };
+  for (ErrorCode code : codes) {
+    const auto parsed = parse_error_code(error_code_name(code));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(parse_error_code("no_such_code").has_value());
+}
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  Request request;
+  request.id = 42;
+  request.verb = "submit";
+  request.campaign.mode = "sweep";
+  request.campaign.benches = {"SW", "BO"};
+  request.campaign.variants = {"HARS-E", "GTS"};
+  request.campaign.platforms = {"exynos5422"};
+  request.campaign.scenarios = {};
+  request.campaign.fractions = {0.85, 0.95};
+  request.campaign.distances = {1, 3};
+  request.campaign.duration_sec = 12.5;
+  request.campaign.threads = 4;
+  request.campaign.seed = 7;
+  request.campaign.derive_seeds = true;
+  request.campaign.start_case = 3;
+  request.campaign.want_trace = true;
+  request.campaign.scheduler = "hars";
+  request.campaign.predictor = "kalman";
+  request.campaign.policy = "hill";
+  request.campaign.learn_ratio = true;
+
+  const Request parsed = parse_request(json::parse(encode_request(request)));
+  EXPECT_EQ(parsed.id, 42u);
+  EXPECT_EQ(parsed.verb, "submit");
+  EXPECT_EQ(parsed.campaign.mode, "sweep");
+  EXPECT_EQ(parsed.campaign.benches, request.campaign.benches);
+  EXPECT_EQ(parsed.campaign.variants, request.campaign.variants);
+  EXPECT_EQ(parsed.campaign.platforms, request.campaign.platforms);
+  EXPECT_EQ(parsed.campaign.fractions, request.campaign.fractions);
+  EXPECT_EQ(parsed.campaign.distances, request.campaign.distances);
+  EXPECT_DOUBLE_EQ(parsed.campaign.duration_sec, 12.5);
+  EXPECT_EQ(parsed.campaign.threads, 4);
+  EXPECT_EQ(parsed.campaign.seed, 7u);
+  EXPECT_TRUE(parsed.campaign.derive_seeds);
+  EXPECT_EQ(parsed.campaign.start_case, 3u);
+  EXPECT_TRUE(parsed.campaign.want_trace);
+  EXPECT_EQ(parsed.campaign.scheduler, "hars");
+  EXPECT_EQ(parsed.campaign.predictor, "kalman");
+  EXPECT_EQ(parsed.campaign.policy, "hill");
+  EXPECT_TRUE(parsed.campaign.learn_ratio);
+}
+
+TEST(ProtocolTest, CancelRequestCarriesTarget) {
+  Request request;
+  request.id = 9;
+  request.verb = "cancel";
+  request.target = 1234;
+  const Request parsed = parse_request(json::parse(encode_request(request)));
+  EXPECT_EQ(parsed.verb, "cancel");
+  EXPECT_EQ(parsed.target, 1234u);
+}
+
+TEST(ProtocolTest, ParseRequestRejectsGarbage) {
+  EXPECT_THROW(parse_request(json::parse("[1,2,3]")), ProtocolError);
+  EXPECT_THROW(parse_request(json::parse("{\"id\":1}")), ProtocolError);
+}
+
+TEST(ProtocolTest, RecordCellsAreVerbatim) {
+  // 1e18 is exactly representable; to_string(int64) and
+  // format_number(double) disagree on its text ("1000000000000000000"
+  // vs "1e+18"), which is exactly why the wire carries cell text.
+  Record record;
+  record.set("bench", "SW");
+  record.set("case", std::int64_t{1000000000000000000});
+  record.set("speedup", 1e18);
+  record.set("frac", 0.1);
+
+  const json::Value payload = json::parse(encode_record(7, record));
+  EXPECT_EQ(response_type(payload), "record");
+  const Record parsed = parse_record(payload);
+
+  ASSERT_EQ(parsed.cells().size(), record.cells().size());
+  for (std::size_t i = 0; i < record.cells().size(); ++i) {
+    EXPECT_EQ(parsed.cells()[i].key, record.cells()[i].key);
+    EXPECT_EQ(parsed.cells()[i].text, record.cells()[i].text);
+    EXPECT_EQ(parsed.cells()[i].numeric, record.cells()[i].numeric);
+    if (record.cells()[i].numeric) {
+      EXPECT_EQ(parsed.cells()[i].number, record.cells()[i].number);
+    }
+  }
+  EXPECT_NE(parsed.text("case"), parsed.text("speedup"));
+}
+
+TEST(ProtocolTest, RecordNonFiniteNumberSurvives) {
+  Record record;
+  record.set("nanv", std::nan(""));
+  const Record parsed = parse_record(json::parse(encode_record(1, record)));
+  ASSERT_EQ(parsed.cells().size(), 1u);
+  EXPECT_TRUE(parsed.cells()[0].numeric);
+  EXPECT_TRUE(std::isnan(parsed.cells()[0].number));
+  EXPECT_EQ(parsed.cells()[0].text, record.cells()[0].text);
+}
+
+TEST(ProtocolTest, AckSummaryErrorRoundTrip) {
+  AckInfo ack;
+  ack.id = 3;
+  ack.campaign = 17;
+  ack.cases = 96;
+  const json::Value ack_payload = json::parse(encode_ack(ack));
+  EXPECT_EQ(response_type(ack_payload), "ack");
+  const AckInfo ack2 = parse_ack(ack_payload);
+  EXPECT_EQ(ack2.id, 3u);
+  EXPECT_EQ(ack2.campaign, 17u);
+  EXPECT_EQ(ack2.cases, 96u);
+
+  SummaryInfo summary;
+  summary.id = 3;
+  summary.campaign = 17;
+  summary.status = "drained";
+  summary.cases = 96;
+  summary.emitted_through = 40;
+  summary.failed = 2;
+  summary.wall_ms = 123.25;
+  const json::Value sum_payload = json::parse(encode_summary(summary));
+  EXPECT_EQ(response_type(sum_payload), "summary");
+  const SummaryInfo summary2 = parse_summary(sum_payload);
+  EXPECT_EQ(summary2.status, "drained");
+  EXPECT_EQ(summary2.emitted_through, 40u);
+  EXPECT_EQ(summary2.failed, 2u);
+  EXPECT_DOUBLE_EQ(summary2.wall_ms, 123.25);
+
+  ErrorInfo error;
+  error.id = 5;
+  error.code = ErrorCode::kDraining;
+  error.message = "daemon is draining";
+  const json::Value err_payload = json::parse(encode_error(error));
+  EXPECT_EQ(response_type(err_payload), "error");
+  const ErrorInfo error2 = parse_error(err_payload);
+  EXPECT_EQ(error2.code, ErrorCode::kDraining);
+  EXPECT_EQ(error2.message, "daemon is draining");
+}
+
+TEST(ProtocolTest, StatsAndStatusRoundTrip) {
+  StatsInfo stats;
+  stats.id = 8;
+  stats.sessions = 2;
+  stats.campaigns_active = 1;
+  stats.campaigns_total = 12;
+  stats.records_streamed = 4096;
+  stats.caches.push_back({"calibration", 30, 6, 6});
+  stats.caches.push_back({"static_optimal", 0, 2, 2});
+  const json::Value stats_payload = json::parse(encode_stats(stats));
+  EXPECT_EQ(response_type(stats_payload), "stats");
+  const StatsInfo stats2 = parse_stats(stats_payload);
+  EXPECT_EQ(stats2.sessions, 2u);
+  EXPECT_EQ(stats2.campaigns_total, 12u);
+  EXPECT_EQ(stats2.records_streamed, 4096u);
+  ASSERT_EQ(stats2.caches.size(), 2u);
+  EXPECT_EQ(stats2.caches[0].name, "calibration");
+  EXPECT_EQ(stats2.caches[0].hits, 30u);
+  EXPECT_EQ(stats2.caches[1].entries, 2u);
+
+  std::vector<CampaignStatus> rows;
+  rows.push_back({11, "running", 96, 40});
+  rows.push_back({12, "draining", 8, 8});
+  const json::Value status_payload = json::parse(encode_status(4, rows));
+  EXPECT_EQ(response_type(status_payload), "status");
+  const std::vector<CampaignStatus> rows2 = parse_status(status_payload);
+  ASSERT_EQ(rows2.size(), 2u);
+  EXPECT_EQ(rows2[0].campaign, 11u);
+  EXPECT_EQ(rows2[0].state, "running");
+  EXPECT_EQ(rows2[1].state, "draining");
+  EXPECT_EQ(rows2[1].emitted, 8u);
+}
+
+TEST(ProtocolTest, RunResultRoundTripWithTrace) {
+  RunResultPayload payload;
+  RunAppPayload app;
+  app.label = "SW";
+  app.target.min = 9.0;
+  app.target.max = 11.0;
+  app.metrics.norm_perf = 0.97;
+  app.metrics.avg_rate_hps = 10.2;
+  app.metrics.avg_power_w = 1.75;
+  app.metrics.perf_per_watt = 0.55;
+  app.metrics.manager_cpu_pct = 0.4;
+  app.metrics.heartbeats = 1200;
+  app.metrics.in_window_fraction = 0.91;
+  app.metrics.energy_j = 210.0;
+  app.metrics.energy_per_beat_j = 0.175;
+  app.spawn_time_us = 1000;
+  app.depart_time_us = 5'000'000;
+  app.trace.push_back({5, 10.5, 3, 1, 1.8, 1.4});
+  app.trace.push_back({6, 10.9, 4, 0, 2.0, 1.4});
+  payload.apps.push_back(app);
+  payload.avg_power_w = 1.75;
+  payload.adaptations = 37;
+  payload.has_static_state = true;
+  payload.static_state_text = "4+4 @ 1.8/1.4 GHz";
+
+  const json::Value encoded = json::parse(encode_run_result(2, payload));
+  EXPECT_EQ(response_type(encoded), "result");
+  const RunResultPayload parsed = parse_run_result(encoded);
+  ASSERT_EQ(parsed.apps.size(), 1u);
+  const RunAppPayload& a = parsed.apps[0];
+  EXPECT_EQ(a.label, "SW");
+  EXPECT_DOUBLE_EQ(a.target.min, 9.0);
+  EXPECT_DOUBLE_EQ(a.target.max, 11.0);
+  EXPECT_DOUBLE_EQ(a.metrics.norm_perf, 0.97);
+  EXPECT_DOUBLE_EQ(a.metrics.energy_per_beat_j, 0.175);
+  EXPECT_EQ(a.metrics.heartbeats, 1200);
+  EXPECT_EQ(a.spawn_time_us, 1000);
+  EXPECT_EQ(a.depart_time_us, 5'000'000);
+  ASSERT_EQ(a.trace.size(), 2u);
+  EXPECT_EQ(a.trace[1].hb_index, 6);
+  EXPECT_EQ(a.trace[1].big_cores, 4);
+  EXPECT_DOUBLE_EQ(a.trace[1].big_freq_ghz, 2.0);
+  EXPECT_DOUBLE_EQ(parsed.avg_power_w, 1.75);
+  EXPECT_EQ(parsed.adaptations, 37);
+  EXPECT_TRUE(parsed.has_static_state);
+  EXPECT_EQ(parsed.static_state_text, "4+4 @ 1.8/1.4 GHz");
+
+  // Without traces the payload stays compact.
+  RunResultPayload no_trace = payload;
+  no_trace.apps[0].trace.clear();
+  const RunResultPayload parsed2 =
+      parse_run_result(json::parse(encode_run_result(2, no_trace)));
+  EXPECT_TRUE(parsed2.apps[0].trace.empty());
+}
+
+TEST(ProtocolTest, PongAndMetricsText) {
+  const json::Value pong = json::parse(encode_pong(77));
+  EXPECT_EQ(response_type(pong), "pong");
+  EXPECT_EQ(pong.at("id").as_number(), 77.0);
+
+  const std::string text = "# TYPE svc_requests counter\nsvc_requests 4\n";
+  const json::Value metrics = json::parse(encode_metrics_text(78, text));
+  EXPECT_EQ(response_type(metrics), "metrics");
+  EXPECT_EQ(metrics.at("text").as_string(), text);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace hars

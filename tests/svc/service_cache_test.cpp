@@ -1,0 +1,90 @@
+// Aggregation of `cache.<name>.*` metrics into the typed CacheStat rows
+// the `stats` protocol verb reports, plus the end-to-end path through a
+// real named OnceCache.
+#include "svc/service_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "util/once_cache.hpp"
+
+namespace hars {
+namespace svc {
+namespace {
+
+using obs::MetricKind;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::MetricValue;
+
+MetricValue counter(std::string name, std::uint64_t value) {
+  MetricValue m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kCounter;
+  m.counter = value;
+  return m;
+}
+
+MetricValue gauge(std::string name, double value) {
+  MetricValue m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kGauge;
+  m.gauge = value;
+  return m;
+}
+
+TEST(ServiceCacheStats, AggregatesPerCacheRowsInFirstAppearanceOrder) {
+  MetricsSnapshot snapshot;
+  snapshot.metrics.push_back(counter("svc.requests", 9));  // not a cache
+  snapshot.metrics.push_back(counter("cache.calibration.hit", 30));
+  snapshot.metrics.push_back(counter("cache.calibration.miss", 6));
+  snapshot.metrics.push_back(gauge("cache.calibration.entries", 6));
+  snapshot.metrics.push_back(counter("cache.static_optimal.miss", 2));
+  snapshot.metrics.push_back(gauge("cache.static_optimal.entries", 2));
+
+  const std::vector<CacheStat> stats = service_cache_stats(snapshot);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "calibration");
+  EXPECT_EQ(stats[0].hits, 30u);
+  EXPECT_EQ(stats[0].misses, 6u);
+  EXPECT_EQ(stats[0].entries, 6u);
+  EXPECT_EQ(stats[1].name, "static_optimal");
+  EXPECT_EQ(stats[1].hits, 0u);
+  EXPECT_EQ(stats[1].misses, 2u);
+  EXPECT_EQ(stats[1].entries, 2u);
+}
+
+TEST(ServiceCacheStats, EmptySnapshotYieldsNoRows) {
+  EXPECT_TRUE(service_cache_stats(MetricsSnapshot{}).empty());
+}
+
+TEST(ServiceCacheStats, NamedOnceCachePublishesThroughTheRegistry) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  registry.set_enabled(true);
+
+  OnceCache<int, int> cache("svc_test_tier");
+  // The first lookup registers the metric ids (growing the layout), so
+  // the thread shard must re-attach before its bumps are counted.
+  EXPECT_EQ(cache.get_or_compute(0, [] { return 1; }), 1);
+  obs::ensure_thread_registered();
+
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 10; }), 10);
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 99; }), 10);  // hit
+  EXPECT_EQ(cache.get_or_compute(2, [] { return 20; }), 20);
+
+  const std::vector<CacheStat> stats =
+      service_cache_stats(registry.take_snapshot());
+  const CacheStat* row = nullptr;
+  for (const CacheStat& s : stats) {
+    if (s.name == "svc_test_tier") row = &s;
+  }
+  ASSERT_NE(row, nullptr);
+  EXPECT_GE(row->hits, 1u);
+  EXPECT_GE(row->misses, 2u);
+  EXPECT_EQ(row->entries, 3u);
+  registry.set_enabled(false);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace hars

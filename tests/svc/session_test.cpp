@@ -1,0 +1,108 @@
+// Admission-control behaviour of the SessionManager: client cap,
+// per-session campaign quota, global queued-case budget, and drain.
+#include "svc/session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hars {
+namespace svc {
+namespace {
+
+SessionLimits tiny_limits() {
+  SessionLimits limits;
+  limits.max_clients = 2;
+  limits.max_campaigns_per_client = 2;
+  limits.max_queued_cases = 100;
+  return limits;
+}
+
+TEST(SessionManager, ClientCapIsEnforced) {
+  SessionManager sessions(tiny_limits());
+  const auto a = sessions.open_session();
+  const auto b = sessions.open_session();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_FALSE(sessions.open_session().has_value());
+  EXPECT_EQ(sessions.active_sessions(), 2u);
+
+  sessions.close_session(*a);
+  EXPECT_EQ(sessions.active_sessions(), 1u);
+  EXPECT_TRUE(sessions.open_session().has_value());
+}
+
+TEST(SessionManager, CampaignQuotaPerSession) {
+  SessionManager sessions(tiny_limits());
+  const std::uint64_t s = *sessions.open_session();
+  EXPECT_FALSE(sessions.admit_campaign(s, 10).has_value());
+  EXPECT_FALSE(sessions.admit_campaign(s, 10).has_value());
+  const auto rejected = sessions.admit_campaign(s, 10);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(*rejected, ErrorCode::kQuotaExceeded);
+
+  sessions.release_campaign(s, 10);
+  EXPECT_FALSE(sessions.admit_campaign(s, 10).has_value());
+  EXPECT_EQ(sessions.active_campaigns(), 2u);
+}
+
+TEST(SessionManager, GlobalCaseBudget) {
+  SessionManager sessions(tiny_limits());
+  const std::uint64_t a = *sessions.open_session();
+  const std::uint64_t b = *sessions.open_session();
+  EXPECT_FALSE(sessions.admit_campaign(a, 80).has_value());
+  EXPECT_EQ(sessions.queued_cases(), 80u);
+
+  const auto rejected = sessions.admit_campaign(b, 30);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(*rejected, ErrorCode::kQueueFull);
+
+  // Exactly at the budget is admitted.
+  EXPECT_FALSE(sessions.admit_campaign(b, 20).has_value());
+  EXPECT_EQ(sessions.queued_cases(), 100u);
+
+  sessions.release_campaign(a, 80);
+  EXPECT_EQ(sessions.queued_cases(), 20u);
+  EXPECT_FALSE(sessions.admit_campaign(b, 30).has_value());
+}
+
+TEST(SessionManager, ClosingASessionFreesItsQuotaSlot) {
+  SessionManager sessions(tiny_limits());
+  const std::uint64_t a = *sessions.open_session();
+  EXPECT_FALSE(sessions.admit_campaign(a, 10).has_value());
+  sessions.release_campaign(a, 10);
+  sessions.close_session(a);
+  EXPECT_EQ(sessions.active_sessions(), 0u);
+  EXPECT_EQ(sessions.active_campaigns(), 0u);
+  EXPECT_EQ(sessions.queued_cases(), 0u);
+}
+
+TEST(SessionManager, AdmittingForUnknownSessionFails) {
+  SessionManager sessions(tiny_limits());
+  const auto rejected = sessions.admit_campaign(999, 1);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(*rejected, ErrorCode::kInternal);
+}
+
+TEST(SessionManager, DrainRejectsNewWorkButKeepsExisting) {
+  SessionManager sessions(tiny_limits());
+  const std::uint64_t a = *sessions.open_session();
+  EXPECT_FALSE(sessions.admit_campaign(a, 10).has_value());
+
+  EXPECT_FALSE(sessions.draining());
+  sessions.begin_drain();
+  sessions.begin_drain();  // idempotent
+  EXPECT_TRUE(sessions.draining());
+
+  EXPECT_FALSE(sessions.open_session().has_value());
+  const auto rejected = sessions.admit_campaign(a, 1);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(*rejected, ErrorCode::kDraining);
+
+  // The in-flight campaign still releases cleanly.
+  sessions.release_campaign(a, 10);
+  EXPECT_EQ(sessions.queued_cases(), 0u);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace hars

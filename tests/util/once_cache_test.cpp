@@ -109,5 +109,80 @@ TEST(OnceCache, HammerDistinctValueTypes) {
   EXPECT_EQ(bad.load(), 0);
 }
 
+TEST(OnceCache, NamedCacheCountsHitsMissesAndEntries) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.set_enabled(true);
+
+  OnceCache<int, int> cache("once_cache_metrics_test");
+  // The first lookup lazily registers the metric ids (growing the
+  // registry layout), so the thread shard must re-attach before bumps
+  // on the new ids are counted.
+  EXPECT_EQ(cache.get_or_compute(0, [] { return 0; }), 0);
+  obs::ensure_thread_registered();
+
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 10; }), 10);  // miss
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 99; }), 10);  // hit
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 99; }), 10);  // hit
+  // A throwing computation still counts its miss (and stays retryable).
+  EXPECT_THROW(
+      cache.get_or_compute(2, []() -> int { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  EXPECT_EQ(cache.get_or_compute(2, [] { return 20; }), 20);  // retry miss
+
+  const obs::MetricsSnapshot snapshot = registry.take_snapshot();
+  const obs::MetricValue* hit =
+      snapshot.find("cache.once_cache_metrics_test.hit");
+  const obs::MetricValue* miss =
+      snapshot.find("cache.once_cache_metrics_test.miss");
+  const obs::MetricValue* entries =
+      snapshot.find("cache.once_cache_metrics_test.entries");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_NE(miss, nullptr);
+  ASSERT_NE(entries, nullptr);
+  EXPECT_GE(hit->counter, 2u);
+  EXPECT_GE(miss->counter, 3u);  // Two computes + one throw (key 0 may
+                                 // predate the shard re-attach).
+  EXPECT_EQ(entries->gauge, 3.0);  // Keys 0, 1, 2.
+  registry.set_enabled(false);
+}
+
+TEST(OnceCache, NamedHammerStaysConsistent) {
+  // The hammer of HammerExactlyOneComputePerKey, but through a *named*
+  // cache so the metric bumps race too — meaningful under TSan.
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 16;
+  OnceCache<int, int> cache("once_cache_hammer_test");
+  std::atomic<int> computes{0};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      obs::ensure_thread_registered();
+      for (int round = 0; round < 4; ++round) {
+        for (int key = 0; key < kKeys; ++key) {
+          const int value = cache.get_or_compute(key, [&computes, key] {
+            ++computes;
+            return key * 7;
+          });
+          if (value != key * 7) ++bad;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(computes.load(), kKeys);
+  EXPECT_EQ(bad.load(), 0);
+
+  const obs::MetricsSnapshot snapshot = registry.take_snapshot();
+  const obs::MetricValue* entries =
+      snapshot.find("cache.once_cache_hammer_test.entries");
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(entries->gauge, static_cast<double>(kKeys));
+  registry.set_enabled(false);
+}
+
 }  // namespace
 }  // namespace hars

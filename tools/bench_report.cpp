@@ -53,6 +53,8 @@ std::string headline_of(const Value& doc) {
   add_number("speedup", "speedup");
   add_number("wall_ms", "wall_ms");
   add_number("ticks_per_sec", "ticks_per_sec");
+  add_number("first_record_ms", "first_record_ms");
+  add_number("records_per_sec", "records_per_sec");
   add_number("cases", "cases");
   add_number("jobs", "jobs");
   if (const Value* grid = doc.find("grid"); grid != nullptr) {

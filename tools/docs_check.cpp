@@ -14,6 +14,9 @@
 //      examples/*.metrics.jsonl  -> telemetry metric dump (util/json)
 //      examples/*.spans.json     -> Chrome trace-event JSON (util/json)
 //      examples/*.prom           -> Prometheus text exposition shape
+//      examples/*.transcript.jsonl -> hars_simd wire-protocol transcript
+//                                   (each payload through the real
+//                                   svc request/response parsers)
 //
 //   docs_check [--root DIR]   (default: current directory)
 #include <cctype>
@@ -28,6 +31,7 @@
 #include "hmp/platform_spec.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/trace_sink.hpp"
+#include "svc/protocol.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -258,6 +262,62 @@ void check_prom_example(const fs::path& path) {
   if (samples == 0) fail(path.string() + ": no samples");
 }
 
+/// Wire-protocol transcript: each line is {"direction": "request" |
+/// "response", "payload": {...}} and every payload must survive the
+/// *real* svc parsers, so the worked example in docs/FILE_FORMATS.md
+/// cannot drift from src/svc/protocol.cpp.
+void check_transcript_jsonl(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    fail("cannot read " + path.string());
+    return;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      const hars::json::Value v = hars::json::parse(line);
+      const std::string& direction = v.at("direction").as_string();
+      const hars::json::Value& payload = v.at("payload");
+      if (direction == "request") {
+        (void)hars::svc::parse_request(payload);
+      } else if (direction == "response") {
+        const std::string type = hars::svc::response_type(payload);
+        if (type == "pong") {
+          // id only; nothing further to parse.
+        } else if (type == "ack") {
+          (void)hars::svc::parse_ack(payload);
+        } else if (type == "record") {
+          (void)hars::svc::parse_record(payload);
+        } else if (type == "summary") {
+          (void)hars::svc::parse_summary(payload);
+        } else if (type == "error") {
+          (void)hars::svc::parse_error(payload);
+        } else if (type == "stats") {
+          (void)hars::svc::parse_stats(payload);
+        } else if (type == "status") {
+          (void)hars::svc::parse_status(payload);
+        } else if (type == "result") {
+          (void)hars::svc::parse_run_result(payload);
+        } else if (type == "metrics") {
+          (void)payload.at("text").as_string();
+        } else {
+          throw std::runtime_error("unknown response type \"" + type + "\"");
+        }
+      } else {
+        throw std::runtime_error("direction must be request or response");
+      }
+    } catch (const std::exception& error) {
+      fail(path.string() + ":" + std::to_string(line_no) + ": " +
+           error.what());
+      return;
+    }
+  }
+  if (line_no == 0) fail(path.string() + ": empty example");
+}
+
 bool ends_with(const std::string& s, const char* suffix) {
   const std::size_t n = std::strlen(suffix);
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
@@ -303,6 +363,9 @@ int main(int argc, char** argv) {
         ++checked;
       } else if (ends_with(name, ".trace.jsonl")) {
         check_jsonl_shape(entry.path(), /*expect_trace_meta=*/true);
+        ++checked;
+      } else if (ends_with(name, ".transcript.jsonl")) {
+        check_transcript_jsonl(entry.path());
         ++checked;
       } else if (ends_with(name, ".records.jsonl")) {
         check_jsonl_shape(entry.path(), /*expect_trace_meta=*/false);

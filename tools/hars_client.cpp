@@ -1,0 +1,300 @@
+// hars_client: CLI client for the hars_simd daemon.
+//
+//   hars_client sweep --connect :7414 --bench SW --bench BO
+//       --version HARS-E --csv out.csv [--jsonl out.jsonl]
+//   hars_client ping|status|stats|metrics|drain [--connect ADDR]
+//   hars_client cancel ID [--connect ADDR]
+//
+// `sweep` submits a declarative campaign (the same axes hars_sim's
+// sweep mode exposes) and streams the daemon's records into CSV/JSONL
+// sinks — byte-identical to running the campaign locally. --bench-json
+// writes a BENCH_daemon.json perf record (submit-to-first-record
+// latency, streamed records/sec) for tools/bench_report.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "sweep/result_sink.hpp"
+
+namespace {
+
+using namespace hars;
+
+void usage() {
+  std::printf(
+      "usage: hars_client [VERB] [options]\n"
+      "verbs: sweep (default) | ping | status | stats | metrics | drain |\n"
+      "       cancel ID\n"
+      "  --connect ADDR    daemon address (default tcp:127.0.0.1:7414)\n"
+      "sweep options (mirror hars_sim sweep):\n"
+      "  --bench NAME      repeatable benchmark axis (BL|BO|FA|FE|FL|SW)\n"
+      "  --version NAME    repeatable variant axis (default HARS-E)\n"
+      "  --platform NAME   repeatable platform axis\n"
+      "  --scenario NAME   repeatable scenario axis (exclusive with --bench)\n"
+      "  --fraction F      repeatable target-fraction axis\n"
+      "  --distance D      repeatable search-distance axis\n"
+      "  --duration SEC    measured span (default 120)\n"
+      "  --threads N       app threads (default 8)\n"
+      "  --seed N          campaign seed (default 1)\n"
+      "  --derive-seeds    coordinate-derived per-case seeds\n"
+      "  --start-case N    resume: skip cases below N (a drained summary's\n"
+      "                    emitted_through)\n"
+      "  --csv FILE        write streamed records as CSV\n"
+      "  --jsonl FILE      write streamed records as JSON lines\n"
+      "  --bench-json FILE write a BENCH_daemon.json perf record\n"
+      "metrics options:\n"
+      "  --out FILE        write the Prometheus text to FILE (default stdout)\n");
+}
+
+int run_sweep(svc::ServiceClient& client, const svc::CampaignRequest& campaign,
+              const std::string& csv_path, const std::string& jsonl_path,
+              const std::string& bench_json_path) {
+  std::unique_ptr<CsvSink> csv;
+  std::unique_ptr<JsonlSink> jsonl;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<CsvSink>(csv_path);
+    if (!csv->ok()) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+  }
+  if (!jsonl_path.empty()) {
+    jsonl = std::make_unique<JsonlSink>(jsonl_path);
+    if (!jsonl->ok()) {
+      std::fprintf(stderr, "cannot write %s\n", jsonl_path.c_str());
+      return 1;
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point submit_time = Clock::now();
+  std::optional<Clock::time_point> first_record_time;
+  std::uint64_t records = 0;
+
+  const svc::SubmitOutcome outcome =
+      client.submit_sweep(campaign, [&](const Record& record) {
+        if (!first_record_time.has_value()) first_record_time = Clock::now();
+        ++records;
+        if (csv) csv->write(record);
+        if (jsonl) jsonl->write(record);
+      });
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - submit_time)
+          .count();
+
+  if (!outcome.ok) {
+    std::fprintf(stderr, "submit rejected (%s): %s\n",
+                 svc::error_code_name(outcome.error->code),
+                 outcome.error->message.c_str());
+    return 1;
+  }
+  if (csv) csv->flush();
+  if (jsonl) jsonl->flush();
+
+  const svc::SummaryInfo& summary = outcome.summary;
+  std::printf(
+      "campaign %llu: %s, %llu cases, emitted through %llu, %llu failed, "
+      "%llu records, %.1f ms\n",
+      static_cast<unsigned long long>(summary.campaign),
+      summary.status.c_str(), static_cast<unsigned long long>(summary.cases),
+      static_cast<unsigned long long>(summary.emitted_through),
+      static_cast<unsigned long long>(summary.failed),
+      static_cast<unsigned long long>(records), wall_ms);
+  if (!csv_path.empty()) std::printf("csv              %s\n", csv_path.c_str());
+  if (!jsonl_path.empty()) {
+    std::printf("jsonl            %s\n", jsonl_path.c_str());
+  }
+
+  if (!bench_json_path.empty()) {
+    const double first_record_ms =
+        first_record_time.has_value()
+            ? std::chrono::duration<double, std::milli>(*first_record_time -
+                                                        submit_time)
+                  .count()
+            : 0.0;
+    const double records_per_sec =
+        wall_ms > 0.0 ? 1e3 * static_cast<double>(records) / wall_ms : 0.0;
+    std::ofstream out(bench_json_path);
+    out << "{\n"
+        << "  \"campaign\": \"daemon\",\n"
+        << "  \"cases\": " << summary.cases << ",\n"
+        << "  \"records\": " << records << ",\n"
+        << "  \"wall_ms\": " << format_number(wall_ms) << ",\n"
+        << "  \"first_record_ms\": " << format_number(first_record_ms) << ",\n"
+        << "  \"records_per_sec\": " << format_number(records_per_sec) << "\n"
+        << "}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", bench_json_path.c_str());
+      return 1;
+    }
+    std::printf("bench json       %s\n", bench_json_path.c_str());
+  }
+
+  const bool failed = summary.failed > 0 || summary.status != "complete";
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string verb = "sweep";
+  int first_option = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    verb = argv[1];
+    first_option = 2;
+  }
+
+  std::string connect = "tcp:127.0.0.1:7414";
+  std::string csv_path;
+  std::string jsonl_path;
+  std::string bench_json_path;
+  std::string metrics_out;
+  std::uint64_t cancel_target = 0;
+  svc::CampaignRequest campaign;
+
+  if (verb == "cancel") {
+    if (first_option >= argc || argv[first_option][0] == '-') {
+      std::fprintf(stderr, "cancel needs a campaign id\n");
+      return 2;
+    }
+    cancel_target =
+        static_cast<std::uint64_t>(std::atoll(argv[first_option++]));
+  }
+
+  for (int i = first_option; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      usage();
+      return 0;
+    } else if (arg == "--connect") {
+      connect = next();
+    } else if (arg == "--bench") {
+      campaign.benches.push_back(next());
+    } else if (arg == "--version") {
+      campaign.variants.push_back(next());
+    } else if (arg == "--platform") {
+      campaign.platforms.push_back(next());
+    } else if (arg == "--scenario") {
+      campaign.scenarios.push_back(next());
+    } else if (arg == "--fraction") {
+      campaign.fractions.push_back(std::atof(next()));
+    } else if (arg == "--distance") {
+      campaign.distances.push_back(std::atoi(next()));
+    } else if (arg == "--duration") {
+      campaign.duration_sec = std::atof(next());
+    } else if (arg == "--threads") {
+      campaign.threads = std::atoi(next());
+    } else if (arg == "--seed") {
+      campaign.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--derive-seeds") {
+      campaign.derive_seeds = true;
+    } else if (arg == "--start-case") {
+      campaign.start_case = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--jsonl") {
+      jsonl_path = next();
+    } else if (arg == "--bench-json") {
+      bench_json_path = next();
+    } else if (arg == "--out") {
+      metrics_out = next();
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    svc::ServiceClient client(svc::Address::parse(connect));
+    if (verb == "sweep") {
+      return run_sweep(client, campaign, csv_path, jsonl_path,
+                       bench_json_path);
+    } else if (verb == "ping") {
+      const bool ok = client.ping();
+      std::printf("%s\n", ok ? "pong" : "no pong");
+      return ok ? 0 : 1;
+    } else if (verb == "status") {
+      const std::vector<svc::CampaignStatus> rows = client.status();
+      if (rows.empty()) {
+        std::printf("no active campaigns\n");
+      } else {
+        std::printf("%-10s %-11s %10s %10s\n", "campaign", "state", "cases",
+                    "emitted");
+        for (const svc::CampaignStatus& row : rows) {
+          std::printf("%-10llu %-11s %10llu %10llu\n",
+                      static_cast<unsigned long long>(row.campaign),
+                      row.state.c_str(),
+                      static_cast<unsigned long long>(row.cases),
+                      static_cast<unsigned long long>(row.emitted));
+        }
+      }
+      return 0;
+    } else if (verb == "stats") {
+      const svc::StatsInfo stats = client.stats();
+      std::printf("sessions         %llu\n",
+                  static_cast<unsigned long long>(stats.sessions));
+      std::printf("campaigns        %llu active, %llu total\n",
+                  static_cast<unsigned long long>(stats.campaigns_active),
+                  static_cast<unsigned long long>(stats.campaigns_total));
+      std::printf("records          %llu streamed\n",
+                  static_cast<unsigned long long>(stats.records_streamed));
+      for (const svc::CacheStat& cache : stats.caches) {
+        std::printf("cache %-10s %llu hits, %llu misses, %llu entries\n",
+                    cache.name.c_str(),
+                    static_cast<unsigned long long>(cache.hits),
+                    static_cast<unsigned long long>(cache.misses),
+                    static_cast<unsigned long long>(cache.entries));
+      }
+      return 0;
+    } else if (verb == "metrics") {
+      const std::string text = client.metrics_text();
+      if (metrics_out.empty()) {
+        std::fputs(text.c_str(), stdout);
+      } else {
+        std::ofstream out(metrics_out);
+        out << text;
+        if (!out.good()) {
+          std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+          return 1;
+        }
+        std::printf("metrics          %s\n", metrics_out.c_str());
+      }
+      return 0;
+    } else if (verb == "cancel") {
+      svc::ErrorInfo error;
+      if (client.cancel(cancel_target, &error)) {
+        std::printf("cancelled %llu\n",
+                    static_cast<unsigned long long>(cancel_target));
+        return 0;
+      }
+      std::fprintf(stderr, "cancel failed (%s): %s\n",
+                   svc::error_code_name(error.code), error.message.c_str());
+      return 1;
+    } else if (verb == "drain") {
+      const bool ok = client.drain();
+      std::printf("%s\n", ok ? "draining" : "drain rejected");
+      return ok ? 0 : 1;
+    }
+    std::fprintf(stderr, "unknown verb '%s'\n", verb.c_str());
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hars_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -18,11 +18,17 @@
 // (--jobs N; 0 = hardware concurrency); results stream to stdout as a
 // table and optionally to --csv / --jsonl sinks. --derive-seeds gives
 // every case a coordinate-derived RNG seed.
+//
+// With --remote ADDR, both modes submit the same declarative campaign
+// through a hars_simd daemon instead of executing in-process; the
+// streamed records and the printed run report are byte-identical to
+// local execution (the daemon runs the same expansion and engine code).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +39,7 @@
 #include "obs/telemetry.hpp"
 #include "scenario/scenario_registry.hpp"
 #include "scenario/trace_sink.hpp"
+#include "svc/client.hpp"
 #include "sweep/sweep_cli.hpp"
 #include "sweep/sweep_engine.hpp"
 #include "util/csv.hpp"
@@ -77,6 +84,10 @@ void usage() {
       "  --predictor NAME  last-value|kalman (HARS versions)\n"
       "  --policy NAME     incremental|exhaustive|tabu (HARS versions)\n"
       "  --learn-ratio     enable online big:little ratio learning\n"
+      "  --remote ADDR     submit through a hars_simd daemon (tcp:HOST:PORT\n"
+      "                    or unix:PATH) instead of running in-process;\n"
+      "                    records and report are byte-identical to a local\n"
+      "                    run (--capture/--replay/telemetry are local-only)\n"
       "  --trace FILE      write the behaviour trace(s) as CSV (run mode)\n"
       "  --metrics FILE    write telemetry metrics as JSON lines (run mode;\n"
       "                    any telemetry flag arms the metrics registry)\n"
@@ -178,7 +189,8 @@ bool parse_bench(const std::string& name, ParsecBenchmark* out) {
   return false;
 }
 
-void write_trace(const std::string& path, const AppRunResult& app) {
+void write_trace(const std::string& path, const PerfTarget& target,
+                 const std::vector<TracePoint>& trace) {
   CsvWriter csv(path);
   if (!csv.ok()) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -186,14 +198,89 @@ void write_trace(const std::string& path, const AppRunResult& app) {
   }
   csv.header({"hb_index", "hps", "b_core", "l_core", "target_min",
               "target_max", "b_freq_ghz", "l_freq_ghz"});
-  for (const TracePoint& p : app.trace) {
+  for (const TracePoint& p : trace) {
     csv.row({static_cast<double>(p.hb_index), p.hps,
              static_cast<double>(p.big_cores),
-             static_cast<double>(p.little_cores), app.target.min,
-             app.target.max, p.big_freq_ghz, p.little_freq_ghz});
+             static_cast<double>(p.little_cores), target.min, target.max,
+             p.big_freq_ghz, p.little_freq_ghz});
   }
   std::printf("trace            %s (%zu points)\n", path.c_str(),
-              app.trace.size());
+              trace.size());
+}
+
+// Writes one trace CSV per app, suffixing slot index + code/label when
+// the run had several apps (so repeated benchmarks get distinct files).
+void write_traces(const std::string& trace_path,
+                  const svc::RunResultPayload& payload,
+                  const std::vector<ParsecBenchmark>& benches,
+                  const std::string& scenario) {
+  if (payload.apps.size() == 1) {
+    const svc::RunAppPayload& app = payload.apps.front();
+    write_trace(trace_path, app.target, app.trace);
+    return;
+  }
+  for (std::size_t i = 0; i < payload.apps.size(); ++i) {
+    std::string path = trace_path;
+    std::string suffix = "_";
+    suffix += std::to_string(i + 1);
+    suffix += '_';
+    suffix += scenario.empty() ? parsec_code(benches[i])
+                               : payload.apps[i].label.c_str();
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.rfind('.');
+    const bool dot_in_name = dot != std::string::npos &&
+                             (slash == std::string::npos || dot > slash);
+    path.insert(dot_in_name ? dot : path.size(), suffix);
+    write_trace(path, payload.apps[i].target, payload.apps[i].trace);
+  }
+}
+
+// The human-readable run report, printed from the wire payload struct so
+// the local path (via run_payload_of) and --remote produce identical
+// bytes.
+void print_run_report(const svc::RunResultPayload& payload,
+                      const std::vector<ParsecBenchmark>& benches,
+                      const std::string& version, const std::string& platform,
+                      const std::string& scenario) {
+  std::printf("version          %s\n", version.c_str());
+  if (!platform.empty()) {
+    std::printf("platform         %s\n", platform.c_str());
+  }
+  if (!scenario.empty()) {
+    std::printf("scenario         %s\n", scenario.c_str());
+  }
+  for (std::size_t i = 0; i < payload.apps.size(); ++i) {
+    const svc::RunAppPayload& app = payload.apps[i];
+    if (scenario.empty()) {
+      std::printf("bench            %s (%s)\n", parsec_code(benches[i]),
+                  parsec_name(benches[i]));
+    } else {
+      std::string departed;
+      if (app.depart_time_us >= 0) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ", departed %.1fs",
+                      us_to_sec(app.depart_time_us));
+        departed = buf;
+      }
+      std::printf("app              %s (arrived %.1fs%s)\n", app.label.c_str(),
+                  us_to_sec(app.spawn_time_us), departed.c_str());
+    }
+    std::printf("target           %.3f hb/s [%.3f, %.3f]\n", app.target.avg(),
+                app.target.min, app.target.max);
+    std::printf("avg rate         %.3f hb/s\n", app.metrics.avg_rate_hps);
+    std::printf("norm perf        %.3f\n", app.metrics.norm_perf);
+    std::printf("in-window        %.1f%%\n",
+                100.0 * app.metrics.in_window_fraction);
+    std::printf("avg power        %.3f W\n", app.metrics.avg_power_w);
+    std::printf("perf/watt        %.3f\n", app.metrics.perf_per_watt);
+    std::printf("energy/beat      %.3f J\n", app.metrics.energy_per_beat_j);
+    std::printf("manager CPU      %.2f%%\n", app.metrics.manager_cpu_pct);
+    std::printf("heartbeats       %lld\n",
+                static_cast<long long>(app.metrics.heartbeats));
+  }
+  if (payload.has_static_state) {
+    std::printf("static state     %s\n", payload.static_state_text.c_str());
+  }
 }
 
 int run_sweep_mode(int argc, char** argv) {
@@ -209,6 +296,7 @@ int run_sweep_mode(int argc, char** argv) {
   bool derive_seeds = false;
   std::string csv_path;
   std::string jsonl_path;
+  std::string remote;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -266,6 +354,8 @@ int run_sweep_mode(int argc, char** argv) {
       csv_path = next();
     } else if (arg == "--jsonl") {
       jsonl_path = next();
+    } else if (arg == "--remote") {
+      remote = next();
     } else if (arg == "--jobs") {
       next();  // Consumed again by sweep_options_from_cli.
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -288,34 +378,15 @@ int run_sweep_mode(int argc, char** argv) {
   }
   if (versions.empty()) versions.push_back("HARS-E");
 
-  SweepSpec spec;
-  spec.name("hars_sim_sweep")
-      .base([duration_sec, threads, seed](ExperimentBuilder& b) {
-        b.duration_sec(duration_sec).threads(threads).seed(seed);
-      })
-      .base_seed(seed);
-  if (!benches.empty()) spec.benchmarks(benches);
-  if (!scenarios.empty()) spec.scenarios(scenarios);
-  spec.variants(versions);
-  if (!platforms.empty()) spec.platforms(platforms);
-  if (!fractions.empty()) spec.target_fractions(fractions);
-  if (!distances.empty()) spec.search_distances(distances);
-  if (derive_seeds) spec.seed_mode(SeedMode::kDerived);
-
   TableSink table_sink;
   std::unique_ptr<CsvSink> csv_sink;
   std::unique_ptr<JsonlSink> jsonl_sink;
-  SweepOptions options = sweep_options_from_cli(argc, argv);
-  options.keep_results = false;
-  SweepEngine engine(options);
-  engine.add_sink(table_sink);
   if (!csv_path.empty()) {
     csv_sink = std::make_unique<CsvSink>(csv_path);
     if (!csv_sink->ok()) {
       std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
       return 1;
     }
-    engine.add_sink(*csv_sink);
   }
   if (!jsonl_path.empty()) {
     jsonl_sink = std::make_unique<JsonlSink>(jsonl_path);
@@ -323,11 +394,75 @@ int run_sweep_mode(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", jsonl_path.c_str());
       return 1;
     }
-    engine.add_sink(*jsonl_sink);
   }
 
-  const SweepReport report = engine.run(spec);
-  const std::size_t failures = report_sweep_failures(std::cerr, report);
+  // Either branch leaves the sinks holding byte-identical records: the
+  // daemon expands and runs the same declarative campaign through the
+  // same engine and streams each cell verbatim.
+  std::optional<svc::SummaryInfo> remote_summary;
+  SweepReport report;
+  std::size_t failures = 0;
+  if (!remote.empty()) {
+    svc::CampaignRequest campaign;
+    for (ParsecBenchmark bench : benches) {
+      campaign.benches.push_back(parsec_code(bench));
+    }
+    campaign.variants = versions;
+    campaign.platforms = platforms;
+    campaign.scenarios = scenarios;
+    campaign.fractions = fractions;
+    campaign.distances = distances;
+    campaign.duration_sec = duration_sec;
+    campaign.threads = threads;
+    campaign.seed = seed;
+    campaign.derive_seeds = derive_seeds;
+    try {
+      svc::ServiceClient client(svc::Address::parse(remote));
+      const svc::SubmitOutcome outcome =
+          client.submit_sweep(campaign, [&](const Record& record) {
+            table_sink.write(record);
+            if (csv_sink) csv_sink->write(record);
+            if (jsonl_sink) jsonl_sink->write(record);
+          });
+      if (!outcome.ok) {
+        std::fprintf(stderr, "remote submit rejected (%s): %s\n",
+                     svc::error_code_name(outcome.error->code),
+                     outcome.error->message.c_str());
+        return 1;
+      }
+      remote_summary = outcome.summary;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "remote %s: %s\n", remote.c_str(), e.what());
+      return 1;
+    }
+    if (csv_sink) csv_sink->flush();
+    if (jsonl_sink) jsonl_sink->flush();
+    failures = remote_summary->failed;
+  } else {
+    SweepSpec spec;
+    spec.name("hars_sim_sweep")
+        .base([duration_sec, threads, seed](ExperimentBuilder& b) {
+          b.duration_sec(duration_sec).threads(threads).seed(seed);
+        })
+        .base_seed(seed);
+    if (!benches.empty()) spec.benchmarks(benches);
+    if (!scenarios.empty()) spec.scenarios(scenarios);
+    spec.variants(versions);
+    if (!platforms.empty()) spec.platforms(platforms);
+    if (!fractions.empty()) spec.target_fractions(fractions);
+    if (!distances.empty()) spec.search_distances(distances);
+    if (derive_seeds) spec.seed_mode(SeedMode::kDerived);
+
+    SweepOptions options = sweep_options_from_cli(argc, argv);
+    options.keep_results = false;
+    SweepEngine engine(options);
+    engine.add_sink(table_sink);
+    if (csv_sink) engine.add_sink(*csv_sink);
+    if (jsonl_sink) engine.add_sink(*jsonl_sink);
+
+    report = engine.run(spec);
+    failures = report_sweep_failures(std::cerr, report);
+  }
 
   ReportTable table("sweep results");
   std::vector<std::string> columns;
@@ -362,6 +497,18 @@ int run_sweep_mode(int argc, char** argv) {
   if (!jsonl_path.empty()) {
     std::printf("jsonl            %s\n", jsonl_path.c_str());
   }
+  if (remote_summary.has_value()) {
+    // The daemon counted cases and wall time; jobs are a daemon-side
+    // setting, so the summary names the campaign id instead.
+    std::printf("campaign 'hars_sim_sweep': %llu cases, remote campaign %llu "
+                "(%s), %s ms, %llu failed\n",
+                static_cast<unsigned long long>(remote_summary->cases),
+                static_cast<unsigned long long>(remote_summary->campaign),
+                remote_summary->status.c_str(),
+                format_number(remote_summary->wall_ms).c_str(),
+                static_cast<unsigned long long>(remote_summary->failed));
+    return failures > 0 || remote_summary->status != "complete" ? 1 : 0;
+  }
   print_sweep_summary(std::cout, report);
   return failures > 0 ? 1 : 0;
 }
@@ -386,6 +533,13 @@ int main(int argc, char** argv) {
   int threads = 8;
   std::uint64_t seed = 1;
   std::string trace_path;
+  std::string remote;
+  // Tuning flags are validated at parse time but applied later: the
+  // local path feeds them to the builder, --remote ships the names.
+  std::string scheduler_name;
+  std::string predictor_name;
+  std::string policy_name;
+  bool learn_ratio = false;
   obs::TelemetryConfig telemetry_cfg;
 
   for (int i = 1; i < argc; ++i) {
@@ -441,28 +595,27 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--scheduler") {
-      const auto kind = parse_thread_scheduler(next());
-      if (!kind) {
+      scheduler_name = next();
+      if (!parse_thread_scheduler(scheduler_name)) {
         std::fprintf(stderr, "unknown scheduler\n");
         return 2;
       }
-      builder.scheduler(*kind);
     } else if (arg == "--predictor") {
-      const auto kind = parse_predictor_kind(next());
-      if (!kind) {
+      predictor_name = next();
+      if (!parse_predictor_kind(predictor_name)) {
         std::fprintf(stderr, "unknown predictor\n");
         return 2;
       }
-      builder.predictor(*kind);
     } else if (arg == "--policy") {
-      const auto policy = parse_search_policy(next());
-      if (!policy) {
+      policy_name = next();
+      if (!parse_search_policy(policy_name)) {
         std::fprintf(stderr, "unknown policy\n");
         return 2;
       }
-      builder.policy(*policy);
     } else if (arg == "--learn-ratio") {
-      builder.learn_ratio(true);
+      learn_ratio = true;
+    } else if (arg == "--remote") {
+      remote = next();
     } else if (arg == "--jobs") {
       next();  // Accepted for symmetry with sweep mode; one run is serial.
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -490,6 +643,21 @@ int main(int argc, char** argv) {
 
   if (!replay_path.empty()) return run_replay(replay_path);
 
+  if (!remote.empty()) {
+    if (!capture_path.empty()) {
+      std::fprintf(stderr,
+                   "--capture is local-only (scenario traces do not cross "
+                   "the wire); drop --remote to capture\n");
+      return 2;
+    }
+    if (telemetry_cfg.enabled) {
+      std::fprintf(stderr,
+                   "telemetry flags are local-only; scrape the daemon's "
+                   "metrics verb instead (hars_client metrics)\n");
+      return 2;
+    }
+  }
+
   if (!scenario.empty() && !benches.empty()) {
     std::fprintf(stderr,
                  "--scenario and --bench are exclusive (the scenario's spawn "
@@ -503,36 +671,83 @@ int main(int argc, char** argv) {
   if (benches.empty() && scenario.empty()) {
     benches.push_back(ParsecBenchmark::kSwaptions);
   }
-  if (!platform.empty()) builder.platform(std::string_view(platform));
-  TraceSink capture_sink(sample_ticks);
-  if (!scenario.empty()) {
-    builder.scenario(std::string_view(scenario));
-    if (!capture_path.empty()) builder.capture(capture_sink);
-  } else {
-    builder.apps(benches);
-  }
-  builder.variant(version)
-      .target_fraction(fraction)
-      .duration_sec(duration_sec)
-      .threads(threads)
-      .seed(seed);
-  if (telemetry_cfg.enabled) builder.telemetry(telemetry_cfg);
-
-  ExperimentResult result;
-  try {
-    result = builder.build().run();
-  } catch (const ExperimentConfigError& error) {
-    std::fprintf(stderr, "invalid configuration: %s\n", error.what());
-    return 2;
-  }
-
-  if (!capture_path.empty()) {
-    if (!capture_sink.write_file(capture_path)) {
-      std::fprintf(stderr, "cannot write %s\n", capture_path.c_str());
+  // Both branches produce the same payload struct, so the printed
+  // report is byte-identical whether the experiment ran here or in a
+  // hars_simd daemon.
+  svc::RunResultPayload payload;
+  if (!remote.empty()) {
+    svc::CampaignRequest campaign;
+    campaign.mode = "run";
+    for (ParsecBenchmark bench : benches) {
+      campaign.benches.push_back(parsec_code(bench));
+    }
+    campaign.variants = {version};
+    if (!platform.empty()) campaign.platforms = {platform};
+    if (!scenario.empty()) campaign.scenarios = {scenario};
+    campaign.fractions = {fraction};
+    campaign.duration_sec = duration_sec;
+    campaign.threads = threads;
+    campaign.seed = seed;
+    campaign.scheduler = scheduler_name;
+    campaign.predictor = predictor_name;
+    campaign.policy = policy_name;
+    campaign.learn_ratio = learn_ratio;
+    campaign.want_trace = !trace_path.empty();
+    try {
+      svc::ServiceClient client(svc::Address::parse(remote));
+      const svc::SubmitOutcome outcome = client.submit_run(campaign);
+      if (!outcome.ok) {
+        std::fprintf(stderr, "remote submit rejected (%s): %s\n",
+                     svc::error_code_name(outcome.error->code),
+                     outcome.error->message.c_str());
+        return outcome.error->code == svc::ErrorCode::kBadRequest ? 2 : 1;
+      }
+      payload = outcome.result;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "remote %s: %s\n", remote.c_str(), e.what());
       return 1;
     }
-    std::printf("capture          %s (%zu samples)\n", capture_path.c_str(),
-                capture_sink.samples().size());
+  } else {
+    if (!platform.empty()) builder.platform(std::string_view(platform));
+    TraceSink capture_sink(sample_ticks);
+    if (!scenario.empty()) {
+      builder.scenario(std::string_view(scenario));
+      if (!capture_path.empty()) builder.capture(capture_sink);
+    } else {
+      builder.apps(benches);
+    }
+    builder.variant(version)
+        .target_fraction(fraction)
+        .duration_sec(duration_sec)
+        .threads(threads)
+        .seed(seed);
+    if (!scheduler_name.empty()) {
+      builder.scheduler(*parse_thread_scheduler(scheduler_name));
+    }
+    if (!predictor_name.empty()) {
+      builder.predictor(*parse_predictor_kind(predictor_name));
+    }
+    if (!policy_name.empty()) builder.policy(*parse_search_policy(policy_name));
+    if (learn_ratio) builder.learn_ratio(true);
+    if (telemetry_cfg.enabled) builder.telemetry(telemetry_cfg);
+
+    ExperimentResult result;
+    try {
+      result = builder.build().run();
+    } catch (const ExperimentConfigError& error) {
+      std::fprintf(stderr, "invalid configuration: %s\n", error.what());
+      return 2;
+    }
+
+    if (!capture_path.empty()) {
+      if (!capture_sink.write_file(capture_path)) {
+        std::fprintf(stderr, "cannot write %s\n", capture_path.c_str());
+        return 1;
+      }
+      std::printf("capture          %s (%zu samples)\n", capture_path.c_str(),
+                  capture_sink.samples().size());
+    }
+    payload = svc::run_payload_of(result, !trace_path.empty());
   }
 
   if (!telemetry_cfg.metrics_jsonl.empty()) {
@@ -547,70 +762,7 @@ int main(int argc, char** argv) {
   if (!telemetry_cfg.trace_json.empty()) {
     std::printf("trace spans      %s\n", telemetry_cfg.trace_json.c_str());
   }
-  std::printf("version          %s\n", version.c_str());
-  if (!platform.empty()) {
-    std::printf("platform         %s\n", platform.c_str());
-  }
-  if (!scenario.empty()) {
-    std::printf("scenario         %s\n", scenario.c_str());
-  }
-  for (std::size_t i = 0; i < result.apps.size(); ++i) {
-    const AppRunResult& app = result.apps[i];
-    if (scenario.empty()) {
-      std::printf("bench            %s (%s)\n", parsec_code(benches[i]),
-                  parsec_name(benches[i]));
-    } else {
-      std::string departed;
-      if (app.depart_time_us >= 0) {
-        char buf[48];
-        std::snprintf(buf, sizeof(buf), ", departed %.1fs",
-                      us_to_sec(app.depart_time_us));
-        departed = buf;
-      }
-      std::printf("app              %s (arrived %.1fs%s)\n", app.label.c_str(),
-                  us_to_sec(app.spawn_time_us), departed.c_str());
-    }
-    std::printf("target           %.3f hb/s [%.3f, %.3f]\n", app.target.avg(),
-                app.target.min, app.target.max);
-    std::printf("avg rate         %.3f hb/s\n", app.metrics.avg_rate_hps);
-    std::printf("norm perf        %.3f\n", app.metrics.norm_perf);
-    std::printf("in-window        %.1f%%\n",
-                100.0 * app.metrics.in_window_fraction);
-    std::printf("avg power        %.3f W\n", app.metrics.avg_power_w);
-    std::printf("perf/watt        %.3f\n", app.metrics.perf_per_watt);
-    std::printf("energy/beat      %.3f J\n", app.metrics.energy_per_beat_j);
-    std::printf("manager CPU      %.2f%%\n", app.metrics.manager_cpu_pct);
-    std::printf("heartbeats       %lld\n",
-                static_cast<long long>(app.metrics.heartbeats));
-  }
-  if (result.static_state) {
-    std::printf("static state     %s\n",
-                result.static_state->to_string().c_str());
-  }
-
-  if (!trace_path.empty()) {
-    if (result.apps.size() == 1) {
-      write_trace(trace_path, result.apps.front());
-    } else {
-      // Multi-app: suffix each app's code/label (and slot index, so
-      // repeated benchmarks get distinct files) before the filename's
-      // extension.
-      for (std::size_t i = 0; i < result.apps.size(); ++i) {
-        std::string path = trace_path;
-        std::string suffix = "_";
-        suffix += std::to_string(i + 1);
-        suffix += '_';
-        suffix += scenario.empty() ? parsec_code(benches[i])
-                                   : result.apps[i].label.c_str();
-        const std::size_t slash = path.find_last_of('/');
-        const std::size_t dot = path.rfind('.');
-        const bool dot_in_name =
-            dot != std::string::npos &&
-            (slash == std::string::npos || dot > slash);
-        path.insert(dot_in_name ? dot : path.size(), suffix);
-        write_trace(path, result.apps[i]);
-      }
-    }
-  }
+  print_run_report(payload, benches, version, platform, scenario);
+  if (!trace_path.empty()) write_traces(trace_path, payload, benches, scenario);
   return 0;
 }
