@@ -45,6 +45,7 @@ SimEngine make_engine(const ExperimentSpec& spec) {
   }
   SimConfig config;
   config.reference_tick = spec.reference_impl;
+  if (spec.audit) config.audit = *spec.audit;
   return SimEngine(spec.platform, std::move(scheduler), config);
 }
 
@@ -496,6 +497,11 @@ ExperimentBuilder& ExperimentBuilder::tabu(TabuParams params) {
 
 ExperimentBuilder& ExperimentBuilder::reference_impl(bool on) {
   spec_.reference_impl = on;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::audit(bool on) {
+  spec_.audit = on;
   return *this;
 }
 

@@ -97,6 +97,11 @@ struct ExperimentSpec {
   /// flag exists so bench/tick_bench can measure the optimized paths
   /// against their baseline on the same build.
   bool reference_impl = false;
+  /// Per-run override of the engine's debug invariant audits
+  /// (SimConfig::audit). Unset = the build default (HARS_AUDIT); fuzzing
+  /// sets it so oracle runs audit every tick even in release builds.
+  /// Does not affect results: audits only observe.
+  std::optional<bool> audit;
   /// Telemetry for this run (disabled by default — the hot path then
   /// costs one thread-local null check). When enabled, run() scopes a
   /// TelemetrySession around the pipeline and writes the configured
@@ -212,6 +217,10 @@ class ExperimentBuilder {
   /// Selects the retained reference hot-path implementations (see
   /// ExperimentSpec::reference_impl). Metric-identical; benchmark use.
   ExperimentBuilder& reference_impl(bool on = true);
+
+  /// Forces the engine's debug invariant audits on (or off) for this run
+  /// regardless of the build default. See ExperimentSpec::audit.
+  ExperimentBuilder& audit(bool on = true);
 
   // --- Telemetry ---
   /// Enables run-scoped telemetry with the given sink configuration

@@ -1,0 +1,89 @@
+#include "exp/fuzz_harness.hpp"
+
+#include <sstream>
+
+#include "sweep/result_sink.hpp"
+
+namespace hars {
+
+namespace {
+
+ExperimentResult run_once(const ReproCase& repro, bool reference) {
+  ExperimentBuilder b;
+  b.platform(std::string_view(repro.platform))
+      .scenario(repro.scenario)
+      .variant(repro.variant)
+      .target_fraction(repro.fraction)
+      .duration_sec(repro.duration_sec)
+      .seed(repro.seed)
+      .reference_impl(reference)
+      .audit(true);
+  if (repro.threads > 0) b.threads(repro.threads);
+  return b.build().run();
+}
+
+}  // namespace
+
+std::string result_fingerprint(const ExperimentResult& result) {
+  Record rec;
+  rec.set("avg_power_w", result.avg_power_w);
+  rec.set("adaptations", result.adaptations);
+  for (std::size_t i = 0; i < result.apps.size(); ++i) {
+    const AppRunResult& app = result.apps[i];
+    const std::string p = "app" + std::to_string(i) + "_";
+    rec.set(p + "label", app.label);
+    rec.set(p + "spawn_us", app.spawn_time_us);
+    rec.set(p + "depart_us", app.depart_time_us);
+    rec.set(p + "target_min", app.target.min);
+    rec.set(p + "target_max", app.target.max);
+    rec.set(p + "heartbeats", app.metrics.heartbeats);
+    rec.set(p + "norm_perf", app.metrics.norm_perf);
+    rec.set(p + "avg_rate_hps", app.metrics.avg_rate_hps);
+    rec.set(p + "perf_per_watt", app.metrics.perf_per_watt);
+    rec.set(p + "in_window", app.metrics.in_window_fraction);
+    rec.set(p + "energy_j", app.metrics.energy_j);
+    rec.set(p + "manager_cpu_pct", app.metrics.manager_cpu_pct);
+    rec.set(p + "trace_points", static_cast<std::int64_t>(app.trace.size()));
+  }
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.write(rec);
+  return out.str();
+}
+
+FuzzCaseResult run_fuzz_case(const ReproCase& repro, bool differential) {
+  if (!repro.inject.empty()) {
+    // Synthetic oracle: a pure predicate over the scenario (fixtures and
+    // harness self-tests), evaluated through ScenarioError like any
+    // other recipe problem.
+    if (const auto failure = injected_failure(repro.scenario, repro.inject)) {
+      return {true, *failure};
+    }
+    return {false, ""};
+  }
+
+  ExperimentResult optimized;
+  try {
+    optimized = run_once(repro, /*reference=*/false);
+  } catch (const std::exception& error) {
+    return {true, error.what()};
+  }
+  if (!differential) return {false, ""};
+
+  ExperimentResult reference;
+  try {
+    reference = run_once(repro, /*reference=*/true);
+  } catch (const std::exception& error) {
+    return {true, std::string("reference path: ") + error.what()};
+  }
+  const std::string opt_print = result_fingerprint(optimized);
+  const std::string ref_print = result_fingerprint(reference);
+  if (opt_print != ref_print) {
+    return {true,
+            "differential: optimized and reference records diverge\n  opt: " +
+                opt_print + "  ref: " + ref_print};
+  }
+  return {false, ""};
+}
+
+}  // namespace hars

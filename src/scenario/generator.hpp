@@ -1,0 +1,125 @@
+// Generative workload engine: seeded, declarative scenario synthesis.
+//
+// A GeneratorSpec describes a *distribution* over scenarios — arrival
+// process (Poisson, optionally modulated by a diurnal rush-hour wave),
+// heavy-tailed app lifetimes (bounded Pareto), phase-change storms,
+// core-failure/hotplug cascades and target renegotiation bursts — and
+// ScenarioGenerator::generate() draws one concrete, validate()d Scenario
+// from it. Generation is a pure function of the spec (including its
+// seed): same spec ⇒ byte-identical scenario CSV, so every generated
+// workload is replayable through the existing DSL and the trace-replay
+// machinery.
+//
+// Generated scenarios are addressable by *name* everywhere a preset is:
+// "gen:PROFILE[:key=value;key=value;...]" parses into a GeneratorSpec
+// (profile defaults + overrides) and the ScenarioRegistry materializes
+// such names on demand, so `hars_sim --scenario gen:churn:seed=7`,
+// SweepSpec::scenarios and daemon campaign requests all accept them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/parsec.hpp"
+#include "scenario/scenario.hpp"
+
+namespace hars {
+
+/// Distribution over scenarios. All rates are per simulated second; all
+/// durations are simulated seconds. Invalid combinations are rejected by
+/// validate() with a ScenarioError.
+struct GeneratorSpec {
+  std::string profile = "poisson";  ///< Preset this spec derives from.
+  std::uint64_t seed = 1;           ///< Drives every draw.
+  double horizon_s = 60.0;          ///< Events land in [0, horizon).
+
+  // --- Arrival process ---
+  double arrival_rate_hz = 0.1;  ///< Mean Poisson arrival rate.
+  /// Diurnal modulation: rate(t) = arrival_rate_hz * (1 + amplitude *
+  /// tri(t / period)) with a triangle wave in [-1, 1] (exact arithmetic,
+  /// no libm). 0 = flat Poisson.
+  double rush_amplitude = 0.0;  ///< In [0, 1).
+  double rush_period_s = 30.0;
+  int initial_apps = 1;   ///< Spawns at t = 0 (>= 1; keep 1 for
+                          ///< single-app variants).
+  int max_live_apps = 3;  ///< Arrivals beyond this are shed.
+
+  // --- App lifetime: bounded Pareto (heavy tail) ---
+  double lifetime_min_s = 3.0;
+  double lifetime_max_s = 40.0;
+  double lifetime_alpha = 1.3;  ///< Tail index; smaller = heavier.
+  double depart_prob = 0.8;     ///< Else the app runs to the end.
+
+  // --- Spawn shape ---
+  int threads_min = 0;  ///< 0,0 = experiment-default thread count.
+  int threads_max = 0;
+  double fraction_min = 0.0;  ///< 0,0 = experiment-default fraction.
+  double fraction_max = 0.0;
+  std::vector<ParsecBenchmark> benches;  ///< Empty = all six.
+
+  // --- Phase-change storms ---
+  double storm_rate_hz = 0.0;  ///< Storms per second (0 = none).
+  int storm_len = 3;           ///< Flips per storm (heavy/nominal).
+  double storm_gap_s = 1.5;    ///< Between consecutive flips.
+  double phase_min = 0.5;      ///< Heavy-flip scale range.
+  double phase_max = 3.0;
+
+  // --- Core-failure / hotplug cascades ---
+  double hotplug_rate_hz = 0.0;  ///< Cascades per second (0 = none).
+  double outage_min_s = 2.0;
+  double outage_max_s = 8.0;
+  int max_offline_cores = 3;  ///< Cores per cascade (never cpu0).
+  int max_core = 7;           ///< Highest core id eligible.
+
+  // --- Target renegotiation bursts ---
+  double retarget_rate_hz = 0.0;  ///< set_target events per second.
+  double target_min_hps = 2.0;    ///< New window centers drawn here.
+  double target_max_hps = 12.0;
+
+  /// Throws ScenarioError on out-of-range fields.
+  void validate() const;
+};
+
+/// Draws concrete scenarios from a GeneratorSpec. Stateless between
+/// calls: generate() always produces the same scenario for the same
+/// spec.
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(GeneratorSpec spec);
+
+  const GeneratorSpec& spec() const { return spec_; }
+
+  /// One concrete scenario, named canonical_name(spec()), validate()d.
+  /// Pure: byte-identical DSL for byte-identical specs.
+  Scenario generate() const;
+
+  /// The built-in profile names: poisson, rush, storm, hotplug,
+  /// retarget, churn, mixed.
+  static std::vector<std::string> profiles();
+
+  /// Preset spec for a profile name; throws ScenarioError when unknown.
+  static GeneratorSpec profile(std::string_view name);
+
+  /// True for "gen:..." names (the registry's cue to synthesize).
+  static bool is_generated_name(std::string_view name);
+
+  /// Parses "gen:PROFILE[:key=value;...]" (see docs/FILE_FORMATS.md for
+  /// the key list); throws ScenarioError on unknown profiles, unknown
+  /// keys or malformed values.
+  static GeneratorSpec parse_name(std::string_view name);
+
+  /// The minimal name that parses back to `spec`: profile defaults are
+  /// elided, every overridden key is emitted in a fixed order.
+  static std::string canonical_name(const GeneratorSpec& spec);
+
+  /// parse_name + generate, with the scenario named `name` verbatim (so
+  /// registry lookups and record rows echo the requested spelling).
+  static Scenario from_name(std::string_view name);
+
+ private:
+  GeneratorSpec spec_;
+};
+
+}  // namespace hars

@@ -1,0 +1,72 @@
+// Corpus repro files: a failing fuzz case with its re-run recipe.
+//
+// A repro is a plain scenario DSL file (parseable by Scenario::from_file
+// and docs_check like any *.scenario.csv) whose leading comment lines
+// carry the full recipe needed to re-run the case: variant, platform,
+// seed, duration, plus provenance (the originating gen: name, shrink
+// statistics, the recorded failure). `hars_fuzz --repro FILE` replays
+// one; `hars_fuzz --repro-dir DIR` replays a checked-in corpus and
+// asserts every file's observed outcome matches its `# expect=` line.
+//
+// Example:
+//   # hars_fuzz repro v1
+//   # variant=HARS-E
+//   # platform=exynos5422
+//   # seed=7
+//   # inject=phase_gt2
+//   # expect=fail
+//   scenario,gen:storm:seed=7
+//   0,spawn,app=g0,bench=FA
+//   1000,set_phase,app=g0,scale=2.8
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "scenario/scenario.hpp"
+
+namespace hars {
+
+struct ReproCase {
+  Scenario scenario;
+  std::string variant = "HARS-E";
+  std::string platform = "exynos5422";
+  std::uint64_t seed = 1;
+  int threads = 0;           ///< 0 = experiment default.
+  double duration_sec = 20.0;
+  double fraction = 0.9;     ///< Experiment target fraction.
+  /// Synthetic oracle (see injected_failure); empty = the real oracles
+  /// (audits + AllocGuard + invariants + differential).
+  std::string inject;
+  bool expect_fail = true;   ///< The corpus contract for --repro-dir.
+  std::string failure;       ///< Recorded failure (informational).
+  std::string generator;     ///< Originating gen: name, when known.
+  int shrink_attempts = 0;   ///< Oracle runs the shrinker spent.
+  std::size_t original_events = 0;  ///< Event count before shrinking.
+  std::string rerun;         ///< Re-run hint, e.g. "hars_fuzz --repro f".
+};
+
+/// Serializes the recipe comments + scenario DSL. parse_repro round-trips
+/// byte-identically (asserted by tests and docs_check).
+std::string format_repro(const ReproCase& repro);
+
+/// Parses a repro file: recipe comments are read, unknown comments are
+/// ignored, and the scenario body goes through Scenario::from_stream.
+/// Throws ScenarioError on malformed recipes or scenarios.
+ReproCase parse_repro(std::istream& in);
+ReproCase parse_repro_file(const std::string& path);
+
+/// Synthetic invariant violations for harness self-tests and seeded
+/// known-bug fixtures: a pure predicate over the scenario. Returns the
+/// failure message, or nullopt when the scenario "passes". Kinds:
+///   phase_gt2          fails iff any set_phase has scale > 2
+///   kill_during_outage fails iff an app is killed while cores are
+///                      offline (no full recovery in between)
+/// Throws ScenarioError for unknown kinds.
+std::optional<std::string> injected_failure(const Scenario& scenario,
+                                            std::string_view kind);
+
+}  // namespace hars

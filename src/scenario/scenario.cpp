@@ -36,10 +36,14 @@ bool needs_app(ScenarioEventKind kind) {
          kind != ScenarioEventKind::kOnlineCores;
 }
 
-}  // namespace
-
-void Scenario::validate() const {
-  if (name.empty()) fail("missing name");
+/// Shared validation walk. `lines` (parallel to events, nullable) carries
+/// the DSL source line of each event so from_stream / from_file reject
+/// with "line N" instead of the event's index — every rejection path
+/// then points at the offending file:line.
+void validate_events(const Scenario& scenario,
+                     const std::vector<int>* lines) {
+  const std::vector<ScenarioEvent>& events = scenario.events;
+  if (scenario.name.empty()) fail("missing name");
   TimeUs prev = 0;
   // App lifecycle per id: unseen -> alive -> killed.
   enum class Life { kUnseen, kAlive, kKilled };
@@ -48,7 +52,9 @@ void Scenario::validate() const {
   for (std::size_t i = 0; i < events.size(); ++i) {
     const ScenarioEvent& e = events[i];
     const std::string where =
-        "event " + std::to_string(i) + " (" + scenario_event_name(e.kind) + ")";
+        (lines != nullptr ? "line " + std::to_string((*lines)[i])
+                          : "event " + std::to_string(i)) +
+        " (" + std::string(scenario_event_name(e.kind)) + ")";
     if (e.time < 0) fail(where + ": negative time");
     if (e.time < prev) {
       fail(where + ": out of order (t=" + std::to_string(e.time) +
@@ -103,6 +109,10 @@ void Scenario::validate() const {
   }
   if (!initial_spawn) fail("no spawn at t=0 (the run needs an initial app)");
 }
+
+}  // namespace
+
+void Scenario::validate() const { validate_events(*this, nullptr); }
 
 std::vector<const ScenarioEvent*> Scenario::spawns() const {
   std::vector<const ScenarioEvent*> out;
@@ -219,6 +229,7 @@ std::optional<ParsecBenchmark> parse_bench_code(const std::string& name) {
 
 Scenario Scenario::from_stream(std::istream& in) {
   Scenario scenario;
+  std::vector<int> event_lines;  // Source line of each event, for errors.
   std::string line;
   int line_no = 0;
   bool have_header = false;
@@ -268,6 +279,18 @@ Scenario Scenario::from_stream(std::istream& in) {
       return it->second;
     };
     const auto has = [&](const char* key) { return fields.count(key) != 0; };
+    // parse_core_set is public API and knows nothing about source
+    // positions; anchor its rejections on the line like everything else.
+    const auto core_set = [&](const std::string& value) {
+      try {
+        return parse_core_set(value);
+      } catch (const ScenarioError& error) {
+        std::string inner = error.what();
+        const std::string prefix = "scenario: ";
+        if (inner.rfind(prefix, 0) == 0) inner = inner.substr(prefix.size());
+        fail("line " + std::to_string(line_no) + ": " + inner);
+      }
+    };
 
     if (kind == "spawn") {
       event.kind = ScenarioEventKind::kSpawn;
@@ -304,18 +327,19 @@ Scenario Scenario::from_stream(std::istream& in) {
       event.phase_scale = parse_double(field("scale"), "scale", line_no);
     } else if (kind == "offline_cores") {
       event.kind = ScenarioEventKind::kOfflineCores;
-      event.cores = parse_core_set(field("cores"));
+      event.cores = core_set(field("cores"));
     } else if (kind == "online_cores") {
       event.kind = ScenarioEventKind::kOnlineCores;
-      event.cores = parse_core_set(field("cores"));
+      event.cores = core_set(field("cores"));
     } else {
       fail("line " + std::to_string(line_no) + ": unknown event \"" + kind +
            "\"");
     }
     scenario.events.push_back(std::move(event));
+    event_lines.push_back(line_no);
   }
   if (!have_header) fail("missing \"scenario,NAME\" header");
-  scenario.validate();
+  validate_events(scenario, &event_lines);
   return scenario;
 }
 

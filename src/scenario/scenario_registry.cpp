@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "scenario/generator.hpp"
+
 namespace hars {
 
 namespace {
@@ -79,26 +81,37 @@ void ScenarioRegistry::register_scenario(Scenario scenario) {
   entries_.push_back(std::move(scenario));
 }
 
-const Scenario* ScenarioRegistry::find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+const Scenario* ScenarioRegistry::find_locked(std::string_view name) const {
   for (const Scenario& entry : entries_) {
     if (entry.name == name) return &entry;
   }
-  return nullptr;
+  if (!ScenarioGenerator::is_generated_name(name)) return nullptr;
+  entries_.push_back(ScenarioGenerator::from_name(name));
+  return &entries_.back();
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  try {
+    return find_locked(name);
+  } catch (const ScenarioError&) {
+    return nullptr;
+  }
 }
 
 Scenario ScenarioRegistry::get(std::string_view name) const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const Scenario& entry : entries_) {
-      if (entry.name == name) return entry;
-    }
+    // A malformed gen: name throws here with the generator's diagnostic,
+    // which beats the generic unknown-name message below.
+    if (const Scenario* found = find_locked(name)) return *found;
   }
   std::string message = "unknown scenario \"" + std::string(name) + "\"; known:";
   for (const std::string& known : names()) {
     message += ' ';
     message += known;
   }
+  message += " (or gen:PROFILE[:key=value;...])";
   throw ScenarioError(message);
 }
 

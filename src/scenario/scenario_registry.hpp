@@ -40,11 +40,16 @@ class ScenarioRegistry {
   void register_scenario(Scenario scenario);
 
   /// Null when `name` is unknown; the pointer stays valid across later
-  /// registrations of *other* names.
+  /// registrations of *other* names. Generated names ("gen:PROFILE:...",
+  /// see scenario/generator.hpp) are synthesized and memoized on first
+  /// lookup, so they behave exactly like presets everywhere a scenario
+  /// is addressed by name; a malformed gen: name yields null (use get()
+  /// for the diagnostic).
   const Scenario* find(std::string_view name) const;
 
   /// Copy of the named scenario; throws ScenarioError listing the known
-  /// names when unknown.
+  /// names when unknown, or with the generator's diagnostic for a
+  /// malformed gen: name.
   Scenario get(std::string_view name) const;
 
   /// All registered names, in registration order.
@@ -52,8 +57,14 @@ class ScenarioRegistry {
 
  private:
   ScenarioRegistry();
+  /// Lookup plus on-demand gen: synthesis; call with mutex_ held. May
+  /// throw ScenarioError for a malformed gen: name.
+  const Scenario* find_locked(std::string_view name) const;
+
   mutable std::mutex mutex_;
-  std::deque<Scenario> entries_;  ///< Deque: find() pointers stay valid.
+  /// Deque: find() pointers stay valid. Mutable: find() memoizes
+  /// generated scenarios.
+  mutable std::deque<Scenario> entries_;
 };
 
 }  // namespace hars

@@ -1,0 +1,39 @@
+// Scenario shrinking: reduce a failing scenario to a minimal repro.
+//
+// Given a scenario and a predicate that re-checks the failure (typically
+// a full oracle run: audits + AllocGuard + invariants, or an injected
+// synthetic bug), shrink_scenario greedily applies reductions — drop
+// whole apps, drop event chunks (ddmin-style halving), halve event
+// times, simplify spawn payloads and core masks — keeping a candidate
+// only when it is still a valid Scenario AND the predicate still fails.
+// The result is the smallest failing scenario the budget found; it is
+// what hars_fuzz writes into the corpus as a repro.
+#pragma once
+
+#include <functional>
+
+#include "scenario/scenario.hpp"
+
+namespace hars {
+
+struct ShrinkOptions {
+  /// Budget of predicate evaluations (each one typically a sim run).
+  int max_attempts = 400;
+};
+
+struct ShrinkStats {
+  int attempts = 0;  ///< Predicate evaluations spent.
+  int accepted = 0;  ///< Reductions that kept the failure.
+  int rounds = 0;    ///< Full passes over the transformation set.
+};
+
+/// Shrinks `failing` under `still_fails`. The caller has already
+/// established still_fails(failing); the function never returns a
+/// scenario for which the predicate did not hold. Deterministic: no
+/// randomness, candidate order is fixed.
+Scenario shrink_scenario(const Scenario& failing,
+                         const std::function<bool(const Scenario&)>& still_fails,
+                         const ShrinkOptions& options = {},
+                         ShrinkStats* stats = nullptr);
+
+}  // namespace hars

@@ -49,7 +49,15 @@ std::string resolve_names(const CampaignRequest& campaign,
   }
   for (const std::string& name : campaign.scenarios) {
     if (ScenarioRegistry::instance().find(name) == nullptr) {
-      return "unknown scenario '" + name + "'";
+      // get() distinguishes a malformed gen: name (generator diagnostic)
+      // from a plain unknown preset; either way the campaign is typed
+      // invalid here, before any case runs.
+      try {
+        ScenarioRegistry::instance().get(name);
+        return "unknown scenario '" + name + "'";
+      } catch (const ScenarioError& error) {
+        return error.what();
+      }
     }
   }
   if (!campaign.scenarios.empty() && !campaign.benches.empty()) {

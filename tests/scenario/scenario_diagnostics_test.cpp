@@ -1,0 +1,157 @@
+// Satellite: every Scenario::from_stream / from_file rejection carries
+// the offending source line ("line N"), for parse errors and for every
+// semantic validation path, and from_file appends the path. A fuzz
+// repro is only actionable if its rejection message points at the
+// exact line.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/scenario.hpp"
+
+namespace hars {
+namespace {
+
+/// Parses `dsl`, expects a ScenarioError whose message contains both
+/// `where` (the "line N" anchor) and `what` (the diagnostic).
+void expect_rejects(const std::string& dsl, const std::string& where,
+                    const std::string& what) {
+  std::istringstream in(dsl);
+  try {
+    (void)Scenario::from_stream(in);
+    FAIL() << "expected ScenarioError for: " << what;
+  } catch (const ScenarioError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find(where), std::string::npos)
+        << "no \"" << where << "\" in: " << message;
+    EXPECT_NE(message.find(what), std::string::npos)
+        << "no \"" << what << "\" in: " << message;
+  }
+}
+
+// --- Parse-layer rejections ---
+
+TEST(ScenarioDiagnostics, ParseErrorsCarryTheLine) {
+  expect_rejects("garbage\n", "line 1", "expected header");
+  expect_rejects("scenario,x\nnot-an-event\n", "line 2", "expected TIME_MS");
+  expect_rejects("scenario,x\n0,frobnicate,app=a\n", "line 2",
+                 "unknown event");
+  expect_rejects("scenario,x\n0,spawn,app=a,bench\n", "line 2",
+                 "expected key=value");
+  expect_rejects("scenario,x\n0,spawn,app=a,bench=SW,bench=BO\n", "line 2",
+                 "duplicate field");
+  expect_rejects("scenario,x\n0,spawn,app=a,bench=XX\n", "line 2",
+                 "unknown bench");
+  expect_rejects("scenario,x\n0,spawn,bench=SW\n", "line 2", "spawn needs app=");
+  expect_rejects("scenario,x\nzz,spawn,app=a,bench=SW\n", "line 2",
+                 "malformed time");
+  expect_rejects("scenario,x\n0,spawn,app=a,bench=SW,fraction=oops\n",
+                 "line 2", "malformed fraction");
+  expect_rejects(
+      "scenario,x\n0,spawn,app=a,bench=SW\n2,kill,app=a\n1,set_phase,app=a\n",
+      "line 4", "out-of-order");
+  expect_rejects("scenario,x\n1000,offline_cores,cores=\n", "line 2",
+                 "core");
+  expect_rejects("scenario,x\n1000,offline_cores,cores=9-4\n", "line 2",
+                 "malformed core set");
+}
+
+// --- Validation-layer rejections: each path names its line and kind ---
+
+TEST(ScenarioDiagnostics, DuplicateSpawnIdCarriesTheLine) {
+  expect_rejects(
+      "scenario,x\n"
+      "0,spawn,app=a,bench=SW\n"
+      "# a comment shifts line numbers; the error must track that\n"
+      "1000,spawn,app=a,bench=BO\n",
+      "line 4 (spawn)", "duplicate app id \"a\"");
+}
+
+TEST(ScenarioDiagnostics, NonSpawnAtTimeZeroCarriesTheLine) {
+  expect_rejects(
+      "scenario,x\n0,spawn,app=a,bench=SW\n0,set_phase,app=a,scale=2\n",
+      "line 3 (set_phase)", "t=0 is reserved for spawns");
+  expect_rejects("scenario,x\n0,spawn,app=a,bench=SW\n0,offline_cores,cores=3\n",
+                 "line 3 (offline_cores)", "t=0 is reserved for spawns");
+}
+
+TEST(ScenarioDiagnostics, UnknownAndDeadAppsCarryTheLine) {
+  expect_rejects("scenario,x\n0,spawn,app=a,bench=SW\n1000,kill,app=ghost\n",
+                 "line 3 (kill)", "unknown app \"ghost\"");
+  expect_rejects(
+      "scenario,x\n"
+      "0,spawn,app=a,bench=SW\n"
+      "1000,kill,app=a\n"
+      "2000,set_target,app=a,min=1,max=2\n",
+      "line 4 (set_target)", "already killed");
+}
+
+TEST(ScenarioDiagnostics, PayloadRangeChecksCarryTheLine) {
+  expect_rejects("scenario,x\n0,spawn,app=a,bench=SW,fraction=1.5\n",
+                 "line 2 (spawn)", "fraction must be in (0, 1]");
+  expect_rejects("scenario,x\n0,spawn,app=a,bench=SW,min=5,max=2\n",
+                 "line 2 (spawn)", "target window");
+  expect_rejects(
+      "scenario,x\n0,spawn,app=a,bench=SW\n1000,set_target,app=a,min=3,max=1\n",
+      "line 3 (set_target)", "target window");
+  expect_rejects(
+      "scenario,x\n0,spawn,app=a,bench=SW\n1000,set_phase,app=a,scale=0\n",
+      "line 3 (set_phase)", "phase scale must be > 0");
+  expect_rejects(
+      "scenario,x\n0,spawn,app=a,bench=SW\n1000,offline_cores,cores=0-2\n",
+      "line 3 (offline_cores)", "cpu0");
+}
+
+TEST(ScenarioDiagnostics, MissingInitialSpawnNamesTheRule) {
+  expect_rejects("scenario,x\n1000,spawn,app=a,bench=SW\n", "no spawn at t=0",
+                 "initial app");
+}
+
+// Programmatic validate() (no source lines) anchors on the event index
+// instead, so builder misuse is still pinpointed.
+TEST(ScenarioDiagnostics, ProgrammaticValidateAnchorsOnEventIndex) {
+  Scenario s;
+  s.name = "prog";
+  ScenarioEvent spawn;
+  spawn.kind = ScenarioEventKind::kSpawn;
+  spawn.app = "a";
+  spawn.spawn.bench = ParsecBenchmark::kSwaptions;
+  s.events.push_back(spawn);
+  ScenarioEvent phase;
+  phase.time = 1000;
+  phase.kind = ScenarioEventKind::kSetPhase;
+  phase.app = "a";
+  phase.phase_scale = -1.0;
+  s.events.push_back(phase);
+  try {
+    s.validate();
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find("event 1 (set_phase)"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ScenarioDiagnostics, FromFileAppendsThePath) {
+  const std::string path = "diag_test_tmp.scenario.csv";
+  {
+    std::ofstream out(path);
+    out << "scenario,bad\n0,spawn,app=a,bench=SW\n0,kill,app=a\n";
+  }
+  try {
+    (void)Scenario::from_file(path);
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("line 3 (kill)"), std::string::npos) << message;
+    EXPECT_NE(message.find("[" + path + "]"), std::string::npos) << message;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hars

@@ -7,7 +7,11 @@
 //    must parse with the *real* parser it documents, so
 //    docs/FILE_FORMATS.md cannot drift from the code:
 //      examples/*.platform.csv   -> PlatformSpec::from_file
-//      examples/*.scenario.csv   -> Scenario::from_file
+//      examples/*.scenario.csv   -> Scenario::from_file; files with a
+//                                   "# generator=" comment also check
+//                                   the gen: name grammar, and hars_fuzz
+//                                   repros ("# hars_fuzz repro v1")
+//                                   round-trip through parse_repro
 //      examples/*.trace.jsonl    -> parse_trace_meta + record shape
 //      examples/*.records.csv    -> CSV shape (constant column count)
 //      examples/*.records.jsonl  -> JSONL record shape
@@ -29,6 +33,8 @@
 #include <vector>
 
 #include "hmp/platform_spec.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/repro.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/trace_sink.hpp"
 #include "svc/protocol.hpp"
@@ -106,11 +112,56 @@ void check_platform_example(const fs::path& path) {
   }
 }
 
+/// Scenario examples come in three flavours, all `*.scenario.csv`:
+/// plain DSL files, generated examples carrying a `# generator=` name
+/// (the name must parse and its canonical form must round-trip — the
+/// scenario is deliberately NOT re-generated and byte-compared, since
+/// log/pow draws differ across libm builds), and hars_fuzz corpus
+/// repros (`# hars_fuzz repro v1` first line) whose recipe must
+/// round-trip byte-identically through parse_repro/format_repro.
 void check_scenario_example(const fs::path& path) {
+  std::ifstream probe(path);
+  std::string first_line;
+  std::getline(probe, first_line);
+  if (first_line == "# hars_fuzz repro v1") {
+    try {
+      const hars::ReproCase repro = hars::parse_repro_file(path.string());
+      std::ifstream in(path);
+      std::stringstream raw;
+      raw << in.rdbuf();
+      if (hars::format_repro(repro) != raw.str()) {
+        fail(path.string() +
+             ": repro does not round-trip byte-identically through "
+             "parse_repro/format_repro");
+      }
+    } catch (const std::exception& error) {
+      fail(path.string() + ": " + error.what());
+    }
+    return;
+  }
   try {
     (void)hars::Scenario::from_file(path.string());
   } catch (const std::exception& error) {
     fail(path.string() + ": " + error.what());
+  }
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string key = "# generator=";
+    if (line.rfind(key, 0) != 0) continue;
+    const std::string name = line.substr(key.size());
+    try {
+      const hars::GeneratorSpec spec = hars::ScenarioGenerator::parse_name(name);
+      const std::string canonical = hars::ScenarioGenerator::canonical_name(spec);
+      if (hars::ScenarioGenerator::canonical_name(
+              hars::ScenarioGenerator::parse_name(canonical)) != canonical) {
+        fail(path.string() + ": generator name \"" + name +
+             "\" does not round-trip through parse_name/canonical_name");
+      }
+    } catch (const std::exception& error) {
+      fail(path.string() + ": generator name \"" + name + "\": " +
+           error.what());
+    }
   }
 }
 

@@ -70,6 +70,12 @@ void usage() {
       "                    with --bench; repeatable in sweep mode;\n"
       "                    --list-scenarios to enumerate\n"
       "  --list-scenarios  print the scenario catalogue and exit\n"
+      "  --gen-scenario P  generated scenario: a generator profile name\n"
+      "                    (poisson, rush, storm, hotplug, retarget,\n"
+      "                    churn, mixed) or a full gen:PROFILE:k=v;...\n"
+      "                    name; repeatable (sugar for --scenario gen:...)\n"
+      "  --gen-seed N      seed for --gen-scenario names that do not\n"
+      "                    carry an explicit seed= parameter\n"
       "  --capture FILE    write the scenario trace as JSONL (run mode,\n"
       "                    with --scenario; replayable bit-for-bit)\n"
       "  --replay FILE     re-run a captured trace and verify it is\n"
@@ -147,13 +153,16 @@ void list_scenarios() {
 }
 
 bool parse_scenario(const std::string& name) {
-  if (ScenarioRegistry::instance().find(name) != nullptr) return true;
-  std::fprintf(stderr, "unknown scenario %s; known:", name.c_str());
-  for (const std::string& known : ScenarioRegistry::instance().names()) {
-    std::fprintf(stderr, " %s", known.c_str());
+  try {
+    // get() resolves presets and synthesizes gen: names; a malformed
+    // gen: name surfaces the generator's diagnostic instead of the
+    // unknown-name listing.
+    ScenarioRegistry::instance().get(name);
+    return true;
+  } catch (const ScenarioError& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return false;
   }
-  std::fprintf(stderr, "\n");
-  return false;
 }
 
 int run_replay(const std::string& path) {
@@ -288,6 +297,9 @@ int run_sweep_mode(int argc, char** argv) {
   std::vector<std::string> versions;
   std::vector<std::string> platforms;
   std::vector<std::string> scenarios;
+  std::vector<std::string> gen_scenarios;
+  std::uint64_t gen_seed = 0;
+  bool have_gen_seed = false;
   std::vector<double> fractions;
   std::vector<int> distances;
   double duration_sec = 120.0;
@@ -335,6 +347,11 @@ int run_sweep_mode(int argc, char** argv) {
       const std::string name = next();
       if (!parse_scenario(name)) return 2;
       scenarios.push_back(name);
+    } else if (arg == "--gen-scenario") {
+      gen_scenarios.push_back(next());
+    } else if (arg == "--gen-seed") {
+      gen_seed = std::strtoull(next(), nullptr, 0);
+      have_gen_seed = true;
     } else if (arg == "--list-scenarios") {
       list_scenarios();
       return 0;
@@ -365,6 +382,16 @@ int run_sweep_mode(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+
+  for (std::string name : gen_scenarios) {
+    if (name.rfind("gen:", 0) != 0) name = "gen:" + name;
+    if (have_gen_seed && name.find("seed=") == std::string::npos) {
+      name += name.find(':', 4) == std::string::npos ? ":" : ";";
+      name += "seed=" + std::to_string(gen_seed);
+    }
+    if (!parse_scenario(name)) return 2;
+    scenarios.push_back(name);
   }
 
   if (!scenarios.empty() && !benches.empty()) {
@@ -524,6 +551,9 @@ int main(int argc, char** argv) {
   std::string version = "HARS-E";
   std::string platform;
   std::string scenario;
+  std::string gen_scenario;
+  std::uint64_t gen_seed = 0;
+  bool have_gen_seed = false;
   std::string capture_path;
   std::string replay_path;
   int sample_ticks = 10;
@@ -577,6 +607,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--scenario") {
       scenario = next();
       if (!parse_scenario(scenario)) return 2;
+    } else if (arg == "--gen-scenario") {
+      gen_scenario = next();
+    } else if (arg == "--gen-seed") {
+      gen_seed = std::strtoull(next(), nullptr, 0);
+      have_gen_seed = true;
     } else if (arg == "--list-scenarios") {
       list_scenarios();
       return 0;
@@ -656,6 +691,20 @@ int main(int argc, char** argv) {
                    "metrics verb instead (hars_client metrics)\n");
       return 2;
     }
+  }
+
+  if (!gen_scenario.empty()) {
+    if (!scenario.empty()) {
+      std::fprintf(stderr, "--scenario and --gen-scenario are exclusive\n");
+      return 2;
+    }
+    if (gen_scenario.rfind("gen:", 0) != 0) gen_scenario = "gen:" + gen_scenario;
+    if (have_gen_seed && gen_scenario.find("seed=") == std::string::npos) {
+      gen_scenario += gen_scenario.find(':', 4) == std::string::npos ? ":" : ";";
+      gen_scenario += "seed=" + std::to_string(gen_seed);
+    }
+    if (!parse_scenario(gen_scenario)) return 2;
+    scenario = gen_scenario;
   }
 
   if (!scenario.empty() && !benches.empty()) {
