@@ -1,0 +1,21 @@
+#include "backend/backend.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hars {
+
+AppId Backend::add_workload(const WorkloadDesc& desc) {
+  throw std::logic_error(
+      "backend '" + std::string(name()) + "' does not execute workloads (" +
+      desc.label +
+      "); simulated apps are added to the SimEngine via Experiment/"
+      "ExperimentBuilder instead");
+}
+
+void Backend::place_app(AppId app, CpuMask mask) {
+  const int n = thread_count(app);
+  for (int i = 0; i < n; ++i) place(app, i, mask);
+}
+
+}  // namespace hars

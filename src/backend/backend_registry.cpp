@@ -1,0 +1,124 @@
+#include "backend/backend_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "backend/linux_backend.hpp"
+#include "backend/mock_linux_backend.hpp"
+
+namespace hars {
+
+namespace {
+
+LinuxBackendConfig config_from(const BackendOptions& options,
+                               LinuxBackendConfig config) {
+  if (options.tick_us > 0) config.tick_us = options.tick_us;
+  config.dry_run = options.dry_run;
+  config.platform = options.platform;
+  config.audit = options.audit;
+  return config;
+}
+
+std::unique_ptr<Backend> make_mock_linux(const BackendOptions& options) {
+  FakeSysfs fixture = options.fixture.empty()
+                          ? FakeSysfs::exynos5422()
+                          : FakeSysfs::from_file(options.fixture);
+  return std::make_unique<MockLinuxBackend>(
+      std::move(fixture),
+      config_from(options, MockLinuxBackend::mock_config()));
+}
+
+std::unique_ptr<Backend> make_linux(const BackendOptions& options) {
+  LinuxBackendConfig config = config_from(options, LinuxBackendConfig{});
+  return std::make_unique<LinuxBackend>(
+      std::make_unique<RealSysfs>(options.sysfs_root.empty()
+                                      ? std::string("/")
+                                      : options.sysfs_root),
+      std::make_unique<RealThreadOps>(), std::make_unique<WallTimeSource>(),
+      std::move(config));
+}
+
+std::string known_names_list(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+BackendRegistry::BackendRegistry() {
+  entries_.push_back(
+      {"sim",
+       "discrete-time simulator (the default; SimBackend over SimEngine)",
+       nullptr});
+  entries_.push_back({"mock_linux",
+                      "fixture sysfs tree + modeled threads (CI-testable "
+                      "Linux backend)",
+                      &make_mock_linux});
+  entries_.push_back({"linux",
+                      "real hardware: cpufreq/hotplug sysfs writes, "
+                      "sched_setaffinity, powercap energy",
+                      &make_linux});
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(BackendEntry entry, bool replace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (BackendEntry& existing : entries_) {
+    if (existing.name == entry.name) {
+      if (!replace) {
+        throw std::invalid_argument("backend '" + entry.name +
+                                    "' is already registered");
+      }
+      existing = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const BackendEntry* BackendRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const BackendEntry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Backend> BackendRegistry::get_live(
+    std::string_view name, const BackendOptions& options) const {
+  const BackendEntry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("unknown backend '" + std::string(name) +
+                                "'; known backends: " +
+                                known_names_list(names()));
+  }
+  if (!entry->factory) {
+    throw std::invalid_argument(
+        "backend '" + std::string(name) +
+        "' is not a live backend; the simulator is driven through "
+        "Experiment::run() / ExperimentBuilder::backend(\"sim\")");
+  }
+  return entry->factory(options);
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const BackendEntry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+std::vector<BackendEntry> BackendRegistry::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {entries_.begin(), entries_.end()};
+}
+
+}  // namespace hars

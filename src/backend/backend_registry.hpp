@@ -1,0 +1,100 @@
+// BackendRegistry: the string-keyed catalogue of backends, modeled on
+// the Platform/Scenario/Variant registries. Built-ins register at
+// construction:
+//
+//   sim          the discrete-time simulator (SimBackend) — the default;
+//                resolved inside Experiment::run(), which owns the
+//                engine, so its factory is null here
+//   mock_linux   LinuxBackend over the exynos5422 fixture tree with
+//                modeled threads (MockLinuxBackend)
+//   linux        the real machine's sysfs + sched_setaffinity
+//                (LinuxBackend; probe-only with options.dry_run)
+//
+// Every accessor locks, so concurrent resolution from sweep workers is
+// safe; malformed names are rejected up front by get()/get_live() with
+// the known-name list in the error, mirroring the other registries.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "hmp/platform_spec.hpp"
+#include "util/common.hpp"
+
+namespace hars {
+
+/// Construction options live backends accept (ignored field-by-field
+/// where a backend has no use for one).
+struct BackendOptions {
+  /// Manager epoch for live tick loops; 0 = the backend's default.
+  TimeUs tick_us = 0;
+  /// Probe-only: never write sysfs, never call sched_setaffinity.
+  bool dry_run = false;
+  /// Sysfs fixture file for mock_linux (FakeSysfs::from_file format);
+  /// empty = the built-in exynos5422 tree.
+  std::string fixture;
+  /// Sysfs root for linux (RealSysfs); empty = "/".
+  std::string sysfs_root;
+  /// Platform carrying power parameters to graft onto the probed
+  /// topology (profiling model + modeled-energy fallback).
+  std::optional<PlatformSpec> platform;
+  bool audit = false;
+};
+
+struct BackendEntry {
+  std::string name;
+  std::string description;
+  /// Null for "sim": the simulated backend wraps an engine the caller
+  /// owns, so it cannot be built from options alone.
+  std::function<std::unique_ptr<Backend>(const BackendOptions&)> factory;
+};
+
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  /// Registers an entry. Throws std::invalid_argument when the name is
+  /// already registered and `replace` is false.
+  void register_backend(BackendEntry entry, bool replace = false);
+
+  /// Null when `name` is unknown. Valid across later registrations
+  /// (deque storage), not across a replace of the same name.
+  const BackendEntry* find(std::string_view name) const;
+
+  /// True when `name` resolves (the up-front validation hook for
+  /// ExperimentBuilder / CLI flag parsing).
+  bool known(std::string_view name) const { return find(name) != nullptr; }
+
+  /// Builds the named live backend. Throws std::invalid_argument listing
+  /// the known names on an unknown name, and a pointed error for "sim"
+  /// (which is resolved by Experiment::run(), not built from options).
+  std::unique_ptr<Backend> get_live(std::string_view name,
+                                    const BackendOptions& options) const;
+
+  /// All registered names, in registration order.
+  std::vector<std::string> names() const;
+  /// Name + description pairs for --list-backends.
+  std::vector<BackendEntry> entries() const;
+
+ private:
+  BackendRegistry();
+  mutable std::mutex mutex_;
+  std::deque<BackendEntry> entries_;
+};
+
+/// RAII registration helper, mirroring the other registries:
+///   static BackendRegistrar reg({"my_backend", "…", factory});
+struct BackendRegistrar {
+  explicit BackendRegistrar(BackendEntry entry, bool replace = false) {
+    BackendRegistry::instance().register_backend(std::move(entry), replace);
+  }
+};
+
+}  // namespace hars

@@ -1,0 +1,176 @@
+#include "backend/mock_linux_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace hars {
+
+// --- FakeThreadOps ----------------------------------------------------
+
+FakeThreadOps::ModeledThread& FakeThreadOps::thread_of(AppId app,
+                                                       int local_tid) {
+  return threads_.at(static_cast<std::size_t>(
+      app_base_.at(static_cast<std::size_t>(app)) + local_tid));
+}
+
+const FakeThreadOps::ModeledThread& FakeThreadOps::thread_of(
+    AppId app, int local_tid) const {
+  return const_cast<FakeThreadOps*>(this)->thread_of(app, local_tid);
+}
+
+int FakeThreadOps::spawn(AppId app, const WorkloadDesc& desc) {
+  app_base_.resize(
+      std::max(app_base_.size(), static_cast<std::size_t>(app) + 1), -1);
+  app_base_[static_cast<std::size_t>(app)] = static_cast<int>(threads_.size());
+  for (int i = 0; i < desc.threads; ++i) {
+    ModeledThread mt;
+    mt.record.affinity = mirror_->all_mask();
+    mt.record.runnable = true;  // Spinning workload: always wants CPU.
+    mt.record.app = app;
+    mt.record.local_index = i;
+    mt.record.id = next_id_++;
+    threads_.push_back(std::move(mt));
+  }
+  reschedule();
+  return desc.threads;
+}
+
+void FakeThreadOps::set_affinity(AppId app, int local_tid,
+                                 const std::vector<int>& cpus) {
+  calls_.push_back({app, local_tid, cpus});
+  CpuMask mask;
+  for (const int cpu : cpus) {
+    for (std::size_t c = 0; c < core_to_cpu_->size(); ++c) {
+      if ((*core_to_cpu_)[c] == cpu) {
+        mask = mask | CpuMask::single(static_cast<CoreId>(c));
+      }
+    }
+  }
+  thread_of(app, local_tid).record.affinity = mask;
+  // The kernel migrates an affine thread immediately; so does the model.
+  reschedule();
+}
+
+int FakeThreadOps::current_cpu(AppId app, int local_tid) const {
+  const CoreId core = thread_of(app, local_tid).record.core;
+  if (core < 0) return -1;
+  return (*core_to_cpu_)[static_cast<std::size_t>(core)];
+}
+
+TimeUs FakeThreadOps::cpu_time_us(AppId app, int local_tid) const {
+  return thread_of(app, local_tid).record.cpu_time_us;
+}
+
+double FakeThreadOps::work_done(AppId app, int local_tid) const {
+  return thread_of(app, local_tid).work;
+}
+
+void FakeThreadOps::reschedule() {
+  if (threads_.empty()) return;
+  assign_scratch_.clear();
+  for (const ModeledThread& mt : threads_) {
+    assign_scratch_.push_back(mt.record);
+  }
+  gts_.assign(*mirror_, assign_scratch_);
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    threads_[i].record = assign_scratch_[i];
+  }
+}
+
+void FakeThreadOps::on_topology_change() { reschedule(); }
+
+double FakeThreadOps::core_busy_us(CoreId core) const {
+  const auto c = static_cast<std::size_t>(core);
+  return c < core_busy_us_.size() ? core_busy_us_[c] : 0.0;
+}
+
+void FakeThreadOps::advance_to(TimeUs now) {
+  const TimeUs dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0 || mirror_ == nullptr) return;
+  const auto n = static_cast<std::size_t>(mirror_->num_cores());
+  core_busy_us_.resize(n, 0.0);
+  tick_busy_.assign(n, 0.0);
+  if (threads_.empty()) return;
+  reschedule();
+  std::vector<int> sharers(n, 0);
+  for (const ModeledThread& mt : threads_) {
+    if (mt.record.runnable && mt.record.core >= 0) {
+      ++sharers[static_cast<std::size_t>(mt.record.core)];
+    }
+  }
+  const double decay = threads_.front().record.load.decay_for(dt);
+  for (ModeledThread& mt : threads_) {
+    const bool running = mt.record.runnable && mt.record.core >= 0;
+    mt.record.load.update_with_decay(running, decay);
+    if (!running) continue;
+    const auto core = static_cast<std::size_t>(mt.record.core);
+    const double share_us = static_cast<double>(dt) / sharers[core];
+    mt.record.cpu_time_us += static_cast<TimeUs>(share_us);
+    mt.work += mirror_->core_speed(mt.record.core) * share_us * 1e-6;
+    core_busy_us_[core] += share_us;
+    tick_busy_[core] =
+        std::min(1.0, tick_busy_[core] + share_us / static_cast<double>(dt));
+  }
+}
+
+// --- MockLinuxBackend -------------------------------------------------
+
+LinuxBackendConfig MockLinuxBackend::mock_config() {
+  LinuxBackendConfig config;
+  config.name = "mock_linux";
+  return config;
+}
+
+MockLinuxBackend::MockLinuxBackend(FakeSysfs fixture, LinuxBackendConfig config)
+    : MockLinuxBackend(std::make_unique<FakeSysfs>(std::move(fixture)),
+                       std::make_unique<FakeThreadOps>(),
+                       std::make_unique<FakeTimeSource>(), std::move(config)) {}
+
+MockLinuxBackend::MockLinuxBackend(std::unique_ptr<FakeSysfs> sysfs,
+                                   std::unique_ptr<FakeThreadOps> threads,
+                                   std::unique_ptr<FakeTimeSource> time,
+                                   LinuxBackendConfig config)
+    : LinuxBackend(std::move(sysfs), std::move(threads), std::move(time),
+                   std::move(config)) {
+  fake_sysfs_ = static_cast<FakeSysfs*>(&this->sysfs());
+  fake_threads_ = static_cast<FakeThreadOps*>(&this->thread_ops());
+  fake_time_ = static_cast<FakeTimeSource*>(&this->time());
+}
+
+double MockLinuxBackend::core_busy_fraction(CoreId core) const {
+  const TimeUs elapsed = fake_time_->now_us();
+  if (elapsed <= 0) return 0.0;
+  return std::clamp(
+      fake_threads_->core_busy_us(core) / static_cast<double>(elapsed), 0.0,
+      1.0);
+}
+
+void MockLinuxBackend::sample_counters(TimeUs now) {
+  // Busy comes from the thread model; energy integrates the profiling
+  // model over it and lands in the fixture's powercap counter via set()
+  // (not write(), so the actuation log stays clean), wrapping at the
+  // advertised range like a real energy_uj does.
+  const TimeUs dt = now - last_energy_us_;
+  last_energy_us_ = now;
+  if (dt <= 0) return;
+  std::vector<double> busy = fake_threads_->tick_busy();
+  busy.resize(static_cast<std::size_t>(topology().num_cores()), 0.0);
+  const double watts = profiling_model().total_power(busy);
+  energy_uj_ += watts * static_cast<double>(dt);  // 1 W*us = 1 uJ.
+  for (const std::string& child : fake_sysfs_->list("sys/class/powercap")) {
+    const std::string dir = "sys/class/powercap/" + child;
+    if (!fake_sysfs_->exists(dir + "/energy_uj")) continue;
+    double value = energy_uj_;
+    if (const auto range = fake_sysfs_->read(dir + "/max_energy_range_uj")) {
+      const double range_uj = std::atof(range->c_str());
+      if (range_uj > 0.0) value = std::fmod(value, range_uj);
+    }
+    fake_sysfs_->set(dir + "/energy_uj",
+                     std::to_string(static_cast<long long>(value)));
+    break;  // One meter models the board sensor.
+  }
+}
+
+}  // namespace hars

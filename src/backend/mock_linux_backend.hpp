@@ -1,0 +1,127 @@
+// MockLinuxBackend: LinuxBackend over a fixture sysfs tree.
+//
+// The CI stand-in for real hardware: the exact LinuxBackend control flow
+// (cpufreq writes, hotplug writes, capability probing, heartbeat
+// pumping) runs against FakeSysfs — every sysfs write lands in a log the
+// conformance suite asserts against — while FakeThreadOps models the
+// kernel side of placement with the same GTS scheduler model the
+// simulator uses: affinity calls are honored, threads collect on the
+// cores GTS would pick, work accrues at the mirror machine's core speed
+// (so heartbeat rates respond to DVFS and placement like a real
+// CPU-bound workload). FakeTimeSource makes ticks instantaneous and
+// deterministic, so whole variant runs execute in microseconds.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "backend/linux_backend.hpp"
+#include "sched/gts.hpp"
+
+namespace hars {
+
+/// Deterministic driven clock: sleep_until is what advances it.
+class FakeTimeSource final : public TimeSource {
+ public:
+  TimeUs now_us() override { return now_; }
+  void sleep_until(TimeUs t) override { now_ = std::max(now_, t); }
+
+ private:
+  TimeUs now_ = 0;
+};
+
+/// One recorded affinity call (kernel cpu numbers), in call order.
+struct AffinityCall {
+  AppId app = 0;
+  int local_tid = 0;
+  std::vector<int> cpus;
+};
+
+/// Models the kernel scheduler side: SimThread records placed by the GTS
+/// model over the mirror machine; execution shares split per core and
+/// accrue work at core_speed.
+class FakeThreadOps final : public ThreadOps {
+ public:
+  FakeThreadOps() = default;
+
+  int spawn(AppId app, const WorkloadDesc& desc) override;
+  void set_affinity(AppId app, int local_tid,
+                    const std::vector<int>& cpus) override;
+  int current_cpu(AppId app, int local_tid) const override;
+  TimeUs cpu_time_us(AppId app, int local_tid) const override;
+  double work_done(AppId app, int local_tid) const override;
+  bool can_place() const override { return true; }
+  void advance_to(TimeUs now) override;
+  void on_topology_change() override;
+
+  const std::vector<AffinityCall>& affinity_calls() const { return calls_; }
+  void clear_affinity_calls() { calls_.clear(); }
+
+  /// Modeled lifetime busy time of one dense core (us).
+  double core_busy_us(CoreId core) const;
+  /// Busy fraction per dense core over the last advance_to interval.
+  const std::vector<double>& tick_busy() const { return tick_busy_; }
+
+ private:
+  struct ModeledThread {
+    SimThread record;   ///< What GTS places; work trackers ride along.
+    double work = 0.0;  ///< Cumulative work units.
+  };
+  ModeledThread& thread_of(AppId app, int local_tid);
+  const ModeledThread& thread_of(AppId app, int local_tid) const;
+  /// Re-places all threads through the GTS model (affinity change,
+  /// hotplug, or the per-advance schedule).
+  void reschedule();
+
+  GtsScheduler gts_;
+  std::vector<ModeledThread> threads_;
+  std::vector<int> app_base_;  ///< threads_ index of each app's thread 0.
+  std::vector<AffinityCall> calls_;
+  std::vector<double> core_busy_us_;
+  std::vector<double> tick_busy_;
+  TimeUs last_advance_ = 0;
+  ThreadId next_id_ = 0;
+  /// Scratch for assign(): SimThread records GTS mutates in place.
+  std::vector<SimThread> assign_scratch_;
+};
+
+class MockLinuxBackend final : public LinuxBackend {
+ public:
+  /// Runs over `fixture` (default: the exynos5422 tree). The fixture must
+  /// describe at least one cpu.
+  explicit MockLinuxBackend(FakeSysfs fixture = FakeSysfs::exynos5422(),
+                            LinuxBackendConfig config = mock_config());
+
+  /// The LinuxBackendConfig defaults for mock runs: name "mock_linux",
+  /// the paper's 100 ms tick.
+  static LinuxBackendConfig mock_config();
+
+  /// The fixture tree: inject counter streams with set(), assert the
+  /// write log with writes().
+  FakeSysfs& fake_sysfs() { return *fake_sysfs_; }
+  /// The modeled kernel: assert affinity sequences, read modeled busy.
+  FakeThreadOps& fake_threads() { return *fake_threads_; }
+  FakeTimeSource& fake_time() { return *fake_time_; }
+
+  double core_busy_fraction(CoreId core) const override;
+
+ protected:
+  /// Busy comes from the thread model, energy from the profiling model
+  /// integrated over it — pushed into the fixture's powercap counter so
+  /// the read path (and its wrap handling) is the real one.
+  void sample_counters(TimeUs now) override;
+
+ private:
+  MockLinuxBackend(std::unique_ptr<FakeSysfs> sysfs,
+                   std::unique_ptr<FakeThreadOps> threads,
+                   std::unique_ptr<FakeTimeSource> time,
+                   LinuxBackendConfig config);
+
+  FakeSysfs* fake_sysfs_;
+  FakeThreadOps* fake_threads_;
+  FakeTimeSource* fake_time_;
+  double energy_uj_ = 0.0;
+  TimeUs last_energy_us_ = 0;
+};
+
+}  // namespace hars

@@ -1,0 +1,36 @@
+#include "backend/sim_backend.hpp"
+
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
+
+namespace hars {
+
+// The mutating forwarders live out of line so the obs counter bumps
+// (alloc-free, relaxed) stay off the header.
+
+double SimBackend::energy_j() const {
+  obs::counter_add(obs::catalog().backend_energy_reads);
+  return engine_.sensor().total_energy_j();
+}
+
+void SimBackend::set_dvfs_level(ClusterId cluster, int level) {
+  obs::counter_add(obs::catalog().backend_dvfs_writes);
+  engine_.machine().set_freq_level(cluster, level);
+}
+
+void SimBackend::place(AppId app, int local_tid, CpuMask mask) {
+  obs::counter_add(obs::catalog().backend_placements);
+  engine_.set_thread_affinity(app, local_tid, mask);
+}
+
+void SimBackend::place_app(AppId app, CpuMask mask) {
+  obs::counter_add(obs::catalog().backend_placements);
+  engine_.set_app_affinity(app, mask);
+}
+
+void SimBackend::set_online_mask(CpuMask mask) {
+  obs::counter_add(obs::catalog().backend_hotplug_writes);
+  engine_.machine().set_online_mask(mask);
+}
+
+}  // namespace hars

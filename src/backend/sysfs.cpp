@@ -1,0 +1,215 @@
+#include "backend/sysfs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hars {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+// --- RealSysfs --------------------------------------------------------
+
+RealSysfs::RealSysfs(std::string root) : root_(std::move(root)) {
+  if (root_.empty() || root_.back() != '/') root_.push_back('/');
+}
+
+std::string RealSysfs::full(const std::string& path) const {
+  return root_ + path;
+}
+
+bool RealSysfs::exists(const std::string& path) const {
+  std::error_code ec;
+  return fs::exists(full(path), ec);
+}
+
+std::optional<std::string> RealSysfs::read(const std::string& path) const {
+  std::ifstream in(full(path));
+  if (!in) return std::nullopt;
+  std::ostringstream content;
+  content << in.rdbuf();
+  // Sysfs attribute reads can fail after open (e.g. EIO on an offline
+  // cpufreq node); badbit catches that, eof after rdbuf is normal.
+  if (in.bad()) return std::nullopt;
+  return trim(content.str());
+}
+
+bool RealSysfs::write(const std::string& path, const std::string& value) {
+  // C stdio instead of ofstream: sysfs attributes want a single short
+  // write and report rejection through the write() result itself.
+  std::FILE* f = std::fopen(full(path).c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string payload = value + "\n";
+  const bool ok =
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+std::vector<std::string> RealSysfs::list(const std::string& path) const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (fs::directory_iterator it(full(path), ec), end; !ec && it != end;
+       it.increment(ec)) {
+    names.push_back(it->path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// --- FakeSysfs --------------------------------------------------------
+
+FakeSysfs FakeSysfs::from_text(const std::string& text) {
+  FakeSysfs fake;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto space = stripped.find_first_of(" \t");
+    const std::string path =
+        space == std::string::npos ? stripped : stripped.substr(0, space);
+    const std::string value =
+        space == std::string::npos ? "" : trim(stripped.substr(space + 1));
+    if (path.empty() || path.front() == '/' || path.back() == '/') {
+      throw std::runtime_error("sysfs fixture line " + std::to_string(lineno) +
+                               ": path must be relative with no trailing "
+                               "slash: '" +
+                               path + "'");
+    }
+    fake.set(path, value);
+  }
+  return fake;
+}
+
+FakeSysfs FakeSysfs::from_file(const std::string& filename) {
+  std::ifstream in(filename);
+  if (!in) {
+    throw std::runtime_error("cannot open sysfs fixture: " + filename);
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return from_text(content.str());
+}
+
+void FakeSysfs::set(const std::string& path, const std::string& value) {
+  files_[path] = value;
+}
+
+void FakeSysfs::remove(const std::string& path) { files_.erase(path); }
+
+bool FakeSysfs::exists(const std::string& path) const {
+  if (files_.count(path) != 0) return true;
+  // Directories exist implicitly when any file lives under them.
+  const std::string prefix = path + "/";
+  const auto it = files_.lower_bound(prefix);
+  return it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::optional<std::string> FakeSysfs::read(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool FakeSysfs::write(const std::string& path, const std::string& value) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return false;  // ENOENT: knob absent on this tree.
+  it->second = value;
+  writes_.push_back({path, value});
+  return true;
+}
+
+std::vector<std::string> FakeSysfs::list(const std::string& path) const {
+  std::vector<std::string> names;
+  const std::string prefix = path + "/";
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    const std::string rest = it->first.substr(prefix.size());
+    const std::string child = rest.substr(0, rest.find('/'));
+    if (names.empty() || names.back() != child) names.push_back(child);
+  }
+  // Map order is lexicographic already; dedup handled by the back check.
+  return names;
+}
+
+// --- The exynos5422 fixture ------------------------------------------
+// ODROID-XU3 shape: cpu0-3 Cortex-A7 (LITTLE, 0.2-1.4 GHz), cpu4-7
+// Cortex-A15 (big, 0.2-2.0 GHz), per-cluster cpufreq policies, cpu0 not
+// hotpluggable (no online file), one powercap energy meter. Content is
+// mirrored in examples/exynos5422.sysfs (docs_check keeps them in sync).
+const char* const kExynos5422Fixture = R"(# exynos5422-shaped sysfs fixture (ODROID-XU3: 4x Cortex-A7 + 4x Cortex-A15)
+sys/devices/system/cpu/present 0-7
+
+# --- LITTLE cluster: cpu0-3, Cortex-A7, 200-1400 MHz ---
+sys/devices/system/cpu/cpu0/cpufreq/related_cpus 0 1 2 3
+sys/devices/system/cpu/cpu0/cpufreq/scaling_available_frequencies 200000 400000 600000 800000 1000000 1200000 1400000
+sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_min_freq 200000
+sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq 1400000
+sys/devices/system/cpu/cpu0/cpufreq/scaling_min_freq 200000
+sys/devices/system/cpu/cpu0/cpufreq/scaling_max_freq 1400000
+sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq 1400000
+sys/devices/system/cpu/cpu0/cpufreq/scaling_governor performance
+sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed <unsupported>
+sys/devices/system/cpu/cpu0/cpu_capacity 448
+sys/devices/system/cpu/cpu1/cpufreq/related_cpus 0 1 2 3
+sys/devices/system/cpu/cpu1/cpu_capacity 448
+sys/devices/system/cpu/cpu1/online 1
+sys/devices/system/cpu/cpu2/cpufreq/related_cpus 0 1 2 3
+sys/devices/system/cpu/cpu2/cpu_capacity 448
+sys/devices/system/cpu/cpu2/online 1
+sys/devices/system/cpu/cpu3/cpufreq/related_cpus 0 1 2 3
+sys/devices/system/cpu/cpu3/cpu_capacity 448
+sys/devices/system/cpu/cpu3/online 1
+
+# --- big cluster: cpu4-7, Cortex-A15, 200-2000 MHz ---
+sys/devices/system/cpu/cpu4/cpufreq/related_cpus 4 5 6 7
+sys/devices/system/cpu/cpu4/cpufreq/scaling_available_frequencies 200000 400000 600000 800000 1000000 1200000 1400000 1600000 1800000 2000000
+sys/devices/system/cpu/cpu4/cpufreq/cpuinfo_min_freq 200000
+sys/devices/system/cpu/cpu4/cpufreq/cpuinfo_max_freq 2000000
+sys/devices/system/cpu/cpu4/cpufreq/scaling_min_freq 200000
+sys/devices/system/cpu/cpu4/cpufreq/scaling_max_freq 2000000
+sys/devices/system/cpu/cpu4/cpufreq/scaling_cur_freq 2000000
+sys/devices/system/cpu/cpu4/cpufreq/scaling_governor performance
+sys/devices/system/cpu/cpu4/cpufreq/scaling_setspeed <unsupported>
+sys/devices/system/cpu/cpu4/cpu_capacity 1024
+sys/devices/system/cpu/cpu4/online 1
+sys/devices/system/cpu/cpu5/cpufreq/related_cpus 4 5 6 7
+sys/devices/system/cpu/cpu5/cpu_capacity 1024
+sys/devices/system/cpu/cpu5/online 1
+sys/devices/system/cpu/cpu6/cpufreq/related_cpus 4 5 6 7
+sys/devices/system/cpu/cpu6/cpu_capacity 1024
+sys/devices/system/cpu/cpu6/online 1
+sys/devices/system/cpu/cpu7/cpufreq/related_cpus 4 5 6 7
+sys/devices/system/cpu/cpu7/cpu_capacity 1024
+sys/devices/system/cpu/cpu7/online 1
+
+# --- Energy meter (INA231-style, exposed powercap-shaped) ---
+sys/class/powercap/energy-meter/name odroid-ina231
+sys/class/powercap/energy-meter/energy_uj 0
+sys/class/powercap/energy-meter/max_energy_range_uj 1000000000000
+
+# --- /proc/stat (USER_HZ ticks; tests inject busy deltas via set()) ---
+proc/stat cpu0 0 0 0 10000 0 0 0 0 0 0
+)";
+
+FakeSysfs FakeSysfs::exynos5422() { return from_text(kExynos5422Fixture); }
+
+}  // namespace hars

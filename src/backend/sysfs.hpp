@@ -1,0 +1,99 @@
+// Sysfs access seam for the Linux backends.
+//
+// LinuxBackend talks to the kernel exclusively through SysfsIo, with
+// paths relative to a root ("sys/devices/system/cpu/cpu0/online",
+// "proc/stat"). Two implementations:
+//   * RealSysfs — reads/writes the live filesystem under a root
+//     (default "/"; point it at a copied tree for offline debugging).
+//   * FakeSysfs — an in-memory path -> content map loaded from fixture
+//     text (docs/FILE_FORMATS.md, "Sysfs fixtures"), recording every
+//     write so tests assert exact actuation sequences. Writes to paths
+//     the fixture does not declare fail, mirroring ENOENT on a kernel
+//     without that knob.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hars {
+
+class SysfsIo {
+ public:
+  virtual ~SysfsIo() = default;
+
+  /// Does the node exist (file or directory)?
+  virtual bool exists(const std::string& path) const = 0;
+  /// File contents with trailing whitespace/newline trimmed; nullopt when
+  /// missing or unreadable.
+  virtual std::optional<std::string> read(const std::string& path) const = 0;
+  /// Writes `value` (no newline needed); false when missing/read-only.
+  virtual bool write(const std::string& path, const std::string& value) = 0;
+  /// Names of the direct children of a directory (sorted); empty when
+  /// missing. Used to enumerate cpu[0-9]+ nodes.
+  virtual std::vector<std::string> list(const std::string& path) const = 0;
+};
+
+/// The live filesystem, rooted at `root` (default "/").
+class RealSysfs final : public SysfsIo {
+ public:
+  explicit RealSysfs(std::string root = "/");
+
+  bool exists(const std::string& path) const override;
+  std::optional<std::string> read(const std::string& path) const override;
+  bool write(const std::string& path, const std::string& value) override;
+  std::vector<std::string> list(const std::string& path) const override;
+
+ private:
+  std::string full(const std::string& path) const;
+  std::string root_;
+};
+
+/// One recorded FakeSysfs write, in call order.
+struct SysfsWrite {
+  std::string path;
+  std::string value;
+};
+
+class FakeSysfs final : public SysfsIo {
+ public:
+  FakeSysfs() = default;
+
+  /// Parses fixture text: one `path value...` pair per line (value runs
+  /// to end of line and may be empty = empty file), '#' comments and
+  /// blank lines skipped. Throws std::runtime_error with the line number
+  /// on malformed input.
+  static FakeSysfs from_text(const std::string& text);
+  static FakeSysfs from_file(const std::string& filename);
+
+  /// Built-in exynos5422-shaped tree (ODROID-XU3: 4x A7 + 4x A15), the
+  /// same content as examples/exynos5422.sysfs.
+  static FakeSysfs exynos5422();
+
+  /// Creates or replaces a node — fixture setup and injectable counter
+  /// streams (tests advance proc/stat, energy_uj, beat counters, ...).
+  void set(const std::string& path, const std::string& value);
+  /// Removes a node, so tests model a kernel without that knob.
+  void remove(const std::string& path);
+
+  /// Every accepted write, in order. Tests assert exact sequences.
+  const std::vector<SysfsWrite>& writes() const { return writes_; }
+  void clear_writes() { writes_.clear(); }
+
+  bool exists(const std::string& path) const override;
+  std::optional<std::string> read(const std::string& path) const override;
+  bool write(const std::string& path, const std::string& value) override;
+  std::vector<std::string> list(const std::string& path) const override;
+
+ private:
+  std::map<std::string, std::string> files_;
+  std::vector<SysfsWrite> writes_;
+};
+
+/// The fixture text FakeSysfs::exynos5422() parses; also the content of
+/// examples/exynos5422.sysfs (docs_check asserts the two stay in sync).
+extern const char* const kExynos5422Fixture;
+
+}  // namespace hars

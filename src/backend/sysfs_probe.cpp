@@ -1,0 +1,196 @@
+#include "backend/sysfs_probe.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "hmp/platform_spec.hpp"
+
+namespace hars {
+
+namespace {
+
+constexpr const char* kCpuRoot = "sys/devices/system/cpu";
+
+std::string cpu_dir(int cpu) {
+  return std::string(kCpuRoot) + "/cpu" + std::to_string(cpu);
+}
+
+std::optional<long long> read_ll(const SysfsIo& sysfs,
+                                 const std::string& path) {
+  const auto text = sysfs.read(path);
+  if (!text) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(*text, &used);
+    if (used == 0) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Present cpus: the "present" cpulist, else the cpuN directory scan.
+std::vector<int> present_cpus(const SysfsIo& sysfs) {
+  if (const auto text = sysfs.read(std::string(kCpuRoot) + "/present")) {
+    const std::vector<int> cpus = parse_cpulist(*text);
+    if (!cpus.empty()) return cpus;
+  }
+  std::vector<int> cpus;
+  for (const std::string& name : sysfs.list(kCpuRoot)) {
+    if (name.size() < 4 || name.compare(0, 3, "cpu") != 0) continue;
+    const std::string digits = name.substr(3);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    cpus.push_back(std::stoi(digits));
+  }
+  std::sort(cpus.begin(), cpus.end());
+  return cpus;
+}
+
+/// DVFS ladder of one policy, ascending GHz. scaling_available_frequencies
+/// (kHz, any order, duplicates possible) when exposed; else the cpuinfo
+/// min/max pair; else a single 1.0 GHz level (no cpufreq at all).
+std::vector<double> probe_ladder(const SysfsIo& sysfs, int policy_cpu) {
+  const std::string dir = cpu_dir(policy_cpu) + "/cpufreq";
+  std::vector<long long> khz;
+  if (const auto text = sysfs.read(dir + "/scaling_available_frequencies")) {
+    std::istringstream in(*text);
+    long long f = 0;
+    while (in >> f) {
+      if (f > 0) khz.push_back(f);
+    }
+  }
+  if (khz.empty()) {
+    const auto lo = read_ll(sysfs, dir + "/cpuinfo_min_freq");
+    const auto hi = read_ll(sysfs, dir + "/cpuinfo_max_freq");
+    if (lo && *lo > 0) khz.push_back(*lo);
+    if (hi && *hi > 0) khz.push_back(*hi);
+  }
+  std::sort(khz.begin(), khz.end());
+  khz.erase(std::unique(khz.begin(), khz.end()), khz.end());
+  std::vector<double> ghz;
+  for (const long long f : khz) ghz.push_back(static_cast<double>(f) * 1e-6);
+  if (ghz.empty()) ghz.push_back(1.0);
+  return ghz;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::istringstream in(text);
+  std::string chunk;
+  while (std::getline(in, chunk, ',')) {
+    const auto dash = chunk.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(chunk));
+      } else {
+        const int lo = std::stoi(chunk.substr(0, dash));
+        const int hi = std::stoi(chunk.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (const std::exception&) {
+      // Malformed chunk; skip.
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+ProbedTopology probe_topology(const SysfsIo& sysfs) {
+  const std::vector<int> cpus = present_cpus(sysfs);
+  if (cpus.empty()) {
+    throw PlatformConfigError(
+        "sysfs probe found no cpus (no 'present' cpulist and no cpuN "
+        "directories under sys/devices/system/cpu)");
+  }
+
+  // Group by related_cpus, keyed by the group's first cpu. Cpus without a
+  // cpufreq policy fall back to a singleton group keyed by themselves —
+  // then merged into one fixed-frequency cluster when their capacities
+  // match (common on servers without cpufreq: one flat cluster).
+  std::map<int, ProbedCluster> groups;
+  std::set<int> policy_backed;
+  for (const int cpu : cpus) {
+    int key = cpu;
+    if (const auto related =
+            sysfs.read(cpu_dir(cpu) + "/cpufreq/related_cpus")) {
+      const std::vector<int> members = parse_cpulist(*related);
+      if (!members.empty()) {
+        key = members.front();
+        policy_backed.insert(key);
+      }
+    }
+    groups[key].cpus.push_back(cpu);
+  }
+
+  ProbedTopology topo;
+  for (auto& [key, cluster] : groups) {
+    cluster.policy_cpu = key;
+    cluster.freqs_ghz = probe_ladder(sysfs, key);
+    const auto capacity =
+        read_ll(sysfs, cpu_dir(cluster.cpus.front()) + "/cpu_capacity");
+    cluster.capacity =
+        (capacity && *capacity > 0) ? static_cast<double>(*capacity) : 512.0;
+    // Fold policy-less singletons with matching ladder + capacity into
+    // the previous such cluster (map order = ascending first cpu), so a
+    // flat server probes as one cluster, not one per cpu.
+    if (policy_backed.count(key) == 0 && !topo.clusters.empty()) {
+      ProbedCluster& prev = topo.clusters.back();
+      if (policy_backed.count(prev.policy_cpu) == 0 &&
+          prev.freqs_ghz == cluster.freqs_ghz &&
+          prev.capacity == cluster.capacity) {
+        prev.cpus.insert(prev.cpus.end(), cluster.cpus.begin(),
+                         cluster.cpus.end());
+        continue;
+      }
+    }
+    topo.clusters.push_back(std::move(cluster));
+  }
+  // std::map iteration ordered clusters (and merged cpus) by first cpu.
+  return topo;
+}
+
+PlatformSpec PlatformSpec::from_sysfs(const SysfsIo& sysfs,
+                                      const std::string& name) {
+  const ProbedTopology topo = probe_topology(sysfs);
+  if (topo.clusters.size() < 2) {
+    throw PlatformConfigError(
+        "sysfs probe found a homogeneous machine (one cluster); the "
+        "runtime manages heterogeneous big.LITTLE platforms and needs a "
+        "fast and a slow pool");
+  }
+
+  // Peak capability (capacity-scaled top frequency) splits big from
+  // little: the top cluster(s) are big, everything else little.
+  double peak = 0.0;
+  for (const auto& c : topo.clusters) {
+    peak = std::max(peak, c.capacity * c.freqs_ghz.back());
+  }
+
+  PlatformSpec spec;
+  spec.name = name;
+  for (const auto& c : topo.clusters) {
+    const bool is_big =
+        c.capacity * c.freqs_ghz.back() >= peak * (1.0 - 1e-9);
+    PlatformCluster cluster;
+    cluster.topology.type = is_big ? CoreType::kBig : CoreType::kLittle;
+    cluster.topology.core_count = static_cast<int>(c.cpus.size());
+    cluster.topology.freqs_ghz = c.freqs_ghz;
+    // cpu_capacity is normalized to 1024 = the fastest core at its top
+    // frequency; de-rate by frequency to recover an architectural ipc on
+    // the simulator's work-units scale (1024 capacity ~ ipc 2.0).
+    cluster.topology.ipc = c.capacity / 512.0;
+    // Sysfs carries no power model: attach the per-core-type defaults
+    // (callers override with a real platform when coefficients matter).
+    cluster.power = PowerParams::for_type(cluster.topology.type);
+    spec.clusters.push_back(std::move(cluster));
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace hars

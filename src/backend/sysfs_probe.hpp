@@ -1,0 +1,49 @@
+// Topology probing over a sysfs tree (real or fixture).
+//
+// probe_topology() turns `/sys/devices/system/cpu` into cluster groups
+// keyed by cpufreq `related_cpus`; PlatformSpec::from_sysfs (declared in
+// hmp/platform_spec.hpp, defined here in the backend layer) folds that
+// into a simulatable platform. LinuxBackend keeps the ProbedTopology
+// around because the PlatformSpec is dense (cluster 0 core 0, ...) while
+// actuation needs the kernel's actual cpu numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backend/sysfs.hpp"
+
+namespace hars {
+
+struct ProbedCluster {
+  std::vector<int> cpus;           ///< Kernel cpu numbers, ascending.
+  std::vector<double> freqs_ghz;   ///< DVFS ladder, ascending GHz.
+  double capacity = 512.0;         ///< cpu_capacity (1024 = fastest).
+  /// The cpufreq policy holder: first cpu of the group; its cpufreq dir
+  /// is where frequency writes go.
+  int policy_cpu = 0;
+};
+
+struct ProbedTopology {
+  /// Clusters ordered by first cpu number. Never empty (probe throws).
+  std::vector<ProbedCluster> clusters;
+
+  int num_cpus() const {
+    int n = 0;
+    for (const auto& c : clusters) n += static_cast<int>(c.cpus.size());
+    return n;
+  }
+};
+
+/// Enumerates present cpus ("present" cpulist, else cpuN directories),
+/// groups them by `related_cpus` (cpus without a cpufreq policy fall
+/// into one fixed-frequency group), reads ladders and capacities with
+/// per-attribute fallbacks. Throws PlatformConfigError (see
+/// hmp/platform_spec.hpp) when no cpu is found.
+ProbedTopology probe_topology(const SysfsIo& sysfs);
+
+/// Parses a kernel cpulist ("0-3,5,7-8") into ascending cpu numbers;
+/// malformed chunks are skipped.
+std::vector<int> parse_cpulist(const std::string& text);
+
+}  // namespace hars

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "backend/sim_backend.hpp"
 #include "obs/catalog.hpp"
 #include "obs/metrics.hpp"
 #include "util/alloc_guard.hpp"
@@ -11,15 +13,29 @@
 
 namespace hars {
 
+RuntimeManager::RuntimeManager(Backend& backend, AppId app, PerfTarget target,
+                               PowerCoeffTable coeffs,
+                               RuntimeManagerConfig config)
+    : RuntimeManager(nullptr, &backend, app, std::move(target),
+                     std::move(coeffs), std::move(config)) {}
+
 RuntimeManager::RuntimeManager(SimEngine& engine, AppId app, PerfTarget target,
                                PowerCoeffTable coeffs,
                                RuntimeManagerConfig config)
-    : engine_(engine),
+    : RuntimeManager(std::make_unique<SimBackend>(engine), nullptr, app,
+                     std::move(target), std::move(coeffs), std::move(config)) {}
+
+RuntimeManager::RuntimeManager(std::unique_ptr<Backend> owned,
+                               Backend* backend, AppId app, PerfTarget target,
+                               PowerCoeffTable coeffs,
+                               RuntimeManagerConfig config)
+    : owned_backend_(std::move(owned)),
+      backend_(backend != nullptr ? *backend : *owned_backend_),
       app_(app),
-      perf_est_(engine.machine(), config.r0),
+      perf_est_(backend_.topology(), config.r0),
       power_est_(std::move(coeffs)),
       config_(config),
-      space_(StateSpace::from_machine(engine.machine())),
+      space_(StateSpace::from_machine(backend_.topology())),
       predictor_(make_predictor(config.predictor)) {
   if (!target.is_valid_window()) {
     throw std::invalid_argument(
@@ -30,35 +46,35 @@ RuntimeManager::RuntimeManager(SimEngine& engine, AppId app, PerfTarget target,
   if (config_.learn_ratio) {
     RatioLearnerConfig learner_config;
     learner_config.prior_r0 = config_.r0;
-    ratio_learner_.emplace(engine.machine(), engine_.app(app_).thread_count(),
+    ratio_learner_.emplace(backend_.topology(), backend_.thread_count(app_),
                            learner_config);
   }
-  engine_.app(app_).heartbeats().set_target(target);
+  backend_.heartbeats(app_).set_target(target);
   state_ = config_.start_at_max ? space_.max_state() : SystemState{
       space_.max_big_cores, space_.max_little_cores, 0, 0};
   apply_state(state_);
 }
 
 CpuMask RuntimeManager::big_set(const SystemState& s) const {
-  const Machine& m = engine_.machine();
+  const Machine& m = backend_.topology();
   const CoreId first = m.fastest_mask().first();
   return CpuMask::range(first, s.big_cores);
 }
 
 CpuMask RuntimeManager::little_set(const SystemState& s) const {
-  const Machine& m = engine_.machine();
+  const Machine& m = backend_.topology();
   const CoreId first = m.slowest_mask().first();
   return CpuMask::range(first, s.little_cores);
 }
 
 void RuntimeManager::apply_state(const SystemState& state) {
   state_ = state;
-  Machine& m = engine_.machine();
-  m.set_freq_level(m.fastest_cluster(), state.big_freq);
-  m.set_freq_level(m.slowest_cluster(), state.little_freq);
-  const int t = engine_.app(app_).thread_count();
+  const Machine& m = backend_.topology();
+  backend_.set_dvfs_level(m.fastest_cluster(), state.big_freq);
+  backend_.set_dvfs_level(m.slowest_cluster(), state.little_freq);
+  const int t = backend_.thread_count(app_);
   const ThreadAssignment a = perf_est_.assignment(state, t);
-  apply_thread_schedule(engine_, app_, config_.scheduler, a, big_set(state),
+  apply_thread_schedule(backend_, app_, config_.scheduler, a, big_set(state),
                         little_set(state));
 }
 
@@ -72,7 +88,7 @@ TimeUs RuntimeManager::on_tick(TimeUs now) {
   next_poll_ = now + config_.poll_period_us;
   TimeUs cost = config_.poll_cost_us;
 
-  const HeartbeatMonitor& hb = engine_.app(app_).heartbeats();
+  const HeartbeatMonitor& hb = backend_.heartbeats(app_);
   const std::int64_t idx = hb.last_index();
   if (idx < 0 || idx == last_seen_hb_) return cost;
   last_seen_hb_ = idx;
@@ -85,7 +101,7 @@ TimeUs RuntimeManager::on_tick(TimeUs now) {
     ratio_learner_->observe(state_, measured_rate);
     perf_est_.set_r0(ratio_learner_->estimate());
   }
-  const Machine& m = engine_.machine();
+  const Machine& m = backend_.topology();
   trace_.push_back(TracePoint{
       idx, measured_rate, state_.big_cores, state_.little_cores,
       m.freq_ghz_at_level(m.fastest_cluster(), state_.big_freq),
@@ -103,7 +119,7 @@ TimeUs RuntimeManager::on_tick(TimeUs now) {
   }
 
   const bool overperforming = rate > target.avg();
-  const int threads = engine_.app(app_).thread_count();
+  const int threads = backend_.thread_count(app_);
   // One memoization epoch per adaptation: r0 may have moved (ratio
   // learner) since the last search, so prior entries are stale.
   SearchScratch* scratch = nullptr;
@@ -132,7 +148,7 @@ TimeUs RuntimeManager::on_tick(TimeUs now) {
                                : cat.candidates_incremental,
                      static_cast<std::uint64_t>(result.candidates));
   }
-  if (engine_.audit_enabled()) {
+  if (backend_.audit_enabled()) {
     // The sweep only considers space_-valid candidates, so a violation
     // here means the search itself (or a memo table) corrupted a state.
     const std::string why = result.state.check_invariants(space_);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "backend/sim_backend.hpp"
+
 namespace hars {
 
 const char* thread_scheduler_name(ThreadSchedulerKind kind) {
@@ -107,22 +109,30 @@ std::vector<bool> plan_thread_placement(ThreadSchedulerKind kind, int t, int tb,
   return big;
 }
 
-void apply_thread_schedule(SimEngine& engine, AppId app, ThreadSchedulerKind kind,
+void apply_thread_schedule(Backend& backend, AppId app,
+                           ThreadSchedulerKind kind,
                            const ThreadAssignment& assignment, CpuMask big_set,
                            CpuMask little_set) {
-  const int t = engine.app(app).thread_count();
+  const int t = backend.thread_count(app);
   assert(assignment.tb + assignment.tl == t);
   const std::vector<bool> plan =
       kind == ThreadSchedulerKind::kHierarchical
-          ? plan_hierarchical_placement(engine.app(app).thread_group_sizes(),
+          ? plan_hierarchical_placement(backend.thread_group_sizes(app),
                                         assignment.tb, assignment.tl)
           : plan_thread_placement(kind, t, assignment.tb, assignment.tl);
   const CpuMask fallback = big_set | little_set;
   for (int i = 0; i < t; ++i) {
     CpuMask mask = plan[static_cast<std::size_t>(i)] ? big_set : little_set;
     if (mask.empty()) mask = fallback;
-    engine.set_thread_affinity(app, i, mask);
+    backend.place(app, i, mask);
   }
+}
+
+void apply_thread_schedule(SimEngine& engine, AppId app, ThreadSchedulerKind kind,
+                           const ThreadAssignment& assignment, CpuMask big_set,
+                           CpuMask little_set) {
+  SimBackend backend(engine);
+  apply_thread_schedule(backend, app, kind, assignment, big_set, little_set);
 }
 
 }  // namespace hars

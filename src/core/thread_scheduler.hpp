@@ -43,10 +43,19 @@ std::vector<bool> plan_hierarchical_placement(const std::vector<int>& group_size
                                               int tb, int tl);
 
 /// Applies the plan to an application's threads: big-bound threads get
-/// `big_set`, little-bound threads get `little_set` as affinity. A thread
-/// whose side has no cores falls back to the union (defensive; Table 3.1
-/// never produces that). The hierarchical kind queries the application's
+/// `big_set`, little-bound threads get `little_set` as affinity (through
+/// Backend::place — sched_setaffinity on live backends). A thread whose
+/// side has no cores falls back to the union (defensive; Table 3.1 never
+/// produces that). The hierarchical kind queries the application's
 /// thread_group_sizes().
+void apply_thread_schedule(Backend& backend, AppId app,
+                           ThreadSchedulerKind kind,
+                           const ThreadAssignment& assignment, CpuMask big_set,
+                           CpuMask little_set);
+
+/// Legacy shim over the Backend form: wraps the engine in a transient
+/// SimBackend. Placement is identical (SimBackend::place forwards to
+/// SimEngine::set_thread_affinity).
 void apply_thread_schedule(SimEngine& engine, AppId app, ThreadSchedulerKind kind,
                            const ThreadAssignment& assignment, CpuMask big_set,
                            CpuMask little_set);

@@ -4,6 +4,7 @@
 #include <tuple>
 #include <utility>
 
+#include "backend/sim_backend.hpp"
 #include "exp/calibration.hpp"
 #include "hmp/platform_registry.hpp"
 #include "hmp/sim_engine.hpp"
@@ -170,7 +171,8 @@ ExperimentResult run_scenario(const ExperimentSpec& spec) {
   const std::vector<AppId> initial_ids = runtime.initial_ids();
   const std::vector<PerfTarget> initial_targets = runtime.initial_targets();
   const VariantEntry* entry = VariantRegistry::instance().find(spec.variant);
-  const VariantSetup setup{engine, spec, initial_ids, initial_targets};
+  SimBackend backend(engine);
+  const VariantSetup setup{backend, spec, initial_ids, initial_targets};
   std::unique_ptr<VariantInstance> instance = entry->factory(setup);
   if (instance == nullptr) {
     throw std::runtime_error("variant \"" + spec.variant +
@@ -259,6 +261,98 @@ ExperimentResult run_scenario(const ExperimentSpec& spec) {
   return result;
 }
 
+/// The live pipeline: resolve the named backend through the registry,
+/// start one synthetic spin workload per configured app, derive any
+/// missing targets from a boot-state probe slice, instantiate the variant
+/// against the Backend interface and let the backend's wall-clock tick
+/// loop drive it. Measurement is cold-start-style over the post-probe
+/// span; energy comes from the backend's meters (or its modeled
+/// fallback).
+ExperimentResult run_live(const ExperimentSpec& spec) {
+  BackendOptions options = spec.backend_options;
+  if (!options.platform) options.platform = spec.platform;
+  std::unique_ptr<Backend> backend =
+      BackendRegistry::instance().get_live(spec.backend, options);
+
+  std::vector<AppId> ids;
+  for (std::size_t i = 0; i < spec.apps.size(); ++i) {
+    WorkloadDesc desc;
+    desc.label = spec.apps[i].label;
+    desc.threads = spec.threads;
+    ids.push_back(backend->add_workload(desc));
+  }
+
+  // Targets: explicit ones win; the rest derive from a probe slice at the
+  // boot state (the live analogue of the concurrent baseline probe).
+  std::vector<PerfTarget> targets(spec.apps.size());
+  bool need_probe = false;
+  for (const AppSpec& app : spec.apps) need_probe |= !app.target.has_value();
+  if (need_probe) {
+    backend->run_for(std::max<TimeUs>(spec.duration / 5, kUsPerSec));
+  }
+  for (std::size_t i = 0; i < spec.apps.size(); ++i) {
+    if (spec.apps[i].target) {
+      targets[i] = *spec.apps[i].target;
+    } else {
+      const double rate = backend->heartbeats(ids[i]).rate();
+      if (!(rate > 0.0)) {
+        throw std::runtime_error(
+            "workload \"" + spec.apps[i].label +
+            "\" emitted no heartbeats in the live probe on backend \"" +
+            spec.backend +
+            "\"; cannot derive a target (set one explicitly or lengthen "
+            "the duration)");
+      }
+      targets[i] = PerfTarget::around(spec.target_fraction * rate);
+    }
+    backend->heartbeats(ids[i]).set_target(targets[i]);
+  }
+
+  const VariantEntry* entry = VariantRegistry::instance().find(spec.variant);
+  const VariantSetup setup{*backend, spec, ids, targets};
+  std::unique_ptr<VariantInstance> instance = entry->factory(setup);
+  if (instance == nullptr) {
+    throw std::runtime_error("variant \"" + spec.variant +
+                             "\" factory returned no instance");
+  }
+  if (instance->active()) backend->attach_manager(instance.get());
+
+  const TimeUs t0 = backend->now();
+  const double energy0 = backend->energy_j();
+  backend->run_for(spec.duration);
+  const TimeUs t1 = backend->now();
+  const double energy_j = backend->energy_j() - energy0;
+  const double span_s = us_to_sec(t1 - t0);
+
+  ExperimentResult result;
+  result.avg_power_w = span_s > 0.0 ? energy_j / span_s : 0.0;
+  for (std::size_t i = 0; i < spec.apps.size(); ++i) {
+    AppRunResult app_result;
+    app_result.label = spec.apps[i].label;
+    app_result.target = targets[i];
+    const auto& history = backend->heartbeats(ids[i]).history();
+    RunMetrics& m = app_result.metrics;
+    m.norm_perf = time_weighted_norm_perf(history, targets[i], t0, t1);
+    m.avg_rate_hps = average_rate(history, t0, t1);
+    m.avg_power_w = result.avg_power_w;
+    m.perf_per_watt = m.avg_power_w > 0.0 ? m.norm_perf / m.avg_power_w : 0.0;
+    m.manager_cpu_pct = backend->manager_cpu_utilization_pct();
+    m.heartbeats = backend->heartbeats(ids[i]).count();
+    m.in_window_fraction =
+        time_in_window_fraction(history, targets[i], t0, t1);
+    m.energy_j = energy_j;
+    const double beats_in_span = m.avg_rate_hps * span_s;
+    m.energy_per_beat_j =
+        beats_in_span > 0.0 ? m.energy_j / beats_in_span : 0.0;
+    app_result.trace = instance->trace(ids[i]);
+    result.apps.push_back(std::move(app_result));
+  }
+  result.static_state = instance->static_state();
+  result.final_state = instance->current_state();
+  result.adaptations = instance->adaptations();
+  return result;
+}
+
 }  // namespace
 
 ExperimentResult Experiment::run() const {
@@ -267,6 +361,7 @@ ExperimentResult Experiment::run() const {
   // registry when enabled, writes the configured sinks on exit. With
   // telemetry disabled this is construction of an inert object.
   obs::TelemetrySession telemetry(spec.telemetry);
+  if (spec.backend != "sim") return run_live(spec);
   if (spec.scenario) return run_scenario(spec);
   const std::vector<PerfTarget> targets = resolve_targets(spec);
 
@@ -283,7 +378,8 @@ ExperimentResult Experiment::run() const {
 
   // The registry entry exists: build() validated the variant name.
   const VariantEntry* entry = VariantRegistry::instance().find(spec.variant);
-  const VariantSetup setup{engine, spec, ids, targets};
+  SimBackend backend(engine);
+  const VariantSetup setup{backend, spec, ids, targets};
   std::unique_ptr<VariantInstance> instance = entry->factory(setup);
   if (instance == nullptr) {
     throw std::runtime_error("variant \"" + spec.variant +
@@ -445,6 +541,27 @@ ExperimentBuilder& ExperimentBuilder::target_fraction(double fraction) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::backend(std::string_view name) {
+  if (!BackendRegistry::instance().known(name)) {
+    std::string message = "unknown backend \"" + std::string(name) +
+                          "\"; known:";
+    for (const std::string& known : BackendRegistry::instance().names()) {
+      message += ' ';
+      message += known;
+    }
+    throw ExperimentConfigError(message);
+  }
+  spec_.backend = std::string(name);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::backend(std::string_view name,
+                                              BackendOptions options) {
+  backend(name);
+  spec_.backend_options = std::move(options);
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::variant(std::string name) {
   spec_.variant = std::move(name);
   return *this;
@@ -579,6 +696,37 @@ Experiment ExperimentBuilder::build() const {
 
   if (spec.apps.empty()) {
     throw ExperimentConfigError("experiment needs at least one app");
+  }
+  if (!BackendRegistry::instance().known(spec.backend)) {
+    std::string message = "unknown backend \"" + spec.backend + "\"; known:";
+    for (const std::string& known : BackendRegistry::instance().names()) {
+      message += ' ';
+      message += known;
+    }
+    throw ExperimentConfigError(message);
+  }
+  if (spec.backend != "sim") {
+    // The live pipeline drives real (or mock) hardware: no simulated
+    // clock to slice for samplers, no engine for scenarios to mutate, and
+    // reference_impl selects simulator hot paths that do not exist here.
+    if (spec.scenario) {
+      throw ExperimentConfigError(
+          "scenario() requires the sim backend (scenario events drive the "
+          "simulated engine)");
+    }
+    if (spec.sampler) {
+      throw ExperimentConfigError(
+          "sample_every() requires the sim backend (RunView exposes the "
+          "simulated engine)");
+    }
+    if (spec.capture != nullptr) {
+      throw ExperimentConfigError("capture() requires the sim backend");
+    }
+    if (spec.reference_impl) {
+      throw ExperimentConfigError(
+          "reference_impl() requires the sim backend (it selects simulator "
+          "hot-path implementations)");
+    }
   }
   const VariantEntry* entry = VariantRegistry::instance().find(spec.variant);
   if (entry == nullptr) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "apps/parsec.hpp"
+#include "backend/backend_registry.hpp"
 #include "exp/metrics.hpp"
 #include "exp/variant_registry.hpp"
 #include "hmp/machine.hpp"
@@ -77,6 +78,14 @@ struct ExperimentSpec {
   std::function<std::unique_ptr<Scheduler>()> make_scheduler;
   std::vector<AppSpec> apps;
   std::string variant = "HARS-E";
+  /// Execution backend by registered name. "sim" (the default) runs the
+  /// discrete-time simulator; any other name resolves through
+  /// BackendRegistry::get_live() and the run drives the live platform
+  /// with synthetic spin workloads shaped like the configured apps.
+  std::string backend = "sim";
+  /// Construction options for live (non-sim) backends. The platform field
+  /// defaults to `platform` at run time (power-parameter grafting).
+  BackendOptions backend_options;
   double target_fraction = 0.50;  ///< Of max achievable, for derived targets.
   TimeUs duration = 120 * kUsPerSec;
   int threads = 8;
@@ -200,6 +209,15 @@ class ExperimentBuilder {
   ExperimentBuilder& target(PerfTarget target);
   /// Derived-target fraction of max achievable performance (default 0.5).
   ExperimentBuilder& target_fraction(double fraction);
+
+  // --- Execution backend ---
+  /// Selects the execution backend by registered name ("sim",
+  /// "mock_linux", "linux", ...). Malformed names are rejected here —
+  /// before build() — with the known-name list in the error.
+  ExperimentBuilder& backend(std::string_view name);
+  /// Same, with live-backend construction options (tick period, dry-run,
+  /// sysfs fixture / root, platform power grafting).
+  ExperimentBuilder& backend(std::string_view name, BackendOptions options);
 
   // --- Runtime variant ---
   ExperimentBuilder& variant(std::string name);

@@ -83,17 +83,21 @@ std::unique_ptr<VariantInstance> make_static_optimal(
   so.threads = setup.spec.threads;
   so.seed = setup.spec.seed;
   so.platform = setup.spec.platform;
+  // The oracle sweep itself runs offline in throwaway simulators (see
+  // find_static_optimal), so SO works on any backend: only the chosen
+  // state is applied to the live platform.
   const StaticOptimalResult so_result = find_static_optimal(
       *setup.spec.apps.front().bench, setup.targets.front(), so);
-  Machine& m = setup.engine.machine();
-  m.set_freq_level(m.fastest_cluster(), so_result.state.big_freq);
-  m.set_freq_level(m.slowest_cluster(), so_result.state.little_freq);
+  const Machine& m = setup.backend.topology();
+  setup.backend.set_dvfs_level(m.fastest_cluster(), so_result.state.big_freq);
+  setup.backend.set_dvfs_level(m.slowest_cluster(),
+                               so_result.state.little_freq);
   CpuMask allowed;
   const CoreId lf = m.slowest_mask().first();
   for (int i = 0; i < so_result.state.little_cores; ++i) allowed.set(lf + i);
   const CoreId bf = m.fastest_mask().first();
   for (int i = 0; i < so_result.state.big_cores; ++i) allowed.set(bf + i);
-  setup.engine.set_app_affinity(setup.app_ids.front(), allowed);
+  setup.backend.place_app(setup.app_ids.front(), allowed);
   return std::make_unique<StaticOptimalInstance>(so_result.state);
 }
 
@@ -118,10 +122,10 @@ class HarsInstance final : public VariantInstance {
     if (t.r0) config.r0 = *t.r0;
     if (t.learn_ratio) config.learn_ratio = *t.learn_ratio;
     if (t.tabu) config.tabu = *t.tabu;
-    const PowerCoeffTable coeffs =
-        profile_power(setup.engine.machine(), setup.engine.power_model());
+    const PowerCoeffTable coeffs = profile_power(
+        setup.backend.topology(), setup.backend.profiling_model());
     auto manager = std::make_unique<RuntimeManager>(
-        setup.engine, setup.app_ids.front(), setup.targets.front(), coeffs,
+        setup.backend, setup.app_ids.front(), setup.targets.front(), coeffs,
         config);
     manager_ = manager.get();
     inner_ = std::move(manager);
@@ -154,7 +158,7 @@ class ConsInstance final : public VariantInstance {
     config.r0 = setup.spec.platform.assumed_ratio();
     const VariantTuning& t = setup.spec.tuning;
     if (t.r0) config.r0 = *t.r0;
-    auto manager = std::make_unique<ConsIManager>(setup.engine, config);
+    auto manager = std::make_unique<ConsIManager>(setup.backend, config);
     for (std::size_t i = 0; i < setup.app_ids.size(); ++i) {
       manager->register_app(setup.app_ids[i],
                             ConsIAppConfig{setup.targets[i], adapt_period_});
@@ -197,10 +201,10 @@ class MpHarsInstance final : public VariantInstance {
     if (t.search_window) config.exhaustive_window = *t.search_window;
     if (t.search_distance) config.exhaustive_d = *t.search_distance;
     if (t.r0) config.r0 = *t.r0;
-    const PowerCoeffTable coeffs =
-        profile_power(setup.engine.machine(), setup.engine.power_model());
+    const PowerCoeffTable coeffs = profile_power(
+        setup.backend.topology(), setup.backend.profiling_model());
     auto manager =
-        std::make_unique<MpHarsManager>(setup.engine, coeffs, config);
+        std::make_unique<MpHarsManager>(setup.backend, coeffs, config);
     for (std::size_t i = 0; i < setup.app_ids.size(); ++i) {
       manager->register_app(
           setup.app_ids[i],

@@ -143,11 +143,15 @@ class VariantInstance : public ManagerHook {
   bool inner_muted_ = false;
 };
 
-/// Everything a factory may consult: the engine (apps already added,
+/// Everything a factory may consult: the backend (apps already added,
 /// targets installed), the per-app ids/targets in registration order and
 /// the full experiment spec (tuning, threads, seed, benchmark identities).
+/// The backend is a SimBackend for simulated runs and a live backend
+/// (mock_linux / linux) under hars_agentd; factories that genuinely need
+/// the simulator (e.g. the static optimal's offline oracle) must check
+/// backend.sim_engine() != nullptr and fail clearly otherwise.
 struct VariantSetup {
-  SimEngine& engine;
+  Backend& backend;
   const ExperimentSpec& spec;
   const std::vector<AppId>& app_ids;
   const std::vector<PerfTarget>& targets;

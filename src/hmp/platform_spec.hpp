@@ -23,6 +23,8 @@
 
 namespace hars {
 
+class SysfsIo;  // backend/sysfs.hpp
+
 /// Invalid platform descriptions (builder, CSV loader, registry) are
 /// reported through this exception.
 class PlatformConfigError : public std::invalid_argument {
@@ -88,6 +90,18 @@ struct PlatformSpec {
 
   /// Reads `path` and parses it with from_csv.
   static PlatformSpec from_file(const std::string& path);
+
+  /// Probes a (real or fixture) sysfs tree and self-describes the
+  /// topology: clusters from cpufreq `related_cpus` groups, DVFS ladders
+  /// from `scaling_available_frequencies` (kHz, sorted ascending; falls
+  /// back to the cpuinfo min/max pair), ipc from `cpu_capacity` / 512,
+  /// big/little from peak capability. Sysfs carries no power model, so
+  /// clusters get the per-core-type default parameters — override with an
+  /// explicit platform when real coefficients matter. Defined in
+  /// src/backend/sysfs_probe.cpp; throws PlatformConfigError when the
+  /// tree has no usable cpus.
+  static PlatformSpec from_sysfs(const SysfsIo& sysfs,
+                                 const std::string& name = "sysfs-probe");
 };
 
 /// Fluent construction mirroring ExperimentBuilder:

@@ -15,10 +15,18 @@
 
 namespace hars {
 
-SimEngine::SimEngine(Machine machine, std::unique_ptr<Scheduler> scheduler,
-                     SimConfig config)
+PowerModel SimEngine::make_power_model(const Machine& machine,
+                                       const PlatformSpec* platform) {
+  if (platform == nullptr) return PowerModel(machine);
+  PowerModel model(machine, platform->cluster_power());
+  model.set_base_watts(platform->base_watts);
+  return model;
+}
+
+SimEngine::SimEngine(Machine machine, const PlatformSpec* platform,
+                     std::unique_ptr<Scheduler> scheduler, SimConfig config)
     : machine_(std::move(machine)),
-      power_model_(machine_),
+      power_model_(make_power_model(machine_, platform)),
       sensor_(machine_, power_model_, config.sensor_period_us,
               config.sensor_noise, config.sensor_seed),
       scheduler_(std::move(scheduler)),
@@ -29,14 +37,14 @@ SimEngine::SimEngine(Machine machine, std::unique_ptr<Scheduler> scheduler,
   if (config_.tick_us <= 0) throw std::invalid_argument("tick must be positive");
 }
 
+SimEngine::SimEngine(Machine machine, std::unique_ptr<Scheduler> scheduler,
+                     SimConfig config)
+    : SimEngine(std::move(machine), nullptr, std::move(scheduler), config) {}
+
 SimEngine::SimEngine(const PlatformSpec& platform,
                      std::unique_ptr<Scheduler> scheduler, SimConfig config)
-    : SimEngine(platform.make_machine(), std::move(scheduler), config) {
-  // Swap in the platform's carried power parameters; sensor_ references
-  // power_model_ by address, which assignment preserves.
-  power_model_ = PowerModel(machine_, platform.cluster_power());
-  power_model_.set_base_watts(platform.base_watts);
-}
+    : SimEngine(platform.make_machine(), &platform, std::move(scheduler),
+                config) {}
 
 AppId SimEngine::add_app(App* app) {
   assert(app != nullptr);
@@ -102,6 +110,10 @@ CpuMask SimEngine::thread_affinity(AppId app_id, int local_tid) const {
 
 CoreId SimEngine::thread_core(AppId app_id, int local_tid) const {
   return thread_of(app_id, local_tid).core;
+}
+
+TimeUs SimEngine::thread_cpu_time_us(AppId app_id, int local_tid) const {
+  return thread_of(app_id, local_tid).cpu_time_us;
 }
 
 void SimEngine::run_until(TimeUs t) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "apps/app.hpp"
+#include "backend/backend.hpp"  // ManagerHook lives in the Backend HAL now.
 #include "hmp/machine.hpp"
 #include "hmp/power_model.hpp"
 #include "hmp/power_sensor.hpp"
@@ -33,15 +34,6 @@
 namespace hars {
 
 class SimEngine;
-
-/// Runtime managers (HARS, MP-HARS, CONS-I) attach to the engine through
-/// this hook. `on_tick` returns the CPU time (us) the manager consumed so
-/// the engine can charge it as overhead.
-class ManagerHook {
- public:
-  virtual ~ManagerHook() = default;
-  virtual TimeUs on_tick(TimeUs now) = 0;
-};
 
 struct SimConfig {
   TimeUs tick_us = 1 * kUsPerMs;
@@ -174,6 +166,11 @@ class SimEngine {
   CpuMask thread_affinity(AppId app_id, int local_tid) const;
   CoreId thread_core(AppId app_id, int local_tid) const;
 
+  /// CPU time one thread has consumed so far (us) — the live-hardware
+  /// analogue is /proc/<tid>/stat; SimBackend serves elapsed_work_us
+  /// from this.
+  TimeUs thread_cpu_time_us(AppId app_id, int local_tid) const;
+
   /// Runs the simulation until `t` (absolute) or for `dt` (relative).
   void run_until(TimeUs t);
   void run_for(TimeUs dt) { run_until(now_ + dt); }
@@ -207,6 +204,15 @@ class SimEngine {
   void audit_now() const;
 
  private:
+  /// Shared delegate of both public constructors: builds the power model
+  /// once, from the platform's carried parameters when one is given,
+  /// from the per-core-type legacy defaults otherwise — no
+  /// construct-then-reassign.
+  SimEngine(Machine machine, const PlatformSpec* platform,
+            std::unique_ptr<Scheduler> scheduler, SimConfig config);
+  static PowerModel make_power_model(const Machine& machine,
+                                     const PlatformSpec* platform);
+
   void step();
   void step_reference();
   /// Post-assign check: every runnable placed thread sits on an online

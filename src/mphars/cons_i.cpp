@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "backend/sim_backend.hpp"
 #include "util/alloc_guard.hpp"
 
 namespace hars {
@@ -17,16 +19,26 @@ double cons_perf_score(const Machine& machine, const SystemState& s, double r0,
   return s.big_cores * r0 * (fb / f0_ghz) + s.little_cores * (fl / f0_ghz);
 }
 
+ConsIManager::ConsIManager(Backend& backend, ConsIConfig config)
+    : ConsIManager(nullptr, &backend, std::move(config)) {}
+
 ConsIManager::ConsIManager(SimEngine& engine, ConsIConfig config)
-    : engine_(engine), config_(config) {
+    : ConsIManager(std::make_unique<SimBackend>(engine), nullptr,
+                   std::move(config)) {}
+
+ConsIManager::ConsIManager(std::unique_ptr<Backend> owned, Backend* backend,
+                           ConsIConfig config)
+    : owned_backend_(std::move(owned)),
+      backend_(backend != nullptr ? *backend : *owned_backend_),
+      config_(config) {
   build_state_list();
   // Start at the maximum state, like the baseline.
-  state_ = StateSpace::from_machine(engine_.machine()).max_state();
+  state_ = StateSpace::from_machine(backend_.topology()).max_state();
   apply_state(state_);
 }
 
 void ConsIManager::build_state_list() {
-  const Machine& m = engine_.machine();
+  const Machine& m = backend_.topology();
   const int max_big = m.cluster_core_count(m.fastest_cluster());
   const int max_little = m.cluster_core_count(m.slowest_cluster());
   const int nb_freqs = m.num_freq_levels(m.fastest_cluster());
@@ -91,7 +103,7 @@ void ConsIManager::register_app(AppId app, const ConsIAppConfig& app_config) {
   entry.target = app_config.target;
   entry.adapt_period = app_config.adapt_period;
   apps_.push_back(std::move(entry));
-  engine_.app(app).heartbeats().set_target(app_config.target);
+  backend_.heartbeats(app).set_target(app_config.target);
 }
 
 bool ConsIManager::set_app_target(AppId app, PerfTarget target) {
@@ -102,7 +114,7 @@ bool ConsIManager::set_app_target(AppId app, PerfTarget target) {
   for (AppEntry& entry : apps_) {
     if (entry.app == app && entry.alive) {
       entry.target = target;
-      engine_.app(app).heartbeats().set_target(target);
+      backend_.heartbeats(app).set_target(target);
       return true;
     }
   }
@@ -123,9 +135,9 @@ bool ConsIManager::unregister_app(AppId app) {
 
 void ConsIManager::apply_state(const SystemState& s) {
   state_ = s;
-  Machine& m = engine_.machine();
-  m.set_freq_level(m.fastest_cluster(), s.big_freq);
-  m.set_freq_level(m.slowest_cluster(), s.little_freq);
+  const Machine& m = backend_.topology();
+  backend_.set_dvfs_level(m.fastest_cluster(), s.big_freq);
+  backend_.set_dvfs_level(m.slowest_cluster(), s.little_freq);
   // Global core counts are realized with hotplug: the first C_L slow-pool
   // and first C_B fast-pool cores stay online; everything runs unpinned
   // under GTS. Middle clusters of an N-cluster machine are outside the
@@ -140,7 +152,7 @@ void ConsIManager::apply_state(const SystemState& s) {
   for (int i = 0; i < s.little_cores; ++i) online.set(little_first + i);
   const CoreId big_first = m.fastest_mask().first();
   for (int i = 0; i < s.big_cores; ++i) online.set(big_first + i);
-  m.set_online_mask(online);
+  backend_.set_online_mask(online);
 }
 
 const std::vector<TracePoint>& ConsIManager::trace(AppId app) const {
@@ -159,10 +171,10 @@ TimeUs ConsIManager::on_tick(TimeUs now) {
   next_poll_ = now + config_.poll_period_us;
   TimeUs cost = config_.poll_cost_us;
 
-  const Machine& m = engine_.machine();
+  const Machine& m = backend_.topology();
   for (AppEntry& entry : apps_) {
     if (!entry.alive) continue;
-    const HeartbeatMonitor& hb = engine_.app(entry.app).heartbeats();
+    const HeartbeatMonitor& hb = backend_.heartbeats(entry.app);
     const std::int64_t idx = hb.last_index();
     if (idx < 0 || idx == entry.last_seen_hb) continue;
     const std::int64_t new_beats = idx - entry.last_seen_hb;

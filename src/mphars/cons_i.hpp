@@ -13,6 +13,7 @@
 // application to overperform and trigger a freeze period.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/system_state.hpp"
@@ -48,7 +49,13 @@ double cons_perf_score(const Machine& machine, const SystemState& s, double r0,
 
 class ConsIManager : public ManagerHook {
  public:
-  ConsIManager(SimEngine& engine, ConsIConfig config = {});
+  /// The model drives the platform exclusively through `backend` (DVFS,
+  /// hotplug, heartbeats) — simulated and live backends interchange.
+  explicit ConsIManager(Backend& backend, ConsIConfig config = {});
+
+  /// Compatibility overload: wraps `engine` in an owned SimBackend
+  /// (bit-identical to pre-HAL construction).
+  explicit ConsIManager(SimEngine& engine, ConsIConfig config = {});
 
   void register_app(AppId app, const ConsIAppConfig& app_config);
 
@@ -77,12 +84,19 @@ class ConsIManager : public ManagerHook {
     std::vector<TracePoint> trace;
   };
 
+  /// Delegation target of both public constructors: exactly one of
+  /// `owned` / `backend` is set (owned_backend_ precedes backend_ so the
+  /// reference can bind to it).
+  ConsIManager(std::unique_ptr<Backend> owned, Backend* backend,
+               ConsIConfig config);
+
   void apply_state(const SystemState& s);
   void build_state_list();
   /// Index into states_ holding the current state.
   std::size_t current_index() const;
 
-  SimEngine& engine_;
+  std::unique_ptr<Backend> owned_backend_;  ///< Only for the SimEngine ctor.
+  Backend& backend_;
   ConsIConfig config_;
   std::vector<AppEntry> apps_;
   std::vector<SystemState> states_;  ///< Sorted ascending by perfScore.

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "backend/sim_backend.hpp"
 #include "obs/catalog.hpp"
 #include "obs/metrics.hpp"
 #include "util/alloc_guard.hpp"
@@ -12,15 +14,27 @@
 
 namespace hars {
 
+MpHarsManager::MpHarsManager(Backend& backend, PowerCoeffTable coeffs,
+                             MpHarsConfig config)
+    : MpHarsManager(nullptr, &backend, std::move(coeffs), std::move(config)) {}
+
 MpHarsManager::MpHarsManager(SimEngine& engine, PowerCoeffTable coeffs,
                              MpHarsConfig config)
-    : engine_(engine),
-      registry_(engine.machine().cluster_core_count(engine.machine().fastest_cluster()),
-                engine.machine().cluster_core_count(engine.machine().slowest_cluster())),
-      perf_est_(engine.machine(), config.r0),
+    : MpHarsManager(std::make_unique<SimBackend>(engine), nullptr,
+                    std::move(coeffs), std::move(config)) {}
+
+MpHarsManager::MpHarsManager(std::unique_ptr<Backend> owned, Backend* backend,
+                             PowerCoeffTable coeffs, MpHarsConfig config)
+    : owned_backend_(std::move(owned)),
+      backend_(backend != nullptr ? *backend : *owned_backend_),
+      registry_(backend_.topology().cluster_core_count(
+                    backend_.topology().fastest_cluster()),
+                backend_.topology().cluster_core_count(
+                    backend_.topology().slowest_cluster())),
+      perf_est_(backend_.topology(), config.r0),
       power_est_(std::move(coeffs)),
       config_(config),
-      machine_space_(StateSpace::from_machine(engine.machine())) {}
+      machine_space_(StateSpace::from_machine(backend_.topology())) {}
 
 void MpHarsManager::register_app(AppId app, const MpHarsAppConfig& app_config) {
   if (!app_config.target.is_valid_window()) {
@@ -31,7 +45,7 @@ void MpHarsManager::register_app(AppId app, const MpHarsAppConfig& app_config) {
   node.target = app_config.target;
   node.adapt_period = app_config.adapt_period;
   node.scheduler = app_config.scheduler;
-  engine_.app(app).heartbeats().set_target(app_config.target);
+  backend_.heartbeats(app).set_target(app_config.target);
 
   // Even initial split of each cluster across all registered apps: release
   // everything, then re-allocate fair shares in registration order.
@@ -49,8 +63,8 @@ void MpHarsManager::register_app(AppId app, const MpHarsAppConfig& app_config) {
     n.nprocs_l = 0;
     allocate_core_set(n, registry_.fastest_cluster(),
                       registry_.slowest_cluster(),
-                      engine_.machine().fastest_mask().first(),
-                      engine_.machine().slowest_mask().first());
+                      backend_.topology().fastest_mask().first(),
+                      backend_.topology().slowest_mask().first());
   });
   registry_.for_each([&](AppNode& n) {
     SystemState initial;
@@ -74,12 +88,12 @@ bool MpHarsManager::set_app_target(AppId app, PerfTarget target) {
   AppNode* node = registry_.find(app);
   if (node == nullptr) return false;
   node->target = target;
-  engine_.app(app).heartbeats().set_target(target);
+  backend_.heartbeats(app).set_target(target);
   return true;
 }
 
 SystemState MpHarsManager::current_state_of(const AppNode& node) const {
-  const Machine& m = engine_.machine();
+  const Machine& m = backend_.topology();
   SystemState s;
   s.big_cores = node.nprocs_b;
   s.little_cores = node.nprocs_l;
@@ -132,14 +146,14 @@ PerfStatus MpHarsManager::others_status(const AppNode& node,
 }
 
 void MpHarsManager::record_trace(AppNode& node) {
-  const Machine& m = engine_.machine();
+  const Machine& m = backend_.topology();
   node.trace.push_back(TracePoint{
       node.last_seen_hb, node.heartbeat_rate, node.nprocs_b, node.nprocs_l,
       m.freq_ghz(m.fastest_cluster()), m.freq_ghz(m.slowest_cluster())});
 }
 
 void MpHarsManager::apply_app_state(AppNode& node, const SystemState& next) {
-  Machine& m = engine_.machine();
+  const Machine& m = backend_.topology();
   // Core bookkeeping: queue releases for shrunk clusters, then run the
   // Algorithm 4 allocator.
   node.dec_big_core_cnt = std::max(0, node.used_big_count() - next.big_cores);
@@ -157,16 +171,16 @@ void MpHarsManager::apply_app_state(AppNode& node, const SystemState& next) {
 
   const int old_big_freq = m.freq_level(m.fastest_cluster());
   const int old_little_freq = m.freq_level(m.slowest_cluster());
-  m.set_freq_level(m.fastest_cluster(), next.big_freq);
-  m.set_freq_level(m.slowest_cluster(), next.little_freq);
+  backend_.set_dvfs_level(m.fastest_cluster(), next.big_freq);
+  backend_.set_dvfs_level(m.slowest_cluster(), next.little_freq);
   registry_.fastest_cluster().nfreq = m.freq_level(m.fastest_cluster());
   registry_.slowest_cluster().nfreq = m.freq_level(m.slowest_cluster());
 
   // Pin the app's threads over its own cores.
   const SystemState applied = current_state_of(node);
-  const int t = engine_.app(node.app_id).thread_count();
+  const int t = backend_.thread_count(node.app_id);
   const ThreadAssignment a = perf_est_.assignment(applied, t);
-  apply_thread_schedule(engine_, node.app_id, node.scheduler, a,
+  apply_thread_schedule(backend_, node.app_id, node.scheduler, a,
                         owned_big_mask(node, m.fastest_mask().first()),
                         owned_little_mask(node, m.slowest_mask().first()));
 
@@ -199,7 +213,6 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
     return 0;  // Inside the window.
   }
 
-  const Machine& m = engine_.machine();
   const SystemState current = current_state_of(node);
 
   // Line 18: free cores not allocated to any application.
@@ -265,7 +278,7 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
                         config_.exhaustive_window, config_.exhaustive_d);
   const SearchResult result = get_next_sys_state(
       rate, current, target, params, machine_space_, perf_est_, power_est_,
-      engine_.app(node.app_id).thread_count(), filter_fn,
+      backend_.thread_count(node.app_id), filter_fn,
       config_.reference_search ? nullptr : &scratch_);
   {
     const obs::Catalog& cat = obs::catalog();
@@ -275,7 +288,7 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
                      static_cast<std::uint64_t>(result.candidates));
   }
 
-  if (engine_.audit_enabled()) {
+  if (backend_.audit_enabled()) {
     const std::string why = result.state.check_invariants(machine_space_);
     if (!why.empty()) {
       throw AuditError("MpHarsManager: search returned invalid state: " + why);
@@ -289,7 +302,6 @@ TimeUs MpHarsManager::adapt_app(AppNode& node, TimeUs now) {
     ++adaptations_;
     node.adaptation_index = node.last_seen_hb;
   }
-  (void)m;
   return cost;
 }
 
@@ -308,7 +320,7 @@ TimeUs MpHarsManager::on_tick(TimeUs now) {
 
   // Algorithm 3: iterate the application list.
   registry_.for_each([&](AppNode& node) {
-    const HeartbeatMonitor& hb = engine_.app(node.app_id).heartbeats();
+    const HeartbeatMonitor& hb = backend_.heartbeats(node.app_id);
     const std::int64_t idx = hb.last_index();
     if (idx < 0 || idx == node.last_seen_hb) return;
     const std::int64_t new_beats = idx - node.last_seen_hb;

@@ -99,6 +99,20 @@ Catalog build_catalog() {
   c.migrations = reg.register_counter(
       "sched.migrations", "Thread migrations performed by GTS (scratch path)");
 
+  c.backend_dvfs_writes = reg.register_counter(
+      "backend.dvfs_writes", "Backend::set_dvfs_level calls (any backend)");
+  c.backend_placements = reg.register_counter(
+      "backend.placements", "Backend::place calls (any backend)");
+  c.backend_hotplug_writes = reg.register_counter(
+      "backend.hotplug_writes", "Backend::set_online_mask calls (any backend)");
+  c.backend_energy_reads = reg.register_counter(
+      "backend.energy_reads", "Backend::energy_j reads (any backend)");
+  c.backend_ticks = reg.register_counter(
+      "backend.ticks", "Live-backend tick-loop iterations (mock/linux)");
+  c.backend_tick_ns = reg.register_histogram(
+      "backend.tick_ns", phase_ns_bounds(),
+      "Wall time of one live-backend tick (observe + manager + actuate, ns)");
+
   c.sweep_cases =
       reg.register_counter("sweep.cases", "Sweep cases completed");
   c.sweep_jobs = reg.register_gauge("sweep.jobs",

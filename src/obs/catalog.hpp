@@ -60,6 +60,14 @@ struct Catalog {
   CounterId gts_assign_skips;  ///< sched.gts.assign_skips (stable placement)
   CounterId migrations;        ///< sched.migrations
 
+  // --- Backend HAL ---
+  CounterId backend_dvfs_writes;    ///< backend.dvfs_writes
+  CounterId backend_placements;     ///< backend.placements
+  CounterId backend_hotplug_writes; ///< backend.hotplug_writes
+  CounterId backend_energy_reads;   ///< backend.energy_reads
+  CounterId backend_ticks;          ///< backend.ticks (live tick loops)
+  HistId backend_tick_ns;           ///< backend.tick_ns (live tick wall time)
+
   // --- Sweep engine ---
   CounterId sweep_cases;       ///< sweep.cases
   GaugeId sweep_jobs;          ///< sweep.jobs (workers of the last run)

@@ -30,7 +30,7 @@ std::vector<PerfTarget> resolve_scenario_targets(const ExperimentSpec& spec,
 ScenarioRuntime::ScenarioRuntime(const Scenario& scenario, SimEngine& engine,
                                  const ExperimentSpec& spec,
                                  std::vector<PerfTarget> targets)
-    : scenario_(scenario), engine_(engine), spec_(spec) {
+    : scenario_(scenario), engine_(engine), backend_(engine), spec_(spec) {
   const auto spawns = scenario_.spawns();
   slots_.reserve(spawns.size());
   for (std::size_t i = 0; i < spawns.size(); ++i) {
@@ -109,13 +109,13 @@ void ScenarioRuntime::dispatch(const ScenarioEvent& event, TimeUs now) {
       return;
     }
     case ScenarioEventKind::kOfflineCores: {
-      Machine& m = engine_.machine();
-      m.set_online_mask(m.online_mask() & ~event.cores);
+      const Machine& m = engine_.machine();
+      backend_.set_online_mask(m.online_mask() & ~event.cores);
       return;
     }
     case ScenarioEventKind::kOnlineCores: {
-      Machine& m = engine_.machine();
-      m.set_online_mask(m.online_mask() | event.cores);
+      const Machine& m = engine_.machine();
+      backend_.set_online_mask(m.online_mask() | event.cores);
       return;
     }
   }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/sim_backend.hpp"
 #include "exp/experiment.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/trace_sink.hpp"
@@ -77,6 +78,9 @@ class ScenarioRuntime {
 
   const Scenario& scenario_;
   SimEngine& engine_;
+  /// Platform mutations (hotplug events) go through the HAL so the obs
+  /// counters see them; SimBackend forwards 1:1 to the engine.
+  SimBackend backend_;
   const ExperimentSpec& spec_;
   VariantInstance* variant_ = nullptr;
   TraceSink* capture_ = nullptr;

@@ -1,0 +1,117 @@
+// SimBackend bit-identity: a manager driven through the Backend HAL must
+// produce exactly the simulation it produced holding SimEngine& directly
+// — same adaptation count, same final state, same behaviour trace, same
+// heartbeat stream. This is the gate that lets the HAL refactor claim
+// "the simulated path is unchanged".
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/data_parallel_app.hpp"
+#include "backend/sim_backend.hpp"
+#include "core/power_profiler.hpp"
+#include "core/runtime_manager.hpp"
+#include "hmp/sim_engine.hpp"
+#include "sched/gts.hpp"
+
+namespace hars {
+namespace {
+
+struct SimFixture {
+  SimEngine engine{Machine::exynos5422(), std::make_unique<GtsScheduler>()};
+  std::unique_ptr<DataParallelApp> app;
+  AppId id = -1;
+
+  SimFixture() {
+    DataParallelConfig cfg;
+    cfg.threads = 8;
+    cfg.speed = SpeedModel{3.0, 2.0};
+    cfg.workload = {WorkloadShape::kStable, 4.0, 0.0, 0.0, 1};
+    app = std::make_unique<DataParallelApp>("t", cfg);
+    id = engine.add_app(app.get());
+  }
+};
+
+void expect_identical_traces(const std::vector<TracePoint>& a,
+                             const std::vector<TracePoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].hb_index, b[i].hb_index) << "point " << i;
+    EXPECT_DOUBLE_EQ(a[i].hps, b[i].hps) << "point " << i;
+    EXPECT_EQ(a[i].big_cores, b[i].big_cores) << "point " << i;
+    EXPECT_EQ(a[i].little_cores, b[i].little_cores) << "point " << i;
+    EXPECT_DOUBLE_EQ(a[i].big_freq_ghz, b[i].big_freq_ghz) << "point " << i;
+    EXPECT_DOUBLE_EQ(a[i].little_freq_ghz, b[i].little_freq_ghz)
+        << "point " << i;
+  }
+}
+
+TEST(SimBackendBitIdentity, EngineCtorAndBackendCtorProduceTheSameRun) {
+  const PerfTarget target = PerfTarget::around(2.0);
+
+  // Run A: the legacy construction path — RuntimeManager(SimEngine&).
+  SimFixture a;
+  const PowerCoeffTable coeffs_a =
+      profile_power(a.engine.machine(), a.engine.power_model());
+  RuntimeManager manager_a(a.engine, a.id, target, coeffs_a);
+  a.engine.set_manager(&manager_a);
+  a.engine.run_for(60 * kUsPerSec);
+
+  // Run B: the HAL path — an explicit SimBackend and the Backend& ctor.
+  SimFixture b;
+  SimBackend backend(b.engine);
+  const PowerCoeffTable coeffs_b =
+      profile_power(backend.topology(), backend.profiling_model());
+  RuntimeManager manager_b(backend, b.id, target, coeffs_b);
+  backend.attach_manager(&manager_b);
+  backend.run_until(60 * kUsPerSec);
+
+  EXPECT_EQ(a.engine.now(), b.engine.now());
+  EXPECT_EQ(manager_a.adaptations(), manager_b.adaptations());
+  EXPECT_EQ(manager_a.current_state(), manager_b.current_state());
+  EXPECT_EQ(a.app->heartbeats().count(), b.app->heartbeats().count());
+  EXPECT_DOUBLE_EQ(a.app->heartbeats().rate(), b.app->heartbeats().rate());
+  EXPECT_DOUBLE_EQ(a.engine.sensor().total_energy_j(),
+                   b.engine.sensor().total_energy_j());
+  expect_identical_traces(manager_a.trace(), manager_b.trace());
+}
+
+TEST(SimBackendBitIdentity, ActuationForwardsOneToOne) {
+  SimFixture f;
+  SimBackend backend(f.engine);
+  const Machine& m = f.engine.machine();
+
+  backend.set_dvfs_level(m.fastest_cluster(), 2);
+  EXPECT_EQ(m.freq_level(m.fastest_cluster()), 2);
+
+  backend.set_online_mask(m.slowest_mask());
+  EXPECT_EQ(m.online_mask(), m.slowest_mask());
+  backend.set_online_mask(m.all_mask());
+
+  backend.place(f.id, 0, m.fastest_mask());
+  f.engine.run_for(kUsPerMs);
+  const CoreId core = backend.thread_core(f.id, 0);
+  ASSERT_GE(core, 0);
+  EXPECT_TRUE(m.fastest_mask().test(core));
+}
+
+TEST(SimBackendBitIdentity, ObservationMatchesTheEngine) {
+  SimFixture f;
+  SimBackend backend(f.engine);
+  f.engine.run_for(kUsPerSec);
+
+  EXPECT_EQ(backend.now(), f.engine.now());
+  EXPECT_EQ(backend.num_apps(), f.engine.num_apps());
+  EXPECT_TRUE(backend.app_alive(f.id));
+  EXPECT_EQ(backend.thread_count(f.id), 8);
+  EXPECT_EQ(backend.elapsed_work_us(f.id, 0),
+            f.engine.thread_cpu_time_us(f.id, 0));
+  for (CoreId c = 0; c < f.engine.machine().num_cores(); ++c) {
+    EXPECT_DOUBLE_EQ(backend.core_busy_fraction(c),
+                     f.engine.core_busy_fraction(c));
+  }
+  EXPECT_DOUBLE_EQ(backend.energy_j(), f.engine.sensor().total_energy_j());
+}
+
+}  // namespace
+}  // namespace hars

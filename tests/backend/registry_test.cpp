@@ -1,0 +1,75 @@
+#include "backend/backend_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hars {
+namespace {
+
+TEST(BackendRegistry, BuiltInsRegisterInOrder) {
+  const auto names = BackendRegistry::instance().names();
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names[0], "sim");
+  EXPECT_EQ(names[1], "mock_linux");
+  EXPECT_EQ(names[2], "linux");
+}
+
+TEST(BackendRegistry, KnownValidatesUpFront) {
+  const BackendRegistry& r = BackendRegistry::instance();
+  EXPECT_TRUE(r.known("sim"));
+  EXPECT_TRUE(r.known("mock_linux"));
+  EXPECT_TRUE(r.known("linux"));
+  EXPECT_FALSE(r.known("qemu"));
+  EXPECT_FALSE(r.known(""));
+}
+
+TEST(BackendRegistry, EntriesCarryDescriptions) {
+  for (const BackendEntry& e : BackendRegistry::instance().entries()) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_FALSE(e.description.empty());
+  }
+}
+
+TEST(BackendRegistry, UnknownNameErrorListsKnownNames) {
+  try {
+    BackendRegistry::instance().get_live("qemu", {});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("qemu"), std::string::npos);
+    EXPECT_NE(what.find("sim"), std::string::npos);
+    EXPECT_NE(what.find("mock_linux"), std::string::npos);
+    EXPECT_NE(what.find("linux"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, SimHasNoLiveFactory) {
+  try {
+    BackendRegistry::instance().get_live("sim", {});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The pointed error, not the unknown-name listing.
+    EXPECT_NE(std::string(e.what()).find("sim"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, BuildsMockLinux) {
+  const auto backend = BackendRegistry::instance().get_live("mock_linux", {});
+  ASSERT_NE(backend, nullptr);
+  EXPECT_STREQ(backend->name(), "mock_linux");
+  EXPECT_FALSE(backend->caps().simulated);
+  EXPECT_EQ(backend->topology().num_cores(), 8);
+  EXPECT_EQ(backend->sim_engine(), nullptr);
+}
+
+TEST(BackendRegistry, DuplicateRegistrationIsRejected) {
+  BackendEntry dup;
+  dup.name = "mock_linux";
+  dup.description = "dup";
+  EXPECT_THROW(BackendRegistry::instance().register_backend(dup),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hars

@@ -1,0 +1,159 @@
+#include "backend/sysfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "backend/sysfs_probe.hpp"
+#include "hmp/machine.hpp"
+#include "hmp/platform_spec.hpp"
+
+namespace hars {
+namespace {
+
+TEST(FakeSysfs, ParsesFixtureText) {
+  const FakeSysfs fs = FakeSysfs::from_text(
+      "# comment\n"
+      "\n"
+      "a/b 42\n"
+      "a/c hello world\n"
+      "a/empty\n");
+  EXPECT_TRUE(fs.exists("a/b"));
+  EXPECT_EQ(fs.read("a/b"), "42");
+  EXPECT_EQ(fs.read("a/c"), "hello world");  // Value runs to end of line.
+  EXPECT_EQ(fs.read("a/empty"), "");
+  EXPECT_FALSE(fs.exists("a/missing"));
+  EXPECT_EQ(fs.read("a/missing"), std::nullopt);
+}
+
+TEST(FakeSysfs, ExistsCoversDirectories) {
+  const FakeSysfs fs = FakeSysfs::from_text("sys/devices/cpu0/online 1\n");
+  EXPECT_TRUE(fs.exists("sys/devices/cpu0"));
+  EXPECT_TRUE(fs.exists("sys/devices"));
+  EXPECT_FALSE(fs.exists("sys/devices/cpu1"));
+}
+
+TEST(FakeSysfs, ListReturnsSortedChildren) {
+  const FakeSysfs fs = FakeSysfs::from_text(
+      "cpu/cpu10/online 1\n"
+      "cpu/cpu2/online 1\n"
+      "cpu/cpu2/cpufreq/scaling_cur_freq 1000\n"
+      "cpu/present 0-10\n");
+  const auto children = fs.list("cpu");
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0], "cpu10");
+  EXPECT_EQ(children[1], "cpu2");
+  EXPECT_EQ(children[2], "present");
+  EXPECT_TRUE(fs.list("nothing").empty());
+}
+
+TEST(FakeSysfs, WriteToDeclaredPathIsRecorded) {
+  FakeSysfs fs = FakeSysfs::from_text("knob 0\n");
+  EXPECT_TRUE(fs.write("knob", "1"));
+  EXPECT_EQ(fs.read("knob"), "1");
+  ASSERT_EQ(fs.writes().size(), 1u);
+  EXPECT_EQ(fs.writes()[0].path, "knob");
+  EXPECT_EQ(fs.writes()[0].value, "1");
+}
+
+TEST(FakeSysfs, WriteToMissingPathFailsLikeEnoent) {
+  FakeSysfs fs = FakeSysfs::from_text("knob 0\n");
+  EXPECT_FALSE(fs.write("other", "1"));
+  EXPECT_TRUE(fs.writes().empty());  // Rejected writes are not logged.
+}
+
+TEST(FakeSysfs, SetAndRemoveModelKernelKnobs) {
+  FakeSysfs fs;
+  fs.set("cpu4/online", "1");
+  EXPECT_TRUE(fs.exists("cpu4/online"));
+  fs.remove("cpu4/online");
+  EXPECT_FALSE(fs.exists("cpu4/online"));
+}
+
+TEST(FakeSysfs, MalformedLineNamesTheLineNumber) {
+  try {
+    FakeSysfs::from_text("good 1\n/absolute-path 2\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ParseCpulist, HandlesRangesAndSingles) {
+  EXPECT_EQ(parse_cpulist("0-3,5,7-8"),
+            (std::vector<int>{0, 1, 2, 3, 5, 7, 8}));
+  EXPECT_EQ(parse_cpulist("4"), (std::vector<int>{4}));
+  EXPECT_TRUE(parse_cpulist("").empty());
+}
+
+TEST(ProbeTopology, GroupsExynos5422ByRelatedCpus) {
+  const FakeSysfs fs = FakeSysfs::exynos5422();
+  const ProbedTopology topo = probe_topology(fs);
+  ASSERT_EQ(topo.clusters.size(), 2u);
+  EXPECT_EQ(topo.num_cpus(), 8);
+  // Ordered by first cpu: cpu0-3 (A7) then cpu4-7 (A15).
+  EXPECT_EQ(topo.clusters[0].cpus, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.clusters[0].policy_cpu, 0);
+  EXPECT_EQ(topo.clusters[0].freqs_ghz.size(), 7u);
+  EXPECT_DOUBLE_EQ(topo.clusters[0].freqs_ghz.front(), 0.2);
+  EXPECT_DOUBLE_EQ(topo.clusters[0].freqs_ghz.back(), 1.4);
+  EXPECT_DOUBLE_EQ(topo.clusters[0].capacity, 448.0);
+  EXPECT_EQ(topo.clusters[1].cpus, (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(topo.clusters[1].policy_cpu, 4);
+  EXPECT_EQ(topo.clusters[1].freqs_ghz.size(), 10u);
+  EXPECT_DOUBLE_EQ(topo.clusters[1].freqs_ghz.back(), 2.0);
+  EXPECT_DOUBLE_EQ(topo.clusters[1].capacity, 1024.0);
+}
+
+TEST(ProbeTopology, ThrowsWhenNoCpuIsFound) {
+  const FakeSysfs fs = FakeSysfs::from_text("proc/stat cpu0 0 0 0 1\n");
+  EXPECT_THROW(probe_topology(fs), PlatformConfigError);
+}
+
+TEST(ProbeTopology, CpusWithoutCpufreqFormFixedFrequencyGroup) {
+  const FakeSysfs fs = FakeSysfs::from_text(
+      "sys/devices/system/cpu/present 0-1\n"
+      "sys/devices/system/cpu/cpu0/online 1\n"
+      "sys/devices/system/cpu/cpu1/online 1\n");
+  const ProbedTopology topo = probe_topology(fs);
+  ASSERT_EQ(topo.clusters.size(), 1u);
+  EXPECT_EQ(topo.clusters[0].cpus, (std::vector<int>{0, 1}));
+  // No cpufreq at all: a single synthetic 1.0 GHz level.
+  ASSERT_EQ(topo.clusters[0].freqs_ghz.size(), 1u);
+  EXPECT_DOUBLE_EQ(topo.clusters[0].freqs_ghz[0], 1.0);
+}
+
+TEST(PlatformSpecFromSysfs, BuildsSimulatablePlatform) {
+  const FakeSysfs fs = FakeSysfs::exynos5422();
+  const PlatformSpec spec = PlatformSpec::from_sysfs(fs, "probed");
+  EXPECT_EQ(spec.name, "probed");
+  ASSERT_EQ(spec.clusters.size(), 2u);
+  // Capacity-scaled peak splits big from little: cpu4-7 are big.
+  EXPECT_EQ(spec.clusters[0].topology.type, CoreType::kLittle);
+  EXPECT_EQ(spec.clusters[1].topology.type, CoreType::kBig);
+  EXPECT_EQ(spec.clusters[0].topology.core_count, 4);
+  EXPECT_EQ(spec.clusters[1].topology.core_count, 4);
+  // The spec materializes: a Machine with the probed ladders.
+  const Machine m = spec.make_machine();
+  EXPECT_EQ(m.num_cores(), 8);
+  EXPECT_EQ(m.max_freq_level(m.fastest_cluster()), 9);
+  EXPECT_EQ(m.max_freq_level(m.slowest_cluster()), 6);
+}
+
+TEST(PlatformSpecFromSysfs, HomogeneousMachineIsRejectedWithAPointedError) {
+  // A flat machine probes fine (one merged cluster) but cannot back the
+  // runtime, which splits every machine into a fast and a slow pool.
+  const FakeSysfs fs = FakeSysfs::from_text(
+      "sys/devices/system/cpu/present 0-1\n"
+      "sys/devices/system/cpu/cpu0/online 1\n"
+      "sys/devices/system/cpu/cpu1/online 1\n");
+  try {
+    PlatformSpec::from_sysfs(fs);
+    FAIL() << "expected PlatformConfigError";
+  } catch (const PlatformConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("homogeneous"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hars

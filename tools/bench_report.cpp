@@ -51,6 +51,7 @@ std::string headline_of(const Value& doc) {
   };
   add_number("geomean_speedup", "geomean_speedup");
   add_number("speedup", "speedup");
+  add_number("overhead_pct", "overhead_pct");
   add_number("wall_ms", "wall_ms");
   add_number("ticks_per_sec", "ticks_per_sec");
   add_number("first_record_ms", "first_record_ms");

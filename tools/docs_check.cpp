@@ -21,6 +21,10 @@
 //      examples/*.transcript.jsonl -> hars_simd wire-protocol transcript
 //                                   (each payload through the real
 //                                   svc request/response parsers)
+//      examples/*.sysfs          -> FakeSysfs::from_file + the topology
+//                                   probe; exynos5422.sysfs must stay
+//                                   byte-identical to the built-in
+//                                   kExynos5422Fixture tree
 //
 //   docs_check [--root DIR]   (default: current directory)
 #include <cctype>
@@ -32,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "backend/sysfs.hpp"
+#include "backend/sysfs_probe.hpp"
 #include "hmp/platform_spec.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/repro.hpp"
@@ -369,6 +375,35 @@ void check_transcript_jsonl(const fs::path& path) {
   if (line_no == 0) fail(path.string() + ": empty example");
 }
 
+/// Sysfs fixture examples (FILE_FORMATS.md, "Sysfs fixtures"): must load
+/// through the real fixture parser and probe into at least one cpu
+/// cluster. exynos5422.sysfs is additionally pinned byte-identical to
+/// the built-in kExynos5422Fixture tree, so the shipped example cannot
+/// drift from the fixture the backend tests run against.
+void check_sysfs_example(const fs::path& path) {
+  try {
+    const hars::FakeSysfs fixture = hars::FakeSysfs::from_file(path.string());
+    const hars::ProbedTopology topo = hars::probe_topology(fixture);
+    if (topo.clusters.empty()) {
+      fail(path.string() + ": probes into zero cpu clusters");
+      return;
+    }
+  } catch (const std::exception& error) {
+    fail(path.string() + ": " + error.what());
+    return;
+  }
+  if (path.filename() == "exynos5422.sysfs") {
+    std::ifstream in(path);
+    std::stringstream raw;
+    raw << in.rdbuf();
+    if (raw.str() != hars::kExynos5422Fixture) {
+      fail(path.string() +
+           ": differs from the built-in kExynos5422Fixture "
+           "(src/backend/sysfs.cpp); keep the two in sync");
+    }
+  }
+}
+
 bool ends_with(const std::string& s, const char* suffix) {
   const std::size_t n = std::strlen(suffix);
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
@@ -432,6 +467,9 @@ int main(int argc, char** argv) {
         ++checked;
       } else if (ends_with(name, ".prom")) {
         check_prom_example(entry.path());
+        ++checked;
+      } else if (ends_with(name, ".sysfs")) {
+        check_sysfs_example(entry.path());
         ++checked;
       }
     }

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend_registry.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 #include "exp/variant_registry.hpp"
@@ -65,6 +66,11 @@ void usage() {
       "                    repeatable in sweep mode; --list-platforms to\n"
       "                    enumerate\n"
       "  --list-platforms  print the platform catalogue and exit\n"
+      "  --backend NAME    execution backend (default sim); mock_linux and\n"
+      "                    linux run the managers against a (fake or real)\n"
+      "                    Linux platform; --list-backends to enumerate;\n"
+      "                    run mode only (sweeps are simulation campaigns)\n"
+      "  --list-backends   print the backend catalogue and exit\n"
       "  --scenario NAME   registered scenario (timed arrivals/departures,\n"
       "                    target/phase shifts, core failures); exclusive\n"
       "                    with --bench; repeatable in sweep mode;\n"
@@ -182,6 +188,25 @@ bool parse_platform(const std::string& name) {
   if (PlatformRegistry::instance().find(name) != nullptr) return true;
   std::fprintf(stderr, "unknown platform %s; known:", name.c_str());
   for (const std::string& known : PlatformRegistry::instance().names()) {
+    std::fprintf(stderr, " %s", known.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return false;
+}
+
+void list_backends() {
+  std::printf("%-12s %s\n", "backend", "description");
+  for (const BackendEntry& e : BackendRegistry::instance().entries()) {
+    std::printf("%-12s %s\n", e.name.c_str(), e.description.c_str());
+  }
+}
+
+// Up-front name validation, mirroring parse_platform: a malformed
+// --backend is rejected before any experiment is built.
+bool parse_backend(const std::string& name) {
+  if (BackendRegistry::instance().known(name)) return true;
+  std::fprintf(stderr, "unknown backend %s; known:", name.c_str());
+  for (const std::string& known : BackendRegistry::instance().names()) {
     std::fprintf(stderr, " %s", known.c_str());
   }
   std::fprintf(stderr, "\n");
@@ -342,6 +367,19 @@ int run_sweep_mode(int argc, char** argv) {
       platforms.push_back(platform);
     } else if (arg == "--list-platforms") {
       list_platforms();
+      return 0;
+    } else if (arg == "--backend") {
+      const std::string backend = next();
+      if (!parse_backend(backend)) return 2;
+      if (backend != "sim") {
+        std::fprintf(stderr,
+                     "sweep mode is a simulation campaign; --backend %s is "
+                     "run-mode only\n",
+                     backend.c_str());
+        return 2;
+      }
+    } else if (arg == "--list-backends") {
+      list_backends();
       return 0;
     } else if (arg == "--scenario") {
       const std::string name = next();
@@ -550,6 +588,7 @@ int main(int argc, char** argv) {
   std::vector<ParsecBenchmark> benches;
   std::string version = "HARS-E";
   std::string platform;
+  std::string backend_name;
   std::string scenario;
   std::string gen_scenario;
   std::uint64_t gen_seed = 0;
@@ -603,6 +642,12 @@ int main(int argc, char** argv) {
       if (!parse_platform(platform)) return 2;
     } else if (arg == "--list-platforms") {
       list_platforms();
+      return 0;
+    } else if (arg == "--backend") {
+      backend_name = next();
+      if (!parse_backend(backend_name)) return 2;
+    } else if (arg == "--list-backends") {
+      list_backends();
       return 0;
     } else if (arg == "--scenario") {
       scenario = next();
@@ -691,6 +736,13 @@ int main(int argc, char** argv) {
                    "metrics verb instead (hars_client metrics)\n");
       return 2;
     }
+    if (!backend_name.empty() && backend_name != "sim") {
+      std::fprintf(stderr,
+                   "--backend %s is local-only (the daemon simulates); use "
+                   "hars_agentd on the target machine instead\n",
+                   backend_name.c_str());
+      return 2;
+    }
   }
 
   if (!gen_scenario.empty()) {
@@ -758,6 +810,7 @@ int main(int argc, char** argv) {
     }
   } else {
     if (!platform.empty()) builder.platform(std::string_view(platform));
+    if (!backend_name.empty()) builder.backend(backend_name);
     TraceSink capture_sink(sample_ticks);
     if (!scenario.empty()) {
       builder.scenario(std::string_view(scenario));
